@@ -1,0 +1,85 @@
+// Ablation A: split-objective variants for the Fair KD-tree — the paper's
+// future-work direction on "custom split metrics". Compares the paper's
+// Eq. 9 against minimax and weighted-sum objectives, and sweeps the
+// compactness weight of the composite geo+fairness metric sketched in the
+// paper's introduction. Reported per variant: train/test ENCE and the mean
+// aspect ratio of the produced regions (geometric quality).
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+namespace fairidx {
+namespace bench {
+namespace {
+
+struct Variant {
+  const char* label;
+  SplitObjectiveOptions objective;
+  AxisPolicy axis_policy = AxisPolicy::kAlternate;
+  double early_stop = -1.0;
+};
+
+double MeanAspectRatio(const std::vector<CellRect>& regions) {
+  if (regions.empty()) return 0.0;
+  double total = 0.0;
+  for (const CellRect& rect : regions) total += rect.AspectRatio();
+  return total / static_cast<double>(regions.size());
+}
+
+void RunCity(const CityConfig& config, int height) {
+  const Dataset city = LoadCity(config);
+  const auto prototype =
+      MakeClassifier(ClassifierKind::kLogisticRegression);
+
+  const Variant variants[] = {
+      {"eq9 (paper)", {SplitObjectiveKind::kPaperEq9, 0.0}},
+      {"minimax", {SplitObjectiveKind::kMinimaxChild, 0.0}},
+      {"weighted_sum", {SplitObjectiveKind::kWeightedSum, 0.0}},
+      {"eq9 + compact(0.02)", {SplitObjectiveKind::kPaperEq9, 0.02}},
+      {"eq9 + compact(0.10)", {SplitObjectiveKind::kPaperEq9, 0.10}},
+      {"eq9 + compact(0.50)", {SplitObjectiveKind::kPaperEq9, 0.50}},
+      {"eq9 + best-axis",
+       {SplitObjectiveKind::kPaperEq9, 0.0},
+       AxisPolicy::kBestObjective},
+      {"eq9 + early-stop(0.5)",
+       {SplitObjectiveKind::kPaperEq9, 0.0},
+       AxisPolicy::kAlternate,
+       0.5},
+  };
+
+  PrintBanner("Ablation A: split objectives — " + config.name +
+              ", height " + std::to_string(height));
+  TablePrinter table({"objective", "train_ence", "test_ence",
+                      "mean_aspect_ratio", "regions"});
+  for (const Variant& variant : variants) {
+    PipelineOptions options;
+    options.algorithm = PartitionAlgorithm::kFairKdTree;
+    options.height = height;
+    options.split_objective = variant.objective;
+    options.axis_policy = variant.axis_policy;
+    options.split_early_stop = variant.early_stop;
+    const PipelineRunResult run = RunOrDie(city, *prototype, options);
+    table.AddRow({
+        variant.label,
+        TablePrinter::FormatDouble(run.final_model.eval.train_ence, 5),
+        TablePrinter::FormatDouble(run.final_model.eval.test_ence, 5),
+        TablePrinter::FormatDouble(MeanAspectRatio(run.partition.regions),
+                                   3),
+        std::to_string(run.final_model.eval.num_neighborhoods),
+    });
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fairidx
+
+int main() {
+  for (const fairidx::CityConfig& config : fairidx::PaperCities()) {
+    fairidx::bench::RunCity(config, /*height=*/8);
+  }
+  return 0;
+}

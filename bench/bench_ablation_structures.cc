@@ -1,0 +1,60 @@
+// Ablation B: alternative complete-coverage index structures — the paper's
+// future-work direction ("alternative indexing structures, such as R+
+// trees"). Compares the Fair KD-tree against the greedy fairness-first
+// quadtree, STR (R-tree-family) slab packing, and the uniform grid at
+// matched region budgets (2^height).
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+namespace fairidx {
+namespace bench {
+namespace {
+
+constexpr PartitionAlgorithm kStructures[] = {
+    PartitionAlgorithm::kFairKdTree,
+    PartitionAlgorithm::kFairQuadtree,
+    PartitionAlgorithm::kStrSlabs,
+    PartitionAlgorithm::kUniformGridReweight,
+};
+
+void RunCity(const CityConfig& config) {
+  const Dataset city = LoadCity(config);
+  const auto prototype =
+      MakeClassifier(ClassifierKind::kLogisticRegression);
+
+  PrintBanner("Ablation B: index structures — " + config.name);
+  TablePrinter table({"height", "structure", "regions", "train_ence",
+                      "test_ence", "test_accuracy"});
+  for (int height : PaperHeightSweep()) {
+    for (PartitionAlgorithm algorithm : kStructures) {
+      PipelineOptions options;
+      options.algorithm = algorithm;
+      options.height = height;
+      const PipelineRunResult run = RunOrDie(city, *prototype, options);
+      const EvaluationResult& eval = run.final_model.eval;
+      table.AddRow({
+          std::to_string(height),
+          PartitionAlgorithmName(algorithm),
+          std::to_string(eval.num_neighborhoods),
+          TablePrinter::FormatDouble(eval.train_ence, 5),
+          TablePrinter::FormatDouble(eval.test_ence, 5),
+          TablePrinter::FormatDouble(eval.test_accuracy, 4),
+      });
+    }
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fairidx
+
+int main() {
+  for (const fairidx::CityConfig& config : fairidx::PaperCities()) {
+    fairidx::bench::RunCity(config);
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Regenerates Figure 10: the Multi-Objective Fair KD-tree versus Median
+// KD-tree and Grid (Reweighting) at heights 4, 6, 8, 10, reporting ENCE
+// separately for each classification task (ACT and family employment) on
+// the single shared partition, with alpha = 0.5 for both objectives.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+namespace fairidx {
+namespace bench {
+namespace {
+
+struct AlgorithmSpec {
+  PartitionAlgorithm algorithm;
+  const char* label;
+};
+
+constexpr AlgorithmSpec kSpecs[] = {
+    {PartitionAlgorithm::kMedianKdTree, "median_kd_tree"},
+    {PartitionAlgorithm::kMultiObjectiveFairKdTree, "fair_kd_tree(multi)"},
+    {PartitionAlgorithm::kUniformGridReweight, "grid_reweighting"},
+};
+
+void RunPanel(const CityConfig& config, int height) {
+  const Dataset city = LoadCity(config);
+  const auto prototype =
+      MakeClassifier(ClassifierKind::kLogisticRegression);
+
+  PrintBanner("Figure 10: multi-objective ENCE — " + config.name +
+              ", height " + std::to_string(height));
+  TablePrinter table(
+      {"task", "algorithm", "train_ence", "test_ence", "regions"});
+  for (int task : {kEdgapTaskAct, kEdgapTaskEmployment}) {
+    for (const AlgorithmSpec& spec : kSpecs) {
+      PipelineOptions options;
+      options.algorithm = spec.algorithm;
+      options.height = height;
+      options.task = task;
+      options.multi_objective_alphas = {0.5, 0.5};
+      const PipelineRunResult run = RunOrDie(city, *prototype, options);
+      table.AddRow({
+          city.task_name(task),
+          spec.label,
+          TablePrinter::FormatDouble(run.final_model.eval.train_ence, 5),
+          TablePrinter::FormatDouble(run.final_model.eval.test_ence, 5),
+          std::to_string(run.final_model.eval.num_neighborhoods),
+      });
+    }
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fairidx
+
+int main() {
+  for (const fairidx::CityConfig& config : fairidx::PaperCities()) {
+    for (int height : fairidx::PaperMultiObjectiveHeights()) {
+      fairidx::bench::RunPanel(config, height);
+    }
+  }
+  return 0;
+}

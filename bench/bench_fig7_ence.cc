@@ -1,0 +1,60 @@
+// Regenerates Figure 7: ENCE versus tree height (4..10) for Median KD-tree,
+// Fair KD-tree, Iterative Fair KD-tree and Grid (Reweighting), under three
+// classifiers (logistic regression, decision tree, naive Bayes) on both
+// cities — six panels, one table each. The paper plots ENCE on a log scale;
+// the same series are printed here.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+namespace fairidx {
+namespace bench {
+namespace {
+
+constexpr PartitionAlgorithm kAlgorithms[] = {
+    PartitionAlgorithm::kMedianKdTree,
+    PartitionAlgorithm::kFairKdTree,
+    PartitionAlgorithm::kIterativeFairKdTree,
+    PartitionAlgorithm::kUniformGridReweight,
+};
+
+void RunPanel(const CityConfig& config, ClassifierKind classifier_kind) {
+  const Dataset city = LoadCity(config);
+  const auto prototype = MakeClassifier(classifier_kind);
+
+  PrintBanner(std::string("Figure 7: ENCE vs height — ") + config.name +
+              " (" + ClassifierKindName(classifier_kind) + ")");
+  TablePrinter table({"height", "algorithm", "regions", "train_ence",
+                      "test_ence"});
+  for (int height : PaperHeightSweep()) {
+    for (PartitionAlgorithm algorithm : kAlgorithms) {
+      PipelineOptions options;
+      options.algorithm = algorithm;
+      options.height = height;
+      const PipelineRunResult run = RunOrDie(city, *prototype, options);
+      table.AddRow({
+          std::to_string(height),
+          PartitionAlgorithmName(algorithm),
+          std::to_string(run.final_model.eval.num_neighborhoods),
+          TablePrinter::FormatDouble(run.final_model.eval.train_ence, 5),
+          TablePrinter::FormatDouble(run.final_model.eval.test_ence, 5),
+      });
+    }
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fairidx
+
+int main() {
+  for (const fairidx::CityConfig& config : fairidx::PaperCities()) {
+    for (fairidx::ClassifierKind kind : fairidx::AllClassifierKinds()) {
+      fairidx::bench::RunPanel(config, kind);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Audit: what do calibration-fair partitions do to the *other* group
+// fairness notions from the paper's related work (statistical parity,
+// equalized odds)? The paper optimises calibration only; this bench
+// measures the side effects on the test split at height 6.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "fairness/group_metrics.h"
+
+namespace fairidx {
+namespace bench {
+namespace {
+
+constexpr PartitionAlgorithm kAlgorithms[] = {
+    PartitionAlgorithm::kMedianKdTree,
+    PartitionAlgorithm::kFairKdTree,
+    PartitionAlgorithm::kIterativeFairKdTree,
+    PartitionAlgorithm::kUniformGridReweight,
+    PartitionAlgorithm::kFairQuadtree,
+};
+
+void RunCity(const CityConfig& config, int height) {
+  const Dataset city = LoadCity(config);
+  const auto prototype =
+      MakeClassifier(ClassifierKind::kLogisticRegression);
+
+  PrintBanner("Other fairness notions (test split) — " + config.name +
+              ", height " + std::to_string(height));
+  // The max-min gaps only cover neighborhoods with >= 10 test records
+  // ("groups_in_gap"); with many small regions they can be vacuous (0 when
+  // no group qualifies). The population-weighted deviation covers every
+  // record and is the robust comparison column.
+  TablePrinter table({"algorithm", "test_ence", "stat_parity_gap",
+                      "equalized_odds_gap", "groups_in_gap",
+                      "weighted_parity_dev"});
+  for (PartitionAlgorithm algorithm : kAlgorithms) {
+    PipelineOptions options;
+    options.algorithm = algorithm;
+    options.height = height;
+    const PipelineRunResult run = RunOrDie(city, *prototype, options);
+
+    std::vector<double> test_scores;
+    std::vector<int> test_labels;
+    std::vector<int> test_neighborhoods;
+    for (size_t i : run.split.test_indices) {
+      test_scores.push_back(run.final_model.scores[i]);
+      test_labels.push_back(city.labels(0)[i]);
+      test_neighborhoods.push_back(run.record_neighborhoods[i]);
+    }
+    const GroupFairnessReport report = OrDie(
+        ComputeGroupFairness(test_scores, test_labels, test_neighborhoods,
+                             0.5, 10),
+        "ComputeGroupFairness");
+    int qualifying = 0;
+    for (const GroupRates& group : report.groups) {
+      if (group.count >= 10) ++qualifying;
+    }
+    table.AddRow({
+        PartitionAlgorithmName(algorithm),
+        TablePrinter::FormatDouble(run.final_model.eval.test_ence, 5),
+        TablePrinter::FormatDouble(report.statistical_parity_gap, 4),
+        TablePrinter::FormatDouble(report.equalized_odds_gap, 4),
+        std::to_string(qualifying),
+        TablePrinter::FormatDouble(report.weighted_parity_deviation, 4),
+    });
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fairidx
+
+int main() {
+  for (const fairidx::CityConfig& config : fairidx::PaperCities()) {
+    fairidx::bench::RunCity(config, /*height=*/6);
+  }
+  return 0;
+}

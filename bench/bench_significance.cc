@@ -1,0 +1,92 @@
+// Statistical significance of the headline comparison: paired bootstrap
+// confidence intervals for ENCE(fair KD-tree) - ENCE(median KD-tree) on
+// train and test splits of both cities. A 95% CI entirely below zero means
+// the fair tree's improvement is not split/sampling noise.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "fairness/bootstrap.h"
+
+namespace fairidx {
+namespace bench {
+namespace {
+
+// Gathers the subset of records at `indices` from run outputs.
+struct SubsetView {
+  std::vector<double> scores_a;
+  std::vector<double> scores_b;
+  std::vector<int> labels;
+  std::vector<int> neighborhoods_a;
+  std::vector<int> neighborhoods_b;
+};
+
+SubsetView GatherSubset(const Dataset& city, const PipelineRunResult& a,
+                        const PipelineRunResult& b,
+                        const std::vector<size_t>& indices) {
+  SubsetView view;
+  for (size_t i : indices) {
+    view.scores_a.push_back(a.final_model.scores[i]);
+    view.scores_b.push_back(b.final_model.scores[i]);
+    view.labels.push_back(city.labels(0)[i]);
+    view.neighborhoods_a.push_back(a.record_neighborhoods[i]);
+    view.neighborhoods_b.push_back(b.record_neighborhoods[i]);
+  }
+  return view;
+}
+
+void RunCity(const CityConfig& config, int height) {
+  const Dataset city = LoadCity(config);
+  const auto prototype =
+      MakeClassifier(ClassifierKind::kLogisticRegression);
+
+  PipelineOptions options;
+  options.height = height;
+  options.algorithm = PartitionAlgorithm::kFairKdTree;
+  const PipelineRunResult fair = RunOrDie(city, *prototype, options);
+  options.algorithm = PartitionAlgorithm::kMedianKdTree;
+  const PipelineRunResult median = RunOrDie(city, *prototype, options);
+
+  BootstrapOptions bootstrap;
+  bootstrap.replicates = 2000;
+
+  PrintBanner("Significance: fair - median ENCE, 95% CI — " + config.name +
+              ", height " + std::to_string(height));
+  TablePrinter table({"split", "delta_ence", "ci_lower", "ci_upper",
+                      "significant"});
+  const std::vector<std::pair<const char*, const std::vector<size_t>*>>
+      splits = {{"train", &fair.split.train_indices},
+                {"test", &fair.split.test_indices}};
+  for (const auto& [name, indices] : splits) {
+    const SubsetView view = GatherSubset(city, fair, median, *indices);
+    const ConfidenceInterval interval = OrDie(
+        BootstrapEnceDifference(view.scores_a, view.scores_b, view.labels,
+                                view.neighborhoods_a, view.neighborhoods_b,
+                                bootstrap),
+        "BootstrapEnceDifference");
+    table.AddRow({
+        name,
+        TablePrinter::FormatDouble(interval.point, 5),
+        TablePrinter::FormatDouble(interval.lower, 5),
+        TablePrinter::FormatDouble(interval.upper, 5),
+        interval.upper < 0.0 ? "yes (fair wins)"
+                             : (interval.lower > 0.0 ? "yes (median wins)"
+                                                     : "no"),
+    });
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fairidx
+
+int main() {
+  for (const fairidx::CityConfig& config : fairidx::PaperCities()) {
+    for (int height : {6, 8}) {
+      fairidx::bench::RunCity(config, height);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,179 @@
+// Timing benchmarks (google-benchmark) for the complexity claims:
+//
+//  * Theorem 3: Fair KD-tree construction is O(|D| log t) + one model fit —
+//    sweep |D| and height.
+//  * Theorem 4: Iterative Fair KD-tree adds one model fit per level — the
+//    iterative/one-shot wall-clock ratio mirrors the paper's 189s vs 102s
+//    (~1.85x) measurement at height 10.
+//  * Theorem 5: Multi-objective cost grows with the number of tasks m.
+//  * Algorithm 2's split scan is linear in the scanned axis.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/iterative_fair_kd_tree.h"
+#include "core/multi_objective.h"
+#include "data/split.h"
+#include "geo/grid_aggregates.h"
+#include "index/fair_kd_tree.h"
+
+namespace fairidx {
+namespace bench {
+namespace {
+
+Dataset CityOfSize(int n) {
+  CityConfig config;
+  config.name = "bench";
+  config.num_records = n;
+  config.seed = 1234;
+  return LoadCity(config);
+}
+
+TrainTestSplit SplitFor(const Dataset& dataset) {
+  Rng rng(4321);
+  return OrDie(MakeStratifiedSplit(dataset.labels(0), 0.25, rng),
+               "MakeStratifiedSplit");
+}
+
+// --- Theorem 3: pipeline cost vs dataset size (height fixed at 8). ---
+void BM_FairKdTreePipelineVsRecords(benchmark::State& state) {
+  const Dataset city = CityOfSize(static_cast<int>(state.range(0)));
+  const auto prototype =
+      MakeClassifier(ClassifierKind::kLogisticRegression);
+  PipelineOptions options;
+  options.algorithm = PartitionAlgorithm::kFairKdTree;
+  options.height = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOrDie(city, *prototype, options));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FairKdTreePipelineVsRecords)
+    ->Arg(250)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Arg(4000)
+    ->Complexity(benchmark::oN);
+
+// --- Theorem 3: index construction alone vs height (scores fixed). ---
+void BM_FairKdTreeBuildVsHeight(benchmark::State& state) {
+  const Dataset city = CityOfSize(2000);
+  const TrainTestSplit split = SplitFor(city);
+  // Synthetic scores suffice for pure construction timing.
+  std::vector<int> cells;
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (size_t i : split.train_indices) {
+    cells.push_back(city.base_cells()[i]);
+    labels.push_back(city.labels(0)[i]);
+    scores.push_back(0.5);
+  }
+  const GridAggregates aggregates =
+      OrDie(GridAggregates::Build(city.grid(), cells, labels, scores),
+            "GridAggregates::Build");
+  FairKdTreeOptions options;
+  options.height = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        OrDie(BuildFairKdTree(city.grid(), aggregates, options),
+              "BuildFairKdTree"));
+  }
+}
+BENCHMARK(BM_FairKdTreeBuildVsHeight)->DenseRange(4, 12, 2);
+
+// --- Theorem 4: one-shot vs iterative at height 10 (paper: 102s/189s). ---
+void BM_OneShotFairKdTreeHeight10(benchmark::State& state) {
+  const Dataset city = CityOfSize(1153);  // LA-sized.
+  const auto prototype =
+      MakeClassifier(ClassifierKind::kLogisticRegression);
+  PipelineOptions options;
+  options.algorithm = PartitionAlgorithm::kFairKdTree;
+  options.height = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOrDie(city, *prototype, options));
+  }
+}
+BENCHMARK(BM_OneShotFairKdTreeHeight10);
+
+void BM_IterativeFairKdTreeHeight10(benchmark::State& state) {
+  const Dataset city = CityOfSize(1153);
+  const auto prototype =
+      MakeClassifier(ClassifierKind::kLogisticRegression);
+  PipelineOptions options;
+  options.algorithm = PartitionAlgorithm::kIterativeFairKdTree;
+  options.height = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOrDie(city, *prototype, options));
+  }
+}
+BENCHMARK(BM_IterativeFairKdTreeHeight10);
+
+// --- Theorem 5: multi-objective cost vs task count m. ---
+// The synthetic cities carry 2 tasks; larger m reuses them cyclically,
+// which preserves the theorem's cost structure (m model fits).
+void BM_MultiObjectiveVsTasks(benchmark::State& state) {
+  const Dataset city = CityOfSize(1000);
+  const TrainTestSplit split = SplitFor(city);
+  const auto prototype =
+      MakeClassifier(ClassifierKind::kLogisticRegression);
+  const int m = static_cast<int>(state.range(0));
+  MultiObjectiveOptions options;
+  options.height = 8;
+  for (int k = 0; k < m; ++k) {
+    options.tasks.push_back(k % city.num_tasks());
+    options.alphas.push_back(1.0 / m);
+  }
+  // Guard against float drift in the alpha-sum check.
+  options.alphas.back() = 1.0;
+  for (size_t k = 0; k + 1 < options.alphas.size(); ++k) {
+    options.alphas.back() -= options.alphas[k];
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        OrDie(BuildMultiObjectiveFairKdTree(city, split, *prototype,
+                                            options),
+              "BuildMultiObjectiveFairKdTree"));
+  }
+}
+BENCHMARK(BM_MultiObjectiveVsTasks)->DenseRange(1, 5, 1);
+
+// --- Algorithm 2: split scan cost vs grid extent. ---
+void BM_SplitScanVsGridSize(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const Grid grid =
+      OrDie(Grid::Create(side, side,
+                         BoundingBox{0, 0, static_cast<double>(side),
+                                     static_cast<double>(side)}),
+            "Grid::Create");
+  Rng rng(7);
+  const int n = 4000;
+  std::vector<int> cells(n);
+  std::vector<int> labels(n);
+  std::vector<double> scores(n);
+  for (int i = 0; i < n; ++i) {
+    cells[i] = static_cast<int>(rng.NextBounded(grid.num_cells()));
+    labels[i] = rng.Bernoulli(0.5) ? 1 : 0;
+    scores[i] = rng.NextDouble();
+  }
+  const GridAggregates aggregates =
+      OrDie(GridAggregates::Build(grid, cells, labels, scores),
+            "GridAggregates::Build");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        FindBestSplit(aggregates, grid.FullRect(), 0, {}));
+  }
+  state.SetComplexityN(side);
+}
+BENCHMARK(BM_SplitScanVsGridSize)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace bench
+}  // namespace fairidx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Shared helpers for the benchmark harness binaries. Each bench binary
+// regenerates one of the paper's figures as printed series (see DESIGN.md's
+// per-experiment index); timing-oriented benchmarks use google-benchmark.
+
+#ifndef FAIRIDX_BENCH_BENCH_UTIL_H_
+#define FAIRIDX_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/result.h"
+#include "core/experiment_config.h"
+#include "core/pipeline.h"
+#include "data/edgap_synthetic.h"
+
+namespace fairidx {
+namespace bench {
+
+/// Aborts with a message when a Result is an error (bench binaries have no
+/// meaningful recovery path).
+template <typename T>
+T OrDie(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+/// Generates one of the paper's cities, dying on error.
+inline Dataset LoadCity(const CityConfig& config) {
+  return OrDie(GenerateEdgapCity(config), "GenerateEdgapCity");
+}
+
+/// Runs the pipeline, dying on error.
+inline PipelineRunResult RunOrDie(const Dataset& dataset,
+                                  const Classifier& prototype,
+                                  const PipelineOptions& options) {
+  return OrDie(RunPipeline(dataset, prototype, options), "RunPipeline");
+}
+
+/// Prints a section banner so bench output reads like the paper's figures.
+inline void PrintBanner(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace fairidx
+
+#endif  // FAIRIDX_BENCH_BENCH_UTIL_H_

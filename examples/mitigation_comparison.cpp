@@ -1,0 +1,73 @@
+// Scenario: choosing a mitigation strategy.
+//
+// Compares every mitigation available in fairidx on one city and one model,
+// across pre-processing styles:
+//   * indexing-time (the paper's contribution): fair / iterative-fair
+//     KD-trees, fairness-first quadtree;
+//   * training-time: Kamiran-Calders reweighting over a uniform grid;
+//   * structural baselines: median KD-tree, STR slabs, zip codes.
+//
+// Prints the fairness/utility frontier so a practitioner can pick.
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment_config.h"
+#include "core/pipeline.h"
+#include "data/edgap_synthetic.h"
+
+using namespace fairidx;
+
+int main(int argc, char** argv) {
+  // Optional args: height (default 6) and classifier
+  // (lr|tree|nb, default lr) — e.g. `mitigation_comparison 8 tree`.
+  const int height = argc > 1 ? std::atoi(argv[1]) : 6;
+  ClassifierKind kind = ClassifierKind::kLogisticRegression;
+  if (argc > 2) {
+    const std::string name = argv[2];
+    if (name == "tree") kind = ClassifierKind::kDecisionTree;
+    if (name == "nb") kind = ClassifierKind::kNaiveBayes;
+  }
+
+  auto city = GenerateEdgapCity(LosAngelesConfig());
+  if (!city.ok()) return 1;
+  auto model = MakeClassifier(kind);
+
+  std::printf("mitigation comparison — %s, height %d, classifier %s\n\n",
+              "LosAngeles", height, ClassifierKindName(kind));
+  std::printf("%-28s %8s %12s %12s %10s %10s\n", "strategy", "regions",
+              "train_ENCE", "test_ENCE", "test_acc", "build_s");
+
+  const PartitionAlgorithm algorithms[] = {
+      PartitionAlgorithm::kZipCodes,
+      PartitionAlgorithm::kMedianKdTree,
+      PartitionAlgorithm::kUniformGridReweight,
+      PartitionAlgorithm::kStrSlabs,
+      PartitionAlgorithm::kFairQuadtree,
+      PartitionAlgorithm::kFairKdTree,
+      PartitionAlgorithm::kIterativeFairKdTree,
+      PartitionAlgorithm::kMultiObjectiveFairKdTree,
+  };
+  for (PartitionAlgorithm algorithm : algorithms) {
+    PipelineOptions options;
+    options.algorithm = algorithm;
+    options.height = height;
+    auto run = RunPipeline(*city, *model, options);
+    if (!run.ok()) {
+      std::printf("%-28s failed: %s\n", PartitionAlgorithmName(algorithm),
+                  run.status().ToString().c_str());
+      continue;
+    }
+    const EvaluationResult& eval = run->final_model.eval;
+    std::printf("%-28s %8d %12.5f %12.5f %10.3f %10.3f\n",
+                PartitionAlgorithmName(algorithm), eval.num_neighborhoods,
+                eval.train_ence, eval.test_ence, eval.test_accuracy,
+                run->partition_seconds);
+  }
+
+  std::printf(
+      "\nReading the frontier: fair trees should dominate the baselines\n"
+      "on ENCE at comparable accuracy; iterative trades build time for\n"
+      "additional fairness.\n");
+  return 0;
+}

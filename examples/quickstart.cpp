@@ -1,0 +1,60 @@
+// Quickstart: build a fairness-aware spatial index in ~40 lines.
+//
+// Generates a synthetic city, runs the Fair KD-tree pipeline (train ->
+// partition -> re-district -> retrain), and compares its neighborhood
+// calibration error (ENCE) with the standard median KD-tree.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/experiment_config.h"
+#include "core/pipeline.h"
+#include "data/edgap_synthetic.h"
+
+int main() {
+  using namespace fairidx;
+
+  // 1. Data: a synthetic EdGap-like city (or LoadEdgapCsvFile for real
+  //    data). Records carry socio-economic features, a location on a
+  //    64 x 64 grid, and a binary ACT-score label.
+  CityConfig config = LosAngelesConfig();
+  auto dataset = GenerateEdgapCity(config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "data generation failed: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("city: %s, %zu records, %d tasks\n", config.name.c_str(),
+              dataset->num_records(), dataset->num_tasks());
+
+  // 2. Model family: any fairidx::Classifier works; the pipeline clones it
+  //    for each fit.
+  auto model = MakeClassifier(ClassifierKind::kLogisticRegression);
+
+  // 3. Run the pipeline once per partitioning algorithm and compare.
+  for (PartitionAlgorithm algorithm :
+       {PartitionAlgorithm::kMedianKdTree, PartitionAlgorithm::kFairKdTree,
+        PartitionAlgorithm::kIterativeFairKdTree}) {
+    PipelineOptions options;
+    options.algorithm = algorithm;
+    options.height = 6;  // Up to 2^6 = 64 neighborhoods.
+    auto run = RunPipeline(*dataset, *model, options);
+    if (!run.ok()) {
+      std::fprintf(stderr, "pipeline failed: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    const EvaluationResult& eval = run->final_model.eval;
+    std::printf(
+        "%-24s regions=%3d  train ENCE=%.4f  test ENCE=%.4f  "
+        "test accuracy=%.3f\n",
+        PartitionAlgorithmName(algorithm), eval.num_neighborhoods,
+        eval.train_ence, eval.test_ence, eval.test_accuracy);
+  }
+  std::printf(
+      "\nLower ENCE at comparable accuracy = fairer neighborhoods.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Scenario: school districting (the paper's motivating domain).
+//
+// A school board wants to publish neighborhood-level school-quality
+// classifications without disadvantaging any neighborhood. This example
+// shows the full workflow on an EdGap-like city:
+//
+//   1. expose the problem: per-zip-code calibration disparity despite
+//      near-perfect overall calibration (Fig. 6's phenomenon);
+//   2. re-district with the Fair KD-tree;
+//   3. show the worst neighborhoods' miscalibration before/after.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "core/evaluation.h"
+#include "core/experiment_config.h"
+#include "core/pipeline.h"
+#include "data/edgap_synthetic.h"
+#include "data/split.h"
+#include "fairness/disparity_report.h"
+#include "fairness/ence.h"
+
+using namespace fairidx;
+
+namespace {
+
+// Prints the k worst |e - o| neighborhoods of a scored partitioning.
+void PrintWorstNeighborhoods(const std::vector<double>& scores,
+                             const std::vector<int>& labels,
+                             const std::vector<int>& neighborhoods,
+                             const char* title, size_t k = 5) {
+  auto breakdown = EnceBreakdown(scores, labels, neighborhoods);
+  if (!breakdown.ok()) return;
+  std::sort(breakdown->begin(), breakdown->end(),
+            [](const NeighborhoodCalibration& a,
+               const NeighborhoodCalibration& b) {
+              return a.stats.AbsMiscalibration() >
+                     b.stats.AbsMiscalibration();
+            });
+  std::printf("%s (worst %zu of %zu neighborhoods)\n", title, k,
+              breakdown->size());
+  for (size_t i = 0; i < std::min(k, breakdown->size()); ++i) {
+    const auto& item = (*breakdown)[i];
+    std::printf(
+        "  neighborhood %4d: %3.0f schools, e=%.3f o=%.3f |e-o|=%.3f\n",
+        item.neighborhood, item.stats.count, item.stats.mean_score,
+        item.stats.mean_label, item.stats.AbsMiscalibration());
+  }
+}
+
+}  // namespace
+
+int main() {
+  // --- Step 0: the city and a train/test split. ---
+  const CityConfig config = LosAngelesConfig();
+  auto dataset = GenerateEdgapCity(config);
+  if (!dataset.ok()) return 1;
+  auto model = MakeClassifier(ClassifierKind::kLogisticRegression);
+
+  // --- Step 1: status quo — classify with zip codes as neighborhoods. ---
+  Dataset by_zip = *dataset;
+  if (!by_zip.SetNeighborhoods(by_zip.zip_codes()).ok()) return 1;
+  Rng rng(2024);
+  auto split = MakeStratifiedSplit(by_zip.labels(kEdgapTaskAct), 0.25, rng);
+  if (!split.ok()) return 1;
+  auto zip_run = TrainAndEvaluate(by_zip, *split, *model, EvalOptions{});
+  if (!zip_run.ok()) return 1;
+
+  std::printf("== Status quo: zip-code districts ==\n");
+  std::printf("overall train miscalibration |e-o| = %.4f (looks fair!)\n",
+              zip_run->eval.train_miscalibration);
+  std::printf("but ENCE over zip codes = %.4f\n\n", zip_run->eval.train_ence);
+  PrintWorstNeighborhoods(zip_run->scores, by_zip.labels(kEdgapTaskAct),
+                          by_zip.neighborhoods(),
+                          "Per-zip disparity");
+
+  // The Fig. 6-style top-10 table for the most populated zips:
+  auto report = BuildDisparityReport(zip_run->scores,
+                                     by_zip.labels(kEdgapTaskAct),
+                                     by_zip.zip_codes(), 10, 15);
+  if (report.ok()) {
+    std::printf("\nTop-10 most populated zip codes:\n");
+    DisparityReportTable(*report).Print(std::cout);
+  }
+
+  // --- Step 2: re-district with the Fair KD-tree at matched granularity.
+  PipelineOptions options;
+  options.algorithm = PartitionAlgorithm::kFairKdTree;
+  options.height = 5;  // ~32 districts, comparable to ~35 zips.
+  // Published districts must be statistically meaningful: merge any
+  // district holding fewer than 8 schools into a neighbor (never
+  // increases ENCE, by Theorem 2 run in reverse).
+  options.min_region_population = 8.0;
+  auto fair_run = RunPipeline(*dataset, *model, options);
+  if (!fair_run.ok()) return 1;
+
+  std::printf("\n== Re-districted: Fair KD-tree (height 5) ==\n");
+  std::printf("districts: %d, ENCE = %.4f (was %.4f)\n",
+              fair_run->final_model.eval.num_neighborhoods,
+              fair_run->final_model.eval.train_ence,
+              zip_run->eval.train_ence);
+  std::printf("test accuracy: %.3f (zip baseline %.3f)\n\n",
+              fair_run->final_model.eval.test_accuracy,
+              zip_run->eval.test_accuracy);
+  PrintWorstNeighborhoods(fair_run->final_model.scores,
+                          dataset->labels(kEdgapTaskAct),
+                          fair_run->record_neighborhoods,
+                          "Per-district disparity after re-districting");
+
+  std::printf(
+      "\nThe fair index spreads the calibration error across districts\n"
+      "instead of concentrating it in a few (often underprivileged)\n"
+      "neighborhoods, at essentially unchanged accuracy.\n");
+  return 0;
+}

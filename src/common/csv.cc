@@ -1,0 +1,144 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fairidx {
+namespace {
+
+// Parses one CSV record starting at `pos`; advances `pos` past the record's
+// terminating newline (or to text.size()).
+Result<std::vector<std::string>> ParseRecord(std::string_view text,
+                                             size_t& pos) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any = false;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          field += '"';
+          pos += 2;
+        } else {
+          in_quotes = false;
+          ++pos;
+        }
+      } else {
+        field += c;
+        ++pos;
+      }
+      saw_any = true;
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      saw_any = true;
+      ++pos;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+      saw_any = true;
+      ++pos;
+    } else if (c == '\n' || c == '\r') {
+      if (c == '\r' && pos + 1 < text.size() && text[pos + 1] == '\n') ++pos;
+      ++pos;
+      break;
+    } else {
+      field += c;
+      saw_any = true;
+      ++pos;
+    }
+  }
+  if (in_quotes) return DataLossError("unterminated quoted CSV field");
+  if (!saw_any && fields.empty()) return std::vector<std::string>{};
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+bool NeedsQuoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+void AppendField(std::string& out, std::string_view field) {
+  if (!NeedsQuoting(field)) {
+    out += field;
+    return;
+  }
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Result<size_t> CsvTable::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  return NotFoundError("no CSV column named '" + std::string(name) + "'");
+}
+
+Result<CsvTable> ParseCsv(std::string_view text) {
+  CsvTable table;
+  size_t pos = 0;
+  bool have_header = false;
+  while (pos < text.size()) {
+    FAIRIDX_ASSIGN_OR_RETURN(std::vector<std::string> record,
+                             ParseRecord(text, pos));
+    if (record.empty()) continue;  // Skip blank lines.
+    if (!have_header) {
+      table.header = std::move(record);
+      have_header = true;
+      continue;
+    }
+    if (record.size() != table.header.size()) {
+      return DataLossError(
+          "CSV row has " + std::to_string(record.size()) +
+          " fields, header has " + std::to_string(table.header.size()));
+    }
+    table.rows.push_back(std::move(record));
+  }
+  if (!have_header) return DataLossError("CSV input has no header row");
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("cannot open CSV file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+std::string WriteCsv(const CsvTable& table) {
+  std::string out;
+  for (size_t i = 0; i < table.header.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendField(out, table.header[i]);
+  }
+  out += '\n';
+  for (const auto& row : table.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      AppendField(out, row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return InternalError("cannot open file for writing: " + path);
+  out << WriteCsv(table);
+  if (!out) return DataLossError("failed writing CSV to: " + path);
+  return Status::Ok();
+}
+
+}  // namespace fairidx

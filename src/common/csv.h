@@ -1,0 +1,43 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Minimal CSV reading/writing with quoted-field support, used by the
+// dataset loaders and bench output.
+
+#ifndef FAIRIDX_COMMON_CSV_H_
+#define FAIRIDX_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fairidx {
+
+/// A parsed CSV document: a header row plus data rows of equal width.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Returns the column index for `name`, or NotFound.
+  Result<size_t> ColumnIndex(std::string_view name) const;
+};
+
+/// Parses CSV text. Supports quoted fields with embedded commas/quotes
+/// ("" escapes a quote) and both \n and \r\n line endings. All rows must
+/// have the same number of fields as the header.
+Result<CsvTable> ParseCsv(std::string_view text);
+
+/// Reads and parses a CSV file from disk.
+Result<CsvTable> ReadCsvFile(const std::string& path);
+
+/// Serialises a table to CSV text, quoting fields when needed.
+std::string WriteCsv(const CsvTable& table);
+
+/// Writes a table to disk; returns an error status on I/O failure.
+Status WriteCsvFile(const std::string& path, const CsvTable& table);
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_COMMON_CSV_H_

@@ -1,0 +1,68 @@
+#include "common/matrix.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fairidx {
+
+Matrix::Matrix(size_t rows, size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  if (data_.size() != rows_ * cols_) {
+    std::fprintf(stderr, "Matrix: data size %zu != %zu x %zu\n", data_.size(),
+                 rows_, cols_);
+    std::abort();
+  }
+}
+
+void Matrix::AppendRow(const std::vector<double>& row) {
+  if (rows_ == 0 && cols_ == 0) cols_ = row.size();
+  if (row.size() != cols_) {
+    std::fprintf(stderr, "Matrix::AppendRow: row size %zu != cols %zu\n",
+                 row.size(), cols_);
+    std::abort();
+  }
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
+std::vector<double> Matrix::Column(size_t c) const {
+  std::vector<double> out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::SelectRows(const std::vector<size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const double* src = Row(indices[i]);
+    double* dst = out.MutableRow(i);
+    for (size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+Matrix Matrix::WithColumn(const std::vector<double>& column) const {
+  Matrix out(rows_, cols_ + 1);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* src = Row(r);
+    double* dst = out.MutableRow(r);
+    for (size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+    dst[cols_] = column[r];
+  }
+  return out;
+}
+
+double Matrix::RowDot(size_t r, const std::vector<double>& w) const {
+  const double* row = Row(r);
+  double acc = 0.0;
+  for (size_t c = 0; c < cols_; ++c) acc += row[c] * w[c];
+  return acc;
+}
+
+std::string Matrix::DebugString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "Matrix(%zux%zu)", rows_, cols_);
+  return buf;
+}
+
+}  // namespace fairidx

@@ -1,0 +1,70 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Minimal dense row-major matrix used as the design-matrix type across the
+// ML substrate. Not a general linear-algebra library: only the operations
+// the classifiers need.
+
+#ifndef FAIRIDX_COMMON_MATRIX_H_
+#define FAIRIDX_COMMON_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fairidx {
+
+/// Dense row-major matrix of doubles. Rows are samples, columns features.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// Creates a zero-initialised rows x cols matrix.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Creates a matrix from row-major `data`; data.size() must equal
+  /// rows * cols.
+  Matrix(size_t rows, size_t cols, std::vector<double> data);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Pointer to the start of row `r` (contiguous `cols()` doubles).
+  const double* Row(size_t r) const { return data_.data() + r * cols_; }
+  double* MutableRow(size_t r) { return data_.data() + r * cols_; }
+
+  const std::vector<double>& data() const { return data_; }
+
+  /// Appends a row; `row.size()` must equal cols() (or the matrix must be
+  /// empty, in which case cols() is set from the row).
+  void AppendRow(const std::vector<double>& row);
+
+  /// Returns a copy of column `c`.
+  std::vector<double> Column(size_t c) const;
+
+  /// Returns the sub-matrix containing `indices`-selected rows, in order.
+  Matrix SelectRows(const std::vector<size_t>& indices) const;
+
+  /// Returns this matrix with `column` appended on the right.
+  Matrix WithColumn(const std::vector<double>& column) const;
+
+  /// Dot product of row `r` with a weight vector of size cols().
+  double RowDot(size_t r, const std::vector<double>& w) const;
+
+  /// Short debug rendering ("Matrix(3x2)").
+  std::string DebugString() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_COMMON_MATRIX_H_

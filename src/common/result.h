@@ -1,0 +1,88 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Result<T>: value-or-Status, modelled after absl::StatusOr<T>.
+
+#ifndef FAIRIDX_COMMON_RESULT_H_
+#define FAIRIDX_COMMON_RESULT_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace fairidx {
+
+/// Holds either a value of type `T` or a non-OK Status explaining why the
+/// value is absent. Accessing `value()` on an error result aborts, so callers
+/// must check `ok()` first (or use FAIRIDX_ASSIGN_OR_RETURN).
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, enabling `return some_t;`).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(), value_(std::move(value)) {}
+
+  /// Constructs from an error status. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      // An OK status without a value is a logic error in the caller.
+      status_ = InternalError("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!status_.ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), returning its status on error, otherwise
+/// assigning the value to `lhs`:
+///   FAIRIDX_ASSIGN_OR_RETURN(Dataset data, LoadDataset(path));
+#define FAIRIDX_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  FAIRIDX_ASSIGN_OR_RETURN_IMPL_(                                  \
+      FAIRIDX_RESULT_CONCAT_(_fairidx_result, __LINE__), lhs, rexpr)
+
+#define FAIRIDX_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#define FAIRIDX_RESULT_CONCAT_INNER_(a, b) a##b
+#define FAIRIDX_RESULT_CONCAT_(a, b) FAIRIDX_RESULT_CONCAT_INNER_(a, b)
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_COMMON_RESULT_H_

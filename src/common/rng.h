@@ -1,0 +1,75 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Deterministic pseudo-random number generation. All stochastic components of
+// fairidx (data generation, train/test splits, model initialisation) draw
+// from Rng so that experiments are exactly reproducible from a seed.
+
+#ifndef FAIRIDX_COMMON_RNG_H_
+#define FAIRIDX_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fairidx {
+
+/// xoshiro256** generator seeded via splitmix64. Deterministic across
+/// platforms (unlike std::mt19937 paired with std:: distributions, whose
+/// outputs are implementation-defined).
+class Rng {
+ public:
+  /// Seeds the generator; the same seed always yields the same stream.
+  explicit Rng(uint64_t seed);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t NextUint64();
+
+  /// Returns an unbiased integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Returns an integer uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Returns a double uniform in [0, 1).
+  double NextDouble();
+
+  /// Returns a double uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Returns a standard normal deviate (Box-Muller with caching).
+  double NextGaussian();
+
+  /// Returns a normal deviate with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Returns true with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    if (items.empty()) return;
+    for (size_t i = items.size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i + 1));
+      using std::swap;
+      swap(items[i], items[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) without replacement.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derives an independent child generator; children with distinct tags do
+  /// not correlate with the parent stream.
+  Rng Fork(uint64_t tag);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_COMMON_RNG_H_

@@ -1,0 +1,93 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairidx {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : values) acc += v;
+  return acc / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  if (values.size() < 1) return 0.0;
+  const double m = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  return std::sqrt(Variance(values));
+}
+
+double WeightedMean(const std::vector<double>& values,
+                    const std::vector<double>& weights) {
+  double sum = 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    sum += values[i] * weights[i];
+    total += weights[i];
+  }
+  if (total == 0.0) return 0.0;
+  return sum / total;
+}
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  q = Clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  if (x.size() != y.size() || x.empty()) return 0.0;
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double Min(const std::vector<double>& values) {
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(const std::vector<double>& values) {
+  return *std::max_element(values.begin(), values.end());
+}
+
+double Clamp(double v, double lo, double hi) {
+  return std::max(lo, std::min(hi, v));
+}
+
+void RunningStats::Add(double value, double weight) {
+  if (weight <= 0.0) return;
+  ++count_;
+  total_weight_ += weight;
+  const double delta = value - mean_;
+  mean_ += (weight / total_weight_) * delta;
+  m2_ += weight * delta * (value - mean_);
+}
+
+double RunningStats::variance() const {
+  if (total_weight_ <= 0.0) return 0.0;
+  return m2_ / total_weight_;
+}
+
+}  // namespace fairidx

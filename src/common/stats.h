@@ -1,0 +1,61 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Summary statistics used by data generation, metrics, and tests.
+
+#ifndef FAIRIDX_COMMON_STATS_H_
+#define FAIRIDX_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fairidx {
+
+/// Arithmetic mean; returns 0 for an empty input.
+double Mean(const std::vector<double>& values);
+
+/// Population variance (divides by N); returns 0 for inputs of size < 1.
+double Variance(const std::vector<double>& values);
+
+/// Population standard deviation.
+double StdDev(const std::vector<double>& values);
+
+/// Weighted mean with non-negative weights; returns 0 if total weight is 0.
+double WeightedMean(const std::vector<double>& values,
+                    const std::vector<double>& weights);
+
+/// Linear-interpolated quantile, q in [0,1]. Sorts a copy of the input.
+/// Returns 0 for an empty input.
+double Quantile(std::vector<double> values, double q);
+
+/// Pearson correlation coefficient; returns 0 when either side is constant.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Min / max over a non-empty vector.
+double Min(const std::vector<double>& values);
+double Max(const std::vector<double>& values);
+
+/// Clamps `v` into [lo, hi].
+double Clamp(double v, double lo, double hi);
+
+/// Running mean/variance accumulator (Welford). Supports weighted updates.
+class RunningStats {
+ public:
+  void Add(double value, double weight = 1.0);
+  double mean() const { return mean_; }
+  /// Population variance over the accumulated weight.
+  double variance() const;
+  double total_weight() const { return total_weight_; }
+  size_t count() const { return count_; }
+
+ private:
+  size_t count_ = 0;
+  double total_weight_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_COMMON_STATS_H_

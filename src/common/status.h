@@ -1,0 +1,85 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Error handling primitives. fairidx does not use exceptions; fallible
+// operations return Status (or Result<T>, see result.h).
+
+#ifndef FAIRIDX_COMMON_STATUS_H_
+#define FAIRIDX_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace fairidx {
+
+/// Coarse error category, modelled after absl::StatusCode.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+  kDataLoss = 7,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Value type carrying either success (`ok()`) or an error code + message.
+///
+/// Example:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with `code` and a diagnostic `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Convenience constructors, mirroring absl's ErrInvalidArgument etc.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+Status DataLossError(std::string message);
+
+/// Propagates a non-OK status to the caller.
+#define FAIRIDX_RETURN_IF_ERROR(expr)                 \
+  do {                                                \
+    ::fairidx::Status _fairidx_status = (expr);       \
+    if (!_fairidx_status.ok()) return _fairidx_status; \
+  } while (0)
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_COMMON_STATUS_H_

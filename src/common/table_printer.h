@@ -1,0 +1,47 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Aligned plain-text tables for the benchmark harness, so every bench binary
+// prints the paper's figures as readable rows/series.
+
+#ifndef FAIRIDX_COMMON_TABLE_PRINTER_H_
+#define FAIRIDX_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fairidx {
+
+/// Collects rows of string cells and renders them with aligned columns.
+///
+/// Example:
+///   TablePrinter t({"height", "ENCE"});
+///   t.AddRow({"4", "0.0123"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` significant decimals.
+  static std::string FormatDouble(double value, int precision = 6);
+
+  /// Renders the table with a header underline.
+  void Print(std::ostream& os) const;
+
+  /// Renders as CSV (machine-readable companion output).
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,63 @@
+#include "core/cross_validation.h"
+
+#include <cmath>
+
+namespace fairidx {
+namespace {
+
+MetricSummary Summarize(const std::vector<double>& values) {
+  MetricSummary summary;
+  if (values.empty()) return summary;
+  for (double v : values) summary.mean += v;
+  summary.mean /= static_cast<double>(values.size());
+  for (double v : values) {
+    summary.stddev += (v - summary.mean) * (v - summary.mean);
+  }
+  summary.stddev =
+      std::sqrt(summary.stddev / static_cast<double>(values.size()));
+  return summary;
+}
+
+}  // namespace
+
+Result<CrossValidationResult> CrossValidatePipeline(
+    const Dataset& dataset, const Classifier& prototype,
+    const PipelineOptions& options, int folds) {
+  if (folds < 2) {
+    return InvalidArgumentError("CrossValidatePipeline: folds must be >= 2");
+  }
+  CrossValidationResult result;
+  result.folds = folds;
+
+  std::vector<double> train_ence;
+  std::vector<double> test_ence;
+  std::vector<double> train_accuracy;
+  std::vector<double> test_accuracy;
+  std::vector<double> test_miscalibration;
+
+  for (int fold = 0; fold < folds; ++fold) {
+    PipelineOptions fold_options = options;
+    // Distinct, deterministic seeds per fold.
+    fold_options.split_seed =
+        options.split_seed * 1000003ULL + static_cast<uint64_t>(fold);
+    FAIRIDX_ASSIGN_OR_RETURN(
+        PipelineRunResult run,
+        RunPipeline(dataset, prototype, fold_options));
+    const EvaluationResult& eval = run.final_model.eval;
+    train_ence.push_back(eval.train_ence);
+    test_ence.push_back(eval.test_ence);
+    train_accuracy.push_back(eval.train_accuracy);
+    test_accuracy.push_back(eval.test_accuracy);
+    test_miscalibration.push_back(eval.test_miscalibration);
+    result.fold_evals.push_back(eval);
+  }
+
+  result.train_ence = Summarize(train_ence);
+  result.test_ence = Summarize(test_ence);
+  result.train_accuracy = Summarize(train_accuracy);
+  result.test_accuracy = Summarize(test_accuracy);
+  result.test_miscalibration = Summarize(test_miscalibration);
+  return result;
+}
+
+}  // namespace fairidx

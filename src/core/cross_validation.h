@@ -1,0 +1,45 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// k-fold cross-validation over the pipeline: the single train/test split
+// behind each figure is convenient but noisy at EdGap scale (~1000
+// records); CrossValidatePipeline reruns the pipeline with k different
+// split seeds and reports mean and standard deviation of every indicator,
+// which EXPERIMENTS.md uses to state stability.
+
+#ifndef FAIRIDX_CORE_CROSS_VALIDATION_H_
+#define FAIRIDX_CORE_CROSS_VALIDATION_H_
+
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace fairidx {
+
+/// Mean / standard deviation of one metric across folds.
+struct MetricSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Aggregated cross-validated indicators.
+struct CrossValidationResult {
+  int folds = 0;
+  MetricSummary train_ence;
+  MetricSummary test_ence;
+  MetricSummary train_accuracy;
+  MetricSummary test_accuracy;
+  MetricSummary test_miscalibration;
+  /// The per-fold raw evaluations, for custom analysis.
+  std::vector<EvaluationResult> fold_evals;
+};
+
+/// Runs the pipeline `folds` times with distinct split seeds (derived from
+/// options.split_seed) and aggregates. `folds` must be >= 2.
+Result<CrossValidationResult> CrossValidatePipeline(
+    const Dataset& dataset, const Classifier& prototype,
+    const PipelineOptions& options, int folds);
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_CORE_CROSS_VALIDATION_H_

@@ -1,0 +1,64 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Shared train-and-evaluate step: fits a classifier on the training split of
+// a dataset (whose neighborhood attribute is already set), scores every
+// record, and computes the paper's indicators — accuracy, overall
+// miscalibration, and ENCE on both splits.
+
+#ifndef FAIRIDX_CORE_EVALUATION_H_
+#define FAIRIDX_CORE_EVALUATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "data/split.h"
+#include "ml/classifier.h"
+
+namespace fairidx {
+
+/// Options for one training/evaluation pass.
+struct EvalOptions {
+  int task = 0;
+  NeighborhoodEncoding encoding = NeighborhoodEncoding::kNumericId;
+  /// Applies Kamiran-Calders reweighting with the current neighborhoods as
+  /// groups when fitting (the reweighting baseline).
+  bool reweight_by_neighborhood = false;
+};
+
+/// The paper's evaluation indicators for one trained model.
+struct EvaluationResult {
+  int num_neighborhoods = 0;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  /// Overall |e - o| (Fig. 8b/8c).
+  double train_miscalibration = 0.0;
+  double test_miscalibration = 0.0;
+  /// ENCE over the current neighborhoods (Fig. 7).
+  double train_ence = 0.0;
+  double test_ence = 0.0;
+  /// Normalized importances over design-matrix columns (Fig. 9).
+  std::vector<double> feature_importances;
+  std::vector<std::string> feature_names;
+};
+
+/// Scores plus indicators from one pass.
+struct TrainedEvaluation {
+  /// Confidence scores for every record (train and test).
+  std::vector<double> scores;
+  EvaluationResult eval;
+};
+
+/// Clones `prototype`, fits it on `split.train_indices`, scores all records,
+/// and evaluates. The dataset's current neighborhoods define both the
+/// neighborhood feature and the ENCE groups.
+Result<TrainedEvaluation> TrainAndEvaluate(const Dataset& dataset,
+                                           const TrainTestSplit& split,
+                                           const Classifier& prototype,
+                                           const EvalOptions& options);
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_CORE_EVALUATION_H_

@@ -1,0 +1,46 @@
+#include "core/experiment_config.h"
+
+#include "ml/decision_tree.h"
+#include "ml/logistic_regression.h"
+#include "ml/naive_bayes.h"
+
+namespace fairidx {
+
+const char* ClassifierKindName(ClassifierKind kind) {
+  switch (kind) {
+    case ClassifierKind::kLogisticRegression:
+      return "logistic_regression";
+    case ClassifierKind::kDecisionTree:
+      return "decision_tree";
+    case ClassifierKind::kNaiveBayes:
+      return "naive_bayes";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Classifier> MakeClassifier(ClassifierKind kind) {
+  switch (kind) {
+    case ClassifierKind::kLogisticRegression:
+      return std::make_unique<LogisticRegression>();
+    case ClassifierKind::kDecisionTree:
+      return std::make_unique<DecisionTree>();
+    case ClassifierKind::kNaiveBayes:
+      return std::make_unique<GaussianNaiveBayes>();
+  }
+  return nullptr;
+}
+
+std::vector<ClassifierKind> AllClassifierKinds() {
+  return {ClassifierKind::kLogisticRegression, ClassifierKind::kDecisionTree,
+          ClassifierKind::kNaiveBayes};
+}
+
+std::vector<CityConfig> PaperCities() {
+  return {LosAngelesConfig(), HoustonConfig()};
+}
+
+std::vector<int> PaperHeightSweep() { return {4, 5, 6, 7, 8, 9, 10}; }
+
+std::vector<int> PaperMultiObjectiveHeights() { return {4, 6, 8, 10}; }
+
+}  // namespace fairidx

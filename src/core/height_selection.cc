@@ -1,0 +1,38 @@
+#include "core/height_selection.h"
+
+namespace fairidx {
+
+Result<HeightSelectionResult> SelectHeight(
+    const Dataset& dataset, const Classifier& prototype,
+    const HeightSelectionOptions& options) {
+  if (options.max_height < 0) {
+    return InvalidArgumentError("SelectHeight: max_height must be >= 0");
+  }
+  if (options.ence_budget < 0.0) {
+    return InvalidArgumentError("SelectHeight: ence_budget must be >= 0");
+  }
+
+  HeightSelectionResult result;
+  for (int height = 0; height <= options.max_height; ++height) {
+    PipelineOptions pipeline_options = options.pipeline;
+    pipeline_options.height = height;
+    FAIRIDX_ASSIGN_OR_RETURN(PipelineRunResult run,
+                             RunPipeline(dataset, prototype,
+                                         pipeline_options));
+    HeightSweepPoint point;
+    point.height = height;
+    point.num_regions = run.final_model.eval.num_neighborhoods;
+    point.train_ence = run.final_model.eval.train_ence;
+    point.test_ence = run.final_model.eval.test_ence;
+    point.test_accuracy = run.final_model.eval.test_accuracy;
+    result.sweep.push_back(point);
+
+    if (point.train_ence <= options.ence_budget) {
+      result.selected_height = height;
+      result.budget_met = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace fairidx

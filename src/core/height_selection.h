@@ -1,0 +1,58 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Automatic tree-height selection. The paper shows (Theorem 2, Fig. 7) that
+// finer partitions trade fairness for spatial granularity; a deployment
+// must therefore pick the finest height whose unfairness stays within
+// budget. SelectHeight sweeps heights, runs the full pipeline at each, and
+// returns the largest height whose train ENCE is at most the budget.
+
+#ifndef FAIRIDX_CORE_HEIGHT_SELECTION_H_
+#define FAIRIDX_CORE_HEIGHT_SELECTION_H_
+
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace fairidx {
+
+/// Options for the height sweep.
+struct HeightSelectionOptions {
+  /// Heights 0..max_height are evaluated.
+  int max_height = 10;
+  /// Maximum acceptable train ENCE.
+  double ence_budget = 0.05;
+  /// Pipeline configuration applied at every height (its `height` field is
+  /// overwritten by the sweep).
+  PipelineOptions pipeline;
+};
+
+/// One sweep point.
+struct HeightSweepPoint {
+  int height = 0;
+  int num_regions = 0;
+  double train_ence = 0.0;
+  double test_ence = 0.0;
+  double test_accuracy = 0.0;
+};
+
+/// Sweep outcome.
+struct HeightSelectionResult {
+  /// Largest height with train ENCE <= budget (heights are swept in
+  /// ascending order; ENCE is monotone in expectation but not guaranteed,
+  /// so the largest qualifying height is reported).
+  int selected_height = 0;
+  /// True if some height met the budget; false means even height 0 misses
+  /// it and selected_height is 0 by convention.
+  bool budget_met = false;
+  std::vector<HeightSweepPoint> sweep;
+};
+
+/// Runs the sweep. The dataset is unchanged.
+Result<HeightSelectionResult> SelectHeight(
+    const Dataset& dataset, const Classifier& prototype,
+    const HeightSelectionOptions& options);
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_CORE_HEIGHT_SELECTION_H_

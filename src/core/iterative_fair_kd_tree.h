@@ -1,0 +1,46 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Iterative Fair KD-tree (Algorithm 3): a BFS refinement that retrains the
+// classifier at every tree level, so each level's splits use refreshed
+// confidence scores. Costs one model fit per level (Theorem 4) but yields
+// fairer partitions than the one-shot Fair KD-tree.
+
+#ifndef FAIRIDX_CORE_ITERATIVE_FAIR_KD_TREE_H_
+#define FAIRIDX_CORE_ITERATIVE_FAIR_KD_TREE_H_
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "data/split.h"
+#include "index/kd_tree.h"
+#include "ml/classifier.h"
+
+namespace fairidx {
+
+/// Options for the iterative build.
+struct IterativeFairKdTreeOptions {
+  int height = 6;
+  int task = 0;
+  NeighborhoodEncoding encoding = NeighborhoodEncoding::kNumericId;
+  SplitObjectiveOptions objective{SplitObjectiveKind::kPaperEq9, 0.0};
+};
+
+/// Result of the iterative build.
+struct IterativeFairKdTreeResult {
+  PartitionResult partition;
+  /// Number of model fits performed (== the number of levels executed).
+  int retrain_count = 0;
+};
+
+/// Runs Algorithm 3. Starts from a single all-map neighborhood; at each
+/// level, fits a clone of `prototype` on `split.train_indices` (with the
+/// level's neighborhoods as the location feature), refreshes scores, and
+/// splits every region along the level's axis. The input dataset is not
+/// modified.
+Result<IterativeFairKdTreeResult> BuildIterativeFairKdTree(
+    const Dataset& dataset, const TrainTestSplit& split,
+    const Classifier& prototype, const IterativeFairKdTreeOptions& options);
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_CORE_ITERATIVE_FAIR_KD_TREE_H_

@@ -1,0 +1,247 @@
+#include "core/pipeline.h"
+
+#include <chrono>
+
+#include "core/iterative_fair_kd_tree.h"
+#include "core/multi_objective.h"
+#include "geo/grid_aggregates.h"
+#include "index/fair_kd_tree.h"
+#include "index/median_kd_tree.h"
+#include "index/quadtree.h"
+#include "index/region_merging.h"
+#include "index/str_partition.h"
+#include "index/uniform_grid.h"
+
+namespace fairidx {
+
+const char* PartitionAlgorithmName(PartitionAlgorithm algorithm) {
+  switch (algorithm) {
+    case PartitionAlgorithm::kMedianKdTree:
+      return "median_kd_tree";
+    case PartitionAlgorithm::kFairKdTree:
+      return "fair_kd_tree";
+    case PartitionAlgorithm::kIterativeFairKdTree:
+      return "iterative_fair_kd_tree";
+    case PartitionAlgorithm::kMultiObjectiveFairKdTree:
+      return "multi_objective_fair_kd_tree";
+    case PartitionAlgorithm::kUniformGridReweight:
+      return "grid_reweighting";
+    case PartitionAlgorithm::kZipCodes:
+      return "zip_codes";
+    case PartitionAlgorithm::kFairQuadtree:
+      return "fair_quadtree";
+    case PartitionAlgorithm::kStrSlabs:
+      return "str_slabs";
+  }
+  return "unknown";
+}
+
+Result<TrainedEvaluation> TrainOnBaseGrid(const Dataset& dataset,
+                                          const TrainTestSplit& split,
+                                          const Classifier& prototype,
+                                          const EvalOptions& options) {
+  Dataset working = dataset;
+  FAIRIDX_RETURN_IF_ERROR(working.SetNeighborhoods(working.base_cells()));
+  return TrainAndEvaluate(working, split, prototype, options);
+}
+
+namespace {
+
+// Builds training-split aggregates from initial base-grid scores.
+Result<GridAggregates> TrainAggregates(const Dataset& dataset, int task,
+                                       const TrainTestSplit& split,
+                                       const std::vector<double>& scores) {
+  std::vector<int> cells;
+  std::vector<int> labels;
+  std::vector<double> train_scores;
+  cells.reserve(split.train_indices.size());
+  for (size_t i : split.train_indices) {
+    cells.push_back(dataset.base_cells()[i]);
+    labels.push_back(dataset.labels(task)[i]);
+    train_scores.push_back(scores[i]);
+  }
+  return GridAggregates::Build(dataset.grid(), cells, labels, train_scores);
+}
+
+}  // namespace
+
+Result<PipelineRunResult> RunPipeline(const Dataset& dataset,
+                                      const Classifier& prototype,
+                                      const PipelineOptions& options) {
+  if (options.task < 0 || options.task >= dataset.num_tasks()) {
+    return InvalidArgumentError("RunPipeline: invalid task");
+  }
+  if (options.height < 0) {
+    return InvalidArgumentError("RunPipeline: height must be >= 0");
+  }
+  if (options.algorithm == PartitionAlgorithm::kZipCodes &&
+      !dataset.has_zip_codes()) {
+    return FailedPreconditionError(
+        "RunPipeline: zip-code baseline needs a dataset with zip codes");
+  }
+
+  PipelineRunResult out;
+  Rng split_rng(options.split_seed);
+  FAIRIDX_ASSIGN_OR_RETURN(
+      out.split, MakeStratifiedSplit(dataset.labels(options.task),
+                                     options.test_fraction, split_rng));
+
+  Dataset working = dataset;
+  const int target_regions = 1 << std::min(options.height, 30);
+
+  EvalOptions eval_options;
+  eval_options.task = options.task;
+  eval_options.encoding = options.encoding;
+
+  const auto partition_start = std::chrono::steady_clock::now();
+
+  // Stage 1+2: initial scores (when needed) and the partition build.
+  switch (options.algorithm) {
+    case PartitionAlgorithm::kMedianKdTree: {
+      FAIRIDX_ASSIGN_OR_RETURN(
+          GridAggregates aggregates,
+          TrainAggregates(working, options.task, out.split,
+                          std::vector<double>(working.num_records(), 0.0)));
+      FAIRIDX_ASSIGN_OR_RETURN(
+          KdTreeResult tree,
+          BuildMedianKdTree(working.grid(), aggregates, options.height));
+      out.partition = std::move(tree.result);
+      out.has_cell_partition = true;
+      break;
+    }
+    case PartitionAlgorithm::kFairKdTree: {
+      FAIRIDX_ASSIGN_OR_RETURN(
+          TrainedEvaluation initial,
+          TrainOnBaseGrid(working, out.split, prototype, eval_options));
+      out.partition_stage_fits = 1;
+      FAIRIDX_ASSIGN_OR_RETURN(
+          GridAggregates aggregates,
+          TrainAggregates(working, options.task, out.split, initial.scores));
+      FairKdTreeOptions fair_options;
+      fair_options.height = options.height;
+      fair_options.objective = options.split_objective;
+      fair_options.axis_policy = options.axis_policy;
+      fair_options.early_stop_weighted_miscalibration =
+          options.split_early_stop;
+      FAIRIDX_ASSIGN_OR_RETURN(
+          KdTreeResult tree,
+          BuildFairKdTree(working.grid(), aggregates, fair_options));
+      out.partition = std::move(tree.result);
+      out.has_cell_partition = true;
+      break;
+    }
+    case PartitionAlgorithm::kIterativeFairKdTree: {
+      IterativeFairKdTreeOptions iterative_options;
+      iterative_options.height = options.height;
+      iterative_options.task = options.task;
+      iterative_options.encoding = options.encoding;
+      iterative_options.objective = options.split_objective;
+      FAIRIDX_ASSIGN_OR_RETURN(
+          IterativeFairKdTreeResult iterative,
+          BuildIterativeFairKdTree(working, out.split, prototype,
+                                   iterative_options));
+      out.partition = std::move(iterative.partition);
+      out.partition_stage_fits = iterative.retrain_count;
+      out.has_cell_partition = true;
+      break;
+    }
+    case PartitionAlgorithm::kMultiObjectiveFairKdTree: {
+      if (working.num_tasks() < 2) {
+        return FailedPreconditionError(
+            "RunPipeline: multi-objective needs >= 2 tasks");
+      }
+      MultiObjectiveOptions multi_options;
+      multi_options.height = options.height;
+      multi_options.alphas = options.multi_objective_alphas;
+      multi_options.encoding = options.encoding;
+      multi_options.use_eq9_weighting = options.multi_objective_eq9_weighting;
+      FAIRIDX_ASSIGN_OR_RETURN(
+          MultiObjectiveResult multi,
+          BuildMultiObjectiveFairKdTree(working, out.split, prototype,
+                                        multi_options));
+      out.partition = std::move(multi.partition);
+      out.partition_stage_fits = working.num_tasks();
+      out.has_cell_partition = true;
+      break;
+    }
+    case PartitionAlgorithm::kUniformGridReweight: {
+      FAIRIDX_ASSIGN_OR_RETURN(
+          PartitionResult uniform,
+          BuildUniformGridPartition(working.grid(), options.height));
+      out.partition = std::move(uniform);
+      out.has_cell_partition = true;
+      // The baseline's mitigation acts at training time, not indexing time.
+      eval_options.reweight_by_neighborhood = true;
+      break;
+    }
+    case PartitionAlgorithm::kZipCodes: {
+      out.has_cell_partition = false;
+      break;
+    }
+    case PartitionAlgorithm::kFairQuadtree: {
+      FAIRIDX_ASSIGN_OR_RETURN(
+          TrainedEvaluation initial,
+          TrainOnBaseGrid(working, out.split, prototype, eval_options));
+      out.partition_stage_fits = 1;
+      FAIRIDX_ASSIGN_OR_RETURN(
+          GridAggregates aggregates,
+          TrainAggregates(working, options.task, out.split, initial.scores));
+      FairQuadtreeOptions quad_options;
+      quad_options.target_regions = target_regions;
+      FAIRIDX_ASSIGN_OR_RETURN(
+          PartitionResult quad,
+          BuildFairQuadtree(working.grid(), aggregates, quad_options));
+      out.partition = std::move(quad);
+      out.has_cell_partition = true;
+      break;
+    }
+    case PartitionAlgorithm::kStrSlabs: {
+      FAIRIDX_ASSIGN_OR_RETURN(
+          GridAggregates aggregates,
+          TrainAggregates(working, options.task, out.split,
+                          std::vector<double>(working.num_records(), 0.0)));
+      FAIRIDX_ASSIGN_OR_RETURN(
+          PartitionResult str,
+          BuildStrPartition(working.grid(), aggregates, target_regions));
+      out.partition = std::move(str);
+      out.has_cell_partition = true;
+      break;
+    }
+  }
+
+  // Optional minimum-population post-processing (cell partitions only).
+  if (out.has_cell_partition && options.min_region_population > 0.0) {
+    RegionMergingOptions merge_options;
+    merge_options.min_population = options.min_region_population;
+    FAIRIDX_ASSIGN_OR_RETURN(
+        RegionMergingResult merged,
+        MergeSmallRegions(working.grid(), out.partition.partition,
+                          working.base_cells(), merge_options));
+    if (merged.merges > 0) {
+      out.partition.partition = std::move(merged.partition);
+      // Merged regions are generally not rectangles any more.
+      out.partition.regions.clear();
+    }
+  }
+
+  const auto partition_end = std::chrono::steady_clock::now();
+  out.partition_seconds =
+      std::chrono::duration<double>(partition_end - partition_start).count();
+
+  // Stage 3: re-district.
+  if (out.has_cell_partition) {
+    FAIRIDX_RETURN_IF_ERROR(working.SetNeighborhoodsFromCellMap(
+        out.partition.partition.cell_to_region()));
+  } else {
+    FAIRIDX_RETURN_IF_ERROR(working.SetNeighborhoods(working.zip_codes()));
+  }
+  out.record_neighborhoods = working.neighborhoods();
+
+  // Stage 4: final training + evaluation.
+  FAIRIDX_ASSIGN_OR_RETURN(
+      out.final_model,
+      TrainAndEvaluate(working, out.split, prototype, eval_options));
+  return out;
+}
+
+}  // namespace fairidx

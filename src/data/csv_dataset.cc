@@ -1,0 +1,135 @@
+#include "data/csv_dataset.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "data/edgap_synthetic.h"
+
+namespace fairidx {
+namespace {
+
+constexpr const char* kIndicatorAct = "act_score";
+constexpr const char* kIndicatorEmployment = "employment_hardship_pct";
+
+}  // namespace
+
+Result<Dataset> LoadEdgapCsv(const std::string& csv_text,
+                             const CsvDatasetOptions& options) {
+  FAIRIDX_ASSIGN_OR_RETURN(CsvTable table, ParseCsv(csv_text));
+  if (table.rows.empty()) {
+    return InvalidArgumentError("LoadEdgapCsv: no data rows");
+  }
+
+  FAIRIDX_ASSIGN_OR_RETURN(size_t x_col, table.ColumnIndex("x"));
+  FAIRIDX_ASSIGN_OR_RETURN(size_t y_col, table.ColumnIndex("y"));
+  std::vector<size_t> feature_cols(kEdgapNumFeatures);
+  for (int f = 0; f < kEdgapNumFeatures; ++f) {
+    FAIRIDX_ASSIGN_OR_RETURN(feature_cols[static_cast<size_t>(f)],
+                             table.ColumnIndex(kEdgapFeatureNames[f]));
+  }
+  FAIRIDX_ASSIGN_OR_RETURN(size_t act_col, table.ColumnIndex(kIndicatorAct));
+  FAIRIDX_ASSIGN_OR_RETURN(size_t employment_col,
+                           table.ColumnIndex(kIndicatorEmployment));
+  const auto zip_col = table.ColumnIndex("zip");  // Optional.
+
+  const size_t n = table.rows.size();
+  std::vector<Point> locations(n);
+  Matrix features(n, kEdgapNumFeatures);
+  std::vector<int> act_labels(n);
+  std::vector<int> employment_labels(n);
+  std::vector<int> zips;
+  if (zip_col.ok()) zips.resize(n);
+
+  double min_x = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  for (size_t i = 0; i < n; ++i) {
+    const auto& row = table.rows[i];
+    FAIRIDX_ASSIGN_OR_RETURN(locations[i].x, ParseDouble(row[x_col]));
+    FAIRIDX_ASSIGN_OR_RETURN(locations[i].y, ParseDouble(row[y_col]));
+    min_x = std::min(min_x, locations[i].x);
+    max_x = std::max(max_x, locations[i].x);
+    min_y = std::min(min_y, locations[i].y);
+    max_y = std::max(max_y, locations[i].y);
+    for (int f = 0; f < kEdgapNumFeatures; ++f) {
+      FAIRIDX_ASSIGN_OR_RETURN(
+          features(i, static_cast<size_t>(f)),
+          ParseDouble(row[feature_cols[static_cast<size_t>(f)]]));
+    }
+    FAIRIDX_ASSIGN_OR_RETURN(double act, ParseDouble(row[act_col]));
+    FAIRIDX_ASSIGN_OR_RETURN(double employment,
+                             ParseDouble(row[employment_col]));
+    act_labels[i] = act >= options.act_threshold ? 1 : 0;
+    employment_labels[i] =
+        employment >= options.employment_threshold ? 1 : 0;
+    if (zip_col.ok()) {
+      FAIRIDX_ASSIGN_OR_RETURN(zips[i], ParseInt(row[zip_col.value()]));
+    }
+  }
+
+  const double pad_x = std::max(1e-9, (max_x - min_x) *
+                                          options.extent_padding);
+  const double pad_y = std::max(1e-9, (max_y - min_y) *
+                                          options.extent_padding);
+  const BoundingBox extent{min_x - pad_x, min_y - pad_y, max_x + pad_x,
+                           max_y + pad_y};
+  FAIRIDX_ASSIGN_OR_RETURN(
+      Grid grid, Grid::Create(options.grid_rows, options.grid_cols, extent));
+
+  FAIRIDX_ASSIGN_OR_RETURN(
+      Dataset dataset,
+      Dataset::Create(grid,
+                      std::vector<std::string>(
+                          kEdgapFeatureNames,
+                          kEdgapFeatureNames + kEdgapNumFeatures),
+                      std::move(features), std::move(locations)));
+  FAIRIDX_RETURN_IF_ERROR(
+      dataset.AddTask("ACT", std::move(act_labels)).status());
+  FAIRIDX_RETURN_IF_ERROR(
+      dataset.AddTask("Employment", std::move(employment_labels)).status());
+  if (zip_col.ok()) {
+    FAIRIDX_RETURN_IF_ERROR(dataset.SetZipCodes(std::move(zips)));
+  }
+  return dataset;
+}
+
+Result<Dataset> LoadEdgapCsvFile(const std::string& path,
+                                 const CsvDatasetOptions& options) {
+  FAIRIDX_ASSIGN_OR_RETURN(CsvTable table, ReadCsvFile(path));
+  return LoadEdgapCsv(WriteCsv(table), options);
+}
+
+std::string DatasetToCsv(const Dataset& dataset) {
+  CsvTable table;
+  table.header = {"x", "y"};
+  for (const auto& name : dataset.feature_names()) table.header.push_back(name);
+  for (int t = 0; t < dataset.num_tasks(); ++t) {
+    table.header.push_back("label_" + dataset.task_name(t));
+  }
+  table.header.push_back("neighborhood");
+  if (dataset.has_zip_codes()) table.header.push_back("zip");
+
+  for (size_t i = 0; i < dataset.num_records(); ++i) {
+    std::vector<std::string> row;
+    row.push_back(StrFormat("%.6f", dataset.locations()[i].x));
+    row.push_back(StrFormat("%.6f", dataset.locations()[i].y));
+    for (size_t f = 0; f < dataset.num_features(); ++f) {
+      row.push_back(StrFormat("%.4f", dataset.features()(i, f)));
+    }
+    for (int t = 0; t < dataset.num_tasks(); ++t) {
+      row.push_back(std::to_string(dataset.labels(t)[i]));
+    }
+    row.push_back(std::to_string(dataset.neighborhoods()[i]));
+    if (dataset.has_zip_codes()) {
+      row.push_back(std::to_string(dataset.zip_codes()[i]));
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return WriteCsv(table);
+}
+
+}  // namespace fairidx

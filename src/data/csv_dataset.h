@@ -1,0 +1,52 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Loads an EdGap-style CSV extract into a Dataset, for users who have the
+// paper's real data. Expected columns (header names):
+//
+//   x, y                          -- projected coordinates (any planar unit)
+//   unemployment_pct, college_degree_pct, marriage_pct,
+//   median_income_k, reduced_lunch_pct   -- training features
+//   act_score                     -- average ACT (label indicator, task 0)
+//   employment_hardship_pct       -- family employment % (indicator, task 1)
+//   zip                           -- optional zip-code id
+//
+// The indicator columns are thresholded into labels and, following the
+// paper, are NOT included as training features.
+
+#ifndef FAIRIDX_DATA_CSV_DATASET_H_
+#define FAIRIDX_DATA_CSV_DATASET_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace fairidx {
+
+/// Options controlling CSV dataset loading.
+struct CsvDatasetOptions {
+  int grid_rows = 64;
+  int grid_cols = 64;
+  double act_threshold = 22.0;
+  double employment_threshold = 10.0;
+  /// Padding added around the data's bounding box (fraction of its span),
+  /// so border points do not sit exactly on the grid edge.
+  double extent_padding = 0.01;
+};
+
+/// Parses CSV text into a Dataset (see file comment for the schema).
+Result<Dataset> LoadEdgapCsv(const std::string& csv_text,
+                             const CsvDatasetOptions& options);
+
+/// Reads and parses a CSV file from disk.
+Result<Dataset> LoadEdgapCsvFile(const std::string& path,
+                                 const CsvDatasetOptions& options);
+
+/// Serialises a dataset back to the same CSV schema (useful for exporting
+/// synthetic cities for external analysis).
+std::string DatasetToCsv(const Dataset& dataset);
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_DATA_CSV_DATASET_H_

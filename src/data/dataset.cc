@@ -1,0 +1,163 @@
+#include "data/dataset.h"
+
+#include <map>
+
+namespace fairidx {
+
+Result<Dataset> Dataset::Create(const Grid& grid,
+                                std::vector<std::string> feature_names,
+                                Matrix features,
+                                std::vector<Point> locations) {
+  if (features.rows() != locations.size()) {
+    return InvalidArgumentError(
+        "Dataset::Create: features rows != number of locations");
+  }
+  if (feature_names.size() != features.cols()) {
+    return InvalidArgumentError(
+        "Dataset::Create: feature_names size != feature columns");
+  }
+  return Dataset(grid, std::move(feature_names), std::move(features),
+                 std::move(locations));
+}
+
+Dataset::Dataset(Grid grid, std::vector<std::string> feature_names,
+                 Matrix features, std::vector<Point> locations)
+    : grid_(std::move(grid)),
+      feature_names_(std::move(feature_names)),
+      features_(std::move(features)),
+      locations_(std::move(locations)) {
+  base_cells_.resize(locations_.size());
+  for (size_t i = 0; i < locations_.size(); ++i) {
+    base_cells_[i] = grid_.CellIdOf(locations_[i]);
+  }
+  neighborhoods_ = base_cells_;
+}
+
+Result<int> Dataset::AddTask(std::string name, std::vector<int> labels) {
+  if (labels.size() != num_records()) {
+    return InvalidArgumentError("AddTask: one label per record required");
+  }
+  for (int label : labels) {
+    if (label != 0 && label != 1) {
+      return InvalidArgumentError("AddTask: labels must be 0 or 1");
+    }
+  }
+  task_names_.push_back(std::move(name));
+  task_labels_.push_back(std::move(labels));
+  return num_tasks() - 1;
+}
+
+Status Dataset::SetNeighborhoodsFromCellMap(
+    const std::vector<int>& cell_to_region) {
+  if (cell_to_region.size() != static_cast<size_t>(grid_.num_cells())) {
+    return InvalidArgumentError(
+        "SetNeighborhoodsFromCellMap: map must cover every grid cell");
+  }
+  for (size_t i = 0; i < base_cells_.size(); ++i) {
+    neighborhoods_[i] = cell_to_region[base_cells_[i]];
+  }
+  return Status::Ok();
+}
+
+void Dataset::SetSingleNeighborhood() {
+  for (auto& n : neighborhoods_) n = 0;
+}
+
+Status Dataset::SetNeighborhoods(std::vector<int> neighborhoods) {
+  if (neighborhoods.size() != num_records()) {
+    return InvalidArgumentError(
+        "SetNeighborhoods: one neighborhood per record required");
+  }
+  neighborhoods_ = std::move(neighborhoods);
+  return Status::Ok();
+}
+
+Status Dataset::SetZipCodes(std::vector<int> zip_codes) {
+  if (zip_codes.size() != num_records()) {
+    return InvalidArgumentError("SetZipCodes: one zip per record required");
+  }
+  zip_codes_ = std::move(zip_codes);
+  return Status::Ok();
+}
+
+Result<Matrix> Dataset::DesignMatrix(
+    const DesignMatrixOptions& options,
+    std::vector<std::string>* column_names) const {
+  if (column_names != nullptr) *column_names = feature_names_;
+
+  switch (options.encoding) {
+    case NeighborhoodEncoding::kNumericId: {
+      std::vector<double> column(num_records());
+      for (size_t i = 0; i < num_records(); ++i) {
+        column[i] = static_cast<double>(neighborhoods_[i]);
+      }
+      if (column_names != nullptr) column_names->push_back("neighborhood");
+      return features_.WithColumn(column);
+    }
+    case NeighborhoodEncoding::kOneHot: {
+      // Stable, sorted mapping from distinct ids to indicator columns.
+      std::map<int, size_t> id_to_col;
+      for (int n : neighborhoods_) id_to_col.emplace(n, 0);
+      size_t next = 0;
+      for (auto& [id, col] : id_to_col) col = next++;
+      Matrix out(num_records(), features_.cols() + id_to_col.size());
+      for (size_t r = 0; r < num_records(); ++r) {
+        double* dst = out.MutableRow(r);
+        const double* src = features_.Row(r);
+        for (size_t c = 0; c < features_.cols(); ++c) dst[c] = src[c];
+        dst[features_.cols() + id_to_col[neighborhoods_[r]]] = 1.0;
+      }
+      if (column_names != nullptr) {
+        for (const auto& [id, col] : id_to_col) {
+          column_names->push_back("neighborhood_" + std::to_string(id));
+        }
+      }
+      return out;
+    }
+    case NeighborhoodEncoding::kTargetMean: {
+      if (options.task < 0 || options.task >= num_tasks()) {
+        return InvalidArgumentError(
+            "DesignMatrix: target-mean encoding needs a valid task");
+      }
+      const std::vector<int>& y = task_labels_[options.task];
+      std::map<int, std::pair<double, double>> sums;  // id -> (sum, count)
+      auto accumulate = [&](size_t i) {
+        auto& [sum, count] = sums[neighborhoods_[i]];
+        sum += y[i];
+        count += 1.0;
+      };
+      if (options.encoding_fit_indices.empty()) {
+        for (size_t i = 0; i < num_records(); ++i) accumulate(i);
+      } else {
+        for (size_t i : options.encoding_fit_indices) {
+          if (i >= num_records()) {
+            return OutOfRangeError("DesignMatrix: fit index out of range");
+          }
+          accumulate(i);
+        }
+      }
+      double global_sum = 0.0, global_count = 0.0;
+      for (const auto& [id, sc] : sums) {
+        global_sum += sc.first;
+        global_count += sc.second;
+      }
+      const double global_mean =
+          global_count > 0 ? global_sum / global_count : 0.5;
+      std::vector<double> column(num_records());
+      for (size_t i = 0; i < num_records(); ++i) {
+        auto it = sums.find(neighborhoods_[i]);
+        // Neighborhoods unseen during fitting back off to the global mean.
+        column[i] = (it != sums.end() && it->second.second > 0)
+                        ? it->second.first / it->second.second
+                        : global_mean;
+      }
+      if (column_names != nullptr) {
+        column_names->push_back("neighborhood_target_mean");
+      }
+      return features_.WithColumn(column);
+    }
+  }
+  return InternalError("DesignMatrix: unknown encoding");
+}
+
+}  // namespace fairidx

@@ -1,0 +1,224 @@
+#include "data/edgap_synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+#include "geo/voronoi.h"
+
+namespace fairidx {
+
+const char* const kEdgapFeatureNames[kEdgapNumFeatures] = {
+    "unemployment_pct", "college_degree_pct", "marriage_pct",
+    "median_income_k",  "reduced_lunch_pct",
+};
+
+CityConfig LosAngelesConfig() {
+  CityConfig config;
+  config.name = "LosAngeles";
+  config.num_records = 1153;
+  config.extent = BoundingBox{0.0, 0.0, 70.0, 55.0};
+  config.num_clusters = 8;
+  config.num_disadvantage_bumps = 14;
+  config.num_zip_codes = 38;
+  config.seed = 42;
+  return config;
+}
+
+CityConfig HoustonConfig() {
+  CityConfig config;
+  config.name = "Houston";
+  config.num_records = 966;
+  config.extent = BoundingBox{0.0, 0.0, 62.0, 52.0};
+  config.num_clusters = 6;
+  config.num_disadvantage_bumps = 11;
+  config.num_zip_codes = 32;
+  config.seed = 7;
+  return config;
+}
+
+DisadvantageField::DisadvantageField(const BoundingBox& extent, int num_bumps,
+                                     Rng& rng) {
+  const double diag =
+      std::sqrt(extent.width() * extent.width() +
+                extent.height() * extent.height());
+  bumps_.reserve(static_cast<size_t>(num_bumps));
+  for (int i = 0; i < num_bumps; ++i) {
+    Bump bump;
+    bump.center.x = rng.Uniform(extent.min_x, extent.max_x);
+    bump.center.y = rng.Uniform(extent.min_y, extent.max_y);
+    // Alternate signs so rich and poor pockets coexist; jitter amplitude.
+    const double sign = (i % 2 == 0) ? 1.0 : -1.0;
+    bump.amplitude = sign * rng.Uniform(0.6, 1.4);
+    const double sigma = rng.Uniform(diag * 0.06, diag * 0.18);
+    bump.inv_two_sigma_sq = 1.0 / (2.0 * sigma * sigma);
+    bumps_.push_back(bump);
+  }
+}
+
+double DisadvantageField::Raw(const Point& p) const {
+  double value = 0.0;
+  for (const Bump& bump : bumps_) {
+    value += bump.amplitude *
+             std::exp(-SquaredDistance(p, bump.center) *
+                      bump.inv_two_sigma_sq);
+  }
+  return value;
+}
+
+double DisadvantageField::Normalized(const Point& p) const {
+  // Logistic squash; scale 1.6 keeps typical raw values in the sloped part.
+  return 1.0 / (1.0 + std::exp(-1.6 * Raw(p)));
+}
+
+Result<Dataset> GenerateEdgapCity(const CityConfig& config) {
+  if (config.num_records < 10) {
+    return InvalidArgumentError("GenerateEdgapCity: need >= 10 records");
+  }
+  if (config.num_clusters < 1 || config.num_zip_codes < 1 ||
+      config.num_disadvantage_bumps < 1) {
+    return InvalidArgumentError(
+        "GenerateEdgapCity: clusters, zips, bumps must be positive");
+  }
+  FAIRIDX_ASSIGN_OR_RETURN(
+      Grid grid,
+      Grid::Create(config.grid_rows, config.grid_cols, config.extent));
+
+  Rng rng(config.seed);
+  Rng location_rng = rng.Fork(1);
+  Rng field_rng = rng.Fork(2);
+  Rng feature_rng = rng.Fork(3);
+  Rng zip_rng = rng.Fork(4);
+
+  // --- School locations: clustered point process + uniform background. ---
+  const BoundingBox& extent = config.extent;
+  const double diag = std::sqrt(extent.width() * extent.width() +
+                                extent.height() * extent.height());
+  std::vector<Point> cluster_centers;
+  cluster_centers.reserve(static_cast<size_t>(config.num_clusters));
+  const double margin = 0.08;
+  for (int i = 0; i < config.num_clusters; ++i) {
+    cluster_centers.push_back(Point{
+        location_rng.Uniform(extent.min_x + margin * extent.width(),
+                             extent.max_x - margin * extent.width()),
+        location_rng.Uniform(extent.min_y + margin * extent.height(),
+                             extent.max_y - margin * extent.height())});
+  }
+  // Unequal cluster attraction, like real urban cores.
+  std::vector<double> cluster_weights(cluster_centers.size());
+  double weight_total = 0.0;
+  for (auto& w : cluster_weights) {
+    w = location_rng.Uniform(0.5, 2.0);
+    weight_total += w;
+  }
+
+  const double sigma = config.cluster_stddev_fraction * diag;
+  std::vector<Point> locations;
+  locations.reserve(static_cast<size_t>(config.num_records));
+  for (int i = 0; i < config.num_records; ++i) {
+    Point p;
+    if (location_rng.Bernoulli(config.background_fraction)) {
+      p.x = location_rng.Uniform(extent.min_x, extent.max_x);
+      p.y = location_rng.Uniform(extent.min_y, extent.max_y);
+    } else {
+      double pick = location_rng.Uniform(0.0, weight_total);
+      size_t cluster = 0;
+      while (cluster + 1 < cluster_weights.size() &&
+             pick > cluster_weights[cluster]) {
+        pick -= cluster_weights[cluster];
+        ++cluster;
+      }
+      p.x = location_rng.Gaussian(cluster_centers[cluster].x, sigma);
+      p.y = location_rng.Gaussian(cluster_centers[cluster].y, sigma);
+      p = extent.ClampPoint(p);
+    }
+    locations.push_back(p);
+  }
+
+  // --- Latent disadvantage surface and correlated features. ---
+  DisadvantageField field(extent, config.num_disadvantage_bumps, field_rng);
+  const double noise = config.noise_scale;
+
+  // Rank-normalize the field across this city's records: psi becomes the
+  // record's disadvantage percentile. This keeps label rates stable across
+  // seeds (the raw field's level varies with bump placement) while
+  // preserving the spatial structure, since ranking is monotone.
+  std::vector<double> raw_psi(static_cast<size_t>(config.num_records));
+  for (int i = 0; i < config.num_records; ++i) {
+    raw_psi[static_cast<size_t>(i)] =
+        field.Normalized(locations[static_cast<size_t>(i)]);
+  }
+  std::vector<int> order(static_cast<size_t>(config.num_records));
+  for (int i = 0; i < config.num_records; ++i) order[static_cast<size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (raw_psi[static_cast<size_t>(a)] != raw_psi[static_cast<size_t>(b)]) {
+      return raw_psi[static_cast<size_t>(a)] < raw_psi[static_cast<size_t>(b)];
+    }
+    return a < b;
+  });
+  std::vector<double> psi_rank(static_cast<size_t>(config.num_records));
+  for (int rank = 0; rank < config.num_records; ++rank) {
+    psi_rank[static_cast<size_t>(order[static_cast<size_t>(rank)])] =
+        static_cast<double>(rank) /
+        static_cast<double>(config.num_records - 1);
+  }
+
+  Matrix features(static_cast<size_t>(config.num_records), kEdgapNumFeatures);
+  std::vector<int> act_labels(static_cast<size_t>(config.num_records));
+  std::vector<int> employment_labels(
+      static_cast<size_t>(config.num_records));
+
+  for (int i = 0; i < config.num_records; ++i) {
+    const double psi = psi_rank[static_cast<size_t>(i)];
+    double* row = features.MutableRow(static_cast<size_t>(i));
+    row[0] = Clamp(3.0 + 17.0 * psi + feature_rng.Gaussian(0.0, 1.5 * noise),
+                   0.0, 40.0);  // unemployment_pct
+    row[1] = Clamp(58.0 - 42.0 * psi + feature_rng.Gaussian(0.0, 5.0 * noise),
+                   2.0, 95.0);  // college_degree_pct
+    row[2] = Clamp(62.0 - 26.0 * psi + feature_rng.Gaussian(0.0, 5.0 * noise),
+                   5.0, 95.0);  // marriage_pct
+    row[3] = Clamp(98.0 - 62.0 * psi + feature_rng.Gaussian(0.0, 8.0 * noise),
+                   15.0, 250.0);  // median_income_k (thousands USD)
+    row[4] = Clamp(8.0 + 72.0 * psi + feature_rng.Gaussian(0.0, 8.0 * noise),
+                   0.0, 100.0);  // reduced_lunch_pct
+
+    // Classification indicators (not used as features, per the paper):
+    // average ACT and family-employment hardship percentage.
+    const double act =
+        Clamp(25.5 - 6.5 * psi + feature_rng.Gaussian(0.0, 1.8 * noise),
+              10.0, 36.0);
+    const double employment_hardship =
+        Clamp(5.0 + 12.0 * psi + feature_rng.Gaussian(0.0, 2.0 * noise), 0.0,
+              40.0);
+    act_labels[static_cast<size_t>(i)] = act >= config.act_threshold ? 1 : 0;
+    employment_labels[static_cast<size_t>(i)] =
+        employment_hardship >= config.employment_threshold ? 1 : 0;
+  }
+
+  FAIRIDX_ASSIGN_OR_RETURN(
+      Dataset dataset,
+      Dataset::Create(grid,
+                      std::vector<std::string>(
+                          kEdgapFeatureNames,
+                          kEdgapFeatureNames + kEdgapNumFeatures),
+                      std::move(features), std::move(locations)));
+  FAIRIDX_RETURN_IF_ERROR(
+      dataset.AddTask("ACT", std::move(act_labels)).status());
+  FAIRIDX_RETURN_IF_ERROR(
+      dataset.AddTask("Employment", std::move(employment_labels)).status());
+
+  // --- Synthetic zip codes: Voronoi around population-weighted centers. ---
+  std::vector<Point> zip_centers;
+  zip_centers.reserve(static_cast<size_t>(config.num_zip_codes));
+  const std::vector<size_t> seeds = zip_rng.SampleWithoutReplacement(
+      dataset.num_records(), static_cast<size_t>(config.num_zip_codes));
+  for (size_t idx : seeds) zip_centers.push_back(dataset.locations()[idx]);
+  FAIRIDX_ASSIGN_OR_RETURN(
+      std::vector<int> zips,
+      VoronoiPointAssignment(dataset.locations(), zip_centers));
+  FAIRIDX_RETURN_IF_ERROR(dataset.SetZipCodes(std::move(zips)));
+
+  return dataset;
+}
+
+}  // namespace fairidx

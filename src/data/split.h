@@ -1,0 +1,34 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Seeded train/test splits (plain and label-stratified).
+
+#ifndef FAIRIDX_DATA_SPLIT_H_
+#define FAIRIDX_DATA_SPLIT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace fairidx {
+
+/// Disjoint index sets covering [0, n).
+struct TrainTestSplit {
+  std::vector<size_t> train_indices;
+  std::vector<size_t> test_indices;
+};
+
+/// Uniformly random split; `test_fraction` in (0, 1). Both sides non-empty
+/// for n >= 2.
+Result<TrainTestSplit> MakeTrainTestSplit(size_t n, double test_fraction,
+                                          Rng& rng);
+
+/// Split preserving the positive/negative ratio of `labels` on both sides.
+Result<TrainTestSplit> MakeStratifiedSplit(const std::vector<int>& labels,
+                                           double test_fraction, Rng& rng);
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_DATA_SPLIT_H_

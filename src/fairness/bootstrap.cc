@@ -1,0 +1,115 @@
+#include "fairness/bootstrap.h"
+
+#include <algorithm>
+
+#include "fairness/ence.h"
+
+namespace fairidx {
+namespace {
+
+ConfidenceInterval IntervalFromSamples(double point,
+                                       std::vector<double> samples,
+                                       double confidence) {
+  std::sort(samples.begin(), samples.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  const size_t n = samples.size();
+  const size_t lower_index =
+      std::min(n - 1, static_cast<size_t>(alpha * (n - 1)));
+  const size_t upper_index =
+      std::min(n - 1, static_cast<size_t>((1.0 - alpha) * (n - 1)));
+  ConfidenceInterval interval;
+  interval.point = point;
+  interval.lower = samples[lower_index];
+  interval.upper = samples[upper_index];
+  return interval;
+}
+
+Status ValidateBootstrapOptions(const BootstrapOptions& options) {
+  if (options.replicates < 10) {
+    return InvalidArgumentError("bootstrap: replicates must be >= 10");
+  }
+  if (options.confidence <= 0.0 || options.confidence >= 1.0) {
+    return InvalidArgumentError("bootstrap: confidence must be in (0,1)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<ConfidenceInterval> BootstrapEnce(
+    const std::vector<double>& scores, const std::vector<int>& labels,
+    const std::vector<int>& neighborhoods, const BootstrapOptions& options) {
+  FAIRIDX_RETURN_IF_ERROR(ValidateBootstrapOptions(options));
+  FAIRIDX_ASSIGN_OR_RETURN(double point,
+                           Ence(scores, labels, neighborhoods));
+  const size_t n = scores.size();
+  Rng rng(options.seed);
+
+  std::vector<double> resampled_scores(n);
+  std::vector<int> resampled_labels(n);
+  std::vector<int> resampled_neighborhoods(n);
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(options.replicates));
+  for (int replicate = 0; replicate < options.replicates; ++replicate) {
+    for (size_t i = 0; i < n; ++i) {
+      const size_t pick = static_cast<size_t>(rng.NextBounded(n));
+      resampled_scores[i] = scores[pick];
+      resampled_labels[i] = labels[pick];
+      resampled_neighborhoods[i] = neighborhoods[pick];
+    }
+    FAIRIDX_ASSIGN_OR_RETURN(
+        double value,
+        Ence(resampled_scores, resampled_labels, resampled_neighborhoods));
+    samples.push_back(value);
+  }
+  return IntervalFromSamples(point, std::move(samples), options.confidence);
+}
+
+Result<ConfidenceInterval> BootstrapEnceDifference(
+    const std::vector<double>& scores_a, const std::vector<double>& scores_b,
+    const std::vector<int>& labels, const std::vector<int>& neighborhoods_a,
+    const std::vector<int>& neighborhoods_b,
+    const BootstrapOptions& options) {
+  FAIRIDX_RETURN_IF_ERROR(ValidateBootstrapOptions(options));
+  if (scores_a.size() != scores_b.size() ||
+      scores_a.size() != labels.size() ||
+      scores_a.size() != neighborhoods_a.size() ||
+      scores_a.size() != neighborhoods_b.size()) {
+    return InvalidArgumentError("bootstrap: input size mismatch");
+  }
+  FAIRIDX_ASSIGN_OR_RETURN(double point_a,
+                           Ence(scores_a, labels, neighborhoods_a));
+  FAIRIDX_ASSIGN_OR_RETURN(double point_b,
+                           Ence(scores_b, labels, neighborhoods_b));
+  const size_t n = labels.size();
+  Rng rng(options.seed);
+
+  std::vector<double> sample_scores_a(n);
+  std::vector<double> sample_scores_b(n);
+  std::vector<int> sample_labels(n);
+  std::vector<int> sample_neighborhoods_a(n);
+  std::vector<int> sample_neighborhoods_b(n);
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(options.replicates));
+  for (int replicate = 0; replicate < options.replicates; ++replicate) {
+    for (size_t i = 0; i < n; ++i) {
+      const size_t pick = static_cast<size_t>(rng.NextBounded(n));
+      sample_scores_a[i] = scores_a[pick];
+      sample_scores_b[i] = scores_b[pick];
+      sample_labels[i] = labels[pick];
+      sample_neighborhoods_a[i] = neighborhoods_a[pick];
+      sample_neighborhoods_b[i] = neighborhoods_b[pick];
+    }
+    FAIRIDX_ASSIGN_OR_RETURN(
+        double value_a,
+        Ence(sample_scores_a, sample_labels, sample_neighborhoods_a));
+    FAIRIDX_ASSIGN_OR_RETURN(
+        double value_b,
+        Ence(sample_scores_b, sample_labels, sample_neighborhoods_b));
+    samples.push_back(value_a - value_b);
+  }
+  return IntervalFromSamples(point_a - point_b, std::move(samples),
+                             options.confidence);
+}
+
+}  // namespace fairidx

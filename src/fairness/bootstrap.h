@@ -1,0 +1,50 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Bootstrap confidence intervals for ENCE and for paired ENCE differences
+// between two score sets over the same records. EXPERIMENTS.md uses these
+// to state that the fair trees' improvements are not split noise.
+
+#ifndef FAIRIDX_FAIRNESS_BOOTSTRAP_H_
+#define FAIRIDX_FAIRNESS_BOOTSTRAP_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace fairidx {
+
+/// A two-sided percentile confidence interval.
+struct ConfidenceInterval {
+  double point = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// Options for bootstrap estimation.
+struct BootstrapOptions {
+  int replicates = 1000;
+  /// Two-sided coverage (0.95 -> 2.5 / 97.5 percentiles).
+  double confidence = 0.95;
+  uint64_t seed = 17;
+};
+
+/// Percentile-bootstrap CI for ENCE over (scores, labels, neighborhoods):
+/// records are resampled with replacement.
+Result<ConfidenceInterval> BootstrapEnce(
+    const std::vector<double>& scores, const std::vector<int>& labels,
+    const std::vector<int>& neighborhoods, const BootstrapOptions& options);
+
+/// Paired CI for ENCE(scores_a) - ENCE(scores_b): both metrics are
+/// evaluated on the same resampled records, so shared sampling noise
+/// cancels. A CI entirely below 0 means `a` is significantly fairer.
+Result<ConfidenceInterval> BootstrapEnceDifference(
+    const std::vector<double>& scores_a, const std::vector<double>& scores_b,
+    const std::vector<int>& labels, const std::vector<int>& neighborhoods_a,
+    const std::vector<int>& neighborhoods_b,
+    const BootstrapOptions& options);
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_FAIRNESS_BOOTSTRAP_H_

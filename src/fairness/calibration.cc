@@ -1,0 +1,80 @@
+#include "fairness/calibration.h"
+
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace fairidx {
+
+double CalibrationStats::AbsMiscalibration() const {
+  return std::abs(mean_score - mean_label);
+}
+
+double CalibrationStats::RatioCalibration() const {
+  if (mean_label == 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return mean_score / mean_label;
+}
+
+Result<CalibrationStats> ComputeCalibration(
+    const std::vector<double>& scores, const std::vector<int>& labels) {
+  if (scores.size() != labels.size()) {
+    return InvalidArgumentError("calibration: scores/labels size mismatch");
+  }
+  if (scores.empty()) return InvalidArgumentError("calibration: empty input");
+  CalibrationStats stats;
+  stats.count = static_cast<double>(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    stats.mean_score += scores[i];
+    stats.mean_label += labels[i];
+  }
+  stats.mean_score /= stats.count;
+  stats.mean_label /= stats.count;
+  return stats;
+}
+
+Result<CalibrationStats> ComputeCalibrationSubset(
+    const std::vector<double>& scores, const std::vector<int>& labels,
+    const std::vector<size_t>& indices) {
+  if (scores.size() != labels.size()) {
+    return InvalidArgumentError("calibration: scores/labels size mismatch");
+  }
+  CalibrationStats stats;
+  for (size_t i : indices) {
+    if (i >= scores.size()) {
+      return OutOfRangeError("calibration: subset index out of range");
+    }
+    stats.count += 1.0;
+    stats.mean_score += scores[i];
+    stats.mean_label += labels[i];
+  }
+  if (stats.count > 0.0) {
+    stats.mean_score /= stats.count;
+    stats.mean_label /= stats.count;
+  }
+  return stats;
+}
+
+Result<std::vector<GroupCalibration>> ComputeGroupCalibrations(
+    const std::vector<double>& scores, const std::vector<int>& labels,
+    const std::vector<int>& groups) {
+  if (scores.size() != labels.size() || scores.size() != groups.size()) {
+    return InvalidArgumentError("calibration: input size mismatch");
+  }
+  std::map<int, CalibrationStats> by_group;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    CalibrationStats& stats = by_group[groups[i]];
+    stats.count += 1.0;
+    stats.mean_score += scores[i];
+    stats.mean_label += labels[i];
+  }
+  std::vector<GroupCalibration> out;
+  out.reserve(by_group.size());
+  for (auto& [group, stats] : by_group) {
+    stats.mean_score /= stats.count;
+    stats.mean_label /= stats.count;
+    out.push_back(GroupCalibration{group, stats});
+  }
+  return out;
+}
+
+}  // namespace fairidx

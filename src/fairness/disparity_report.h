@@ -1,0 +1,52 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Per-group disparity reports reproducing the paper's Figure 6: for the
+// top-k most populated groups (zip codes), the calibration ratio e/o and the
+// per-group ECE, alongside the near-perfect overall calibration that makes
+// the per-group disparity surprising.
+
+#ifndef FAIRIDX_FAIRNESS_DISPARITY_REPORT_H_
+#define FAIRIDX_FAIRNESS_DISPARITY_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/table_printer.h"
+#include "fairness/calibration.h"
+
+namespace fairidx {
+
+/// One group's row in the disparity report.
+struct DisparityRow {
+  int group = 0;
+  double population = 0.0;
+  /// e/o ratio calibration; NaN when the group has no positives.
+  double ratio_calibration = 0.0;
+  double abs_miscalibration = 0.0;
+  /// ECE within the group (`ece_bins` bins).
+  double ece = 0.0;
+};
+
+/// Figure-6-style report over one model's scores.
+struct DisparityReport {
+  /// Rows for the top-k most populated groups, ordered by population
+  /// (descending, group id as tie-break).
+  std::vector<DisparityRow> rows;
+  /// Overall calibration over all records (not just the top-k groups).
+  CalibrationStats overall;
+};
+
+/// Builds the report; `groups` uses arbitrary integer ids (zip codes).
+Result<DisparityReport> BuildDisparityReport(
+    const std::vector<double>& scores, const std::vector<int>& labels,
+    const std::vector<int>& groups, int top_k = 10, int ece_bins = 15);
+
+/// Renders rows as an aligned table ("N1".."Nk" naming, as in Fig. 6).
+TablePrinter DisparityReportTable(const DisparityReport& report,
+                                  int precision = 4);
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_FAIRNESS_DISPARITY_REPORT_H_

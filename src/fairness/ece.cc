@@ -1,0 +1,85 @@
+#include "fairness/ece.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairidx {
+namespace {
+
+Status ValidateEceInputs(const std::vector<double>& scores,
+                         const std::vector<int>& labels, int num_bins) {
+  if (scores.size() != labels.size()) {
+    return InvalidArgumentError("ECE: scores/labels size mismatch");
+  }
+  if (num_bins <= 0) return InvalidArgumentError("ECE: num_bins must be > 0");
+  return Status::Ok();
+}
+
+// Bin index for a score; score 1.0 lands in the last bin.
+size_t BinOf(double score, int num_bins) {
+  const double clamped = std::clamp(score, 0.0, 1.0);
+  size_t bin = static_cast<size_t>(clamped * num_bins);
+  if (bin >= static_cast<size_t>(num_bins)) bin = num_bins - 1;
+  return bin;
+}
+
+}  // namespace
+
+Result<std::vector<EceBin>> EceBins(const std::vector<double>& scores,
+                                    const std::vector<int>& labels,
+                                    int num_bins) {
+  FAIRIDX_RETURN_IF_ERROR(ValidateEceInputs(scores, labels, num_bins));
+  std::vector<EceBin> bins(static_cast<size_t>(num_bins));
+  for (int b = 0; b < num_bins; ++b) {
+    bins[b].lower = static_cast<double>(b) / num_bins;
+    bins[b].upper = static_cast<double>(b + 1) / num_bins;
+  }
+  for (size_t i = 0; i < scores.size(); ++i) {
+    EceBin& bin = bins[BinOf(scores[i], num_bins)];
+    bin.count += 1.0;
+    bin.mean_score += scores[i];
+    bin.mean_label += labels[i];
+  }
+  for (EceBin& bin : bins) {
+    if (bin.count > 0.0) {
+      bin.mean_score /= bin.count;
+      bin.mean_label /= bin.count;
+    }
+  }
+  return bins;
+}
+
+Result<double> ExpectedCalibrationError(const std::vector<double>& scores,
+                                        const std::vector<int>& labels,
+                                        int num_bins) {
+  if (scores.empty()) return InvalidArgumentError("ECE: empty input");
+  FAIRIDX_ASSIGN_OR_RETURN(std::vector<EceBin> bins,
+                           EceBins(scores, labels, num_bins));
+  const double n = static_cast<double>(scores.size());
+  double ece = 0.0;
+  for (const EceBin& bin : bins) {
+    if (bin.count == 0.0) continue;
+    ece += (bin.count / n) * std::abs(bin.mean_label - bin.mean_score);
+  }
+  return ece;
+}
+
+Result<double> ExpectedCalibrationErrorSubset(
+    const std::vector<double>& scores, const std::vector<int>& labels,
+    const std::vector<size_t>& indices, int num_bins) {
+  if (indices.empty()) return InvalidArgumentError("ECE: empty subset");
+  std::vector<double> subset_scores;
+  std::vector<int> subset_labels;
+  subset_scores.reserve(indices.size());
+  subset_labels.reserve(indices.size());
+  for (size_t i : indices) {
+    if (i >= scores.size()) {
+      return OutOfRangeError("ECE: subset index out of range");
+    }
+    subset_scores.push_back(scores[i]);
+    subset_labels.push_back(labels[i]);
+  }
+  return ExpectedCalibrationError(subset_scores, subset_labels, num_bins);
+}
+
+}  // namespace fairidx

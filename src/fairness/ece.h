@@ -1,0 +1,43 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Expected Calibration Error (Appendix A.1): scores are bucketed into M
+// equal-width bins over [0, 1] and per-bin |o(B) - e(B)| is averaged with
+// bin-population weights.
+
+#ifndef FAIRIDX_FAIRNESS_ECE_H_
+#define FAIRIDX_FAIRNESS_ECE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fairidx {
+
+/// ECE over all records with `num_bins` equal-width score bins (the paper
+/// uses 15). Empty bins contribute nothing.
+Result<double> ExpectedCalibrationError(const std::vector<double>& scores,
+                                        const std::vector<int>& labels,
+                                        int num_bins = 15);
+
+/// ECE restricted to `indices` (e.g. one neighborhood), as in Fig. 6(b)(d).
+Result<double> ExpectedCalibrationErrorSubset(
+    const std::vector<double>& scores, const std::vector<int>& labels,
+    const std::vector<size_t>& indices, int num_bins = 15);
+
+/// Per-bin detail for diagnostics and tests.
+struct EceBin {
+  double lower = 0.0;
+  double upper = 0.0;
+  double count = 0.0;
+  double mean_score = 0.0;
+  double mean_label = 0.0;
+};
+Result<std::vector<EceBin>> EceBins(const std::vector<double>& scores,
+                                    const std::vector<int>& labels,
+                                    int num_bins = 15);
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_FAIRNESS_ECE_H_

@@ -1,0 +1,63 @@
+#include "fairness/ence.h"
+
+namespace fairidx {
+
+Result<std::vector<NeighborhoodCalibration>> EnceBreakdown(
+    const std::vector<double>& scores, const std::vector<int>& labels,
+    const std::vector<int>& neighborhoods) {
+  if (scores.size() != labels.size() ||
+      scores.size() != neighborhoods.size()) {
+    return InvalidArgumentError("ENCE: input size mismatch");
+  }
+  if (scores.empty()) return InvalidArgumentError("ENCE: empty input");
+  FAIRIDX_ASSIGN_OR_RETURN(
+      std::vector<GroupCalibration> groups,
+      ComputeGroupCalibrations(scores, labels, neighborhoods));
+  const double n = static_cast<double>(scores.size());
+  std::vector<NeighborhoodCalibration> out;
+  out.reserve(groups.size());
+  for (const GroupCalibration& group : groups) {
+    NeighborhoodCalibration item;
+    item.neighborhood = group.group;
+    item.stats = group.stats;
+    item.weight = group.stats.count / n;
+    out.push_back(item);
+  }
+  return out;
+}
+
+Result<double> Ence(const std::vector<double>& scores,
+                    const std::vector<int>& labels,
+                    const std::vector<int>& neighborhoods) {
+  FAIRIDX_ASSIGN_OR_RETURN(std::vector<NeighborhoodCalibration> breakdown,
+                           EnceBreakdown(scores, labels, neighborhoods));
+  double ence = 0.0;
+  for (const NeighborhoodCalibration& item : breakdown) {
+    ence += item.weight * item.stats.AbsMiscalibration();
+  }
+  return ence;
+}
+
+Result<double> EnceSubset(const std::vector<double>& scores,
+                          const std::vector<int>& labels,
+                          const std::vector<int>& neighborhoods,
+                          const std::vector<size_t>& indices) {
+  if (indices.empty()) return InvalidArgumentError("ENCE: empty subset");
+  std::vector<double> subset_scores;
+  std::vector<int> subset_labels;
+  std::vector<int> subset_neighborhoods;
+  subset_scores.reserve(indices.size());
+  subset_labels.reserve(indices.size());
+  subset_neighborhoods.reserve(indices.size());
+  for (size_t i : indices) {
+    if (i >= scores.size()) {
+      return OutOfRangeError("ENCE: subset index out of range");
+    }
+    subset_scores.push_back(scores[i]);
+    subset_labels.push_back(labels[i]);
+    subset_neighborhoods.push_back(neighborhoods[i]);
+  }
+  return Ence(subset_scores, subset_labels, subset_neighborhoods);
+}
+
+}  // namespace fairidx

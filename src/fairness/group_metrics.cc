@@ -1,0 +1,106 @@
+#include "fairness/group_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace fairidx {
+namespace {
+
+struct GroupCounts {
+  double total = 0.0;
+  double decided_positive = 0.0;
+  double actual_positive = 0.0;
+  double true_positive = 0.0;
+  double false_positive = 0.0;
+};
+
+}  // namespace
+
+Result<GroupFairnessReport> ComputeGroupFairness(
+    const std::vector<double>& scores, const std::vector<int>& labels,
+    const std::vector<int>& neighborhoods, double threshold,
+    int min_group_size) {
+  if (scores.size() != labels.size() ||
+      scores.size() != neighborhoods.size()) {
+    return InvalidArgumentError("group metrics: input size mismatch");
+  }
+  if (scores.empty()) {
+    return InvalidArgumentError("group metrics: empty input");
+  }
+  if (min_group_size < 1) {
+    return InvalidArgumentError("group metrics: min_group_size must be >=1");
+  }
+
+  std::map<int, GroupCounts> by_group;
+  double overall_positive_rate = 0.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    GroupCounts& counts = by_group[neighborhoods[i]];
+    const bool decided = scores[i] >= threshold;
+    counts.total += 1.0;
+    counts.decided_positive += decided ? 1.0 : 0.0;
+    counts.actual_positive += labels[i];
+    if (labels[i] == 1 && decided) counts.true_positive += 1.0;
+    if (labels[i] == 0 && decided) counts.false_positive += 1.0;
+    overall_positive_rate += decided ? 1.0 : 0.0;
+  }
+  overall_positive_rate /= static_cast<double>(scores.size());
+
+  GroupFairnessReport report;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  double min_positive_rate = std::numeric_limits<double>::infinity();
+  double max_positive_rate = -min_positive_rate;
+  double min_tpr = min_positive_rate;
+  double max_tpr = -min_positive_rate;
+  double min_fpr = min_positive_rate;
+  double max_fpr = -min_positive_rate;
+  bool any_qualifying = false;
+  bool any_tpr = false;
+  bool any_fpr = false;
+  double weighted_deviation = 0.0;
+
+  for (const auto& [group, counts] : by_group) {
+    GroupRates rates;
+    rates.group = group;
+    rates.count = counts.total;
+    rates.positive_rate = counts.decided_positive / counts.total;
+    const double negatives = counts.total - counts.actual_positive;
+    rates.true_positive_rate =
+        counts.actual_positive > 0
+            ? counts.true_positive / counts.actual_positive
+            : nan;
+    rates.false_positive_rate =
+        negatives > 0 ? counts.false_positive / negatives : nan;
+    report.groups.push_back(rates);
+
+    weighted_deviation +=
+        (counts.total / static_cast<double>(scores.size())) *
+        std::abs(rates.positive_rate - overall_positive_rate);
+
+    if (counts.total < min_group_size) continue;
+    any_qualifying = true;
+    min_positive_rate = std::min(min_positive_rate, rates.positive_rate);
+    max_positive_rate = std::max(max_positive_rate, rates.positive_rate);
+    if (!std::isnan(rates.true_positive_rate)) {
+      any_tpr = true;
+      min_tpr = std::min(min_tpr, rates.true_positive_rate);
+      max_tpr = std::max(max_tpr, rates.true_positive_rate);
+    }
+    if (!std::isnan(rates.false_positive_rate)) {
+      any_fpr = true;
+      min_fpr = std::min(min_fpr, rates.false_positive_rate);
+      max_fpr = std::max(max_fpr, rates.false_positive_rate);
+    }
+  }
+
+  report.statistical_parity_gap =
+      any_qualifying ? max_positive_rate - min_positive_rate : 0.0;
+  const double tpr_gap = any_tpr ? max_tpr - min_tpr : 0.0;
+  const double fpr_gap = any_fpr ? max_fpr - min_fpr : 0.0;
+  report.equalized_odds_gap = std::max(tpr_gap, fpr_gap);
+  report.weighted_parity_deviation = weighted_deviation;
+  return report;
+}
+
+}  // namespace fairidx

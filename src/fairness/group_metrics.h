@@ -1,0 +1,54 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Additional group-fairness notions from the paper's related work
+// (Section 3): statistical parity and equalized odds, evaluated across
+// spatial neighborhoods. fairidx optimises calibration (ENCE); these
+// metrics let users audit the same partitions under other definitions of
+// group fairness.
+
+#ifndef FAIRIDX_FAIRNESS_GROUP_METRICS_H_
+#define FAIRIDX_FAIRNESS_GROUP_METRICS_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace fairidx {
+
+/// Per-neighborhood decision-rate statistics at a threshold.
+struct GroupRates {
+  int group = 0;
+  double count = 0.0;
+  /// P(decision = 1 | group): the statistical-parity quantity.
+  double positive_rate = 0.0;
+  /// P(decision = 1 | y = 1, group); NaN if the group has no positives.
+  double true_positive_rate = 0.0;
+  /// P(decision = 1 | y = 0, group); NaN if the group has no negatives.
+  double false_positive_rate = 0.0;
+};
+
+/// Summary gaps across neighborhoods (max - min over groups with defined
+/// rates). Smaller is fairer; 0 is parity.
+struct GroupFairnessReport {
+  std::vector<GroupRates> groups;  // Sorted by group id.
+  /// Statistical parity: spread of positive decision rates.
+  double statistical_parity_gap = 0.0;
+  /// Equalized odds: max of the TPR spread and FPR spread.
+  double equalized_odds_gap = 0.0;
+  /// Population-weighted mean absolute deviation of positive rates from
+  /// the overall rate (a size-robust parity measure).
+  double weighted_parity_deviation = 0.0;
+};
+
+/// Computes per-neighborhood rates and summary gaps. Groups with fewer
+/// than `min_group_size` records are excluded from the gap computations
+/// (tiny groups make max-min gaps meaningless) but still listed.
+Result<GroupFairnessReport> ComputeGroupFairness(
+    const std::vector<double>& scores, const std::vector<int>& labels,
+    const std::vector<int>& neighborhoods, double threshold = 0.5,
+    int min_group_size = 10);
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_FAIRNESS_GROUP_METRICS_H_

@@ -1,0 +1,108 @@
+#include "fairness/posthoc_calibration.h"
+
+#include <algorithm>
+
+namespace fairidx {
+namespace {
+
+struct GroupData {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  double score_sum = 0.0;
+  double label_sum = 0.0;
+};
+
+}  // namespace
+
+Result<NeighborhoodRecalibrator> NeighborhoodRecalibrator::Fit(
+    const std::vector<double>& scores, const std::vector<int>& labels,
+    const std::vector<int>& neighborhoods,
+    const std::vector<size_t>& fit_indices, const PosthocOptions& options) {
+  if (scores.size() != labels.size() ||
+      scores.size() != neighborhoods.size()) {
+    return InvalidArgumentError("posthoc: input size mismatch");
+  }
+  if (fit_indices.empty()) {
+    return InvalidArgumentError("posthoc: empty fit set");
+  }
+  if (options.min_group_size < 1) {
+    return InvalidArgumentError("posthoc: min_group_size must be >= 1");
+  }
+
+  NeighborhoodRecalibrator recalibrator;
+  recalibrator.options_ = options;
+
+  std::map<int, GroupData> groups;
+  GroupData global;
+  for (size_t i : fit_indices) {
+    if (i >= scores.size()) {
+      return OutOfRangeError("posthoc: fit index out of range");
+    }
+    GroupData& group = groups[neighborhoods[i]];
+    group.scores.push_back(scores[i]);
+    group.labels.push_back(labels[i]);
+    group.score_sum += scores[i];
+    group.label_sum += labels[i];
+    global.scores.push_back(scores[i]);
+    global.labels.push_back(labels[i]);
+    global.score_sum += scores[i];
+    global.label_sum += labels[i];
+  }
+
+  recalibrator.global_shift_ =
+      (global.label_sum - global.score_sum) /
+      static_cast<double>(global.scores.size());
+  if (options.method == PosthocMethod::kPlatt) {
+    recalibrator.global_platt_ok_ =
+        recalibrator.global_platt_.Fit(global.scores, global.labels).ok();
+  }
+
+  for (const auto& [neighborhood, group] : groups) {
+    if (static_cast<int>(group.scores.size()) < options.min_group_size) {
+      continue;  // Falls back to the global map.
+    }
+    const double shift =
+        (group.label_sum - group.score_sum) /
+        static_cast<double>(group.scores.size());
+    if (options.method == PosthocMethod::kShift) {
+      recalibrator.shifts_[neighborhood] = shift;
+      continue;
+    }
+    // Platt needs both classes; degenerate groups fall back to shift.
+    PlattScaler scaler;
+    if (scaler.Fit(group.scores, group.labels).ok()) {
+      recalibrator.platts_[neighborhood] = scaler;
+    } else {
+      recalibrator.shifts_[neighborhood] = shift;
+    }
+  }
+  return recalibrator;
+}
+
+std::vector<double> NeighborhoodRecalibrator::Transform(
+    const std::vector<double>& scores,
+    const std::vector<int>& neighborhoods) const {
+  std::vector<double> out(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const int neighborhood = neighborhoods[i];
+    const auto platt_it = platts_.find(neighborhood);
+    if (platt_it != platts_.end()) {
+      out[i] = platt_it->second.Transform(scores[i]);
+      continue;
+    }
+    const auto shift_it = shifts_.find(neighborhood);
+    if (shift_it != shifts_.end()) {
+      out[i] = std::clamp(scores[i] + shift_it->second, 0.0, 1.0);
+      continue;
+    }
+    // Global fallback.
+    if (options_.method == PosthocMethod::kPlatt && global_platt_ok_) {
+      out[i] = global_platt_.Transform(scores[i]);
+    } else {
+      out[i] = std::clamp(scores[i] + global_shift_, 0.0, 1.0);
+    }
+  }
+  return out;
+}
+
+}  // namespace fairidx

@@ -1,0 +1,72 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Post-processing mitigation: per-neighborhood score recalibration. The
+// paper's related work (Section 3) places post-processing alongside the
+// indexing-time approach; this module provides the comparator used in
+// bench_ablation_mitigation. Two recalibration maps are supported:
+//
+//  * kShift — adds the neighborhood's training calibration gap (o - e) to
+//    each score; zeroes per-neighborhood training miscalibration exactly.
+//  * kPlatt — per-neighborhood Platt scaling (falls back to shift when a
+//    neighborhood lacks both classes).
+//
+// Both fit on training records only and apply to all records.
+
+#ifndef FAIRIDX_FAIRNESS_POSTHOC_CALIBRATION_H_
+#define FAIRIDX_FAIRNESS_POSTHOC_CALIBRATION_H_
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/platt.h"
+
+namespace fairidx {
+
+/// Recalibration map family.
+enum class PosthocMethod {
+  kShift,
+  kPlatt,
+};
+
+/// Options for per-neighborhood recalibration.
+struct PosthocOptions {
+  PosthocMethod method = PosthocMethod::kShift;
+  /// Neighborhoods with fewer training records fall back to the global
+  /// recalibration map.
+  int min_group_size = 5;
+};
+
+/// Fitted per-neighborhood recalibrator.
+class NeighborhoodRecalibrator {
+ public:
+  /// Fits per-neighborhood maps on the training subset (`fit_indices`) of
+  /// (scores, labels, neighborhoods).
+  static Result<NeighborhoodRecalibrator> Fit(
+      const std::vector<double>& scores, const std::vector<int>& labels,
+      const std::vector<int>& neighborhoods,
+      const std::vector<size_t>& fit_indices, const PosthocOptions& options);
+
+  /// Recalibrates scores (any records; unknown neighborhoods use the
+  /// global map). Output clamped to [0, 1].
+  std::vector<double> Transform(const std::vector<double>& scores,
+                                const std::vector<int>& neighborhoods) const;
+
+  /// Number of neighborhoods with their own (non-fallback) map.
+  int num_group_maps() const { return static_cast<int>(shifts_.size() +
+                                                       platts_.size()); }
+
+ private:
+  PosthocOptions options_;
+  double global_shift_ = 0.0;
+  PlattScaler global_platt_;
+  bool global_platt_ok_ = false;
+  std::map<int, double> shifts_;
+  std::map<int, PlattScaler> platts_;
+};
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_FAIRNESS_POSTHOC_CALIBRATION_H_

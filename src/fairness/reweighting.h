@@ -1,0 +1,38 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Kamiran & Calders pre-processing reweighting, the paper's "Grid
+// (Reweighting)" baseline (as deployed in geospatial fairness tools such as
+// IBM AI Fairness 360). Each (group g, label y) pair receives weight
+//
+//   w(g, y) = P(g) * P(y) / P(g, y)
+//
+// which makes group and label statistically independent in the weighted
+// training distribution.
+
+#ifndef FAIRIDX_FAIRNESS_REWEIGHTING_H_
+#define FAIRIDX_FAIRNESS_REWEIGHTING_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace fairidx {
+
+/// Per-record Kamiran-Calders weights for `groups` (arbitrary integer ids)
+/// and binary `labels`. Sizes must match and be non-empty. Records in empty
+/// (g, y) cells cannot occur by construction; every returned weight is
+/// strictly positive.
+Result<std::vector<double>> ComputeReweightingWeights(
+    const std::vector<int>& groups, const std::vector<int>& labels);
+
+/// Same, but only records listed in `fit_indices` contribute to (and
+/// receive) weights; other positions get weight 1. Useful when weighting
+/// training folds only.
+Result<std::vector<double>> ComputeReweightingWeightsSubset(
+    const std::vector<int>& groups, const std::vector<int>& labels,
+    const std::vector<size_t>& fit_indices);
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_FAIRNESS_REWEIGHTING_H_

@@ -1,0 +1,119 @@
+#include "geo/grid_aggregates.h"
+
+namespace fairidx {
+
+RegionAggregate& RegionAggregate::operator+=(const RegionAggregate& other) {
+  count += other.count;
+  sum_labels += other.sum_labels;
+  sum_scores += other.sum_scores;
+  sum_residuals += other.sum_residuals;
+  sum_cell_abs_miscalibration += other.sum_cell_abs_miscalibration;
+  return *this;
+}
+
+GridAggregates::GridAggregates(int rows, int cols)
+    : rows_(rows),
+      cols_(cols),
+      count_prefix_(static_cast<size_t>(rows + 1) * (cols + 1), 0.0),
+      label_prefix_(static_cast<size_t>(rows + 1) * (cols + 1), 0.0),
+      score_prefix_(static_cast<size_t>(rows + 1) * (cols + 1), 0.0),
+      residual_prefix_(static_cast<size_t>(rows + 1) * (cols + 1), 0.0),
+      cell_abs_prefix_(static_cast<size_t>(rows + 1) * (cols + 1), 0.0) {}
+
+Result<GridAggregates> GridAggregates::Build(
+    const Grid& grid, const std::vector<int>& cell_ids,
+    const std::vector<int>& labels, const std::vector<double>& scores,
+    const std::vector<double>& residuals) {
+  const size_t n = cell_ids.size();
+  if (labels.size() != n || scores.size() != n) {
+    return InvalidArgumentError(
+        "GridAggregates::Build: cell_ids, labels, scores sizes differ");
+  }
+  if (!residuals.empty() && residuals.size() != n) {
+    return InvalidArgumentError(
+        "GridAggregates::Build: residuals size mismatch");
+  }
+
+  GridAggregates agg(grid.rows(), grid.cols());
+  const int cols = grid.cols();
+  const size_t stride = static_cast<size_t>(cols) + 1;
+
+  // First accumulate raw per-cell sums into the (row+1, col+1) slot of each
+  // prefix array, then integrate in place.
+  for (size_t i = 0; i < n; ++i) {
+    const int cell = cell_ids[i];
+    if (cell < 0 || cell >= grid.num_cells()) {
+      return OutOfRangeError("GridAggregates::Build: cell id out of range");
+    }
+    if (labels[i] != 0 && labels[i] != 1) {
+      return InvalidArgumentError(
+          "GridAggregates::Build: labels must be 0 or 1");
+    }
+    const size_t slot =
+        static_cast<size_t>(grid.RowOfCell(cell) + 1) * stride +
+        (grid.ColOfCell(cell) + 1);
+    agg.count_prefix_[slot] += 1.0;
+    agg.label_prefix_[slot] += labels[i];
+    agg.score_prefix_[slot] += scores[i];
+    agg.residual_prefix_[slot] +=
+        residuals.empty() ? (scores[i] - labels[i]) : residuals[i];
+  }
+
+  // Per-cell absolute miscalibration must be computed from the raw
+  // per-cell sums BEFORE integration (afterwards the slots hold prefix
+  // values, and absolute values do not distribute over sums).
+  for (int r = 1; r <= agg.rows_; ++r) {
+    for (int c = 1; c <= agg.cols_; ++c) {
+      const size_t at = static_cast<size_t>(r) * stride + c;
+      agg.cell_abs_prefix_[at] =
+          std::abs(agg.label_prefix_[at] - agg.score_prefix_[at]);
+    }
+  }
+
+  auto integrate = [&](std::vector<double>& prefix) {
+    for (int r = 1; r <= agg.rows_; ++r) {
+      for (int c = 1; c <= agg.cols_; ++c) {
+        const size_t at = static_cast<size_t>(r) * stride + c;
+        prefix[at] += prefix[at - 1] + prefix[at - stride] -
+                      prefix[at - stride - 1];
+      }
+    }
+  };
+  integrate(agg.count_prefix_);
+  integrate(agg.label_prefix_);
+  integrate(agg.score_prefix_);
+  integrate(agg.residual_prefix_);
+  integrate(agg.cell_abs_prefix_);
+  return agg;
+}
+
+double GridAggregates::RangeSum(const std::vector<double>& prefix,
+                                const CellRect& rect) const {
+  if (rect.empty()) return 0.0;
+  const int r0 = rect.row_begin;
+  const int r1 = rect.row_end;
+  const int c0 = rect.col_begin;
+  const int c1 = rect.col_end;
+  return PrefixAt(prefix, r1, c1) - PrefixAt(prefix, r0, c1) -
+         PrefixAt(prefix, r1, c0) + PrefixAt(prefix, r0, c0);
+}
+
+RegionAggregate GridAggregates::Query(const CellRect& rect) const {
+  RegionAggregate out;
+  out.count = RangeSum(count_prefix_, rect);
+  out.sum_labels = RangeSum(label_prefix_, rect);
+  out.sum_scores = RangeSum(score_prefix_, rect);
+  out.sum_residuals = RangeSum(residual_prefix_, rect);
+  out.sum_cell_abs_miscalibration = RangeSum(cell_abs_prefix_, rect);
+  return out;
+}
+
+RegionAggregate GridAggregates::Cell(int row, int col) const {
+  return Query(CellRect{row, row + 1, col, col + 1});
+}
+
+RegionAggregate GridAggregates::Total() const {
+  return Query(CellRect{0, rows_, 0, cols_});
+}
+
+}  // namespace fairidx

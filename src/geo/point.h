@@ -1,0 +1,41 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Planar point type. fairidx works in projected (x, y) coordinates; for the
+// city-scale extents of the paper's datasets a local equirectangular
+// projection of (longitude, latitude) is adequate.
+
+#ifndef FAIRIDX_GEO_POINT_H_
+#define FAIRIDX_GEO_POINT_H_
+
+#include <cmath>
+
+namespace fairidx {
+
+/// A point in the plane.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Euclidean distance between `a` and `b`.
+inline double Distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Squared Euclidean distance (avoids the sqrt for comparisons).
+inline double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_GEO_POINT_H_

@@ -1,0 +1,80 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Axis-aligned rectangles: a continuous BoundingBox over the map, and an
+// integer CellRect over grid-cell coordinates (half-open ranges).
+
+#ifndef FAIRIDX_GEO_RECT_H_
+#define FAIRIDX_GEO_RECT_H_
+
+#include <algorithm>
+#include <string>
+
+#include "geo/point.h"
+
+namespace fairidx {
+
+/// Closed axis-aligned rectangle in map coordinates.
+struct BoundingBox {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  double width() const { return max_x - min_x; }
+  double height() const { return max_y - min_y; }
+  double Area() const { return width() * height(); }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  /// Clamps `p` into the box (used to snap boundary jitter back inside).
+  Point ClampPoint(const Point& p) const {
+    return Point{std::clamp(p.x, min_x, max_x), std::clamp(p.y, min_y, max_y)};
+  }
+};
+
+/// Half-open rectangle of grid cells: rows [row_begin, row_end) and columns
+/// [col_begin, col_end). Rows index the y axis, columns the x axis.
+struct CellRect {
+  int row_begin = 0;
+  int row_end = 0;
+  int col_begin = 0;
+  int col_end = 0;
+
+  int num_rows() const { return row_end - row_begin; }
+  int num_cols() const { return col_end - col_begin; }
+  long long num_cells() const {
+    return static_cast<long long>(num_rows()) * num_cols();
+  }
+  bool empty() const { return num_rows() <= 0 || num_cols() <= 0; }
+
+  bool Contains(int row, int col) const {
+    return row >= row_begin && row < row_end && col >= col_begin &&
+           col < col_end;
+  }
+
+  friend bool operator==(const CellRect& a, const CellRect& b) {
+    return a.row_begin == b.row_begin && a.row_end == b.row_end &&
+           a.col_begin == b.col_begin && a.col_end == b.col_end;
+  }
+
+  /// Aspect ratio >= 1 (long side / short side); 0 for empty rects.
+  double AspectRatio() const {
+    if (empty()) return 0.0;
+    const double r = num_rows();
+    const double c = num_cols();
+    return std::max(r, c) / std::min(r, c);
+  }
+
+  std::string DebugString() const {
+    return "rows[" + std::to_string(row_begin) + "," +
+           std::to_string(row_end) + ") cols[" + std::to_string(col_begin) +
+           "," + std::to_string(col_end) + ")";
+  }
+};
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_GEO_RECT_H_

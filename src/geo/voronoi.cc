@@ -1,0 +1,48 @@
+#include "geo/voronoi.h"
+
+namespace fairidx {
+namespace {
+
+int NearestCenter(const Point& p, const std::vector<Point>& centers) {
+  int best = 0;
+  double best_dist = SquaredDistance(p, centers[0]);
+  for (size_t i = 1; i < centers.size(); ++i) {
+    const double d = SquaredDistance(p, centers[i]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<std::vector<int>> VoronoiCellAssignment(
+    const Grid& grid, const std::vector<Point>& centers) {
+  if (centers.empty()) {
+    return InvalidArgumentError("VoronoiCellAssignment: no centers");
+  }
+  std::vector<int> assignment(grid.num_cells());
+  for (int r = 0; r < grid.rows(); ++r) {
+    for (int c = 0; c < grid.cols(); ++c) {
+      assignment[grid.CellId(r, c)] =
+          NearestCenter(grid.CellCenter(r, c), centers);
+    }
+  }
+  return assignment;
+}
+
+Result<std::vector<int>> VoronoiPointAssignment(
+    const std::vector<Point>& points, const std::vector<Point>& centers) {
+  if (centers.empty()) {
+    return InvalidArgumentError("VoronoiPointAssignment: no centers");
+  }
+  std::vector<int> assignment(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    assignment[i] = NearestCenter(points[i], centers);
+  }
+  return assignment;
+}
+
+}  // namespace fairidx

@@ -1,0 +1,33 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Nearest-center (Voronoi) tessellation of the grid. Used to synthesise the
+// paper's zip-code baseline partitioning: zip codes are contiguous,
+// population-correlated regions, which a Voronoi partition seeded at
+// population centers reproduces.
+
+#ifndef FAIRIDX_GEO_VORONOI_H_
+#define FAIRIDX_GEO_VORONOI_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "geo/grid.h"
+#include "geo/point.h"
+
+namespace fairidx {
+
+/// Assigns every grid cell to its nearest center (by cell-center distance).
+/// Returns a vector of size grid.num_cells() with values in
+/// [0, centers.size()). Fails if `centers` is empty.
+Result<std::vector<int>> VoronoiCellAssignment(
+    const Grid& grid, const std::vector<Point>& centers);
+
+/// Assigns each point to its nearest center. Returns values in
+/// [0, centers.size()).
+Result<std::vector<int>> VoronoiPointAssignment(
+    const std::vector<Point>& points, const std::vector<Point>& centers);
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_GEO_VORONOI_H_

@@ -1,0 +1,28 @@
+#include "index/fair_kd_tree.h"
+
+namespace fairidx {
+
+Result<KdTreeResult> BuildFairKdTree(const Grid& grid,
+                                     const GridAggregates& aggregates,
+                                     const FairKdTreeOptions& options) {
+  KdTreeOptions tree_options;
+  tree_options.height = options.height;
+  tree_options.objective = options.objective;
+  tree_options.axis_policy = options.axis_policy;
+  tree_options.early_stop_weighted_miscalibration =
+      options.early_stop_weighted_miscalibration;
+  return BuildKdTreePartition(grid, aggregates, tree_options);
+}
+
+Result<KdTreeResult> BuildFairKdTree(const Grid& grid,
+                                     const std::vector<int>& cell_ids,
+                                     const std::vector<int>& labels,
+                                     const std::vector<double>& scores,
+                                     const FairKdTreeOptions& options) {
+  FAIRIDX_ASSIGN_OR_RETURN(
+      GridAggregates aggregates,
+      GridAggregates::Build(grid, cell_ids, labels, scores));
+  return BuildFairKdTree(grid, aggregates, options);
+}
+
+}  // namespace fairidx

@@ -1,0 +1,47 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The paper's primary contribution: the Fair KD-tree (Algorithm 1). Given
+// confidence scores from an initial classifier run over the base grid, the
+// tree recursively splits the map minimising the fairness objective (Eq. 9),
+// so the resulting neighborhoods balance miscalibration.
+//
+// This module is the index-construction half; the end-to-end pipeline
+// (initial training, re-districting, retraining) lives in core/pipeline.h.
+
+#ifndef FAIRIDX_INDEX_FAIR_KD_TREE_H_
+#define FAIRIDX_INDEX_FAIR_KD_TREE_H_
+
+#include <vector>
+
+#include "index/kd_tree.h"
+
+namespace fairidx {
+
+/// Options for the Fair KD-tree build.
+struct FairKdTreeOptions {
+  int height = 6;
+  /// Eq. 9 by default; alternative objectives enable the ablation study.
+  SplitObjectiveOptions objective{SplitObjectiveKind::kPaperEq9, 0.0};
+  /// Paper default: alternating axes (see index/kd_tree.h).
+  AxisPolicy axis_policy = AxisPolicy::kAlternate;
+  /// Early-stop threshold on node weighted miscalibration; < 0 disables.
+  double early_stop_weighted_miscalibration = -1.0;
+};
+
+/// Builds a Fair KD-tree partition from per-cell aggregates of the records'
+/// (cell, label, score) triples — Algorithm 1's DFS with Algorithm 2 splits.
+Result<KdTreeResult> BuildFairKdTree(const Grid& grid,
+                                     const GridAggregates& aggregates,
+                                     const FairKdTreeOptions& options);
+
+/// Convenience overload building aggregates from raw record vectors.
+Result<KdTreeResult> BuildFairKdTree(const Grid& grid,
+                                     const std::vector<int>& cell_ids,
+                                     const std::vector<int>& labels,
+                                     const std::vector<double>& scores,
+                                     const FairKdTreeOptions& options);
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_INDEX_FAIR_KD_TREE_H_

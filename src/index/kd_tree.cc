@@ -1,0 +1,155 @@
+#include "index/kd_tree.h"
+
+#include <cmath>
+
+namespace fairidx {
+namespace {
+
+// Builds the (left, right) rects for a candidate split of `rect` at
+// `offset` along `axis`.
+void SplitRects(const CellRect& rect, int axis, int offset, CellRect* left,
+                CellRect* right) {
+  *left = rect;
+  *right = rect;
+  if (axis == 0) {
+    left->row_end = rect.row_begin + offset;
+    right->row_begin = rect.row_begin + offset;
+  } else {
+    left->col_end = rect.col_begin + offset;
+    right->col_begin = rect.col_begin + offset;
+  }
+}
+
+}  // namespace
+
+KdSplit FindBestSplit(const GridAggregates& aggregates, const CellRect& rect,
+                      int axis, const SplitObjectiveOptions& options) {
+  KdSplit best;
+  best.axis = axis;
+  const int extent = axis == 0 ? rect.num_rows() : rect.num_cols();
+  if (extent < 2) return best;  // Not splittable along this axis.
+
+  const double center = static_cast<double>(extent) / 2.0;
+  double best_center_distance = 0.0;
+  for (int offset = 1; offset < extent; ++offset) {
+    CellRect left, right;
+    SplitRects(rect, axis, offset, &left, &right);
+    const double objective =
+        EvaluateSplit(options, left, aggregates.Query(left), right,
+                      aggregates.Query(right));
+    const double center_distance = std::abs(offset - center);
+    const bool better =
+        !best.valid || objective < best.objective - 1e-12 ||
+        (std::abs(objective - best.objective) <= 1e-12 &&
+         center_distance < best_center_distance - 1e-12);
+    if (better) {
+      best.valid = true;
+      best.offset = offset;
+      best.left = left;
+      best.right = right;
+      best.objective = objective;
+      best_center_distance = center_distance;
+    }
+  }
+  return best;
+}
+
+KdSplit FindBestSplitWithFallback(const GridAggregates& aggregates,
+                                  const CellRect& rect, int preferred_axis,
+                                  const SplitObjectiveOptions& options) {
+  KdSplit split =
+      FindBestSplit(aggregates, rect, preferred_axis, options);
+  if (!split.valid) {
+    split = FindBestSplit(aggregates, rect, 1 - preferred_axis, options);
+  }
+  return split;
+}
+
+KdSplit FindBestSplitAnyAxis(const GridAggregates& aggregates,
+                             const CellRect& rect, int preferred_axis,
+                             const SplitObjectiveOptions& options) {
+  const KdSplit preferred =
+      FindBestSplit(aggregates, rect, preferred_axis, options);
+  const KdSplit other =
+      FindBestSplit(aggregates, rect, 1 - preferred_axis, options);
+  if (!preferred.valid) return other;
+  if (!other.valid) return preferred;
+  return other.objective < preferred.objective - 1e-12 ? other : preferred;
+}
+
+namespace {
+
+// DFS recursion of Algorithm 1. `remaining_height` is th; under the
+// alternating policy, axis = th mod 2.
+void BuildRecursive(const GridAggregates& aggregates, const CellRect& rect,
+                    int remaining_height, const KdTreeOptions& options,
+                    std::vector<CellRect>* leaves, long long* num_scans) {
+  if (remaining_height == 0 || rect.num_cells() <= 1) {
+    leaves->push_back(rect);
+    return;
+  }
+  if (options.early_stop_weighted_miscalibration >= 0.0 &&
+      aggregates.Query(rect).sum_cell_abs_miscalibration <=
+          options.early_stop_weighted_miscalibration) {
+    leaves->push_back(rect);
+    return;
+  }
+  const int axis = remaining_height % 2;
+  ++*num_scans;
+  const KdSplit split =
+      options.axis_policy == AxisPolicy::kBestObjective
+          ? FindBestSplitAnyAxis(aggregates, rect, axis, options.objective)
+          : FindBestSplitWithFallback(aggregates, rect, axis,
+                                      options.objective);
+  if (!split.valid) {
+    leaves->push_back(rect);
+    return;
+  }
+  BuildRecursive(aggregates, split.left, remaining_height - 1, options,
+                 leaves, num_scans);
+  BuildRecursive(aggregates, split.right, remaining_height - 1, options,
+                 leaves, num_scans);
+}
+
+}  // namespace
+
+Result<KdTreeResult> BuildKdTreePartition(const Grid& grid,
+                                          const GridAggregates& aggregates,
+                                          const KdTreeOptions& options) {
+  if (options.height < 0) {
+    return InvalidArgumentError("KD tree: height must be >= 0");
+  }
+  if (aggregates.rows() != grid.rows() || aggregates.cols() != grid.cols()) {
+    return InvalidArgumentError("KD tree: aggregates/grid shape mismatch");
+  }
+  KdTreeResult out;
+  std::vector<CellRect> leaves;
+  BuildRecursive(aggregates, grid.FullRect(), options.height, options,
+                 &leaves, &out.num_split_scans);
+  FAIRIDX_ASSIGN_OR_RETURN(Partition partition,
+                           Partition::FromRects(grid, leaves));
+  out.result.partition = std::move(partition);
+  out.result.regions = std::move(leaves);
+  return out;
+}
+
+std::vector<CellRect> SplitAllRegions(const GridAggregates& aggregates,
+                                      const std::vector<CellRect>& regions,
+                                      int axis,
+                                      const SplitObjectiveOptions& options) {
+  std::vector<CellRect> refined;
+  refined.reserve(regions.size() * 2);
+  for (const CellRect& region : regions) {
+    const KdSplit split =
+        FindBestSplitWithFallback(aggregates, region, axis, options);
+    if (split.valid) {
+      refined.push_back(split.left);
+      refined.push_back(split.right);
+    } else {
+      refined.push_back(region);
+    }
+  }
+  return refined;
+}
+
+}  // namespace fairidx

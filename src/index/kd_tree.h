@@ -1,0 +1,106 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Shared KD machinery over the base grid: the SplitNeighborhood candidate
+// scan (Algorithm 2) and the DFS tree recursion used by both the median
+// baseline and the Fair KD-tree (Algorithm 1). Axis convention: axis 0
+// splits rows (a horizontal cut, grouping rows), axis 1 splits columns
+// (a vertical cut) — Algorithm 2's "transpose" case.
+
+#ifndef FAIRIDX_INDEX_KD_TREE_H_
+#define FAIRIDX_INDEX_KD_TREE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "geo/grid.h"
+#include "geo/grid_aggregates.h"
+#include "index/partition.h"
+#include "index/split_objective.h"
+
+namespace fairidx {
+
+/// The outcome of one SplitNeighborhood call.
+struct KdSplit {
+  bool valid = false;
+  int axis = 0;
+  /// Split position: rows/cols [begin, begin+offset) go left.
+  int offset = 0;
+  CellRect left;
+  CellRect right;
+  double objective = 0.0;
+};
+
+/// Algorithm 2: scans every candidate split of `rect` along `axis` and
+/// returns the argmin of `options`. Ties break toward the most central
+/// split position (then the smaller offset), keeping degenerate regions
+/// (all-zero objective) split evenly and deterministically.
+/// Returns an invalid split if the axis has fewer than 2 rows/cols.
+KdSplit FindBestSplit(const GridAggregates& aggregates, const CellRect& rect,
+                      int axis, const SplitObjectiveOptions& options);
+
+/// Like FindBestSplit, but falls back to the other axis when the preferred
+/// one cannot be split.
+KdSplit FindBestSplitWithFallback(const GridAggregates& aggregates,
+                                  const CellRect& rect, int preferred_axis,
+                                  const SplitObjectiveOptions& options);
+
+/// Evaluates both axes and returns the lower-objective split
+/// (`preferred_axis` wins ties). Invalid if neither axis can split.
+KdSplit FindBestSplitAnyAxis(const GridAggregates& aggregates,
+                             const CellRect& rect, int preferred_axis,
+                             const SplitObjectiveOptions& options);
+
+/// How a node picks its split axis.
+enum class AxisPolicy {
+  /// The paper's rule: axis = remaining height mod 2 (alternating), with
+  /// fallback to the other axis when unsplittable.
+  kAlternate,
+  /// Evaluate both axes and keep the split with the lower objective
+  /// (alternating axis breaks ties). A natural "custom split metric"
+  /// extension; compared in bench_ablation_split.
+  kBestObjective,
+};
+
+/// Options for a full KD-tree build.
+struct KdTreeOptions {
+  /// Tree height th: up to 2^th leaves.
+  int height = 6;
+  SplitObjectiveOptions objective;
+  AxisPolicy axis_policy = AxisPolicy::kAlternate;
+  /// If >= 0, a node whose summed per-cell |miscalibration| (see
+  /// RegionAggregate::sum_cell_abs_miscalibration) is at most this value
+  /// becomes a leaf early: by the triangle inequality no refinement of
+  /// such a node can contribute more than this to the (unnormalised)
+  /// ENCE, so resolution is not wasted on calibrated areas. The signed
+  /// node miscalibration would be unsound here — opposite-sign pockets
+  /// cancel (Theorem 1's phenomenon). Negative disables.
+  double early_stop_weighted_miscalibration = -1.0;
+};
+
+/// A built KD partition: leaves in DFS order plus the induced Partition.
+struct KdTreeResult {
+  PartitionResult result;
+  /// Number of SplitNeighborhood invocations (complexity diagnostics).
+  long long num_split_scans = 0;
+};
+
+/// Algorithm 1's recursion: DFS-splits the full grid to `options.height`
+/// levels. The axis at a node with remaining height th is th mod 2. Nodes
+/// that cannot be split on either axis become leaves early, so the leaf
+/// count is min(2^height, what the grid permits).
+Result<KdTreeResult> BuildKdTreePartition(const Grid& grid,
+                                          const GridAggregates& aggregates,
+                                          const KdTreeOptions& options);
+
+/// One BFS level expansion used by the Iterative Fair KD-tree (Algorithm 3):
+/// splits every region in `regions` along `axis` (with fallback), returning
+/// the refined region list. Regions that cannot split are carried over.
+std::vector<CellRect> SplitAllRegions(const GridAggregates& aggregates,
+                                      const std::vector<CellRect>& regions,
+                                      int axis,
+                                      const SplitObjectiveOptions& options);
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_INDEX_KD_TREE_H_

@@ -1,0 +1,14 @@
+#include "index/median_kd_tree.h"
+
+namespace fairidx {
+
+Result<KdTreeResult> BuildMedianKdTree(const Grid& grid,
+                                       const GridAggregates& aggregates,
+                                       int height) {
+  KdTreeOptions options;
+  options.height = height;
+  options.objective.kind = SplitObjectiveKind::kMedianCount;
+  return BuildKdTreePartition(grid, aggregates, options);
+}
+
+}  // namespace fairidx

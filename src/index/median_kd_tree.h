@@ -1,0 +1,22 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The paper's Median KD-tree benchmark: standard KD partitioning that splits
+// each node at the data median (the split position balancing record counts).
+
+#ifndef FAIRIDX_INDEX_MEDIAN_KD_TREE_H_
+#define FAIRIDX_INDEX_MEDIAN_KD_TREE_H_
+
+#include "index/kd_tree.h"
+
+namespace fairidx {
+
+/// Builds a height-`height` median KD partition of `grid` using the record
+/// counts in `aggregates` (labels/scores are ignored).
+Result<KdTreeResult> BuildMedianKdTree(const Grid& grid,
+                                       const GridAggregates& aggregates,
+                                       int height);
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_INDEX_MEDIAN_KD_TREE_H_

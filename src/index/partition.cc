@@ -1,0 +1,97 @@
+#include "index/partition.h"
+
+#include <map>
+
+namespace fairidx {
+
+Result<Partition> Partition::FromCellMap(std::vector<int> cell_to_region) {
+  if (cell_to_region.empty()) {
+    return InvalidArgumentError("Partition: empty cell map");
+  }
+  std::map<int, int> compact;
+  for (int region : cell_to_region) {
+    if (region < 0) {
+      return InvalidArgumentError("Partition: unassigned (negative) cell");
+    }
+  }
+  int next = 0;
+  for (int& region : cell_to_region) {
+    auto [it, inserted] = compact.emplace(region, next);
+    if (inserted) ++next;
+    region = it->second;
+  }
+  return Partition(std::move(cell_to_region), next);
+}
+
+Result<Partition> Partition::FromRects(const Grid& grid,
+                                       const std::vector<CellRect>& rects) {
+  if (rects.empty()) return InvalidArgumentError("Partition: no rects");
+  std::vector<int> cell_to_region(static_cast<size_t>(grid.num_cells()), -1);
+  for (size_t i = 0; i < rects.size(); ++i) {
+    const CellRect& rect = rects[i];
+    if (rect.row_begin < 0 || rect.col_begin < 0 ||
+        rect.row_end > grid.rows() || rect.col_end > grid.cols()) {
+      return OutOfRangeError("Partition: rect outside grid: " +
+                             rect.DebugString());
+    }
+    for (int r = rect.row_begin; r < rect.row_end; ++r) {
+      for (int c = rect.col_begin; c < rect.col_end; ++c) {
+        int& slot = cell_to_region[static_cast<size_t>(grid.CellId(r, c))];
+        if (slot != -1) {
+          return InvalidArgumentError("Partition: overlapping rects at cell " +
+                                      std::to_string(grid.CellId(r, c)));
+        }
+        slot = static_cast<int>(i);
+      }
+    }
+  }
+  for (size_t cell = 0; cell < cell_to_region.size(); ++cell) {
+    if (cell_to_region[cell] == -1) {
+      return InvalidArgumentError("Partition: uncovered cell " +
+                                  std::to_string(cell));
+    }
+  }
+  return Partition(std::move(cell_to_region),
+                   static_cast<int>(rects.size()));
+}
+
+Partition Partition::Single(int num_cells) {
+  return Partition(std::vector<int>(static_cast<size_t>(num_cells), 0), 1);
+}
+
+std::vector<std::vector<int>> Partition::RegionCells() const {
+  std::vector<std::vector<int>> out(static_cast<size_t>(num_regions_));
+  for (size_t cell = 0; cell < cell_to_region_.size(); ++cell) {
+    out[static_cast<size_t>(cell_to_region_[cell])].push_back(
+        static_cast<int>(cell));
+  }
+  return out;
+}
+
+std::vector<int> Partition::RegionSizes() const {
+  std::vector<int> sizes(static_cast<size_t>(num_regions_), 0);
+  for (int region : cell_to_region_) {
+    ++sizes[static_cast<size_t>(region)];
+  }
+  return sizes;
+}
+
+bool Partition::IsRefinedBy(const Partition& finer) const {
+  if (finer.num_cells() != num_cells()) return false;
+  // Each finer region must map into exactly one coarse region.
+  std::vector<int> finer_to_coarse(static_cast<size_t>(finer.num_regions()),
+                                   -1);
+  for (int cell = 0; cell < num_cells(); ++cell) {
+    const int fine = finer.RegionOfCell(cell);
+    const int coarse = RegionOfCell(cell);
+    int& mapped = finer_to_coarse[static_cast<size_t>(fine)];
+    if (mapped == -1) {
+      mapped = coarse;
+    } else if (mapped != coarse) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fairidx

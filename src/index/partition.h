@@ -1,0 +1,68 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// A Partition is a complete, non-overlapping assignment of every base-grid
+// cell to a neighborhood (region) id — the output type of every spatial
+// partitioner in fairidx and the input to ENCE evaluation.
+
+#ifndef FAIRIDX_INDEX_PARTITION_H_
+#define FAIRIDX_INDEX_PARTITION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "geo/grid.h"
+#include "geo/rect.h"
+
+namespace fairidx {
+
+/// Complete disjoint partition of the grid's cells into regions 0..k-1.
+class Partition {
+ public:
+  /// Builds from a per-cell region map. Every cell must have a non-negative
+  /// region; ids are compacted to 0..k-1 preserving first-appearance order.
+  static Result<Partition> FromCellMap(std::vector<int> cell_to_region);
+
+  /// Builds from disjoint rectangles that exactly cover `grid`. Region i is
+  /// rects[i]. Fails on overlap or gaps.
+  static Result<Partition> FromRects(const Grid& grid,
+                                     const std::vector<CellRect>& rects);
+
+  /// The trivial one-region partition of an n-cell grid.
+  static Partition Single(int num_cells);
+
+  int num_regions() const { return num_regions_; }
+  int num_cells() const { return static_cast<int>(cell_to_region_.size()); }
+  int RegionOfCell(int cell) const { return cell_to_region_[cell]; }
+  const std::vector<int>& cell_to_region() const { return cell_to_region_; }
+
+  /// Cells of each region, in cell-id order.
+  std::vector<std::vector<int>> RegionCells() const;
+
+  /// Number of cells per region.
+  std::vector<int> RegionSizes() const;
+
+  /// True if `finer` subdivides this partition (every finer region is fully
+  /// inside one of this partition's regions) — the premise of Theorem 2.
+  bool IsRefinedBy(const Partition& finer) const;
+
+ private:
+  Partition(std::vector<int> cell_to_region, int num_regions)
+      : cell_to_region_(std::move(cell_to_region)),
+        num_regions_(num_regions) {}
+
+  std::vector<int> cell_to_region_;
+  int num_regions_;
+};
+
+/// A partitioner's output: the partition plus (when the algorithm is
+/// rectangle-based) the region rectangles, indexed by region id.
+struct PartitionResult {
+  Partition partition = Partition::Single(1);
+  /// Empty when the partitioner is not rectangle-based (e.g. Voronoi zips).
+  std::vector<CellRect> regions;
+};
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_INDEX_PARTITION_H_

@@ -1,0 +1,99 @@
+#include "index/quadtree.h"
+
+#include <queue>
+
+namespace fairidx {
+namespace {
+
+struct QueueEntry {
+  double priority = 0.0;
+  long long sequence = 0;  // Tie-break: earlier-created regions first.
+  CellRect rect;
+};
+
+struct EntryOrder {
+  bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.sequence > b.sequence;
+  }
+};
+
+// Quarters `rect` by cell midpoints; degenerate axes give 2 (or 1) pieces.
+std::vector<CellRect> Quarter(const CellRect& rect) {
+  std::vector<int> row_cuts = {rect.row_begin, rect.row_end};
+  std::vector<int> col_cuts = {rect.col_begin, rect.col_end};
+  if (rect.num_rows() >= 2) {
+    row_cuts = {rect.row_begin, rect.row_begin + rect.num_rows() / 2,
+                rect.row_end};
+  }
+  if (rect.num_cols() >= 2) {
+    col_cuts = {rect.col_begin, rect.col_begin + rect.num_cols() / 2,
+                rect.col_end};
+  }
+  std::vector<CellRect> pieces;
+  for (size_t r = 0; r + 1 < row_cuts.size(); ++r) {
+    for (size_t c = 0; c + 1 < col_cuts.size(); ++c) {
+      pieces.push_back(CellRect{row_cuts[r], row_cuts[r + 1], col_cuts[c],
+                                col_cuts[c + 1]});
+    }
+  }
+  return pieces;
+}
+
+}  // namespace
+
+Result<PartitionResult> BuildFairQuadtree(const Grid& grid,
+                                          const GridAggregates& aggregates,
+                                          const FairQuadtreeOptions& options) {
+  if (options.target_regions < 1) {
+    return InvalidArgumentError("quadtree: target_regions must be >= 1");
+  }
+  if (aggregates.rows() != grid.rows() || aggregates.cols() != grid.cols()) {
+    return InvalidArgumentError("quadtree: aggregates/grid shape mismatch");
+  }
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, EntryOrder> queue;
+  long long sequence = 0;
+  auto push = [&](const CellRect& rect) {
+    QueueEntry entry;
+    entry.rect = rect;
+    entry.priority = aggregates.Query(rect).WeightedMiscalibration();
+    entry.sequence = sequence++;
+    queue.push(entry);
+  };
+  push(grid.FullRect());
+
+  std::vector<CellRect> finished;
+  int active = 1;
+  while (active < options.target_regions && !queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    const RegionAggregate agg = aggregates.Query(top.rect);
+    const bool refinable = top.rect.num_cells() > 1 &&
+                           agg.count >= options.min_region_count;
+    if (!refinable) {
+      finished.push_back(top.rect);
+      continue;
+    }
+    const std::vector<CellRect> pieces = Quarter(top.rect);
+    if (pieces.size() <= 1) {
+      finished.push_back(top.rect);
+      continue;
+    }
+    active += static_cast<int>(pieces.size()) - 1;
+    for (const CellRect& piece : pieces) push(piece);
+  }
+  while (!queue.empty()) {
+    finished.push_back(queue.top().rect);
+    queue.pop();
+  }
+
+  FAIRIDX_ASSIGN_OR_RETURN(Partition partition,
+                           Partition::FromRects(grid, finished));
+  PartitionResult out;
+  out.partition = std::move(partition);
+  out.regions = std::move(finished);
+  return out;
+}
+
+}  // namespace fairidx

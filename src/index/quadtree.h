@@ -1,0 +1,37 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Greedy fairness-first quadtree: an alternative complete-coverage index
+// structure (the paper's future-work direction). Instead of fixed-depth
+// binary splits, it repeatedly quarters the region with the largest weighted
+// miscalibration until a target region count is reached — a best-first
+// refinement that spends resolution where unfairness concentrates.
+
+#ifndef FAIRIDX_INDEX_QUADTREE_H_
+#define FAIRIDX_INDEX_QUADTREE_H_
+
+#include "common/result.h"
+#include "geo/grid.h"
+#include "geo/grid_aggregates.h"
+#include "index/partition.h"
+
+namespace fairidx {
+
+/// Options for the greedy fair quadtree.
+struct FairQuadtreeOptions {
+  /// Stop refining once at least this many regions exist.
+  int target_regions = 64;
+  /// Regions with fewer records than this are not refined further.
+  double min_region_count = 1.0;
+};
+
+/// Builds the greedy quadtree partition. Priority = the region's weighted
+/// miscalibration |sum_labels - sum_scores|; quartering is by cell midpoints
+/// (degenerate axes produce 2-way splits). Deterministic.
+Result<PartitionResult> BuildFairQuadtree(const Grid& grid,
+                                          const GridAggregates& aggregates,
+                                          const FairQuadtreeOptions& options);
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_INDEX_QUADTREE_H_

@@ -1,0 +1,79 @@
+#include "index/region_index.h"
+
+#include <algorithm>
+
+namespace fairidx {
+
+Result<RegionIndex> RegionIndex::Create(const Grid& grid,
+                                        Partition partition) {
+  if (partition.num_cells() != grid.num_cells()) {
+    return InvalidArgumentError(
+        "RegionIndex: partition does not cover the grid");
+  }
+  return RegionIndex(grid, std::move(partition));
+}
+
+RegionIndex::RegionIndex(Grid grid, Partition partition)
+    : grid_(std::move(grid)), partition_(std::move(partition)) {
+  region_cell_counts_.assign(
+      static_cast<size_t>(partition_.num_regions()), 0);
+  region_cell_bounds_.assign(
+      static_cast<size_t>(partition_.num_regions()),
+      CellRect{grid_.rows(), 0, grid_.cols(), 0});
+  for (int cell = 0; cell < grid_.num_cells(); ++cell) {
+    const size_t region =
+        static_cast<size_t>(partition_.RegionOfCell(cell));
+    ++region_cell_counts_[region];
+    CellRect& bounds = region_cell_bounds_[region];
+    const int row = grid_.RowOfCell(cell);
+    const int col = grid_.ColOfCell(cell);
+    bounds.row_begin = std::min(bounds.row_begin, row);
+    bounds.row_end = std::max(bounds.row_end, row + 1);
+    bounds.col_begin = std::min(bounds.col_begin, col);
+    bounds.col_end = std::max(bounds.col_end, col + 1);
+  }
+}
+
+int RegionIndex::RegionOfPoint(const Point& p) const {
+  return partition_.RegionOfCell(grid_.CellIdOf(p));
+}
+
+std::vector<int> RegionIndex::RegionsIntersecting(
+    const BoundingBox& window) const {
+  const int row_lo = grid_.RowOf(window.min_y);
+  const int row_hi = grid_.RowOf(window.max_y);
+  const int col_lo = grid_.ColOf(window.min_x);
+  const int col_hi = grid_.ColOf(window.max_x);
+  std::vector<int> regions;
+  for (int r = row_lo; r <= row_hi; ++r) {
+    for (int c = col_lo; c <= col_hi; ++c) {
+      regions.push_back(partition_.RegionOfCell(grid_.CellId(r, c)));
+    }
+  }
+  std::sort(regions.begin(), regions.end());
+  regions.erase(std::unique(regions.begin(), regions.end()), regions.end());
+  return regions;
+}
+
+Result<BoundingBox> RegionIndex::RegionBounds(int region) const {
+  if (region < 0 || region >= partition_.num_regions()) {
+    return OutOfRangeError("RegionIndex: region out of range");
+  }
+  const CellRect& cells = region_cell_bounds_[static_cast<size_t>(region)];
+  const BoundingBox lo =
+      grid_.CellBounds(cells.row_begin, cells.col_begin);
+  const BoundingBox hi =
+      grid_.CellBounds(cells.row_end - 1, cells.col_end - 1);
+  return BoundingBox{lo.min_x, lo.min_y, hi.max_x, hi.max_y};
+}
+
+std::vector<int> RegionIndex::AssignPoints(
+    const std::vector<Point>& points) const {
+  std::vector<int> out(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    out[i] = RegionOfPoint(points[i]);
+  }
+  return out;
+}
+
+}  // namespace fairidx

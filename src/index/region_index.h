@@ -1,0 +1,64 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// RegionIndex: the query-side view of a built partition. Once neighborhoods
+// are published, downstream applications need the usual spatial-index
+// operations — which neighborhood does a point fall in, which neighborhoods
+// intersect a query window, what are a neighborhood's bounds and
+// population. All queries run off the grid cell map.
+
+#ifndef FAIRIDX_INDEX_REGION_INDEX_H_
+#define FAIRIDX_INDEX_REGION_INDEX_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "geo/grid.h"
+#include "geo/point.h"
+#include "geo/rect.h"
+#include "index/partition.h"
+
+namespace fairidx {
+
+/// Immutable spatial query index over a (grid, partition) pair.
+class RegionIndex {
+ public:
+  /// Builds the index. The partition must cover exactly grid.num_cells().
+  static Result<RegionIndex> Create(const Grid& grid, Partition partition);
+
+  int num_regions() const { return partition_.num_regions(); }
+  const Grid& grid() const { return grid_; }
+  const Partition& partition() const { return partition_; }
+
+  /// Region of the cell enclosing `p` (points outside the extent clamp to
+  /// the border, like Grid::CellIdOf).
+  int RegionOfPoint(const Point& p) const;
+
+  /// Distinct regions intersecting the query window, ascending. A window
+  /// outside the extent clamps to the border cells.
+  std::vector<int> RegionsIntersecting(const BoundingBox& window) const;
+
+  /// Geographic bounding box of a region (tight over its cells).
+  Result<BoundingBox> RegionBounds(int region) const;
+
+  /// Number of grid cells per region.
+  const std::vector<int>& region_cell_counts() const {
+    return region_cell_counts_;
+  }
+
+  /// Assigns a batch of points to regions.
+  std::vector<int> AssignPoints(const std::vector<Point>& points) const;
+
+ private:
+  RegionIndex(Grid grid, Partition partition);
+
+  Grid grid_;
+  Partition partition_;
+  std::vector<int> region_cell_counts_;
+  // Per-region tight cell rectangle (bounding the region's cells).
+  std::vector<CellRect> region_cell_bounds_;
+};
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_INDEX_REGION_INDEX_H_

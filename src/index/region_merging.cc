@@ -1,0 +1,124 @@
+#include "index/region_merging.h"
+
+#include <algorithm>
+#include <map>
+
+namespace fairidx {
+namespace {
+
+// Boundary lengths between region pairs (number of adjacent cell edges).
+std::map<std::pair<int, int>, int> ComputeAdjacency(
+    const Grid& grid, const std::vector<int>& cell_to_region) {
+  std::map<std::pair<int, int>, int> boundary;
+  for (int r = 0; r < grid.rows(); ++r) {
+    for (int c = 0; c < grid.cols(); ++c) {
+      const int region = cell_to_region[grid.CellId(r, c)];
+      if (c + 1 < grid.cols()) {
+        const int right = cell_to_region[grid.CellId(r, c + 1)];
+        if (right != region) {
+          boundary[{std::min(region, right), std::max(region, right)}] += 1;
+        }
+      }
+      if (r + 1 < grid.rows()) {
+        const int below = cell_to_region[grid.CellId(r + 1, c)];
+        if (below != region) {
+          boundary[{std::min(region, below), std::max(region, below)}] += 1;
+        }
+      }
+    }
+  }
+  return boundary;
+}
+
+}  // namespace
+
+Result<RegionMergingResult> MergeSmallRegions(
+    const Grid& grid, const Partition& partition,
+    const std::vector<int>& record_cells,
+    const RegionMergingOptions& options) {
+  if (partition.num_cells() != grid.num_cells()) {
+    return InvalidArgumentError(
+        "MergeSmallRegions: partition does not cover the grid");
+  }
+  for (int cell : record_cells) {
+    if (cell < 0 || cell >= grid.num_cells()) {
+      return OutOfRangeError("MergeSmallRegions: record cell out of range");
+    }
+  }
+  if (options.min_population < 0.0) {
+    return InvalidArgumentError(
+        "MergeSmallRegions: min_population must be >= 0");
+  }
+
+  std::vector<int> cell_to_region = partition.cell_to_region();
+  std::vector<double> population(
+      static_cast<size_t>(partition.num_regions()), 0.0);
+  for (int cell : record_cells) {
+    population[static_cast<size_t>(cell_to_region[cell])] += 1.0;
+  }
+
+  RegionMergingResult out;
+  if (options.min_population <= 0.0) {
+    out.partition = partition;
+    return out;
+  }
+
+  // Greedy loop; adjacency is recomputed per merge. Partition sizes here
+  // are hundreds of regions over a ~64x64 grid, so the O(merges * cells)
+  // cost is negligible next to model training.
+  while (true) {
+    // Pick the smallest under-populated region (id tie-break).
+    int victim = -1;
+    for (size_t region = 0; region < population.size(); ++region) {
+      if (population[region] >= options.min_population) continue;
+      if (victim == -1 || population[region] < population[victim] ||
+          (population[region] == population[victim] &&
+           static_cast<int>(region) < victim)) {
+        victim = static_cast<int>(region);
+      }
+    }
+    if (victim == -1) break;
+
+    const auto boundary = ComputeAdjacency(grid, cell_to_region);
+    // Best neighbor: longest shared boundary, then smallest population,
+    // then smallest id.
+    int best_neighbor = -1;
+    int best_boundary = -1;
+    for (const auto& [pair, length] : boundary) {
+      int other = -1;
+      if (pair.first == victim) other = pair.second;
+      if (pair.second == victim) other = pair.first;
+      if (other < 0) continue;
+      const bool better =
+          length > best_boundary ||
+          (length == best_boundary &&
+           (best_neighbor == -1 ||
+            population[other] < population[best_neighbor] ||
+            (population[other] == population[best_neighbor] &&
+             other < best_neighbor)));
+      if (better) {
+        best_boundary = length;
+        best_neighbor = other;
+      }
+    }
+    if (best_neighbor < 0) break;  // No neighbor (single region left).
+
+    for (int& region : cell_to_region) {
+      if (region == victim) region = best_neighbor;
+    }
+    population[static_cast<size_t>(best_neighbor)] +=
+        population[static_cast<size_t>(victim)];
+    // Mark the victim as satisfied/emptied so it is never picked again.
+    population[static_cast<size_t>(victim)] = options.min_population;
+    ++out.merges;
+    if (out.merges > partition.num_regions()) {
+      return InternalError("MergeSmallRegions: merge loop did not converge");
+    }
+  }
+
+  FAIRIDX_ASSIGN_OR_RETURN(out.partition,
+                           Partition::FromCellMap(std::move(cell_to_region)));
+  return out;
+}
+
+}  // namespace fairidx

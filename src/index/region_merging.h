@@ -1,0 +1,49 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Minimum-population post-processing: greedily merges under-populated
+// regions into adjacent ones until every region holds at least
+// `min_population` records. Theorem 2 run in reverse guarantees merging
+// never increases ENCE, so this trades granularity for statistical
+// reliability of the published neighborhoods (tiny districts of 1-2
+// records are noise). Merging works on arbitrary cell maps, so the result
+// may be non-rectangular.
+
+#ifndef FAIRIDX_INDEX_REGION_MERGING_H_
+#define FAIRIDX_INDEX_REGION_MERGING_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "geo/grid.h"
+#include "index/partition.h"
+
+namespace fairidx {
+
+/// Options for the merging pass.
+struct RegionMergingOptions {
+  /// Regions with fewer records are merged away (0 disables the pass).
+  double min_population = 10.0;
+};
+
+/// Result of a merging pass.
+struct RegionMergingResult {
+  Partition partition = Partition::Single(1);
+  /// Number of merge operations performed.
+  int merges = 0;
+};
+
+/// Merges under-populated regions of `partition` into grid-adjacent
+/// neighbors. `record_cells` locates the records that define populations.
+/// Deterministic: the smallest-population region merges first (region id
+/// as tie-break) into the adjacent region sharing the longest boundary
+/// (then smallest population). Isolated under-populated regions with no
+/// neighbor (single-region partitions) are left as-is.
+Result<RegionMergingResult> MergeSmallRegions(
+    const Grid& grid, const Partition& partition,
+    const std::vector<int>& record_cells,
+    const RegionMergingOptions& options);
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_INDEX_REGION_MERGING_H_

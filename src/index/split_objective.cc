@@ -1,0 +1,65 @@
+#include "index/split_objective.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairidx {
+
+const char* SplitObjectiveKindName(SplitObjectiveKind kind) {
+  switch (kind) {
+    case SplitObjectiveKind::kPaperEq9:
+      return "eq9";
+    case SplitObjectiveKind::kMinimaxChild:
+      return "minimax";
+    case SplitObjectiveKind::kWeightedSum:
+      return "weighted_sum";
+    case SplitObjectiveKind::kResidualBalanceEq13:
+      return "residual_eq13";
+    case SplitObjectiveKind::kResidualBalanceEq9:
+      return "residual_eq9";
+    case SplitObjectiveKind::kMedianCount:
+      return "median_count";
+  }
+  return "unknown";
+}
+
+double EvaluateSplit(const SplitObjectiveOptions& options,
+                     const CellRect& left_rect, const RegionAggregate& left,
+                     const CellRect& right_rect,
+                     const RegionAggregate& right) {
+  double objective = 0.0;
+  switch (options.kind) {
+    case SplitObjectiveKind::kPaperEq9:
+      objective = std::abs(left.WeightedMiscalibration() -
+                           right.WeightedMiscalibration());
+      break;
+    case SplitObjectiveKind::kMinimaxChild:
+      objective = std::max(left.WeightedMiscalibration(),
+                           right.WeightedMiscalibration());
+      break;
+    case SplitObjectiveKind::kWeightedSum:
+      objective = left.WeightedMiscalibration() +
+                  right.WeightedMiscalibration();
+      break;
+    case SplitObjectiveKind::kResidualBalanceEq13:
+      objective = std::abs(left.count * left.AbsResidualSum() -
+                           right.count * right.AbsResidualSum());
+      break;
+    case SplitObjectiveKind::kResidualBalanceEq9:
+      objective =
+          std::abs(left.AbsResidualSum() - right.AbsResidualSum());
+      break;
+    case SplitObjectiveKind::kMedianCount:
+      objective = std::abs(left.count - right.count);
+      break;
+  }
+  if (options.compactness_weight > 0.0) {
+    const double penalty =
+        (left_rect.AspectRatio() + right_rect.AspectRatio()) / 2.0 - 1.0;
+    objective +=
+        options.compactness_weight * (left.count + right.count) * penalty;
+  }
+  return objective;
+}
+
+}  // namespace fairidx

@@ -1,0 +1,86 @@
+#include "index/str_partition.h"
+
+#include <cmath>
+
+namespace fairidx {
+namespace {
+
+// Cuts the index range [begin, end) into `pieces` contiguous chunks whose
+// record counts (given by `count_of(i)` for slice i) are as equal as
+// possible, via greedy quantile sweeping. Returns the cut boundaries,
+// starting with `begin` and ending with `end`.
+template <typename CountFn>
+std::vector<int> BalancedCuts(int begin, int end, int pieces,
+                              CountFn count_of) {
+  std::vector<int> cuts = {begin};
+  if (pieces <= 1 || end - begin <= 1) {
+    cuts.push_back(end);
+    return cuts;
+  }
+  pieces = std::min(pieces, end - begin);
+  double total = 0.0;
+  for (int i = begin; i < end; ++i) total += count_of(i);
+
+  double running = 0.0;
+  int made = 0;
+  for (int i = begin; i < end && made + 1 < pieces; ++i) {
+    running += count_of(i);
+    const double target =
+        total * static_cast<double>(made + 1) / static_cast<double>(pieces);
+    if (running >= target && i + 1 < end) {
+      cuts.push_back(i + 1);
+      ++made;
+    }
+  }
+  cuts.push_back(end);
+  return cuts;
+}
+
+}  // namespace
+
+Result<PartitionResult> BuildStrPartition(const Grid& grid,
+                                          const GridAggregates& aggregates,
+                                          int target_regions) {
+  if (target_regions < 1) {
+    return InvalidArgumentError("STR: target_regions must be >= 1");
+  }
+  if (aggregates.rows() != grid.rows() || aggregates.cols() != grid.cols()) {
+    return InvalidArgumentError("STR: aggregates/grid shape mismatch");
+  }
+
+  const int num_slabs = std::max(
+      1, static_cast<int>(std::llround(std::sqrt(target_regions))));
+  const int rows_per_slab =
+      std::max(1, (target_regions + num_slabs - 1) / num_slabs);
+
+  // Vertical slabs balanced by per-column record counts.
+  const CellRect full = grid.FullRect();
+  auto column_count = [&](int col) {
+    return aggregates.Query(CellRect{0, grid.rows(), col, col + 1}).count;
+  };
+  const std::vector<int> col_cuts =
+      BalancedCuts(full.col_begin, full.col_end, num_slabs, column_count);
+
+  std::vector<CellRect> tiles;
+  for (size_t s = 0; s + 1 < col_cuts.size(); ++s) {
+    const int c0 = col_cuts[s];
+    const int c1 = col_cuts[s + 1];
+    auto row_count = [&](int row) {
+      return aggregates.Query(CellRect{row, row + 1, c0, c1}).count;
+    };
+    const std::vector<int> row_cuts =
+        BalancedCuts(full.row_begin, full.row_end, rows_per_slab, row_count);
+    for (size_t t = 0; t + 1 < row_cuts.size(); ++t) {
+      tiles.push_back(CellRect{row_cuts[t], row_cuts[t + 1], c0, c1});
+    }
+  }
+
+  FAIRIDX_ASSIGN_OR_RETURN(Partition partition,
+                           Partition::FromRects(grid, tiles));
+  PartitionResult out;
+  out.partition = std::move(partition);
+  out.regions = std::move(tiles);
+  return out;
+}
+
+}  // namespace fairidx

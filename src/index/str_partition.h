@@ -1,0 +1,28 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Sort-Tile-Recursive (STR) slab partitioning: the R-tree-family packing
+// heuristic adapted to produce a complete, non-overlapping partition (the
+// paper's future work mentions R+-trees for full-coverage clustering).
+// Columns are cut into ~sqrt(t) vertical slabs of equal record count; each
+// slab is cut into rows of equal count, yielding ~t tiles.
+
+#ifndef FAIRIDX_INDEX_STR_PARTITION_H_
+#define FAIRIDX_INDEX_STR_PARTITION_H_
+
+#include "common/result.h"
+#include "geo/grid.h"
+#include "geo/grid_aggregates.h"
+#include "index/partition.h"
+
+namespace fairidx {
+
+/// Builds an STR slab partition with approximately `target_regions` tiles,
+/// balanced by record count. Deterministic.
+Result<PartitionResult> BuildStrPartition(const Grid& grid,
+                                          const GridAggregates& aggregates,
+                                          int target_regions);
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_INDEX_STR_PARTITION_H_

@@ -1,0 +1,55 @@
+#include "index/uniform_grid.h"
+
+namespace fairidx {
+namespace {
+
+void HalveRecursive(const CellRect& rect, int remaining_height,
+                    std::vector<CellRect>* leaves) {
+  if (remaining_height == 0 || rect.num_cells() <= 1) {
+    leaves->push_back(rect);
+    return;
+  }
+  int axis = remaining_height % 2;
+  // Fall back to the other axis when this one is a single row/column.
+  if ((axis == 0 && rect.num_rows() < 2) ||
+      (axis == 1 && rect.num_cols() < 2)) {
+    axis = 1 - axis;
+  }
+  if ((axis == 0 && rect.num_rows() < 2) ||
+      (axis == 1 && rect.num_cols() < 2)) {
+    leaves->push_back(rect);
+    return;
+  }
+  CellRect left = rect;
+  CellRect right = rect;
+  if (axis == 0) {
+    const int mid = rect.row_begin + rect.num_rows() / 2;
+    left.row_end = mid;
+    right.row_begin = mid;
+  } else {
+    const int mid = rect.col_begin + rect.num_cols() / 2;
+    left.col_end = mid;
+    right.col_begin = mid;
+  }
+  HalveRecursive(left, remaining_height - 1, leaves);
+  HalveRecursive(right, remaining_height - 1, leaves);
+}
+
+}  // namespace
+
+Result<PartitionResult> BuildUniformGridPartition(const Grid& grid,
+                                                  int height) {
+  if (height < 0) {
+    return InvalidArgumentError("uniform grid: height must be >= 0");
+  }
+  std::vector<CellRect> leaves;
+  HalveRecursive(grid.FullRect(), height, &leaves);
+  FAIRIDX_ASSIGN_OR_RETURN(Partition partition,
+                           Partition::FromRects(grid, leaves));
+  PartitionResult out;
+  out.partition = std::move(partition);
+  out.regions = std::move(leaves);
+  return out;
+}
+
+}  // namespace fairidx

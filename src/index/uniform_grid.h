@@ -1,0 +1,25 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Data-agnostic uniform partitioning: recursively halves the grid by cell
+// midpoints to height th, yielding up to 2^th equal blocks. This is the
+// grouping underlying the paper's "Grid (Reweighting)" baseline at a given
+// tree height.
+
+#ifndef FAIRIDX_INDEX_UNIFORM_GRID_H_
+#define FAIRIDX_INDEX_UNIFORM_GRID_H_
+
+#include "common/result.h"
+#include "geo/grid.h"
+#include "index/partition.h"
+
+namespace fairidx {
+
+/// Builds the uniform 2^height-block partition of `grid` (alternating axes,
+/// midpoint splits; blocks stop splitting at single rows/columns).
+Result<PartitionResult> BuildUniformGridPartition(const Grid& grid,
+                                                  int height);
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_INDEX_UNIFORM_GRID_H_

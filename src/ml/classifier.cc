@@ -1,0 +1,43 @@
+#include "ml/classifier.h"
+
+namespace fairidx {
+
+std::vector<int> ScoresToLabels(const std::vector<double>& scores,
+                                double threshold) {
+  std::vector<int> labels(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    labels[i] = scores[i] >= threshold ? 1 : 0;
+  }
+  return labels;
+}
+
+Status ValidateTrainingInputs(const Matrix& X, const std::vector<int>& y,
+                              const std::vector<double>* sample_weights) {
+  if (X.rows() == 0 || X.cols() == 0) {
+    return InvalidArgumentError("Fit: empty design matrix");
+  }
+  if (y.size() != X.rows()) {
+    return InvalidArgumentError("Fit: labels size != rows");
+  }
+  for (int label : y) {
+    if (label != 0 && label != 1) {
+      return InvalidArgumentError("Fit: labels must be 0 or 1");
+    }
+  }
+  if (sample_weights != nullptr) {
+    if (sample_weights->size() != X.rows()) {
+      return InvalidArgumentError("Fit: sample_weights size != rows");
+    }
+    double total = 0.0;
+    for (double w : *sample_weights) {
+      if (w < 0.0) return InvalidArgumentError("Fit: negative sample weight");
+      total += w;
+    }
+    if (total <= 0.0) {
+      return InvalidArgumentError("Fit: sample weights sum to zero");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace fairidx

@@ -1,0 +1,159 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairidx {
+namespace {
+
+// Gini impurity of a (weight, positive-weight) mass.
+double Gini(double total, double positive) {
+  if (total <= 0.0) return 0.0;
+  const double p = positive / total;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+Status DecisionTree::Fit(const Matrix& X, const std::vector<int>& y,
+                         const std::vector<double>* sample_weights) {
+  FAIRIDX_RETURN_IF_ERROR(ValidateTrainingInputs(X, y, sample_weights));
+  nodes_.clear();
+  num_features_ = X.cols();
+  importances_.assign(num_features_, 0.0);
+
+  std::vector<double> weights(X.rows(), 1.0);
+  if (sample_weights != nullptr) weights = *sample_weights;
+
+  std::vector<size_t> indices(X.rows());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  BuildNode(X, y, weights, indices, 0, indices.size(), 0);
+  return Status::Ok();
+}
+
+int DecisionTree::BuildNode(const Matrix& X, const std::vector<int>& y,
+                            const std::vector<double>& weights,
+                            std::vector<size_t>& indices, size_t begin,
+                            size_t end, int depth) {
+  double total_weight = 0.0;
+  double positive_weight = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    total_weight += weights[indices[i]];
+    positive_weight += weights[indices[i]] * y[indices[i]];
+  }
+
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_id].score =
+      total_weight > 0 ? positive_weight / total_weight : 0.0;
+
+  const double node_gini = Gini(total_weight, positive_weight);
+  const bool splittable = depth < options_.max_depth &&
+                          total_weight >= options_.min_weight_split &&
+                          node_gini > 0.0;
+  if (!splittable) return node_id;
+
+  // Best split over all features; ties keep the first (lowest feature,
+  // lowest threshold), which makes the tree deterministic. A candidate
+  // with zero improvement is still eligible (sklearn semantics), subject
+  // to min_impurity_decrease below.
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_decrease = -1.0;
+  std::vector<std::pair<double, size_t>> order(end - begin);
+
+  for (size_t f = 0; f < num_features_; ++f) {
+    for (size_t i = begin; i < end; ++i) {
+      order[i - begin] = {X(indices[i], f), indices[i]};
+    }
+    std::sort(order.begin(), order.end());
+
+    double left_weight = 0.0;
+    double left_positive = 0.0;
+    for (size_t i = 0; i + 1 < order.size(); ++i) {
+      const size_t row = order[i].second;
+      left_weight += weights[row];
+      left_positive += weights[row] * y[row];
+      // Candidate thresholds lie between distinct consecutive values.
+      if (order[i].first == order[i + 1].first) continue;
+      const double right_weight = total_weight - left_weight;
+      const double right_positive = positive_weight - left_positive;
+      if (left_weight < options_.min_weight_leaf ||
+          right_weight < options_.min_weight_leaf) {
+        continue;
+      }
+      const double child_gini =
+          (left_weight * Gini(left_weight, left_positive) +
+           right_weight * Gini(right_weight, right_positive)) /
+          total_weight;
+      const double decrease = node_gini - child_gini;
+      if (decrease > best_decrease) {
+        best_decrease = decrease;
+        best_feature = static_cast<int>(f);
+        best_threshold = (order[i].first + order[i + 1].first) / 2.0;
+      }
+    }
+  }
+  if (best_feature < 0 || best_decrease < options_.min_impurity_decrease) {
+    return node_id;
+  }
+
+  // Partition [begin, end) by the chosen split; stable to keep determinism.
+  std::vector<size_t> left_rows;
+  std::vector<size_t> right_rows;
+  for (size_t i = begin; i < end; ++i) {
+    if (X(indices[i], static_cast<size_t>(best_feature)) <= best_threshold) {
+      left_rows.push_back(indices[i]);
+    } else {
+      right_rows.push_back(indices[i]);
+    }
+  }
+  std::copy(left_rows.begin(), left_rows.end(), indices.begin() + begin);
+  std::copy(right_rows.begin(), right_rows.end(),
+            indices.begin() + begin + left_rows.size());
+
+  importances_[static_cast<size_t>(best_feature)] +=
+      total_weight * best_decrease;
+
+  const size_t mid = begin + left_rows.size();
+  const int left_id = BuildNode(X, y, weights, indices, begin, mid, depth + 1);
+  const int right_id = BuildNode(X, y, weights, indices, mid, end, depth + 1);
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  nodes_[node_id].left = left_id;
+  nodes_[node_id].right = right_id;
+  return node_id;
+}
+
+Result<std::vector<double>> DecisionTree::PredictScores(
+    const Matrix& X) const {
+  if (nodes_.empty()) {
+    return FailedPreconditionError("DecisionTree: predict before fit");
+  }
+  if (X.cols() != num_features_) {
+    return InvalidArgumentError("DecisionTree: feature count mismatch");
+  }
+  std::vector<double> scores(X.rows());
+  for (size_t r = 0; r < X.rows(); ++r) {
+    int node = 0;
+    while (nodes_[node].feature >= 0) {
+      const double v = X(r, static_cast<size_t>(nodes_[node].feature));
+      node = v <= nodes_[node].threshold ? nodes_[node].left
+                                         : nodes_[node].right;
+    }
+    scores[r] = nodes_[node].score;
+  }
+  return scores;
+}
+
+std::vector<double> DecisionTree::FeatureImportances() const {
+  std::vector<double> out = importances_;
+  double total = 0.0;
+  for (double v : out) total += v;
+  if (total > 0.0) {
+    for (double& v : out) v /= total;
+  }
+  return out;
+}
+
+}  // namespace fairidx

@@ -1,0 +1,81 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// CART-style binary decision tree with Gini impurity. One of the paper's
+// three evaluated classifiers. Leaf scores are weighted positive fractions,
+// so the tree emits usable confidence scores, not just labels.
+
+#ifndef FAIRIDX_ML_DECISION_TREE_H_
+#define FAIRIDX_ML_DECISION_TREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace fairidx {
+
+/// Hyper-parameters for DecisionTree.
+struct DecisionTreeOptions {
+  int max_depth = 6;
+  /// A split is only considered if both children carry at least this weight.
+  double min_weight_leaf = 5.0;
+  /// Nodes below this weight become leaves.
+  double min_weight_split = 10.0;
+  /// Minimum Gini improvement to accept a split. The default 0 matches
+  /// sklearn: zero-improvement splits are allowed (needed to escape
+  /// XOR-like plateaus), and growth stops at depth/weight limits.
+  double min_impurity_decrease = 0.0;
+};
+
+/// Binary CART classifier.
+class DecisionTree : public Classifier {
+ public:
+  DecisionTree() = default;
+  explicit DecisionTree(const DecisionTreeOptions& options)
+      : options_(options) {}
+
+  Status Fit(const Matrix& X, const std::vector<int>& y,
+             const std::vector<double>* sample_weights) override;
+  using Classifier::Fit;
+
+  Result<std::vector<double>> PredictScores(const Matrix& X) const override;
+
+  /// Importance = total weighted Gini decrease per feature, normalized.
+  std::vector<double> FeatureImportances() const override;
+
+  std::string name() const override { return "decision_tree"; }
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<DecisionTree>(options_);
+  }
+  bool is_fitted() const override { return !nodes_.empty(); }
+
+  /// Number of nodes in the fitted tree (diagnostics).
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    // Internal nodes route x[feature] <= threshold to `left`, else `right`;
+    // leaves have feature == -1 and carry `score`.
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    double score = 0.0;
+  };
+
+  int BuildNode(const Matrix& X, const std::vector<int>& y,
+                const std::vector<double>& weights,
+                std::vector<size_t>& indices, size_t begin, size_t end,
+                int depth);
+
+  DecisionTreeOptions options_;
+  std::vector<Node> nodes_;
+  std::vector<double> importances_;
+  size_t num_features_ = 0;
+};
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_ML_DECISION_TREE_H_

@@ -1,0 +1,175 @@
+#include "ml/fair_logistic_regression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "ml/logistic_regression.h"
+
+namespace fairidx {
+namespace {
+
+// Groups row indices by the integer value of the group column.
+std::map<int, std::vector<size_t>> GroupRows(const Matrix& X,
+                                             size_t group_column) {
+  std::map<int, std::vector<size_t>> groups;
+  for (size_t r = 0; r < X.rows(); ++r) {
+    groups[static_cast<int>(std::llround(X(r, group_column)))].push_back(r);
+  }
+  return groups;
+}
+
+}  // namespace
+
+Status FairLogisticRegression::Fit(const Matrix& X,
+                                   const std::vector<int>& y,
+                                   const std::vector<double>* sample_weights) {
+  FAIRIDX_RETURN_IF_ERROR(ValidateTrainingInputs(X, y, sample_weights));
+  if (sample_weights != nullptr) {
+    return UnimplementedError(
+        "FairLogisticRegression: sample weights are not supported (the "
+        "fairness penalty already reweights groups)");
+  }
+  const size_t d = X.cols();
+  const size_t group_column =
+      options_.group_column < 0
+          ? d - 1
+          : static_cast<size_t>(options_.group_column);
+  if (group_column >= d) {
+    return InvalidArgumentError(
+        "FairLogisticRegression: group_column out of range");
+  }
+  fitted_ = false;
+
+  FAIRIDX_RETURN_IF_ERROR(standardizer_.Fit(X));
+  auto transformed = standardizer_.Transform(X);
+  if (!transformed.ok()) return transformed.status();
+  const Matrix& Z = transformed.value();
+  const size_t n = Z.rows();
+  const double n_d = static_cast<double>(n);
+
+  // Group membership comes from the raw (unstandardized) column.
+  const std::map<int, std::vector<size_t>> groups =
+      GroupRows(X, group_column);
+
+  const double lambda = options_.fairness_weight;
+  std::vector<double> p(n, 0.5);
+
+  auto recompute_scores = [&]() {
+    for (size_t r = 0; r < n; ++r) {
+      p[r] = Sigmoid(Z.RowDot(r, weights_) + intercept_);
+    }
+  };
+  auto loss_at = [&]() {
+    double loss = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      const double clamped = std::clamp(p[r], 1e-12, 1.0 - 1e-12);
+      loss += y[r] == 1 ? -std::log(clamped) : -std::log(1.0 - clamped);
+    }
+    loss /= n_d;
+    double penalty = 0.0;
+    for (const auto& [group, rows] : groups) {
+      double residual = 0.0;
+      for (size_t r : rows) residual += p[r] - y[r];
+      const double mean_residual = residual / static_cast<double>(rows.size());
+      penalty += (static_cast<double>(rows.size()) / n_d) * mean_residual *
+                 mean_residual;
+    }
+    double l2_term = 0.0;
+    for (double w : weights_) l2_term += w * w;
+    return loss + lambda * penalty + 0.5 * options_.l2 * l2_term;
+  };
+
+  weights_.assign(d, 0.0);
+  intercept_ = 0.0;
+  recompute_scores();
+  double prev_loss = loss_at();
+  double step = options_.learning_rate;
+  std::vector<double> grad(d, 0.0);
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    // Data-fit gradient.
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_b = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      const double err = (p[r] - y[r]) / n_d;
+      const double* row = Z.Row(r);
+      for (size_t c = 0; c < d; ++c) grad[c] += err * row[c];
+      grad_b += err;
+    }
+    // Fairness-penalty gradient: for group g with mean residual m_g,
+    // d/dw = 2 * lambda * (|g|/n) * m_g * (1/|g|) * sum_g p(1-p) x.
+    for (const auto& [group, rows] : groups) {
+      double residual = 0.0;
+      for (size_t r : rows) residual += p[r] - y[r];
+      const double group_size = static_cast<double>(rows.size());
+      const double mean_residual = residual / group_size;
+      const double coefficient =
+          2.0 * lambda * (group_size / n_d) * mean_residual / group_size;
+      for (size_t r : rows) {
+        const double sensitivity = p[r] * (1.0 - p[r]);
+        const double* row = Z.Row(r);
+        for (size_t c = 0; c < d; ++c) {
+          grad[c] += coefficient * sensitivity * row[c];
+        }
+        grad_b += coefficient * sensitivity;
+      }
+    }
+    double max_grad = std::abs(grad_b);
+    for (size_t c = 0; c < d; ++c) {
+      grad[c] += options_.l2 * weights_[c];
+      max_grad = std::max(max_grad, std::abs(grad[c]));
+    }
+    if (max_grad < options_.gradient_tolerance) break;
+
+    const std::vector<double> old_weights = weights_;
+    const double old_intercept = intercept_;
+    while (true) {
+      for (size_t c = 0; c < d; ++c) {
+        weights_[c] = old_weights[c] - step * grad[c];
+      }
+      intercept_ = old_intercept - step * grad_b;
+      recompute_scores();
+      const double loss = loss_at();
+      if (loss <= prev_loss + 1e-12 || step < 1e-8) {
+        prev_loss = loss;
+        step = std::min(step * 1.05, options_.learning_rate * 4.0);
+        break;
+      }
+      step *= 0.5;
+    }
+  }
+  fitted_ = true;
+  return Status::Ok();
+}
+
+Result<std::vector<double>> FairLogisticRegression::PredictScores(
+    const Matrix& X) const {
+  if (!fitted_) {
+    return FailedPreconditionError(
+        "FairLogisticRegression: predict before fit");
+  }
+  auto transformed = standardizer_.Transform(X);
+  if (!transformed.ok()) return transformed.status();
+  const Matrix& Z = transformed.value();
+  std::vector<double> scores(Z.rows());
+  for (size_t r = 0; r < Z.rows(); ++r) {
+    scores[r] = Sigmoid(Z.RowDot(r, weights_) + intercept_);
+  }
+  return scores;
+}
+
+std::vector<double> FairLogisticRegression::FeatureImportances() const {
+  std::vector<double> importances(weights_.size(), 0.0);
+  double total = 0.0;
+  for (size_t c = 0; c < weights_.size(); ++c) {
+    importances[c] = std::abs(weights_[c]);
+    total += importances[c];
+  }
+  if (total > 0.0) {
+    for (double& v : importances) v /= total;
+  }
+  return importances;
+}
+
+}  // namespace fairidx

@@ -1,0 +1,76 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// In-processing mitigation comparator: logistic regression with a
+// group-calibration penalty, in the spirit of the prejudice-remover
+// regularizer cited by the paper's related work (Section 3). The loss adds
+//
+//   lambda * sum_g (|g|/n) * ((1/|g|) * sum_{i in g} (p_i - y_i))^2
+//
+// penalising each neighborhood's mean residual — a differentiable proxy
+// for ENCE. Group ids are read from a designated column of the design
+// matrix (by default the last column, i.e. the pipeline's neighborhood
+// feature), which keeps the generic Classifier interface intact.
+
+#ifndef FAIRIDX_ML_FAIR_LOGISTIC_REGRESSION_H_
+#define FAIRIDX_ML_FAIR_LOGISTIC_REGRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/standardizer.h"
+
+namespace fairidx {
+
+/// Hyper-parameters for FairLogisticRegression.
+struct FairLogisticRegressionOptions {
+  /// Strength of the group-calibration penalty (0 = plain LR).
+  double fairness_weight = 1.0;
+  /// Design-matrix column holding integer group ids; -1 means the last
+  /// column. The column also remains an ordinary feature.
+  int group_column = -1;
+  double learning_rate = 0.5;
+  int max_iterations = 500;
+  double gradient_tolerance = 1e-6;
+  double l2 = 1e-3;
+};
+
+/// Logistic regression whose training loss penalises per-neighborhood mean
+/// residuals.
+class FairLogisticRegression : public Classifier {
+ public:
+  FairLogisticRegression() = default;
+  explicit FairLogisticRegression(
+      const FairLogisticRegressionOptions& options)
+      : options_(options) {}
+
+  Status Fit(const Matrix& X, const std::vector<int>& y,
+             const std::vector<double>* sample_weights) override;
+  using Classifier::Fit;
+
+  Result<std::vector<double>> PredictScores(const Matrix& X) const override;
+
+  std::vector<double> FeatureImportances() const override;
+
+  std::string name() const override { return "fair_logistic_regression"; }
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<FairLogisticRegression>(options_);
+  }
+  bool is_fitted() const override { return fitted_; }
+
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  FairLogisticRegressionOptions options_;
+  Standardizer standardizer_;
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_ML_FAIR_LOGISTIC_REGRESSION_H_

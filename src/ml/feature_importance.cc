@@ -1,0 +1,47 @@
+#include "ml/feature_importance.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fairidx {
+
+void ImportanceHeatmap::AddRow(int height,
+                               const std::vector<double>& importances) {
+  if (importances.size() != feature_names.size()) {
+    std::fprintf(stderr,
+                 "ImportanceHeatmap::AddRow: %zu importances for %zu "
+                 "features\n",
+                 importances.size(), feature_names.size());
+    std::abort();
+  }
+  heights.push_back(height);
+  if (values.empty()) {
+    values = Matrix(0, feature_names.size());
+  }
+  values.AppendRow(importances);
+}
+
+TablePrinter ImportanceHeatmap::ToTable(int precision) const {
+  std::vector<std::string> header = {"height"};
+  header.insert(header.end(), feature_names.begin(), feature_names.end());
+  TablePrinter table(std::move(header));
+  for (size_t i = 0; i < heights.size(); ++i) {
+    std::vector<std::string> row = {std::to_string(heights[i])};
+    for (size_t j = 0; j < feature_names.size(); ++j) {
+      row.push_back(TablePrinter::FormatDouble(values(i, j), precision));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+std::vector<double> NormalizeImportances(std::vector<double> raw) {
+  double total = 0.0;
+  for (double v : raw) total += v;
+  if (total > 0.0) {
+    for (double& v : raw) v /= total;
+  }
+  return raw;
+}
+
+}  // namespace fairidx

@@ -1,0 +1,39 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Feature-importance heatmaps over tree heights (the paper's Figure 9): for
+// each index height, the normalized importance of every feature (including
+// the neighborhood attribute) in the retrained classifier.
+
+#ifndef FAIRIDX_ML_FEATURE_IMPORTANCE_H_
+#define FAIRIDX_ML_FEATURE_IMPORTANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/table_printer.h"
+
+namespace fairidx {
+
+/// A heights x features grid of normalized importances.
+struct ImportanceHeatmap {
+  std::vector<std::string> feature_names;
+  std::vector<int> heights;
+  /// values(i, j) = importance of feature j at heights[i]; rows sum to 1
+  /// (or 0 when the model found no signal).
+  Matrix values;
+
+  /// Adds one row; `importances` must match feature_names in size.
+  void AddRow(int height, const std::vector<double>& importances);
+
+  /// Renders as an aligned table, one row per height.
+  TablePrinter ToTable(int precision = 3) const;
+};
+
+/// Normalizes non-negative raw importances to sum to 1 (no-op on all-zeros).
+std::vector<double> NormalizeImportances(std::vector<double> raw);
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_ML_FEATURE_IMPORTANCE_H_

@@ -1,0 +1,136 @@
+#include "ml/logistic_regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairidx {
+
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+namespace {
+
+// Weighted negative log-likelihood + L2, averaged over total weight.
+double ComputeLoss(const Matrix& Z, const std::vector<int>& y,
+                   const std::vector<double>& weights_per_sample,
+                   double total_weight, const std::vector<double>& w,
+                   double b, double l2) {
+  double loss = 0.0;
+  for (size_t r = 0; r < Z.rows(); ++r) {
+    const double margin = Z.RowDot(r, w) + b;
+    // log(1 + exp(-m)) for y=1 and log(1 + exp(m)) for y=0, stably.
+    const double z = y[r] == 1 ? margin : -margin;
+    const double nll = z > 0 ? std::log1p(std::exp(-z)) : -z +
+                                   std::log1p(std::exp(z));
+    loss += weights_per_sample[r] * nll;
+  }
+  loss /= total_weight;
+  double penalty = 0.0;
+  for (double wj : w) penalty += wj * wj;
+  return loss + 0.5 * l2 * penalty;
+}
+
+}  // namespace
+
+Status LogisticRegression::Fit(const Matrix& X, const std::vector<int>& y,
+                               const std::vector<double>* sample_weights) {
+  FAIRIDX_RETURN_IF_ERROR(ValidateTrainingInputs(X, y, sample_weights));
+  fitted_ = false;
+
+  FAIRIDX_RETURN_IF_ERROR(standardizer_.Fit(X, sample_weights));
+  auto transformed = standardizer_.Transform(X);
+  if (!transformed.ok()) return transformed.status();
+  const Matrix& Z = transformed.value();
+
+  const size_t n = Z.rows();
+  const size_t d = Z.cols();
+  std::vector<double> weights_per_sample(n, 1.0);
+  if (sample_weights != nullptr) weights_per_sample = *sample_weights;
+  double total_weight = 0.0;
+  for (double w : weights_per_sample) total_weight += w;
+
+  weights_.assign(d, 0.0);
+  intercept_ = 0.0;
+  double step = options_.learning_rate;
+  double prev_loss = ComputeLoss(Z, y, weights_per_sample, total_weight,
+                                 weights_, intercept_, options_.l2);
+
+  std::vector<double> grad(d, 0.0);
+  last_fit_iterations_ = 0;
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_b = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      const double p = Sigmoid(Z.RowDot(r, weights_) + intercept_);
+      const double err = weights_per_sample[r] * (p - y[r]);
+      const double* row = Z.Row(r);
+      for (size_t c = 0; c < d; ++c) grad[c] += err * row[c];
+      grad_b += err;
+    }
+    double max_grad = std::abs(grad_b / total_weight);
+    for (size_t c = 0; c < d; ++c) {
+      grad[c] = grad[c] / total_weight + options_.l2 * weights_[c];
+      max_grad = std::max(max_grad, std::abs(grad[c]));
+    }
+    grad_b /= total_weight;
+    ++last_fit_iterations_;
+    if (max_grad < options_.gradient_tolerance) break;
+
+    // Backtracking step: retry with halved step while the loss increases.
+    const std::vector<double> old_weights = weights_;
+    const double old_intercept = intercept_;
+    while (true) {
+      for (size_t c = 0; c < d; ++c) {
+        weights_[c] = old_weights[c] - step * grad[c];
+      }
+      intercept_ = old_intercept - step * grad_b;
+      const double loss = ComputeLoss(Z, y, weights_per_sample, total_weight,
+                                      weights_, intercept_, options_.l2);
+      if (loss <= prev_loss + 1e-12 || step < 1e-8) {
+        prev_loss = loss;
+        // Gentle step growth recovers speed after a backtrack.
+        step = std::min(step * 1.05, options_.learning_rate * 4.0);
+        break;
+      }
+      step *= 0.5;
+    }
+  }
+  fitted_ = true;
+  return Status::Ok();
+}
+
+Result<std::vector<double>> LogisticRegression::PredictScores(
+    const Matrix& X) const {
+  if (!fitted_) {
+    return FailedPreconditionError("LogisticRegression: predict before fit");
+  }
+  auto transformed = standardizer_.Transform(X);
+  if (!transformed.ok()) return transformed.status();
+  const Matrix& Z = transformed.value();
+  std::vector<double> scores(Z.rows());
+  for (size_t r = 0; r < Z.rows(); ++r) {
+    scores[r] = Sigmoid(Z.RowDot(r, weights_) + intercept_);
+  }
+  return scores;
+}
+
+std::vector<double> LogisticRegression::FeatureImportances() const {
+  std::vector<double> importances(weights_.size(), 0.0);
+  double total = 0.0;
+  for (size_t c = 0; c < weights_.size(); ++c) {
+    importances[c] = std::abs(weights_[c]);
+    total += importances[c];
+  }
+  if (total > 0.0) {
+    for (double& v : importances) v /= total;
+  }
+  return importances;
+}
+
+}  // namespace fairidx

@@ -1,0 +1,73 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// L2-regularised logistic regression trained with full-batch gradient
+// descent on standardized features. The paper's primary classifier.
+
+#ifndef FAIRIDX_ML_LOGISTIC_REGRESSION_H_
+#define FAIRIDX_ML_LOGISTIC_REGRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/standardizer.h"
+
+namespace fairidx {
+
+/// Hyper-parameters for LogisticRegression.
+struct LogisticRegressionOptions {
+  /// Initial step size; the optimiser halves it on loss increase.
+  double learning_rate = 0.5;
+  int max_iterations = 500;
+  /// Stop when the max absolute gradient component falls below this.
+  double gradient_tolerance = 1e-6;
+  /// L2 penalty on non-intercept weights (per-sample scale).
+  double l2 = 1e-3;
+};
+
+/// Binary logistic regression: p(y=1|x) = sigmoid(w . z + b) with z the
+/// standardized feature vector.
+class LogisticRegression : public Classifier {
+ public:
+  LogisticRegression() = default;
+  explicit LogisticRegression(const LogisticRegressionOptions& options)
+      : options_(options) {}
+
+  Status Fit(const Matrix& X, const std::vector<int>& y,
+             const std::vector<double>* sample_weights) override;
+  using Classifier::Fit;
+
+  Result<std::vector<double>> PredictScores(const Matrix& X) const override;
+
+  /// Importance = |w_j| on the standardized scale, normalized to sum 1.
+  std::vector<double> FeatureImportances() const override;
+
+  std::string name() const override { return "logistic_regression"; }
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<LogisticRegression>(options_);
+  }
+  bool is_fitted() const override { return fitted_; }
+
+  /// Fitted weights on the standardized scale (size = feature count).
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+  /// Number of gradient-descent iterations the last Fit performed.
+  int last_fit_iterations() const { return last_fit_iterations_; }
+
+ private:
+  LogisticRegressionOptions options_;
+  Standardizer standardizer_;
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+  bool fitted_ = false;
+  int last_fit_iterations_ = 0;
+};
+
+/// Numerically stable sigmoid.
+double Sigmoid(double z);
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_ML_LOGISTIC_REGRESSION_H_

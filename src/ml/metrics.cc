@@ -1,0 +1,95 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairidx {
+namespace {
+
+Status ValidateScoresLabels(const std::vector<double>& scores,
+                            const std::vector<int>& labels) {
+  if (scores.size() != labels.size()) {
+    return InvalidArgumentError("metrics: scores/labels size mismatch");
+  }
+  if (scores.empty()) return InvalidArgumentError("metrics: empty input");
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<double> Accuracy(const std::vector<double>& scores,
+                        const std::vector<int>& labels, double threshold) {
+  FAIRIDX_RETURN_IF_ERROR(ValidateScoresLabels(scores, labels));
+  size_t correct = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const int predicted = scores[i] >= threshold ? 1 : 0;
+    if (predicted == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(scores.size());
+}
+
+Result<double> LogLoss(const std::vector<double>& scores,
+                       const std::vector<int>& labels, double eps) {
+  FAIRIDX_RETURN_IF_ERROR(ValidateScoresLabels(scores, labels));
+  double loss = 0.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const double p = std::clamp(scores[i], eps, 1.0 - eps);
+    loss += labels[i] == 1 ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return loss / static_cast<double>(scores.size());
+}
+
+Result<double> RocAuc(const std::vector<double>& scores,
+                      const std::vector<int>& labels) {
+  FAIRIDX_RETURN_IF_ERROR(ValidateScoresLabels(scores, labels));
+  // Rank-sum (Mann-Whitney) formulation with midranks for ties.
+  std::vector<size_t> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+
+  double positive_rank_sum = 0.0;
+  long long num_positive = 0;
+  long long num_negative = 0;
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j < order.size() && scores[order[j]] == scores[order[i]]) ++j;
+    // Ranks are 1-based; tied entries share the average rank of the run.
+    const double midrank = (static_cast<double>(i + 1) +
+                            static_cast<double>(j)) / 2.0;
+    for (size_t k = i; k < j; ++k) {
+      if (labels[order[k]] == 1) {
+        positive_rank_sum += midrank;
+        ++num_positive;
+      } else {
+        ++num_negative;
+      }
+    }
+    i = j;
+  }
+  if (num_positive == 0 || num_negative == 0) return 0.5;
+  const double u = positive_rank_sum -
+                   static_cast<double>(num_positive) *
+                       (static_cast<double>(num_positive) + 1.0) / 2.0;
+  return u / (static_cast<double>(num_positive) *
+              static_cast<double>(num_negative));
+}
+
+Result<ConfusionCounts> Confusion(const std::vector<double>& scores,
+                                  const std::vector<int>& labels,
+                                  double threshold) {
+  FAIRIDX_RETURN_IF_ERROR(ValidateScoresLabels(scores, labels));
+  ConfusionCounts counts;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const int predicted = scores[i] >= threshold ? 1 : 0;
+    if (predicted == 1 && labels[i] == 1) ++counts.true_positives;
+    if (predicted == 0 && labels[i] == 0) ++counts.true_negatives;
+    if (predicted == 1 && labels[i] == 0) ++counts.false_positives;
+    if (predicted == 0 && labels[i] == 1) ++counts.false_negatives;
+  }
+  return counts;
+}
+
+}  // namespace fairidx

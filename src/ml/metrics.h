@@ -1,0 +1,43 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Standard classification metrics (accuracy, log-loss, AUC, confusion).
+// Fairness-specific metrics (calibration, ECE, ENCE) live in fairness/.
+
+#ifndef FAIRIDX_ML_METRICS_H_
+#define FAIRIDX_ML_METRICS_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace fairidx {
+
+/// Fraction of correct predictions when thresholding scores at `threshold`.
+Result<double> Accuracy(const std::vector<double>& scores,
+                        const std::vector<int>& labels,
+                        double threshold = 0.5);
+
+/// Average negative log-likelihood; scores are clipped to [eps, 1-eps].
+Result<double> LogLoss(const std::vector<double>& scores,
+                       const std::vector<int>& labels, double eps = 1e-12);
+
+/// Area under the ROC curve (rank-based; ties get half credit). Returns 0.5
+/// when one class is absent.
+Result<double> RocAuc(const std::vector<double>& scores,
+                      const std::vector<int>& labels);
+
+/// 2x2 confusion counts at a threshold.
+struct ConfusionCounts {
+  long long true_positives = 0;
+  long long true_negatives = 0;
+  long long false_positives = 0;
+  long long false_negatives = 0;
+};
+Result<ConfusionCounts> Confusion(const std::vector<double>& scores,
+                                  const std::vector<int>& labels,
+                                  double threshold = 0.5);
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_ML_METRICS_H_

@@ -1,0 +1,106 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairidx {
+
+Status GaussianNaiveBayes::Fit(const Matrix& X, const std::vector<int>& y,
+                               const std::vector<double>* sample_weights) {
+  FAIRIDX_RETURN_IF_ERROR(ValidateTrainingInputs(X, y, sample_weights));
+  fitted_ = false;
+  const size_t d = X.cols();
+
+  double class_weight[2] = {0.0, 0.0};
+  for (int k = 0; k < 2; ++k) {
+    mean_[k].assign(d, 0.0);
+    variance_[k].assign(d, 0.0);
+  }
+  for (size_t r = 0; r < X.rows(); ++r) {
+    const double w = sample_weights ? (*sample_weights)[r] : 1.0;
+    const int k = y[r];
+    class_weight[k] += w;
+    const double* row = X.Row(r);
+    for (size_t c = 0; c < d; ++c) mean_[k][c] += w * row[c];
+  }
+  if (class_weight[0] <= 0.0 || class_weight[1] <= 0.0) {
+    return InvalidArgumentError(
+        "GaussianNaiveBayes: both classes need positive weight");
+  }
+  for (int k = 0; k < 2; ++k) {
+    for (size_t c = 0; c < d; ++c) mean_[k][c] /= class_weight[k];
+  }
+  for (size_t r = 0; r < X.rows(); ++r) {
+    const double w = sample_weights ? (*sample_weights)[r] : 1.0;
+    const int k = y[r];
+    const double* row = X.Row(r);
+    for (size_t c = 0; c < d; ++c) {
+      const double delta = row[c] - mean_[k][c];
+      variance_[k][c] += w * delta * delta;
+    }
+  }
+  double max_variance = 0.0;
+  for (int k = 0; k < 2; ++k) {
+    for (size_t c = 0; c < d; ++c) {
+      variance_[k][c] /= class_weight[k];
+      max_variance = std::max(max_variance, variance_[k][c]);
+    }
+  }
+  const double floor = std::max(options_.var_smoothing * max_variance, 1e-12);
+  for (int k = 0; k < 2; ++k) {
+    for (size_t c = 0; c < d; ++c) {
+      variance_[k][c] = std::max(variance_[k][c], floor);
+    }
+  }
+  const double total = class_weight[0] + class_weight[1];
+  log_prior_negative_ = std::log(class_weight[0] / total);
+  log_prior_positive_ = std::log(class_weight[1] / total);
+  fitted_ = true;
+  return Status::Ok();
+}
+
+Result<std::vector<double>> GaussianNaiveBayes::PredictScores(
+    const Matrix& X) const {
+  if (!fitted_) {
+    return FailedPreconditionError("GaussianNaiveBayes: predict before fit");
+  }
+  if (X.cols() != mean_[0].size()) {
+    return InvalidArgumentError("GaussianNaiveBayes: feature count mismatch");
+  }
+  std::vector<double> scores(X.rows());
+  const size_t d = X.cols();
+  for (size_t r = 0; r < X.rows(); ++r) {
+    const double* row = X.Row(r);
+    double log_joint[2] = {log_prior_negative_, log_prior_positive_};
+    for (int k = 0; k < 2; ++k) {
+      for (size_t c = 0; c < d; ++c) {
+        const double delta = row[c] - mean_[k][c];
+        log_joint[k] -= 0.5 * (std::log(2.0 * M_PI * variance_[k][c]) +
+                               delta * delta / variance_[k][c]);
+      }
+    }
+    // p(y=1|x) via a stable two-class softmax.
+    const double m = std::max(log_joint[0], log_joint[1]);
+    const double e0 = std::exp(log_joint[0] - m);
+    const double e1 = std::exp(log_joint[1] - m);
+    scores[r] = e1 / (e0 + e1);
+  }
+  return scores;
+}
+
+std::vector<double> GaussianNaiveBayes::FeatureImportances() const {
+  std::vector<double> out(mean_[0].size(), 0.0);
+  double total = 0.0;
+  for (size_t c = 0; c < out.size(); ++c) {
+    const double pooled =
+        std::sqrt((variance_[0][c] + variance_[1][c]) / 2.0);
+    out[c] = pooled > 0 ? std::abs(mean_[1][c] - mean_[0][c]) / pooled : 0.0;
+    total += out[c];
+  }
+  if (total > 0.0) {
+    for (double& v : out) v /= total;
+  }
+  return out;
+}
+
+}  // namespace fairidx

@@ -1,0 +1,60 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Gaussian naive Bayes, the third classifier in the paper's evaluation.
+
+#ifndef FAIRIDX_ML_NAIVE_BAYES_H_
+#define FAIRIDX_ML_NAIVE_BAYES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace fairidx {
+
+/// Hyper-parameters for GaussianNaiveBayes.
+struct NaiveBayesOptions {
+  /// Variance floor as a fraction of the largest feature variance
+  /// (sklearn's var_smoothing).
+  double var_smoothing = 1e-9;
+};
+
+/// Gaussian naive Bayes: class-conditional feature independence with
+/// per-class Gaussian likelihoods.
+class GaussianNaiveBayes : public Classifier {
+ public:
+  GaussianNaiveBayes() = default;
+  explicit GaussianNaiveBayes(const NaiveBayesOptions& options)
+      : options_(options) {}
+
+  Status Fit(const Matrix& X, const std::vector<int>& y,
+             const std::vector<double>* sample_weights) override;
+  using Classifier::Fit;
+
+  Result<std::vector<double>> PredictScores(const Matrix& X) const override;
+
+  /// Importance = standardized class-mean separation per feature
+  /// (|mu1 - mu0| / pooled sigma), normalized.
+  std::vector<double> FeatureImportances() const override;
+
+  std::string name() const override { return "naive_bayes"; }
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<GaussianNaiveBayes>(options_);
+  }
+  bool is_fitted() const override { return fitted_; }
+
+ private:
+  NaiveBayesOptions options_;
+  bool fitted_ = false;
+  double log_prior_positive_ = 0.0;
+  double log_prior_negative_ = 0.0;
+  // Per-class per-feature Gaussian parameters.
+  std::vector<double> mean_[2];
+  std::vector<double> variance_[2];
+};
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_ML_NAIVE_BAYES_H_

@@ -1,0 +1,102 @@
+#include "ml/platt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/logistic_regression.h"
+
+namespace fairidx {
+namespace {
+
+// Clamped logit keeping extreme scores finite.
+double Logit(double p) {
+  const double clamped = std::clamp(p, 1e-9, 1.0 - 1e-9);
+  return std::log(clamped / (1.0 - clamped));
+}
+
+}  // namespace
+
+Status PlattScaler::Fit(const std::vector<double>& scores,
+                        const std::vector<int>& labels) {
+  if (scores.size() != labels.size() || scores.empty()) {
+    return InvalidArgumentError("PlattScaler::Fit: bad input sizes");
+  }
+  int positives = 0;
+  for (int y : labels) {
+    if (y != 0 && y != 1) {
+      return InvalidArgumentError("PlattScaler::Fit: labels must be 0/1");
+    }
+    positives += y;
+  }
+  if (positives == 0 || positives == static_cast<int>(labels.size())) {
+    return InvalidArgumentError(
+        "PlattScaler::Fit: both classes must be present");
+  }
+  fitted_ = false;
+
+  const size_t n = scores.size();
+  std::vector<double> z(n);
+  for (size_t i = 0; i < n; ++i) z[i] = Logit(scores[i]);
+
+  // 1-D logistic regression p' = sigmoid(a z + b) via gradient descent
+  // with backtracking, starting at the identity map (a=1, b=0).
+  double a = 1.0;
+  double b = 0.0;
+  auto loss_at = [&](double aa, double bb) {
+    double loss = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double margin = aa * z[i] + bb;
+      const double m = labels[i] == 1 ? margin : -margin;
+      loss += m > 0 ? std::log1p(std::exp(-m)) : -m + std::log1p(std::exp(m));
+    }
+    return loss / static_cast<double>(n);
+  };
+  double prev_loss = loss_at(a, b);
+  double step = options_.learning_rate;
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    double grad_a = 0.0;
+    double grad_b = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double err = Sigmoid(a * z[i] + b) - labels[i];
+      grad_a += err * z[i];
+      grad_b += err;
+    }
+    grad_a /= static_cast<double>(n);
+    grad_b /= static_cast<double>(n);
+    if (std::max(std::abs(grad_a), std::abs(grad_b)) <
+        options_.tolerance) {
+      break;
+    }
+    const double old_a = a;
+    const double old_b = b;
+    while (true) {
+      a = old_a - step * grad_a;
+      b = old_b - step * grad_b;
+      const double loss = loss_at(a, b);
+      if (loss <= prev_loss + 1e-12 || step < 1e-9) {
+        prev_loss = loss;
+        step = std::min(step * 1.1, options_.learning_rate * 4.0);
+        break;
+      }
+      step *= 0.5;
+    }
+  }
+  slope_ = a;
+  intercept_ = b;
+  fitted_ = true;
+  return Status::Ok();
+}
+
+double PlattScaler::Transform(double score) const {
+  return Sigmoid(slope_ * Logit(score) + intercept_);
+}
+
+std::vector<double> PlattScaler::TransformAll(
+    const std::vector<double>& scores) const {
+  std::vector<double> out(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) out[i] = Transform(scores[i]);
+  return out;
+}
+
+}  // namespace fairidx

@@ -1,0 +1,54 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Platt scaling [Platt 1999], the post-processing calibration method cited
+// by the paper's related-work taxonomy: refit scores through a 1-D logistic
+// map p' = sigmoid(a * logit(p) + b).
+
+#ifndef FAIRIDX_ML_PLATT_H_
+#define FAIRIDX_ML_PLATT_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace fairidx {
+
+/// Options for PlattScaler fitting.
+struct PlattOptions {
+  int max_iterations = 200;
+  double learning_rate = 1.0;
+  double tolerance = 1e-8;
+};
+
+/// One-dimensional logistic recalibration of confidence scores.
+class PlattScaler {
+ public:
+  PlattScaler() = default;
+  explicit PlattScaler(const PlattOptions& options) : options_(options) {}
+
+  /// Fits (a, b) on (scores, labels) by logistic regression on the score
+  /// logit. Requires both classes present.
+  Status Fit(const std::vector<double>& scores,
+             const std::vector<int>& labels);
+
+  /// Recalibrates one score; requires a prior successful Fit.
+  double Transform(double score) const;
+
+  /// Recalibrates a batch.
+  std::vector<double> TransformAll(const std::vector<double>& scores) const;
+
+  bool is_fitted() const { return fitted_; }
+  double slope() const { return slope_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  PlattOptions options_;
+  double slope_ = 1.0;
+  double intercept_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_ML_PLATT_H_

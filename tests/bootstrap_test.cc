@@ -1,0 +1,141 @@
+// Tests for bootstrap confidence intervals on ENCE.
+
+#include "fairness/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include "fairness/ence.h"
+
+namespace fairidx {
+namespace {
+
+// Miscalibrated two-neighborhood fixture.
+struct Fixture {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  std::vector<int> neighborhoods;
+};
+
+Fixture MakeFixture(int per_group = 100) {
+  Fixture f;
+  Rng rng(5);
+  for (int i = 0; i < per_group; ++i) {
+    f.scores.push_back(0.4);
+    f.labels.push_back(rng.Bernoulli(0.7) ? 1 : 0);
+    f.neighborhoods.push_back(0);
+    f.scores.push_back(0.6);
+    f.labels.push_back(rng.Bernoulli(0.4) ? 1 : 0);
+    f.neighborhoods.push_back(1);
+  }
+  return f;
+}
+
+TEST(BootstrapEnceTest, PointEstimateMatchesEnce) {
+  const Fixture f = MakeFixture();
+  const auto interval =
+      BootstrapEnce(f.scores, f.labels, f.neighborhoods, BootstrapOptions{});
+  ASSERT_TRUE(interval.ok());
+  EXPECT_DOUBLE_EQ(interval->point,
+                   Ence(f.scores, f.labels, f.neighborhoods).value());
+}
+
+TEST(BootstrapEnceTest, IntervalCoversPointAndIsOrdered) {
+  const Fixture f = MakeFixture();
+  const auto interval =
+      BootstrapEnce(f.scores, f.labels, f.neighborhoods, BootstrapOptions{});
+  ASSERT_TRUE(interval.ok());
+  EXPECT_LE(interval->lower, interval->upper);
+  EXPECT_LE(interval->lower, interval->point + 0.03);
+  EXPECT_GE(interval->upper, interval->point - 0.03);
+}
+
+TEST(BootstrapEnceTest, WiderConfidenceGivesWiderInterval) {
+  const Fixture f = MakeFixture();
+  BootstrapOptions narrow;
+  narrow.confidence = 0.5;
+  BootstrapOptions wide;
+  wide.confidence = 0.99;
+  const auto narrow_interval =
+      BootstrapEnce(f.scores, f.labels, f.neighborhoods, narrow);
+  const auto wide_interval =
+      BootstrapEnce(f.scores, f.labels, f.neighborhoods, wide);
+  ASSERT_TRUE(narrow_interval.ok());
+  ASSERT_TRUE(wide_interval.ok());
+  EXPECT_GE(wide_interval->upper - wide_interval->lower,
+            narrow_interval->upper - narrow_interval->lower);
+}
+
+TEST(BootstrapEnceTest, DeterministicInSeed) {
+  const Fixture f = MakeFixture();
+  const auto a =
+      BootstrapEnce(f.scores, f.labels, f.neighborhoods, BootstrapOptions{});
+  const auto b =
+      BootstrapEnce(f.scores, f.labels, f.neighborhoods, BootstrapOptions{});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->lower, b->lower);
+  EXPECT_EQ(a->upper, b->upper);
+}
+
+TEST(BootstrapEnceTest, RejectsBadOptions) {
+  const Fixture f = MakeFixture();
+  BootstrapOptions bad;
+  bad.replicates = 1;
+  EXPECT_FALSE(
+      BootstrapEnce(f.scores, f.labels, f.neighborhoods, bad).ok());
+  bad = BootstrapOptions{};
+  bad.confidence = 1.5;
+  EXPECT_FALSE(
+      BootstrapEnce(f.scores, f.labels, f.neighborhoods, bad).ok());
+}
+
+TEST(BootstrapDifferenceTest, DetectsClearImprovement) {
+  // Scores A are per-neighborhood calibrated, scores B are badly off;
+  // the paired difference A - B must be significantly negative.
+  const Fixture f = MakeFixture(200);
+  std::vector<double> calibrated(f.scores.size());
+  for (size_t i = 0; i < f.scores.size(); ++i) {
+    calibrated[i] = f.neighborhoods[i] == 0 ? 0.7 : 0.4;
+  }
+  const auto interval = BootstrapEnceDifference(
+      calibrated, f.scores, f.labels, f.neighborhoods, f.neighborhoods,
+      BootstrapOptions{});
+  ASSERT_TRUE(interval.ok());
+  EXPECT_LT(interval->point, 0.0);
+  EXPECT_LT(interval->upper, 0.0);  // Entire CI below zero.
+}
+
+TEST(BootstrapDifferenceTest, IdenticalScoresGiveZeroDifference) {
+  const Fixture f = MakeFixture();
+  const auto interval = BootstrapEnceDifference(
+      f.scores, f.scores, f.labels, f.neighborhoods, f.neighborhoods,
+      BootstrapOptions{});
+  ASSERT_TRUE(interval.ok());
+  EXPECT_DOUBLE_EQ(interval->point, 0.0);
+  EXPECT_DOUBLE_EQ(interval->lower, 0.0);
+  EXPECT_DOUBLE_EQ(interval->upper, 0.0);
+}
+
+TEST(BootstrapDifferenceTest, SupportsDifferentPartitions) {
+  // Same scores, different neighborhood definitions (coarse vs fine).
+  const Fixture f = MakeFixture();
+  std::vector<int> single(f.neighborhoods.size(), 0);
+  const auto interval = BootstrapEnceDifference(
+      f.scores, f.scores, f.labels, single, f.neighborhoods,
+      BootstrapOptions{});
+  ASSERT_TRUE(interval.ok());
+  // Theorem 2: coarse ENCE <= fine ENCE, so the difference is <= 0.
+  EXPECT_LE(interval->point, 1e-12);
+  EXPECT_LE(interval->upper, 1e-9);
+}
+
+TEST(BootstrapDifferenceTest, RejectsSizeMismatch) {
+  const Fixture f = MakeFixture();
+  EXPECT_FALSE(BootstrapEnceDifference({0.5}, f.scores, f.labels,
+                                       f.neighborhoods, f.neighborhoods,
+                                       BootstrapOptions{})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace fairidx

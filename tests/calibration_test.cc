@@ -1,0 +1,106 @@
+// Tests for calibration primitives, including the paper's Fig. 1 example.
+
+#include "fairness/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fairidx {
+namespace {
+
+TEST(CalibrationTest, PaperFigure1Example) {
+  // Fig. 1b: 11 individuals, score sum 5.2, 7 positive labels ->
+  // e/o = (5.2/11)/(7/11) ~= 0.742.
+  const std::vector<double> scores = {0.3, 0.4, 0.5, 0.6, 0.7, 0.2,
+                                      0.5, 0.4, 0.6, 0.5, 0.5};
+  double total = 0.0;
+  for (double s : scores) total += s;
+  ASSERT_NEAR(total, 5.2, 1e-9);
+  const std::vector<int> labels = {1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0};
+
+  const auto stats = ComputeCalibration(scores, labels);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NEAR(stats->RatioCalibration(), 5.2 / 7.0, 1e-9);
+  EXPECT_NEAR(stats->AbsMiscalibration(), (7.0 - 5.2) / 11.0, 1e-9);
+}
+
+TEST(CalibrationTest, PerfectCalibration) {
+  const auto stats = ComputeCalibration({0.5, 0.5}, {1, 0});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(stats->AbsMiscalibration(), 0.0);
+  EXPECT_DOUBLE_EQ(stats->RatioCalibration(), 1.0);
+}
+
+TEST(CalibrationTest, RatioIsNanWhenNoPositives) {
+  const auto stats = ComputeCalibration({0.2, 0.3}, {0, 0});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(std::isnan(stats->RatioCalibration()));
+  // The absolute form stays defined — the paper's reason for using it.
+  EXPECT_NEAR(stats->AbsMiscalibration(), 0.25, 1e-12);
+}
+
+TEST(CalibrationTest, RejectsBadInputs) {
+  EXPECT_FALSE(ComputeCalibration({}, {}).ok());
+  EXPECT_FALSE(ComputeCalibration({0.5}, {1, 0}).ok());
+}
+
+TEST(CalibrationSubsetTest, SubsetStats) {
+  const std::vector<double> scores = {0.1, 0.9, 0.5};
+  const std::vector<int> labels = {0, 1, 1};
+  const auto stats = ComputeCalibrationSubset(scores, labels, {1, 2});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(stats->count, 2.0);
+  EXPECT_DOUBLE_EQ(stats->mean_score, 0.7);
+  EXPECT_DOUBLE_EQ(stats->mean_label, 1.0);
+}
+
+TEST(CalibrationSubsetTest, EmptySubsetHasZeroCount) {
+  const auto stats = ComputeCalibrationSubset({0.5}, {1}, {});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->count, 0.0);
+}
+
+TEST(CalibrationSubsetTest, OutOfRangeIndexFails) {
+  EXPECT_FALSE(ComputeCalibrationSubset({0.5}, {1}, {3}).ok());
+}
+
+TEST(GroupCalibrationTest, PartitionsByGroupId) {
+  const std::vector<double> scores = {0.2, 0.4, 0.9, 0.7};
+  const std::vector<int> labels = {0, 1, 1, 1};
+  const std::vector<int> groups = {5, 5, 9, 9};
+  const auto result = ComputeGroupCalibrations(scores, labels, groups);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ((*result)[0].group, 5);
+  EXPECT_DOUBLE_EQ((*result)[0].stats.mean_score, 0.3);
+  EXPECT_DOUBLE_EQ((*result)[0].stats.mean_label, 0.5);
+  EXPECT_EQ((*result)[1].group, 9);
+  EXPECT_DOUBLE_EQ((*result)[1].stats.mean_score, 0.8);
+  EXPECT_DOUBLE_EQ((*result)[1].stats.mean_label, 1.0);
+}
+
+TEST(GroupCalibrationTest, OutputSortedByGroupId) {
+  const auto result = ComputeGroupCalibrations(
+      {0.5, 0.5, 0.5}, {1, 0, 1}, {30, 10, 20});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)[0].group, 10);
+  EXPECT_EQ((*result)[1].group, 20);
+  EXPECT_EQ((*result)[2].group, 30);
+}
+
+TEST(GroupCalibrationTest, GroupCountsSumToTotal) {
+  const auto result = ComputeGroupCalibrations(
+      {0.1, 0.2, 0.3, 0.4, 0.5}, {0, 0, 1, 1, 1}, {1, 2, 1, 2, 1});
+  ASSERT_TRUE(result.ok());
+  double total = 0.0;
+  for (const auto& group : *result) total += group.stats.count;
+  EXPECT_DOUBLE_EQ(total, 5.0);
+}
+
+TEST(GroupCalibrationTest, SizeMismatchFails) {
+  EXPECT_FALSE(ComputeGroupCalibrations({0.5}, {1}, {1, 2}).ok());
+}
+
+}  // namespace
+}  // namespace fairidx

@@ -1,0 +1,113 @@
+// Tests for k-fold cross-validation of the pipeline.
+
+#include "core/cross_validation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment_config.h"
+#include "data/edgap_synthetic.h"
+
+namespace fairidx {
+namespace {
+
+Dataset MakeCity() {
+  CityConfig config;
+  config.num_records = 400;
+  config.seed = 55;
+  config.grid_rows = 32;
+  config.grid_cols = 32;
+  return GenerateEdgapCity(config).value();
+}
+
+TEST(CrossValidationTest, RunsRequestedFolds) {
+  const Dataset city = MakeCity();
+  const auto prototype =
+      MakeClassifier(ClassifierKind::kLogisticRegression);
+  PipelineOptions options;
+  options.algorithm = PartitionAlgorithm::kFairKdTree;
+  options.height = 4;
+  const auto cv = CrossValidatePipeline(city, *prototype, options, 4);
+  ASSERT_TRUE(cv.ok());
+  EXPECT_EQ(cv->folds, 4);
+  EXPECT_EQ(cv->fold_evals.size(), 4u);
+}
+
+TEST(CrossValidationTest, RejectsTooFewFolds) {
+  const Dataset city = MakeCity();
+  const auto prototype =
+      MakeClassifier(ClassifierKind::kLogisticRegression);
+  EXPECT_FALSE(
+      CrossValidatePipeline(city, *prototype, PipelineOptions{}, 1).ok());
+}
+
+TEST(CrossValidationTest, SummariesMatchFoldEvals) {
+  const Dataset city = MakeCity();
+  const auto prototype =
+      MakeClassifier(ClassifierKind::kLogisticRegression);
+  PipelineOptions options;
+  options.algorithm = PartitionAlgorithm::kMedianKdTree;
+  options.height = 4;
+  const auto cv = CrossValidatePipeline(city, *prototype, options, 3);
+  ASSERT_TRUE(cv.ok());
+  double mean = 0.0;
+  for (const EvaluationResult& eval : cv->fold_evals) {
+    mean += eval.test_ence;
+  }
+  mean /= 3.0;
+  EXPECT_NEAR(cv->test_ence.mean, mean, 1e-12);
+  EXPECT_GE(cv->test_ence.stddev, 0.0);
+}
+
+TEST(CrossValidationTest, FoldsUseDistinctSplits) {
+  const Dataset city = MakeCity();
+  const auto prototype =
+      MakeClassifier(ClassifierKind::kLogisticRegression);
+  PipelineOptions options;
+  options.algorithm = PartitionAlgorithm::kMedianKdTree;
+  options.height = 5;
+  const auto cv = CrossValidatePipeline(city, *prototype, options, 3);
+  ASSERT_TRUE(cv.ok());
+  // With distinct splits the per-fold test ENCE values differ.
+  const bool all_identical =
+      cv->fold_evals[0].test_ence == cv->fold_evals[1].test_ence &&
+      cv->fold_evals[1].test_ence == cv->fold_evals[2].test_ence;
+  EXPECT_FALSE(all_identical);
+}
+
+TEST(CrossValidationTest, DeterministicForSameOptions) {
+  const Dataset city = MakeCity();
+  const auto prototype =
+      MakeClassifier(ClassifierKind::kLogisticRegression);
+  PipelineOptions options;
+  options.algorithm = PartitionAlgorithm::kFairKdTree;
+  options.height = 4;
+  const auto a = CrossValidatePipeline(city, *prototype, options, 3);
+  const auto b = CrossValidatePipeline(city, *prototype, options, 3);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->test_ence.mean, b->test_ence.mean);
+  EXPECT_EQ(a->test_ence.stddev, b->test_ence.stddev);
+}
+
+TEST(CrossValidationTest, FairBeatsMedianOnAverage) {
+  // The headline comparison, stabilised over folds.
+  const Dataset city = MakeCity();
+  const auto prototype =
+      MakeClassifier(ClassifierKind::kLogisticRegression);
+  PipelineOptions median_options;
+  median_options.algorithm = PartitionAlgorithm::kMedianKdTree;
+  median_options.height = 5;
+  PipelineOptions fair_options = median_options;
+  fair_options.algorithm = PartitionAlgorithm::kFairKdTree;
+
+  const auto median =
+      CrossValidatePipeline(city, *prototype, median_options, 5);
+  const auto fair =
+      CrossValidatePipeline(city, *prototype, fair_options, 5);
+  ASSERT_TRUE(median.ok());
+  ASSERT_TRUE(fair.ok());
+  EXPECT_LT(fair->train_ence.mean, median->train_ence.mean);
+}
+
+}  // namespace
+}  // namespace fairidx

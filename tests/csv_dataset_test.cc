@@ -1,0 +1,107 @@
+// Tests for the EdGap-style CSV loader and dataset export.
+
+#include "data/csv_dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "data/edgap_synthetic.h"
+
+namespace fairidx {
+namespace {
+
+constexpr const char* kHeader =
+    "x,y,unemployment_pct,college_degree_pct,marriage_pct,median_income_k,"
+    "reduced_lunch_pct,act_score,employment_hardship_pct";
+
+std::string SampleCsv() {
+  std::string csv = std::string(kHeader) + ",zip\n";
+  csv += "1.0,1.0,5.0,60.0,55.0,90.0,20.0,25.0,5.0,100\n";   // ACT pos.
+  csv += "9.0,9.0,18.0,20.0,40.0,40.0,80.0,18.0,15.0,200\n";  // ACT neg.
+  csv += "5.0,5.0,10.0,40.0,50.0,60.0,50.0,22.0,10.0,100\n";  // Thresholds.
+  return csv;
+}
+
+TEST(CsvDatasetTest, LoadsRecordsAndThresholdsLabels) {
+  const auto dataset = LoadEdgapCsv(SampleCsv(), CsvDatasetOptions{});
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->num_records(), 3u);
+  EXPECT_EQ(dataset->num_tasks(), 2);
+  // ACT >= 22 is positive (record 3 is exactly at the threshold).
+  EXPECT_EQ(dataset->labels(0), (std::vector<int>{1, 0, 1}));
+  // Employment hardship >= 10 is positive.
+  EXPECT_EQ(dataset->labels(1), (std::vector<int>{0, 1, 1}));
+  EXPECT_TRUE(dataset->has_zip_codes());
+  EXPECT_EQ(dataset->zip_codes(), (std::vector<int>{100, 200, 100}));
+  EXPECT_DOUBLE_EQ(dataset->features()(1, 0), 18.0);
+}
+
+TEST(CsvDatasetTest, ZipColumnIsOptional) {
+  std::string csv = std::string(kHeader) + "\n";
+  csv += "1.0,1.0,5.0,60.0,55.0,90.0,20.0,25.0,5.0\n";
+  csv += "2.0,2.0,6.0,55.0,50.0,80.0,30.0,20.0,12.0\n";
+  const auto dataset = LoadEdgapCsv(csv, CsvDatasetOptions{});
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_FALSE(dataset->has_zip_codes());
+}
+
+TEST(CsvDatasetTest, MissingColumnIsError) {
+  const std::string csv = "x,y\n1.0,2.0\n";
+  EXPECT_FALSE(LoadEdgapCsv(csv, CsvDatasetOptions{}).ok());
+}
+
+TEST(CsvDatasetTest, MalformedNumberIsError) {
+  std::string csv = std::string(kHeader) + "\n";
+  csv += "1.0,abc,5.0,60.0,55.0,90.0,20.0,25.0,5.0\n";
+  EXPECT_FALSE(LoadEdgapCsv(csv, CsvDatasetOptions{}).ok());
+}
+
+TEST(CsvDatasetTest, EmptyTableIsError) {
+  EXPECT_FALSE(LoadEdgapCsv(std::string(kHeader) + "\n",
+                            CsvDatasetOptions{})
+                   .ok());
+}
+
+TEST(CsvDatasetTest, CustomThresholds) {
+  CsvDatasetOptions options;
+  options.act_threshold = 26.0;
+  const auto dataset = LoadEdgapCsv(SampleCsv(), options);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->labels(0), (std::vector<int>{0, 0, 0}));
+}
+
+TEST(CsvDatasetTest, GridResolutionHonoured) {
+  CsvDatasetOptions options;
+  options.grid_rows = 8;
+  options.grid_cols = 16;
+  const auto dataset = LoadEdgapCsv(SampleCsv(), options);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->grid().rows(), 8);
+  EXPECT_EQ(dataset->grid().cols(), 16);
+}
+
+TEST(CsvDatasetTest, ExtentCoversAllPoints) {
+  const auto dataset = LoadEdgapCsv(SampleCsv(), CsvDatasetOptions{});
+  ASSERT_TRUE(dataset.ok());
+  for (const Point& p : dataset->locations()) {
+    EXPECT_TRUE(dataset->grid().extent().Contains(p));
+  }
+}
+
+TEST(CsvDatasetTest, SyntheticCityExportsToParsableCsv) {
+  CityConfig config;
+  config.num_records = 50;
+  config.seed = 3;
+  const auto dataset = GenerateEdgapCity(config);
+  ASSERT_TRUE(dataset.ok());
+  const std::string csv = DatasetToCsv(*dataset);
+  EXPECT_NE(csv.find("unemployment_pct"), std::string::npos);
+  EXPECT_NE(csv.find("label_ACT"), std::string::npos);
+  EXPECT_NE(csv.find("zip"), std::string::npos);
+  // Row count = records + header.
+  size_t lines = 0;
+  for (char c : csv) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 51u);
+}
+
+}  // namespace
+}  // namespace fairidx

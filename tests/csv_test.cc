@@ -1,0 +1,95 @@
+// Tests for the CSV reader/writer.
+
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace fairidx {
+namespace {
+
+TEST(CsvTest, ParsesSimpleTable) {
+  auto table = ParseCsv("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(table->rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvTest, HandlesCrLfAndMissingFinalNewline) {
+  auto table = ParseCsv("a,b\r\n1,2\r\n3,4");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[1][1], "4");
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasAndQuotes) {
+  auto table = ParseCsv("name,notes\n\"Smith, J\",\"said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "Smith, J");
+  EXPECT_EQ(table->rows[0][1], "said \"hi\"");
+}
+
+TEST(CsvTest, QuotedFieldWithNewline) {
+  auto table = ParseCsv("a,b\n\"line1\nline2\",x\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "line1\nline2");
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  auto table = ParseCsv("a,b\n\n1,2\n\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows.size(), 1u);
+}
+
+TEST(CsvTest, RowWidthMismatchIsError) {
+  auto table = ParseCsv("a,b\n1,2,3\n");
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CsvTest, EmptyInputIsError) {
+  EXPECT_FALSE(ParseCsv("").ok());
+}
+
+TEST(CsvTest, UnterminatedQuoteIsError) {
+  EXPECT_FALSE(ParseCsv("a\n\"unclosed\n").ok());
+}
+
+TEST(CsvTest, ColumnIndexLookup) {
+  auto table = ParseCsv("x,y,z\n1,2,3\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->ColumnIndex("y").value(), 1u);
+  EXPECT_FALSE(table->ColumnIndex("w").ok());
+}
+
+TEST(CsvTest, RoundTripWithQuoting) {
+  CsvTable table;
+  table.header = {"name", "value"};
+  table.rows = {{"plain", "1"}, {"with,comma", "2"}, {"with\"quote", "3"}};
+  const std::string text = WriteCsv(table);
+  auto parsed = ParseCsv(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->header, table.header);
+  EXPECT_EQ(parsed->rows, table.rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  CsvTable table;
+  table.header = {"k", "v"};
+  table.rows = {{"a", "1"}};
+  const std::string path = ::testing::TempDir() + "/fairidx_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(path, table).ok());
+  auto read_back = ReadCsvFile(path);
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back->rows, table.rows);
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  auto result = ReadCsvFile("/nonexistent/path/file.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace fairidx

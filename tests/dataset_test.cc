@@ -1,0 +1,148 @@
+// Tests for the Dataset container and design-matrix encodings.
+
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace fairidx {
+namespace {
+
+Grid MakeGrid() {
+  return Grid::Create(2, 2, BoundingBox{0, 0, 2, 2}).value();
+}
+
+Dataset MakeDataset() {
+  // Four records, one in each cell of a 2x2 grid.
+  Matrix features(4, 2, {1, 10, 2, 20, 3, 30, 4, 40});
+  std::vector<Point> locations = {Point{0.5, 0.5}, Point{1.5, 0.5},
+                                  Point{0.5, 1.5}, Point{1.5, 1.5}};
+  Dataset dataset = Dataset::Create(MakeGrid(), {"f0", "f1"},
+                                    std::move(features),
+                                    std::move(locations))
+                        .value();
+  EXPECT_EQ(dataset.AddTask("task", {1, 0, 1, 0}).value(), 0);
+  return dataset;
+}
+
+TEST(DatasetTest, CreateValidatesShapes) {
+  Matrix features(2, 1, {1, 2});
+  EXPECT_FALSE(Dataset::Create(MakeGrid(), {"a"}, features,
+                               {Point{0, 0}, Point{1, 1}, Point{0, 1}})
+                   .ok());
+  EXPECT_FALSE(
+      Dataset::Create(MakeGrid(), {"a", "b"}, features,
+                      {Point{0, 0}, Point{1, 1}})
+          .ok());
+}
+
+TEST(DatasetTest, BaseCellsDerivedFromLocations) {
+  const Dataset dataset = MakeDataset();
+  EXPECT_EQ(dataset.base_cells(), (std::vector<int>{0, 1, 2, 3}));
+  // Neighborhoods start as base cells.
+  EXPECT_EQ(dataset.neighborhoods(), dataset.base_cells());
+}
+
+TEST(DatasetTest, AddTaskValidatesLabels) {
+  Dataset dataset = MakeDataset();
+  EXPECT_FALSE(dataset.AddTask("bad_size", {1, 0}).ok());
+  EXPECT_FALSE(dataset.AddTask("bad_value", {1, 0, 2, 0}).ok());
+  EXPECT_EQ(dataset.AddTask("second", {0, 0, 1, 1}).value(), 1);
+  EXPECT_EQ(dataset.num_tasks(), 2);
+  EXPECT_EQ(dataset.task_name(1), "second");
+}
+
+TEST(DatasetTest, SetNeighborhoodsFromCellMap) {
+  Dataset dataset = MakeDataset();
+  // Left column -> region 0, right column -> region 1.
+  ASSERT_TRUE(dataset.SetNeighborhoodsFromCellMap({0, 1, 0, 1}).ok());
+  EXPECT_EQ(dataset.neighborhoods(), (std::vector<int>{0, 1, 0, 1}));
+  EXPECT_FALSE(dataset.SetNeighborhoodsFromCellMap({0, 1}).ok());
+}
+
+TEST(DatasetTest, SetSingleNeighborhood) {
+  Dataset dataset = MakeDataset();
+  dataset.SetSingleNeighborhood();
+  EXPECT_EQ(dataset.neighborhoods(), (std::vector<int>{0, 0, 0, 0}));
+}
+
+TEST(DatasetTest, SetNeighborhoodsDirect) {
+  Dataset dataset = MakeDataset();
+  ASSERT_TRUE(dataset.SetNeighborhoods({5, 5, 6, 6}).ok());
+  EXPECT_EQ(dataset.neighborhoods(), (std::vector<int>{5, 5, 6, 6}));
+  EXPECT_FALSE(dataset.SetNeighborhoods({1}).ok());
+}
+
+TEST(DatasetTest, ZipCodes) {
+  Dataset dataset = MakeDataset();
+  EXPECT_FALSE(dataset.has_zip_codes());
+  ASSERT_TRUE(dataset.SetZipCodes({10, 10, 20, 20}).ok());
+  EXPECT_TRUE(dataset.has_zip_codes());
+  EXPECT_EQ(dataset.zip_codes()[2], 20);
+  EXPECT_FALSE(dataset.SetZipCodes({1, 2}).ok());
+}
+
+TEST(DatasetTest, NumericIdDesignMatrix) {
+  Dataset dataset = MakeDataset();
+  ASSERT_TRUE(dataset.SetNeighborhoods({7, 8, 7, 8}).ok());
+  std::vector<std::string> names;
+  const Matrix design =
+      dataset.DesignMatrix(DesignMatrixOptions{}, &names).value();
+  ASSERT_EQ(design.cols(), 3u);
+  EXPECT_EQ(names.back(), "neighborhood");
+  EXPECT_EQ(design(0, 2), 7.0);
+  EXPECT_EQ(design(1, 2), 8.0);
+  // Original features preserved.
+  EXPECT_EQ(design(2, 1), 30.0);
+}
+
+TEST(DatasetTest, OneHotDesignMatrix) {
+  Dataset dataset = MakeDataset();
+  ASSERT_TRUE(dataset.SetNeighborhoods({7, 8, 7, 8}).ok());
+  DesignMatrixOptions options;
+  options.encoding = NeighborhoodEncoding::kOneHot;
+  std::vector<std::string> names;
+  const Matrix design = dataset.DesignMatrix(options, &names).value();
+  ASSERT_EQ(design.cols(), 4u);  // 2 features + 2 indicators.
+  EXPECT_EQ(names[2], "neighborhood_7");
+  EXPECT_EQ(names[3], "neighborhood_8");
+  EXPECT_EQ(design(0, 2), 1.0);
+  EXPECT_EQ(design(0, 3), 0.0);
+  EXPECT_EQ(design(1, 2), 0.0);
+  EXPECT_EQ(design(1, 3), 1.0);
+}
+
+TEST(DatasetTest, TargetMeanDesignMatrix) {
+  Dataset dataset = MakeDataset();  // labels {1,0,1,0}
+  ASSERT_TRUE(dataset.SetNeighborhoods({7, 7, 8, 8}).ok());
+  DesignMatrixOptions options;
+  options.encoding = NeighborhoodEncoding::kTargetMean;
+  options.task = 0;
+  const Matrix design = dataset.DesignMatrix(options).value();
+  ASSERT_EQ(design.cols(), 3u);
+  // Region 7 = records 0,1 with labels {1,0} -> 0.5; region 8 likewise.
+  EXPECT_DOUBLE_EQ(design(0, 2), 0.5);
+  EXPECT_DOUBLE_EQ(design(2, 2), 0.5);
+}
+
+TEST(DatasetTest, TargetMeanWithFitSubset) {
+  Dataset dataset = MakeDataset();  // labels {1,0,1,0}
+  ASSERT_TRUE(dataset.SetNeighborhoods({7, 7, 8, 8}).ok());
+  DesignMatrixOptions options;
+  options.encoding = NeighborhoodEncoding::kTargetMean;
+  options.task = 0;
+  options.encoding_fit_indices = {0, 2};  // Only the positive records.
+  const Matrix design = dataset.DesignMatrix(options).value();
+  EXPECT_DOUBLE_EQ(design(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(design(3, 2), 1.0);
+}
+
+TEST(DatasetTest, TargetMeanRequiresValidTask) {
+  Dataset dataset = MakeDataset();
+  DesignMatrixOptions options;
+  options.encoding = NeighborhoodEncoding::kTargetMean;
+  options.task = 9;
+  EXPECT_FALSE(dataset.DesignMatrix(options).ok());
+}
+
+}  // namespace
+}  // namespace fairidx

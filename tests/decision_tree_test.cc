@@ -1,0 +1,164 @@
+// Tests for the CART decision tree.
+
+#include "ml/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace fairidx {
+namespace {
+
+TEST(DecisionTreeTest, PredictBeforeFitFails) {
+  DecisionTree tree;
+  EXPECT_FALSE(tree.is_fitted());
+  EXPECT_FALSE(tree.PredictScores(Matrix(1, 1, {0.0})).ok());
+}
+
+TEST(DecisionTreeTest, LearnsAxisAlignedSplit) {
+  Matrix X(6, 1, {1.0, 2.0, 3.0, 10.0, 11.0, 12.0});
+  const std::vector<int> y = {0, 0, 0, 1, 1, 1};
+  DecisionTreeOptions options;
+  options.min_weight_leaf = 1.0;
+  options.min_weight_split = 2.0;
+  DecisionTree tree(options);
+  ASSERT_TRUE(tree.Fit(X, y).ok());
+  const std::vector<double> scores = tree.PredictScores(X).value();
+  EXPECT_LT(scores[0], 0.5);
+  EXPECT_GT(scores[5], 0.5);
+  // A new point on each side follows the split.
+  EXPECT_LT(tree.PredictScores(Matrix(1, 1, {0.0})).value()[0], 0.5);
+  EXPECT_GT(tree.PredictScores(Matrix(1, 1, {20.0})).value()[0], 0.5);
+}
+
+TEST(DecisionTreeTest, LearnsXorWithDepthTwo) {
+  // XOR of two binary features requires two levels — a single split
+  // cannot separate it. Rows: (0,0) (0,1) (1,0) (1,1), twice each.
+  Matrix X(8, 2, {0, 0, 0, 1, 1, 0, 1, 1, 0, 0, 0, 1, 1, 0, 1, 1});
+  const std::vector<int> y = {0, 1, 1, 0, 0, 1, 1, 0};
+  DecisionTreeOptions options;
+  options.min_weight_leaf = 1.0;
+  options.min_weight_split = 2.0;
+  options.max_depth = 3;
+  DecisionTree tree(options);
+  ASSERT_TRUE(tree.Fit(X, y).ok());
+  const std::vector<double> scores = tree.PredictScores(X).value();
+  for (size_t i = 0; i < y.size(); ++i) {
+    EXPECT_EQ(scores[i] >= 0.5 ? 1 : 0, y[i]) << "row " << i;
+  }
+}
+
+TEST(DecisionTreeTest, PureNodeBecomesLeaf) {
+  Matrix X(4, 1, {1, 2, 3, 4});
+  const std::vector<int> y = {1, 1, 1, 1};
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(X, y).ok());
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_DOUBLE_EQ(tree.PredictScores(Matrix(1, 1, {2.5})).value()[0], 1.0);
+}
+
+TEST(DecisionTreeTest, MaxDepthZeroGivesPriorLeaf) {
+  Matrix X(4, 1, {1, 2, 3, 4});
+  const std::vector<int> y = {0, 0, 1, 1};
+  DecisionTreeOptions options;
+  options.max_depth = 0;
+  DecisionTree tree(options);
+  ASSERT_TRUE(tree.Fit(X, y).ok());
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_DOUBLE_EQ(tree.PredictScores(Matrix(1, 1, {0.0})).value()[0], 0.5);
+}
+
+TEST(DecisionTreeTest, LeafScoresAreClassFractions) {
+  // One obvious split at x=5; left has 1/3 positives, right 1.
+  Matrix X(6, 1, {1.0, 2.0, 3.0, 10.0, 11.0, 12.0});
+  const std::vector<int> y = {0, 0, 1, 1, 1, 1};
+  DecisionTreeOptions options;
+  options.min_weight_leaf = 3.0;
+  options.min_weight_split = 4.0;
+  options.max_depth = 1;
+  DecisionTree tree(options);
+  ASSERT_TRUE(tree.Fit(X, y).ok());
+  EXPECT_NEAR(tree.PredictScores(Matrix(1, 1, {2.0})).value()[0], 1.0 / 3.0,
+              1e-12);
+  EXPECT_NEAR(tree.PredictScores(Matrix(1, 1, {11.0})).value()[0], 1.0,
+              1e-12);
+}
+
+TEST(DecisionTreeTest, SampleWeightsChangeLeafScores) {
+  Matrix X(4, 1, {1.0, 1.5, 2.0, 2.5});
+  const std::vector<int> y = {0, 1, 0, 1};
+  DecisionTreeOptions options;
+  options.max_depth = 0;  // Single leaf: score = weighted positive rate.
+  DecisionTree tree(options);
+  const std::vector<double> weights = {1.0, 3.0, 1.0, 3.0};
+  ASSERT_TRUE(tree.Fit(X, y, &weights).ok());
+  EXPECT_NEAR(tree.PredictScores(Matrix(1, 1, {1.0})).value()[0], 0.75,
+              1e-12);
+}
+
+TEST(DecisionTreeTest, DeterministicAcrossFits) {
+  Rng rng(3);
+  Matrix X(200, 3);
+  std::vector<int> y(200);
+  for (size_t i = 0; i < 200; ++i) {
+    for (size_t c = 0; c < 3; ++c) X(i, c) = rng.Uniform(-1, 1);
+    y[i] = X(i, 1) > 0.2 ? 1 : 0;
+  }
+  DecisionTree a;
+  DecisionTree b;
+  ASSERT_TRUE(a.Fit(X, y).ok());
+  ASSERT_TRUE(b.Fit(X, y).ok());
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.PredictScores(X).value(), b.PredictScores(X).value());
+}
+
+TEST(DecisionTreeTest, ImportancesConcentrateOnSignalFeature) {
+  Rng rng(5);
+  Matrix X(300, 3);
+  std::vector<int> y(300);
+  for (size_t i = 0; i < 300; ++i) {
+    for (size_t c = 0; c < 3; ++c) X(i, c) = rng.Uniform(-1, 1);
+    y[i] = X(i, 2) > 0 ? 1 : 0;
+  }
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(X, y).ok());
+  const std::vector<double> importances = tree.FeatureImportances();
+  ASSERT_EQ(importances.size(), 3u);
+  EXPECT_GT(importances[2], 0.9);
+  double total = 0.0;
+  for (double v : importances) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(DecisionTreeTest, MinWeightLeafBlocksTinySplits) {
+  Matrix X(4, 1, {1.0, 2.0, 3.0, 4.0});
+  const std::vector<int> y = {0, 1, 1, 1};
+  DecisionTreeOptions options;
+  options.min_weight_leaf = 2.0;  // The 1-record left leaf is forbidden.
+  options.min_weight_split = 2.0;
+  options.max_depth = 1;
+  DecisionTree tree(options);
+  ASSERT_TRUE(tree.Fit(X, y).ok());
+  // Only the 2-2 split is allowed.
+  EXPECT_EQ(tree.num_nodes(), 3u);
+  EXPECT_NEAR(tree.PredictScores(Matrix(1, 1, {1.0})).value()[0], 0.5,
+              1e-12);
+}
+
+TEST(DecisionTreeTest, FeatureCountMismatchOnPredictFails) {
+  Matrix X(4, 2, {1, 2, 3, 4, 5, 6, 7, 8});
+  const std::vector<int> y = {0, 0, 1, 1};
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(X, y).ok());
+  EXPECT_FALSE(tree.PredictScores(Matrix(1, 3, {1, 2, 3})).ok());
+}
+
+TEST(DecisionTreeTest, CloneIsUnfitted) {
+  DecisionTree tree;
+  auto clone = tree.Clone();
+  EXPECT_EQ(clone->name(), "decision_tree");
+  EXPECT_FALSE(clone->is_fitted());
+}
+
+}  // namespace
+}  // namespace fairidx

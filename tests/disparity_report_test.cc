@@ -1,0 +1,124 @@
+// Tests for the Fig. 6-style disparity report.
+
+#include "fairness/disparity_report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fairidx {
+namespace {
+
+// 3 groups with different populations and calibration quality.
+struct Fixture {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  std::vector<int> groups;
+};
+
+Fixture MakeFixture() {
+  Fixture f;
+  // Group 10: 4 records, perfectly calibrated (e = o = 0.5).
+  for (int i = 0; i < 4; ++i) {
+    f.scores.push_back(0.5);
+    f.labels.push_back(i % 2);
+    f.groups.push_back(10);
+  }
+  // Group 20: 3 records, overconfident (e = 0.9, o = 1/3).
+  for (int i = 0; i < 3; ++i) {
+    f.scores.push_back(0.9);
+    f.labels.push_back(i == 0 ? 1 : 0);
+    f.groups.push_back(20);
+  }
+  // Group 30: 2 records, underconfident (e = 0.1, o = 1).
+  for (int i = 0; i < 2; ++i) {
+    f.scores.push_back(0.1);
+    f.labels.push_back(1);
+    f.groups.push_back(30);
+  }
+  return f;
+}
+
+TEST(DisparityReportTest, RowsOrderedByPopulation) {
+  const Fixture f = MakeFixture();
+  const auto report =
+      BuildDisparityReport(f.scores, f.labels, f.groups, 10, 15);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->rows.size(), 3u);
+  EXPECT_EQ(report->rows[0].group, 10);
+  EXPECT_EQ(report->rows[1].group, 20);
+  EXPECT_EQ(report->rows[2].group, 30);
+  EXPECT_EQ(report->rows[0].population, 4.0);
+}
+
+TEST(DisparityReportTest, TopKTruncates) {
+  const Fixture f = MakeFixture();
+  const auto report =
+      BuildDisparityReport(f.scores, f.labels, f.groups, 2, 15);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rows.size(), 2u);
+}
+
+TEST(DisparityReportTest, CalibrationValuesPerGroup) {
+  const Fixture f = MakeFixture();
+  const auto report =
+      BuildDisparityReport(f.scores, f.labels, f.groups, 10, 15);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->rows[0].ratio_calibration, 1.0, 1e-9);
+  EXPECT_NEAR(report->rows[0].abs_miscalibration, 0.0, 1e-9);
+  EXPECT_NEAR(report->rows[1].ratio_calibration, 0.9 / (1.0 / 3.0), 1e-9);
+  EXPECT_NEAR(report->rows[2].ratio_calibration, 0.1, 1e-9);
+  EXPECT_NEAR(report->rows[2].abs_miscalibration, 0.9, 1e-9);
+}
+
+TEST(DisparityReportTest, OverallUsesAllRecords) {
+  const Fixture f = MakeFixture();
+  const auto report =
+      BuildDisparityReport(f.scores, f.labels, f.groups, 1, 15);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->overall.count, 9.0);
+}
+
+TEST(DisparityReportTest, PopulationTieBreaksByGroupId) {
+  const std::vector<double> scores = {0.5, 0.5};
+  const std::vector<int> labels = {1, 0};
+  const std::vector<int> groups = {7, 3};
+  const auto report = BuildDisparityReport(scores, labels, groups, 2, 15);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rows[0].group, 3);
+  EXPECT_EQ(report->rows[1].group, 7);
+}
+
+TEST(DisparityReportTest, RejectsBadInputs) {
+  EXPECT_FALSE(BuildDisparityReport({}, {}, {}, 10, 15).ok());
+  EXPECT_FALSE(BuildDisparityReport({0.5}, {1}, {0}, 0, 15).ok());
+  EXPECT_FALSE(BuildDisparityReport({0.5}, {1, 0}, {0, 1}, 5, 15).ok());
+}
+
+TEST(DisparityReportTest, TableRendersNamedRanks) {
+  const Fixture f = MakeFixture();
+  const auto report =
+      BuildDisparityReport(f.scores, f.labels, f.groups, 3, 15);
+  ASSERT_TRUE(report.ok());
+  TablePrinter table = DisparityReportTable(*report);
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("N1"), std::string::npos);
+  EXPECT_NE(out.find("N3"), std::string::npos);
+  EXPECT_NE(out.find("ratio_e_over_o"), std::string::npos);
+}
+
+TEST(DisparityReportTest, NanRatioRendersAsNan) {
+  // A group with no positives produces a NaN ratio.
+  const std::vector<double> scores = {0.4, 0.4};
+  const std::vector<int> labels = {0, 0};
+  const std::vector<int> groups = {1, 1};
+  const auto report = BuildDisparityReport(scores, labels, groups, 1, 15);
+  ASSERT_TRUE(report.ok());
+  TablePrinter table = DisparityReportTable(*report);
+  EXPECT_NE(table.ToCsv().find("nan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fairidx

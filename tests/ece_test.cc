@@ -1,0 +1,102 @@
+// Tests for Expected Calibration Error (Appendix A.1).
+
+#include "fairness/ece.h"
+
+#include <gtest/gtest.h>
+
+namespace fairidx {
+namespace {
+
+TEST(EceTest, PerfectlyCalibratedBinsGiveZero) {
+  // Two bins: scores 0.25 with 25% positives, scores 0.75 with 75%.
+  const std::vector<double> scores = {0.25, 0.25, 0.25, 0.25,
+                                      0.75, 0.75, 0.75, 0.75};
+  const std::vector<int> labels = {1, 0, 0, 0, 1, 1, 1, 0};
+  EXPECT_NEAR(ExpectedCalibrationError(scores, labels, 2).value(), 0.0,
+              1e-12);
+}
+
+TEST(EceTest, KnownTwoBinValue) {
+  // Bin [0, 0.5): scores {0.2, 0.4} mean 0.3, labels {1, 1} mean 1.0
+  //   -> |1.0 - 0.3| = 0.7 with weight 2/4.
+  // Bin [0.5, 1]: scores {0.6, 0.8} mean 0.7, labels {0, 0} mean 0
+  //   -> 0.7 with weight 2/4.  ECE = 0.7.
+  const std::vector<double> scores = {0.2, 0.4, 0.6, 0.8};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  EXPECT_NEAR(ExpectedCalibrationError(scores, labels, 2).value(), 0.7,
+              1e-12);
+}
+
+TEST(EceTest, ScoreOneLandsInLastBin) {
+  const auto bins = EceBins({1.0}, {1}, 10).value();
+  EXPECT_DOUBLE_EQ(bins.back().count, 1.0);
+}
+
+TEST(EceTest, BinBoundariesAreEqualWidth) {
+  const auto bins = EceBins({0.5}, {1}, 4).value();
+  ASSERT_EQ(bins.size(), 4u);
+  EXPECT_DOUBLE_EQ(bins[0].lower, 0.0);
+  EXPECT_DOUBLE_EQ(bins[0].upper, 0.25);
+  EXPECT_DOUBLE_EQ(bins[3].upper, 1.0);
+}
+
+TEST(EceTest, EmptyBinsContributeNothing) {
+  // All scores in one bin: ECE = |o - e| of that bin.
+  const std::vector<double> scores = {0.9, 0.9};
+  const std::vector<int> labels = {1, 0};
+  EXPECT_NEAR(ExpectedCalibrationError(scores, labels, 15).value(), 0.4,
+              1e-12);
+}
+
+TEST(EceTest, RejectsBadInputs) {
+  EXPECT_FALSE(ExpectedCalibrationError({}, {}, 15).ok());
+  EXPECT_FALSE(ExpectedCalibrationError({0.5}, {1}, 0).ok());
+  EXPECT_FALSE(ExpectedCalibrationError({0.5}, {1, 0}, 15).ok());
+}
+
+TEST(EceTest, SubsetMatchesManualExtraction) {
+  const std::vector<double> scores = {0.2, 0.9, 0.4, 0.8};
+  const std::vector<int> labels = {0, 1, 1, 0};
+  const double subset =
+      ExpectedCalibrationErrorSubset(scores, labels, {1, 3}, 5).value();
+  const double manual =
+      ExpectedCalibrationError({0.9, 0.8}, {1, 0}, 5).value();
+  EXPECT_DOUBLE_EQ(subset, manual);
+}
+
+TEST(EceTest, SubsetRejectsBadIndices) {
+  EXPECT_FALSE(
+      ExpectedCalibrationErrorSubset({0.5}, {1}, {}, 15).ok());
+  EXPECT_FALSE(
+      ExpectedCalibrationErrorSubset({0.5}, {1}, {4}, 15).ok());
+}
+
+TEST(EceTest, EceIsAtMostOne) {
+  const std::vector<double> scores = {0.0, 0.0, 1.0, 1.0};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  const double ece = ExpectedCalibrationError(scores, labels, 15).value();
+  EXPECT_LE(ece, 1.0);
+  EXPECT_NEAR(ece, 1.0, 1e-12);
+}
+
+TEST(EceTest, MoreBinsNeverDecreaseBelowOverallGap) {
+  // ECE with any binning is >= |overall o - overall e| (triangle
+  // inequality), mirroring Theorem 1's structure at the score level.
+  const std::vector<double> scores = {0.1, 0.4, 0.6, 0.95};
+  const std::vector<int> labels = {0, 1, 0, 1};
+  double overall_e = 0.0;
+  double overall_o = 0.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    overall_e += scores[i];
+    overall_o += labels[i];
+  }
+  const double overall_gap =
+      std::abs(overall_o - overall_e) / static_cast<double>(scores.size());
+  for (int bins : {1, 2, 4, 8, 15}) {
+    EXPECT_GE(ExpectedCalibrationError(scores, labels, bins).value(),
+              overall_gap - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace fairidx

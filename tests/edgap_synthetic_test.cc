@@ -1,0 +1,188 @@
+// Tests for the synthetic EdGap city generator.
+
+#include "data/edgap_synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/stats.h"
+
+namespace fairidx {
+namespace {
+
+TEST(EdgapSyntheticTest, PresetsMatchPaperRecordCounts) {
+  EXPECT_EQ(LosAngelesConfig().num_records, 1153);
+  EXPECT_EQ(HoustonConfig().num_records, 966);
+}
+
+TEST(EdgapSyntheticTest, RejectsDegenerateConfigs) {
+  CityConfig config;
+  config.num_records = 5;
+  EXPECT_FALSE(GenerateEdgapCity(config).ok());
+  config = CityConfig{};
+  config.num_clusters = 0;
+  EXPECT_FALSE(GenerateEdgapCity(config).ok());
+  config = CityConfig{};
+  config.num_zip_codes = 0;
+  EXPECT_FALSE(GenerateEdgapCity(config).ok());
+}
+
+TEST(EdgapSyntheticTest, GeneratesRequestedShape) {
+  CityConfig config;
+  config.num_records = 300;
+  config.seed = 5;
+  const auto dataset = GenerateEdgapCity(config);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->num_records(), 300u);
+  EXPECT_EQ(dataset->num_features(),
+            static_cast<size_t>(kEdgapNumFeatures));
+  EXPECT_EQ(dataset->num_tasks(), 2);
+  EXPECT_EQ(dataset->task_name(kEdgapTaskAct), "ACT");
+  EXPECT_EQ(dataset->task_name(kEdgapTaskEmployment), "Employment");
+  EXPECT_TRUE(dataset->has_zip_codes());
+}
+
+TEST(EdgapSyntheticTest, DeterministicInSeed) {
+  CityConfig config;
+  config.num_records = 200;
+  config.seed = 77;
+  const auto a = GenerateEdgapCity(config);
+  const auto b = GenerateEdgapCity(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->labels(0), b->labels(0));
+  EXPECT_EQ(a->zip_codes(), b->zip_codes());
+  for (size_t i = 0; i < a->num_records(); ++i) {
+    EXPECT_EQ(a->locations()[i].x, b->locations()[i].x);
+    EXPECT_EQ(a->features()(i, 0), b->features()(i, 0));
+  }
+}
+
+TEST(EdgapSyntheticTest, DifferentSeedsProduceDifferentCities) {
+  CityConfig config;
+  config.num_records = 200;
+  config.seed = 1;
+  const auto a = GenerateEdgapCity(config);
+  config.seed = 2;
+  const auto b = GenerateEdgapCity(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->labels(0), b->labels(0));
+}
+
+TEST(EdgapSyntheticTest, LocationsInsideExtent) {
+  const auto dataset = GenerateEdgapCity(LosAngelesConfig());
+  ASSERT_TRUE(dataset.ok());
+  const BoundingBox& extent = dataset->grid().extent();
+  for (const Point& p : dataset->locations()) {
+    EXPECT_TRUE(extent.Contains(p));
+  }
+}
+
+TEST(EdgapSyntheticTest, FeaturesWithinDocumentedRanges) {
+  const auto dataset = GenerateEdgapCity(HoustonConfig());
+  ASSERT_TRUE(dataset.ok());
+  for (size_t i = 0; i < dataset->num_records(); ++i) {
+    EXPECT_GE(dataset->features()(i, 0), 0.0);    // unemployment_pct
+    EXPECT_LE(dataset->features()(i, 0), 40.0);
+    EXPECT_GE(dataset->features()(i, 3), 15.0);   // median_income_k
+    EXPECT_LE(dataset->features()(i, 3), 250.0);
+    EXPECT_GE(dataset->features()(i, 4), 0.0);    // reduced_lunch_pct
+    EXPECT_LE(dataset->features()(i, 4), 100.0);
+  }
+}
+
+TEST(EdgapSyntheticTest, BothLabelClassesPresentAndBalanced) {
+  for (const CityConfig& config :
+       {LosAngelesConfig(), HoustonConfig()}) {
+    const auto dataset = GenerateEdgapCity(config);
+    ASSERT_TRUE(dataset.ok());
+    for (int task = 0; task < dataset->num_tasks(); ++task) {
+      double positives = 0;
+      for (int y : dataset->labels(task)) positives += y;
+      const double rate = positives / dataset->num_records();
+      EXPECT_GT(rate, 0.2) << config.name << " task " << task;
+      EXPECT_LT(rate, 0.8) << config.name << " task " << task;
+    }
+  }
+}
+
+TEST(EdgapSyntheticTest, FeaturesCorrelateWithLabels) {
+  // The disadvantage field drives both features and labels, so
+  // unemployment should correlate negatively with the ACT label and
+  // college degree positively.
+  const auto dataset = GenerateEdgapCity(LosAngelesConfig());
+  ASSERT_TRUE(dataset.ok());
+  std::vector<double> unemployment;
+  std::vector<double> college;
+  std::vector<double> act_labels;
+  for (size_t i = 0; i < dataset->num_records(); ++i) {
+    unemployment.push_back(dataset->features()(i, 0));
+    college.push_back(dataset->features()(i, 1));
+    act_labels.push_back(dataset->labels(kEdgapTaskAct)[i]);
+  }
+  EXPECT_LT(PearsonCorrelation(unemployment, act_labels), -0.3);
+  EXPECT_GT(PearsonCorrelation(college, act_labels), 0.3);
+}
+
+TEST(EdgapSyntheticTest, LabelsAreSpatiallyAutocorrelated) {
+  // Labels must carry geographic signal: the positive rate across zip
+  // codes should vary far more than under random assignment.
+  const auto dataset = GenerateEdgapCity(LosAngelesConfig());
+  ASSERT_TRUE(dataset.ok());
+  std::map<int, std::pair<double, double>> by_zip;  // zip -> (pos, count)
+  for (size_t i = 0; i < dataset->num_records(); ++i) {
+    auto& [pos, count] = by_zip[dataset->zip_codes()[i]];
+    pos += dataset->labels(kEdgapTaskAct)[i];
+    count += 1.0;
+  }
+  std::vector<double> rates;
+  for (const auto& [zip, pc] : by_zip) {
+    if (pc.second >= 10) rates.push_back(pc.first / pc.second);
+  }
+  ASSERT_GT(rates.size(), 5u);
+  // Under spatial independence the across-zip stddev of rates would be
+  // ~sqrt(p(1-p)/n_zip) ~= 0.1; spatial correlation pushes it well higher.
+  EXPECT_GT(StdDev(rates), 0.15);
+}
+
+TEST(EdgapSyntheticTest, ZipCodesCoverConfiguredCount) {
+  const CityConfig config = LosAngelesConfig();
+  const auto dataset = GenerateEdgapCity(config);
+  ASSERT_TRUE(dataset.ok());
+  std::set<int> zips(dataset->zip_codes().begin(),
+                     dataset->zip_codes().end());
+  EXPECT_GT(static_cast<int>(zips.size()), config.num_zip_codes / 2);
+  EXPECT_LE(static_cast<int>(zips.size()), config.num_zip_codes);
+}
+
+TEST(DisadvantageFieldTest, NormalizedStaysInUnitInterval) {
+  Rng rng(9);
+  const BoundingBox extent{0, 0, 50, 50};
+  DisadvantageField field(extent, 10, rng);
+  Rng probe(10);
+  for (int i = 0; i < 200; ++i) {
+    const Point p{probe.Uniform(0, 50), probe.Uniform(0, 50)};
+    const double v = field.Normalized(p);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(DisadvantageFieldTest, FieldIsSmooth) {
+  // Nearby points should have nearby field values (continuity).
+  Rng rng(11);
+  const BoundingBox extent{0, 0, 50, 50};
+  DisadvantageField field(extent, 10, rng);
+  Rng probe(12);
+  for (int i = 0; i < 100; ++i) {
+    const Point p{probe.Uniform(1, 49), probe.Uniform(1, 49)};
+    const Point q{p.x + 0.01, p.y + 0.01};
+    EXPECT_NEAR(field.Normalized(p), field.Normalized(q), 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace fairidx

@@ -1,0 +1,152 @@
+// Tests for the in-processing fairness-regularized logistic regression.
+
+#include "ml/fair_logistic_regression.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "fairness/ence.h"
+#include "ml/logistic_regression.h"
+
+namespace fairidx {
+namespace {
+
+// Design matrix: one informative feature + a group-id column (last), where
+// group label rates differ from what the feature explains — the classic
+// per-group miscalibration setup.
+struct Fixture {
+  Matrix X;
+  std::vector<int> y;
+  std::vector<int> groups;
+};
+
+Fixture MakeFixture(int per_group = 150, uint64_t seed = 13) {
+  Rng rng(seed);
+  Fixture f;
+  f.X = Matrix(0, 2);
+  for (int g = 0; g < 2; ++g) {
+    for (int i = 0; i < per_group; ++i) {
+      const double x = rng.Uniform(-1, 1);
+      // Group 0: P(y|x) shifted up; group 1 shifted down. A model that
+      // underuses the group feature miscalibrates both groups.
+      const double p = Clamp(0.5 + 0.3 * x + (g == 0 ? 0.25 : -0.25),
+                             0.02, 0.98);
+      f.X.AppendRow({x, static_cast<double>(g)});
+      f.y.push_back(rng.Bernoulli(p) ? 1 : 0);
+      f.groups.push_back(g);
+    }
+  }
+  return f;
+}
+
+double GroupEnce(const Classifier& model, const Fixture& f) {
+  const std::vector<double> scores = model.PredictScores(f.X).value();
+  return Ence(scores, f.y, f.groups).value();
+}
+
+TEST(FairLogisticRegressionTest, ZeroWeightMatchesPlainLr) {
+  const Fixture f = MakeFixture();
+  FairLogisticRegressionOptions options;
+  options.fairness_weight = 0.0;
+  FairLogisticRegression fair(options);
+  ASSERT_TRUE(fair.Fit(f.X, f.y).ok());
+  LogisticRegression plain;
+  ASSERT_TRUE(plain.Fit(f.X, f.y).ok());
+  // Same optimisation problem -> near-identical weights.
+  ASSERT_EQ(fair.weights().size(), plain.weights().size());
+  for (size_t c = 0; c < fair.weights().size(); ++c) {
+    EXPECT_NEAR(fair.weights()[c], plain.weights()[c], 1e-3);
+  }
+  EXPECT_NEAR(fair.intercept(), plain.intercept(), 1e-3);
+}
+
+TEST(FairLogisticRegressionTest, PenaltyReducesGroupEnce) {
+  const Fixture f = MakeFixture();
+  FairLogisticRegressionOptions plain_options;
+  plain_options.fairness_weight = 0.0;
+  FairLogisticRegression plain(plain_options);
+  ASSERT_TRUE(plain.Fit(f.X, f.y).ok());
+
+  FairLogisticRegressionOptions fair_options;
+  fair_options.fairness_weight = 20.0;
+  FairLogisticRegression fair(fair_options);
+  ASSERT_TRUE(fair.Fit(f.X, f.y).ok());
+
+  EXPECT_LE(GroupEnce(fair, f), GroupEnce(plain, f) + 1e-9);
+}
+
+TEST(FairLogisticRegressionTest, ScoresAreProbabilities) {
+  const Fixture f = MakeFixture();
+  FairLogisticRegression model;
+  ASSERT_TRUE(model.Fit(f.X, f.y).ok());
+  const std::vector<double> scores = model.PredictScores(f.X).value();
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(FairLogisticRegressionTest, AccuracyStaysReasonable) {
+  const Fixture f = MakeFixture();
+  FairLogisticRegressionOptions options;
+  options.fairness_weight = 5.0;
+  FairLogisticRegression model(options);
+  ASSERT_TRUE(model.Fit(f.X, f.y).ok());
+  const std::vector<double> scores = model.PredictScores(f.X).value();
+  int correct = 0;
+  for (size_t i = 0; i < f.y.size(); ++i) {
+    correct += (scores[i] >= 0.5) == (f.y[i] == 1) ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(correct) / f.y.size(), 0.55);
+}
+
+TEST(FairLogisticRegressionTest, ExplicitGroupColumn) {
+  // Group column first instead of last.
+  Fixture f = MakeFixture();
+  Matrix reordered(f.X.rows(), 2);
+  for (size_t r = 0; r < f.X.rows(); ++r) {
+    reordered(r, 0) = f.X(r, 1);
+    reordered(r, 1) = f.X(r, 0);
+  }
+  FairLogisticRegressionOptions options;
+  options.group_column = 0;
+  options.fairness_weight = 10.0;
+  FairLogisticRegression model(options);
+  ASSERT_TRUE(model.Fit(reordered, f.y).ok());
+  EXPECT_TRUE(model.is_fitted());
+}
+
+TEST(FairLogisticRegressionTest, RejectsBadInputs) {
+  FairLogisticRegression model;
+  EXPECT_FALSE(model.Fit(Matrix(), {}).ok());
+  FairLogisticRegressionOptions options;
+  options.group_column = 9;
+  FairLogisticRegression bad_column(options);
+  EXPECT_FALSE(bad_column.Fit(Matrix(2, 1, {0, 1}), {0, 1}).ok());
+  // Sample weights are unsupported by design.
+  const std::vector<double> weights = {1.0, 1.0};
+  EXPECT_FALSE(model.Fit(Matrix(2, 1, {0, 1}), {0, 1}, &weights).ok());
+  EXPECT_FALSE(model.PredictScores(Matrix(1, 1, {0.0})).ok());
+}
+
+TEST(FairLogisticRegressionTest, CloneIsUnfittedWithSameConfig) {
+  FairLogisticRegressionOptions options;
+  options.fairness_weight = 3.0;
+  FairLogisticRegression model(options);
+  auto clone = model.Clone();
+  EXPECT_EQ(clone->name(), "fair_logistic_regression");
+  EXPECT_FALSE(clone->is_fitted());
+}
+
+TEST(FairLogisticRegressionTest, Deterministic) {
+  const Fixture f = MakeFixture();
+  FairLogisticRegression a;
+  FairLogisticRegression b;
+  ASSERT_TRUE(a.Fit(f.X, f.y).ok());
+  ASSERT_TRUE(b.Fit(f.X, f.y).ok());
+  EXPECT_EQ(a.weights(), b.weights());
+}
+
+}  // namespace
+}  // namespace fairidx

@@ -1,0 +1,51 @@
+// Tests for importance heatmaps and normalization.
+
+#include "ml/feature_importance.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fairidx {
+namespace {
+
+TEST(NormalizeImportancesTest, SumsToOne) {
+  const auto out = NormalizeImportances({2.0, 6.0});
+  EXPECT_DOUBLE_EQ(out[0], 0.25);
+  EXPECT_DOUBLE_EQ(out[1], 0.75);
+}
+
+TEST(NormalizeImportancesTest, AllZerosStayZero) {
+  const auto out = NormalizeImportances({0.0, 0.0});
+  EXPECT_EQ(out, (std::vector<double>{0.0, 0.0}));
+}
+
+TEST(ImportanceHeatmapTest, AccumulatesRows) {
+  ImportanceHeatmap heatmap;
+  heatmap.feature_names = {"a", "b"};
+  heatmap.AddRow(1, {0.3, 0.7});
+  heatmap.AddRow(2, {0.6, 0.4});
+  EXPECT_EQ(heatmap.heights, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(heatmap.values(1, 0), 0.6);
+}
+
+TEST(ImportanceHeatmapTest, TableContainsHeightsAndFeatures) {
+  ImportanceHeatmap heatmap;
+  heatmap.feature_names = {"income", "neighborhood"};
+  heatmap.AddRow(4, {0.25, 0.75});
+  std::ostringstream os;
+  heatmap.ToTable().Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("income"), std::string::npos);
+  EXPECT_NE(out.find("neighborhood"), std::string::npos);
+  EXPECT_NE(out.find("0.750"), std::string::npos);
+}
+
+TEST(ImportanceHeatmapDeathTest, SizeMismatchAborts) {
+  ImportanceHeatmap heatmap;
+  heatmap.feature_names = {"a", "b"};
+  EXPECT_DEATH(heatmap.AddRow(1, {0.5}), "importances");
+}
+
+}  // namespace
+}  // namespace fairidx

@@ -1,0 +1,124 @@
+// Tests for the base grid.
+
+#include "geo/grid.h"
+
+#include <gtest/gtest.h>
+
+namespace fairidx {
+namespace {
+
+Grid MakeGrid(int rows = 4, int cols = 5) {
+  return Grid::Create(rows, cols, BoundingBox{0.0, 0.0, 10.0, 8.0}).value();
+}
+
+TEST(GridTest, CreateRejectsBadInputs) {
+  EXPECT_FALSE(Grid::Create(0, 5, BoundingBox{0, 0, 1, 1}).ok());
+  EXPECT_FALSE(Grid::Create(5, -1, BoundingBox{0, 0, 1, 1}).ok());
+  EXPECT_FALSE(Grid::Create(5, 5, BoundingBox{0, 0, 0, 1}).ok());
+  EXPECT_FALSE(Grid::Create(5, 5, BoundingBox{0, 0, 1, 0}).ok());
+}
+
+TEST(GridTest, DimensionsAndCellCount) {
+  const Grid grid = MakeGrid();
+  EXPECT_EQ(grid.rows(), 4);
+  EXPECT_EQ(grid.cols(), 5);
+  EXPECT_EQ(grid.num_cells(), 20);
+}
+
+TEST(GridTest, CellIdRowMajor) {
+  const Grid grid = MakeGrid();
+  EXPECT_EQ(grid.CellId(0, 0), 0);
+  EXPECT_EQ(grid.CellId(1, 0), 5);
+  EXPECT_EQ(grid.CellId(3, 4), 19);
+  EXPECT_EQ(grid.RowOfCell(7), 1);
+  EXPECT_EQ(grid.ColOfCell(7), 2);
+}
+
+TEST(GridTest, PointToCellMapping) {
+  const Grid grid = MakeGrid();  // 10 wide, 8 tall; cells 2.0 x 2.0.
+  EXPECT_EQ(grid.CellIdOf(Point{0.5, 0.5}), grid.CellId(0, 0));
+  EXPECT_EQ(grid.CellIdOf(Point{9.9, 7.9}), grid.CellId(3, 4));
+  EXPECT_EQ(grid.CellIdOf(Point{2.5, 0.1}), grid.CellId(0, 1));
+  EXPECT_EQ(grid.CellIdOf(Point{0.1, 2.5}), grid.CellId(1, 0));
+}
+
+TEST(GridTest, OutsidePointsClampToBorder) {
+  const Grid grid = MakeGrid();
+  EXPECT_EQ(grid.CellIdOf(Point{-100.0, -100.0}), grid.CellId(0, 0));
+  EXPECT_EQ(grid.CellIdOf(Point{100.0, 100.0}), grid.CellId(3, 4));
+}
+
+TEST(GridTest, MaxBoundaryLandsInLastCell) {
+  const Grid grid = MakeGrid();
+  EXPECT_EQ(grid.CellIdOf(Point{10.0, 8.0}), grid.CellId(3, 4));
+}
+
+TEST(GridTest, CellBoundsTileTheExtent) {
+  const Grid grid = MakeGrid();
+  const BoundingBox b00 = grid.CellBounds(0, 0);
+  EXPECT_DOUBLE_EQ(b00.min_x, 0.0);
+  EXPECT_DOUBLE_EQ(b00.max_x, 2.0);
+  EXPECT_DOUBLE_EQ(b00.max_y, 2.0);
+  const BoundingBox b34 = grid.CellBounds(3, 4);
+  EXPECT_DOUBLE_EQ(b34.max_x, 10.0);
+  EXPECT_DOUBLE_EQ(b34.max_y, 8.0);
+}
+
+TEST(GridTest, CellCenterRoundTripsToSameCell) {
+  const Grid grid = MakeGrid();
+  for (int r = 0; r < grid.rows(); ++r) {
+    for (int c = 0; c < grid.cols(); ++c) {
+      EXPECT_EQ(grid.CellIdOf(grid.CellCenter(r, c)), grid.CellId(r, c));
+    }
+  }
+}
+
+TEST(GridTest, FullRectCoversAllCells) {
+  const Grid grid = MakeGrid();
+  const CellRect full = grid.FullRect();
+  EXPECT_EQ(full.num_cells(), grid.num_cells());
+  EXPECT_EQ(grid.CellsInRect(full).size(), 20u);
+}
+
+TEST(GridTest, CellsInRectRowMajorOrder) {
+  const Grid grid = MakeGrid();
+  const std::vector<int> cells =
+      grid.CellsInRect(CellRect{1, 3, 2, 4});
+  EXPECT_EQ(cells, (std::vector<int>{grid.CellId(1, 2), grid.CellId(1, 3),
+                                     grid.CellId(2, 2), grid.CellId(2, 3)}));
+}
+
+TEST(GridTest, EmptyRectYieldsNoCells) {
+  const Grid grid = MakeGrid();
+  EXPECT_TRUE(grid.CellsInRect(CellRect{2, 2, 0, 5}).empty());
+}
+
+TEST(CellRectTest, GeometryHelpers) {
+  const CellRect rect{1, 4, 2, 4};
+  EXPECT_EQ(rect.num_rows(), 3);
+  EXPECT_EQ(rect.num_cols(), 2);
+  EXPECT_EQ(rect.num_cells(), 6);
+  EXPECT_FALSE(rect.empty());
+  EXPECT_TRUE(rect.Contains(1, 2));
+  EXPECT_FALSE(rect.Contains(4, 2));
+  EXPECT_DOUBLE_EQ(rect.AspectRatio(), 1.5);
+}
+
+TEST(CellRectTest, EmptyRectProperties) {
+  const CellRect rect{2, 2, 0, 5};
+  EXPECT_TRUE(rect.empty());
+  EXPECT_EQ(rect.AspectRatio(), 0.0);
+}
+
+TEST(BoundingBoxTest, ContainsAndClamp) {
+  const BoundingBox box{0, 0, 2, 2};
+  EXPECT_TRUE(box.Contains(Point{1, 1}));
+  EXPECT_FALSE(box.Contains(Point{3, 1}));
+  const Point clamped = box.ClampPoint(Point{5, -1});
+  EXPECT_EQ(clamped.x, 2.0);
+  EXPECT_EQ(clamped.y, 0.0);
+  EXPECT_DOUBLE_EQ(box.Area(), 4.0);
+}
+
+}  // namespace
+}  // namespace fairidx

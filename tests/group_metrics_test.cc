@@ -1,0 +1,145 @@
+// Tests for statistical parity and equalized odds across neighborhoods.
+
+#include "fairness/group_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fairidx {
+namespace {
+
+TEST(GroupMetricsTest, PerfectParityGivesZeroGaps) {
+  // Two groups, identical decision behaviour.
+  std::vector<double> scores;
+  std::vector<int> labels;
+  std::vector<int> groups;
+  for (int g = 0; g < 2; ++g) {
+    for (int i = 0; i < 20; ++i) {
+      scores.push_back(i % 2 == 0 ? 0.9 : 0.1);
+      labels.push_back(i % 2 == 0 ? 1 : 0);
+      groups.push_back(g);
+    }
+  }
+  const auto report =
+      ComputeGroupFairness(scores, labels, groups, 0.5, 10);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->statistical_parity_gap, 0.0);
+  EXPECT_DOUBLE_EQ(report->equalized_odds_gap, 0.0);
+  EXPECT_NEAR(report->weighted_parity_deviation, 0.0, 1e-12);
+}
+
+TEST(GroupMetricsTest, StatisticalParityGapIsRateSpread) {
+  // Group 0: 75% decided positive; group 1: 25%.
+  std::vector<double> scores;
+  std::vector<int> labels;
+  std::vector<int> groups;
+  for (int i = 0; i < 20; ++i) {
+    scores.push_back(i % 4 == 3 ? 0.1 : 0.9);  // 75% positive decisions.
+    labels.push_back(1);
+    groups.push_back(0);
+    scores.push_back(i % 4 == 3 ? 0.9 : 0.1);  // 25%.
+    labels.push_back(1);
+    groups.push_back(1);
+  }
+  const auto report =
+      ComputeGroupFairness(scores, labels, groups, 0.5, 10);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->statistical_parity_gap, 0.5, 1e-12);
+}
+
+TEST(GroupMetricsTest, EqualizedOddsUsesTprAndFprSpreads) {
+  // Group 0: TPR 1.0, FPR 0.0. Group 1: TPR 0.5, FPR 0.5.
+  std::vector<double> scores;
+  std::vector<int> labels;
+  std::vector<int> groups;
+  for (int i = 0; i < 10; ++i) {
+    // Group 0: positives decided positive, negatives decided negative.
+    scores.push_back(0.9);
+    labels.push_back(1);
+    groups.push_back(0);
+    scores.push_back(0.1);
+    labels.push_back(0);
+    groups.push_back(0);
+    // Group 1: half the positives missed, half the negatives flagged.
+    scores.push_back(i % 2 == 0 ? 0.9 : 0.1);
+    labels.push_back(1);
+    groups.push_back(1);
+    scores.push_back(i % 2 == 0 ? 0.9 : 0.1);
+    labels.push_back(0);
+    groups.push_back(1);
+  }
+  const auto report =
+      ComputeGroupFairness(scores, labels, groups, 0.5, 10);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->equalized_odds_gap, 0.5, 1e-12);
+}
+
+TEST(GroupMetricsTest, TinyGroupsExcludedFromGapsButListed) {
+  std::vector<double> scores = {0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9,
+                                0.9, 0.9, 0.1};
+  std::vector<int> labels = {1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+  std::vector<int> groups = {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 7};
+  const auto report =
+      ComputeGroupFairness(scores, labels, groups, 0.5, 10);
+  ASSERT_TRUE(report.ok());
+  // Group 7 (1 record, rate 0) would make the gap 1.0 if included.
+  EXPECT_DOUBLE_EQ(report->statistical_parity_gap, 0.0);
+  ASSERT_EQ(report->groups.size(), 2u);
+  EXPECT_EQ(report->groups[1].group, 7);
+}
+
+TEST(GroupMetricsTest, UndefinedRatesAreNan) {
+  // Group with no negatives -> FPR NaN.
+  std::vector<double> scores = {0.9, 0.9};
+  std::vector<int> labels = {1, 1};
+  std::vector<int> groups = {0, 0};
+  const auto report =
+      ComputeGroupFairness(scores, labels, groups, 0.5, 1);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(std::isnan(report->groups[0].false_positive_rate));
+  EXPECT_DOUBLE_EQ(report->groups[0].true_positive_rate, 1.0);
+}
+
+TEST(GroupMetricsTest, WeightedDeviationWeighsByPopulation) {
+  // Large conforming group + small deviant group.
+  std::vector<double> scores;
+  std::vector<int> labels;
+  std::vector<int> groups;
+  for (int i = 0; i < 90; ++i) {
+    scores.push_back(0.9);
+    labels.push_back(1);
+    groups.push_back(0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    scores.push_back(0.1);
+    labels.push_back(1);
+    groups.push_back(1);
+  }
+  const auto report =
+      ComputeGroupFairness(scores, labels, groups, 0.5, 1);
+  ASSERT_TRUE(report.ok());
+  // Overall rate 0.9; deviation = .9*|1-.9| + .1*|0-.9| = 0.18.
+  EXPECT_NEAR(report->weighted_parity_deviation, 0.18, 1e-12);
+}
+
+TEST(GroupMetricsTest, RejectsBadInputs) {
+  EXPECT_FALSE(ComputeGroupFairness({}, {}, {}).ok());
+  EXPECT_FALSE(ComputeGroupFairness({0.5}, {1}, {0, 1}).ok());
+  EXPECT_FALSE(ComputeGroupFairness({0.5}, {1}, {0}, 0.5, 0).ok());
+}
+
+TEST(GroupMetricsTest, GroupsSortedById) {
+  std::vector<double> scores = {0.5, 0.5, 0.5};
+  std::vector<int> labels = {1, 0, 1};
+  std::vector<int> groups = {9, 2, 5};
+  const auto report =
+      ComputeGroupFairness(scores, labels, groups, 0.5, 1);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->groups[0].group, 2);
+  EXPECT_EQ(report->groups[1].group, 5);
+  EXPECT_EQ(report->groups[2].group, 9);
+}
+
+}  // namespace
+}  // namespace fairidx

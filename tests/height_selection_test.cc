@@ -1,0 +1,120 @@
+// Tests for ENCE-budgeted automatic height selection.
+
+#include "core/height_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment_config.h"
+#include "data/edgap_synthetic.h"
+
+namespace fairidx {
+namespace {
+
+Dataset MakeCity() {
+  CityConfig config;
+  config.num_records = 400;
+  config.seed = 91;
+  config.grid_rows = 32;
+  config.grid_cols = 32;
+  return GenerateEdgapCity(config).value();
+}
+
+TEST(HeightSelectionTest, SweepCoversAllHeights) {
+  const Dataset city = MakeCity();
+  const auto prototype =
+      MakeClassifier(ClassifierKind::kLogisticRegression);
+  HeightSelectionOptions options;
+  options.max_height = 5;
+  options.pipeline.algorithm = PartitionAlgorithm::kFairKdTree;
+  const auto result = SelectHeight(city, *prototype, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->sweep.size(), 6u);
+  for (int h = 0; h <= 5; ++h) {
+    EXPECT_EQ(result->sweep[static_cast<size_t>(h)].height, h);
+  }
+}
+
+TEST(HeightSelectionTest, GenerousBudgetSelectsMaxQualifyingHeight) {
+  const Dataset city = MakeCity();
+  const auto prototype =
+      MakeClassifier(ClassifierKind::kLogisticRegression);
+  HeightSelectionOptions options;
+  options.max_height = 4;
+  options.ence_budget = 10.0;  // Everything qualifies.
+  const auto result = SelectHeight(city, *prototype, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->budget_met);
+  EXPECT_EQ(result->selected_height, 4);
+}
+
+TEST(HeightSelectionTest, ZeroBudgetRarelyMet) {
+  const Dataset city = MakeCity();
+  const auto prototype =
+      MakeClassifier(ClassifierKind::kLogisticRegression);
+  HeightSelectionOptions options;
+  options.max_height = 3;
+  options.ence_budget = 0.0;
+  const auto result = SelectHeight(city, *prototype, options);
+  ASSERT_TRUE(result.ok());
+  // Height 0's single region may have exactly zero miscalibration for
+  // converged LR (intercept identity); anything selected must meet the
+  // budget.
+  if (result->budget_met) {
+    EXPECT_LE(result->sweep[static_cast<size_t>(result->selected_height)]
+                  .train_ence,
+              0.0 + 1e-12);
+  } else {
+    EXPECT_EQ(result->selected_height, 0);
+  }
+}
+
+TEST(HeightSelectionTest, SelectedHeightRespectsBudget) {
+  const Dataset city = MakeCity();
+  const auto prototype =
+      MakeClassifier(ClassifierKind::kLogisticRegression);
+  HeightSelectionOptions options;
+  options.max_height = 6;
+  options.ence_budget = 0.05;
+  options.pipeline.algorithm = PartitionAlgorithm::kFairKdTree;
+  const auto result = SelectHeight(city, *prototype, options);
+  ASSERT_TRUE(result.ok());
+  if (result->budget_met) {
+    EXPECT_LE(result->sweep[static_cast<size_t>(result->selected_height)]
+                  .train_ence,
+              options.ence_budget);
+  }
+}
+
+TEST(HeightSelectionTest, RejectsBadOptions) {
+  const Dataset city = MakeCity();
+  const auto prototype =
+      MakeClassifier(ClassifierKind::kLogisticRegression);
+  HeightSelectionOptions options;
+  options.max_height = -1;
+  EXPECT_FALSE(SelectHeight(city, *prototype, options).ok());
+  options.max_height = 3;
+  options.ence_budget = -0.1;
+  EXPECT_FALSE(SelectHeight(city, *prototype, options).ok());
+}
+
+TEST(HeightSelectionTest, FairTreeQualifiesAtHigherHeightThanMedian) {
+  // Because the fair tree has lower ENCE at every height, a fixed budget
+  // should admit at least as fine a partitioning as the median tree.
+  const Dataset city = MakeCity();
+  const auto prototype =
+      MakeClassifier(ClassifierKind::kLogisticRegression);
+  HeightSelectionOptions options;
+  options.max_height = 7;
+  options.ence_budget = 0.04;
+
+  options.pipeline.algorithm = PartitionAlgorithm::kMedianKdTree;
+  const auto median = SelectHeight(city, *prototype, options);
+  options.pipeline.algorithm = PartitionAlgorithm::kFairKdTree;
+  const auto fair = SelectHeight(city, *prototype, options);
+  ASSERT_TRUE(median.ok());
+  ASSERT_TRUE(fair.ok());
+  EXPECT_GE(fair->selected_height, median->selected_height);
+}
+
+}  // namespace
+}  // namespace fairidx

@@ -1,0 +1,135 @@
+// Tests for the Iterative Fair KD-tree (Algorithm 3).
+
+#include "core/iterative_fair_kd_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "data/edgap_synthetic.h"
+#include "ml/logistic_regression.h"
+
+namespace fairidx {
+namespace {
+
+struct Fixture {
+  Dataset dataset;
+  TrainTestSplit split;
+};
+
+Fixture MakeFixture(int n = 400, uint64_t seed = 9) {
+  CityConfig config;
+  config.num_records = n;
+  config.seed = seed;
+  config.grid_rows = 32;
+  config.grid_cols = 32;
+  Dataset dataset = GenerateEdgapCity(config).value();
+  Rng rng(seed + 1);
+  TrainTestSplit split =
+      MakeStratifiedSplit(dataset.labels(0), 0.25, rng).value();
+  return Fixture{std::move(dataset), std::move(split)};
+}
+
+TEST(IterativeFairKdTreeTest, RetrainsOncePerLevel) {
+  Fixture f = MakeFixture();
+  LogisticRegression prototype;
+  IterativeFairKdTreeOptions options;
+  options.height = 5;
+  const auto result =
+      BuildIterativeFairKdTree(f.dataset, f.split, prototype, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->retrain_count, 5);
+}
+
+TEST(IterativeFairKdTreeTest, ProducesRequestedLeafCount) {
+  Fixture f = MakeFixture();
+  LogisticRegression prototype;
+  IterativeFairKdTreeOptions options;
+  options.height = 4;
+  const auto result =
+      BuildIterativeFairKdTree(f.dataset, f.split, prototype, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->partition.partition.num_regions(), 16);
+}
+
+TEST(IterativeFairKdTreeTest, HeightZeroIsSingleRegion) {
+  Fixture f = MakeFixture();
+  LogisticRegression prototype;
+  IterativeFairKdTreeOptions options;
+  options.height = 0;
+  const auto result =
+      BuildIterativeFairKdTree(f.dataset, f.split, prototype, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->partition.partition.num_regions(), 1);
+  EXPECT_EQ(result->retrain_count, 0);
+}
+
+TEST(IterativeFairKdTreeTest, DoesNotModifyInputDataset) {
+  Fixture f = MakeFixture();
+  const std::vector<int> before = f.dataset.neighborhoods();
+  LogisticRegression prototype;
+  IterativeFairKdTreeOptions options;
+  options.height = 3;
+  ASSERT_TRUE(
+      BuildIterativeFairKdTree(f.dataset, f.split, prototype, options).ok());
+  EXPECT_EQ(f.dataset.neighborhoods(), before);
+}
+
+TEST(IterativeFairKdTreeTest, DeterministicAcrossRuns) {
+  Fixture f = MakeFixture();
+  LogisticRegression prototype;
+  IterativeFairKdTreeOptions options;
+  options.height = 4;
+  const auto a =
+      BuildIterativeFairKdTree(f.dataset, f.split, prototype, options);
+  const auto b =
+      BuildIterativeFairKdTree(f.dataset, f.split, prototype, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->partition.partition.cell_to_region(),
+            b->partition.partition.cell_to_region());
+}
+
+TEST(IterativeFairKdTreeTest, PartitionCoversGrid) {
+  Fixture f = MakeFixture();
+  LogisticRegression prototype;
+  IterativeFairKdTreeOptions options;
+  options.height = 6;
+  const auto result =
+      BuildIterativeFairKdTree(f.dataset, f.split, prototype, options);
+  ASSERT_TRUE(result.ok());
+  int total = 0;
+  for (int size : result->partition.partition.RegionSizes()) total += size;
+  EXPECT_EQ(total, f.dataset.grid().num_cells());
+}
+
+TEST(IterativeFairKdTreeTest, RejectsBadOptions) {
+  Fixture f = MakeFixture();
+  LogisticRegression prototype;
+  IterativeFairKdTreeOptions options;
+  options.height = -1;
+  EXPECT_FALSE(
+      BuildIterativeFairKdTree(f.dataset, f.split, prototype, options).ok());
+  options.height = 3;
+  options.task = 5;
+  EXPECT_FALSE(
+      BuildIterativeFairKdTree(f.dataset, f.split, prototype, options).ok());
+  options.task = 0;
+  TrainTestSplit empty;
+  EXPECT_FALSE(
+      BuildIterativeFairKdTree(f.dataset, empty, prototype, options).ok());
+}
+
+TEST(IterativeFairKdTreeTest, DiffersFromOneShotFairTree) {
+  // Retraining at every level generally changes the partitioning relative
+  // to Algorithm 1 (this is the point of the iterative variant).
+  Fixture f = MakeFixture();
+  LogisticRegression prototype;
+  IterativeFairKdTreeOptions options;
+  options.height = 6;
+  const auto iterative =
+      BuildIterativeFairKdTree(f.dataset, f.split, prototype, options);
+  ASSERT_TRUE(iterative.ok());
+  EXPECT_GT(iterative->partition.partition.num_regions(), 32);
+}
+
+}  // namespace
+}  // namespace fairidx

@@ -1,0 +1,337 @@
+// Tests for the shared KD machinery (Algorithm 2's split scan and
+// Algorithm 1's recursion).
+
+#include "index/kd_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace fairidx {
+namespace {
+
+Grid MakeGrid(int rows, int cols) {
+  return Grid::Create(rows, cols,
+                      BoundingBox{0, 0, static_cast<double>(cols),
+                                  static_cast<double>(rows)})
+      .value();
+}
+
+// Aggregates with one record per cell; labels and scores chosen per-cell.
+GridAggregates UniformAggregates(const Grid& grid) {
+  std::vector<int> cells(static_cast<size_t>(grid.num_cells()));
+  std::vector<int> labels(cells.size(), 0);
+  std::vector<double> scores(cells.size(), 0.0);
+  for (int i = 0; i < grid.num_cells(); ++i) cells[static_cast<size_t>(i)] = i;
+  return GridAggregates::Build(grid, cells, labels, scores).value();
+}
+
+TEST(FindBestSplitTest, UnsplittableAxisIsInvalid) {
+  const Grid grid = MakeGrid(1, 8);
+  const GridAggregates agg = UniformAggregates(grid);
+  const KdSplit split =
+      FindBestSplit(agg, grid.FullRect(), /*axis=*/0, {});
+  EXPECT_FALSE(split.valid);
+}
+
+TEST(FindBestSplitTest, FallbackUsesOtherAxis) {
+  const Grid grid = MakeGrid(1, 8);
+  const GridAggregates agg = UniformAggregates(grid);
+  const KdSplit split =
+      FindBestSplitWithFallback(agg, grid.FullRect(), /*preferred_axis=*/0,
+                                {});
+  ASSERT_TRUE(split.valid);
+  EXPECT_EQ(split.axis, 1);
+}
+
+TEST(FindBestSplitTest, ChildrenPartitionTheRect) {
+  const Grid grid = MakeGrid(6, 6);
+  const GridAggregates agg = UniformAggregates(grid);
+  for (int axis : {0, 1}) {
+    const KdSplit split = FindBestSplit(agg, grid.FullRect(), axis, {});
+    ASSERT_TRUE(split.valid);
+    EXPECT_EQ(split.left.num_cells() + split.right.num_cells(),
+              grid.num_cells());
+    EXPECT_FALSE(split.left.empty());
+    EXPECT_FALSE(split.right.empty());
+  }
+}
+
+TEST(FindBestSplitTest, DegenerateObjectiveTiesBreakToCenter) {
+  // All-zero aggregates: every split scores 0; the tie-break should pick
+  // the central offset, not a sliver.
+  const Grid grid = MakeGrid(8, 3);
+  const GridAggregates agg = UniformAggregates(grid);
+  const KdSplit split = FindBestSplit(agg, grid.FullRect(), 0, {});
+  ASSERT_TRUE(split.valid);
+  EXPECT_EQ(split.offset, 4);
+}
+
+TEST(FindBestSplitTest, MatchesBruteForceArgmin) {
+  // Randomized property check against a brute-force scan.
+  Rng rng(99);
+  const Grid grid = MakeGrid(10, 10);
+  const int n = 300;
+  std::vector<int> cells(n);
+  std::vector<int> labels(n);
+  std::vector<double> scores(n);
+  for (int i = 0; i < n; ++i) {
+    cells[i] = static_cast<int>(rng.NextBounded(grid.num_cells()));
+    labels[i] = rng.Bernoulli(0.5) ? 1 : 0;
+    scores[i] = rng.NextDouble();
+  }
+  const GridAggregates agg =
+      GridAggregates::Build(grid, cells, labels, scores).value();
+  const SplitObjectiveOptions options;
+
+  const CellRect rect{1, 9, 2, 9};
+  for (int axis : {0, 1}) {
+    const KdSplit split = FindBestSplit(agg, rect, axis, options);
+    ASSERT_TRUE(split.valid);
+    // Brute force over all offsets.
+    double best = split.objective;
+    const int extent = axis == 0 ? rect.num_rows() : rect.num_cols();
+    for (int offset = 1; offset < extent; ++offset) {
+      CellRect left = rect;
+      CellRect right = rect;
+      if (axis == 0) {
+        left.row_end = rect.row_begin + offset;
+        right.row_begin = rect.row_begin + offset;
+      } else {
+        left.col_end = rect.col_begin + offset;
+        right.col_begin = rect.col_begin + offset;
+      }
+      const double objective = EvaluateSplit(options, left, agg.Query(left),
+                                             right, agg.Query(right));
+      EXPECT_GE(objective, best - 1e-12);
+    }
+  }
+}
+
+TEST(BuildKdTreeTest, HeightZeroIsSingleLeaf) {
+  const Grid grid = MakeGrid(4, 4);
+  const GridAggregates agg = UniformAggregates(grid);
+  KdTreeOptions options;
+  options.height = 0;
+  const auto tree = BuildKdTreePartition(grid, agg, options);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->result.partition.num_regions(), 1);
+}
+
+TEST(BuildKdTreeTest, FullHeightGivesPowerOfTwoLeaves) {
+  const Grid grid = MakeGrid(16, 16);
+  const GridAggregates agg = UniformAggregates(grid);
+  for (int height : {1, 2, 3, 4}) {
+    KdTreeOptions options;
+    options.height = height;
+    const auto tree = BuildKdTreePartition(grid, agg, options);
+    ASSERT_TRUE(tree.ok());
+    EXPECT_EQ(tree->result.partition.num_regions(), 1 << height)
+        << "height " << height;
+  }
+}
+
+TEST(BuildKdTreeTest, LeavesAreCappedByGridSize) {
+  const Grid grid = MakeGrid(2, 2);
+  const GridAggregates agg = UniformAggregates(grid);
+  KdTreeOptions options;
+  options.height = 6;  // 64 leaves requested, only 4 cells exist.
+  const auto tree = BuildKdTreePartition(grid, agg, options);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->result.partition.num_regions(), 4);
+}
+
+TEST(BuildKdTreeTest, PartitionIsCompleteAndDisjoint) {
+  // Partition::FromRects would have failed otherwise; double-check that
+  // every region id appears.
+  const Grid grid = MakeGrid(12, 9);
+  const GridAggregates agg = UniformAggregates(grid);
+  KdTreeOptions options;
+  options.height = 4;
+  const auto tree = BuildKdTreePartition(grid, agg, options);
+  ASSERT_TRUE(tree.ok());
+  const std::vector<int> sizes = tree->result.partition.RegionSizes();
+  int total = 0;
+  for (int s : sizes) {
+    EXPECT_GT(s, 0);
+    total += s;
+  }
+  EXPECT_EQ(total, grid.num_cells());
+}
+
+TEST(BuildKdTreeTest, RejectsNegativeHeight) {
+  const Grid grid = MakeGrid(4, 4);
+  const GridAggregates agg = UniformAggregates(grid);
+  KdTreeOptions options;
+  options.height = -1;
+  EXPECT_FALSE(BuildKdTreePartition(grid, agg, options).ok());
+}
+
+TEST(BuildKdTreeTest, RejectsMismatchedAggregates) {
+  const Grid grid = MakeGrid(4, 4);
+  const Grid other = MakeGrid(5, 5);
+  const GridAggregates agg = UniformAggregates(other);
+  KdTreeOptions options;
+  EXPECT_FALSE(BuildKdTreePartition(grid, agg, options).ok());
+}
+
+TEST(BuildKdTreeTest, DeterministicAcrossRuns) {
+  Rng rng(7);
+  const Grid grid = MakeGrid(16, 16);
+  const int n = 500;
+  std::vector<int> cells(n);
+  std::vector<int> labels(n);
+  std::vector<double> scores(n);
+  for (int i = 0; i < n; ++i) {
+    cells[i] = static_cast<int>(rng.NextBounded(grid.num_cells()));
+    labels[i] = rng.Bernoulli(0.4) ? 1 : 0;
+    scores[i] = rng.NextDouble();
+  }
+  const GridAggregates agg =
+      GridAggregates::Build(grid, cells, labels, scores).value();
+  KdTreeOptions options;
+  options.height = 5;
+  const auto a = BuildKdTreePartition(grid, agg, options);
+  const auto b = BuildKdTreePartition(grid, agg, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->result.partition.cell_to_region(),
+            b->result.partition.cell_to_region());
+}
+
+TEST(FindBestSplitAnyAxisTest, PicksLowerObjectiveAxis) {
+  // Miscalibration varies along columns only, so a column cut balances
+  // the halves better than a row cut.
+  const Grid grid = MakeGrid(8, 8);
+  std::vector<int> cells;
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      cells.push_back(grid.CellId(r, c));
+      scores.push_back(0.5);
+      labels.push_back(c >= 6 ? 1 : 0);  // Bias in the right columns.
+    }
+  }
+  const GridAggregates agg =
+      GridAggregates::Build(grid, cells, labels, scores).value();
+  const KdSplit any =
+      FindBestSplitAnyAxis(agg, grid.FullRect(), /*preferred_axis=*/0, {});
+  ASSERT_TRUE(any.valid);
+  const KdSplit row_only = FindBestSplit(agg, grid.FullRect(), 0, {});
+  const KdSplit col_only = FindBestSplit(agg, grid.FullRect(), 1, {});
+  EXPECT_LE(any.objective,
+            std::min(row_only.objective, col_only.objective) + 1e-12);
+}
+
+TEST(FindBestSplitAnyAxisTest, TieGoesToPreferredAxis) {
+  const Grid grid = MakeGrid(8, 8);
+  const GridAggregates agg = UniformAggregates(grid);  // All zero.
+  const KdSplit any =
+      FindBestSplitAnyAxis(agg, grid.FullRect(), /*preferred_axis=*/1, {});
+  ASSERT_TRUE(any.valid);
+  EXPECT_EQ(any.axis, 1);
+}
+
+TEST(BuildKdTreeTest, BestObjectiveAxisPolicyNeverWorseAtRoot) {
+  Rng rng(31);
+  const Grid grid = MakeGrid(12, 12);
+  const int n = 400;
+  std::vector<int> cells(n);
+  std::vector<int> labels(n);
+  std::vector<double> scores(n);
+  for (int i = 0; i < n; ++i) {
+    cells[i] = static_cast<int>(rng.NextBounded(grid.num_cells()));
+    labels[i] = rng.Bernoulli(0.5) ? 1 : 0;
+    scores[i] = rng.NextDouble();
+  }
+  const GridAggregates agg =
+      GridAggregates::Build(grid, cells, labels, scores).value();
+  KdTreeOptions alternate;
+  alternate.height = 4;
+  KdTreeOptions best = alternate;
+  best.axis_policy = AxisPolicy::kBestObjective;
+  const auto a = BuildKdTreePartition(grid, agg, alternate);
+  const auto b = BuildKdTreePartition(grid, agg, best);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Both are full partitions of identical leaf budget.
+  EXPECT_EQ(a->result.partition.num_regions(),
+            b->result.partition.num_regions());
+}
+
+TEST(BuildKdTreeTest, EarlyStopFreezesCalibratedNodes) {
+  // Perfectly calibrated data everywhere: with an early-stop budget, the
+  // root itself qualifies and the build emits a single leaf; without it,
+  // the full 2^height leaves are produced.
+  const Grid grid = MakeGrid(8, 8);
+  std::vector<int> cells;
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (int cell = 0; cell < grid.num_cells(); ++cell) {
+    for (int k = 0; k < 2; ++k) {
+      cells.push_back(cell);
+      scores.push_back(0.5);
+      labels.push_back(k % 2);  // Per-cell |sum_labels - sum_scores| = 0.
+    }
+  }
+  const GridAggregates agg =
+      GridAggregates::Build(grid, cells, labels, scores).value();
+  KdTreeOptions options;
+  options.height = 5;
+  options.early_stop_weighted_miscalibration = 0.5;
+  const auto stopped = BuildKdTreePartition(grid, agg, options);
+  ASSERT_TRUE(stopped.ok());
+  EXPECT_EQ(stopped->result.partition.num_regions(), 1);
+
+  KdTreeOptions no_stop;
+  no_stop.height = 5;
+  const auto full = BuildKdTreePartition(grid, agg, no_stop);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->result.partition.num_regions(), 32);
+}
+
+TEST(BuildKdTreeTest, EarlyStopStillSplitsMiscalibratedNodes) {
+  // Globally biased data: no node meets the budget, so early stop changes
+  // nothing.
+  const Grid grid = MakeGrid(8, 8);
+  std::vector<int> cells;
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (int cell = 0; cell < grid.num_cells(); ++cell) {
+    cells.push_back(cell);
+    scores.push_back(0.5);
+    labels.push_back(1);  // Per-cell weighted miscalibration 0.5.
+  }
+  const GridAggregates agg =
+      GridAggregates::Build(grid, cells, labels, scores).value();
+  KdTreeOptions options;
+  options.height = 3;
+  options.early_stop_weighted_miscalibration = 0.25;
+  const auto tree = BuildKdTreePartition(grid, agg, options);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->result.partition.num_regions(), 8);
+}
+
+TEST(SplitAllRegionsTest, RefinesEverySplittableRegion) {
+  const Grid grid = MakeGrid(8, 8);
+  const GridAggregates agg = UniformAggregates(grid);
+  std::vector<CellRect> regions = {grid.FullRect()};
+  regions = SplitAllRegions(agg, regions, 0, {});
+  EXPECT_EQ(regions.size(), 2u);
+  regions = SplitAllRegions(agg, regions, 1, {});
+  EXPECT_EQ(regions.size(), 4u);
+}
+
+TEST(SplitAllRegionsTest, CarriesOverUnsplittableRegions) {
+  const Grid grid = MakeGrid(1, 1);
+  const GridAggregates agg = UniformAggregates(grid);
+  std::vector<CellRect> regions = {grid.FullRect()};
+  regions = SplitAllRegions(agg, regions, 0, {});
+  EXPECT_EQ(regions.size(), 1u);
+}
+
+}  // namespace
+}  // namespace fairidx

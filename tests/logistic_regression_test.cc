@@ -1,0 +1,192 @@
+// Tests for logistic regression.
+
+#include "ml/logistic_regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace fairidx {
+namespace {
+
+// A linearly separable-ish dataset: y = 1 iff x0 + x1 > 0, with margin.
+void MakeSeparable(int n, Matrix* X, std::vector<int>* y, uint64_t seed) {
+  Rng rng(seed);
+  *X = Matrix(static_cast<size_t>(n), 2);
+  y->resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.Uniform(-1, 1);
+    const double b = rng.Uniform(-1, 1);
+    (*X)(static_cast<size_t>(i), 0) = a;
+    (*X)(static_cast<size_t>(i), 1) = b;
+    (*y)[static_cast<size_t>(i)] = a + b > 0 ? 1 : 0;
+  }
+}
+
+TEST(SigmoidTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(100.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-100.0), 0.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(1.0) + Sigmoid(-1.0), 1.0, 1e-12);
+}
+
+TEST(LogisticRegressionTest, PredictBeforeFitFails) {
+  LogisticRegression model;
+  EXPECT_FALSE(model.is_fitted());
+  EXPECT_FALSE(model.PredictScores(Matrix(1, 1, {0.0})).ok());
+}
+
+TEST(LogisticRegressionTest, RejectsInvalidInputs) {
+  LogisticRegression model;
+  EXPECT_FALSE(model.Fit(Matrix(), {}).ok());
+  EXPECT_FALSE(model.Fit(Matrix(2, 1, {1, 2}), {1}).ok());
+  EXPECT_FALSE(model.Fit(Matrix(2, 1, {1, 2}), {1, 2}).ok());
+  const std::vector<double> bad_weights = {-1.0, 1.0};
+  EXPECT_FALSE(model.Fit(Matrix(2, 1, {1, 2}), {1, 0}, &bad_weights).ok());
+}
+
+TEST(LogisticRegressionTest, LearnsSeparableData) {
+  Matrix X;
+  std::vector<int> y;
+  MakeSeparable(400, &X, &y, 42);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(X, y).ok());
+  const std::vector<double> scores = model.PredictScores(X).value();
+  int correct = 0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    correct += (scores[i] >= 0.5) == (y[i] == 1) ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(correct) / y.size(), 0.95);
+}
+
+TEST(LogisticRegressionTest, ScoresAreProbabilities) {
+  Matrix X;
+  std::vector<int> y;
+  MakeSeparable(100, &X, &y, 7);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(X, y).ok());
+  const std::vector<double> scores = model.PredictScores(X).value();
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(LogisticRegressionTest, TrainScoresSumToPositiveCount) {
+  // At the optimum the intercept's score equation forces
+  // sum(p_i) == sum(y_i); this drives the paper-style observation that
+  // overall train calibration is ~perfect while neighborhoods are not.
+  Matrix X;
+  std::vector<int> y;
+  MakeSeparable(300, &X, &y, 11);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(X, y).ok());
+  const std::vector<double> scores = model.PredictScores(X).value();
+  double score_sum = 0.0;
+  double label_sum = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    score_sum += scores[i];
+    label_sum += y[i];
+  }
+  EXPECT_NEAR(score_sum, label_sum, 0.5);
+}
+
+TEST(LogisticRegressionTest, DeterministicAcrossFits) {
+  Matrix X;
+  std::vector<int> y;
+  MakeSeparable(150, &X, &y, 13);
+  LogisticRegression a;
+  LogisticRegression b;
+  ASSERT_TRUE(a.Fit(X, y).ok());
+  ASSERT_TRUE(b.Fit(X, y).ok());
+  EXPECT_EQ(a.weights(), b.weights());
+  EXPECT_EQ(a.intercept(), b.intercept());
+}
+
+TEST(LogisticRegressionTest, RefitDiscardsPreviousModel) {
+  Matrix X;
+  std::vector<int> y;
+  MakeSeparable(150, &X, &y, 17);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(X, y).ok());
+  const std::vector<double> w1 = model.weights();
+  // Flip labels; the refitted weights must flip sign (approximately).
+  std::vector<int> flipped(y.size());
+  for (size_t i = 0; i < y.size(); ++i) flipped[i] = 1 - y[i];
+  ASSERT_TRUE(model.Fit(X, flipped).ok());
+  EXPECT_LT(model.weights()[0] * w1[0], 0.0);
+}
+
+TEST(LogisticRegressionTest, SampleWeightsShiftTheModel) {
+  // Two overlapping blobs; upweighting positives raises all scores.
+  Matrix X(4, 1, {-1.0, -0.5, 0.5, 1.0});
+  const std::vector<int> y = {0, 0, 1, 1};
+  LogisticRegression unweighted;
+  ASSERT_TRUE(unweighted.Fit(X, y).ok());
+  const double base = unweighted.PredictScores(Matrix(1, 1, {0.0}))
+                          .value()[0];
+
+  const std::vector<double> weights = {1.0, 1.0, 10.0, 10.0};
+  LogisticRegression weighted;
+  ASSERT_TRUE(weighted.Fit(X, y, &weights).ok());
+  const double shifted =
+      weighted.PredictScores(Matrix(1, 1, {0.0})).value()[0];
+  EXPECT_GT(shifted, base);
+}
+
+TEST(LogisticRegressionTest, WeightedFitMatchesRepeatedRows) {
+  Matrix X(3, 1, {-1.0, 0.0, 1.0});
+  const std::vector<int> y = {0, 1, 1};
+  const std::vector<double> weights = {2.0, 1.0, 1.0};
+  LogisticRegression weighted;
+  ASSERT_TRUE(weighted.Fit(X, y, &weights).ok());
+
+  Matrix repeated(4, 1, {-1.0, -1.0, 0.0, 1.0});
+  const std::vector<int> repeated_y = {0, 0, 1, 1};
+  LogisticRegression duplicated;
+  ASSERT_TRUE(duplicated.Fit(repeated, repeated_y).ok());
+
+  EXPECT_NEAR(weighted.weights()[0], duplicated.weights()[0], 1e-4);
+  EXPECT_NEAR(weighted.intercept(), duplicated.intercept(), 1e-4);
+}
+
+TEST(LogisticRegressionTest, ImportancesNormalisedAndInformative) {
+  // Feature 0 is predictive, feature 1 is noise.
+  Rng rng(19);
+  Matrix X(300, 2);
+  std::vector<int> y(300);
+  for (size_t i = 0; i < 300; ++i) {
+    X(i, 0) = rng.Uniform(-1, 1);
+    X(i, 1) = rng.Uniform(-1, 1);
+    y[i] = X(i, 0) > 0 ? 1 : 0;
+  }
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(X, y).ok());
+  const std::vector<double> importances = model.FeatureImportances();
+  ASSERT_EQ(importances.size(), 2u);
+  EXPECT_NEAR(importances[0] + importances[1], 1.0, 1e-9);
+  EXPECT_GT(importances[0], 0.8);
+}
+
+TEST(LogisticRegressionTest, CloneIsUnfittedWithSameConfig) {
+  LogisticRegressionOptions options;
+  options.max_iterations = 3;
+  LogisticRegression model(options);
+  auto clone = model.Clone();
+  EXPECT_EQ(clone->name(), "logistic_regression");
+  EXPECT_FALSE(clone->is_fitted());
+}
+
+TEST(LogisticRegressionTest, ColumnMismatchOnPredictFails) {
+  Matrix X;
+  std::vector<int> y;
+  MakeSeparable(50, &X, &y, 23);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(X, y).ok());
+  EXPECT_FALSE(model.PredictScores(Matrix(1, 3, {1, 2, 3})).ok());
+}
+
+}  // namespace
+}  // namespace fairidx

@@ -1,0 +1,100 @@
+// Tests for the dense row-major Matrix.
+
+#include "common/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace fairidx {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(MatrixTest, ZeroInitialised) {
+  Matrix m(2, 3);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(MatrixTest, ConstructFromData) {
+  Matrix m(2, 2, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_EQ(m(1, 1), 4.0);
+}
+
+TEST(MatrixTest, RowPointerIsContiguous) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  const double* row = m.Row(1);
+  EXPECT_EQ(row[0], 4.0);
+  EXPECT_EQ(row[2], 6.0);
+}
+
+TEST(MatrixTest, AppendRowToEmptySetsCols) {
+  Matrix m;
+  m.AppendRow({1.0, 2.0, 3.0});
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.cols(), 3u);
+  m.AppendRow({4.0, 5.0, 6.0});
+  EXPECT_EQ(m(1, 2), 6.0);
+}
+
+TEST(MatrixTest, ColumnExtraction) {
+  Matrix m(3, 2, {1, 10, 2, 20, 3, 30});
+  const std::vector<double> col = m.Column(1);
+  EXPECT_EQ(col, (std::vector<double>{10, 20, 30}));
+}
+
+TEST(MatrixTest, SelectRowsInOrder) {
+  Matrix m(4, 1, {0, 1, 2, 3});
+  const Matrix sub = m.SelectRows({3, 1});
+  ASSERT_EQ(sub.rows(), 2u);
+  EXPECT_EQ(sub(0, 0), 3.0);
+  EXPECT_EQ(sub(1, 0), 1.0);
+}
+
+TEST(MatrixTest, SelectRowsAllowsDuplicates) {
+  Matrix m(2, 1, {5, 7});
+  const Matrix sub = m.SelectRows({1, 1, 0});
+  ASSERT_EQ(sub.rows(), 3u);
+  EXPECT_EQ(sub(0, 0), 7.0);
+  EXPECT_EQ(sub(1, 0), 7.0);
+  EXPECT_EQ(sub(2, 0), 5.0);
+}
+
+TEST(MatrixTest, WithColumnAppendsOnRight) {
+  Matrix m(2, 2, {1, 2, 3, 4});
+  const Matrix wide = m.WithColumn({9, 8});
+  ASSERT_EQ(wide.cols(), 3u);
+  EXPECT_EQ(wide(0, 2), 9.0);
+  EXPECT_EQ(wide(1, 2), 8.0);
+  EXPECT_EQ(wide(1, 0), 3.0);
+}
+
+TEST(MatrixTest, RowDotProduct) {
+  Matrix m(1, 3, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(m.RowDot(0, {4, 5, 6}), 32.0);
+}
+
+TEST(MatrixTest, DebugStringShowsShape) {
+  Matrix m(3, 2);
+  EXPECT_EQ(m.DebugString(), "Matrix(3x2)");
+}
+
+TEST(MatrixDeathTest, MismatchedDataSizeAborts) {
+  EXPECT_DEATH(Matrix(2, 2, {1.0}), "data size");
+}
+
+TEST(MatrixDeathTest, MismatchedAppendAborts) {
+  Matrix m(1, 2, {1, 2});
+  EXPECT_DEATH(m.AppendRow({1.0}), "row size");
+}
+
+}  // namespace
+}  // namespace fairidx

@@ -1,0 +1,90 @@
+// Tests for classification metrics.
+
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fairidx {
+namespace {
+
+TEST(AccuracyTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(
+      Accuracy({0.9, 0.1, 0.8, 0.2}, {1, 0, 1, 0}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      Accuracy({0.9, 0.1, 0.2, 0.8}, {1, 0, 1, 0}).value(), 0.5);
+}
+
+TEST(AccuracyTest, ThresholdIsInclusive) {
+  EXPECT_DOUBLE_EQ(Accuracy({0.5}, {1}).value(), 1.0);
+}
+
+TEST(AccuracyTest, CustomThreshold) {
+  EXPECT_DOUBLE_EQ(Accuracy({0.4}, {1}, 0.3).value(), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({0.4}, {1}, 0.5).value(), 0.0);
+}
+
+TEST(AccuracyTest, RejectsBadInputs) {
+  EXPECT_FALSE(Accuracy({}, {}).ok());
+  EXPECT_FALSE(Accuracy({0.5}, {1, 0}).ok());
+}
+
+TEST(LogLossTest, PerfectPredictionsNearZero) {
+  EXPECT_NEAR(LogLoss({1.0, 0.0}, {1, 0}).value(), 0.0, 1e-9);
+}
+
+TEST(LogLossTest, KnownValue) {
+  // -log(0.8) for one record.
+  EXPECT_NEAR(LogLoss({0.8}, {1}).value(), -std::log(0.8), 1e-12);
+  EXPECT_NEAR(LogLoss({0.8}, {0}).value(), -std::log(0.2), 1e-12);
+}
+
+TEST(LogLossTest, ClipsExtremeScores) {
+  const double loss = LogLoss({0.0}, {1}).value();
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 10.0);
+}
+
+TEST(RocAucTest, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.2, 0.8, 0.9}, {0, 0, 1, 1}).value(), 1.0);
+}
+
+TEST(RocAucTest, ReversedRankingIsZero) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.9, 0.8, 0.2, 0.1}, {0, 0, 1, 1}).value(), 0.0);
+}
+
+TEST(RocAucTest, TiesGetHalfCredit) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.5, 0.5}, {0, 1}).value(), 0.5);
+}
+
+TEST(RocAucTest, SingleClassReturnsHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.3, 0.7}, {1, 1}).value(), 0.5);
+}
+
+TEST(RocAucTest, KnownMixedValue) {
+  // scores: pos {0.8, 0.3}, neg {0.5, 0.1}:
+  // pairs won: (0.8>0.5), (0.8>0.1), (0.3<0.5 lost), (0.3>0.1) = 3/4.
+  EXPECT_DOUBLE_EQ(
+      RocAuc({0.8, 0.3, 0.5, 0.1}, {1, 1, 0, 0}).value(), 0.75);
+}
+
+TEST(ConfusionTest, CountsAllQuadrants) {
+  const auto counts =
+      Confusion({0.9, 0.9, 0.1, 0.1}, {1, 0, 1, 0}).value();
+  EXPECT_EQ(counts.true_positives, 1);
+  EXPECT_EQ(counts.false_positives, 1);
+  EXPECT_EQ(counts.false_negatives, 1);
+  EXPECT_EQ(counts.true_negatives, 1);
+}
+
+TEST(ConfusionTest, TotalsMatchInputSize) {
+  const auto counts =
+      Confusion({0.2, 0.6, 0.7, 0.3, 0.9}, {0, 1, 0, 0, 1}).value();
+  EXPECT_EQ(counts.true_positives + counts.true_negatives +
+                counts.false_positives + counts.false_negatives,
+            5);
+}
+
+}  // namespace
+}  // namespace fairidx

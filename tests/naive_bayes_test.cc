@@ -1,0 +1,139 @@
+// Tests for Gaussian naive Bayes.
+
+#include "ml/naive_bayes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace fairidx {
+namespace {
+
+TEST(NaiveBayesTest, PredictBeforeFitFails) {
+  GaussianNaiveBayes model;
+  EXPECT_FALSE(model.PredictScores(Matrix(1, 1, {0.0})).ok());
+}
+
+TEST(NaiveBayesTest, RequiresBothClasses) {
+  GaussianNaiveBayes model;
+  Matrix X(3, 1, {1, 2, 3});
+  EXPECT_FALSE(model.Fit(X, {1, 1, 1}).ok());
+  EXPECT_FALSE(model.Fit(X, {0, 0, 0}).ok());
+}
+
+TEST(NaiveBayesTest, SeparatesDistantGaussians) {
+  Rng rng(1);
+  const int n = 400;
+  Matrix X(n, 1);
+  std::vector<int> y(n);
+  for (int i = 0; i < n; ++i) {
+    const bool positive = i % 2 == 0;
+    X(static_cast<size_t>(i), 0) =
+        rng.Gaussian(positive ? 5.0 : -5.0, 1.0);
+    y[static_cast<size_t>(i)] = positive ? 1 : 0;
+  }
+  GaussianNaiveBayes model;
+  ASSERT_TRUE(model.Fit(X, y).ok());
+  EXPECT_GT(model.PredictScores(Matrix(1, 1, {5.0})).value()[0], 0.99);
+  EXPECT_LT(model.PredictScores(Matrix(1, 1, {-5.0})).value()[0], 0.01);
+  // The midpoint is ambiguous; with sampled means the log-odds there are
+  // very sensitive, so only require it stays away from the extremes.
+  const double midpoint =
+      model.PredictScores(Matrix(1, 1, {0.0})).value()[0];
+  EXPECT_GT(midpoint, 0.2);
+  EXPECT_LT(midpoint, 0.8);
+}
+
+TEST(NaiveBayesTest, PriorShiftsTheBoundary) {
+  // Same symmetric likelihoods, 3:1 positive prior -> midpoint above 0.5.
+  Matrix X(8, 1, {-1, -1, -1, 1, 1, 1, -0.9, 0.9});
+  const std::vector<int> y = {0, 1, 1, 1, 1, 1, 0, 1};
+  GaussianNaiveBayes model;
+  ASSERT_TRUE(model.Fit(X, y).ok());
+  const double mid = model.PredictScores(Matrix(1, 1, {0.0})).value()[0];
+  EXPECT_GT(mid, 0.5);
+}
+
+TEST(NaiveBayesTest, ScoresAreProbabilities) {
+  Rng rng(2);
+  Matrix X(100, 2);
+  std::vector<int> y(100);
+  for (size_t i = 0; i < 100; ++i) {
+    X(i, 0) = rng.Uniform(-1, 1);
+    X(i, 1) = rng.Uniform(-1, 1);
+    y[i] = X(i, 0) > 0 ? 1 : 0;
+  }
+  GaussianNaiveBayes model;
+  ASSERT_TRUE(model.Fit(X, y).ok());
+  const std::vector<double> scores = model.PredictScores(X).value();
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(NaiveBayesTest, ConstantFeatureDoesNotCrash) {
+  // Variance smoothing must keep a zero-variance feature finite.
+  Matrix X(4, 2, {1.0, 7.0, 2.0, 7.0, 3.0, 7.0, 4.0, 7.0});
+  const std::vector<int> y = {0, 0, 1, 1};
+  GaussianNaiveBayes model;
+  ASSERT_TRUE(model.Fit(X, y).ok());
+  const auto scores = model.PredictScores(X);
+  ASSERT_TRUE(scores.ok());
+  for (double s : scores.value()) {
+    EXPECT_TRUE(std::isfinite(s));
+  }
+}
+
+TEST(NaiveBayesTest, WeightedFitMatchesRepeatedRows) {
+  Matrix X(3, 1, {-2.0, 0.0, 2.0});
+  const std::vector<int> y = {0, 1, 1};
+  const std::vector<double> weights = {2.0, 1.0, 1.0};
+  GaussianNaiveBayes weighted;
+  ASSERT_TRUE(weighted.Fit(X, y, &weights).ok());
+
+  Matrix repeated(4, 1, {-2.0, -2.0, 0.0, 2.0});
+  GaussianNaiveBayes duplicated;
+  ASSERT_TRUE(duplicated.Fit(repeated, {0, 0, 1, 1}).ok());
+
+  const Matrix probe(3, 1, {-1.0, 0.5, 3.0});
+  const auto a = weighted.PredictScores(probe).value();
+  const auto b = duplicated.PredictScores(probe).value();
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-9);
+}
+
+TEST(NaiveBayesTest, ImportancesFavourSeparatedFeature) {
+  Rng rng(3);
+  Matrix X(300, 2);
+  std::vector<int> y(300);
+  for (size_t i = 0; i < 300; ++i) {
+    const bool positive = i % 2 == 0;
+    X(i, 0) = rng.Gaussian(positive ? 3.0 : -3.0, 1.0);  // Separated.
+    X(i, 1) = rng.Gaussian(0.0, 1.0);                    // Noise.
+    y[i] = positive ? 1 : 0;
+  }
+  GaussianNaiveBayes model;
+  ASSERT_TRUE(model.Fit(X, y).ok());
+  const std::vector<double> importances = model.FeatureImportances();
+  EXPECT_GT(importances[0], 0.8);
+  EXPECT_NEAR(importances[0] + importances[1], 1.0, 1e-9);
+}
+
+TEST(NaiveBayesTest, FeatureCountMismatchOnPredictFails) {
+  Matrix X(4, 1, {1, 2, 3, 4});
+  GaussianNaiveBayes model;
+  ASSERT_TRUE(model.Fit(X, {0, 0, 1, 1}).ok());
+  EXPECT_FALSE(model.PredictScores(Matrix(1, 2, {1, 2})).ok());
+}
+
+TEST(NaiveBayesTest, CloneIsUnfitted) {
+  GaussianNaiveBayes model;
+  auto clone = model.Clone();
+  EXPECT_EQ(clone->name(), "naive_bayes");
+  EXPECT_FALSE(clone->is_fitted());
+}
+
+}  // namespace
+}  // namespace fairidx

@@ -1,0 +1,107 @@
+// Tests for the Partition abstraction.
+
+#include "index/partition.h"
+
+#include <gtest/gtest.h>
+
+namespace fairidx {
+namespace {
+
+Grid MakeGrid(int rows = 4, int cols = 4) {
+  return Grid::Create(rows, cols,
+                      BoundingBox{0, 0, static_cast<double>(cols),
+                                  static_cast<double>(rows)})
+      .value();
+}
+
+TEST(PartitionTest, FromCellMapCompactsIds) {
+  const auto partition =
+      Partition::FromCellMap({7, 7, 42, 42, 7, 9}).value();
+  EXPECT_EQ(partition.num_regions(), 3);
+  // First-appearance order: 7 -> 0, 42 -> 1, 9 -> 2.
+  EXPECT_EQ(partition.cell_to_region(),
+            (std::vector<int>{0, 0, 1, 1, 0, 2}));
+}
+
+TEST(PartitionTest, FromCellMapRejectsBadInput) {
+  EXPECT_FALSE(Partition::FromCellMap({}).ok());
+  EXPECT_FALSE(Partition::FromCellMap({0, -1}).ok());
+}
+
+TEST(PartitionTest, FromRectsCoversGrid) {
+  const Grid grid = MakeGrid();
+  const std::vector<CellRect> rects = {
+      CellRect{0, 4, 0, 2},
+      CellRect{0, 4, 2, 4},
+  };
+  const auto partition = Partition::FromRects(grid, rects).value();
+  EXPECT_EQ(partition.num_regions(), 2);
+  EXPECT_EQ(partition.RegionOfCell(grid.CellId(0, 0)), 0);
+  EXPECT_EQ(partition.RegionOfCell(grid.CellId(3, 3)), 1);
+}
+
+TEST(PartitionTest, FromRectsDetectsOverlap) {
+  const Grid grid = MakeGrid();
+  const std::vector<CellRect> rects = {
+      CellRect{0, 4, 0, 3},
+      CellRect{0, 4, 2, 4},  // Overlaps column 2.
+  };
+  EXPECT_FALSE(Partition::FromRects(grid, rects).ok());
+}
+
+TEST(PartitionTest, FromRectsDetectsGap) {
+  const Grid grid = MakeGrid();
+  const std::vector<CellRect> rects = {
+      CellRect{0, 4, 0, 2},
+      CellRect{0, 3, 2, 4},  // Misses row 3 of the right half.
+  };
+  EXPECT_FALSE(Partition::FromRects(grid, rects).ok());
+}
+
+TEST(PartitionTest, FromRectsDetectsOutOfBounds) {
+  const Grid grid = MakeGrid();
+  EXPECT_FALSE(
+      Partition::FromRects(grid, {CellRect{0, 5, 0, 4}}).ok());
+}
+
+TEST(PartitionTest, SinglePartition) {
+  const Partition partition = Partition::Single(9);
+  EXPECT_EQ(partition.num_regions(), 1);
+  EXPECT_EQ(partition.num_cells(), 9);
+  for (int cell = 0; cell < 9; ++cell) {
+    EXPECT_EQ(partition.RegionOfCell(cell), 0);
+  }
+}
+
+TEST(PartitionTest, RegionCellsAndSizes) {
+  const auto partition = Partition::FromCellMap({0, 1, 0, 1}).value();
+  const auto cells = partition.RegionCells();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0], (std::vector<int>{0, 2}));
+  EXPECT_EQ(cells[1], (std::vector<int>{1, 3}));
+  EXPECT_EQ(partition.RegionSizes(), (std::vector<int>{2, 2}));
+}
+
+TEST(PartitionTest, RefinementDetection) {
+  const auto coarse = Partition::FromCellMap({0, 0, 1, 1}).value();
+  const auto fine = Partition::FromCellMap({0, 1, 2, 2}).value();
+  EXPECT_TRUE(coarse.IsRefinedBy(fine));
+  EXPECT_FALSE(fine.IsRefinedBy(coarse));
+  // Every partition refines itself.
+  EXPECT_TRUE(coarse.IsRefinedBy(coarse));
+}
+
+TEST(PartitionTest, CrossCuttingPartitionIsNotRefinement) {
+  const auto a = Partition::FromCellMap({0, 0, 1, 1}).value();
+  const auto b = Partition::FromCellMap({0, 1, 0, 1}).value();
+  EXPECT_FALSE(a.IsRefinedBy(b));
+}
+
+TEST(PartitionTest, RefinementRequiresSameCellCount) {
+  const auto a = Partition::FromCellMap({0, 0}).value();
+  const auto b = Partition::FromCellMap({0, 0, 1}).value();
+  EXPECT_FALSE(a.IsRefinedBy(b));
+}
+
+}  // namespace
+}  // namespace fairidx

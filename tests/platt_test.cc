@@ -1,0 +1,98 @@
+// Tests for Platt scaling.
+
+#include "ml/platt.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace fairidx {
+namespace {
+
+TEST(PlattTest, RejectsBadInputs) {
+  PlattScaler scaler;
+  EXPECT_FALSE(scaler.Fit({}, {}).ok());
+  EXPECT_FALSE(scaler.Fit({0.5}, {1, 0}).ok());
+  EXPECT_FALSE(scaler.Fit({0.5, 0.6}, {1, 1}).ok());  // One class.
+  EXPECT_FALSE(scaler.Fit({0.5, 0.6}, {0, 2}).ok());
+}
+
+TEST(PlattTest, IdentityOnCalibratedScores) {
+  // Scores already calibrated: the fitted map should stay near identity.
+  Rng rng(3);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 4000; ++i) {
+    const double p = rng.NextDouble();
+    scores.push_back(p);
+    labels.push_back(rng.Bernoulli(p) ? 1 : 0);
+  }
+  PlattScaler scaler;
+  ASSERT_TRUE(scaler.Fit(scores, labels).ok());
+  EXPECT_NEAR(scaler.slope(), 1.0, 0.15);
+  EXPECT_NEAR(scaler.intercept(), 0.0, 0.1);
+  EXPECT_NEAR(scaler.Transform(0.5), 0.5, 0.05);
+}
+
+TEST(PlattTest, CorrectsOverconfidentScores) {
+  // True probability is 0.5 + 0.2*(s - 0.5)/0.5... simpler: scores pushed
+  // to extremes while labels follow a milder probability.
+  Rng rng(5);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 5000; ++i) {
+    const double mild = rng.NextDouble();  // True P(y=1).
+    // Overconfident report: sharpen towards 0/1.
+    const double sharp = mild > 0.5 ? 0.5 + (mild - 0.5) * 1.8
+                                    : 0.5 - (0.5 - mild) * 1.8;
+    scores.push_back(Clamp(sharp, 0.01, 0.99));
+    labels.push_back(rng.Bernoulli(mild) ? 1 : 0);
+  }
+  PlattScaler scaler;
+  ASSERT_TRUE(scaler.Fit(scores, labels).ok());
+  // The corrected extreme score must move towards the center.
+  EXPECT_LT(scaler.Transform(0.95), 0.93);
+  EXPECT_GT(scaler.Transform(0.05), 0.07);
+}
+
+TEST(PlattTest, TransformIsMonotone) {
+  Rng rng(7);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 500; ++i) {
+    const double p = rng.NextDouble();
+    scores.push_back(p);
+    labels.push_back(rng.Bernoulli(p) ? 1 : 0);
+  }
+  PlattScaler scaler;
+  ASSERT_TRUE(scaler.Fit(scores, labels).ok());
+  double previous = -1.0;
+  for (double s = 0.05; s < 1.0; s += 0.05) {
+    const double t = scaler.Transform(s);
+    EXPECT_GE(t, previous);
+    previous = t;
+  }
+}
+
+TEST(PlattTest, TransformAllMatchesScalar) {
+  PlattScaler scaler;
+  ASSERT_TRUE(
+      scaler.Fit({0.2, 0.4, 0.6, 0.8}, {0, 0, 1, 1}).ok());
+  const std::vector<double> batch = scaler.TransformAll({0.3, 0.7});
+  EXPECT_DOUBLE_EQ(batch[0], scaler.Transform(0.3));
+  EXPECT_DOUBLE_EQ(batch[1], scaler.Transform(0.7));
+}
+
+TEST(PlattTest, OutputsAreProbabilities) {
+  PlattScaler scaler;
+  ASSERT_TRUE(scaler.Fit({0.1, 0.9, 0.4, 0.6}, {0, 1, 0, 1}).ok());
+  for (double s : {0.0, 0.001, 0.5, 0.999, 1.0}) {
+    const double t = scaler.Transform(s);
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace fairidx

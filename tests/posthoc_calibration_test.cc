@@ -1,0 +1,172 @@
+// Tests for per-neighborhood post-hoc recalibration.
+
+#include "fairness/posthoc_calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fairness/ence.h"
+
+namespace fairidx {
+namespace {
+
+// Two neighborhoods, one systematically under-scored, one over-scored.
+struct Fixture {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  std::vector<int> neighborhoods;
+  std::vector<size_t> all_indices;
+};
+
+Fixture MakeFixture() {
+  Fixture f;
+  Rng rng(11);
+  for (int i = 0; i < 60; ++i) {
+    // Neighborhood 0: o = 0.8 but scores ~0.4 (under-scored).
+    f.scores.push_back(0.4 + rng.Uniform(-0.05, 0.05));
+    f.labels.push_back(rng.Bernoulli(0.8) ? 1 : 0);
+    f.neighborhoods.push_back(0);
+    // Neighborhood 1: o = 0.2 but scores ~0.6 (over-scored).
+    f.scores.push_back(0.6 + rng.Uniform(-0.05, 0.05));
+    f.labels.push_back(rng.Bernoulli(0.2) ? 1 : 0);
+    f.neighborhoods.push_back(1);
+  }
+  for (size_t i = 0; i < f.scores.size(); ++i) f.all_indices.push_back(i);
+  return f;
+}
+
+TEST(PosthocTest, ShiftZeroesTrainMiscalibrationPerNeighborhood) {
+  const Fixture f = MakeFixture();
+  const auto recalibrator = NeighborhoodRecalibrator::Fit(
+      f.scores, f.labels, f.neighborhoods, f.all_indices, PosthocOptions{});
+  ASSERT_TRUE(recalibrator.ok());
+  const std::vector<double> adjusted =
+      recalibrator->Transform(f.scores, f.neighborhoods);
+  // Per-neighborhood means must now match label means exactly (the shift
+  // map is exact when no clamping occurs, as here).
+  const double ence = Ence(adjusted, f.labels, f.neighborhoods).value();
+  EXPECT_NEAR(ence, 0.0, 1e-9);
+}
+
+TEST(PosthocTest, ShiftImprovesEnce) {
+  const Fixture f = MakeFixture();
+  const double before = Ence(f.scores, f.labels, f.neighborhoods).value();
+  const auto recalibrator = NeighborhoodRecalibrator::Fit(
+      f.scores, f.labels, f.neighborhoods, f.all_indices, PosthocOptions{});
+  ASSERT_TRUE(recalibrator.ok());
+  const double after =
+      Ence(recalibrator->Transform(f.scores, f.neighborhoods), f.labels,
+           f.neighborhoods)
+          .value();
+  EXPECT_LT(after, before);
+  EXPECT_GT(before, 0.2);  // The fixture is badly miscalibrated.
+}
+
+TEST(PosthocTest, PlattImprovesEnce) {
+  const Fixture f = MakeFixture();
+  const double before = Ence(f.scores, f.labels, f.neighborhoods).value();
+  PosthocOptions options;
+  options.method = PosthocMethod::kPlatt;
+  const auto recalibrator = NeighborhoodRecalibrator::Fit(
+      f.scores, f.labels, f.neighborhoods, f.all_indices, options);
+  ASSERT_TRUE(recalibrator.ok());
+  const double after =
+      Ence(recalibrator->Transform(f.scores, f.neighborhoods), f.labels,
+           f.neighborhoods)
+          .value();
+  EXPECT_LT(after, before * 0.5);
+}
+
+TEST(PosthocTest, SmallGroupsFallBackToGlobalMap) {
+  // One tiny neighborhood below min_group_size.
+  std::vector<double> scores = {0.4, 0.4, 0.4, 0.4, 0.4, 0.9};
+  std::vector<int> labels = {1, 1, 1, 0, 0, 0};
+  std::vector<int> neighborhoods = {0, 0, 0, 0, 0, 7};
+  PosthocOptions options;
+  options.min_group_size = 5;
+  const auto recalibrator = NeighborhoodRecalibrator::Fit(
+      scores, labels, neighborhoods, {0, 1, 2, 3, 4, 5}, options);
+  ASSERT_TRUE(recalibrator.ok());
+  // Neighborhood 7 has 1 record -> no dedicated map.
+  EXPECT_EQ(recalibrator->num_group_maps(), 1);
+  // Its transformed score uses the global shift, not a perfect fix.
+  const std::vector<double> adjusted =
+      recalibrator->Transform(scores, neighborhoods);
+  EXPECT_NE(adjusted[5], 0.0);
+}
+
+TEST(PosthocTest, UnknownNeighborhoodUsesGlobalMap) {
+  const Fixture f = MakeFixture();
+  const auto recalibrator = NeighborhoodRecalibrator::Fit(
+      f.scores, f.labels, f.neighborhoods, f.all_indices, PosthocOptions{});
+  ASSERT_TRUE(recalibrator.ok());
+  // A neighborhood never seen in fitting.
+  const std::vector<double> adjusted =
+      recalibrator->Transform({0.5}, {999});
+  EXPECT_GE(adjusted[0], 0.0);
+  EXPECT_LE(adjusted[0], 1.0);
+}
+
+TEST(PosthocTest, FitOnTrainOnlyDoesNotTouchTestLabels) {
+  // Fitting on a subset must produce the same maps as fitting on the same
+  // subset presented alone.
+  const Fixture f = MakeFixture();
+  std::vector<size_t> train_half;
+  for (size_t i = 0; i < f.scores.size(); i += 2) train_half.push_back(i);
+
+  const auto subset = NeighborhoodRecalibrator::Fit(
+      f.scores, f.labels, f.neighborhoods, train_half, PosthocOptions{});
+  ASSERT_TRUE(subset.ok());
+
+  std::vector<double> half_scores;
+  std::vector<int> half_labels;
+  std::vector<int> half_neighborhoods;
+  std::vector<size_t> half_indices;
+  for (size_t i : train_half) {
+    half_scores.push_back(f.scores[i]);
+    half_labels.push_back(f.labels[i]);
+    half_neighborhoods.push_back(f.neighborhoods[i]);
+    half_indices.push_back(half_indices.size());
+  }
+  const auto alone = NeighborhoodRecalibrator::Fit(
+      half_scores, half_labels, half_neighborhoods, half_indices,
+      PosthocOptions{});
+  ASSERT_TRUE(alone.ok());
+
+  const std::vector<double> probe_scores = {0.3, 0.7};
+  const std::vector<int> probe_neighborhoods = {0, 1};
+  EXPECT_EQ(subset->Transform(probe_scores, probe_neighborhoods),
+            alone->Transform(probe_scores, probe_neighborhoods));
+}
+
+TEST(PosthocTest, RejectsBadInputs) {
+  EXPECT_FALSE(NeighborhoodRecalibrator::Fit({0.5}, {1, 0}, {0, 0}, {0},
+                                              PosthocOptions{})
+                   .ok());
+  EXPECT_FALSE(NeighborhoodRecalibrator::Fit({0.5}, {1}, {0}, {},
+                                              PosthocOptions{})
+                   .ok());
+  EXPECT_FALSE(NeighborhoodRecalibrator::Fit({0.5}, {1}, {0}, {9},
+                                              PosthocOptions{})
+                   .ok());
+  PosthocOptions bad;
+  bad.min_group_size = 0;
+  EXPECT_FALSE(
+      NeighborhoodRecalibrator::Fit({0.5}, {1}, {0}, {0}, bad).ok());
+}
+
+TEST(PosthocTest, ClampsShiftedScoresToUnitInterval) {
+  // A neighborhood with o = 1 and scores near 1: shift would exceed 1.
+  std::vector<double> scores = {0.95, 0.9, 0.92, 0.94, 0.93};
+  std::vector<int> labels = {1, 1, 1, 1, 1};
+  std::vector<int> neighborhoods = {0, 0, 0, 0, 0};
+  const auto recalibrator = NeighborhoodRecalibrator::Fit(
+      scores, labels, neighborhoods, {0, 1, 2, 3, 4}, PosthocOptions{});
+  ASSERT_TRUE(recalibrator.ok());
+  for (double s : recalibrator->Transform(scores, neighborhoods)) {
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace fairidx

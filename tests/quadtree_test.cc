@@ -1,0 +1,126 @@
+// Tests for the greedy fairness-first quadtree extension.
+
+#include "index/quadtree.h"
+
+#include <gtest/gtest.h>
+
+namespace fairidx {
+namespace {
+
+Grid MakeGrid(int rows, int cols) {
+  return Grid::Create(rows, cols,
+                      BoundingBox{0, 0, static_cast<double>(cols),
+                                  static_cast<double>(rows)})
+      .value();
+}
+
+// Uniform data with a miscalibrated hot corner.
+GridAggregates HotCornerAggregates(const Grid& grid) {
+  std::vector<int> cells;
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (int r = 0; r < grid.rows(); ++r) {
+    for (int c = 0; c < grid.cols(); ++c) {
+      const bool hot = r < grid.rows() / 4 && c < grid.cols() / 4;
+      for (int k = 0; k < 2; ++k) {
+        cells.push_back(grid.CellId(r, c));
+        scores.push_back(0.5);
+        labels.push_back(hot ? 1 : k % 2);
+      }
+    }
+  }
+  return GridAggregates::Build(grid, cells, labels, scores).value();
+}
+
+TEST(FairQuadtreeTest, ReachesTargetRegionCount) {
+  const Grid grid = MakeGrid(16, 16);
+  const GridAggregates agg = HotCornerAggregates(grid);
+  FairQuadtreeOptions options;
+  options.target_regions = 16;
+  const auto result = BuildFairQuadtree(grid, agg, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->partition.num_regions(), 16);
+  // 4-way splits can overshoot by at most 3.
+  EXPECT_LE(result->partition.num_regions(), 19);
+}
+
+TEST(FairQuadtreeTest, TargetOneIsWholeGrid) {
+  const Grid grid = MakeGrid(8, 8);
+  const GridAggregates agg = HotCornerAggregates(grid);
+  FairQuadtreeOptions options;
+  options.target_regions = 1;
+  const auto result = BuildFairQuadtree(grid, agg, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->partition.num_regions(), 1);
+}
+
+TEST(FairQuadtreeTest, RefinementConcentratesOnHotCorner) {
+  const Grid grid = MakeGrid(16, 16);
+  const GridAggregates agg = HotCornerAggregates(grid);
+  FairQuadtreeOptions options;
+  options.target_regions = 13;
+  const auto result = BuildFairQuadtree(grid, agg, options);
+  ASSERT_TRUE(result.ok());
+
+  // Regions inside the hot corner should be smaller (more refined) than
+  // the average region elsewhere.
+  double hot_cells = 0.0;
+  int hot_regions = 0;
+  std::vector<bool> seen(
+      static_cast<size_t>(result->partition.num_regions()), false);
+  for (const CellRect& rect : result->regions) {
+    if (rect.row_begin < grid.rows() / 4 && rect.col_begin < grid.cols() / 4) {
+      hot_cells += static_cast<double>(rect.num_cells());
+      ++hot_regions;
+    }
+  }
+  ASSERT_GT(hot_regions, 1);
+  const double avg_hot = hot_cells / hot_regions;
+  const double avg_all =
+      static_cast<double>(grid.num_cells()) / result->regions.size();
+  EXPECT_LT(avg_hot, avg_all);
+}
+
+TEST(FairQuadtreeTest, MinRegionCountStopsRefinement) {
+  const Grid grid = MakeGrid(8, 8);
+  const GridAggregates agg = HotCornerAggregates(grid);
+  FairQuadtreeOptions options;
+  options.target_regions = 64;
+  options.min_region_count = 1e9;  // Nothing is refinable.
+  const auto result = BuildFairQuadtree(grid, agg, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->partition.num_regions(), 1);
+}
+
+TEST(FairQuadtreeTest, PartitionIsCompleteEvenWithUnreachableTarget) {
+  const Grid grid = MakeGrid(2, 2);
+  const GridAggregates agg = HotCornerAggregates(grid);
+  FairQuadtreeOptions options;
+  options.target_regions = 1000;
+  const auto result = BuildFairQuadtree(grid, agg, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->partition.num_regions(), 4);
+}
+
+TEST(FairQuadtreeTest, RejectsBadOptions) {
+  const Grid grid = MakeGrid(4, 4);
+  const GridAggregates agg = HotCornerAggregates(grid);
+  FairQuadtreeOptions options;
+  options.target_regions = 0;
+  EXPECT_FALSE(BuildFairQuadtree(grid, agg, options).ok());
+}
+
+TEST(FairQuadtreeTest, Deterministic) {
+  const Grid grid = MakeGrid(16, 16);
+  const GridAggregates agg = HotCornerAggregates(grid);
+  FairQuadtreeOptions options;
+  options.target_regions = 20;
+  const auto a = BuildFairQuadtree(grid, agg, options);
+  const auto b = BuildFairQuadtree(grid, agg, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->partition.cell_to_region(), b->partition.cell_to_region());
+}
+
+}  // namespace
+}  // namespace fairidx

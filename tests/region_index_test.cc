@@ -1,0 +1,99 @@
+// Tests for the RegionIndex spatial query layer.
+
+#include "index/region_index.h"
+
+#include <gtest/gtest.h>
+
+namespace fairidx {
+namespace {
+
+Grid MakeGrid() {
+  return Grid::Create(4, 4, BoundingBox{0, 0, 8, 8}).value();
+}
+
+// Left half region 0, right half region 1.
+RegionIndex MakeHalvesIndex() {
+  const Grid grid = MakeGrid();
+  const Partition partition =
+      Partition::FromRects(grid, {CellRect{0, 4, 0, 2}, CellRect{0, 4, 2, 4}})
+          .value();
+  return RegionIndex::Create(grid, partition).value();
+}
+
+TEST(RegionIndexTest, CreateRejectsMismatchedPartition) {
+  const Grid grid = MakeGrid();
+  EXPECT_FALSE(RegionIndex::Create(grid, Partition::Single(5)).ok());
+}
+
+TEST(RegionIndexTest, RegionOfPoint) {
+  const RegionIndex index = MakeHalvesIndex();
+  EXPECT_EQ(index.RegionOfPoint(Point{1.0, 4.0}), 0);
+  EXPECT_EQ(index.RegionOfPoint(Point{7.0, 4.0}), 1);
+  // Outside points clamp to the border.
+  EXPECT_EQ(index.RegionOfPoint(Point{-10.0, 4.0}), 0);
+  EXPECT_EQ(index.RegionOfPoint(Point{100.0, 4.0}), 1);
+}
+
+TEST(RegionIndexTest, RegionsIntersectingWindow) {
+  const RegionIndex index = MakeHalvesIndex();
+  EXPECT_EQ(index.RegionsIntersecting(BoundingBox{0.5, 0.5, 1.5, 1.5}),
+            (std::vector<int>{0}));
+  EXPECT_EQ(index.RegionsIntersecting(BoundingBox{6.0, 6.0, 7.0, 7.0}),
+            (std::vector<int>{1}));
+  EXPECT_EQ(index.RegionsIntersecting(BoundingBox{1.0, 1.0, 7.0, 7.0}),
+            (std::vector<int>{0, 1}));
+}
+
+TEST(RegionIndexTest, RegionBoundsAreTight) {
+  const RegionIndex index = MakeHalvesIndex();
+  const BoundingBox left = index.RegionBounds(0).value();
+  EXPECT_DOUBLE_EQ(left.min_x, 0.0);
+  EXPECT_DOUBLE_EQ(left.max_x, 4.0);  // Two 2.0-wide columns.
+  EXPECT_DOUBLE_EQ(left.max_y, 8.0);
+  const BoundingBox right = index.RegionBounds(1).value();
+  EXPECT_DOUBLE_EQ(right.min_x, 4.0);
+  EXPECT_DOUBLE_EQ(right.max_x, 8.0);
+}
+
+TEST(RegionIndexTest, RegionBoundsRejectsBadRegion) {
+  const RegionIndex index = MakeHalvesIndex();
+  EXPECT_FALSE(index.RegionBounds(-1).ok());
+  EXPECT_FALSE(index.RegionBounds(99).ok());
+}
+
+TEST(RegionIndexTest, CellCountsSumToGrid) {
+  const RegionIndex index = MakeHalvesIndex();
+  int total = 0;
+  for (int count : index.region_cell_counts()) total += count;
+  EXPECT_EQ(total, 16);
+  EXPECT_EQ(index.region_cell_counts()[0], 8);
+}
+
+TEST(RegionIndexTest, AssignPointsBatches) {
+  const RegionIndex index = MakeHalvesIndex();
+  const std::vector<int> regions =
+      index.AssignPoints({Point{1, 1}, Point{7, 7}, Point{1, 7}});
+  EXPECT_EQ(regions, (std::vector<int>{0, 1, 0}));
+}
+
+TEST(RegionIndexTest, WorksWithNonRectangularRegions) {
+  // A checkerboard-ish cell map (not representable as rects).
+  const Grid grid = MakeGrid();
+  std::vector<int> cell_map(16);
+  for (int cell = 0; cell < 16; ++cell) cell_map[cell] = cell % 2;
+  const Partition partition = Partition::FromCellMap(cell_map).value();
+  const RegionIndex index =
+      RegionIndex::Create(grid, partition).value();
+  EXPECT_EQ(index.num_regions(), 2);
+  // Both regions span the full grid bounding box.
+  const BoundingBox bounds = index.RegionBounds(0).value();
+  EXPECT_DOUBLE_EQ(bounds.min_x, 0.0);
+  EXPECT_DOUBLE_EQ(bounds.max_y, 8.0);
+  // A window over a single cell intersects exactly one region.
+  EXPECT_EQ(index.RegionsIntersecting(BoundingBox{0.5, 0.5, 0.6, 0.6})
+                .size(),
+            1u);
+}
+
+}  // namespace
+}  // namespace fairidx

@@ -1,0 +1,179 @@
+// Tests for minimum-population region merging.
+
+#include "index/region_merging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fairness/ence.h"
+#include "index/uniform_grid.h"
+
+namespace fairidx {
+namespace {
+
+Grid MakeGrid(int rows = 4, int cols = 4) {
+  return Grid::Create(rows, cols,
+                      BoundingBox{0, 0, static_cast<double>(cols),
+                                  static_cast<double>(rows)})
+      .value();
+}
+
+TEST(RegionMergingTest, ZeroThresholdIsNoOp) {
+  const Grid grid = MakeGrid();
+  const Partition partition =
+      BuildUniformGridPartition(grid, 2).value().partition;
+  RegionMergingOptions options;
+  options.min_population = 0.0;
+  const auto result =
+      MergeSmallRegions(grid, partition, {0, 5, 10, 15}, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->merges, 0);
+  EXPECT_EQ(result->partition.cell_to_region(),
+            partition.cell_to_region());
+}
+
+TEST(RegionMergingTest, MergesEmptyRegionsIntoNeighbors) {
+  const Grid grid = MakeGrid();
+  // Four quadrants; all records in quadrant 0.
+  const Partition partition =
+      BuildUniformGridPartition(grid, 2).value().partition;
+  std::vector<int> record_cells(20, grid.CellId(0, 0));
+  RegionMergingOptions options;
+  options.min_population = 5.0;
+  const auto result =
+      MergeSmallRegions(grid, partition, record_cells, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->merges, 0);
+  // Every surviving region must now hold >= 5 records; since all records
+  // sit in one quadrant, everything collapses into one region.
+  EXPECT_EQ(result->partition.num_regions(), 1);
+}
+
+TEST(RegionMergingTest, SatisfiedRegionsUntouched) {
+  const Grid grid = MakeGrid();
+  const Partition partition =
+      BuildUniformGridPartition(grid, 2).value().partition;
+  // 10 records in each quadrant.
+  std::vector<int> record_cells;
+  for (int quadrant_row : {0, 2}) {
+    for (int quadrant_col : {0, 2}) {
+      for (int i = 0; i < 10; ++i) {
+        record_cells.push_back(grid.CellId(quadrant_row, quadrant_col));
+      }
+    }
+  }
+  RegionMergingOptions options;
+  options.min_population = 5.0;
+  const auto result =
+      MergeSmallRegions(grid, partition, record_cells, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->merges, 0);
+  EXPECT_EQ(result->partition.num_regions(), 4);
+}
+
+TEST(RegionMergingTest, ResultRespectsMinimumPopulation) {
+  const Grid grid = MakeGrid(8, 8);
+  const Partition partition =
+      BuildUniformGridPartition(grid, 4).value().partition;
+  Rng rng(3);
+  std::vector<int> record_cells;
+  for (int i = 0; i < 100; ++i) {
+    record_cells.push_back(static_cast<int>(
+        rng.NextBounded(static_cast<uint64_t>(grid.num_cells()))));
+  }
+  RegionMergingOptions options;
+  options.min_population = 8.0;
+  const auto result =
+      MergeSmallRegions(grid, partition, record_cells, options);
+  ASSERT_TRUE(result.ok());
+
+  std::vector<double> population(
+      static_cast<size_t>(result->partition.num_regions()), 0.0);
+  for (int cell : record_cells) {
+    population[static_cast<size_t>(
+        result->partition.RegionOfCell(cell))] += 1.0;
+  }
+  for (double p : population) {
+    EXPECT_GE(p, options.min_population);
+  }
+}
+
+TEST(RegionMergingTest, MergingIsACoarsening) {
+  // The merged partition must be refined by the original (Theorem 2's
+  // premise), which guarantees ENCE does not increase.
+  const Grid grid = MakeGrid(8, 8);
+  const Partition partition =
+      BuildUniformGridPartition(grid, 4).value().partition;
+  Rng rng(9);
+  std::vector<int> record_cells;
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (int i = 0; i < 120; ++i) {
+    record_cells.push_back(static_cast<int>(
+        rng.NextBounded(static_cast<uint64_t>(grid.num_cells()))));
+    labels.push_back(rng.Bernoulli(0.5) ? 1 : 0);
+    scores.push_back(rng.NextDouble());
+  }
+  RegionMergingOptions options;
+  options.min_population = 10.0;
+  const auto result =
+      MergeSmallRegions(grid, partition, record_cells, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(result->merges, 0);
+  EXPECT_TRUE(result->partition.IsRefinedBy(partition));
+
+  auto neighborhoods_of = [&](const Partition& p) {
+    std::vector<int> neighborhoods(record_cells.size());
+    for (size_t i = 0; i < record_cells.size(); ++i) {
+      neighborhoods[i] = p.RegionOfCell(record_cells[i]);
+    }
+    return neighborhoods;
+  };
+  const double before =
+      Ence(scores, labels, neighborhoods_of(partition)).value();
+  const double after =
+      Ence(scores, labels, neighborhoods_of(result->partition)).value();
+  EXPECT_LE(after, before + 1e-12);
+}
+
+TEST(RegionMergingTest, MergedRegionsAreContiguousNeighbors) {
+  // Victims merge into grid-adjacent regions, so every merged region stays
+  // connected if its constituents were.
+  const Grid grid = MakeGrid(4, 4);
+  const Partition partition =
+      BuildUniformGridPartition(grid, 4).value().partition;
+  // A single record in the top-left corner region.
+  const auto result = MergeSmallRegions(
+      grid, partition, {grid.CellId(0, 0)}, RegionMergingOptions{});
+  ASSERT_TRUE(result.ok());
+  // All regions merged into one holding the record.
+  EXPECT_EQ(result->partition.num_regions(), 1);
+}
+
+TEST(RegionMergingTest, RejectsBadInputs) {
+  const Grid grid = MakeGrid();
+  const Partition wrong_size = Partition::Single(3);
+  EXPECT_FALSE(
+      MergeSmallRegions(grid, wrong_size, {}, RegionMergingOptions{}).ok());
+  const Partition partition = Partition::Single(grid.num_cells());
+  EXPECT_FALSE(
+      MergeSmallRegions(grid, partition, {99}, RegionMergingOptions{}).ok());
+  RegionMergingOptions negative;
+  negative.min_population = -1.0;
+  EXPECT_FALSE(MergeSmallRegions(grid, partition, {0}, negative).ok());
+}
+
+TEST(RegionMergingTest, SingleRegionPartitionStops) {
+  const Grid grid = MakeGrid();
+  const Partition partition = Partition::Single(grid.num_cells());
+  // One record, threshold higher than population: no neighbor to merge
+  // into, so the pass terminates gracefully.
+  RegionMergingOptions options;
+  options.min_population = 100.0;
+  const auto result = MergeSmallRegions(grid, partition, {0}, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->partition.num_regions(), 1);
+}
+
+}  // namespace
+}  // namespace fairidx

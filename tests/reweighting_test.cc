@@ -1,0 +1,100 @@
+// Tests for Kamiran-Calders reweighting.
+
+#include "fairness/reweighting.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace fairidx {
+namespace {
+
+TEST(ReweightingTest, IndependentGroupsGetUnitWeights) {
+  // Identical label distribution in both groups -> P(g)P(y) = P(g,y).
+  const std::vector<int> groups = {0, 0, 1, 1};
+  const std::vector<int> labels = {1, 0, 1, 0};
+  const auto weights = ComputeReweightingWeights(groups, labels);
+  ASSERT_TRUE(weights.ok());
+  for (double w : *weights) EXPECT_NEAR(w, 1.0, 1e-12);
+}
+
+TEST(ReweightingTest, KnownSkewedExample) {
+  // Group 0: 3 positives, 1 negative; group 1: 1 positive, 3 negatives.
+  // P(y=1) = .5, P(g=0) = .5, P(g=0,y=1) = 3/8
+  //   -> w(0,1) = .25/.375 = 2/3; w(0,0) = .25/.125 = 2.
+  const std::vector<int> groups = {0, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<int> labels = {1, 1, 1, 0, 1, 0, 0, 0};
+  const auto weights = ComputeReweightingWeights(groups, labels);
+  ASSERT_TRUE(weights.ok());
+  EXPECT_NEAR((*weights)[0], 2.0 / 3.0, 1e-12);  // (g0, y1)
+  EXPECT_NEAR((*weights)[3], 2.0, 1e-12);        // (g0, y0)
+  EXPECT_NEAR((*weights)[4], 2.0, 1e-12);        // (g1, y1)
+  EXPECT_NEAR((*weights)[5], 2.0 / 3.0, 1e-12);  // (g1, y0)
+}
+
+TEST(ReweightingTest, WeightedDistributionIsIndependent) {
+  // After reweighting, the weighted joint must factorise:
+  // sum_w(g,y) / total = (sum_w(g)/total) * (sum_w(y)/total).
+  // (This identity requires every (group, label) cell to be non-empty;
+  // empty cells cannot receive corrective mass.)
+  const std::vector<int> groups = {0, 0, 0, 1, 1, 1, 2, 2, 2};
+  const std::vector<int> labels = {1, 1, 0, 1, 0, 0, 1, 0, 0};
+  const auto weights = ComputeReweightingWeights(groups, labels);
+  ASSERT_TRUE(weights.ok());
+
+  double total = 0.0;
+  std::map<int, double> group_mass;
+  double label_mass[2] = {0.0, 0.0};
+  std::map<std::pair<int, int>, double> joint_mass;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    total += (*weights)[i];
+    group_mass[groups[i]] += (*weights)[i];
+    label_mass[labels[i]] += (*weights)[i];
+    joint_mass[{groups[i], labels[i]}] += (*weights)[i];
+  }
+  for (const auto& [key, mass] : joint_mass) {
+    const double expected =
+        group_mass[key.first] * label_mass[key.second] / total;
+    EXPECT_NEAR(mass, expected, 1e-9);
+  }
+}
+
+TEST(ReweightingTest, TotalWeightEqualsRecordCount) {
+  const std::vector<int> groups = {0, 0, 0, 1, 1, 1, 1, 1};
+  const std::vector<int> labels = {1, 0, 0, 1, 1, 1, 0, 0};
+  const auto weights = ComputeReweightingWeights(groups, labels);
+  ASSERT_TRUE(weights.ok());
+  double total = 0.0;
+  for (double w : *weights) total += w;
+  EXPECT_NEAR(total, 8.0, 1e-9);
+}
+
+TEST(ReweightingTest, AllWeightsPositive) {
+  const std::vector<int> groups = {0, 1, 2, 0, 1, 2};
+  const std::vector<int> labels = {1, 1, 1, 0, 0, 1};
+  const auto weights = ComputeReweightingWeights(groups, labels);
+  ASSERT_TRUE(weights.ok());
+  for (double w : *weights) EXPECT_GT(w, 0.0);
+}
+
+TEST(ReweightingTest, SubsetLeavesOthersAtOne) {
+  const std::vector<int> groups = {0, 0, 1, 1};
+  const std::vector<int> labels = {1, 0, 1, 0};
+  const auto weights =
+      ComputeReweightingWeightsSubset(groups, labels, {0, 1});
+  ASSERT_TRUE(weights.ok());
+  EXPECT_EQ((*weights)[2], 1.0);
+  EXPECT_EQ((*weights)[3], 1.0);
+}
+
+TEST(ReweightingTest, RejectsBadInputs) {
+  EXPECT_FALSE(ComputeReweightingWeights({0}, {1, 0}).ok());
+  EXPECT_FALSE(
+      ComputeReweightingWeightsSubset({0, 1}, {1, 0}, {}).ok());
+  EXPECT_FALSE(
+      ComputeReweightingWeightsSubset({0, 1}, {1, 0}, {5}).ok());
+  EXPECT_FALSE(ComputeReweightingWeights({0, 1}, {1, 2}).ok());
+}
+
+}  // namespace
+}  // namespace fairidx

@@ -1,0 +1,132 @@
+// Tests for split objectives (Eq. 9, Eq. 13, and ablation alternatives).
+
+#include "index/split_objective.h"
+
+#include <gtest/gtest.h>
+
+namespace fairidx {
+namespace {
+
+RegionAggregate MakeAggregate(double count, double sum_labels,
+                              double sum_scores, double sum_residuals = 0) {
+  RegionAggregate agg;
+  agg.count = count;
+  agg.sum_labels = sum_labels;
+  agg.sum_scores = sum_scores;
+  agg.sum_residuals = sum_residuals;
+  return agg;
+}
+
+const CellRect kSquare{0, 2, 0, 2};
+const CellRect kWide{0, 1, 0, 4};
+
+TEST(SplitObjectiveTest, Eq9BalancesWeightedMiscalibration) {
+  // |L| = 4, o = .75, e = .25 -> weighted 2.0;
+  // |R| = 2, o = 0, e = .5 -> weighted 1.0. z = |2 - 1| = 1.
+  const RegionAggregate left = MakeAggregate(4, 3, 1);
+  const RegionAggregate right = MakeAggregate(2, 0, 1);
+  SplitObjectiveOptions options;
+  EXPECT_DOUBLE_EQ(EvaluateSplit(options, kSquare, left, kSquare, right),
+                   1.0);
+}
+
+TEST(SplitObjectiveTest, Eq9IsZeroForBalancedChildren) {
+  const RegionAggregate left = MakeAggregate(4, 3, 1);    // weighted 2.
+  const RegionAggregate right = MakeAggregate(10, 4, 2);  // weighted 2.
+  SplitObjectiveOptions options;
+  EXPECT_DOUBLE_EQ(EvaluateSplit(options, kSquare, left, kSquare, right),
+                   0.0);
+}
+
+TEST(SplitObjectiveTest, MinimaxTakesWorseChild) {
+  const RegionAggregate left = MakeAggregate(4, 3, 1);   // 2.0
+  const RegionAggregate right = MakeAggregate(2, 0, 1);  // 1.0
+  SplitObjectiveOptions options;
+  options.kind = SplitObjectiveKind::kMinimaxChild;
+  EXPECT_DOUBLE_EQ(EvaluateSplit(options, kSquare, left, kSquare, right),
+                   2.0);
+}
+
+TEST(SplitObjectiveTest, WeightedSumAddsChildren) {
+  const RegionAggregate left = MakeAggregate(4, 3, 1);
+  const RegionAggregate right = MakeAggregate(2, 0, 1);
+  SplitObjectiveOptions options;
+  options.kind = SplitObjectiveKind::kWeightedSum;
+  EXPECT_DOUBLE_EQ(EvaluateSplit(options, kSquare, left, kSquare, right),
+                   3.0);
+}
+
+TEST(SplitObjectiveTest, MedianCountBalancesPopulation) {
+  const RegionAggregate left = MakeAggregate(7, 0, 0);
+  const RegionAggregate right = MakeAggregate(3, 0, 0);
+  SplitObjectiveOptions options;
+  options.kind = SplitObjectiveKind::kMedianCount;
+  EXPECT_DOUBLE_EQ(EvaluateSplit(options, kSquare, left, kSquare, right),
+                   4.0);
+}
+
+TEST(SplitObjectiveTest, Eq13UsesResidualMassTimesCount) {
+  const RegionAggregate left = MakeAggregate(4, 0, 0, -0.5);
+  const RegionAggregate right = MakeAggregate(2, 0, 0, 0.25);
+  SplitObjectiveOptions options;
+  options.kind = SplitObjectiveKind::kResidualBalanceEq13;
+  // |4 * 0.5 - 2 * 0.25| = 1.5
+  EXPECT_DOUBLE_EQ(EvaluateSplit(options, kSquare, left, kSquare, right),
+                   1.5);
+}
+
+TEST(SplitObjectiveTest, ResidualEq9DropsCountFactor) {
+  const RegionAggregate left = MakeAggregate(4, 0, 0, -0.5);
+  const RegionAggregate right = MakeAggregate(2, 0, 0, 0.25);
+  SplitObjectiveOptions options;
+  options.kind = SplitObjectiveKind::kResidualBalanceEq9;
+  EXPECT_DOUBLE_EQ(EvaluateSplit(options, kSquare, left, kSquare, right),
+                   0.25);
+}
+
+TEST(SplitObjectiveTest, ResidualEq9EqualsEq9ForSingleTask) {
+  // For one task with residuals = score - label, |sum resid| equals
+  // |N| * |e - o|, so the residual Eq.9 form matches the direct Eq.9.
+  RegionAggregate left = MakeAggregate(4, 3, 1);
+  left.sum_residuals = left.sum_scores - left.sum_labels;
+  RegionAggregate right = MakeAggregate(2, 0, 1);
+  right.sum_residuals = right.sum_scores - right.sum_labels;
+
+  SplitObjectiveOptions eq9;
+  SplitObjectiveOptions residual;
+  residual.kind = SplitObjectiveKind::kResidualBalanceEq9;
+  EXPECT_DOUBLE_EQ(
+      EvaluateSplit(eq9, kSquare, left, kSquare, right),
+      EvaluateSplit(residual, kSquare, left, kSquare, right));
+}
+
+TEST(SplitObjectiveTest, CompactnessPenalisesElongatedChildren) {
+  const RegionAggregate agg = MakeAggregate(4, 2, 2);
+  SplitObjectiveOptions options;
+  options.compactness_weight = 0.1;
+  const double square_split =
+      EvaluateSplit(options, kSquare, agg, kSquare, agg);
+  const double wide_split =
+      EvaluateSplit(options, kWide, agg, kWide, agg);
+  EXPECT_GT(wide_split, square_split);
+}
+
+TEST(SplitObjectiveTest, ZeroCompactnessWeightIgnoresGeometry) {
+  const RegionAggregate agg = MakeAggregate(4, 2, 2);
+  SplitObjectiveOptions options;
+  EXPECT_DOUBLE_EQ(EvaluateSplit(options, kSquare, agg, kSquare, agg),
+                   EvaluateSplit(options, kWide, agg, kWide, agg));
+}
+
+TEST(SplitObjectiveTest, NamesAreStable) {
+  EXPECT_STREQ(SplitObjectiveKindName(SplitObjectiveKind::kPaperEq9),
+               "eq9");
+  EXPECT_STREQ(
+      SplitObjectiveKindName(SplitObjectiveKind::kResidualBalanceEq13),
+      "residual_eq13");
+  EXPECT_STREQ(SplitObjectiveKindName(SplitObjectiveKind::kMedianCount),
+               "median_count");
+}
+
+}  // namespace
+}  // namespace fairidx

@@ -1,0 +1,98 @@
+// Tests for train/test splits.
+
+#include "data/split.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace fairidx {
+namespace {
+
+TEST(SplitTest, RejectsBadInputs) {
+  Rng rng(1);
+  EXPECT_FALSE(MakeTrainTestSplit(1, 0.5, rng).ok());
+  EXPECT_FALSE(MakeTrainTestSplit(10, 0.0, rng).ok());
+  EXPECT_FALSE(MakeTrainTestSplit(10, 1.0, rng).ok());
+}
+
+TEST(SplitTest, PartitionsAllIndices) {
+  Rng rng(2);
+  const auto split = MakeTrainTestSplit(100, 0.25, rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->test_indices.size(), 25u);
+  EXPECT_EQ(split->train_indices.size(), 75u);
+  std::set<size_t> all;
+  for (size_t i : split->train_indices) all.insert(i);
+  for (size_t i : split->test_indices) all.insert(i);
+  EXPECT_EQ(all.size(), 100u);
+  EXPECT_EQ(*all.rbegin(), 99u);
+}
+
+TEST(SplitTest, IndicesAreSorted) {
+  Rng rng(3);
+  const auto split = MakeTrainTestSplit(50, 0.3, rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_TRUE(std::is_sorted(split->train_indices.begin(),
+                             split->train_indices.end()));
+  EXPECT_TRUE(std::is_sorted(split->test_indices.begin(),
+                             split->test_indices.end()));
+}
+
+TEST(SplitTest, DeterministicInSeed) {
+  Rng rng_a(42);
+  Rng rng_b(42);
+  const auto a = MakeTrainTestSplit(40, 0.25, rng_a);
+  const auto b = MakeTrainTestSplit(40, 0.25, rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->train_indices, b->train_indices);
+  EXPECT_EQ(a->test_indices, b->test_indices);
+}
+
+TEST(SplitTest, TinyFractionStillLeavesOneTestRecord) {
+  Rng rng(4);
+  const auto split = MakeTrainTestSplit(10, 0.01, rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->test_indices.size(), 1u);
+}
+
+TEST(StratifiedSplitTest, PreservesClassBalance) {
+  // 80 negatives then 20 positives.
+  std::vector<int> labels(100, 0);
+  for (int i = 80; i < 100; ++i) labels[i] = 1;
+  Rng rng(5);
+  const auto split = MakeStratifiedSplit(labels, 0.25, rng);
+  ASSERT_TRUE(split.ok());
+
+  auto positive_fraction = [&](const std::vector<size_t>& indices) {
+    double positives = 0;
+    for (size_t i : indices) positives += labels[i];
+    return positives / static_cast<double>(indices.size());
+  };
+  EXPECT_NEAR(positive_fraction(split->train_indices), 0.2, 0.01);
+  EXPECT_NEAR(positive_fraction(split->test_indices), 0.2, 0.01);
+}
+
+TEST(StratifiedSplitTest, CoversAllIndices) {
+  std::vector<int> labels = {0, 1, 0, 1, 0, 1, 0, 1, 0, 1};
+  Rng rng(6);
+  const auto split = MakeStratifiedSplit(labels, 0.3, rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train_indices.size() + split->test_indices.size(), 10u);
+}
+
+TEST(StratifiedSplitTest, FallsBackOnDegenerateStrata) {
+  // All one class; per-stratum test allocation would be empty for the
+  // missing class, but the fallback plain split still works.
+  std::vector<int> labels(10, 1);
+  Rng rng(7);
+  const auto split = MakeStratifiedSplit(labels, 0.2, rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_FALSE(split->test_indices.empty());
+  EXPECT_FALSE(split->train_indices.empty());
+}
+
+}  // namespace
+}  // namespace fairidx

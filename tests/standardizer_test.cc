@@ -1,0 +1,80 @@
+// Tests for per-feature standardization.
+
+#include "ml/standardizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fairidx {
+namespace {
+
+TEST(StandardizerTest, TransformBeforeFitFails) {
+  Standardizer standardizer;
+  EXPECT_FALSE(standardizer.Transform(Matrix(1, 1, {1.0})).ok());
+}
+
+TEST(StandardizerTest, FitRejectsEmptyMatrix) {
+  Standardizer standardizer;
+  EXPECT_FALSE(standardizer.Fit(Matrix()).ok());
+}
+
+TEST(StandardizerTest, ZeroMeanUnitVariance) {
+  Matrix X(4, 1, {2.0, 4.0, 6.0, 8.0});
+  Standardizer standardizer;
+  ASSERT_TRUE(standardizer.Fit(X).ok());
+  const Matrix Z = standardizer.Transform(X).value();
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (size_t r = 0; r < 4; ++r) {
+    sum += Z(r, 0);
+    sum_sq += Z(r, 0) * Z(r, 0);
+  }
+  EXPECT_NEAR(sum / 4.0, 0.0, 1e-12);
+  EXPECT_NEAR(sum_sq / 4.0, 1.0, 1e-12);
+}
+
+TEST(StandardizerTest, ConstantColumnMapsToZero) {
+  Matrix X(3, 1, {5.0, 5.0, 5.0});
+  Standardizer standardizer;
+  ASSERT_TRUE(standardizer.Fit(X).ok());
+  const Matrix Z = standardizer.Transform(X).value();
+  for (size_t r = 0; r < 3; ++r) EXPECT_EQ(Z(r, 0), 0.0);
+}
+
+TEST(StandardizerTest, TransformUsesTrainStatistics) {
+  Matrix train(2, 1, {0.0, 10.0});  // mean 5, std 5.
+  Standardizer standardizer;
+  ASSERT_TRUE(standardizer.Fit(train).ok());
+  const Matrix Z = standardizer.Transform(Matrix(1, 1, {20.0})).value();
+  EXPECT_DOUBLE_EQ(Z(0, 0), 3.0);
+}
+
+TEST(StandardizerTest, ColumnCountMismatchFails) {
+  Standardizer standardizer;
+  ASSERT_TRUE(standardizer.Fit(Matrix(2, 2, {1, 2, 3, 4})).ok());
+  EXPECT_FALSE(standardizer.Transform(Matrix(1, 1, {1.0})).ok());
+}
+
+TEST(StandardizerTest, WeightedFitMatchesRepeatedRows) {
+  Matrix weighted(2, 1, {1.0, 5.0});
+  const std::vector<double> weights = {3.0, 1.0};
+  Standardizer a;
+  ASSERT_TRUE(a.Fit(weighted, &weights).ok());
+
+  Matrix repeated(4, 1, {1.0, 1.0, 1.0, 5.0});
+  Standardizer b;
+  ASSERT_TRUE(b.Fit(repeated).ok());
+
+  EXPECT_NEAR(a.means()[0], b.means()[0], 1e-12);
+  EXPECT_NEAR(a.stds()[0], b.stds()[0], 1e-12);
+}
+
+TEST(StandardizerTest, WeightSizeMismatchFails) {
+  Standardizer standardizer;
+  const std::vector<double> weights = {1.0};
+  EXPECT_FALSE(standardizer.Fit(Matrix(2, 1, {1, 2}), &weights).ok());
+}
+
+}  // namespace
+}  // namespace fairidx

@@ -1,0 +1,98 @@
+// Tests for summary statistics.
+
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fairidx {
+namespace {
+
+TEST(StatsTest, MeanOfKnownValues) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(StatsTest, MeanOfEmptyIsZero) { EXPECT_EQ(Mean({}), 0.0); }
+
+TEST(StatsTest, VarianceOfKnownValues) {
+  // Population variance of {2, 4, 4, 4, 5, 5, 7, 9} is 4.
+  EXPECT_DOUBLE_EQ(Variance({2, 4, 4, 4, 5, 5, 7, 9}), 4.0);
+  EXPECT_DOUBLE_EQ(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0);
+}
+
+TEST(StatsTest, VarianceOfConstantIsZero) {
+  EXPECT_DOUBLE_EQ(Variance({3.0, 3.0, 3.0}), 0.0);
+}
+
+TEST(StatsTest, WeightedMean) {
+  EXPECT_DOUBLE_EQ(WeightedMean({1.0, 10.0}, {3.0, 1.0}), 13.0 / 4.0);
+}
+
+TEST(StatsTest, WeightedMeanZeroWeightIsZero) {
+  EXPECT_EQ(WeightedMean({1.0, 2.0}, {0.0, 0.0}), 0.0);
+}
+
+TEST(StatsTest, QuantileEndpointsAndMedian) {
+  std::vector<double> values = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.5), 3.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  EXPECT_DOUBLE_EQ(Quantile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantInputIsZero) {
+  EXPECT_EQ(PearsonCorrelation({1, 1, 1}, {2, 4, 6}), 0.0);
+}
+
+TEST(StatsTest, MinMax) {
+  EXPECT_EQ(Min({3.0, -1.0, 2.0}), -1.0);
+  EXPECT_EQ(Max({3.0, -1.0, 2.0}), 3.0);
+}
+
+TEST(StatsTest, ClampBehaviour) {
+  EXPECT_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(RunningStatsTest, MatchesBatchStatistics) {
+  const std::vector<double> values = {2, 4, 4, 4, 5, 5, 7, 9};
+  RunningStats running;
+  for (double v : values) running.Add(v);
+  EXPECT_DOUBLE_EQ(running.mean(), Mean(values));
+  EXPECT_NEAR(running.variance(), Variance(values), 1e-12);
+  EXPECT_EQ(running.count(), values.size());
+}
+
+TEST(RunningStatsTest, WeightedUpdatesMatchRepeats) {
+  RunningStats weighted;
+  weighted.Add(1.0, 3.0);
+  weighted.Add(5.0, 1.0);
+  RunningStats repeated;
+  repeated.Add(1.0);
+  repeated.Add(1.0);
+  repeated.Add(1.0);
+  repeated.Add(5.0);
+  EXPECT_NEAR(weighted.mean(), repeated.mean(), 1e-12);
+  EXPECT_NEAR(weighted.variance(), repeated.variance(), 1e-12);
+}
+
+TEST(RunningStatsTest, IgnoresNonPositiveWeights) {
+  RunningStats stats;
+  stats.Add(10.0, 0.0);
+  stats.Add(10.0, -1.0);
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.total_weight(), 0.0);
+}
+
+}  // namespace
+}  // namespace fairidx

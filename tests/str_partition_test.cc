@@ -1,0 +1,107 @@
+// Tests for the STR slab partitioner.
+
+#include "index/str_partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace fairidx {
+namespace {
+
+Grid MakeGrid(int rows, int cols) {
+  return Grid::Create(rows, cols,
+                      BoundingBox{0, 0, static_cast<double>(cols),
+                                  static_cast<double>(rows)})
+      .value();
+}
+
+GridAggregates RandomAggregates(const Grid& grid, int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> cells(static_cast<size_t>(n));
+  std::vector<int> labels(static_cast<size_t>(n), 0);
+  std::vector<double> scores(static_cast<size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    cells[static_cast<size_t>(i)] =
+        static_cast<int>(rng.NextBounded(grid.num_cells()));
+  }
+  return GridAggregates::Build(grid, cells, labels, scores).value();
+}
+
+TEST(StrPartitionTest, ProducesApproximatelyTargetRegions) {
+  const Grid grid = MakeGrid(32, 32);
+  const GridAggregates agg = RandomAggregates(grid, 2000, 1);
+  const auto result = BuildStrPartition(grid, agg, 16);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->partition.num_regions(), 8);
+  EXPECT_LE(result->partition.num_regions(), 24);
+}
+
+TEST(StrPartitionTest, TargetOneIsWholeGrid) {
+  const Grid grid = MakeGrid(8, 8);
+  const GridAggregates agg = RandomAggregates(grid, 100, 2);
+  const auto result = BuildStrPartition(grid, agg, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->partition.num_regions(), 1);
+}
+
+TEST(StrPartitionTest, TilesBalanceRecordCounts) {
+  const Grid grid = MakeGrid(32, 32);
+  const GridAggregates agg = RandomAggregates(grid, 4096, 3);
+  const auto result = BuildStrPartition(grid, agg, 16);
+  ASSERT_TRUE(result.ok());
+
+  std::vector<double> counts;
+  for (const CellRect& rect : result->regions) {
+    counts.push_back(agg.Query(rect).count);
+  }
+  double min_count = counts[0];
+  double max_count = counts[0];
+  for (double c : counts) {
+    min_count = std::min(min_count, c);
+    max_count = std::max(max_count, c);
+  }
+  // Quantile slabs keep tiles within a reasonable factor of each other.
+  EXPECT_LT(max_count, 3.0 * std::max(1.0, min_count) + 64.0);
+}
+
+TEST(StrPartitionTest, HandlesSkewedData) {
+  // All records in one column; the partition must still cover the grid.
+  const Grid grid = MakeGrid(16, 16);
+  std::vector<int> cells;
+  std::vector<int> labels;
+  std::vector<double> scores;
+  for (int i = 0; i < 160; ++i) {
+    cells.push_back(grid.CellId(i % 16, 3));
+    labels.push_back(0);
+    scores.push_back(0.0);
+  }
+  const GridAggregates agg =
+      GridAggregates::Build(grid, cells, labels, scores).value();
+  const auto result = BuildStrPartition(grid, agg, 9);
+  ASSERT_TRUE(result.ok());
+  int total = 0;
+  for (int size : result->partition.RegionSizes()) total += size;
+  EXPECT_EQ(total, grid.num_cells());
+}
+
+TEST(StrPartitionTest, RejectsBadTarget) {
+  const Grid grid = MakeGrid(4, 4);
+  const GridAggregates agg = RandomAggregates(grid, 10, 4);
+  EXPECT_FALSE(BuildStrPartition(grid, agg, 0).ok());
+}
+
+TEST(StrPartitionTest, Deterministic) {
+  const Grid grid = MakeGrid(16, 16);
+  const GridAggregates agg = RandomAggregates(grid, 500, 5);
+  const auto a = BuildStrPartition(grid, agg, 9);
+  const auto b = BuildStrPartition(grid, agg, 9);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->partition.cell_to_region(), b->partition.cell_to_region());
+}
+
+}  // namespace
+}  // namespace fairidx

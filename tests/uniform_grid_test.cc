@@ -1,0 +1,75 @@
+// Tests for the uniform grid partitioner (the reweighting baseline's
+// grouping).
+
+#include "index/uniform_grid.h"
+
+#include <gtest/gtest.h>
+
+namespace fairidx {
+namespace {
+
+Grid MakeGrid(int rows, int cols) {
+  return Grid::Create(rows, cols,
+                      BoundingBox{0, 0, static_cast<double>(cols),
+                                  static_cast<double>(rows)})
+      .value();
+}
+
+TEST(UniformGridTest, HeightZeroIsOneRegion) {
+  const auto result = BuildUniformGridPartition(MakeGrid(8, 8), 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->partition.num_regions(), 1);
+}
+
+TEST(UniformGridTest, PowerOfTwoRegions) {
+  const Grid grid = MakeGrid(16, 16);
+  for (int height : {1, 2, 3, 4, 6, 8}) {
+    const auto result = BuildUniformGridPartition(grid, height);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->partition.num_regions(), 1 << height)
+        << "height " << height;
+  }
+}
+
+TEST(UniformGridTest, RegionsHaveEqualCellCountsOnPowerOfTwoGrid) {
+  const Grid grid = MakeGrid(16, 16);
+  const auto result = BuildUniformGridPartition(grid, 4);
+  ASSERT_TRUE(result.ok());
+  for (int size : result->partition.RegionSizes()) {
+    EXPECT_EQ(size, 16 * 16 / 16);
+  }
+}
+
+TEST(UniformGridTest, HandlesNonPowerOfTwoGrid) {
+  const Grid grid = MakeGrid(5, 7);
+  const auto result = BuildUniformGridPartition(grid, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->partition.num_regions(), 8);
+  int total = 0;
+  for (int size : result->partition.RegionSizes()) total += size;
+  EXPECT_EQ(total, 35);
+}
+
+TEST(UniformGridTest, StopsAtSingleCells) {
+  const Grid grid = MakeGrid(2, 2);
+  const auto result = BuildUniformGridPartition(grid, 10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->partition.num_regions(), 4);
+}
+
+TEST(UniformGridTest, RejectsNegativeHeight) {
+  EXPECT_FALSE(BuildUniformGridPartition(MakeGrid(4, 4), -2).ok());
+}
+
+TEST(UniformGridTest, DataAgnostic) {
+  // Same shape regardless of records: purely geometric halving.
+  const Grid grid = MakeGrid(8, 8);
+  const auto a = BuildUniformGridPartition(grid, 4);
+  const auto b = BuildUniformGridPartition(grid, 4);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->partition.cell_to_region(), b->partition.cell_to_region());
+}
+
+}  // namespace
+}  // namespace fairidx

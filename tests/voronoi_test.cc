@@ -1,0 +1,111 @@
+// Tests for Voronoi (nearest-center) assignment.
+
+#include "geo/voronoi.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fairidx {
+namespace {
+
+Grid MakeGrid() {
+  return Grid::Create(10, 10, BoundingBox{0, 0, 10, 10}).value();
+}
+
+TEST(VoronoiTest, EmptyCentersIsError) {
+  const Grid grid = MakeGrid();
+  EXPECT_FALSE(VoronoiCellAssignment(grid, {}).ok());
+  EXPECT_FALSE(VoronoiPointAssignment({Point{0, 0}}, {}).ok());
+}
+
+TEST(VoronoiTest, SingleCenterAssignsEverything) {
+  const Grid grid = MakeGrid();
+  const auto assignment = VoronoiCellAssignment(grid, {Point{5, 5}});
+  ASSERT_TRUE(assignment.ok());
+  for (int region : *assignment) EXPECT_EQ(region, 0);
+}
+
+TEST(VoronoiTest, CellsGoToNearestCenter) {
+  const Grid grid = MakeGrid();
+  const std::vector<Point> centers = {Point{1, 5}, Point{9, 5}};
+  const auto assignment = VoronoiCellAssignment(grid, centers);
+  ASSERT_TRUE(assignment.ok());
+  // Left half goes to center 0, right half to center 1.
+  EXPECT_EQ((*assignment)[grid.CellId(5, 0)], 0);
+  EXPECT_EQ((*assignment)[grid.CellId(5, 9)], 1);
+  EXPECT_EQ((*assignment)[grid.CellId(0, 1)], 0);
+  EXPECT_EQ((*assignment)[grid.CellId(9, 8)], 1);
+}
+
+TEST(VoronoiTest, AssignmentCoversAllCenters) {
+  const Grid grid = MakeGrid();
+  const std::vector<Point> centers = {Point{2, 2}, Point{8, 2}, Point{5, 8}};
+  const auto assignment = VoronoiCellAssignment(grid, centers);
+  ASSERT_TRUE(assignment.ok());
+  std::set<int> used(assignment->begin(), assignment->end());
+  EXPECT_EQ(used.size(), 3u);
+}
+
+TEST(VoronoiTest, PointAssignmentMatchesManualNearest) {
+  const std::vector<Point> centers = {Point{0, 0}, Point{10, 0}};
+  const std::vector<Point> points = {Point{1, 0}, Point{9, 0}, Point{4, 0}};
+  const auto assignment = VoronoiPointAssignment(points, centers);
+  ASSERT_TRUE(assignment.ok());
+  EXPECT_EQ(*assignment, (std::vector<int>{0, 1, 0}));
+}
+
+TEST(VoronoiTest, TieGoesToFirstCenter) {
+  const std::vector<Point> centers = {Point{0, 0}, Point{2, 0}};
+  const auto assignment = VoronoiPointAssignment({Point{1, 0}}, centers);
+  ASSERT_TRUE(assignment.ok());
+  EXPECT_EQ((*assignment)[0], 0);
+}
+
+TEST(VoronoiTest, VoronoiRegionsAreContiguousOnGrid) {
+  // Nearest-center regions on a grid are connected; verify with a flood
+  // fill for a few centers.
+  const Grid grid = MakeGrid();
+  const std::vector<Point> centers = {Point{2, 3}, Point{7, 2}, Point{5, 8}};
+  const auto assignment = VoronoiCellAssignment(grid, centers);
+  ASSERT_TRUE(assignment.ok());
+
+  for (size_t center = 0; center < centers.size(); ++center) {
+    // Collect member cells.
+    std::set<int> members;
+    for (int cell = 0; cell < grid.num_cells(); ++cell) {
+      if ((*assignment)[cell] == static_cast<int>(center)) {
+        members.insert(cell);
+      }
+    }
+    ASSERT_FALSE(members.empty());
+    // BFS from one member over 4-neighbors within the region.
+    std::set<int> visited;
+    std::vector<int> frontier = {*members.begin()};
+    visited.insert(*members.begin());
+    while (!frontier.empty()) {
+      const int cell = frontier.back();
+      frontier.pop_back();
+      const int r = grid.RowOfCell(cell);
+      const int c = grid.ColOfCell(cell);
+      const int neighbors[4][2] = {{r - 1, c}, {r + 1, c}, {r, c - 1},
+                                   {r, c + 1}};
+      for (const auto& rc : neighbors) {
+        if (rc[0] < 0 || rc[0] >= grid.rows() || rc[1] < 0 ||
+            rc[1] >= grid.cols()) {
+          continue;
+        }
+        const int neighbor = grid.CellId(rc[0], rc[1]);
+        if (members.count(neighbor) && !visited.count(neighbor)) {
+          visited.insert(neighbor);
+          frontier.push_back(neighbor);
+        }
+      }
+    }
+    EXPECT_EQ(visited.size(), members.size())
+        << "region " << center << " is disconnected";
+  }
+}
+
+}  // namespace
+}  // namespace fairidx

@@ -1,0 +1,313 @@
+// fairidx command-line tool: run fair spatial indexing end to end without
+// writing C++.
+//
+//   fairidx_cli generate  --city la|houston --out data.csv
+//   fairidx_cli run       --city la [--csv data.csv] --algorithm fair_kd_tree
+//                         --height 6 --classifier lr [--task 0]
+//   fairidx_cli sweep     --city la --classifier lr [--algorithm ...]
+//   fairidx_cli disparity --city la [--csv data.csv] [--top 10]
+//   fairidx_cli export    --city la --algorithm fair_kd_tree --height 6
+//                         --out partition.csv [--wkt partition.wkt]
+//
+// `--csv` loads an EdGap-style extract (see data/csv_dataset.h for the
+// schema); otherwise the named synthetic city is generated.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "core/experiment_config.h"
+#include "core/pipeline.h"
+#include "data/csv_dataset.h"
+#include "data/edgap_synthetic.h"
+#include "data/split.h"
+#include "fairness/disparity_report.h"
+#include "index/partition_io.h"
+
+namespace fairidx {
+namespace cli {
+namespace {
+
+// ----- Flag parsing -------------------------------------------------
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        ok_ = false;
+        return;
+      }
+      arg = arg.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";
+      }
+    }
+  }
+
+  bool ok() const { return ok_; }
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+  std::string Get(const std::string& name,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int GetInt(const std::string& name, int fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+// ----- Shared helpers -------------------------------------------------
+
+Result<Dataset> LoadFlaggedDataset(const Flags& flags) {
+  if (flags.Has("csv")) {
+    return LoadEdgapCsvFile(flags.Get("csv"), CsvDatasetOptions{});
+  }
+  const std::string city = flags.Get("city", "la");
+  if (city == "la" || city == "losangeles") {
+    return GenerateEdgapCity(LosAngelesConfig());
+  }
+  if (city == "houston") {
+    return GenerateEdgapCity(HoustonConfig());
+  }
+  return InvalidArgumentError("unknown --city '" + city +
+                              "' (expected la|houston)");
+}
+
+Result<PartitionAlgorithm> ParseAlgorithm(const std::string& name) {
+  static const std::map<std::string, PartitionAlgorithm> kByName = {
+      {"median_kd_tree", PartitionAlgorithm::kMedianKdTree},
+      {"fair_kd_tree", PartitionAlgorithm::kFairKdTree},
+      {"iterative_fair_kd_tree", PartitionAlgorithm::kIterativeFairKdTree},
+      {"multi_objective_fair_kd_tree",
+       PartitionAlgorithm::kMultiObjectiveFairKdTree},
+      {"grid_reweighting", PartitionAlgorithm::kUniformGridReweight},
+      {"zip_codes", PartitionAlgorithm::kZipCodes},
+      {"fair_quadtree", PartitionAlgorithm::kFairQuadtree},
+      {"str_slabs", PartitionAlgorithm::kStrSlabs},
+  };
+  auto it = kByName.find(name);
+  if (it == kByName.end()) {
+    return InvalidArgumentError("unknown --algorithm '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<ClassifierKind> ParseClassifier(const std::string& name) {
+  if (name == "lr" || name == "logistic_regression") {
+    return ClassifierKind::kLogisticRegression;
+  }
+  if (name == "tree" || name == "decision_tree") {
+    return ClassifierKind::kDecisionTree;
+  }
+  if (name == "nb" || name == "naive_bayes") {
+    return ClassifierKind::kNaiveBayes;
+  }
+  return InvalidArgumentError("unknown --classifier '" + name +
+                              "' (expected lr|tree|nb)");
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+// ----- Subcommands ----------------------------------------------------
+
+int CmdGenerate(const Flags& flags) {
+  auto dataset = LoadFlaggedDataset(flags);
+  if (!dataset.ok()) return Fail(dataset.status());
+  const std::string out = flags.Get("out", "/dev/stdout");
+  std::ofstream file(out);
+  if (!file) return Fail(InternalError("cannot open " + out));
+  file << DatasetToCsv(*dataset);
+  std::fprintf(stderr, "wrote %zu records to %s\n", dataset->num_records(),
+               out.c_str());
+  return 0;
+}
+
+int CmdRun(const Flags& flags) {
+  auto dataset = LoadFlaggedDataset(flags);
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto algorithm = ParseAlgorithm(flags.Get("algorithm", "fair_kd_tree"));
+  if (!algorithm.ok()) return Fail(algorithm.status());
+  auto classifier_kind = ParseClassifier(flags.Get("classifier", "lr"));
+  if (!classifier_kind.ok()) return Fail(classifier_kind.status());
+
+  PipelineOptions options;
+  options.algorithm = *algorithm;
+  options.height = flags.GetInt("height", 6);
+  options.task = flags.GetInt("task", 0);
+  const auto prototype = MakeClassifier(*classifier_kind);
+  auto run = RunPipeline(*dataset, *prototype, options);
+  if (!run.ok()) return Fail(run.status());
+
+  const EvaluationResult& eval = run->final_model.eval;
+  std::printf("algorithm:        %s\n", PartitionAlgorithmName(*algorithm));
+  std::printf("classifier:       %s\n", ClassifierKindName(*classifier_kind));
+  std::printf("height:           %d\n", options.height);
+  std::printf("task:             %s\n",
+              dataset->task_name(options.task).c_str());
+  std::printf("neighborhoods:    %d\n", eval.num_neighborhoods);
+  std::printf("train ENCE:       %.5f\n", eval.train_ence);
+  std::printf("test ENCE:        %.5f\n", eval.test_ence);
+  std::printf("train accuracy:   %.4f\n", eval.train_accuracy);
+  std::printf("test accuracy:    %.4f\n", eval.test_accuracy);
+  std::printf("test |e-o|:       %.5f\n", eval.test_miscalibration);
+  std::printf("partition build:  %.3fs (%d model fits)\n",
+              run->partition_seconds, run->partition_stage_fits);
+  return 0;
+}
+
+int CmdSweep(const Flags& flags) {
+  auto dataset = LoadFlaggedDataset(flags);
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto classifier_kind = ParseClassifier(flags.Get("classifier", "lr"));
+  if (!classifier_kind.ok()) return Fail(classifier_kind.status());
+  const auto prototype = MakeClassifier(*classifier_kind);
+
+  std::vector<PartitionAlgorithm> algorithms;
+  if (flags.Has("algorithm")) {
+    auto algorithm = ParseAlgorithm(flags.Get("algorithm"));
+    if (!algorithm.ok()) return Fail(algorithm.status());
+    algorithms.push_back(*algorithm);
+  } else {
+    algorithms = {PartitionAlgorithm::kMedianKdTree,
+                  PartitionAlgorithm::kFairKdTree,
+                  PartitionAlgorithm::kIterativeFairKdTree,
+                  PartitionAlgorithm::kUniformGridReweight};
+  }
+
+  TablePrinter table({"height", "algorithm", "regions", "train_ence",
+                      "test_ence", "test_accuracy"});
+  for (int height : PaperHeightSweep()) {
+    for (PartitionAlgorithm algorithm : algorithms) {
+      PipelineOptions options;
+      options.algorithm = algorithm;
+      options.height = height;
+      options.task = flags.GetInt("task", 0);
+      auto run = RunPipeline(*dataset, *prototype, options);
+      if (!run.ok()) return Fail(run.status());
+      const EvaluationResult& eval = run->final_model.eval;
+      table.AddRow({std::to_string(height),
+                    PartitionAlgorithmName(algorithm),
+                    std::to_string(eval.num_neighborhoods),
+                    TablePrinter::FormatDouble(eval.train_ence, 5),
+                    TablePrinter::FormatDouble(eval.test_ence, 5),
+                    TablePrinter::FormatDouble(eval.test_accuracy, 4)});
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int CmdDisparity(const Flags& flags) {
+  auto dataset = LoadFlaggedDataset(flags);
+  if (!dataset.ok()) return Fail(dataset.status());
+  if (!dataset->has_zip_codes()) {
+    return Fail(FailedPreconditionError("dataset has no zip codes"));
+  }
+  Dataset working = *dataset;
+  if (auto status = working.SetNeighborhoods(working.zip_codes());
+      !status.ok()) {
+    return Fail(status);
+  }
+  Rng rng(99);
+  auto split = MakeStratifiedSplit(working.labels(0), 0.25, rng);
+  if (!split.ok()) return Fail(split.status());
+  const auto prototype =
+      MakeClassifier(ClassifierKind::kLogisticRegression);
+  auto trained = TrainAndEvaluate(working, *split, *prototype,
+                                  EvalOptions{});
+  if (!trained.ok()) return Fail(trained.status());
+  auto report = BuildDisparityReport(trained->scores, working.labels(0),
+                                     working.zip_codes(),
+                                     flags.GetInt("top", 10), 15);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("overall: e=%.4f o=%.4f |e-o|=%.5f\n",
+              report->overall.mean_score, report->overall.mean_label,
+              report->overall.AbsMiscalibration());
+  DisparityReportTable(*report).Print(std::cout);
+  return 0;
+}
+
+int CmdExport(const Flags& flags) {
+  auto dataset = LoadFlaggedDataset(flags);
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto algorithm = ParseAlgorithm(flags.Get("algorithm", "fair_kd_tree"));
+  if (!algorithm.ok()) return Fail(algorithm.status());
+  PipelineOptions options;
+  options.algorithm = *algorithm;
+  options.height = flags.GetInt("height", 6);
+  const auto prototype =
+      MakeClassifier(ClassifierKind::kLogisticRegression);
+  auto run = RunPipeline(*dataset, *prototype, options);
+  if (!run.ok()) return Fail(run.status());
+  if (!run->has_cell_partition) {
+    return Fail(FailedPreconditionError(
+        "algorithm does not produce a cell partition"));
+  }
+
+  const std::string out = flags.Get("out", "partition.csv");
+  if (auto status = SavePartitionCsv(out, dataset->grid(),
+                                     run->partition.partition);
+      !status.ok()) {
+    return Fail(status);
+  }
+  std::fprintf(stderr, "wrote %d regions to %s\n",
+               run->partition.partition.num_regions(), out.c_str());
+  if (flags.Has("wkt")) {
+    std::ofstream wkt_file(flags.Get("wkt"));
+    if (!wkt_file) {
+      return Fail(InternalError("cannot open " + flags.Get("wkt")));
+    }
+    wkt_file << PartitionRectsToWkt(dataset->grid(),
+                                    run->partition.regions);
+    std::fprintf(stderr, "wrote WKT polygons to %s\n",
+                 flags.Get("wkt").c_str());
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: fairidx_cli <generate|run|sweep|disparity|export> [flags]\n"
+      "  common flags: --city la|houston | --csv file.csv\n"
+      "  run/export:   --algorithm <name> --height N --classifier lr|tree|nb\n"
+      "  see the file header for the full reference\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (!flags.ok()) return Usage();
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "run") return CmdRun(flags);
+  if (command == "sweep") return CmdSweep(flags);
+  if (command == "disparity") return CmdDisparity(flags);
+  if (command == "export") return CmdExport(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace fairidx
+
+int main(int argc, char** argv) { return fairidx::cli::Main(argc, argv); }
