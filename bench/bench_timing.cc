@@ -57,30 +57,59 @@ BENCHMARK(BM_FairKdTreePipelineVsRecords)
     ->Complexity(benchmark::oN);
 
 // --- Theorem 3: index construction alone vs height (scores fixed). ---
-void BM_FairKdTreeBuildVsHeight(benchmark::State& state) {
-  const Dataset city = CityOfSize(2000);
-  const TrainTestSplit split = SplitFor(city);
-  // Synthetic scores suffice for pure construction timing.
-  std::vector<int> cells;
-  std::vector<int> labels;
-  std::vector<double> scores;
-  for (size_t i : split.train_indices) {
-    cells.push_back(city.base_cells()[i]);
-    labels.push_back(city.labels(0)[i]);
-    scores.push_back(0.5);
-  }
-  const GridAggregates aggregates =
-      OrDie(GridAggregates::Build(city.grid(), cells, labels, scores),
-            "GridAggregates::Build");
+// Shared fixture for the construction-only benches: the 2000-record city
+// and its training-split aggregates with non-degenerate synthetic scores,
+// built once.
+const Dataset& BenchCity() {
+  static const Dataset* city = new Dataset(CityOfSize(2000));
+  return *city;
+}
+
+const GridAggregates& BenchCityAggregates() {
+  static const GridAggregates* aggregates = [] {
+    const Dataset& city = BenchCity();
+    const TrainTestSplit split = SplitFor(city);
+    Rng score_rng(9001);
+    std::vector<int> cells;
+    std::vector<int> labels;
+    std::vector<double> scores;
+    for (size_t i : split.train_indices) {
+      cells.push_back(city.base_cells()[i]);
+      labels.push_back(city.labels(0)[i]);
+      scores.push_back(score_rng.NextDouble());
+    }
+    return new GridAggregates(
+        OrDie(GridAggregates::Build(city.grid(), cells, labels, scores),
+              "GridAggregates::Build"));
+  }();
+  return *aggregates;
+}
+
+void FairKdTreeBuildVsHeight(benchmark::State& state,
+                             SplitScanEngine engine) {
+  const Dataset& city = BenchCity();
+  const GridAggregates& aggregates = BenchCityAggregates();
   FairKdTreeOptions options;
   options.height = static_cast<int>(state.range(0));
+  options.scan_engine = engine;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         OrDie(BuildFairKdTree(city.grid(), aggregates, options),
               "BuildFairKdTree"));
   }
 }
+
+void BM_FairKdTreeBuildVsHeight(benchmark::State& state) {
+  FairKdTreeBuildVsHeight(state, SplitScanEngine::kFused);
+}
 BENCHMARK(BM_FairKdTreeBuildVsHeight)->DenseRange(4, 12, 2);
+
+// The pre-fusion reference scan on the same instance: the ratio to
+// BM_FairKdTreeBuildVsHeight is the split-scan engine's speedup.
+void BM_FairKdTreeBuildVsHeightNaiveScan(benchmark::State& state) {
+  FairKdTreeBuildVsHeight(state, SplitScanEngine::kNaiveReference);
+}
+BENCHMARK(BM_FairKdTreeBuildVsHeightNaiveScan)->DenseRange(4, 12, 2);
 
 // --- Theorem 4: one-shot vs iterative at height 10 (paper: 102s/189s). ---
 void BM_OneShotFairKdTreeHeight10(benchmark::State& state) {
@@ -139,7 +168,7 @@ void BM_MultiObjectiveVsTasks(benchmark::State& state) {
 BENCHMARK(BM_MultiObjectiveVsTasks)->DenseRange(1, 5, 1);
 
 // --- Algorithm 2: split scan cost vs grid extent. ---
-void BM_SplitScanVsGridSize(benchmark::State& state) {
+void SplitScanVsGridSize(benchmark::State& state, SplitScanEngine engine) {
   const int side = static_cast<int>(state.range(0));
   const Grid grid =
       OrDie(Grid::Create(side, side,
@@ -161,11 +190,27 @@ void BM_SplitScanVsGridSize(benchmark::State& state) {
             "GridAggregates::Build");
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        FindBestSplit(aggregates, grid.FullRect(), 0, {}));
+        engine == SplitScanEngine::kFused
+            ? FindBestSplit(aggregates, grid.FullRect(), 0, {})
+            : FindBestSplitNaive(aggregates, grid.FullRect(), 0, {}));
   }
   state.SetComplexityN(side);
 }
+
+void BM_SplitScanVsGridSize(benchmark::State& state) {
+  SplitScanVsGridSize(state, SplitScanEngine::kFused);
+}
 BENCHMARK(BM_SplitScanVsGridSize)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Complexity(benchmark::oN);
+
+void BM_SplitScanVsGridSizeNaive(benchmark::State& state) {
+  SplitScanVsGridSize(state, SplitScanEngine::kNaiveReference);
+}
+BENCHMARK(BM_SplitScanVsGridSizeNaive)
     ->Arg(32)
     ->Arg(64)
     ->Arg(128)
@@ -176,4 +221,6 @@ BENCHMARK(BM_SplitScanVsGridSize)
 }  // namespace bench
 }  // namespace fairidx
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return fairidx::bench::RunGoogleBenchmark(argc, argv);
+}

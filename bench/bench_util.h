@@ -10,7 +10,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
+
+#ifdef FAIRIDX_WITH_GBENCH
+#include <benchmark/benchmark.h>
+#endif
 
 #include "common/result.h"
 #include "core/experiment_config.h"
@@ -48,6 +54,49 @@ inline PipelineRunResult RunOrDie(const Dataset& dataset,
 inline void PrintBanner(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
 }
+
+#ifdef FAIRIDX_WITH_GBENCH
+/// JSON-out convention for the google-benchmark timing binaries: when the
+/// FAIRIDX_BENCH_OUT environment variable is set and the caller passed no
+/// explicit --benchmark_out flag, results are also written as JSON to that
+/// path. tools/bench_to_json.sh drives this to refresh BENCH_timing.json at
+/// the repo root — the perf-trajectory baseline future PRs compare against.
+/// Timing binaries call this instead of BENCHMARK_MAIN().
+inline int RunGoogleBenchmark(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string format_flag;
+  const char* out_path = std::getenv("FAIRIDX_BENCH_OUT");
+  bool has_out_flag = false;
+  bool has_format_flag = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) {
+      has_out_flag = true;
+    }
+    if (std::strncmp(argv[i], "--benchmark_out_format=", 23) == 0) {
+      has_format_flag = true;
+    }
+  }
+  // Explicit flags always win over the convention (benchmark parses
+  // last-wins, so ours must not be appended after the user's).
+  if (out_path != nullptr && !has_out_flag) {
+    out_flag = std::string("--benchmark_out=") + out_path;
+    args.push_back(out_flag.data());
+    if (!has_format_flag) {
+      format_flag = "--benchmark_out_format=json";
+      args.push_back(format_flag.data());
+    }
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+#endif  // FAIRIDX_WITH_GBENCH
 
 }  // namespace bench
 }  // namespace fairidx

@@ -60,7 +60,8 @@ Result<IterativeFairKdTreeResult> BuildIterativeFairKdTree(
 
     // Split every region at this level (Alg. 3 lines 7-9).
     const int axis = remaining_height % 2;
-    regions = SplitAllRegions(aggregates, regions, axis, options.objective);
+    regions = SplitAllRegions(aggregates, regions, axis, options.objective,
+                              options.axis_policy, options.num_threads);
 
     // Re-district for the next level's training (Alg. 3 line 11).
     FAIRIDX_ASSIGN_OR_RETURN(Partition level_partition,

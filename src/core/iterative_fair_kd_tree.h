@@ -23,6 +23,13 @@ struct IterativeFairKdTreeOptions {
   int task = 0;
   NeighborhoodEncoding encoding = NeighborhoodEncoding::kNumericId;
   SplitObjectiveOptions objective{SplitObjectiveKind::kPaperEq9, 0.0};
+  /// Per-region axis rule for each BFS level (matches BuildKdTreePartition:
+  /// kAlternate splits the level's axis with fallback, kBestObjective
+  /// evaluates both axes per region).
+  AxisPolicy axis_policy = AxisPolicy::kAlternate;
+  /// Splits each level's regions in parallel chunks when > 1; the refined
+  /// region list is identical at any thread count.
+  int num_threads = 1;
 };
 
 /// Result of the iterative build.

@@ -104,7 +104,8 @@ Result<PipelineRunResult> RunPipeline(const Dataset& dataset,
                           std::vector<double>(working.num_records(), 0.0)));
       FAIRIDX_ASSIGN_OR_RETURN(
           KdTreeResult tree,
-          BuildMedianKdTree(working.grid(), aggregates, options.height));
+          BuildMedianKdTree(working.grid(), aggregates, options.height,
+                            options.num_threads));
       out.partition = std::move(tree.result);
       out.has_cell_partition = true;
       break;
@@ -123,6 +124,7 @@ Result<PipelineRunResult> RunPipeline(const Dataset& dataset,
       fair_options.axis_policy = options.axis_policy;
       fair_options.early_stop_weighted_miscalibration =
           options.split_early_stop;
+      fair_options.num_threads = options.num_threads;
       FAIRIDX_ASSIGN_OR_RETURN(
           KdTreeResult tree,
           BuildFairKdTree(working.grid(), aggregates, fair_options));
@@ -136,6 +138,8 @@ Result<PipelineRunResult> RunPipeline(const Dataset& dataset,
       iterative_options.task = options.task;
       iterative_options.encoding = options.encoding;
       iterative_options.objective = options.split_objective;
+      iterative_options.axis_policy = options.axis_policy;
+      iterative_options.num_threads = options.num_threads;
       FAIRIDX_ASSIGN_OR_RETURN(
           IterativeFairKdTreeResult iterative,
           BuildIterativeFairKdTree(working, out.split, prototype,

@@ -71,6 +71,11 @@ struct PipelineOptions {
   /// holds at least this many records (adjacent-region merging; see
   /// index/region_merging.h). Merging never increases ENCE (Theorem 2).
   double min_region_population = 0.0;
+  /// Threads for the partition-construction stage (task-parallel subtree
+  /// builds for the KD trees, chunked region splits for the iterative
+  /// tree). The resulting partition is identical at any thread count;
+  /// <= 1 runs fully sequentially.
+  int num_threads = 1;
 };
 
 /// Everything a pipeline run produces.

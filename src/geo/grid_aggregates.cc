@@ -14,11 +14,7 @@ RegionAggregate& RegionAggregate::operator+=(const RegionAggregate& other) {
 GridAggregates::GridAggregates(int rows, int cols)
     : rows_(rows),
       cols_(cols),
-      count_prefix_(static_cast<size_t>(rows + 1) * (cols + 1), 0.0),
-      label_prefix_(static_cast<size_t>(rows + 1) * (cols + 1), 0.0),
-      score_prefix_(static_cast<size_t>(rows + 1) * (cols + 1), 0.0),
-      residual_prefix_(static_cast<size_t>(rows + 1) * (cols + 1), 0.0),
-      cell_abs_prefix_(static_cast<size_t>(rows + 1) * (cols + 1), 0.0) {}
+      prefix_(static_cast<size_t>(rows + 1) * (cols + 1)) {}
 
 Result<GridAggregates> GridAggregates::Build(
     const Grid& grid, const std::vector<int>& cell_ids,
@@ -39,7 +35,7 @@ Result<GridAggregates> GridAggregates::Build(
   const size_t stride = static_cast<size_t>(cols) + 1;
 
   // First accumulate raw per-cell sums into the (row+1, col+1) slot of each
-  // prefix array, then integrate in place.
+  // prefix entry, then integrate in place.
   for (size_t i = 0; i < n; ++i) {
     const int cell = cell_ids[i];
     if (cell < 0 || cell >= grid.num_cells()) {
@@ -49,14 +45,14 @@ Result<GridAggregates> GridAggregates::Build(
       return InvalidArgumentError(
           "GridAggregates::Build: labels must be 0 or 1");
     }
-    const size_t slot =
-        static_cast<size_t>(grid.RowOfCell(cell) + 1) * stride +
-        (grid.ColOfCell(cell) + 1);
-    agg.count_prefix_[slot] += 1.0;
-    agg.label_prefix_[slot] += labels[i];
-    agg.score_prefix_[slot] += scores[i];
-    agg.residual_prefix_[slot] +=
-        residuals.empty() ? (scores[i] - labels[i]) : residuals[i];
+    PrefixEntry& slot =
+        agg.prefix_[static_cast<size_t>(grid.RowOfCell(cell) + 1) * stride +
+                    (grid.ColOfCell(cell) + 1)];
+    slot.count += 1.0;
+    slot.labels += labels[i];
+    slot.scores += scores[i];
+    slot.residuals += residuals.empty() ? (scores[i] - labels[i])
+                                        : residuals[i];
   }
 
   // Per-cell absolute miscalibration must be computed from the raw
@@ -64,47 +60,42 @@ Result<GridAggregates> GridAggregates::Build(
   // values, and absolute values do not distribute over sums).
   for (int r = 1; r <= agg.rows_; ++r) {
     for (int c = 1; c <= agg.cols_; ++c) {
-      const size_t at = static_cast<size_t>(r) * stride + c;
-      agg.cell_abs_prefix_[at] =
-          std::abs(agg.label_prefix_[at] - agg.score_prefix_[at]);
+      PrefixEntry& slot = agg.prefix_[static_cast<size_t>(r) * stride + c];
+      slot.cell_abs = std::abs(slot.labels - slot.scores);
     }
   }
 
-  auto integrate = [&](std::vector<double>& prefix) {
-    for (int r = 1; r <= agg.rows_; ++r) {
-      for (int c = 1; c <= agg.cols_; ++c) {
-        const size_t at = static_cast<size_t>(r) * stride + c;
-        prefix[at] += prefix[at - 1] + prefix[at - stride] -
-                      prefix[at - stride - 1];
-      }
+  for (int r = 1; r <= agg.rows_; ++r) {
+    for (int c = 1; c <= agg.cols_; ++c) {
+      const size_t at = static_cast<size_t>(r) * stride + c;
+      PrefixEntry& e = agg.prefix_[at];
+      const PrefixEntry& west = agg.prefix_[at - 1];
+      const PrefixEntry& north = agg.prefix_[at - stride];
+      const PrefixEntry& northwest = agg.prefix_[at - stride - 1];
+      e.count += west.count + north.count - northwest.count;
+      e.labels += west.labels + north.labels - northwest.labels;
+      e.scores += west.scores + north.scores - northwest.scores;
+      e.residuals += west.residuals + north.residuals - northwest.residuals;
+      e.cell_abs += west.cell_abs + north.cell_abs - northwest.cell_abs;
     }
-  };
-  integrate(agg.count_prefix_);
-  integrate(agg.label_prefix_);
-  integrate(agg.score_prefix_);
-  integrate(agg.residual_prefix_);
-  integrate(agg.cell_abs_prefix_);
+  }
   return agg;
-}
-
-double GridAggregates::RangeSum(const std::vector<double>& prefix,
-                                const CellRect& rect) const {
-  if (rect.empty()) return 0.0;
-  const int r0 = rect.row_begin;
-  const int r1 = rect.row_end;
-  const int c0 = rect.col_begin;
-  const int c1 = rect.col_end;
-  return PrefixAt(prefix, r1, c1) - PrefixAt(prefix, r0, c1) -
-         PrefixAt(prefix, r1, c0) + PrefixAt(prefix, r0, c0);
 }
 
 RegionAggregate GridAggregates::Query(const CellRect& rect) const {
   RegionAggregate out;
-  out.count = RangeSum(count_prefix_, rect);
-  out.sum_labels = RangeSum(label_prefix_, rect);
-  out.sum_scores = RangeSum(score_prefix_, rect);
-  out.sum_residuals = RangeSum(residual_prefix_, rect);
-  out.sum_cell_abs_miscalibration = RangeSum(cell_abs_prefix_, rect);
+  if (rect.empty()) return out;
+  const PrefixEntry& p11 = EntryAt(rect.row_end, rect.col_end);
+  const PrefixEntry& p01 = EntryAt(rect.row_begin, rect.col_end);
+  const PrefixEntry& p10 = EntryAt(rect.row_end, rect.col_begin);
+  const PrefixEntry& p00 = EntryAt(rect.row_begin, rect.col_begin);
+  out.count = p11.count - p01.count - p10.count + p00.count;
+  out.sum_labels = p11.labels - p01.labels - p10.labels + p00.labels;
+  out.sum_scores = p11.scores - p01.scores - p10.scores + p00.scores;
+  out.sum_residuals =
+      p11.residuals - p01.residuals - p10.residuals + p00.residuals;
+  out.sum_cell_abs_miscalibration =
+      p11.cell_abs - p01.cell_abs - p10.cell_abs + p00.cell_abs;
   return out;
 }
 
@@ -114,6 +105,13 @@ RegionAggregate GridAggregates::Cell(int row, int col) const {
 
 RegionAggregate GridAggregates::Total() const {
   return Query(CellRect{0, rows_, 0, cols_});
+}
+
+void GridAggregates::QueryChildren(const CellRect& parent, int axis,
+                                   int offset, unsigned fields,
+                                   RegionAggregate* left,
+                                   RegionAggregate* right) const {
+  SplitSweep(*this, parent, axis).Children(offset, fields, left, right);
 }
 
 }  // namespace fairidx

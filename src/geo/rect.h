@@ -35,6 +35,15 @@ struct BoundingBox {
   }
 };
 
+/// Aspect ratio >= 1 (long side / short side) of a rows x cols box. Shared
+/// by CellRect::AspectRatio and the split scan's fused compactness term so
+/// the two can never drift apart.
+inline double AspectRatioOf(int rows, int cols) {
+  const double r = rows;
+  const double c = cols;
+  return std::max(r, c) / std::min(r, c);
+}
+
 /// Half-open rectangle of grid cells: rows [row_begin, row_end) and columns
 /// [col_begin, col_end). Rows index the y axis, columns the x axis.
 struct CellRect {
@@ -63,9 +72,7 @@ struct CellRect {
   /// Aspect ratio >= 1 (long side / short side); 0 for empty rects.
   double AspectRatio() const {
     if (empty()) return 0.0;
-    const double r = num_rows();
-    const double c = num_cols();
-    return std::max(r, c) / std::min(r, c);
+    return AspectRatioOf(num_rows(), num_cols());
   }
 
   std::string DebugString() const {

@@ -11,6 +11,8 @@ Result<KdTreeResult> BuildFairKdTree(const Grid& grid,
   tree_options.axis_policy = options.axis_policy;
   tree_options.early_stop_weighted_miscalibration =
       options.early_stop_weighted_miscalibration;
+  tree_options.scan_engine = options.scan_engine;
+  tree_options.num_threads = options.num_threads;
   return BuildKdTreePartition(grid, aggregates, tree_options);
 }
 

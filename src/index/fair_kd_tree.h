@@ -27,6 +27,11 @@ struct FairKdTreeOptions {
   AxisPolicy axis_policy = AxisPolicy::kAlternate;
   /// Early-stop threshold on node weighted miscalibration; < 0 disables.
   double early_stop_weighted_miscalibration = -1.0;
+  /// Split-scan implementation; kNaiveReference only for tests/benches.
+  SplitScanEngine scan_engine = SplitScanEngine::kFused;
+  /// Task-parallel subtree construction (see KdTreeOptions::num_threads);
+  /// the partition is identical at any thread count.
+  int num_threads = 1;
 };
 
 /// Builds a Fair KD-tree partition from per-cell aggregates of the records'

@@ -1,6 +1,8 @@
 #include "index/kd_tree.h"
 
 #include <cmath>
+#include <future>
+#include <utility>
 
 namespace fairidx {
 namespace {
@@ -20,10 +22,13 @@ void SplitRects(const CellRect& rect, int axis, int offset, CellRect* left,
   }
 }
 
-}  // namespace
-
-KdSplit FindBestSplit(const GridAggregates& aggregates, const CellRect& rect,
-                      int axis, const SplitObjectiveOptions& options) {
+// Shared argmin loop of Algorithm 2: `children(offset, &left, &right)`
+// supplies the child aggregates; selection and tie-breaking are identical
+// for every scan engine.
+template <typename ChildrenFn>
+KdSplit ScanOffsets(const CellRect& rect, int axis,
+                    const SplitObjectiveOptions& options,
+                    ChildrenFn&& children) {
   KdSplit best;
   best.axis = axis;
   const int extent = axis == 0 ? rect.num_rows() : rect.num_cols();
@@ -34,9 +39,10 @@ KdSplit FindBestSplit(const GridAggregates& aggregates, const CellRect& rect,
   for (int offset = 1; offset < extent; ++offset) {
     CellRect left, right;
     SplitRects(rect, axis, offset, &left, &right);
+    RegionAggregate left_agg, right_agg;
+    children(offset, &left_agg, &right_agg);
     const double objective =
-        EvaluateSplit(options, left, aggregates.Query(left), right,
-                      aggregates.Query(right));
+        EvaluateSplit(options, left, left_agg, right, right_agg);
     const double center_distance = std::abs(offset - center);
     const bool better =
         !best.valid || objective < best.objective - 1e-12 ||
@@ -54,61 +60,275 @@ KdSplit FindBestSplit(const GridAggregates& aggregates, const CellRect& rect,
   return best;
 }
 
-KdSplit FindBestSplitWithFallback(const GridAggregates& aggregates,
-                                  const CellRect& rect, int preferred_axis,
-                                  const SplitObjectiveOptions& options) {
-  KdSplit split =
-      FindBestSplit(aggregates, rect, preferred_axis, options);
+// The fused incremental sweep. The objective is dispatched ONCE per scan
+// (`objective_fn` is a per-kind lambda, so the per-offset work is just the
+// two boundary-line reads plus a handful of flops), candidate rects are
+// only materialised for the winning offset, and the tie-break distance is
+// only computed inside an actual tie. Every floating-point expression and
+// comparison matches ScanOffsets + EvaluateSplit, so the selected split is
+// bit-identical to the naive reference.
+template <typename ObjectiveFn>
+KdSplit FusedScan(const GridAggregates& aggregates, const CellRect& rect,
+                  int axis, unsigned fields, ObjectiveFn&& objective_fn) {
+  KdSplit best;
+  best.axis = axis;
+  const int extent = axis == 0 ? rect.num_rows() : rect.num_cols();
+  if (extent < 2) return best;
+
+  const GridAggregates::SplitSweep sweep(aggregates, rect, axis);
+  const double center = static_cast<double>(extent) / 2.0;
+  int best_offset = 0;
+  double best_objective = 0.0;
+  double best_center_distance = 0.0;
+  for (int offset = 1; offset < extent; ++offset) {
+    RegionAggregate left, right;
+    sweep.Children(offset, fields, &left, &right);
+    const double objective = objective_fn(left, right, offset);
+    bool better = false;
+    if (best_offset == 0 || objective < best_objective - 1e-12) {
+      better = true;
+    } else if (std::abs(objective - best_objective) <= 1e-12) {
+      better = std::abs(offset - center) < best_center_distance - 1e-12;
+    }
+    if (better) {
+      best_offset = offset;
+      best_objective = objective;
+      best_center_distance = std::abs(offset - center);
+    }
+  }
+  best.valid = true;
+  best.offset = best_offset;
+  best.objective = best_objective;
+  SplitRects(rect, axis, best_offset, &best.left, &best.right);
+  return best;
+}
+
+// Aspect-ratio compactness penalty of a candidate split, computed from the
+// child dimensions without materialising rects; evaluates the identical
+// expressions to CellRect::AspectRatio + EvaluateSplit (both children are
+// non-empty for in-range offsets, so the empty-rect case cannot differ).
+double CompactnessPenalty(const CellRect& rect, int axis, int offset) {
+  double left_aspect, right_aspect;
+  if (axis == 0) {
+    left_aspect = AspectRatioOf(offset, rect.num_cols());
+    right_aspect = AspectRatioOf(rect.num_rows() - offset, rect.num_cols());
+  } else {
+    left_aspect = AspectRatioOf(rect.num_rows(), offset);
+    right_aspect = AspectRatioOf(rect.num_rows(), rect.num_cols() - offset);
+  }
+  return (left_aspect + right_aspect) / 2.0 - 1.0;
+}
+
+}  // namespace
+
+KdSplit FindBestSplit(const GridAggregates& aggregates, const CellRect& rect,
+                      int axis, const SplitObjectiveOptions& options) {
+  const unsigned fields = RequiredAggregateFields(options);
+  const double weight = options.compactness_weight;
+  // Composes the per-kind core with the (usually disabled) compactness
+  // term; the weight test mirrors EvaluateSplit's.
+  auto scan = [&](auto&& core) {
+    return FusedScan(aggregates, rect, axis, fields,
+                     [&](const RegionAggregate& left,
+                         const RegionAggregate& right, int offset) {
+                       double objective = core(left, right);
+                       if (weight > 0.0) {
+                         objective += weight * (left.count + right.count) *
+                                      CompactnessPenalty(rect, axis, offset);
+                       }
+                       return objective;
+                     });
+  };
+  switch (options.kind) {
+    case SplitObjectiveKind::kPaperEq9:
+      return scan([](const RegionAggregate& l, const RegionAggregate& r) {
+        return std::abs(l.WeightedMiscalibration() -
+                        r.WeightedMiscalibration());
+      });
+    case SplitObjectiveKind::kMinimaxChild:
+      return scan([](const RegionAggregate& l, const RegionAggregate& r) {
+        return std::max(l.WeightedMiscalibration(),
+                        r.WeightedMiscalibration());
+      });
+    case SplitObjectiveKind::kWeightedSum:
+      return scan([](const RegionAggregate& l, const RegionAggregate& r) {
+        return l.WeightedMiscalibration() + r.WeightedMiscalibration();
+      });
+    case SplitObjectiveKind::kResidualBalanceEq13:
+      return scan([](const RegionAggregate& l, const RegionAggregate& r) {
+        return std::abs(l.count * l.AbsResidualSum() -
+                        r.count * r.AbsResidualSum());
+      });
+    case SplitObjectiveKind::kResidualBalanceEq9:
+      return scan([](const RegionAggregate& l, const RegionAggregate& r) {
+        return std::abs(l.AbsResidualSum() - r.AbsResidualSum());
+      });
+    case SplitObjectiveKind::kMedianCount:
+      return scan([](const RegionAggregate& l, const RegionAggregate& r) {
+        return std::abs(l.count - r.count);
+      });
+  }
+  // Unreachable for valid kinds; fall back to the reference scan.
+  return FindBestSplitNaive(aggregates, rect, axis, options);
+}
+
+KdSplit FindBestSplitNaive(const GridAggregates& aggregates,
+                           const CellRect& rect, int axis,
+                           const SplitObjectiveOptions& options) {
+  return ScanOffsets(rect, axis, options,
+                     [&](int offset, RegionAggregate* left,
+                         RegionAggregate* right) {
+                       CellRect left_rect, right_rect;
+                       SplitRects(rect, axis, offset, &left_rect,
+                                  &right_rect);
+                       *left = aggregates.Query(left_rect);
+                       *right = aggregates.Query(right_rect);
+                     });
+}
+
+namespace {
+
+KdSplit ScanSplit(const GridAggregates& aggregates, const CellRect& rect,
+                  int axis, const SplitObjectiveOptions& options,
+                  SplitScanEngine engine) {
+  return engine == SplitScanEngine::kNaiveReference
+             ? FindBestSplitNaive(aggregates, rect, axis, options)
+             : FindBestSplit(aggregates, rect, axis, options);
+}
+
+KdSplit ScanSplitWithFallback(const GridAggregates& aggregates,
+                              const CellRect& rect, int preferred_axis,
+                              const SplitObjectiveOptions& options,
+                              SplitScanEngine engine) {
+  KdSplit split = ScanSplit(aggregates, rect, preferred_axis, options,
+                            engine);
   if (!split.valid) {
-    split = FindBestSplit(aggregates, rect, 1 - preferred_axis, options);
+    split = ScanSplit(aggregates, rect, 1 - preferred_axis, options, engine);
   }
   return split;
 }
 
-KdSplit FindBestSplitAnyAxis(const GridAggregates& aggregates,
-                             const CellRect& rect, int preferred_axis,
-                             const SplitObjectiveOptions& options) {
+KdSplit ScanSplitAnyAxis(const GridAggregates& aggregates,
+                         const CellRect& rect, int preferred_axis,
+                         const SplitObjectiveOptions& options,
+                         SplitScanEngine engine) {
   const KdSplit preferred =
-      FindBestSplit(aggregates, rect, preferred_axis, options);
+      ScanSplit(aggregates, rect, preferred_axis, options, engine);
   const KdSplit other =
-      FindBestSplit(aggregates, rect, 1 - preferred_axis, options);
+      ScanSplit(aggregates, rect, 1 - preferred_axis, options, engine);
   if (!preferred.valid) return other;
   if (!other.valid) return preferred;
   return other.objective < preferred.objective - 1e-12 ? other : preferred;
 }
 
+}  // namespace
+
+KdSplit FindBestSplitWithFallback(const GridAggregates& aggregates,
+                                  const CellRect& rect, int preferred_axis,
+                                  const SplitObjectiveOptions& options) {
+  return ScanSplitWithFallback(aggregates, rect, preferred_axis, options,
+                               SplitScanEngine::kFused);
+}
+
+KdSplit FindBestSplitAnyAxis(const GridAggregates& aggregates,
+                             const CellRect& rect, int preferred_axis,
+                             const SplitObjectiveOptions& options) {
+  return ScanSplitAnyAxis(aggregates, rect, preferred_axis, options,
+                          SplitScanEngine::kFused);
+}
+
 namespace {
 
-// DFS recursion of Algorithm 1. `remaining_height` is th; under the
-// alternating policy, axis = th mod 2.
-void BuildRecursive(const GridAggregates& aggregates, const CellRect& rect,
-                    int remaining_height, const KdTreeOptions& options,
-                    std::vector<CellRect>* leaves, long long* num_scans) {
-  if (remaining_height == 0 || rect.num_cells() <= 1) {
-    leaves->push_back(rect);
-    return;
-  }
+// Decides whether the node `rect` with `remaining_height` splits (filling
+// `*split`) or becomes a leaf. Shared by the sequential and task-parallel
+// recursions so both take byte-identical decisions.
+bool SplitNode(const GridAggregates& aggregates, const CellRect& rect,
+               int remaining_height, const KdTreeOptions& options,
+               KdSplit* split, long long* num_scans) {
+  if (remaining_height == 0 || rect.num_cells() <= 1) return false;
   if (options.early_stop_weighted_miscalibration >= 0.0 &&
       aggregates.Query(rect).sum_cell_abs_miscalibration <=
           options.early_stop_weighted_miscalibration) {
-    leaves->push_back(rect);
-    return;
+    return false;
   }
   const int axis = remaining_height % 2;
   ++*num_scans;
-  const KdSplit split =
-      options.axis_policy == AxisPolicy::kBestObjective
-          ? FindBestSplitAnyAxis(aggregates, rect, axis, options.objective)
-          : FindBestSplitWithFallback(aggregates, rect, axis,
-                                      options.objective);
-  if (!split.valid) {
+  *split = options.axis_policy == AxisPolicy::kBestObjective
+               ? ScanSplitAnyAxis(aggregates, rect, axis, options.objective,
+                                  options.scan_engine)
+               : ScanSplitWithFallback(aggregates, rect, axis,
+                                       options.objective,
+                                       options.scan_engine);
+  return split->valid;
+}
+
+// DFS recursion of Algorithm 1. `remaining_height` is th; under the
+// alternating policy, axis = th mod 2.
+void BuildSequential(const GridAggregates& aggregates, const CellRect& rect,
+                     int remaining_height, const KdTreeOptions& options,
+                     std::vector<CellRect>* leaves, long long* num_scans) {
+  KdSplit split;
+  if (!SplitNode(aggregates, rect, remaining_height, options, &split,
+                 num_scans)) {
     leaves->push_back(rect);
     return;
   }
-  BuildRecursive(aggregates, split.left, remaining_height - 1, options,
-                 leaves, num_scans);
-  BuildRecursive(aggregates, split.right, remaining_height - 1, options,
-                 leaves, num_scans);
+  BuildSequential(aggregates, split.left, remaining_height - 1, options,
+                  leaves, num_scans);
+  BuildSequential(aggregates, split.right, remaining_height - 1, options,
+                  leaves, num_scans);
+}
+
+struct SubtreeBuild {
+  std::vector<CellRect> leaves;
+  long long num_scans = 0;
+};
+
+// Task-parallel variant: the top `spawn_levels` levels hand their right
+// subtree to a task thread and build the left inline. Leaves concatenate
+// left-before-right at every node, so the final order — and therefore the
+// partition — matches the sequential DFS exactly.
+SubtreeBuild BuildParallel(const GridAggregates& aggregates,
+                           const CellRect& rect, int remaining_height,
+                           int spawn_levels, const KdTreeOptions& options) {
+  SubtreeBuild out;
+  if (spawn_levels <= 0) {
+    BuildSequential(aggregates, rect, remaining_height, options, &out.leaves,
+                    &out.num_scans);
+    return out;
+  }
+  KdSplit split;
+  if (!SplitNode(aggregates, rect, remaining_height, options, &split,
+                 &out.num_scans)) {
+    out.leaves.push_back(rect);
+    return out;
+  }
+  std::future<SubtreeBuild> right_future =
+      std::async(std::launch::async, [&aggregates, &options, &split,
+                                      remaining_height, spawn_levels] {
+        return BuildParallel(aggregates, split.right, remaining_height - 1,
+                             spawn_levels - 1, options);
+      });
+  SubtreeBuild left = BuildParallel(aggregates, split.left,
+                                    remaining_height - 1, spawn_levels - 1,
+                                    options);
+  SubtreeBuild right = right_future.get();
+  out.leaves = std::move(left.leaves);
+  out.leaves.insert(out.leaves.end(), right.leaves.begin(),
+                    right.leaves.end());
+  out.num_scans += left.num_scans + right.num_scans;
+  return out;
+}
+
+// Number of levels that spawn a task. Rounding DOWN keeps the concurrent
+// subtree count (2^levels) within the num_threads budget rather than
+// oversubscribing non-power-of-two requests.
+int SpawnLevels(int num_threads, int height) {
+  if (num_threads <= 1) return 0;
+  int levels = 0;
+  // Cap below 30 so the shift can never overflow int for huge requests.
+  while (levels < 30 && (1 << (levels + 1)) <= num_threads) ++levels;
+  return levels < height ? levels : height;
 }
 
 }  // namespace
@@ -123,31 +343,69 @@ Result<KdTreeResult> BuildKdTreePartition(const Grid& grid,
     return InvalidArgumentError("KD tree: aggregates/grid shape mismatch");
   }
   KdTreeResult out;
-  std::vector<CellRect> leaves;
-  BuildRecursive(aggregates, grid.FullRect(), options.height, options,
-                 &leaves, &out.num_split_scans);
+  SubtreeBuild build =
+      BuildParallel(aggregates, grid.FullRect(), options.height,
+                    SpawnLevels(options.num_threads, options.height),
+                    options);
+  out.num_split_scans = build.num_scans;
   FAIRIDX_ASSIGN_OR_RETURN(Partition partition,
-                           Partition::FromRects(grid, leaves));
+                           Partition::FromRects(grid, build.leaves));
   out.result.partition = std::move(partition);
-  out.result.regions = std::move(leaves);
+  out.result.regions = std::move(build.leaves);
   return out;
 }
 
 std::vector<CellRect> SplitAllRegions(const GridAggregates& aggregates,
                                       const std::vector<CellRect>& regions,
                                       int axis,
-                                      const SplitObjectiveOptions& options) {
-  std::vector<CellRect> refined;
-  refined.reserve(regions.size() * 2);
-  for (const CellRect& region : regions) {
-    const KdSplit split =
-        FindBestSplitWithFallback(aggregates, region, axis, options);
-    if (split.valid) {
-      refined.push_back(split.left);
-      refined.push_back(split.right);
-    } else {
-      refined.push_back(region);
+                                      const SplitObjectiveOptions& options,
+                                      AxisPolicy axis_policy,
+                                      int num_threads) {
+  auto split_range = [&](size_t begin, size_t end) {
+    std::vector<CellRect> refined;
+    refined.reserve((end - begin) * 2);
+    for (size_t i = begin; i < end; ++i) {
+      const KdSplit split =
+          axis_policy == AxisPolicy::kBestObjective
+              ? FindBestSplitAnyAxis(aggregates, regions[i], axis, options)
+              : FindBestSplitWithFallback(aggregates, regions[i], axis,
+                                          options);
+      if (split.valid) {
+        refined.push_back(split.left);
+        refined.push_back(split.right);
+      } else {
+        refined.push_back(regions[i]);
+      }
     }
+    return refined;
+  };
+
+  const size_t n = regions.size();
+  if (num_threads <= 1 || n < 2) return split_range(0, n);
+
+  // Fixed contiguous chunks, results concatenated in order: the output is
+  // independent of scheduling.
+  const size_t chunks =
+      n < static_cast<size_t>(num_threads) ? n
+                                           : static_cast<size_t>(num_threads);
+  std::vector<std::future<std::vector<CellRect>>> futures;
+  futures.reserve(chunks - 1);
+  std::vector<std::pair<size_t, size_t>> ranges;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t begin = n * c / chunks;
+    const size_t end = n * (c + 1) / chunks;
+    ranges.emplace_back(begin, end);
+  }
+  for (size_t c = 1; c < chunks; ++c) {
+    futures.push_back(std::async(std::launch::async, split_range,
+                                 ranges[c].first, ranges[c].second));
+  }
+  std::vector<CellRect> refined = split_range(ranges[0].first,
+                                              ranges[0].second);
+  refined.reserve(n * 2);
+  for (auto& future : futures) {
+    std::vector<CellRect> chunk = future.get();
+    refined.insert(refined.end(), chunk.begin(), chunk.end());
   }
   return refined;
 }

@@ -6,6 +6,12 @@
 // baseline and the Fair KD-tree (Algorithm 1). Axis convention: axis 0
 // splits rows (a horizontal cut, grouping rows), axis 1 splits columns
 // (a vertical cut) — Algorithm 2's "transpose" case.
+//
+// The split scan is implemented twice: the fused incremental sweep (the
+// default hot path, built on GridAggregates::SplitSweep with per-objective
+// field masks) and a retained naive reference that queries both children
+// from scratch per offset. Both produce bit-identical results; the
+// reference exists for differential tests and as the benchmark baseline.
 
 #ifndef FAIRIDX_INDEX_KD_TREE_H_
 #define FAIRIDX_INDEX_KD_TREE_H_
@@ -36,8 +42,19 @@ struct KdSplit {
 /// split position (then the smaller offset), keeping degenerate regions
 /// (all-zero objective) split evenly and deterministically.
 /// Returns an invalid split if the axis has fewer than 2 rows/cols.
+///
+/// Hot path: the parent corners are hoisted once and each offset reads one
+/// interleaved prefix-line pair (GridAggregates::SplitSweep), touching only
+/// the fields the objective needs.
 KdSplit FindBestSplit(const GridAggregates& aggregates, const CellRect& rect,
                       int axis, const SplitObjectiveOptions& options);
+
+/// The pre-fusion reference scan: two full Query() calls per offset.
+/// Bit-identical to FindBestSplit by construction; kept as the differential
+/// test oracle and benchmark baseline.
+KdSplit FindBestSplitNaive(const GridAggregates& aggregates,
+                           const CellRect& rect, int axis,
+                           const SplitObjectiveOptions& options);
 
 /// Like FindBestSplit, but falls back to the other axis when the preferred
 /// one cannot be split.
@@ -62,6 +79,14 @@ enum class AxisPolicy {
   kBestObjective,
 };
 
+/// Which split-scan implementation a tree build uses.
+enum class SplitScanEngine {
+  /// Fused incremental sweep (default).
+  kFused,
+  /// Naive two-Query-per-offset reference (tests/benchmarks only).
+  kNaiveReference,
+};
+
 /// Options for a full KD-tree build.
 struct KdTreeOptions {
   /// Tree height th: up to 2^th leaves.
@@ -76,6 +101,14 @@ struct KdTreeOptions {
   /// node miscalibration would be unsound here — opposite-sign pockets
   /// cancel (Theorem 1's phenomenon). Negative disables.
   double early_stop_weighted_miscalibration = -1.0;
+  /// Split-scan implementation; leave at kFused outside tests/benches.
+  SplitScanEngine scan_engine = SplitScanEngine::kFused;
+  /// Subtree-parallel construction: the top ceil(log2(num_threads)) levels
+  /// build their right child on a task thread. <= 1 is fully sequential.
+  /// The leaf order (and hence the partition) is identical at any thread
+  /// count: each node concatenates its left subtree's leaves before its
+  /// right subtree's, exactly like the sequential DFS.
+  int num_threads = 1;
 };
 
 /// A built KD partition: leaves in DFS order plus the induced Partition.
@@ -94,12 +127,16 @@ Result<KdTreeResult> BuildKdTreePartition(const Grid& grid,
                                           const KdTreeOptions& options);
 
 /// One BFS level expansion used by the Iterative Fair KD-tree (Algorithm 3):
-/// splits every region in `regions` along `axis` (with fallback), returning
-/// the refined region list. Regions that cannot split are carried over.
-std::vector<CellRect> SplitAllRegions(const GridAggregates& aggregates,
-                                      const std::vector<CellRect>& regions,
-                                      int axis,
-                                      const SplitObjectiveOptions& options);
+/// splits every region in `regions` along `axis`, returning the refined
+/// region list. Regions that cannot split are carried over. `axis_policy`
+/// selects the same per-node axis rule as BuildKdTreePartition (kAlternate
+/// = split `axis` with fallback; kBestObjective = evaluate both axes,
+/// `axis` breaks ties). With `num_threads` > 1 the regions are split in
+/// parallel chunks; the output order matches the sequential scan.
+std::vector<CellRect> SplitAllRegions(
+    const GridAggregates& aggregates, const std::vector<CellRect>& regions,
+    int axis, const SplitObjectiveOptions& options,
+    AxisPolicy axis_policy = AxisPolicy::kAlternate, int num_threads = 1);
 
 }  // namespace fairidx
 

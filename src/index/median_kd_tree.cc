@@ -4,10 +4,11 @@ namespace fairidx {
 
 Result<KdTreeResult> BuildMedianKdTree(const Grid& grid,
                                        const GridAggregates& aggregates,
-                                       int height) {
+                                       int height, int num_threads) {
   KdTreeOptions options;
   options.height = height;
   options.objective.kind = SplitObjectiveKind::kMedianCount;
+  options.num_threads = num_threads;
   return BuildKdTreePartition(grid, aggregates, options);
 }
 

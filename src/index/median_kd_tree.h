@@ -12,10 +12,11 @@
 namespace fairidx {
 
 /// Builds a height-`height` median KD partition of `grid` using the record
-/// counts in `aggregates` (labels/scores are ignored).
+/// counts in `aggregates` (labels/scores are ignored). `num_threads` > 1
+/// enables task-parallel subtree construction (identical partition).
 Result<KdTreeResult> BuildMedianKdTree(const Grid& grid,
                                        const GridAggregates& aggregates,
-                                       int height);
+                                       int height, int num_threads = 1);
 
 }  // namespace fairidx
 

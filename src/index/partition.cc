@@ -26,7 +26,13 @@ Result<Partition> Partition::FromCellMap(std::vector<int> cell_to_region) {
 Result<Partition> Partition::FromRects(const Grid& grid,
                                        const std::vector<CellRect>& rects) {
   if (rects.empty()) return InvalidArgumentError("Partition: no rects");
+  // Hot path: blind row-segment fills plus area accounting. A fill may
+  // silently overwrite an overlap, but then the areas cannot add up to a
+  // gap-free grid: total area = coverage + double-writes, so (area ==
+  // num_cells && no -1 left) implies a true partition. Anything else drops
+  // to the diagnostic re-scan below.
   std::vector<int> cell_to_region(static_cast<size_t>(grid.num_cells()), -1);
+  long long filled_area = 0;
   for (size_t i = 0; i < rects.size(); ++i) {
     const CellRect& rect = rects[i];
     if (rect.row_begin < 0 || rect.col_begin < 0 ||
@@ -34,6 +40,33 @@ Result<Partition> Partition::FromRects(const Grid& grid,
       return OutOfRangeError("Partition: rect outside grid: " +
                              rect.DebugString());
     }
+    // Empty/inverted rects must not reach std::fill (first > last is UB);
+    // they contribute no area, so the gap diagnostics below still fire.
+    if (rect.empty()) continue;
+    for (int r = rect.row_begin; r < rect.row_end; ++r) {
+      int* row_begin = cell_to_region.data() + grid.CellId(r, rect.col_begin);
+      std::fill(row_begin, row_begin + rect.num_cols(), static_cast<int>(i));
+    }
+    filled_area += rect.num_cells();
+  }
+  if (filled_area == grid.num_cells()) {
+    bool has_gap = false;
+    for (int region : cell_to_region) {
+      if (region == -1) {
+        has_gap = true;
+        break;
+      }
+    }
+    if (!has_gap) {
+      return Partition(std::move(cell_to_region),
+                       static_cast<int>(rects.size()));
+    }
+  }
+
+  // Cold path: re-mark cell by cell to name the first overlap or gap.
+  std::fill(cell_to_region.begin(), cell_to_region.end(), -1);
+  for (size_t i = 0; i < rects.size(); ++i) {
+    const CellRect& rect = rects[i];
     for (int r = rect.row_begin; r < rect.row_end; ++r) {
       for (int c = rect.col_begin; c < rect.col_end; ++c) {
         int& slot = cell_to_region[static_cast<size_t>(grid.CellId(r, c))];

@@ -23,6 +23,30 @@ const char* SplitObjectiveKindName(SplitObjectiveKind kind) {
   return "unknown";
 }
 
+unsigned RequiredAggregateFields(const SplitObjectiveOptions& options) {
+  unsigned fields = 0;
+  switch (options.kind) {
+    case SplitObjectiveKind::kPaperEq9:
+    case SplitObjectiveKind::kMinimaxChild:
+    case SplitObjectiveKind::kWeightedSum:
+      fields = kAggregateFieldLabels | kAggregateFieldScores;
+      break;
+    case SplitObjectiveKind::kResidualBalanceEq13:
+      fields = kAggregateFieldCount | kAggregateFieldResiduals;
+      break;
+    case SplitObjectiveKind::kResidualBalanceEq9:
+      fields = kAggregateFieldResiduals;
+      break;
+    case SplitObjectiveKind::kMedianCount:
+      fields = kAggregateFieldCount;
+      break;
+  }
+  if (options.compactness_weight > 0.0) {
+    fields |= kAggregateFieldCount;
+  }
+  return fields;
+}
+
 double EvaluateSplit(const SplitObjectiveOptions& options,
                      const CellRect& left_rect, const RegionAggregate& left,
                      const CellRect& right_rect,

@@ -52,9 +52,17 @@ struct SplitObjectiveOptions {
 
 /// Evaluates the objective for one candidate split of a node into
 /// (left_rect, right_rect) with aggregates (left, right). Lower is better.
+/// Only the fields named by RequiredAggregateFields(options) are read, so
+/// callers may pass aggregates with the other fields unfilled.
 double EvaluateSplit(const SplitObjectiveOptions& options,
                      const CellRect& left_rect, const RegionAggregate& left,
                      const CellRect& right_rect, const RegionAggregate& right);
+
+/// The AggregateField mask of statistics EvaluateSplit reads under
+/// `options`. The split scan passes this to GridAggregates::SplitSweep so
+/// objectives like kMedianCount never touch the label/score/residual
+/// prefixes at all.
+unsigned RequiredAggregateFields(const SplitObjectiveOptions& options);
 
 }  // namespace fairidx
 

@@ -64,6 +64,22 @@ TEST(PartitionTest, FromRectsDetectsOutOfBounds) {
       Partition::FromRects(grid, {CellRect{0, 5, 0, 4}}).ok());
 }
 
+TEST(PartitionTest, FromRectsRejectsInvertedRects) {
+  // Inverted ranges are empty rects: they cover nothing (so the grid has a
+  // gap) and must never touch memory.
+  const Grid grid = MakeGrid();
+  EXPECT_FALSE(
+      Partition::FromRects(grid, {CellRect{0, 4, 3, 1}}).ok());
+  EXPECT_FALSE(
+      Partition::FromRects(grid, {CellRect{3, 1, 0, 4}}).ok());
+  // Even alongside full coverage, an extra empty rect leaves the area
+  // accounting consistent and the partition valid.
+  const auto partition = Partition::FromRects(
+      grid, {CellRect{0, 4, 0, 4}, CellRect{2, 2, 0, 4}});
+  EXPECT_TRUE(partition.ok());
+  EXPECT_EQ(partition->num_regions(), 2);
+}
+
 TEST(PartitionTest, SinglePartition) {
   const Partition partition = Partition::Single(9);
   EXPECT_EQ(partition.num_regions(), 1);

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Refreshes BENCH_timing.json — the repo-root perf-trajectory baseline —
+# from the bench_timing binary, using the FAIRIDX_BENCH_OUT convention in
+# bench/bench_util.h. Extra arguments are forwarded to the binary, e.g.:
+#
+#   tools/bench_to_json.sh --benchmark_min_time=0.05s
+#   BUILD_DIR=out tools/bench_to_json.sh --benchmark_filter=SplitScan
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+OUT="${FAIRIDX_BENCH_OUT:-$REPO_ROOT/BENCH_timing.json}"
+BIN="$BUILD_DIR/bench/bench_timing"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "bench_timing not built at $BIN; run:" >&2
+  echo "  cmake -B \"$BUILD_DIR\" -S \"$REPO_ROOT\" && cmake --build \"$BUILD_DIR\" -j" >&2
+  exit 1
+fi
+
+FAIRIDX_BENCH_OUT="$OUT" "$BIN" "$@"
+echo "wrote $OUT" >&2

@@ -3,7 +3,7 @@
 //
 //   fairidx_cli generate  --city la|houston --out data.csv
 //   fairidx_cli run       --city la [--csv data.csv] --algorithm fair_kd_tree
-//                         --height 6 --classifier lr [--task 0]
+//                         --height 6 --classifier lr [--task 0] [--threads N]
 //   fairidx_cli sweep     --city la --classifier lr [--algorithm ...]
 //   fairidx_cli disparity --city la [--csv data.csv] [--top 10]
 //   fairidx_cli export    --city la --algorithm fair_kd_tree --height 6
@@ -152,6 +152,7 @@ int CmdRun(const Flags& flags) {
   options.algorithm = *algorithm;
   options.height = flags.GetInt("height", 6);
   options.task = flags.GetInt("task", 0);
+  options.num_threads = flags.GetInt("threads", 1);
   const auto prototype = MakeClassifier(*classifier_kind);
   auto run = RunPipeline(*dataset, *prototype, options);
   if (!run.ok()) return Fail(run.status());
@@ -200,6 +201,7 @@ int CmdSweep(const Flags& flags) {
       options.algorithm = algorithm;
       options.height = height;
       options.task = flags.GetInt("task", 0);
+      options.num_threads = flags.GetInt("threads", 1);
       auto run = RunPipeline(*dataset, *prototype, options);
       if (!run.ok()) return Fail(run.status());
       const EvaluationResult& eval = run->final_model.eval;
@@ -253,6 +255,7 @@ int CmdExport(const Flags& flags) {
   PipelineOptions options;
   options.algorithm = *algorithm;
   options.height = flags.GetInt("height", 6);
+  options.num_threads = flags.GetInt("threads", 1);
   const auto prototype =
       MakeClassifier(ClassifierKind::kLogisticRegression);
   auto run = RunPipeline(*dataset, *prototype, options);
@@ -289,6 +292,7 @@ int Usage() {
       "usage: fairidx_cli <generate|run|sweep|disparity|export> [flags]\n"
       "  common flags: --city la|houston | --csv file.csv\n"
       "  run/export:   --algorithm <name> --height N --classifier lr|tree|nb\n"
+      "                --threads N (parallel partition build)\n"
       "  see the file header for the full reference\n");
   return 2;
 }
