@@ -14,6 +14,8 @@
 #include "core/iterative_fair_kd_tree.h"
 #include "core/multi_objective.h"
 #include "data/split.h"
+#include "fairness/region_metrics.h"
+#include "geo/delta_grid_aggregates.h"
 #include "geo/grid_aggregates.h"
 #include "index/fair_kd_tree.h"
 
@@ -216,6 +218,187 @@ BENCHMARK(BM_SplitScanVsGridSizeNaive)
     ->Arg(128)
     ->Arg(256)
     ->Complexity(benchmark::oN);
+
+// --- Pooled subtree-parallel construction (shared ThreadPool). ---
+void BM_FairKdTreeBuildThreads(benchmark::State& state) {
+  const Dataset& city = BenchCity();
+  const GridAggregates& aggregates = BenchCityAggregates();
+  FairKdTreeOptions options;
+  options.height = 10;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        OrDie(BuildFairKdTree(city.grid(), aggregates, options),
+              "BuildFairKdTree"));
+  }
+}
+BENCHMARK(BM_FairKdTreeBuildThreads)->Arg(1)->Arg(2)->Arg(4);
+
+// --- Batched aggregate queries: region-fleet evaluation. ---
+// A fleet of random region rects on a production-scale grid (the prefix
+// array far exceeds L2, so scattered corner loads miss), the shape the
+// ENCE / disparity / residual evaluators issue per report.
+struct FleetFixture {
+  Grid grid;
+  GridAggregates aggregates;
+  std::vector<CellRect> fleet;
+};
+
+const FleetFixture& BenchFleet() {
+  static const FleetFixture* fixture = [] {
+    const int side = 512;
+    const Grid grid =
+        OrDie(Grid::Create(side, side, BoundingBox{0, 0, side, side}),
+              "Grid::Create");
+    Rng rng(345);
+    const int n = 20000;
+    std::vector<int> cells(n);
+    std::vector<int> labels(n);
+    std::vector<double> scores(n);
+    for (int i = 0; i < n; ++i) {
+      cells[i] = static_cast<int>(rng.NextBounded(grid.num_cells()));
+      labels[i] = rng.Bernoulli(0.5) ? 1 : 0;
+      scores[i] = rng.NextDouble();
+    }
+    GridAggregates aggregates =
+        OrDie(GridAggregates::Build(grid, cells, labels, scores),
+              "GridAggregates::Build");
+    std::vector<CellRect> fleet;
+    for (int i = 0; i < 4096; ++i) {
+      const int r0 = static_cast<int>(rng.NextBounded(side + 1));
+      const int r1 = static_cast<int>(rng.NextBounded(side + 1));
+      const int c0 = static_cast<int>(rng.NextBounded(side + 1));
+      const int c1 = static_cast<int>(rng.NextBounded(side + 1));
+      fleet.push_back(CellRect{std::min(r0, r1), std::max(r0, r1),
+                               std::min(c0, c1), std::max(c0, c1)});
+    }
+    return new FleetFixture{grid, std::move(aggregates), std::move(fleet)};
+  }();
+  return *fixture;
+}
+
+void BM_QueryManyRegionFleet(benchmark::State& state) {
+  const FleetFixture& f = BenchFleet();
+  std::vector<RegionAggregate> out(f.fleet.size());
+  for (auto _ : state) {
+    f.aggregates.QueryMany(f.fleet, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.fleet.size()));
+}
+BENCHMARK(BM_QueryManyRegionFleet);
+
+// The pre-batching reference: one Query call per region.
+void BM_QueryLoopRegionFleet(benchmark::State& state) {
+  const FleetFixture& f = BenchFleet();
+  std::vector<RegionAggregate> out(f.fleet.size());
+  for (auto _ : state) {
+    for (size_t i = 0; i < f.fleet.size(); ++i) {
+      out[i] = f.aggregates.Query(f.fleet[i]);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.fleet.size()));
+}
+BENCHMARK(BM_QueryLoopRegionFleet);
+
+// --- Streaming inserts: delta overlay vs full prefix rebuild. ---
+// Streams the second half of the records in batches of 100, evaluating a
+// 64-region partition's ENCE after each batch — the online monitoring
+// loop the `fairidx_cli stream` demo runs. The 256x256 grid makes one
+// O(UV) prefix integration (the naive path's per-batch cost) ~2.6M-entry
+// work while the overlay touches only the dirty cells.
+struct StreamFixture {
+  Grid grid;
+  std::vector<int> cells;
+  std::vector<int> labels;
+  std::vector<double> scores;
+  std::vector<CellRect> regions;
+};
+
+const StreamFixture& BenchStream() {
+  static const StreamFixture* fixture = [] {
+    const int side = 256;
+    const Grid grid =
+        OrDie(Grid::Create(side, side, BoundingBox{0, 0, side, side}),
+              "Grid::Create");
+    Rng rng(11);
+    const int n = 4000;
+    auto* f = new StreamFixture{grid, {}, {}, {}, {}};
+    for (int i = 0; i < n; ++i) {
+      f->cells.push_back(static_cast<int>(rng.NextBounded(grid.num_cells())));
+      f->labels.push_back(rng.Bernoulli(0.5) ? 1 : 0);
+      f->scores.push_back(rng.NextDouble());
+    }
+    const int step = side / 8;
+    for (int r = 0; r < 8; ++r) {
+      for (int c = 0; c < 8; ++c) {
+        f->regions.push_back(CellRect{r * step, (r + 1) * step, c * step,
+                                      (c + 1) * step});
+      }
+    }
+    return f;
+  }();
+  return *fixture;
+}
+
+void BM_StreamingInsertsDeltaOverlay(benchmark::State& state) {
+  const StreamFixture& f = BenchStream();
+  const size_t warmup = f.cells.size() / 2;
+  for (auto _ : state) {
+    state.PauseTiming();  // Seeding the overlay is not the streaming path.
+    DeltaGridAggregates delta =
+        OrDie(DeltaGridAggregates::Build(
+                  f.grid,
+                  std::vector<int>(f.cells.begin(), f.cells.begin() + warmup),
+                  std::vector<int>(f.labels.begin(),
+                                   f.labels.begin() + warmup),
+                  std::vector<double>(f.scores.begin(),
+                                      f.scores.begin() + warmup)),
+              "DeltaGridAggregates::Build");
+    state.ResumeTiming();
+    double checksum = 0.0;
+    for (size_t i = warmup; i < f.cells.size(); ++i) {
+      if (!delta.Insert(f.cells[i], f.labels[i], f.scores[i]).ok()) {
+        std::abort();
+      }
+      if ((i - warmup) % 100 == 99) {
+        checksum += RegionEnce(delta.QueryMany(f.regions)).ence;
+      }
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+}
+BENCHMARK(BM_StreamingInsertsDeltaOverlay);
+
+// The naive path: a full O(UV) GridAggregates rebuild at every monitoring
+// point.
+void BM_StreamingInsertsFullRebuild(benchmark::State& state) {
+  const StreamFixture& f = BenchStream();
+  const size_t warmup = f.cells.size() / 2;
+  for (auto _ : state) {
+    double checksum = 0.0;
+    for (size_t i = warmup; i < f.cells.size(); ++i) {
+      if ((i - warmup) % 100 == 99) {
+        const GridAggregates aggregates =
+            OrDie(GridAggregates::Build(
+                      f.grid,
+                      std::vector<int>(f.cells.begin(),
+                                       f.cells.begin() + i + 1),
+                      std::vector<int>(f.labels.begin(),
+                                       f.labels.begin() + i + 1),
+                      std::vector<double>(f.scores.begin(),
+                                          f.scores.begin() + i + 1)),
+                  "GridAggregates::Build");
+        checksum += RegionEnce(aggregates.QueryMany(f.regions)).ence;
+      }
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+}
+BENCHMARK(BM_StreamingInsertsFullRebuild);
 
 }  // namespace
 }  // namespace bench

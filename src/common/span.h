@@ -1,0 +1,50 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Span<T>: a minimal read-only view over a contiguous array, standing in
+// for std::span<const T> until the codebase moves to C++20. Batched APIs
+// (GridAggregates::QueryMany, the region evaluators) take Span so callers
+// can pass vectors, arrays or sub-ranges without copying.
+
+#ifndef FAIRIDX_COMMON_SPAN_H_
+#define FAIRIDX_COMMON_SPAN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fairidx {
+
+/// Non-owning view of `size` consecutive const elements. The viewed data
+/// must outlive the span (do not pass temporaries that die before use).
+template <typename T>
+class Span {
+ public:
+  constexpr Span() : data_(nullptr), size_(0) {}
+  constexpr Span(const T* data, size_t size) : data_(data), size_(size) {}
+  Span(const std::vector<T>& v)  // NOLINT(google-explicit-constructor)
+      : data_(v.data()), size_(v.size()) {}
+  template <size_t N>
+  constexpr Span(const T (&array)[N])  // NOLINT(google-explicit-constructor)
+      : data_(array), size_(N) {}
+
+  constexpr const T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr const T& operator[](size_t i) const { return data_[i]; }
+  constexpr const T* begin() const { return data_; }
+  constexpr const T* end() const { return data_ + size_; }
+
+  /// The sub-view [offset, offset + count); the caller guarantees the
+  /// range is within bounds.
+  constexpr Span subspan(size_t offset, size_t count) const {
+    return Span(data_ + offset, count);
+  }
+
+ private:
+  const T* data_;
+  size_t size_;
+};
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_COMMON_SPAN_H_

@@ -1,0 +1,110 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fairidx {
+
+ThreadPool::ThreadPool(int num_workers) {
+  workers_.reserve(static_cast<size_t>(std::max(0, num_workers)));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Drain: a queued task may belong to a group whose owner already gave
+    // up waiting (bug), but running it is still safer than dropping it.
+    while (!queue_.empty()) RunOneLocked(lock);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return new ThreadPool(hw > 1 ? static_cast<int>(hw) - 1 : 0);
+  }();
+  return *pool;
+}
+
+void ThreadPool::RunOneLocked(std::unique_lock<std::mutex>& lock) {
+  Task task = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  task.fn();
+  lock.lock();
+  if (--task.group->pending_ == 0) done_cv_.notify_all();
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop_ set and nothing left to run.
+    RunOneLocked(lock);
+  }
+}
+
+void ThreadPool::TaskGroup::Spawn(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(pool_->mutex_);
+    ++pending_;
+    pool_->queue_.push_back(Task{std::move(fn), this});
+  }
+  pool_->work_cv_.notify_one();
+}
+
+void ThreadPool::TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(pool_->mutex_);
+  while (pending_ > 0) {
+    // Help with THIS group's queued tasks only. Running arbitrary queued
+    // work would invert priorities (a tiny subtree wait inlining an
+    // unrelated multi-second fold task that sits ahead of it in the FIFO)
+    // and nest foreign stacks; restricting to own-group tasks is still
+    // deadlock-free, since every task this wait depends on is either
+    // queued here (we run it) or already running on some thread.
+    auto it = pool_->queue_.begin();
+    while (it != pool_->queue_.end() && it->group != this) ++it;
+    if (it != pool_->queue_.end()) {
+      Task task = std::move(*it);
+      pool_->queue_.erase(it);
+      lock.unlock();
+      task.fn();
+      lock.lock();
+      if (--pending_ == 0) pool_->done_cv_.notify_all();
+    } else {
+      // All of this group's remaining tasks are executing on other
+      // threads; sleep until one of them finishes.
+      pool_->done_cv_.wait(lock);
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, int max_parallelism,
+                             const std::function<void(size_t)>& fn) {
+  if (max_parallelism <= 1 || n < 2) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Fixed contiguous chunks, like the pre-pool std::async drivers: the
+  // work assignment (and thus any accumulation order the caller keeps per
+  // index) is independent of scheduling.
+  const size_t chunks = std::min(n, static_cast<size_t>(max_parallelism));
+  TaskGroup group(this);
+  for (size_t c = 1; c < chunks; ++c) {
+    const size_t begin = n * c / chunks;
+    const size_t end = n * (c + 1) / chunks;
+    group.Spawn([&fn, begin, end] {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  for (size_t i = 0; i < n / chunks; ++i) fn(i);
+  group.Wait();
+}
+
+}  // namespace fairidx

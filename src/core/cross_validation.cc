@@ -1,6 +1,9 @@
 #include "core/cross_validation.h"
 
 #include <cmath>
+#include <optional>
+
+#include "common/thread_pool.h"
 
 namespace fairidx {
 namespace {
@@ -29,6 +32,30 @@ Result<CrossValidationResult> CrossValidatePipeline(
   CrossValidationResult result;
   result.folds = folds;
 
+  // Folds are independent pipeline runs; with num_threads > 1 they execute
+  // concurrently on the shared pool (the per-fold tree builds submit into
+  // the same pool, so total parallelism stays bounded by its workers).
+  // Only the per-fold evaluation survives each run — the bulky
+  // PipelineRunResult (per-record vectors) dies inside the fold task, so
+  // peak memory stays one run per concurrent fold. Slots are aggregated in
+  // fold order, so the output is identical at any thread count.
+  std::vector<std::optional<Result<EvaluationResult>>> evals(
+      static_cast<size_t>(folds));
+  ThreadPool::Shared().ParallelFor(
+      static_cast<size_t>(folds), options.num_threads, [&](size_t fold) {
+        PipelineOptions fold_options = options;
+        // Distinct, deterministic seeds per fold.
+        fold_options.split_seed =
+            options.split_seed * 1000003ULL + static_cast<uint64_t>(fold);
+        Result<PipelineRunResult> run =
+            RunPipeline(dataset, prototype, fold_options);
+        if (run.ok()) {
+          evals[fold].emplace(std::move(run->final_model.eval));
+        } else {
+          evals[fold].emplace(run.status());
+        }
+      });
+
   std::vector<double> train_ence;
   std::vector<double> test_ence;
   std::vector<double> train_accuracy;
@@ -36,14 +63,9 @@ Result<CrossValidationResult> CrossValidatePipeline(
   std::vector<double> test_miscalibration;
 
   for (int fold = 0; fold < folds; ++fold) {
-    PipelineOptions fold_options = options;
-    // Distinct, deterministic seeds per fold.
-    fold_options.split_seed =
-        options.split_seed * 1000003ULL + static_cast<uint64_t>(fold);
-    FAIRIDX_ASSIGN_OR_RETURN(
-        PipelineRunResult run,
-        RunPipeline(dataset, prototype, fold_options));
-    const EvaluationResult& eval = run.final_model.eval;
+    Result<EvaluationResult>& fold_eval = *evals[static_cast<size_t>(fold)];
+    if (!fold_eval.ok()) return fold_eval.status();
+    const EvaluationResult& eval = *fold_eval;
     train_ence.push_back(eval.train_ence);
     test_ence.push_back(eval.test_ence);
     train_accuracy.push_back(eval.train_accuracy);

@@ -35,7 +35,10 @@ struct CrossValidationResult {
 };
 
 /// Runs the pipeline `folds` times with distinct split seeds (derived from
-/// options.split_seed) and aggregates. `folds` must be >= 2.
+/// options.split_seed) and aggregates. `folds` must be >= 2. With
+/// options.num_threads > 1 the folds run concurrently on the shared
+/// thread pool (common/thread_pool.h); the result is identical at any
+/// thread count.
 Result<CrossValidationResult> CrossValidatePipeline(
     const Dataset& dataset, const Classifier& prototype,
     const PipelineOptions& options, int folds);

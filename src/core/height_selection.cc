@@ -1,5 +1,9 @@
 #include "core/height_selection.h"
 
+#include <optional>
+
+#include "common/thread_pool.h"
+
 namespace fairidx {
 
 Result<HeightSelectionResult> SelectHeight(
@@ -12,19 +16,39 @@ Result<HeightSelectionResult> SelectHeight(
     return InvalidArgumentError("SelectHeight: ence_budget must be >= 0");
   }
 
+  // Every sweep point is an independent pipeline run; with
+  // pipeline.num_threads > 1 they run concurrently on the shared pool.
+  // Only the sweep point survives each run (the bulky PipelineRunResult
+  // dies inside the task), and selection below walks the slots in
+  // ascending height order, so the outcome is identical at any thread
+  // count.
+  const size_t num_points = static_cast<size_t>(options.max_height) + 1;
+  std::vector<std::optional<Result<HeightSweepPoint>>> points(num_points);
+  ThreadPool::Shared().ParallelFor(
+      num_points, options.pipeline.num_threads, [&](size_t height) {
+        PipelineOptions pipeline_options = options.pipeline;
+        pipeline_options.height = static_cast<int>(height);
+        Result<PipelineRunResult> run =
+            RunPipeline(dataset, prototype, pipeline_options);
+        if (!run.ok()) {
+          points[height].emplace(run.status());
+          return;
+        }
+        HeightSweepPoint point;
+        point.height = static_cast<int>(height);
+        point.num_regions = run->final_model.eval.num_neighborhoods;
+        point.train_ence = run->final_model.eval.train_ence;
+        point.test_ence = run->final_model.eval.test_ence;
+        point.test_accuracy = run->final_model.eval.test_accuracy;
+        points[height].emplace(point);
+      });
+
   HeightSelectionResult result;
   for (int height = 0; height <= options.max_height; ++height) {
-    PipelineOptions pipeline_options = options.pipeline;
-    pipeline_options.height = height;
-    FAIRIDX_ASSIGN_OR_RETURN(PipelineRunResult run,
-                             RunPipeline(dataset, prototype,
-                                         pipeline_options));
-    HeightSweepPoint point;
-    point.height = height;
-    point.num_regions = run.final_model.eval.num_neighborhoods;
-    point.train_ence = run.final_model.eval.train_ence;
-    point.test_ence = run.final_model.eval.test_ence;
-    point.test_accuracy = run.final_model.eval.test_accuracy;
+    Result<HeightSweepPoint>& point_result =
+        *points[static_cast<size_t>(height)];
+    if (!point_result.ok()) return point_result.status();
+    const HeightSweepPoint& point = *point_result;
     result.sweep.push_back(point);
 
     if (point.train_ence <= options.ence_budget) {

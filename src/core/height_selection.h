@@ -48,7 +48,9 @@ struct HeightSelectionResult {
   std::vector<HeightSweepPoint> sweep;
 };
 
-/// Runs the sweep. The dataset is unchanged.
+/// Runs the sweep. The dataset is unchanged. With pipeline.num_threads > 1
+/// the sweep points run concurrently on the shared thread pool
+/// (common/thread_pool.h); the selection is identical at any thread count.
 Result<HeightSelectionResult> SelectHeight(
     const Dataset& dataset, const Classifier& prototype,
     const HeightSelectionOptions& options);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "fairness/region_metrics.h"
 #include "geo/grid_aggregates.h"
 
 namespace fairidx {
@@ -119,6 +120,8 @@ Result<MultiObjectiveResult> BuildMultiObjectiveFairKdTree(
       BuildKdTreePartition(dataset.grid(), aggregates, tree_options));
 
   MultiObjectiveResult out;
+  out.region_abs_residual_mass =
+      RegionAbsResidualMass(aggregates, tree.result.regions);
   out.partition = std::move(tree.result);
   out.residuals = std::move(residuals);
   return out;

@@ -39,6 +39,10 @@ struct MultiObjectiveResult {
   PartitionResult partition;
   /// Per-record aggregated residuals v_tot used for splitting.
   std::vector<double> residuals;
+  /// |sum of v_tot| inside each leaf region (Eq. 13's inner term), in leaf
+  /// order — the per-partition balance report, evaluated with one batched
+  /// aggregate query (fairness/region_metrics.h).
+  std::vector<double> region_abs_residual_mass;
 };
 
 /// Computes v_tot over training records: one classifier per task is fitted

@@ -1,0 +1,65 @@
+#include "fairness/region_metrics.h"
+
+#include <algorithm>
+
+namespace fairidx {
+
+RegionEnceResult RegionEnce(Span<RegionAggregate> regions) {
+  RegionEnceResult out;
+  for (const RegionAggregate& region : regions) {
+    out.total_count += region.count;
+    if (region.count > 0) ++out.populated_regions;
+  }
+  if (out.total_count <= 0) return out;
+  for (const RegionAggregate& region : regions) {
+    if (region.count <= 0) continue;
+    out.ence += (region.count / out.total_count) * region.Miscalibration();
+  }
+  return out;
+}
+
+RegionEnceResult RegionEnce(const GridAggregates& aggregates,
+                            Span<CellRect> regions) {
+  return RegionEnce(Span<RegionAggregate>(aggregates.QueryMany(regions)));
+}
+
+std::vector<RegionDisparityRow> RegionDisparityTopK(
+    const GridAggregates& aggregates, Span<CellRect> regions, int top_k) {
+  const std::vector<RegionAggregate> aggs = aggregates.QueryMany(regions);
+  std::vector<RegionDisparityRow> rows;
+  rows.reserve(aggs.size());
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    if (aggs[i].count <= 0) continue;
+    RegionDisparityRow row;
+    row.region = static_cast<int>(i);
+    row.population = aggs[i].count;
+    row.mean_score = aggs[i].MeanScore();
+    row.mean_label = aggs[i].MeanLabel();
+    row.abs_miscalibration = aggs[i].Miscalibration();
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const RegionDisparityRow& a, const RegionDisparityRow& b) {
+              if (a.population != b.population) {
+                return a.population > b.population;
+              }
+              return a.region < b.region;
+            });
+  if (top_k >= 0 && rows.size() > static_cast<size_t>(top_k)) {
+    rows.resize(static_cast<size_t>(top_k));
+  }
+  return rows;
+}
+
+std::vector<double> RegionAbsResidualMass(const GridAggregates& aggregates,
+                                          Span<CellRect> regions) {
+  const std::vector<RegionAggregate> aggs = aggregates.QueryMany(regions);
+  std::vector<double> mass;
+  mass.reserve(aggs.size());
+  for (const RegionAggregate& agg : aggs) {
+    mass.push_back(agg.AbsResidualSum());
+  }
+  return mass;
+}
+
+}  // namespace fairidx

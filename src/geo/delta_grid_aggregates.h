@@ -1,0 +1,121 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// DeltaGridAggregates: a streaming overlay over the immutable
+// GridAggregates prefix structure. GridAggregates answers rectangle
+// queries in O(1) but costs O(UV) to build, so naively supporting record
+// inserts (the online re-districting workload) would pay a full prefix
+// rebuild per record. The overlay instead accumulates inserts as per-cell
+// dirty sums: a query combines the O(1) base prefix answer with the
+// handful of dirty cells intersecting the rectangle, and once the dirty
+// set passes a threshold the overlay folds everything into a fresh prefix
+// (one O(UV) pass amortised over the whole batch).
+//
+// Exactness: rebuilds go through GridAggregates::FromCellSums on per-cell
+// sums accumulated in record-arrival order, so a rebuilt overlay is
+// bit-identical to GridAggregates::Build over the full record stream.
+// Between rebuilds a query adds per-cell delta corrections to the base
+// answer; that equals the from-scratch value exactly when the summed
+// quantities are exactly representable (counts, 0/1 labels, dyadic
+// scores) and to ~1e-12 relative accuracy otherwise.
+
+#ifndef FAIRIDX_GEO_DELTA_GRID_AGGREGATES_H_
+#define FAIRIDX_GEO_DELTA_GRID_AGGREGATES_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/span.h"
+#include "geo/grid.h"
+#include "geo/grid_aggregates.h"
+#include "geo/rect.h"
+
+namespace fairidx {
+
+/// Tuning for the streaming overlay.
+struct DeltaGridAggregatesOptions {
+  /// Fold the dirty set into the prefix structure once it covers more than
+  /// this many distinct cells. <= 0 picks max(32, num_cells / 64). Every
+  /// query walks the dirty set, so the threshold trades insert throughput
+  /// against query overhead.
+  int rebuild_threshold_cells = 0;
+};
+
+/// GridAggregates plus streaming inserts. Not thread-safe: the overlay
+/// mutates on insert; share it read-only only between rebuild points.
+class DeltaGridAggregates {
+ public:
+  /// Starts from an existing record set (equivalent to
+  /// GridAggregates::Build) — pass empty vectors for an empty overlay.
+  /// `residuals`, if non-empty, must match the other vectors; otherwise
+  /// residuals default to (score - label), as in GridAggregates::Build.
+  static Result<DeltaGridAggregates> Build(
+      const Grid& grid, const std::vector<int>& cell_ids,
+      const std::vector<int>& labels, const std::vector<double>& scores,
+      const std::vector<double>& residuals = {},
+      const DeltaGridAggregatesOptions& options = {});
+
+  /// Streams one record into `cell_id` with the default residual
+  /// (score - label). May trigger a threshold rebuild.
+  Status Insert(int cell_id, int label, double score);
+
+  /// Streams one record with an explicit residual.
+  Status Insert(int cell_id, int label, double score, double residual);
+
+  /// Aggregate over `rect`: base prefix answer plus dirty-cell deltas.
+  RegionAggregate Query(const CellRect& rect) const;
+
+  /// Batched Query over many rects: one base QueryMany plus one pass over
+  /// the dirty set (each dirty cell is tested against every rect).
+  void QueryMany(Span<CellRect> rects, RegionAggregate* out) const;
+  std::vector<RegionAggregate> QueryMany(Span<CellRect> rects) const;
+
+  /// Total over the whole grid.
+  RegionAggregate Total() const;
+
+  /// Folds all pending deltas into the prefix structure now. After this,
+  /// queries are bit-identical to a from-scratch GridAggregates::Build
+  /// over every record inserted so far.
+  Status Rebuild();
+
+  /// The underlying prefix snapshot (excludes pending deltas — call
+  /// Rebuild() first when an exact immutable view is needed, e.g. to run
+  /// a tree build on the streamed state).
+  const GridAggregates& base() const { return base_; }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  /// Cells with pending (un-folded) inserts.
+  int dirty_cells() const { return static_cast<int>(dirty_list_.size()); }
+  /// Threshold rebuilds performed so far (explicit Rebuild() calls count).
+  long long rebuild_count() const { return rebuild_count_; }
+  /// Records inserted over the overlay's lifetime (including the initial
+  /// Build records).
+  long long num_records() const { return num_records_; }
+
+ private:
+  DeltaGridAggregates(const Grid& grid, GridAggregates base,
+                      const DeltaGridAggregatesOptions& options);
+
+  int rows_;
+  int cols_;
+  int rebuild_threshold_;
+  GridAggregates base_;
+  /// Row-major per-cell raw sums over ALL records (base + pending),
+  /// accumulated in arrival order — the rebuild input.
+  std::vector<GridAggregates::PrefixEntry> cell_sums_;
+  /// Cells with pending inserts, in first-touch order.
+  std::vector<int> dirty_list_;
+  /// For each dirty cell: its cell_sums_ snapshot at the moment it became
+  /// dirty (= the value the base prefix already accounts for). Parallel to
+  /// dirty_list_.
+  std::vector<GridAggregates::PrefixEntry> dirty_base_;
+  /// Per-cell flag: nonzero while the cell has pending inserts.
+  std::vector<unsigned char> dirty_flag_;
+  long long rebuild_count_ = 0;
+  long long num_records_ = 0;
+};
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_GEO_DELTA_GRID_AGGREGATES_H_

@@ -1,5 +1,7 @@
 #include "geo/grid_aggregates.h"
 
+#include <algorithm>
+
 namespace fairidx {
 
 RegionAggregate& RegionAggregate::operator+=(const RegionAggregate& other) {
@@ -16,62 +18,106 @@ GridAggregates::GridAggregates(int rows, int cols)
       cols_(cols),
       prefix_(static_cast<size_t>(rows + 1) * (cols + 1)) {}
 
-Result<GridAggregates> GridAggregates::Build(
-    const Grid& grid, const std::vector<int>& cell_ids,
-    const std::vector<int>& labels, const std::vector<double>& scores,
-    const std::vector<double>& residuals) {
+Status GridAggregates::AccumulateInto(const Grid& grid,
+                                      const std::vector<int>& cell_ids,
+                                      const std::vector<int>& labels,
+                                      const std::vector<double>& scores,
+                                      const std::vector<double>& residuals,
+                                      PrefixEntry* slots, size_t stride,
+                                      int offset) {
   const size_t n = cell_ids.size();
   if (labels.size() != n || scores.size() != n) {
     return InvalidArgumentError(
-        "GridAggregates::Build: cell_ids, labels, scores sizes differ");
+        "GridAggregates: cell_ids, labels, scores sizes differ");
   }
   if (!residuals.empty() && residuals.size() != n) {
-    return InvalidArgumentError(
-        "GridAggregates::Build: residuals size mismatch");
+    return InvalidArgumentError("GridAggregates: residuals size mismatch");
   }
-
-  GridAggregates agg(grid.rows(), grid.cols());
-  const int cols = grid.cols();
-  const size_t stride = static_cast<size_t>(cols) + 1;
-
-  // First accumulate raw per-cell sums into the (row+1, col+1) slot of each
-  // prefix entry, then integrate in place.
   for (size_t i = 0; i < n; ++i) {
     const int cell = cell_ids[i];
-    if (cell < 0 || cell >= grid.num_cells()) {
-      return OutOfRangeError("GridAggregates::Build: cell id out of range");
-    }
-    if (labels[i] != 0 && labels[i] != 1) {
-      return InvalidArgumentError(
-          "GridAggregates::Build: labels must be 0 or 1");
-    }
+    FAIRIDX_RETURN_IF_ERROR(
+        ValidateRecord(grid.num_cells(), cell, labels[i]));
     PrefixEntry& slot =
-        agg.prefix_[static_cast<size_t>(grid.RowOfCell(cell) + 1) * stride +
-                    (grid.ColOfCell(cell) + 1)];
+        slots[static_cast<size_t>(grid.RowOfCell(cell) + offset) * stride +
+              (grid.ColOfCell(cell) + offset)];
     slot.count += 1.0;
     slot.labels += labels[i];
     slot.scores += scores[i];
     slot.residuals += residuals.empty() ? (scores[i] - labels[i])
                                         : residuals[i];
   }
+  return Status::Ok();
+}
 
+Result<std::vector<GridAggregates::PrefixEntry>>
+GridAggregates::AccumulateCellSums(const Grid& grid,
+                                   const std::vector<int>& cell_ids,
+                                   const std::vector<int>& labels,
+                                   const std::vector<double>& scores,
+                                   const std::vector<double>& residuals) {
+  std::vector<PrefixEntry> cell_sums(static_cast<size_t>(grid.num_cells()));
+  FAIRIDX_RETURN_IF_ERROR(
+      AccumulateInto(grid, cell_ids, labels, scores, residuals,
+                     cell_sums.data(), static_cast<size_t>(grid.cols()), 0));
+  return cell_sums;
+}
+
+Result<GridAggregates> GridAggregates::Build(
+    const Grid& grid, const std::vector<int>& cell_ids,
+    const std::vector<int>& labels, const std::vector<double>& scores,
+    const std::vector<double>& residuals) {
+  // Accumulate straight into the (row+1, col+1) prefix slots — no
+  // intermediate dense array — then integrate in place.
+  GridAggregates agg(grid.rows(), grid.cols());
+  FAIRIDX_RETURN_IF_ERROR(
+      AccumulateInto(grid, cell_ids, labels, scores, residuals,
+                     agg.prefix_.data(),
+                     static_cast<size_t>(grid.cols()) + 1, 1));
+  agg.IntegrateSlots();
+  return agg;
+}
+
+Result<GridAggregates> GridAggregates::FromCellSums(
+    int rows, int cols, const std::vector<PrefixEntry>& cell_sums) {
+  if (rows <= 0 || cols <= 0) {
+    return InvalidArgumentError(
+        "GridAggregates::FromCellSums: non-positive grid shape");
+  }
+  if (cell_sums.size() != static_cast<size_t>(rows) * cols) {
+    return InvalidArgumentError(
+        "GridAggregates::FromCellSums: cell_sums size mismatch");
+  }
+  GridAggregates agg(rows, cols);
+  const size_t stride = static_cast<size_t>(cols) + 1;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      agg.prefix_[static_cast<size_t>(r + 1) * stride + (c + 1)] =
+          cell_sums[static_cast<size_t>(r) * cols + c];
+    }
+  }
+  agg.IntegrateSlots();
+  return agg;
+}
+
+void GridAggregates::IntegrateSlots() {
+  const size_t stride = static_cast<size_t>(cols_) + 1;
   // Per-cell absolute miscalibration must be computed from the raw
   // per-cell sums BEFORE integration (afterwards the slots hold prefix
   // values, and absolute values do not distribute over sums).
-  for (int r = 1; r <= agg.rows_; ++r) {
-    for (int c = 1; c <= agg.cols_; ++c) {
-      PrefixEntry& slot = agg.prefix_[static_cast<size_t>(r) * stride + c];
+  for (int r = 1; r <= rows_; ++r) {
+    for (int c = 1; c <= cols_; ++c) {
+      PrefixEntry& slot = prefix_[static_cast<size_t>(r) * stride + c];
       slot.cell_abs = std::abs(slot.labels - slot.scores);
     }
   }
 
-  for (int r = 1; r <= agg.rows_; ++r) {
-    for (int c = 1; c <= agg.cols_; ++c) {
+  for (int r = 1; r <= rows_; ++r) {
+    for (int c = 1; c <= cols_; ++c) {
       const size_t at = static_cast<size_t>(r) * stride + c;
-      PrefixEntry& e = agg.prefix_[at];
-      const PrefixEntry& west = agg.prefix_[at - 1];
-      const PrefixEntry& north = agg.prefix_[at - stride];
-      const PrefixEntry& northwest = agg.prefix_[at - stride - 1];
+      PrefixEntry& e = prefix_[at];
+      const PrefixEntry& west = prefix_[at - 1];
+      const PrefixEntry& north = prefix_[at - stride];
+      const PrefixEntry& northwest = prefix_[at - stride - 1];
       e.count += west.count + north.count - northwest.count;
       e.labels += west.labels + north.labels - northwest.labels;
       e.scores += west.scores + north.scores - northwest.scores;
@@ -79,7 +125,6 @@ Result<GridAggregates> GridAggregates::Build(
       e.cell_abs += west.cell_abs + north.cell_abs - northwest.cell_abs;
     }
   }
-  return agg;
 }
 
 RegionAggregate GridAggregates::Query(const CellRect& rect) const {
@@ -96,6 +141,67 @@ RegionAggregate GridAggregates::Query(const CellRect& rect) const {
       p11.residuals - p01.residuals - p10.residuals + p00.residuals;
   out.sum_cell_abs_miscalibration =
       p11.cell_abs - p01.cell_abs - p10.cell_abs + p00.cell_abs;
+  return out;
+}
+
+void GridAggregates::QueryMany(Span<CellRect> rects,
+                               RegionAggregate* out) const {
+  // Two passes over blocks of rects: the first resolves all prefix-corner
+  // addresses back to back (the scattered loads whose cache misses
+  // dominate; issuing them together lets the core overlap them), the
+  // second combines each rect's corners with arithmetic identical to
+  // Query(), so every result matches the one-at-a-time path bit for bit.
+  constexpr size_t kBlock = 16;
+  const PrefixEntry* corners[4 * kBlock];
+  const size_t n = rects.size();
+  for (size_t base = 0; base < n; base += kBlock) {
+    const size_t block = std::min(kBlock, n - base);
+    for (size_t i = 0; i < block; ++i) {
+      const CellRect& rect = rects[base + i];
+      if (rect.empty()) {
+        // Point all four corners at the same entry: the corner expression
+        // then evaluates to exactly +0.0 per field, matching the
+        // default-constructed RegionAggregate Query() returns — and rects
+        // with out-of-grid "empty" coordinates never touch memory beyond
+        // prefix_[0].
+        corners[4 * i + 0] = corners[4 * i + 1] = corners[4 * i + 2] =
+            corners[4 * i + 3] = prefix_.data();
+        continue;
+      }
+      corners[4 * i + 0] = &EntryAt(rect.row_end, rect.col_end);
+      corners[4 * i + 1] = &EntryAt(rect.row_begin, rect.col_end);
+      corners[4 * i + 2] = &EntryAt(rect.row_end, rect.col_begin);
+      corners[4 * i + 3] = &EntryAt(rect.row_begin, rect.col_begin);
+#if defined(__GNUC__) || defined(__clang__)
+      // Start the block's scattered corner loads now so they overlap the
+      // address computation of the remaining rects and the combine pass.
+      __builtin_prefetch(corners[4 * i + 0]);
+      __builtin_prefetch(corners[4 * i + 1]);
+      __builtin_prefetch(corners[4 * i + 2]);
+      __builtin_prefetch(corners[4 * i + 3]);
+#endif
+    }
+    for (size_t i = 0; i < block; ++i) {
+      const PrefixEntry& p11 = *corners[4 * i + 0];
+      const PrefixEntry& p01 = *corners[4 * i + 1];
+      const PrefixEntry& p10 = *corners[4 * i + 2];
+      const PrefixEntry& p00 = *corners[4 * i + 3];
+      RegionAggregate& agg = out[base + i];
+      agg.count = p11.count - p01.count - p10.count + p00.count;
+      agg.sum_labels = p11.labels - p01.labels - p10.labels + p00.labels;
+      agg.sum_scores = p11.scores - p01.scores - p10.scores + p00.scores;
+      agg.sum_residuals =
+          p11.residuals - p01.residuals - p10.residuals + p00.residuals;
+      agg.sum_cell_abs_miscalibration =
+          p11.cell_abs - p01.cell_abs - p10.cell_abs + p00.cell_abs;
+    }
+  }
+}
+
+std::vector<RegionAggregate> GridAggregates::QueryMany(
+    Span<CellRect> rects) const {
+  std::vector<RegionAggregate> out(rects.size());
+  QueryMany(rects, out.data());
   return out;
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/span.h"
 #include "geo/grid.h"
 #include "geo/rect.h"
 
@@ -105,8 +106,50 @@ class GridAggregates {
                                       const std::vector<double>& residuals =
                                           {});
 
+  /// Builds aggregates directly from per-cell raw sums (`cell_sums` is
+  /// row-major, rows * cols entries; the cell_abs field of the input is
+  /// ignored and recomputed as |labels - scores| per cell). Produces the
+  /// exact structure Build() would for any record stream with the same
+  /// per-cell sums — DeltaGridAggregates uses this for its threshold
+  /// rebuilds.
+  static Result<GridAggregates> FromCellSums(
+      int rows, int cols, const std::vector<PrefixEntry>& cell_sums);
+
+  /// Validates `cell_ids`/`labels`/`scores`/`residuals` (the Build
+  /// contract) and accumulates them into dense row-major per-cell sums in
+  /// arrival order — the single definition of the accumulation step, so
+  /// Build() and the streaming overlay can never drift apart on
+  /// validation rules, residual defaulting or summation order.
+  static Result<std::vector<PrefixEntry>> AccumulateCellSums(
+      const Grid& grid, const std::vector<int>& cell_ids,
+      const std::vector<int>& labels, const std::vector<double>& scores,
+      const std::vector<double>& residuals = {});
+
+  /// The per-record acceptance rule Build and the streaming overlay's
+  /// Insert both enforce: in-grid cell id and a 0/1 label.
+  static Status ValidateRecord(int num_cells, int cell_id, int label) {
+    if (cell_id < 0 || cell_id >= num_cells) {
+      return OutOfRangeError("GridAggregates: cell id out of range");
+    }
+    if (label != 0 && label != 1) {
+      return InvalidArgumentError("GridAggregates: labels must be 0 or 1");
+    }
+    return Status::Ok();
+  }
+
   /// Aggregate over all cells in `rect` (half-open). O(1).
   RegionAggregate Query(const CellRect& rect) const;
+
+  /// Batched Query: fills `out[i]` with Query(rects[i]) for every i, bit
+  /// for bit. One call amortises the per-query call overhead and resolves
+  /// the prefix corners of a block of rects back to back, so out-of-order
+  /// cores overlap the scattered corner cache misses that dominate
+  /// region-fleet evaluation (ENCE / disparity / residual reports). `out`
+  /// must have room for rects.size() entries.
+  void QueryMany(Span<CellRect> rects, RegionAggregate* out) const;
+
+  /// Convenience overload returning a fresh vector.
+  std::vector<RegionAggregate> QueryMany(Span<CellRect> rects) const;
 
   /// Aggregate of one cell.
   RegionAggregate Cell(int row, int col) const;
@@ -159,6 +202,27 @@ class GridAggregates {
 
  private:
   GridAggregates(int rows, int cols);
+
+  /// The single definition of the validate-and-accumulate step: adds each
+  /// record to slots[(row + offset) * stride + col + offset] in arrival
+  /// order. Build writes straight into the padded prefix array (stride
+  /// cols+1, offset 1 — no intermediate dense copy); AccumulateCellSums
+  /// writes a dense row-major array (stride cols, offset 0). Identical
+  /// per-slot addition order either way, which is what keeps the
+  /// streaming overlay's rebuilds bit-identical to Build.
+  static Status AccumulateInto(const Grid& grid,
+                               const std::vector<int>& cell_ids,
+                               const std::vector<int>& labels,
+                               const std::vector<double>& scores,
+                               const std::vector<double>& residuals,
+                               PrefixEntry* slots, size_t stride,
+                               int offset);
+
+  /// Turns raw per-cell sums sitting in the (row+1, col+1) slots into the
+  /// final prefix structure: derives per-cell cell_abs, then integrates in
+  /// place. Shared by Build and FromCellSums so both produce bit-identical
+  /// prefixes from identical per-cell sums.
+  void IntegrateSlots();
 
   const PrefixEntry& EntryAt(int row, int col) const {
     return prefix_[static_cast<size_t>(row) * (cols_ + 1) + col];

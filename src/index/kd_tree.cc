@@ -1,8 +1,9 @@
 #include "index/kd_tree.h"
 
 #include <cmath>
-#include <future>
 #include <utility>
+
+#include "common/thread_pool.h"
 
 namespace fairidx {
 namespace {
@@ -285,9 +286,11 @@ struct SubtreeBuild {
 };
 
 // Task-parallel variant: the top `spawn_levels` levels hand their right
-// subtree to a task thread and build the left inline. Leaves concatenate
+// subtree to the shared pool and build the left inline. Leaves concatenate
 // left-before-right at every node, so the final order — and therefore the
-// partition — matches the sequential DFS exactly.
+// partition — matches the sequential DFS exactly. TaskGroup::Wait helps
+// execute queued subtree tasks, so nested waits cannot starve even when
+// every pool worker is busy.
 SubtreeBuild BuildParallel(const GridAggregates& aggregates,
                            const CellRect& rect, int remaining_height,
                            int spawn_levels, const KdTreeOptions& options) {
@@ -303,16 +306,17 @@ SubtreeBuild BuildParallel(const GridAggregates& aggregates,
     out.leaves.push_back(rect);
     return out;
   }
-  std::future<SubtreeBuild> right_future =
-      std::async(std::launch::async, [&aggregates, &options, &split,
-                                      remaining_height, spawn_levels] {
-        return BuildParallel(aggregates, split.right, remaining_height - 1,
-                             spawn_levels - 1, options);
-      });
+  SubtreeBuild right;
+  ThreadPool::TaskGroup group(&ThreadPool::Shared());
+  group.Spawn([&aggregates, &options, &split, &right, remaining_height,
+               spawn_levels] {
+    right = BuildParallel(aggregates, split.right, remaining_height - 1,
+                          spawn_levels - 1, options);
+  });
   SubtreeBuild left = BuildParallel(aggregates, split.left,
                                     remaining_height - 1, spawn_levels - 1,
                                     options);
-  SubtreeBuild right = right_future.get();
+  group.Wait();
   out.leaves = std::move(left.leaves);
   out.leaves.insert(out.leaves.end(), right.leaves.begin(),
                     right.leaves.end());
@@ -361,51 +365,27 @@ std::vector<CellRect> SplitAllRegions(const GridAggregates& aggregates,
                                       const SplitObjectiveOptions& options,
                                       AxisPolicy axis_policy,
                                       int num_threads) {
-  auto split_range = [&](size_t begin, size_t end) {
-    std::vector<CellRect> refined;
-    refined.reserve((end - begin) * 2);
-    for (size_t i = begin; i < end; ++i) {
-      const KdSplit split =
-          axis_policy == AxisPolicy::kBestObjective
-              ? FindBestSplitAnyAxis(aggregates, regions[i], axis, options)
-              : FindBestSplitWithFallback(aggregates, regions[i], axis,
-                                          options);
-      if (split.valid) {
-        refined.push_back(split.left);
-        refined.push_back(split.right);
-      } else {
-        refined.push_back(regions[i]);
-      }
-    }
-    return refined;
-  };
-
+  // Per-region split slots filled via the shared pool (ParallelFor's
+  // fixed contiguous chunking), then one ordered concatenation pass: the
+  // output is independent of scheduling and thread count.
   const size_t n = regions.size();
-  if (num_threads <= 1 || n < 2) return split_range(0, n);
-
-  // Fixed contiguous chunks, results concatenated in order: the output is
-  // independent of scheduling.
-  const size_t chunks =
-      n < static_cast<size_t>(num_threads) ? n
-                                           : static_cast<size_t>(num_threads);
-  std::vector<std::future<std::vector<CellRect>>> futures;
-  futures.reserve(chunks - 1);
-  std::vector<std::pair<size_t, size_t>> ranges;
-  for (size_t c = 0; c < chunks; ++c) {
-    const size_t begin = n * c / chunks;
-    const size_t end = n * (c + 1) / chunks;
-    ranges.emplace_back(begin, end);
-  }
-  for (size_t c = 1; c < chunks; ++c) {
-    futures.push_back(std::async(std::launch::async, split_range,
-                                 ranges[c].first, ranges[c].second));
-  }
-  std::vector<CellRect> refined = split_range(ranges[0].first,
-                                              ranges[0].second);
+  std::vector<KdSplit> splits(n);
+  ThreadPool::Shared().ParallelFor(n, num_threads, [&](size_t i) {
+    splits[i] =
+        axis_policy == AxisPolicy::kBestObjective
+            ? FindBestSplitAnyAxis(aggregates, regions[i], axis, options)
+            : FindBestSplitWithFallback(aggregates, regions[i], axis,
+                                        options);
+  });
+  std::vector<CellRect> refined;
   refined.reserve(n * 2);
-  for (auto& future : futures) {
-    std::vector<CellRect> chunk = future.get();
-    refined.insert(refined.end(), chunk.begin(), chunk.end());
+  for (size_t i = 0; i < n; ++i) {
+    if (splits[i].valid) {
+      refined.push_back(splits[i].left);
+      refined.push_back(splits[i].right);
+    } else {
+      refined.push_back(regions[i]);
+    }
   }
   return refined;
 }

@@ -103,8 +103,9 @@ struct KdTreeOptions {
   double early_stop_weighted_miscalibration = -1.0;
   /// Split-scan implementation; leave at kFused outside tests/benches.
   SplitScanEngine scan_engine = SplitScanEngine::kFused;
-  /// Subtree-parallel construction: the top ceil(log2(num_threads)) levels
-  /// build their right child on a task thread. <= 1 is fully sequential.
+  /// Subtree-parallel construction: the top floor(log2(num_threads)) levels
+  /// build their right child on the shared thread pool
+  /// (common/thread_pool.h). <= 1 is fully sequential.
   /// The leaf order (and hence the partition) is identical at any thread
   /// count: each node concatenates its left subtree's leaves before its
   /// right subtree's, exactly like the sequential DFS.

@@ -7,6 +7,7 @@ namespace {
 
 struct QueueEntry {
   double priority = 0.0;
+  double count = 0.0;  // Region population, captured at push time.
   long long sequence = 0;  // Tie-break: earlier-created regions first.
   CellRect rect;
 };
@@ -54,23 +55,29 @@ Result<PartitionResult> BuildFairQuadtree(const Grid& grid,
 
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, EntryOrder> queue;
   long long sequence = 0;
-  auto push = [&](const CellRect& rect) {
-    QueueEntry entry;
-    entry.rect = rect;
-    entry.priority = aggregates.Query(rect).WeightedMiscalibration();
-    entry.sequence = sequence++;
-    queue.push(entry);
+  // All pieces of one refinement enter together: a single batched query
+  // resolves their prefix corners instead of one Query call per piece.
+  auto push_all = [&](Span<CellRect> rects) {
+    const std::vector<RegionAggregate> aggs = aggregates.QueryMany(rects);
+    for (size_t i = 0; i < rects.size(); ++i) {
+      QueueEntry entry;
+      entry.rect = rects[i];
+      entry.priority = aggs[i].WeightedMiscalibration();
+      entry.count = aggs[i].count;
+      entry.sequence = sequence++;
+      queue.push(entry);
+    }
   };
-  push(grid.FullRect());
+  const CellRect root = grid.FullRect();
+  push_all(Span<CellRect>(&root, 1));
 
   std::vector<CellRect> finished;
   int active = 1;
   while (active < options.target_regions && !queue.empty()) {
     const QueueEntry top = queue.top();
     queue.pop();
-    const RegionAggregate agg = aggregates.Query(top.rect);
     const bool refinable = top.rect.num_cells() > 1 &&
-                           agg.count >= options.min_region_count;
+                           top.count >= options.min_region_count;
     if (!refinable) {
       finished.push_back(top.rect);
       continue;
@@ -81,7 +88,7 @@ Result<PartitionResult> BuildFairQuadtree(const Grid& grid,
       continue;
     }
     active += static_cast<int>(pieces.size()) - 1;
-    for (const CellRect& piece : pieces) push(piece);
+    push_all(pieces);
   }
   while (!queue.empty()) {
     finished.push_back(queue.top().rect);

@@ -53,21 +53,34 @@ Result<PartitionResult> BuildStrPartition(const Grid& grid,
   const int rows_per_slab =
       std::max(1, (target_regions + num_slabs - 1) / num_slabs);
 
-  // Vertical slabs balanced by per-column record counts.
+  // Vertical slabs balanced by per-column record counts, resolved with one
+  // batched query over all column strips.
   const CellRect full = grid.FullRect();
-  auto column_count = [&](int col) {
-    return aggregates.Query(CellRect{0, grid.rows(), col, col + 1}).count;
-  };
+  std::vector<CellRect> column_strips;
+  column_strips.reserve(static_cast<size_t>(grid.cols()));
+  for (int col = 0; col < grid.cols(); ++col) {
+    column_strips.push_back(CellRect{0, grid.rows(), col, col + 1});
+  }
+  const std::vector<RegionAggregate> column_aggs =
+      aggregates.QueryMany(column_strips);
+  auto column_count = [&](int col) { return column_aggs[col].count; };
   const std::vector<int> col_cuts =
       BalancedCuts(full.col_begin, full.col_end, num_slabs, column_count);
 
+  std::vector<CellRect> row_strips;
+  row_strips.reserve(static_cast<size_t>(grid.rows()));
   std::vector<CellRect> tiles;
   for (size_t s = 0; s + 1 < col_cuts.size(); ++s) {
     const int c0 = col_cuts[s];
     const int c1 = col_cuts[s + 1];
-    auto row_count = [&](int row) {
-      return aggregates.Query(CellRect{row, row + 1, c0, c1}).count;
-    };
+    // One batched query per slab over its row strips.
+    row_strips.clear();
+    for (int row = 0; row < grid.rows(); ++row) {
+      row_strips.push_back(CellRect{row, row + 1, c0, c1});
+    }
+    const std::vector<RegionAggregate> row_aggs =
+        aggregates.QueryMany(row_strips);
+    auto row_count = [&](int row) { return row_aggs[row].count; };
     const std::vector<int> row_cuts =
         BalancedCuts(full.row_begin, full.row_end, rows_per_slab, row_count);
     for (size_t t = 0; t + 1 < row_cuts.size(); ++t) {

@@ -1,0 +1,235 @@
+// Equivalence tests for the streaming DeltaGridAggregates overlay:
+// randomized insert batches must match a from-scratch GridAggregates
+// rebuild — bit for bit on exactly-representable inputs (dyadic scores)
+// and after every explicit Rebuild(), to ~1e-9 otherwise — and the
+// batched delta QueryMany must match looped delta Query bit for bit.
+
+#include "geo/delta_grid_aggregates.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fairidx {
+namespace {
+
+Grid MakeGrid(int rows, int cols) {
+  return Grid::Create(rows, cols,
+                      BoundingBox{0, 0, static_cast<double>(cols),
+                                  static_cast<double>(rows)})
+      .value();
+}
+
+CellRect RandomRect(Rng& rng, const Grid& grid) {
+  const int r0 = static_cast<int>(rng.NextBounded(grid.rows() + 1));
+  const int r1 = static_cast<int>(rng.NextBounded(grid.rows() + 1));
+  const int c0 = static_cast<int>(rng.NextBounded(grid.cols() + 1));
+  const int c1 = static_cast<int>(rng.NextBounded(grid.cols() + 1));
+  return CellRect{std::min(r0, r1), std::max(r0, r1), std::min(c0, c1),
+                  std::max(c0, c1)};
+}
+
+struct Stream {
+  std::vector<int> cells;
+  std::vector<int> labels;
+  std::vector<double> scores;
+};
+
+// `dyadic` scores are multiples of 2^-10: every partial sum is exactly
+// representable, so the overlay's base-plus-delta arithmetic must agree
+// with a from-scratch prefix build bit for bit.
+Stream MakeStream(Rng& rng, const Grid& grid, int n, bool dyadic) {
+  Stream s;
+  for (int i = 0; i < n; ++i) {
+    s.cells.push_back(static_cast<int>(rng.NextBounded(grid.num_cells())));
+    s.labels.push_back(rng.Bernoulli(0.5) ? 1 : 0);
+    s.scores.push_back(dyadic
+                           ? static_cast<double>(rng.NextBounded(1024)) /
+                                 1024.0
+                           : rng.NextDouble());
+  }
+  return s;
+}
+
+void ExpectAggEq(const RegionAggregate& a, const RegionAggregate& b,
+                 double tolerance) {
+  if (tolerance == 0.0) {
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_EQ(a.sum_labels, b.sum_labels);
+    EXPECT_EQ(a.sum_scores, b.sum_scores);
+    EXPECT_EQ(a.sum_residuals, b.sum_residuals);
+    EXPECT_EQ(a.sum_cell_abs_miscalibration,
+              b.sum_cell_abs_miscalibration);
+  } else {
+    EXPECT_NEAR(a.count, b.count, tolerance);
+    EXPECT_NEAR(a.sum_labels, b.sum_labels, tolerance);
+    EXPECT_NEAR(a.sum_scores, b.sum_scores, tolerance);
+    EXPECT_NEAR(a.sum_residuals, b.sum_residuals, tolerance);
+    EXPECT_NEAR(a.sum_cell_abs_miscalibration,
+                b.sum_cell_abs_miscalibration, tolerance);
+  }
+}
+
+// The shared randomized-batch scenario: seed an overlay with a warmup
+// prefix, stream the rest in batches, and after every batch compare
+// against GridAggregates::Build over all records seen so far.
+void RunRandomizedBatches(bool dyadic, double tolerance) {
+  Rng rng(dyadic ? 4242 : 2424);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Grid grid = MakeGrid(2 + static_cast<int>(rng.NextBounded(12)),
+                               2 + static_cast<int>(rng.NextBounded(12)));
+    const Stream s = MakeStream(
+        rng, grid, 40 + static_cast<int>(rng.NextBounded(200)), dyadic);
+    const size_t warmup = s.cells.size() / 3;
+    DeltaGridAggregatesOptions options;
+    // Small threshold so trials exercise threshold-triggered rebuilds.
+    options.rebuild_threshold_cells = 8;
+    DeltaGridAggregates delta =
+        DeltaGridAggregates::Build(
+            grid,
+            std::vector<int>(s.cells.begin(), s.cells.begin() + warmup),
+            std::vector<int>(s.labels.begin(), s.labels.begin() + warmup),
+            std::vector<double>(s.scores.begin(), s.scores.begin() + warmup),
+            {}, options)
+            .value();
+    size_t next = warmup;
+    while (next < s.cells.size()) {
+      const size_t end =
+          std::min(s.cells.size(), next + 10 + rng.NextBounded(30));
+      for (; next < end; ++next) {
+        ASSERT_TRUE(
+            delta.Insert(s.cells[next], s.labels[next], s.scores[next])
+                .ok());
+      }
+      const GridAggregates reference =
+          GridAggregates::Build(
+              grid,
+              std::vector<int>(s.cells.begin(), s.cells.begin() + next),
+              std::vector<int>(s.labels.begin(), s.labels.begin() + next),
+              std::vector<double>(s.scores.begin(),
+                                  s.scores.begin() + next))
+              .value();
+      for (int q = 0; q < 12; ++q) {
+        const CellRect rect = RandomRect(rng, grid);
+        ExpectAggEq(delta.Query(rect), reference.Query(rect), tolerance);
+      }
+      ExpectAggEq(delta.Total(), reference.Total(), tolerance);
+    }
+    EXPECT_EQ(delta.num_records(),
+              static_cast<long long>(s.cells.size()));
+  }
+}
+
+TEST(DeltaGridAggregatesTest, RandomizedBatchesBitIdenticalOnDyadicScores) {
+  RunRandomizedBatches(/*dyadic=*/true, /*tolerance=*/0.0);
+}
+
+TEST(DeltaGridAggregatesTest, RandomizedBatchesCloseOnArbitraryScores) {
+  RunRandomizedBatches(/*dyadic=*/false, /*tolerance=*/1e-9);
+}
+
+TEST(DeltaGridAggregatesTest, RebuildIsBitIdenticalToFromScratchBuild) {
+  Rng rng(99);
+  const Grid grid = MakeGrid(10, 7);
+  const Stream s = MakeStream(rng, grid, 300, /*dyadic=*/false);
+  const size_t warmup = 120;
+  DeltaGridAggregatesOptions options;
+  options.rebuild_threshold_cells = 1000000;  // No automatic rebuilds.
+  DeltaGridAggregates delta =
+      DeltaGridAggregates::Build(
+          grid, std::vector<int>(s.cells.begin(), s.cells.begin() + warmup),
+          std::vector<int>(s.labels.begin(), s.labels.begin() + warmup),
+          std::vector<double>(s.scores.begin(), s.scores.begin() + warmup),
+          {}, options)
+          .value();
+  for (size_t i = warmup; i < s.cells.size(); ++i) {
+    ASSERT_TRUE(delta.Insert(s.cells[i], s.labels[i], s.scores[i]).ok());
+  }
+  EXPECT_GT(delta.dirty_cells(), 0);
+  ASSERT_TRUE(delta.Rebuild().ok());
+  EXPECT_EQ(delta.dirty_cells(), 0);
+
+  // Arrival order matches, so even arbitrary scores must agree bit for
+  // bit after the fold.
+  const GridAggregates reference =
+      GridAggregates::Build(grid, s.cells, s.labels, s.scores).value();
+  for (int q = 0; q < 40; ++q) {
+    const CellRect rect = RandomRect(rng, grid);
+    ExpectAggEq(delta.Query(rect), reference.Query(rect), 0.0);
+  }
+}
+
+TEST(DeltaGridAggregatesTest, ThresholdTriggersRebuilds) {
+  const Grid grid = MakeGrid(8, 8);
+  DeltaGridAggregatesOptions options;
+  options.rebuild_threshold_cells = 4;
+  DeltaGridAggregates delta =
+      DeltaGridAggregates::Build(grid, {}, {}, {}, {}, options).value();
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(delta
+                    .Insert(static_cast<int>(rng.NextBounded(64)),
+                            rng.Bernoulli(0.5) ? 1 : 0, rng.NextDouble())
+                    .ok());
+    EXPECT_LE(delta.dirty_cells(), 4);
+  }
+  EXPECT_GT(delta.rebuild_count(), 0);
+  EXPECT_EQ(delta.num_records(), 200);
+}
+
+TEST(DeltaGridAggregatesTest, BatchedQueryMatchesLoopedQueryBitForBit) {
+  Rng rng(808);
+  const Grid grid = MakeGrid(12, 12);
+  const Stream s = MakeStream(rng, grid, 150, /*dyadic=*/false);
+  DeltaGridAggregatesOptions options;
+  options.rebuild_threshold_cells = 1000000;
+  DeltaGridAggregates delta =
+      DeltaGridAggregates::Build(
+          grid, std::vector<int>(s.cells.begin(), s.cells.begin() + 50),
+          std::vector<int>(s.labels.begin(), s.labels.begin() + 50),
+          std::vector<double>(s.scores.begin(), s.scores.begin() + 50), {},
+          options)
+          .value();
+  for (size_t i = 50; i < s.cells.size(); ++i) {
+    ASSERT_TRUE(delta.Insert(s.cells[i], s.labels[i], s.scores[i]).ok());
+  }
+  EXPECT_GT(delta.dirty_cells(), 0);
+  std::vector<CellRect> rects;
+  for (int i = 0; i < 40; ++i) rects.push_back(RandomRect(rng, grid));
+  const std::vector<RegionAggregate> batched = delta.QueryMany(rects);
+  ASSERT_EQ(batched.size(), rects.size());
+  for (size_t i = 0; i < rects.size(); ++i) {
+    ExpectAggEq(batched[i], delta.Query(rects[i]), 0.0);
+  }
+}
+
+TEST(DeltaGridAggregatesTest, RejectsBadInserts) {
+  const Grid grid = MakeGrid(3, 3);
+  DeltaGridAggregates delta =
+      DeltaGridAggregates::Build(grid, {}, {}, {}).value();
+  EXPECT_FALSE(delta.Insert(-1, 0, 0.5).ok());
+  EXPECT_FALSE(delta.Insert(9, 0, 0.5).ok());
+  EXPECT_FALSE(delta.Insert(0, 2, 0.5).ok());
+  EXPECT_TRUE(delta.Insert(0, 1, 0.5).ok());
+  EXPECT_EQ(delta.num_records(), 1);
+}
+
+TEST(DeltaGridAggregatesTest, ResidualsFlowThroughInsertAndQuery) {
+  const Grid grid = MakeGrid(2, 2);
+  DeltaGridAggregates delta =
+      DeltaGridAggregates::Build(grid, {0}, {1}, {0.25}, {0.5}).value();
+  // Explicit residual on the streamed record.
+  ASSERT_TRUE(delta.Insert(3, 0, 0.75, -0.25).ok());
+  const RegionAggregate total = delta.Total();
+  EXPECT_DOUBLE_EQ(total.count, 2.0);
+  EXPECT_DOUBLE_EQ(total.sum_residuals, 0.25);
+  // Default residual is score - label.
+  ASSERT_TRUE(delta.Insert(1, 1, 0.5).ok());
+  EXPECT_DOUBLE_EQ(delta.Total().sum_residuals, 0.25 + (0.5 - 1.0));
+}
+
+}  // namespace
+}  // namespace fairidx

@@ -1,0 +1,181 @@
+// Differential tests for the batched aggregate path: QueryMany must match
+// looped Query bit for bit on randomized grids and rect fleets, and the
+// region evaluators built on it (region ENCE / disparity / residual mass)
+// must agree with the per-record reference evaluators.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "fairness/ence.h"
+#include "fairness/region_metrics.h"
+#include "geo/grid_aggregates.h"
+
+namespace fairidx {
+namespace {
+
+Grid MakeGrid(int rows, int cols) {
+  return Grid::Create(rows, cols,
+                      BoundingBox{0, 0, static_cast<double>(cols),
+                                  static_cast<double>(rows)})
+      .value();
+}
+
+struct Records {
+  std::vector<int> cells;
+  std::vector<int> labels;
+  std::vector<double> scores;
+  std::vector<double> residuals;
+};
+
+Records MakeRecords(Rng& rng, const Grid& grid, int n) {
+  Records r;
+  for (int i = 0; i < n; ++i) {
+    r.cells.push_back(static_cast<int>(rng.NextBounded(grid.num_cells())));
+    r.labels.push_back(rng.Bernoulli(0.4) ? 1 : 0);
+    r.scores.push_back(rng.NextDouble());
+    r.residuals.push_back(rng.NextDouble() * 2.0 - 1.0);
+  }
+  return r;
+}
+
+CellRect RandomRect(Rng& rng, const Grid& grid) {
+  const int r0 = static_cast<int>(rng.NextBounded(grid.rows() + 1));
+  const int r1 = static_cast<int>(rng.NextBounded(grid.rows() + 1));
+  const int c0 = static_cast<int>(rng.NextBounded(grid.cols() + 1));
+  const int c1 = static_cast<int>(rng.NextBounded(grid.cols() + 1));
+  return CellRect{std::min(r0, r1), std::max(r0, r1), std::min(c0, c1),
+                  std::max(c0, c1)};
+}
+
+void ExpectBitIdentical(const RegionAggregate& a, const RegionAggregate& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.sum_labels, b.sum_labels);
+  EXPECT_EQ(a.sum_scores, b.sum_scores);
+  EXPECT_EQ(a.sum_residuals, b.sum_residuals);
+  EXPECT_EQ(a.sum_cell_abs_miscalibration, b.sum_cell_abs_miscalibration);
+}
+
+TEST(QueryManyTest, MatchesLoopedQueryBitForBit) {
+  Rng rng(20260730);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Grid grid = MakeGrid(1 + static_cast<int>(rng.NextBounded(20)),
+                               1 + static_cast<int>(rng.NextBounded(20)));
+    const Records r =
+        MakeRecords(rng, grid, 1 + static_cast<int>(rng.NextBounded(300)));
+    const GridAggregates aggregates =
+        GridAggregates::Build(grid, r.cells, r.labels, r.scores, r.residuals)
+            .value();
+    // Batch sizes straddling the internal block size, including empty
+    // rects (some random rects have zero rows or cols).
+    const int num_rects = static_cast<int>(rng.NextBounded(70));
+    std::vector<CellRect> rects;
+    for (int i = 0; i < num_rects; ++i) {
+      rects.push_back(RandomRect(rng, grid));
+    }
+    const std::vector<RegionAggregate> batched =
+        aggregates.QueryMany(rects);
+    ASSERT_EQ(batched.size(), rects.size());
+    for (size_t i = 0; i < rects.size(); ++i) {
+      ExpectBitIdentical(batched[i], aggregates.Query(rects[i]));
+    }
+  }
+}
+
+TEST(QueryManyTest, EmptyBatchAndEmptyRects) {
+  const Grid grid = MakeGrid(4, 4);
+  const GridAggregates aggregates =
+      GridAggregates::Build(grid, {0, 5, 15}, {1, 0, 1}, {0.9, 0.1, 0.5})
+          .value();
+  EXPECT_TRUE(aggregates.QueryMany(std::vector<CellRect>{}).empty());
+  const std::vector<CellRect> rects = {CellRect{2, 2, 0, 4},
+                                       CellRect{0, 4, 3, 3}};
+  for (const RegionAggregate& agg : aggregates.QueryMany(rects)) {
+    ExpectBitIdentical(agg, RegionAggregate{});
+  }
+}
+
+// A 2x2 block partition of the grid; every cell belongs to exactly one
+// region, so region ENCE over aggregates must agree with the per-record
+// grouping evaluator fed the induced neighborhood ids.
+TEST(RegionMetricsTest, RegionEnceMatchesRecordLevelEnce) {
+  Rng rng(777);
+  const Grid grid = MakeGrid(8, 6);
+  const Records r = MakeRecords(rng, grid, 400);
+  const GridAggregates aggregates =
+      GridAggregates::Build(grid, r.cells, r.labels, r.scores).value();
+  const std::vector<CellRect> regions = {
+      CellRect{0, 4, 0, 3}, CellRect{0, 4, 3, 6}, CellRect{4, 8, 0, 3},
+      CellRect{4, 8, 3, 6}};
+  std::vector<int> neighborhoods;
+  for (int cell : r.cells) {
+    const int row = grid.RowOfCell(cell);
+    const int col = grid.ColOfCell(cell);
+    int region = -1;
+    for (size_t i = 0; i < regions.size(); ++i) {
+      if (regions[i].Contains(row, col)) region = static_cast<int>(i);
+    }
+    ASSERT_GE(region, 0);
+    neighborhoods.push_back(region);
+  }
+  const double record_ence =
+      Ence(r.scores, r.labels, neighborhoods).value();
+  const RegionEnceResult region_ence = RegionEnce(aggregates, regions);
+  EXPECT_NEAR(region_ence.ence, record_ence, 1e-9);
+  EXPECT_DOUBLE_EQ(region_ence.total_count, 400.0);
+}
+
+TEST(RegionMetricsTest, EmptyRegionsContributeNothing) {
+  const Grid grid = MakeGrid(4, 4);
+  const GridAggregates aggregates =
+      GridAggregates::Build(grid, {0, 0}, {1, 0}, {0.75, 0.25}).value();
+  // Only the first region is populated.
+  const std::vector<CellRect> regions = {CellRect{0, 2, 0, 2},
+                                         CellRect{2, 4, 2, 4}};
+  const RegionEnceResult result = RegionEnce(aggregates, regions);
+  EXPECT_EQ(result.populated_regions, 1);
+  EXPECT_DOUBLE_EQ(result.total_count, 2.0);
+  EXPECT_NEAR(result.ence, 0.0, 1e-12);  // o = e = 0.5 in the one region.
+}
+
+TEST(RegionMetricsTest, DisparityRanksByPopulationThenIndex) {
+  const Grid grid = MakeGrid(2, 3);
+  // Cells 0,1,2 in row 0; region strips by column.
+  const GridAggregates aggregates =
+      GridAggregates::Build(grid, {0, 0, 0, 1, 2, 2, 2}, {1, 1, 0, 1, 0, 0, 1},
+                            {0.5, 0.5, 0.5, 0.9, 0.2, 0.3, 0.4})
+          .value();
+  const std::vector<CellRect> regions = {
+      CellRect{0, 2, 0, 1}, CellRect{0, 2, 1, 2}, CellRect{0, 2, 2, 3}};
+  const std::vector<RegionDisparityRow> rows =
+      RegionDisparityTopK(aggregates, regions, 2);
+  ASSERT_EQ(rows.size(), 2u);
+  // Regions 0 and 2 both hold 3 records; the tie breaks on index.
+  EXPECT_EQ(rows[0].region, 0);
+  EXPECT_EQ(rows[1].region, 2);
+  EXPECT_DOUBLE_EQ(rows[0].population, 3.0);
+  EXPECT_NEAR(rows[0].abs_miscalibration,
+              std::abs(2.0 / 3.0 - 1.5 / 3.0), 1e-12);
+}
+
+TEST(RegionMetricsTest, ResidualMassMatchesLoopedQueries) {
+  Rng rng(31337);
+  const Grid grid = MakeGrid(9, 9);
+  const Records r = MakeRecords(rng, grid, 250);
+  const GridAggregates aggregates =
+      GridAggregates::Build(grid, r.cells, r.labels, r.scores, r.residuals)
+          .value();
+  std::vector<CellRect> regions;
+  for (int i = 0; i < 25; ++i) regions.push_back(RandomRect(rng, grid));
+  const std::vector<double> mass = RegionAbsResidualMass(aggregates, regions);
+  ASSERT_EQ(mass.size(), regions.size());
+  for (size_t i = 0; i < regions.size(); ++i) {
+    EXPECT_EQ(mass[i], aggregates.Query(regions[i]).AbsResidualSum());
+  }
+}
+
+}  // namespace
+}  // namespace fairidx

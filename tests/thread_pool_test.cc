@@ -1,0 +1,135 @@
+// Stress and shutdown tests for the shared ThreadPool: structured
+// fork-join groups, help-while-waiting joins (no deadlock even with zero
+// workers or deeply nested groups), deterministic ParallelFor chunking,
+// and clean repeated construction/destruction.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace fairidx {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(kN, 8, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForRunsInlineWithoutParallelism) {
+  ThreadPool pool(2);
+  const std::thread::id main_id = std::this_thread::get_id();
+  std::atomic<int> off_thread{0};
+  pool.ParallelFor(100, 1, [&](size_t) {
+    if (std::this_thread::get_id() != main_id) off_thread.fetch_add(1);
+  });
+  EXPECT_EQ(off_thread.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEdgeSizes) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, 4, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+  pool.ParallelFor(1, 4, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1);
+  // More parallelism than items.
+  pool.ParallelFor(3, 64, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolExecutesTasksOnTheWaiter) {
+  ThreadPool pool(0);
+  const std::thread::id main_id = std::this_thread::get_id();
+  std::atomic<int> ran{0};
+  std::atomic<int> off_thread{0};
+  ThreadPool::TaskGroup group(&pool);
+  for (int i = 0; i < 32; ++i) {
+    group.Spawn([&] {
+      ran.fetch_add(1);
+      if (std::this_thread::get_id() != main_id) off_thread.fetch_add(1);
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(ran.load(), 32);
+  EXPECT_EQ(off_thread.load(), 0);
+}
+
+// Binary-tree recursion where every node waits on a nested group — the
+// shape BuildKdTreePartition submits. With one worker and depth 8 the
+// pool would deadlock instantly if Wait() merely blocked instead of
+// helping to drain the queue.
+int TreeSum(ThreadPool* pool, int depth) {
+  if (depth == 0) return 1;
+  int right = 0;
+  ThreadPool::TaskGroup group(pool);
+  group.Spawn([&] { right = TreeSum(pool, depth - 1); });
+  const int left = TreeSum(pool, depth - 1);
+  group.Wait();
+  return left + right;
+}
+
+TEST(ThreadPoolTest, NestedGroupsDoNotDeadlock) {
+  ThreadPool pool(1);
+  EXPECT_EQ(TreeSum(&pool, 8), 256);
+  ThreadPool pool4(4);
+  EXPECT_EQ(TreeSum(&pool4, 10), 1024);
+}
+
+TEST(ThreadPoolTest, StressManySmallTasksAcrossGroups) {
+  ThreadPool pool(4);
+  std::atomic<long long> sum{0};
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool::TaskGroup group(&pool);
+    for (int i = 0; i < 500; ++i) {
+      group.Spawn([&sum, i] { sum.fetch_add(i); });
+    }
+    group.Wait();
+  }
+  EXPECT_EQ(sum.load(), 20LL * (499 * 500 / 2));
+}
+
+TEST(ThreadPoolTest, RepeatedConstructionAndShutdown) {
+  for (int round = 0; round < 25; ++round) {
+    ThreadPool pool(round % 4);
+    std::atomic<int> ran{0};
+    ThreadPool::TaskGroup group(&pool);
+    for (int i = 0; i < 16; ++i) group.Spawn([&] { ran.fetch_add(1); });
+    group.Wait();
+    EXPECT_EQ(ran.load(), 16);
+    // Pool destructor joins workers here; a hang fails via ctest timeout.
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsUnwaitedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    ThreadPool::TaskGroup group(&pool);
+    for (int i = 0; i < 64; ++i) group.Spawn([&] { ran.fetch_add(1); });
+    // TaskGroup's destructor waits before the pool dies.
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsAStableSingleton) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_workers(), 0);
+  std::atomic<int> ran{0};
+  a.ParallelFor(64, 4, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 64);
+}
+
+}  // namespace
+}  // namespace fairidx

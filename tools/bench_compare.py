@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate: diff a fresh bench_timing JSON run against the
+checked-in baseline (BENCH_timing.json) and fail on real-time regressions.
+
+Usage:
+  tools/bench_compare.py BASELINE.json FRESH.json [--max-regression 0.30]
+      [--strict] [--min-real-time-ns 1e5]
+      [--require-faster FAST:SLOW[:slack]] ...
+
+Benchmarks are matched by exact name; benchmarks present on only one side
+are reported but never fail the gate (new benchmarks land with their first
+baseline refresh). A benchmark fails when
+
+    fresh.real_time > baseline.real_time * (1 + max_regression)
+
+and its baseline real_time is at least --min-real-time-ns (sub-0.1ms
+timings are noise-dominated on shared CI runners).
+
+CPU-count awareness: google-benchmark records context.num_cpus. When the
+baseline and the fresh run come from machines with different CPU counts,
+absolute timings are not comparable (the checked-in baseline is refreshed
+on the maintainer's machine, CI runs elsewhere), so regressions are
+reported as warnings and the gate exits 0 unless --strict is given. On a
+matching machine the gate is always hard.
+
+--require-faster pairs give the gate teeth on ANY machine: both sides of
+a pair come from the FRESH run, so the comparison is machine-consistent
+regardless of what produced the baseline. "FAST:SLOW" (optionally
+":slack", default 0) hard-fails when fresh[FAST] exceeds fresh[SLOW] *
+(1 + slack) — i.e. when an optimised path stops beating its retained
+naive reference. Pair failures always exit 1, cpu mismatch or not.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        sys.exit(f"bench_compare: cannot load {path}: {error}")
+
+
+def timings(doc, path):
+    """Name -> real_time (ns) for plain iteration entries (no aggregates)."""
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        name = bench.get("name")
+        real_time = bench.get("real_time")
+        if name is None or real_time is None:
+            sys.exit(f"bench_compare: malformed benchmark entry in {path}")
+        # Repetitions: keep the fastest (least noisy on shared runners).
+        out[name] = min(real_time, out.get(name, float("inf")))
+    if not out:
+        sys.exit(f"bench_compare: no benchmarks in {path}")
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="fail above this relative slowdown (0.30 = 30%%)")
+    parser.add_argument("--min-real-time-ns", type=float, default=1e5,
+                        help="ignore benchmarks faster than this baseline")
+    parser.add_argument("--strict", action="store_true",
+                        help="hard-fail even across differing CPU counts")
+    parser.add_argument("--require-faster", action="append", default=[],
+                        metavar="FAST:SLOW[:slack]",
+                        help="fail unless fresh[FAST] <= fresh[SLOW] * "
+                             "(1 + slack); machine-independent")
+    args = parser.parse_args()
+
+    baseline_doc = load(args.baseline)
+    fresh_doc = load(args.fresh)
+    baseline = timings(baseline_doc, args.baseline)
+    fresh = timings(fresh_doc, args.fresh)
+
+    baseline_cpus = baseline_doc.get("context", {}).get("num_cpus")
+    fresh_cpus = fresh_doc.get("context", {}).get("num_cpus")
+    comparable = baseline_cpus == fresh_cpus
+    if not comparable:
+        print(f"bench_compare: cpu-count mismatch (baseline {baseline_cpus}, "
+              f"fresh {fresh_cpus}); regressions are "
+              f"{'errors (--strict)' if args.strict else 'warnings only'}")
+
+    shared = sorted(set(baseline) & set(fresh))
+    only_baseline = sorted(set(baseline) - set(fresh))
+    only_fresh = sorted(set(fresh) - set(baseline))
+    for name in only_baseline:
+        print(f"  note: '{name}' missing from fresh run")
+    for name in only_fresh:
+        print(f"  note: '{name}' is new (no baseline)")
+    if not shared:
+        sys.exit("bench_compare: no benchmark names in common")
+
+    regressions = []
+    for name in shared:
+        base_ns = baseline[name]
+        fresh_ns = fresh[name]
+        ratio = fresh_ns / base_ns if base_ns > 0 else float("inf")
+        flag = ""
+        if base_ns >= args.min_real_time_ns and \
+                ratio > 1.0 + args.max_regression:
+            regressions.append((name, ratio))
+            flag = "  << REGRESSION"
+        print(f"  {name}: {base_ns:.0f} ns -> {fresh_ns:.0f} ns "
+              f"(x{ratio:.2f}){flag}")
+
+    pair_failures = 0
+    for spec in args.require_faster:
+        parts = spec.split(":")
+        if len(parts) not in (2, 3):
+            sys.exit(f"bench_compare: bad --require-faster spec '{spec}'")
+        fast_name, slow_name = parts[0], parts[1]
+        slack = float(parts[2]) if len(parts) == 3 else 0.0
+        if fast_name not in fresh or slow_name not in fresh:
+            sys.exit(f"bench_compare: --require-faster names missing from "
+                     f"fresh run: '{spec}'")
+        fast_ns, slow_ns = fresh[fast_name], fresh[slow_name]
+        ok = fast_ns <= slow_ns * (1.0 + slack)
+        print(f"  pair: {fast_name} ({fast_ns:.0f} ns) vs {slow_name} "
+              f"({slow_ns:.0f} ns, slack {slack:.0%}): "
+              f"{'ok' if ok else 'FAILED'}")
+        if not ok:
+            pair_failures += 1
+
+    print(f"bench_compare: {len(shared)} compared, "
+          f"{len(regressions)} above the {args.max_regression:.0%} budget, "
+          f"{pair_failures} pair failures")
+    if pair_failures or (regressions and (comparable or args.strict)):
+        sys.exit(1)
+    print("bench_compare: OK")
+
+
+if __name__ == "__main__":
+    main()
