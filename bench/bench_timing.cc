@@ -18,6 +18,7 @@
 #include "geo/delta_grid_aggregates.h"
 #include "geo/grid_aggregates.h"
 #include "index/fair_kd_tree.h"
+#include "index/kd_tree_maintainer.h"
 
 namespace fairidx {
 namespace bench {
@@ -399,6 +400,124 @@ void BM_StreamingInsertsFullRebuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StreamingInsertsFullRebuild);
+
+// --- Incremental maintenance: drift-bounded Refine vs full rebuild. ---
+// The stream workload's maintenance step: a batch of miscalibrated
+// records lands in one corner block of a 256x256 grid, so only the
+// subtrees over that corner drift past the bound. Refine re-splits those
+// subtrees against the fresh aggregates (in-place patches when the
+// subtree keeps its size); the baseline rebuilds the whole height-11
+// tree on the same aggregates. The count-balancing (median) objective
+// keeps both paths at the full 2048 leaves — equal-size final partitions
+// (reported as counters), so the pair compares maintenance cost, not
+// tree shape. (The Eq. 9 tree's leaf count is data-sensitive, which
+// would conflate the two; its refine path is exercised by
+// `fairidx_cli stream --refine-bound` and the maintainer tests.)
+struct RefineFixture {
+  Grid grid;
+  GridAggregates before;
+  GridAggregates after;
+  KdTreeMaintainer maintainer;
+  KdTreeOptions options;
+};
+
+const RefineFixture& BenchRefine() {
+  static const RefineFixture* fixture = [] {
+    const int side = 256;
+    const Grid grid =
+        OrDie(Grid::Create(side, side, BoundingBox{0, 0, side, side}),
+              "Grid::Create");
+    Rng rng(55);
+    const int n = 40000;
+    std::vector<int> cells(n);
+    std::vector<int> labels(n);
+    std::vector<double> scores(n);
+    for (int i = 0; i < n; ++i) {
+      cells[i] = static_cast<int>(rng.NextBounded(grid.num_cells()));
+      labels[i] = rng.Bernoulli(0.5) ? 1 : 0;
+      scores[i] = rng.NextDouble();
+    }
+    GridAggregates before =
+        OrDie(GridAggregates::Build(grid, cells, labels, scores),
+              "GridAggregates::Build");
+    // Localized drift: 400 label-biased records in the 16x16 corner block.
+    for (int i = 0; i < 400; ++i) {
+      cells.push_back(grid.CellId(static_cast<int>(rng.NextBounded(16)),
+                                  static_cast<int>(rng.NextBounded(16))));
+      labels.push_back(rng.Bernoulli(0.9) ? 1 : 0);
+      scores.push_back(rng.NextDouble());
+    }
+    GridAggregates after =
+        OrDie(GridAggregates::Build(grid, cells, labels, scores),
+              "GridAggregates::Build");
+    KdTreeOptions options;
+    options.height = 11;
+    options.objective.kind = SplitObjectiveKind::kMedianCount;
+    KdTreeMaintainer maintainer =
+        OrDie(KdTreeMaintainer::Build(grid, before, options),
+              "KdTreeMaintainer::Build");
+    return new RefineFixture{grid, std::move(before), std::move(after),
+                             std::move(maintainer), options};
+  }();
+  return *fixture;
+}
+
+void BM_KdTreeRefineAfterLocalDrift(benchmark::State& state) {
+  const RefineFixture& f = BenchRefine();
+  KdRefineOptions refine_options;
+  refine_options.drift_bound = 0.05;
+  size_t leaves = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    KdTreeMaintainer maintainer = f.maintainer;  // Fresh pre-drift tree.
+    state.ResumeTiming();
+    const KdRefineStats stats =
+        OrDie(maintainer.Refine(f.after, refine_options),
+              "KdTreeMaintainer::Refine");
+    benchmark::DoNotOptimize(stats);
+    leaves = maintainer.tree().result.regions.size();
+  }
+  state.counters["leaves"] = static_cast<double>(leaves);
+}
+BENCHMARK(BM_KdTreeRefineAfterLocalDrift);
+
+// The pre-maintainer path: a full from-scratch build on the drifted
+// aggregates at the same height (equal-size final partition).
+void BM_KdTreeFullRebuildAfterLocalDrift(benchmark::State& state) {
+  const RefineFixture& f = BenchRefine();
+  size_t leaves = 0;
+  for (auto _ : state) {
+    const KdTreeResult tree =
+        OrDie(BuildKdTreePartition(f.grid, f.after, f.options),
+              "BuildKdTreePartition");
+    benchmark::DoNotOptimize(tree.result.partition.cell_to_region().data());
+    leaves = tree.result.regions.size();
+  }
+  state.counters["leaves"] = static_cast<double>(leaves);
+}
+BENCHMARK(BM_KdTreeFullRebuildAfterLocalDrift);
+
+// --- Pool-aware multi-objective: per-task fits on the shared pool. ---
+void BM_MultiObjectiveResidualsThreads(benchmark::State& state) {
+  const Dataset city = CityOfSize(2000);
+  const TrainTestSplit split = SplitFor(city);
+  const auto prototype =
+      MakeClassifier(ClassifierKind::kLogisticRegression);
+  MultiObjectiveOptions options;
+  options.height = 8;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (int k = 0; k < 4; ++k) {
+    options.tasks.push_back(k % city.num_tasks());
+    options.alphas.push_back(0.25);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        OrDie(ComputeMultiObjectiveResiduals(city, split, *prototype,
+                                             options),
+              "ComputeMultiObjectiveResiduals"));
+  }
+}
+BENCHMARK(BM_MultiObjectiveResidualsThreads)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 }  // namespace bench

@@ -7,14 +7,14 @@
 //   * training-time: Kamiran-Calders reweighting over a uniform grid;
 //   * structural baselines: median KD-tree, STR slabs, zip codes.
 //
-// Prints the fairness/utility frontier so a practitioner can pick.
+// The comparison is one ScenarioConfig over AllPartitionAlgorithms() —
+// the scenario engine executes the sweep, so this file only declares the
+// experiment and prints the fairness/utility frontier.
 
 #include <cstdio>
 #include <string>
 
-#include "core/experiment_config.h"
-#include "core/pipeline.h"
-#include "data/edgap_synthetic.h"
+#include "core/scenario.h"
 
 using namespace fairidx;
 
@@ -24,21 +24,18 @@ int main(int argc, char** argv) {
   const int height = argc > 1 ? std::atoi(argv[1]) : 6;
   ClassifierKind kind = ClassifierKind::kLogisticRegression;
   if (argc > 2) {
-    const std::string name = argv[2];
-    if (name == "tree") kind = ClassifierKind::kDecisionTree;
-    if (name == "nb") kind = ClassifierKind::kNaiveBayes;
+    auto parsed = ParseClassifierKind(argv[2]);
+    if (parsed.ok()) kind = *parsed;
   }
 
-  auto city = GenerateEdgapCity(LosAngelesConfig());
-  if (!city.ok()) return 1;
-  auto model = MakeClassifier(kind);
-
-  std::printf("mitigation comparison — %s, height %d, classifier %s\n\n",
-              "LosAngeles", height, ClassifierKindName(kind));
-  std::printf("%-28s %8s %12s %12s %10s %10s\n", "strategy", "regions",
-              "train_ENCE", "test_ENCE", "test_acc", "build_s");
-
-  const PartitionAlgorithm algorithms[] = {
+  ScenarioConfig config;
+  config.name = "mitigation-comparison";
+  config.city = "la";
+  config.classifier = kind;
+  config.heights = {height};
+  // The strategy ordering tells the story: baselines first, then the
+  // paper's fair structures.
+  config.algorithms = {
       PartitionAlgorithm::kZipCodes,
       PartitionAlgorithm::kMedianKdTree,
       PartitionAlgorithm::kUniformGridReweight,
@@ -48,21 +45,23 @@ int main(int argc, char** argv) {
       PartitionAlgorithm::kIterativeFairKdTree,
       PartitionAlgorithm::kMultiObjectiveFairKdTree,
   };
-  for (PartitionAlgorithm algorithm : algorithms) {
-    PipelineOptions options;
-    options.algorithm = algorithm;
-    options.height = height;
-    auto run = RunPipeline(*city, *model, options);
-    if (!run.ok()) {
-      std::printf("%-28s failed: %s\n", PartitionAlgorithmName(algorithm),
-                  run.status().ToString().c_str());
-      continue;
-    }
-    const EvaluationResult& eval = run->final_model.eval;
+
+  std::printf("mitigation comparison — %s, height %d, classifier %s\n\n",
+              "LosAngeles", height, ClassifierKindName(kind));
+  std::printf("%-28s %8s %12s %12s %10s %10s\n", "strategy", "regions",
+              "train_ENCE", "test_ENCE", "test_acc", "build_s");
+
+  auto report = RunScenario(config);
+  if (!report.ok()) {
+    std::fprintf(stderr, "scenario failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  for (const ScenarioRow& row : report->rows) {
     std::printf("%-28s %8d %12.5f %12.5f %10.3f %10.3f\n",
-                PartitionAlgorithmName(algorithm), eval.num_neighborhoods,
-                eval.train_ence, eval.test_ence, eval.test_accuracy,
-                run->partition_seconds);
+                PartitionAlgorithmName(row.run.algorithm), row.regions,
+                row.train_ence, row.test_ence, row.test_accuracy,
+                row.partition_seconds);
   }
 
   std::printf(

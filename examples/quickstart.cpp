@@ -1,58 +1,50 @@
 // Quickstart: build a fairness-aware spatial index in ~40 lines.
 //
-// Generates a synthetic city, runs the Fair KD-tree pipeline (train ->
-// partition -> re-district -> retrain), and compares its neighborhood
-// calibration error (ENCE) with the standard median KD-tree.
+// Declares the experiment as a ScenarioConfig — the same struct behind
+// `fairidx_cli run scenario.cfg` — and lets the scenario engine run the
+// full pipeline (train -> partition -> re-district -> retrain) once per
+// algorithm, comparing neighborhood calibration error (ENCE) against the
+// standard median KD-tree.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   ./build/example_quickstart
 
 #include <cstdio>
 
-#include "core/experiment_config.h"
-#include "core/pipeline.h"
-#include "data/edgap_synthetic.h"
+#include "core/scenario.h"
 
 int main() {
   using namespace fairidx;
 
-  // 1. Data: a synthetic EdGap-like city (or LoadEdgapCsvFile for real
-  //    data). Records carry socio-economic features, a location on a
-  //    64 x 64 grid, and a binary ACT-score label.
-  CityConfig config = LosAngelesConfig();
-  auto dataset = GenerateEdgapCity(config);
-  if (!dataset.ok()) {
-    std::fprintf(stderr, "data generation failed: %s\n",
-                 dataset.status().ToString().c_str());
+  // 1. The experiment, declaratively: city, model family, and the sweep.
+  //    (The same config could be loaded from a .cfg file with
+  //    LoadScenarioFile — see examples/scenarios/.)
+  ScenarioConfig config;
+  config.name = "quickstart";
+  config.city = "la";  // Synthetic EdGap-like city on a 64 x 64 grid.
+  config.classifier = ClassifierKind::kLogisticRegression;
+  config.algorithms = {PartitionAlgorithm::kMedianKdTree,
+                       PartitionAlgorithm::kFairKdTree,
+                       PartitionAlgorithm::kIterativeFairKdTree};
+  config.heights = {6};  // Up to 2^6 = 64 neighborhoods.
+
+  // 2. Run it. Every run is one end-to-end pipeline execution; the
+  //    partition stage dispatches through the Partitioner registry.
+  auto report = RunScenario(config);
+  if (!report.ok()) {
+    std::fprintf(stderr, "scenario failed: %s\n",
+                 report.status().ToString().c_str());
     return 1;
   }
-  std::printf("city: %s, %zu records, %d tasks\n", config.name.c_str(),
-              dataset->num_records(), dataset->num_tasks());
 
-  // 2. Model family: any fairidx::Classifier works; the pipeline clones it
-  //    for each fit.
-  auto model = MakeClassifier(ClassifierKind::kLogisticRegression);
-
-  // 3. Run the pipeline once per partitioning algorithm and compare.
-  for (PartitionAlgorithm algorithm :
-       {PartitionAlgorithm::kMedianKdTree, PartitionAlgorithm::kFairKdTree,
-        PartitionAlgorithm::kIterativeFairKdTree}) {
-    PipelineOptions options;
-    options.algorithm = algorithm;
-    options.height = 6;  // Up to 2^6 = 64 neighborhoods.
-    auto run = RunPipeline(*dataset, *model, options);
-    if (!run.ok()) {
-      std::fprintf(stderr, "pipeline failed: %s\n",
-                   run.status().ToString().c_str());
-      return 1;
-    }
-    const EvaluationResult& eval = run->final_model.eval;
+  // 3. Compare.
+  for (const ScenarioRow& row : report->rows) {
     std::printf(
         "%-24s regions=%3d  train ENCE=%.4f  test ENCE=%.4f  "
         "test accuracy=%.3f\n",
-        PartitionAlgorithmName(algorithm), eval.num_neighborhoods,
-        eval.train_ence, eval.test_ence, eval.test_accuracy);
+        PartitionAlgorithmName(row.run.algorithm), row.regions,
+        row.train_ence, row.test_ence, row.test_accuracy);
   }
   std::printf(
       "\nLower ENCE at comparable accuracy = fairer neighborhoods.\n");

@@ -1,0 +1,103 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Registry adapters for the partitioners that train models during the
+// build: the Iterative Fair KD-tree (one fit per level, Algorithm 3) and
+// the Multi-Objective Fair KD-tree (one fit per task, Section 4.3). They
+// live in core/ because they reach above the index layer (datasets,
+// classifiers, per-level retraining); index/partitioner.cc pulls them in
+// through the RegisterCorePartitioners link hook.
+
+#include <memory>
+#include <utility>
+
+#include "core/iterative_fair_kd_tree.h"
+#include "core/multi_objective.h"
+#include "index/partitioner.h"
+
+namespace fairidx {
+namespace {
+
+class IterativeFairKdTreePartitioner : public Partitioner {
+ public:
+  const char* name() const override { return "iterative_fair_kd_tree"; }
+  PartitionerCapabilities capabilities() const override {
+    PartitionerCapabilities caps;
+    caps.trains_models = true;
+    return caps;
+  }
+  Result<PartitionerOutput> Build(PartitionerContext& context) override {
+    if (context.prototype() == nullptr) {
+      return FailedPreconditionError(
+          "iterative_fair_kd_tree: needs a classifier prototype");
+    }
+    const PartitionerBuildOptions& options = context.options();
+    IterativeFairKdTreeOptions iterative_options;
+    iterative_options.height = options.height;
+    iterative_options.task = options.task;
+    iterative_options.encoding = options.encoding;
+    iterative_options.objective = options.split_objective;
+    iterative_options.axis_policy = options.axis_policy;
+    iterative_options.num_threads = options.num_threads;
+    FAIRIDX_ASSIGN_OR_RETURN(
+        IterativeFairKdTreeResult iterative,
+        BuildIterativeFairKdTree(context.dataset(), context.split(),
+                                 *context.prototype(), iterative_options));
+    PartitionerOutput out;
+    out.partition = std::move(iterative.partition);
+    out.model_fits = iterative.retrain_count;
+    return out;
+  }
+};
+
+class MultiObjectivePartitioner : public Partitioner {
+ public:
+  const char* name() const override {
+    return "multi_objective_fair_kd_tree";
+  }
+  PartitionerCapabilities capabilities() const override {
+    PartitionerCapabilities caps;
+    caps.trains_models = true;
+    caps.needs_multi_task = true;
+    return caps;
+  }
+  Result<PartitionerOutput> Build(PartitionerContext& context) override {
+    if (context.prototype() == nullptr) {
+      return FailedPreconditionError(
+          "multi_objective_fair_kd_tree: needs a classifier prototype");
+    }
+    if (context.dataset().num_tasks() < 2) {
+      return FailedPreconditionError(
+          "multi_objective_fair_kd_tree: needs >= 2 tasks");
+    }
+    const PartitionerBuildOptions& options = context.options();
+    MultiObjectiveOptions multi_options;
+    multi_options.height = options.height;
+    multi_options.alphas = options.multi_objective_alphas;
+    multi_options.encoding = options.encoding;
+    multi_options.use_eq9_weighting = options.multi_objective_eq9_weighting;
+    multi_options.num_threads = options.num_threads;
+    FAIRIDX_ASSIGN_OR_RETURN(
+        MultiObjectiveResult multi,
+        BuildMultiObjectiveFairKdTree(context.dataset(), context.split(),
+                                      *context.prototype(), multi_options));
+    PartitionerOutput out;
+    out.partition = std::move(multi.partition);
+    // Defaults balance every task: one model fit each.
+    out.model_fits = context.dataset().num_tasks();
+    return out;
+  }
+};
+
+}  // namespace
+
+void RegisterCorePartitioners(PartitionerRegistry& registry) {
+  registry.Register("iterative_fair_kd_tree", [] {
+    return std::make_unique<IterativeFairKdTreePartitioner>();
+  });
+  registry.Register("multi_objective_fair_kd_tree", [] {
+    return std::make_unique<MultiObjectivePartitioner>();
+  });
+}
+
+}  // namespace fairidx

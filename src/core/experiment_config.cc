@@ -18,6 +18,20 @@ const char* ClassifierKindName(ClassifierKind kind) {
   return "unknown";
 }
 
+Result<ClassifierKind> ParseClassifierKind(const std::string& name) {
+  if (name == "lr" || name == "logistic_regression") {
+    return ClassifierKind::kLogisticRegression;
+  }
+  if (name == "tree" || name == "decision_tree") {
+    return ClassifierKind::kDecisionTree;
+  }
+  if (name == "nb" || name == "naive_bayes") {
+    return ClassifierKind::kNaiveBayes;
+  }
+  return InvalidArgumentError("unknown classifier '" + name +
+                              "' (expected lr|tree|nb)");
+}
+
 std::unique_ptr<Classifier> MakeClassifier(ClassifierKind kind) {
   switch (kind) {
     case ClassifierKind::kLogisticRegression:

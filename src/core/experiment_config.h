@@ -27,6 +27,10 @@ enum class ClassifierKind {
 /// Stable display name ("logistic_regression", ...).
 const char* ClassifierKindName(ClassifierKind kind);
 
+/// Parses a classifier name — the full ClassifierKindName or the CLI
+/// shorthands lr | tree | nb. InvalidArgument on anything else.
+Result<ClassifierKind> ParseClassifierKind(const std::string& name);
+
 /// Constructs an unfitted classifier of the given family with the library's
 /// default hyper-parameters.
 std::unique_ptr<Classifier> MakeClassifier(ClassifierKind kind);

@@ -1,7 +1,9 @@
 #include "core/multi_objective.h"
 
 #include <cmath>
+#include <utility>
 
+#include "common/thread_pool.h"
 #include "fairness/region_metrics.h"
 #include "geo/grid_aggregates.h"
 
@@ -55,28 +57,54 @@ Result<std::vector<double>> ComputeMultiObjectiveResiduals(
     return InvalidArgumentError("multi-objective: empty training split");
   }
 
+  // Per-task fits are independent: each pool task assembles its own design
+  // matrix, fits a clone and scores every record into its slot. The
+  // alpha-combination below runs sequentially in task order, so v_tot is
+  // bit-identical at any thread count.
+  const size_t num_tasks = tasks.size();
+  std::vector<std::vector<double>> task_scores(num_tasks);
+  std::vector<Status> task_status(num_tasks, Status::Ok());
+  ThreadPool::Shared().ParallelFor(
+      num_tasks, options.num_threads, [&](size_t k) {
+        const int task = tasks[k];
+        DesignMatrixOptions design_options;
+        design_options.encoding = options.encoding;
+        design_options.task = task;
+        design_options.encoding_fit_indices = split.train_indices;
+        Result<Matrix> design = dataset.DesignMatrix(design_options);
+        if (!design.ok()) {
+          task_status[k] = design.status();
+          return;
+        }
+        const Matrix train_design = design->SelectRows(split.train_indices);
+        std::vector<int> train_labels;
+        train_labels.reserve(split.train_indices.size());
+        for (size_t i : split.train_indices) {
+          train_labels.push_back(dataset.labels(task)[i]);
+        }
+        std::unique_ptr<Classifier> model = prototype.Clone();
+        if (Status fit = model->Fit(train_design, train_labels, nullptr);
+            !fit.ok()) {
+          task_status[k] = std::move(fit);
+          return;
+        }
+        Result<std::vector<double>> scores = model->PredictScores(*design);
+        if (!scores.ok()) {
+          task_status[k] = scores.status();
+          return;
+        }
+        task_scores[k] = std::move(*scores);
+      });
+  for (Status& status : task_status) {
+    FAIRIDX_RETURN_IF_ERROR(std::move(status));
+  }
+
   std::vector<double> residuals(dataset.num_records(), 0.0);
-  for (size_t k = 0; k < tasks.size(); ++k) {
+  for (size_t k = 0; k < num_tasks; ++k) {
     const int task = tasks[k];
-    DesignMatrixOptions design_options;
-    design_options.encoding = options.encoding;
-    design_options.task = task;
-    design_options.encoding_fit_indices = split.train_indices;
-    FAIRIDX_ASSIGN_OR_RETURN(Matrix design,
-                             dataset.DesignMatrix(design_options));
-    const Matrix train_design = design.SelectRows(split.train_indices);
-    std::vector<int> train_labels;
-    train_labels.reserve(split.train_indices.size());
-    for (size_t i : split.train_indices) {
-      train_labels.push_back(dataset.labels(task)[i]);
-    }
-    std::unique_ptr<Classifier> model = prototype.Clone();
-    FAIRIDX_RETURN_IF_ERROR(model->Fit(train_design, train_labels, nullptr));
-    FAIRIDX_ASSIGN_OR_RETURN(std::vector<double> scores,
-                             model->PredictScores(design));
+    const std::vector<double>& scores = task_scores[k];
     for (size_t i = 0; i < residuals.size(); ++i) {
-      residuals[i] +=
-          alphas[k] * (scores[i] - dataset.labels(task)[i]);
+      residuals[i] += alphas[k] * (scores[i] - dataset.labels(task)[i]);
     }
   }
   return residuals;
@@ -112,6 +140,7 @@ Result<MultiObjectiveResult> BuildMultiObjectiveFairKdTree(
 
   KdTreeOptions tree_options;
   tree_options.height = options.height;
+  tree_options.num_threads = options.num_threads;
   tree_options.objective.kind =
       options.use_eq9_weighting ? SplitObjectiveKind::kResidualBalanceEq9
                                 : SplitObjectiveKind::kResidualBalanceEq13;

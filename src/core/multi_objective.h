@@ -32,6 +32,11 @@ struct MultiObjectiveOptions {
   /// Eq. 13 as printed carries an extra |L| weighting relative to Eq. 9;
   /// set true for the Eq. 9-consistent form (see DESIGN.md).
   bool use_eq9_weighting = false;
+  /// Per-task fits (design-matrix assembly + model training + scoring) run
+  /// concurrently on the shared ThreadPool when > 1. Residuals are
+  /// alpha-combined in task order afterwards, so v_tot is bit-identical at
+  /// any thread count.
+  int num_threads = 1;
 };
 
 /// Result of the multi-objective build.

@@ -2,15 +2,7 @@
 
 #include <chrono>
 
-#include "core/iterative_fair_kd_tree.h"
-#include "core/multi_objective.h"
-#include "geo/grid_aggregates.h"
-#include "index/fair_kd_tree.h"
-#include "index/median_kd_tree.h"
-#include "index/quadtree.h"
 #include "index/region_merging.h"
-#include "index/str_partition.h"
-#include "index/uniform_grid.h"
 
 namespace fairidx {
 
@@ -36,6 +28,30 @@ const char* PartitionAlgorithmName(PartitionAlgorithm algorithm) {
   return "unknown";
 }
 
+Result<PartitionAlgorithm> ParsePartitionAlgorithm(const std::string& name) {
+  // Round-trips through PartitionAlgorithmName so the two can never drift:
+  // a new enum value is parseable the moment it prints.
+  std::string known;
+  for (PartitionAlgorithm algorithm : AllPartitionAlgorithms()) {
+    if (name == PartitionAlgorithmName(algorithm)) return algorithm;
+    if (!known.empty()) known += ", ";
+    known += PartitionAlgorithmName(algorithm);
+  }
+  return InvalidArgumentError("unknown algorithm '" + name +
+                              "' (expected one of: " + known + ")");
+}
+
+std::vector<PartitionAlgorithm> AllPartitionAlgorithms() {
+  return {PartitionAlgorithm::kMedianKdTree,
+          PartitionAlgorithm::kFairKdTree,
+          PartitionAlgorithm::kIterativeFairKdTree,
+          PartitionAlgorithm::kMultiObjectiveFairKdTree,
+          PartitionAlgorithm::kUniformGridReweight,
+          PartitionAlgorithm::kZipCodes,
+          PartitionAlgorithm::kFairQuadtree,
+          PartitionAlgorithm::kStrSlabs};
+}
+
 Result<TrainedEvaluation> TrainOnBaseGrid(const Dataset& dataset,
                                           const TrainTestSplit& split,
                                           const Classifier& prototype,
@@ -45,25 +61,44 @@ Result<TrainedEvaluation> TrainOnBaseGrid(const Dataset& dataset,
   return TrainAndEvaluate(working, split, prototype, options);
 }
 
-namespace {
-
-// Builds training-split aggregates from initial base-grid scores.
-Result<GridAggregates> TrainAggregates(const Dataset& dataset, int task,
-                                       const TrainTestSplit& split,
-                                       const std::vector<double>& scores) {
-  std::vector<int> cells;
-  std::vector<int> labels;
-  std::vector<double> train_scores;
-  cells.reserve(split.train_indices.size());
-  for (size_t i : split.train_indices) {
-    cells.push_back(dataset.base_cells()[i]);
-    labels.push_back(dataset.labels(task)[i]);
-    train_scores.push_back(scores[i]);
-  }
-  return GridAggregates::Build(dataset.grid(), cells, labels, train_scores);
+PartitionerBuildOptions ToPartitionerBuildOptions(
+    const PipelineOptions& options) {
+  PartitionerBuildOptions build;
+  build.height = options.height;
+  build.task = options.task;
+  build.encoding = options.encoding;
+  build.split_objective = options.split_objective;
+  build.axis_policy = options.axis_policy;
+  build.split_early_stop = options.split_early_stop;
+  build.multi_objective_alphas = options.multi_objective_alphas;
+  build.multi_objective_eq9_weighting =
+      options.multi_objective_eq9_weighting;
+  build.num_threads = options.num_threads;
+  return build;
 }
 
-}  // namespace
+PartitionerContext MakePipelinePartitionerContext(
+    const Dataset& dataset, const TrainTestSplit& split,
+    const Classifier& prototype, const PartitionerBuildOptions& options) {
+  // The stage-1 score pass of Fig. 2: train once on the base grid (cell id
+  // as the neighborhood feature) and hand every record's confidence score
+  // to the partitioner.
+  PartitionerContext::InitialScoreFn score_fn =
+      [](const Dataset& data, const TrainTestSplit& data_split,
+         const Classifier& proto,
+         const PartitionerBuildOptions& build_options)
+      -> Result<std::vector<double>> {
+    EvalOptions eval_options;
+    eval_options.task = build_options.task;
+    eval_options.encoding = build_options.encoding;
+    FAIRIDX_ASSIGN_OR_RETURN(
+        TrainedEvaluation initial,
+        TrainOnBaseGrid(data, data_split, proto, eval_options));
+    return std::move(initial.scores);
+  };
+  return PartitionerContext(dataset, split, &prototype, options,
+                            std::move(score_fn));
+}
 
 Result<PipelineRunResult> RunPipeline(const Dataset& dataset,
                                       const Classifier& prototype,
@@ -74,10 +109,21 @@ Result<PipelineRunResult> RunPipeline(const Dataset& dataset,
   if (options.height < 0) {
     return InvalidArgumentError("RunPipeline: height must be >= 0");
   }
-  if (options.algorithm == PartitionAlgorithm::kZipCodes &&
-      !dataset.has_zip_codes()) {
+  FAIRIDX_ASSIGN_OR_RETURN(
+      std::unique_ptr<Partitioner> partitioner,
+      PartitionerRegistry::Global().Create(
+          PartitionAlgorithmName(options.algorithm)));
+
+  // Capability-driven preconditions (was a hard-coded per-algorithm
+  // switch).
+  const PartitionerCapabilities caps = partitioner->capabilities();
+  if (caps.needs_zip_codes && !dataset.has_zip_codes()) {
     return FailedPreconditionError(
         "RunPipeline: zip-code baseline needs a dataset with zip codes");
+  }
+  if (caps.needs_multi_task && dataset.num_tasks() < 2) {
+    return FailedPreconditionError(
+        "RunPipeline: multi-objective needs >= 2 tasks");
   }
 
   PipelineRunResult out;
@@ -87,7 +133,6 @@ Result<PipelineRunResult> RunPipeline(const Dataset& dataset,
                                      options.test_fraction, split_rng));
 
   Dataset working = dataset;
-  const int target_regions = 1 << std::min(options.height, 30);
 
   EvalOptions eval_options;
   eval_options.task = options.task;
@@ -95,123 +140,16 @@ Result<PipelineRunResult> RunPipeline(const Dataset& dataset,
 
   const auto partition_start = std::chrono::steady_clock::now();
 
-  // Stage 1+2: initial scores (when needed) and the partition build.
-  switch (options.algorithm) {
-    case PartitionAlgorithm::kMedianKdTree: {
-      FAIRIDX_ASSIGN_OR_RETURN(
-          GridAggregates aggregates,
-          TrainAggregates(working, options.task, out.split,
-                          std::vector<double>(working.num_records(), 0.0)));
-      FAIRIDX_ASSIGN_OR_RETURN(
-          KdTreeResult tree,
-          BuildMedianKdTree(working.grid(), aggregates, options.height,
-                            options.num_threads));
-      out.partition = std::move(tree.result);
-      out.has_cell_partition = true;
-      break;
-    }
-    case PartitionAlgorithm::kFairKdTree: {
-      FAIRIDX_ASSIGN_OR_RETURN(
-          TrainedEvaluation initial,
-          TrainOnBaseGrid(working, out.split, prototype, eval_options));
-      out.partition_stage_fits = 1;
-      FAIRIDX_ASSIGN_OR_RETURN(
-          GridAggregates aggregates,
-          TrainAggregates(working, options.task, out.split, initial.scores));
-      FairKdTreeOptions fair_options;
-      fair_options.height = options.height;
-      fair_options.objective = options.split_objective;
-      fair_options.axis_policy = options.axis_policy;
-      fair_options.early_stop_weighted_miscalibration =
-          options.split_early_stop;
-      fair_options.num_threads = options.num_threads;
-      FAIRIDX_ASSIGN_OR_RETURN(
-          KdTreeResult tree,
-          BuildFairKdTree(working.grid(), aggregates, fair_options));
-      out.partition = std::move(tree.result);
-      out.has_cell_partition = true;
-      break;
-    }
-    case PartitionAlgorithm::kIterativeFairKdTree: {
-      IterativeFairKdTreeOptions iterative_options;
-      iterative_options.height = options.height;
-      iterative_options.task = options.task;
-      iterative_options.encoding = options.encoding;
-      iterative_options.objective = options.split_objective;
-      iterative_options.axis_policy = options.axis_policy;
-      iterative_options.num_threads = options.num_threads;
-      FAIRIDX_ASSIGN_OR_RETURN(
-          IterativeFairKdTreeResult iterative,
-          BuildIterativeFairKdTree(working, out.split, prototype,
-                                   iterative_options));
-      out.partition = std::move(iterative.partition);
-      out.partition_stage_fits = iterative.retrain_count;
-      out.has_cell_partition = true;
-      break;
-    }
-    case PartitionAlgorithm::kMultiObjectiveFairKdTree: {
-      if (working.num_tasks() < 2) {
-        return FailedPreconditionError(
-            "RunPipeline: multi-objective needs >= 2 tasks");
-      }
-      MultiObjectiveOptions multi_options;
-      multi_options.height = options.height;
-      multi_options.alphas = options.multi_objective_alphas;
-      multi_options.encoding = options.encoding;
-      multi_options.use_eq9_weighting = options.multi_objective_eq9_weighting;
-      FAIRIDX_ASSIGN_OR_RETURN(
-          MultiObjectiveResult multi,
-          BuildMultiObjectiveFairKdTree(working, out.split, prototype,
-                                        multi_options));
-      out.partition = std::move(multi.partition);
-      out.partition_stage_fits = working.num_tasks();
-      out.has_cell_partition = true;
-      break;
-    }
-    case PartitionAlgorithm::kUniformGridReweight: {
-      FAIRIDX_ASSIGN_OR_RETURN(
-          PartitionResult uniform,
-          BuildUniformGridPartition(working.grid(), options.height));
-      out.partition = std::move(uniform);
-      out.has_cell_partition = true;
-      // The baseline's mitigation acts at training time, not indexing time.
-      eval_options.reweight_by_neighborhood = true;
-      break;
-    }
-    case PartitionAlgorithm::kZipCodes: {
-      out.has_cell_partition = false;
-      break;
-    }
-    case PartitionAlgorithm::kFairQuadtree: {
-      FAIRIDX_ASSIGN_OR_RETURN(
-          TrainedEvaluation initial,
-          TrainOnBaseGrid(working, out.split, prototype, eval_options));
-      out.partition_stage_fits = 1;
-      FAIRIDX_ASSIGN_OR_RETURN(
-          GridAggregates aggregates,
-          TrainAggregates(working, options.task, out.split, initial.scores));
-      FairQuadtreeOptions quad_options;
-      quad_options.target_regions = target_regions;
-      FAIRIDX_ASSIGN_OR_RETURN(
-          PartitionResult quad,
-          BuildFairQuadtree(working.grid(), aggregates, quad_options));
-      out.partition = std::move(quad);
-      out.has_cell_partition = true;
-      break;
-    }
-    case PartitionAlgorithm::kStrSlabs: {
-      FAIRIDX_ASSIGN_OR_RETURN(
-          GridAggregates aggregates,
-          TrainAggregates(working, options.task, out.split,
-                          std::vector<double>(working.num_records(), 0.0)));
-      FAIRIDX_ASSIGN_OR_RETURN(
-          PartitionResult str,
-          BuildStrPartition(working.grid(), aggregates, target_regions));
-      out.partition = std::move(str);
-      out.has_cell_partition = true;
-      break;
-    }
-  }
+  // Stage 1+2: initial scores (lazily, when the partitioner asks) and the
+  // partition build, through the registry.
+  PartitionerContext context = MakePipelinePartitionerContext(
+      working, out.split, prototype, ToPartitionerBuildOptions(options));
+  FAIRIDX_ASSIGN_OR_RETURN(PartitionerOutput built,
+                           partitioner->Build(context));
+  out.has_cell_partition = built.has_cell_partition;
+  out.partition = std::move(built.partition);
+  out.partition_stage_fits = built.model_fits;
+  eval_options.reweight_by_neighborhood = built.reweight_by_neighborhood;
 
   // Optional minimum-population post-processing (cell partitions only).
   if (out.has_cell_partition && options.min_region_population > 0.0) {

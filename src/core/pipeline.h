@@ -15,6 +15,7 @@
 #ifndef FAIRIDX_CORE_PIPELINE_H_
 #define FAIRIDX_CORE_PIPELINE_H_
 
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -23,6 +24,7 @@
 #include "data/split.h"
 #include "index/kd_tree.h"
 #include "index/partition.h"
+#include "index/partitioner.h"
 #include "index/split_objective.h"
 #include "ml/classifier.h"
 
@@ -30,7 +32,9 @@ namespace fairidx {
 
 /// The partitioning algorithms runnable through the pipeline: the paper's
 /// three contributions, its three baselines, and fairidx's two structural
-/// extensions.
+/// extensions. Each value maps 1:1 onto a PartitionerRegistry name; the
+/// enum exists for type-safe option structs while the registry remains the
+/// open, extensible surface.
 enum class PartitionAlgorithm {
   kMedianKdTree,          // Paper baseline: standard KD-tree.
   kFairKdTree,            // Algorithm 1.
@@ -42,8 +46,16 @@ enum class PartitionAlgorithm {
   kStrSlabs,              // Extension: STR (R-tree family) slab packing.
 };
 
-/// Stable display name ("fair_kd_tree", ...).
+/// Stable display name ("fair_kd_tree", ...) — also the registry name.
 const char* PartitionAlgorithmName(PartitionAlgorithm algorithm);
+
+/// The inverse of PartitionAlgorithmName: the single name -> enum map the
+/// CLI, scenario files and benches all share (InvalidArgument on unknown
+/// names, listing the valid ones).
+Result<PartitionAlgorithm> ParsePartitionAlgorithm(const std::string& name);
+
+/// Every PartitionAlgorithm, in the enum's (paper) order.
+std::vector<PartitionAlgorithm> AllPartitionAlgorithms();
 
 /// Pipeline configuration.
 struct PipelineOptions {
@@ -98,7 +110,9 @@ struct PipelineRunResult {
 };
 
 /// Runs the full pipeline on a copy of `dataset` (the input is unchanged).
-/// `prototype` supplies the classifier family (cloned for each fit).
+/// `prototype` supplies the classifier family (cloned for each fit). The
+/// partition stage dispatches through the PartitionerRegistry under
+/// PartitionAlgorithmName(options.algorithm).
 Result<PipelineRunResult> RunPipeline(const Dataset& dataset,
                                       const Classifier& prototype,
                                       const PipelineOptions& options);
@@ -109,6 +123,17 @@ Result<TrainedEvaluation> TrainOnBaseGrid(const Dataset& dataset,
                                           const TrainTestSplit& split,
                                           const Classifier& prototype,
                                           const EvalOptions& options);
+
+/// Maps PipelineOptions onto the algorithm-facing build options.
+PartitionerBuildOptions ToPartitionerBuildOptions(
+    const PipelineOptions& options);
+
+/// A PartitionerContext wired to the pipeline's stage-1 initial training
+/// (TrainOnBaseGrid) — what RunPipeline itself hands to the registry
+/// partitioners, exposed so tools and tests can drive them directly.
+PartitionerContext MakePipelinePartitionerContext(
+    const Dataset& dataset, const TrainTestSplit& split,
+    const Classifier& prototype, const PartitionerBuildOptions& options);
 
 }  // namespace fairidx
 

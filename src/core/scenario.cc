@@ -1,0 +1,315 @@
+#include "core/scenario.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/string_util.h"
+#include "data/csv_dataset.h"
+#include "data/edgap_synthetic.h"
+
+namespace fairidx {
+namespace {
+
+// Includes may nest (base configs including base configs) but a cycle must
+// terminate with a readable error, not a stack overflow.
+constexpr int kMaxIncludeDepth = 8;
+
+std::string DirnameOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+std::string ResolvePath(const std::string& include_dir,
+                        const std::string& path) {
+  if (path.empty() || path[0] == '/' || include_dir.empty()) return path;
+  return include_dir + "/" + path;
+}
+
+Result<std::vector<std::string>> SplitList(const std::string& value) {
+  std::vector<std::string> items;
+  for (const std::string& raw : Split(value, ',')) {
+    std::string item = Trim(raw);
+    if (item.empty()) {
+      return InvalidArgumentError("empty element in list '" + value + "'");
+    }
+    items.push_back(std::move(item));
+  }
+  if (items.empty()) {
+    return InvalidArgumentError("empty list");
+  }
+  return items;
+}
+
+// Heights accept both comma lists and inclusive "lo..hi" ranges.
+Result<std::vector<int>> ParseHeights(const std::string& value) {
+  std::vector<int> heights;
+  FAIRIDX_ASSIGN_OR_RETURN(std::vector<std::string> items,
+                           SplitList(value));
+  for (const std::string& item : items) {
+    const size_t dots = item.find("..");
+    if (dots != std::string::npos) {
+      FAIRIDX_ASSIGN_OR_RETURN(int lo, ParseInt(item.substr(0, dots)));
+      FAIRIDX_ASSIGN_OR_RETURN(int hi, ParseInt(item.substr(dots + 2)));
+      if (lo > hi) {
+        return InvalidArgumentError("empty height range '" + item + "'");
+      }
+      for (int h = lo; h <= hi; ++h) heights.push_back(h);
+    } else {
+      FAIRIDX_ASSIGN_OR_RETURN(int height, ParseInt(item));
+      heights.push_back(height);
+    }
+  }
+  for (int height : heights) {
+    if (height < 0) {
+      return InvalidArgumentError("heights must be >= 0");
+    }
+  }
+  return heights;
+}
+
+Result<std::vector<uint64_t>> ParseSeeds(const std::string& value) {
+  std::vector<uint64_t> seeds;
+  FAIRIDX_ASSIGN_OR_RETURN(std::vector<std::string> items,
+                           SplitList(value));
+  for (const std::string& item : items) {
+    // Digits only: strtoull would silently wrap a leading '-' and
+    // saturate on overflow, changing every split in the sweep.
+    if (item.find_first_not_of("0123456789") != std::string::npos) {
+      return InvalidArgumentError("bad seed '" + item + "'");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long seed = std::strtoull(item.c_str(), &end, 10);
+    if (end == item.c_str() || *end != '\0' || errno == ERANGE) {
+      return InvalidArgumentError("bad seed '" + item + "'");
+    }
+    seeds.push_back(static_cast<uint64_t>(seed));
+  }
+  return seeds;
+}
+
+Result<std::vector<PartitionAlgorithm>> ParseAlgorithms(
+    const std::string& value) {
+  std::vector<PartitionAlgorithm> algorithms;
+  FAIRIDX_ASSIGN_OR_RETURN(std::vector<std::string> items,
+                           SplitList(value));
+  for (const std::string& item : items) {
+    if (item == "all") {
+      for (PartitionAlgorithm algorithm : AllPartitionAlgorithms()) {
+        algorithms.push_back(algorithm);
+      }
+      continue;
+    }
+    FAIRIDX_ASSIGN_OR_RETURN(PartitionAlgorithm algorithm,
+                             ParsePartitionAlgorithm(item));
+    algorithms.push_back(algorithm);
+  }
+  return algorithms;
+}
+
+Status ParseInto(const std::string& text, const std::string& include_dir,
+                 int depth, ScenarioConfig* config);
+
+Status IncludeFile(const std::string& path, int depth,
+                   ScenarioConfig* config) {
+  if (depth > kMaxIncludeDepth) {
+    return InvalidArgumentError(
+        "scenario include depth exceeded (include cycle?)");
+  }
+  std::ifstream file(path);
+  if (!file) {
+    return NotFoundError("cannot open scenario file '" + path + "'");
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return ParseInto(buffer.str(), DirnameOf(path), depth, config);
+}
+
+Status ParseInto(const std::string& text, const std::string& include_dir,
+                 int depth, ScenarioConfig* config) {
+  int line_number = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_number;
+    std::string line = raw_line;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return InvalidArgumentError(
+          StrFormat("scenario line %d: expected 'key = value', got '%s'",
+                    line_number, line.c_str()));
+    }
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = Trim(line.substr(eq + 1));
+    if (key.empty() || value.empty()) {
+      return InvalidArgumentError(
+          StrFormat("scenario line %d: empty key or value", line_number));
+    }
+
+    Status status = Status::Ok();
+    if (key == "include") {
+      status = IncludeFile(ResolvePath(include_dir, value), depth + 1,
+                           config);
+    } else if (key == "name") {
+      config->name = value;
+    } else if (key == "city") {
+      config->city = value;
+    } else if (key == "csv") {
+      config->csv = ResolvePath(include_dir, value);
+    } else if (key == "classifier") {
+      auto kind = ParseClassifierKind(value);
+      if (kind.ok()) config->classifier = *kind;
+      status = kind.ok() ? Status::Ok() : kind.status();
+    } else if (key == "algorithms" || key == "algorithm") {
+      auto algorithms = ParseAlgorithms(value);
+      if (algorithms.ok()) config->algorithms = std::move(*algorithms);
+      status = algorithms.ok() ? Status::Ok() : algorithms.status();
+    } else if (key == "heights" || key == "height") {
+      auto heights = ParseHeights(value);
+      if (heights.ok()) config->heights = std::move(*heights);
+      status = heights.ok() ? Status::Ok() : heights.status();
+    } else if (key == "seeds" || key == "seed") {
+      auto seeds = ParseSeeds(value);
+      if (seeds.ok()) config->seeds = std::move(*seeds);
+      status = seeds.ok() ? Status::Ok() : seeds.status();
+    } else if (key == "task") {
+      auto task = ParseInt(value);
+      if (task.ok()) config->task = *task;
+      status = task.ok() ? Status::Ok() : task.status();
+    } else if (key == "threads") {
+      auto threads = ParseInt(value);
+      if (threads.ok()) config->threads = *threads;
+      status = threads.ok() ? Status::Ok() : threads.status();
+    } else if (key == "test_fraction") {
+      auto fraction = ParseDouble(value);
+      if (fraction.ok()) config->test_fraction = *fraction;
+      status = fraction.ok() ? Status::Ok() : fraction.status();
+    } else if (key == "min_region_population") {
+      auto population = ParseDouble(value);
+      if (population.ok()) config->min_region_population = *population;
+      status = population.ok() ? Status::Ok() : population.status();
+    } else {
+      status = InvalidArgumentError("unknown scenario key '" + key + "'");
+    }
+    if (!status.ok()) {
+      return InvalidArgumentError(
+          StrFormat("scenario line %d: %s", line_number,
+                    status.ToString().c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateScenario(const ScenarioConfig& config) {
+  if (config.algorithms.empty()) {
+    return InvalidArgumentError("scenario: no algorithms");
+  }
+  if (config.heights.empty()) {
+    return InvalidArgumentError("scenario: no heights");
+  }
+  if (config.seeds.empty()) {
+    return InvalidArgumentError("scenario: no seeds");
+  }
+  if (config.task < 0) {
+    return InvalidArgumentError("scenario: task must be >= 0");
+  }
+  if (config.threads < 1) {
+    return InvalidArgumentError("scenario: threads must be >= 1");
+  }
+  if (config.test_fraction <= 0.0 || config.test_fraction >= 1.0) {
+    return InvalidArgumentError(
+        "scenario: test_fraction must be in (0, 1)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<ScenarioConfig> ParseScenarioText(const std::string& text,
+                                         const std::string& include_dir) {
+  ScenarioConfig config;
+  FAIRIDX_RETURN_IF_ERROR(ParseInto(text, include_dir, 0, &config));
+  FAIRIDX_RETURN_IF_ERROR(ValidateScenario(config));
+  return config;
+}
+
+Result<ScenarioConfig> LoadScenarioFile(const std::string& path) {
+  ScenarioConfig config;
+  FAIRIDX_RETURN_IF_ERROR(IncludeFile(path, 0, &config));
+  FAIRIDX_RETURN_IF_ERROR(ValidateScenario(config));
+  if (config.name.empty()) config.name = path;
+  return config;
+}
+
+std::vector<ScenarioRun> ExpandScenario(const ScenarioConfig& config) {
+  std::vector<ScenarioRun> runs;
+  runs.reserve(config.heights.size() * config.algorithms.size() *
+               config.seeds.size());
+  for (int height : config.heights) {
+    for (PartitionAlgorithm algorithm : config.algorithms) {
+      for (uint64_t seed : config.seeds) {
+        runs.push_back(ScenarioRun{algorithm, height, seed});
+      }
+    }
+  }
+  return runs;
+}
+
+Result<Dataset> LoadScenarioDataset(const ScenarioConfig& config) {
+  if (!config.csv.empty()) {
+    return LoadEdgapCsvFile(config.csv, CsvDatasetOptions{});
+  }
+  if (config.city == "la" || config.city == "losangeles") {
+    return GenerateEdgapCity(LosAngelesConfig());
+  }
+  if (config.city == "houston") {
+    return GenerateEdgapCity(HoustonConfig());
+  }
+  return InvalidArgumentError("unknown city '" + config.city +
+                              "' (expected la|houston)");
+}
+
+Result<ScenarioReport> RunScenario(const ScenarioConfig& config,
+                                   const Dataset& dataset) {
+  FAIRIDX_RETURN_IF_ERROR(ValidateScenario(config));
+  const std::unique_ptr<Classifier> prototype =
+      MakeClassifier(config.classifier);
+  ScenarioReport report;
+  for (const ScenarioRun& run : ExpandScenario(config)) {
+    PipelineOptions options;
+    options.algorithm = run.algorithm;
+    options.height = run.height;
+    options.task = config.task;
+    options.num_threads = config.threads;
+    options.test_fraction = config.test_fraction;
+    options.split_seed = run.seed;
+    options.min_region_population = config.min_region_population;
+    FAIRIDX_ASSIGN_OR_RETURN(PipelineRunResult result,
+                             RunPipeline(dataset, *prototype, options));
+    ScenarioRow row;
+    row.run = run;
+    row.regions = result.final_model.eval.num_neighborhoods;
+    row.train_ence = result.final_model.eval.train_ence;
+    row.test_ence = result.final_model.eval.test_ence;
+    row.train_accuracy = result.final_model.eval.train_accuracy;
+    row.test_accuracy = result.final_model.eval.test_accuracy;
+    row.test_miscalibration = result.final_model.eval.test_miscalibration;
+    row.partition_seconds = result.partition_seconds;
+    row.model_fits = result.partition_stage_fits;
+    report.rows.push_back(row);
+  }
+  return report;
+}
+
+Result<ScenarioReport> RunScenario(const ScenarioConfig& config) {
+  FAIRIDX_ASSIGN_OR_RETURN(Dataset dataset, LoadScenarioDataset(config));
+  return RunScenario(config, dataset);
+}
+
+}  // namespace fairidx

@@ -1,0 +1,113 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Declarative experiment scenarios: a key = value config-file format plus
+// the engine that executes one file as a multi-algorithm x multi-height x
+// multi-seed pipeline sweep. `fairidx_cli run scenario.cfg`, the examples
+// and CI smoke tests all drive experiments through these structs instead
+// of ad-hoc flag plumbing.
+//
+// File format (one `key = value` per line):
+//
+//   # comment                       full-line or trailing comments
+//   include = base.cfg              splice another file (relative to the
+//                                   including file; later keys override)
+//   name = paper-sweep              free-form label
+//   city = la | houston             synthetic city (ignored when csv set)
+//   csv = data/extract.csv          EdGap-style CSV instead of a city
+//   classifier = lr | tree | nb
+//   algorithms = fair_kd_tree, median_kd_tree     (registry names)
+//   heights = 4, 6, 8    or    heights = 4..10    (sweep list / range)
+//   seeds = 1, 2, 3                 split seeds (one run per seed)
+//   task = 0
+//   threads = 2                     partition-stage parallelism
+//   test_fraction = 0.25
+//   min_region_population = 0       region-merging post-process
+//
+// Unknown keys are errors (typos should not silently no-op). Every run in
+// the expansion is one RunPipeline call; rows come back in
+// height-major, algorithm-minor, seed-innermost order.
+
+#ifndef FAIRIDX_CORE_SCENARIO_H_
+#define FAIRIDX_CORE_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/experiment_config.h"
+#include "core/pipeline.h"
+#include "data/dataset.h"
+
+namespace fairidx {
+
+/// One parsed scenario file (after include resolution).
+struct ScenarioConfig {
+  std::string name;
+  std::string city = "la";
+  /// When non-empty, load this CSV instead of generating `city`.
+  std::string csv;
+  ClassifierKind classifier = ClassifierKind::kLogisticRegression;
+  std::vector<PartitionAlgorithm> algorithms = {
+      PartitionAlgorithm::kFairKdTree};
+  std::vector<int> heights = {6};
+  std::vector<uint64_t> seeds = {20240601};
+  int task = 0;
+  int threads = 1;
+  double test_fraction = 0.25;
+  double min_region_population = 0.0;
+};
+
+/// One point of the expanded sweep.
+struct ScenarioRun {
+  PartitionAlgorithm algorithm = PartitionAlgorithm::kFairKdTree;
+  int height = 6;
+  uint64_t seed = 20240601;
+};
+
+/// Parses scenario text. `include_dir` resolves relative include paths
+/// (pass the file's directory; "" means the working directory).
+Result<ScenarioConfig> ParseScenarioText(const std::string& text,
+                                         const std::string& include_dir);
+
+/// Loads and parses a scenario file (includes resolve relative to it).
+Result<ScenarioConfig> LoadScenarioFile(const std::string& path);
+
+/// The cross product algorithms x heights x seeds, height-major.
+std::vector<ScenarioRun> ExpandScenario(const ScenarioConfig& config);
+
+/// Loads the dataset a scenario names (CSV when set, city otherwise).
+Result<Dataset> LoadScenarioDataset(const ScenarioConfig& config);
+
+/// One sweep point's results.
+struct ScenarioRow {
+  ScenarioRun run;
+  int regions = 0;
+  double train_ence = 0.0;
+  double test_ence = 0.0;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  double test_miscalibration = 0.0;
+  double partition_seconds = 0.0;
+  int model_fits = 0;
+};
+
+/// A finished scenario execution.
+struct ScenarioReport {
+  std::vector<ScenarioRow> rows;
+};
+
+/// Executes every expanded run against `dataset`. Runs that fail on a
+/// per-algorithm precondition the config could not know about (e.g.
+/// multi-objective on a 1-task CSV) fail the whole scenario — list only
+/// applicable algorithms.
+Result<ScenarioReport> RunScenario(const ScenarioConfig& config,
+                                   const Dataset& dataset);
+
+/// Convenience: LoadScenarioDataset + RunScenario.
+Result<ScenarioReport> RunScenario(const ScenarioConfig& config);
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_CORE_SCENARIO_H_

@@ -31,9 +31,10 @@ DeltaGridAggregates::DeltaGridAggregates(
     const DeltaGridAggregatesOptions& options)
     : rows_(grid.rows()),
       cols_(grid.cols()),
-      rebuild_threshold_(options.rebuild_threshold_cells > 0
-                             ? options.rebuild_threshold_cells
-                             : std::max(32, grid.num_cells() / 64)),
+      rebuild_threshold_(options.rebuild_threshold_cells),
+      cost_fold_factor_(options.cost_fold_factor > 0.0
+                            ? options.cost_fold_factor
+                            : 1.0),
       base_(std::move(base)),
       cell_sums_(static_cast<size_t>(grid.num_cells())),
       dirty_flag_(static_cast<size_t>(grid.num_cells()), 0) {}
@@ -80,13 +81,31 @@ Status DeltaGridAggregates::Insert(int cell_id, int label, double score,
   slot.scores += score;
   slot.residuals += residual;
   ++num_records_;
-  if (static_cast<int>(dirty_list_.size()) > rebuild_threshold_) {
+  if (ShouldRebuild()) {
     return Rebuild();
   }
   return Status::Ok();
 }
 
+bool DeltaGridAggregates::ShouldRebuild() const {
+  const int dirty = static_cast<int>(dirty_list_.size());
+  if (rebuild_threshold_ > 0) {
+    // Static policy: bounded dirty set, whatever queries cost.
+    return dirty > rebuild_threshold_;
+  }
+  // Adaptive cost policy: fold once queries have re-walked the dirty set
+  // for more work than one O(UV) fold, or when the dirty bookkeeping
+  // itself reaches grid size (the snapshot memory bound).
+  const long long num_cells =
+      static_cast<long long>(rows_) * static_cast<long long>(cols_);
+  return pending_scan_work_ >
+             static_cast<long long>(cost_fold_factor_ *
+                                    static_cast<double>(num_cells)) ||
+         dirty >= num_cells;
+}
+
 RegionAggregate DeltaGridAggregates::Query(const CellRect& rect) const {
+  pending_scan_work_ += static_cast<long long>(dirty_list_.size());
   RegionAggregate out = base_.Query(rect);
   for (size_t d = 0; d < dirty_list_.size(); ++d) {
     const int cell = dirty_list_[d];
@@ -98,6 +117,8 @@ RegionAggregate DeltaGridAggregates::Query(const CellRect& rect) const {
 
 void DeltaGridAggregates::QueryMany(Span<CellRect> rects,
                                     RegionAggregate* out) const {
+  pending_scan_work_ += static_cast<long long>(dirty_list_.size()) *
+                        static_cast<long long>(rects.size());
   base_.QueryMany(rects, out);
   // Dirty cells outer, rects inner: every rect receives its corrections in
   // dirty-list order, exactly like Query(), so the batched path stays bit
@@ -133,6 +154,7 @@ Status DeltaGridAggregates::Rebuild() {
   dirty_list_.clear();
   dirty_base_.clear();
   std::fill(dirty_flag_.begin(), dirty_flag_.end(), 0);
+  pending_scan_work_ = 0;
   ++rebuild_count_;
   return Status::Ok();
 }

@@ -7,9 +7,12 @@
 // inserts (the online re-districting workload) would pay a full prefix
 // rebuild per record. The overlay instead accumulates inserts as per-cell
 // dirty sums: a query combines the O(1) base prefix answer with the
-// handful of dirty cells intersecting the rectangle, and once the dirty
-// set passes a threshold the overlay folds everything into a fresh prefix
-// (one O(UV) pass amortised over the whole batch).
+// handful of dirty cells intersecting the rectangle. The overlay folds
+// everything into a fresh prefix (one O(UV) pass amortised over the whole
+// batch) either when the dirty set passes a static cell threshold, or —
+// the default adaptive policy — when queries have cumulatively re-walked
+// the dirty set for more work than one fold would cost, so the fold point
+// tracks the observed query/insert mix instead of a fixed knob.
 //
 // Exactness: rebuilds go through GridAggregates::FromCellSums on per-cell
 // sums accumulated in record-arrival order, so a rebuilt overlay is
@@ -34,11 +37,20 @@ namespace fairidx {
 
 /// Tuning for the streaming overlay.
 struct DeltaGridAggregatesOptions {
-  /// Fold the dirty set into the prefix structure once it covers more than
-  /// this many distinct cells. <= 0 picks max(32, num_cells / 64). Every
-  /// query walks the dirty set, so the threshold trades insert throughput
-  /// against query overhead.
+  /// > 0 selects the static policy: fold the dirty set into the prefix
+  /// structure once it covers more than this many distinct cells.
+  /// <= 0 (default) selects the adaptive cost policy below. Folds behave
+  /// identically under either policy (same FromCellSums path), so query
+  /// results are unaffected by the choice — only WHEN folds happen moves.
   int rebuild_threshold_cells = 0;
+  /// Adaptive policy: fold when the cumulative dirty-scan work queries
+  /// have actually paid since the last fold (dirty cells walked per Query,
+  /// dirty-cell x rect tests per QueryMany) exceeds this multiple of one
+  /// O(UV) fold — i.e. rebuild exactly when staying dirty has cost more
+  /// than folding would have. A read-free insert burst therefore never
+  /// rebuilds (until the dirty set covers the whole grid, the snapshot
+  /// memory bound), and a query-heavy mix folds early.
+  double cost_fold_factor = 1.0;
 };
 
 /// GridAggregates plus streaming inserts. Not thread-safe: the overlay
@@ -87,6 +99,9 @@ class DeltaGridAggregates {
   int cols() const { return cols_; }
   /// Cells with pending (un-folded) inserts.
   int dirty_cells() const { return static_cast<int>(dirty_list_.size()); }
+  /// Dirty-scan work (adaptive-policy cost meter) queries have paid since
+  /// the last fold.
+  long long pending_scan_work() const { return pending_scan_work_; }
   /// Threshold rebuilds performed so far (explicit Rebuild() calls count).
   long long rebuild_count() const { return rebuild_count_; }
   /// Records inserted over the overlay's lifetime (including the initial
@@ -97,9 +112,14 @@ class DeltaGridAggregates {
   DeltaGridAggregates(const Grid& grid, GridAggregates base,
                       const DeltaGridAggregatesOptions& options);
 
+  /// True when pending state should fold now (checked at mutation points;
+  /// queries are const and only meter their work).
+  bool ShouldRebuild() const;
+
   int rows_;
   int cols_;
-  int rebuild_threshold_;
+  int rebuild_threshold_;       // <= 0: adaptive cost policy.
+  double cost_fold_factor_;
   GridAggregates base_;
   /// Row-major per-cell raw sums over ALL records (base + pending),
   /// accumulated in arrival order — the rebuild input.
@@ -112,6 +132,9 @@ class DeltaGridAggregates {
   std::vector<GridAggregates::PrefixEntry> dirty_base_;
   /// Per-cell flag: nonzero while the cell has pending inserts.
   std::vector<unsigned char> dirty_flag_;
+  /// Cost meter for the adaptive policy; mutable because metering happens
+  /// inside logically-const queries.
+  mutable long long pending_scan_work_ = 0;
   long long rebuild_count_ = 0;
   long long num_records_ = 0;
 };

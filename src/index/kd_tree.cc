@@ -335,6 +335,26 @@ int SpawnLevels(int num_threads, int height) {
   return levels < height ? levels : height;
 }
 
+// Recording variant of BuildSequential: identical SplitNode decisions,
+// plus a preorder KdTreeNode trail. Children are appended directly after
+// their parent (left subtree first), matching the DFS leaf order.
+void BuildRecorded(const GridAggregates& aggregates, const CellRect& rect,
+                   int remaining_height, const KdTreeOptions& options,
+                   KdSubtreeRecording* out) {
+  const size_t index = out->nodes.size();
+  out->nodes.push_back(KdTreeNode{rect, -1, -1, remaining_height});
+  KdSplit split;
+  if (!SplitNode(aggregates, rect, remaining_height, options, &split,
+                 &out->num_split_scans)) {
+    out->leaves.push_back(rect);
+    return;
+  }
+  out->nodes[index].left = static_cast<int>(out->nodes.size());
+  BuildRecorded(aggregates, split.left, remaining_height - 1, options, out);
+  out->nodes[index].right = static_cast<int>(out->nodes.size());
+  BuildRecorded(aggregates, split.right, remaining_height - 1, options, out);
+}
+
 }  // namespace
 
 Result<KdTreeResult> BuildKdTreePartition(const Grid& grid,
@@ -356,6 +376,41 @@ Result<KdTreeResult> BuildKdTreePartition(const Grid& grid,
                            Partition::FromRects(grid, build.leaves));
   out.result.partition = std::move(partition);
   out.result.regions = std::move(build.leaves);
+  return out;
+}
+
+Result<KdSubtreeRecording> BuildRecordedKdSubtree(
+    const GridAggregates& aggregates, const CellRect& rect,
+    int remaining_height, const KdTreeOptions& options) {
+  if (remaining_height < 0) {
+    return InvalidArgumentError("KD subtree: height must be >= 0");
+  }
+  if (rect.empty() || rect.row_begin < 0 || rect.col_begin < 0 ||
+      rect.row_end > aggregates.rows() || rect.col_end > aggregates.cols()) {
+    return InvalidArgumentError("KD subtree: rect outside the aggregates");
+  }
+  KdSubtreeRecording out;
+  BuildRecorded(aggregates, rect, remaining_height, options, &out);
+  return out;
+}
+
+Result<KdTreeResult> BuildKdTreePartitionRecorded(
+    const Grid& grid, const GridAggregates& aggregates,
+    const KdTreeOptions& options, std::vector<KdTreeNode>* nodes) {
+  if (aggregates.rows() != grid.rows() || aggregates.cols() != grid.cols()) {
+    return InvalidArgumentError("KD tree: aggregates/grid shape mismatch");
+  }
+  FAIRIDX_ASSIGN_OR_RETURN(
+      KdSubtreeRecording recording,
+      BuildRecordedKdSubtree(aggregates, grid.FullRect(), options.height,
+                             options));
+  KdTreeResult out;
+  out.num_split_scans = recording.num_split_scans;
+  FAIRIDX_ASSIGN_OR_RETURN(Partition partition,
+                           Partition::FromRects(grid, recording.leaves));
+  out.result.partition = std::move(partition);
+  out.result.regions = std::move(recording.leaves);
+  if (nodes != nullptr) *nodes = std::move(recording.nodes);
   return out;
 }
 

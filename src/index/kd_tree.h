@@ -119,6 +119,30 @@ struct KdTreeResult {
   long long num_split_scans = 0;
 };
 
+/// One node of a recorded KD split tree, stored in preorder (node 0 is the
+/// subtree root; a node's left subtree occupies the index range between its
+/// left and right child indices). Leaves have left == right == -1.
+struct KdTreeNode {
+  CellRect rect;
+  int left = -1;
+  int right = -1;
+  /// Height budget the node was built with (leaves may have a positive
+  /// remaining height when they stopped early: single cell, unsplittable
+  /// axis, or the early-stop rule).
+  int remaining_height = 0;
+
+  bool is_leaf() const { return left < 0; }
+};
+
+/// A recorded subtree build: the preorder node list plus the DFS leaf
+/// rects (identical to what BuildKdTreePartition would emit for the same
+/// root rect and options).
+struct KdSubtreeRecording {
+  std::vector<KdTreeNode> nodes;
+  std::vector<CellRect> leaves;
+  long long num_split_scans = 0;
+};
+
 /// Algorithm 1's recursion: DFS-splits the full grid to `options.height`
 /// levels. The axis at a node with remaining height th is th mod 2. Nodes
 /// that cannot be split on either axis become leaves early, so the leaf
@@ -126,6 +150,26 @@ struct KdTreeResult {
 Result<KdTreeResult> BuildKdTreePartition(const Grid& grid,
                                           const GridAggregates& aggregates,
                                           const KdTreeOptions& options);
+
+/// Sequential recorded build of the subtree rooted at `rect` with
+/// `remaining_height` levels. Split decisions are shared with
+/// BuildKdTreePartition, so the leaf list is bit-identical to what the
+/// (sequential or task-parallel) unrecorded build produces for the same
+/// rect; additionally the full split tree comes back in preorder, which is
+/// what incremental maintenance (index/kd_tree_maintainer.h) walks.
+/// `options.height` is ignored in favour of `remaining_height`;
+/// `options.num_threads` is ignored (the recording recursion is
+/// sequential — the partition does not depend on thread count).
+Result<KdSubtreeRecording> BuildRecordedKdSubtree(
+    const GridAggregates& aggregates, const CellRect& rect,
+    int remaining_height, const KdTreeOptions& options);
+
+/// BuildKdTreePartition plus the recorded split tree (preorder into
+/// `*nodes`). The partition is bit-identical to BuildKdTreePartition at
+/// any `options.num_threads`.
+Result<KdTreeResult> BuildKdTreePartitionRecorded(
+    const Grid& grid, const GridAggregates& aggregates,
+    const KdTreeOptions& options, std::vector<KdTreeNode>* nodes);
 
 /// One BFS level expansion used by the Iterative Fair KD-tree (Algorithm 3):
 /// splits every region in `regions` along `axis`, returning the refined

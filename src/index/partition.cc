@@ -88,6 +88,14 @@ Result<Partition> Partition::FromRects(const Grid& grid,
                    static_cast<int>(rects.size()));
 }
 
+void Partition::AssignRect(int cols, const CellRect& rect, int region) {
+  for (int r = rect.row_begin; r < rect.row_end; ++r) {
+    int* row = cell_to_region_.data() +
+               static_cast<size_t>(r) * cols + rect.col_begin;
+    std::fill(row, row + rect.num_cols(), region);
+  }
+}
+
 Partition Partition::Single(int num_cells) {
   return Partition(std::vector<int>(static_cast<size_t>(num_cells), 0), 1);
 }

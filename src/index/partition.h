@@ -47,9 +47,19 @@ class Partition {
   bool IsRefinedBy(const Partition& finer) const;
 
  private:
+  // The KD maintainer patches same-size subtree re-splits in place
+  // (O(drifted area) instead of a full FromRects); it guarantees the
+  // partition invariants across its patches.
+  friend class KdTreeMaintainer;
+
   Partition(std::vector<int> cell_to_region, int num_regions)
       : cell_to_region_(std::move(cell_to_region)),
         num_regions_(num_regions) {}
+
+  /// Trusted in-place reassignment: marks every cell of `rect` (row-major
+  /// over `cols` columns) as `region`. Callers preserve completeness and
+  /// id compactness.
+  void AssignRect(int cols, const CellRect& rect, int region);
 
   std::vector<int> cell_to_region_;
   int num_regions_;

@@ -1,0 +1,159 @@
+#include "index/partitioner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace fairidx {
+
+PartitionerContext::PartitionerContext(const Dataset& dataset,
+                                       const TrainTestSplit& split,
+                                       const Classifier* prototype,
+                                       PartitionerBuildOptions options,
+                                       InitialScoreFn initial_score_fn)
+    : dataset_(&dataset),
+      split_(&split),
+      prototype_(prototype),
+      options_(std::move(options)),
+      initial_score_fn_(std::move(initial_score_fn)) {}
+
+int PartitionerContext::target_regions() const {
+  return 1 << std::min(options_.height, 30);
+}
+
+Result<const std::vector<double>*> PartitionerContext::InitialScores() {
+  if (!scores_ready_) {
+    if (!initial_score_fn_) {
+      return FailedPreconditionError(
+          "PartitionerContext: no initial-score hook (wire one, e.g. "
+          "MakePipelinePartitionerContext)");
+    }
+    if (prototype_ == nullptr) {
+      return FailedPreconditionError(
+          "PartitionerContext: initial scores need a classifier prototype");
+    }
+    FAIRIDX_ASSIGN_OR_RETURN(
+        initial_scores_,
+        initial_score_fn_(*dataset_, *split_, *prototype_, options_));
+    if (initial_scores_.size() != dataset_->num_records()) {
+      return InternalError(
+          "PartitionerContext: score hook returned wrong record count");
+    }
+    ++initial_fits_;
+    scores_ready_ = true;
+  }
+  return &initial_scores_;
+}
+
+Result<GridAggregates> PartitionerContext::BuildTrainAggregates(
+    const std::vector<double>& scores) const {
+  if (options_.task < 0 || options_.task >= dataset_->num_tasks()) {
+    return InvalidArgumentError("PartitionerContext: invalid task");
+  }
+  std::vector<int> cells;
+  std::vector<int> labels;
+  std::vector<double> train_scores;
+  cells.reserve(split_->train_indices.size());
+  labels.reserve(split_->train_indices.size());
+  train_scores.reserve(split_->train_indices.size());
+  for (size_t i : split_->train_indices) {
+    cells.push_back(dataset_->base_cells()[i]);
+    labels.push_back(dataset_->labels(options_.task)[i]);
+    train_scores.push_back(scores[i]);
+  }
+  return GridAggregates::Build(dataset_->grid(), cells, labels,
+                               train_scores);
+}
+
+Result<const GridAggregates*> PartitionerContext::ScoredAggregates() {
+  if (!scored_aggregates_.has_value()) {
+    FAIRIDX_ASSIGN_OR_RETURN(const std::vector<double>* scores,
+                             InitialScores());
+    FAIRIDX_ASSIGN_OR_RETURN(GridAggregates aggregates,
+                             BuildTrainAggregates(*scores));
+    scored_aggregates_.emplace(std::move(aggregates));
+  }
+  return &*scored_aggregates_;
+}
+
+Result<const GridAggregates*> PartitionerContext::CountAggregates() {
+  if (!count_aggregates_.has_value()) {
+    FAIRIDX_ASSIGN_OR_RETURN(
+        GridAggregates aggregates,
+        BuildTrainAggregates(
+            std::vector<double>(dataset_->num_records(), 0.0)));
+    count_aggregates_.emplace(std::move(aggregates));
+  }
+  return &*count_aggregates_;
+}
+
+Result<KdRefineStats> Partitioner::Refine(const GridAggregates& aggregates,
+                                          const KdRefineOptions& options) {
+  (void)aggregates;
+  (void)options;
+  return FailedPreconditionError(
+      std::string(name()) +
+      ": Refine unsupported (build with enable_refine on a "
+      "supports_refine partitioner)");
+}
+
+PartitionerRegistry& PartitionerRegistry::Global() {
+  // Never destroyed: registrations may arrive from static initializers in
+  // any TU order, and lookups can outlive main's statics.
+  static PartitionerRegistry* registry = new PartitionerRegistry();
+  return *registry;
+}
+
+bool PartitionerRegistry::Register(const std::string& name,
+                                   Factory factory) {
+  if (!factory) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.emplace(name, std::move(factory)).second;
+}
+
+Result<std::unique_ptr<Partitioner>> PartitionerRegistry::Create(
+    const std::string& name) const {
+  EnsureBuiltinPartitionersRegistered();
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = factories_.find(name);
+    if (it != factories_.end()) factory = it->second;
+  }
+  if (!factory) {
+    return NotFoundError("unknown partitioner '" + name + "' (known: " +
+                         Join(Names(), ", ") + ")");
+  }
+  std::unique_ptr<Partitioner> partitioner = factory();
+  if (partitioner == nullptr) {
+    return InternalError("partitioner factory for '" + name +
+                         "' returned null");
+  }
+  return partitioner;
+}
+
+bool PartitionerRegistry::Contains(const std::string& name) const {
+  EnsureBuiltinPartitionersRegistered();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(name) > 0;
+}
+
+std::vector<std::string> PartitionerRegistry::Names() const {
+  EnsureBuiltinPartitionersRegistered();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& entry : factories_) names.push_back(entry.first);
+  return names;  // std::map iteration is already sorted.
+}
+
+void EnsureBuiltinPartitionersRegistered() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    RegisterIndexPartitioners(PartitionerRegistry::Global());
+    RegisterCorePartitioners(PartitionerRegistry::Global());
+  });
+}
+
+}  // namespace fairidx

@@ -206,6 +206,90 @@ TEST(DeltaGridAggregatesTest, BatchedQueryMatchesLoopedQueryBitForBit) {
   }
 }
 
+TEST(DeltaGridAggregatesTest, AdaptiveCostPolicyFoldsAfterQueryWork) {
+  // Default options = adaptive policy: folds are driven by the dirty-scan
+  // work queries actually pay, not a static dirty-cell knob.
+  const Grid grid = MakeGrid(6, 6);  // 36 cells = one fold's O(UV) cost.
+  DeltaGridAggregates delta =
+      DeltaGridAggregates::Build(grid, {}, {}, {}).value();
+  Rng rng(17);
+  Stream s = MakeStream(rng, grid, 20, /*dyadic=*/true);
+  for (int i = 0; i < 20; ++i) {
+    // Distinct cells so the dirty set grows but stays below num_cells.
+    s.cells[i] = i;
+    ASSERT_TRUE(delta.Insert(s.cells[i], s.labels[i], s.scores[i]).ok());
+  }
+  // Insert-only burst: no query work has accrued, so no fold yet.
+  EXPECT_EQ(delta.rebuild_count(), 0);
+  EXPECT_EQ(delta.dirty_cells(), 20);
+  EXPECT_EQ(delta.pending_scan_work(), 0);
+
+  // Two full-grid queries re-walk the 20 dirty cells each: 40 > 36 cells
+  // of accumulated dirty-scan work = more than one fold would have cost.
+  (void)delta.Query(grid.FullRect());
+  (void)delta.Query(grid.FullRect());
+  EXPECT_GT(delta.pending_scan_work(), grid.num_cells());
+  EXPECT_EQ(delta.rebuild_count(), 0);  // Queries are const: no fold yet.
+
+  // The next mutation point folds, and the fold is still exact.
+  ASSERT_TRUE(delta.Insert(21, 1, 0.5).ok());
+  EXPECT_EQ(delta.rebuild_count(), 1);
+  EXPECT_EQ(delta.dirty_cells(), 0);
+  EXPECT_EQ(delta.pending_scan_work(), 0);
+
+  s.cells.push_back(21);
+  s.labels.push_back(1);
+  s.scores.push_back(0.5);
+  const GridAggregates reference =
+      GridAggregates::Build(grid, s.cells, s.labels, s.scores).value();
+  for (int q = 0; q < 20; ++q) {
+    const CellRect rect = RandomRect(rng, grid);
+    ExpectAggEq(delta.Query(rect), reference.Query(rect), 0.0);
+  }
+}
+
+TEST(DeltaGridAggregatesTest, AdaptiveChargesQueryManyPerRect) {
+  const Grid grid = MakeGrid(8, 8);
+  DeltaGridAggregates delta =
+      DeltaGridAggregates::Build(grid, {}, {}, {}).value();
+  ASSERT_TRUE(delta.Insert(0, 1, 0.5).ok());
+  ASSERT_TRUE(delta.Insert(9, 0, 0.25).ok());
+  std::vector<CellRect> rects(5, grid.FullRect());
+  (void)delta.QueryMany(rects);
+  // 2 dirty cells x 5 rects of delta-correction tests.
+  EXPECT_EQ(delta.pending_scan_work(), 10);
+}
+
+TEST(DeltaGridAggregatesTest, AdaptiveFoldsWhenDirtySetCoversGrid) {
+  // The snapshot-memory bound: even a read-free insert burst folds once
+  // every cell is dirty.
+  const Grid grid = MakeGrid(2, 2);
+  DeltaGridAggregates delta =
+      DeltaGridAggregates::Build(grid, {}, {}, {}).value();
+  for (int cell = 0; cell < 4; ++cell) {
+    ASSERT_TRUE(delta.Insert(cell, 1, 0.5).ok());
+  }
+  EXPECT_EQ(delta.rebuild_count(), 1);
+  EXPECT_EQ(delta.dirty_cells(), 0);
+}
+
+TEST(DeltaGridAggregatesTest, StaticThresholdStillHonored) {
+  // An explicit threshold opts out of the adaptive policy entirely: heavy
+  // query work alone must not trigger folds.
+  const Grid grid = MakeGrid(6, 6);
+  DeltaGridAggregatesOptions options;
+  options.rebuild_threshold_cells = 30;
+  DeltaGridAggregates delta =
+      DeltaGridAggregates::Build(grid, {}, {}, {}, {}, options).value();
+  for (int cell = 0; cell < 20; ++cell) {
+    ASSERT_TRUE(delta.Insert(cell, 0, 0.25).ok());
+  }
+  for (int q = 0; q < 50; ++q) (void)delta.Query(grid.FullRect());
+  ASSERT_TRUE(delta.Insert(25, 1, 0.5).ok());
+  EXPECT_EQ(delta.rebuild_count(), 0);
+  EXPECT_EQ(delta.dirty_cells(), 21);
+}
+
 TEST(DeltaGridAggregatesTest, RejectsBadInserts) {
   const Grid grid = MakeGrid(3, 3);
   DeltaGridAggregates delta =

@@ -2,6 +2,7 @@
 // writing C++.
 //
 //   fairidx_cli generate  --city la|houston --out data.csv
+//   fairidx_cli run       scenario.cfg
 //   fairidx_cli run       --city la [--csv data.csv] --algorithm fair_kd_tree
 //                         --height 6 --classifier lr [--task 0] [--threads N]
 //   fairidx_cli sweep     --city la --classifier lr [--algorithm ...]
@@ -10,13 +11,21 @@
 //                         --out partition.csv [--wkt partition.wkt]
 //   fairidx_cli stream    --city la [--height 6] [--batch 200]
 //                         [--warmup-pct 50] [--threshold N]
+//                         [--refine-bound B]
+//
+// `run scenario.cfg` executes a declarative scenario file — a
+// multi-algorithm x multi-height x multi-seed sweep from one config (see
+// core/scenario.h for the format and examples/scenarios/ for samples).
 //
 // `stream` is the online re-districting demo: it builds a Fair KD-tree
 // partition from a warmup prefix of the records, then streams the rest
 // into a DeltaGridAggregates overlay batch by batch, reporting the
 // partition's region ENCE after every batch (batched QueryMany over the
 // overlay) together with the overlay's dirty-cell and rebuild counters —
-// no O(UV) prefix rebuild per record.
+// no O(UV) prefix rebuild per record. With --refine-bound B the partition
+// is maintained incrementally: whenever some region's calibration gap
+// drifts past B, only the drifted subtrees are re-split
+// (index/kd_tree_maintainer.h) instead of rebuilding the whole tree.
 //
 // `--csv` loads an EdGap-style extract (see data/csv_dataset.h for the
 // schema); otherwise the named synthetic city is generated.
@@ -27,19 +36,21 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/table_printer.h"
 #include "core/experiment_config.h"
 #include "core/pipeline.h"
+#include "core/scenario.h"
 #include "data/csv_dataset.h"
-#include "data/edgap_synthetic.h"
 #include "data/split.h"
 #include "fairness/disparity_report.h"
 #include "fairness/region_metrics.h"
 #include "geo/delta_grid_aggregates.h"
-#include "index/fair_kd_tree.h"
+#include "index/kd_tree.h"
+#include "index/kd_tree_maintainer.h"
 #include "index/partition_io.h"
 
 namespace fairidx {
@@ -78,6 +89,10 @@ class Flags {
     auto it = values_.find(name);
     return it == values_.end() ? fallback : std::atoi(it->second.c_str());
   }
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
 
  private:
   std::map<std::string, std::string> values_;
@@ -87,51 +102,12 @@ class Flags {
 // ----- Shared helpers -------------------------------------------------
 
 Result<Dataset> LoadFlaggedDataset(const Flags& flags) {
-  if (flags.Has("csv")) {
-    return LoadEdgapCsvFile(flags.Get("csv"), CsvDatasetOptions{});
-  }
-  const std::string city = flags.Get("city", "la");
-  if (city == "la" || city == "losangeles") {
-    return GenerateEdgapCity(LosAngelesConfig());
-  }
-  if (city == "houston") {
-    return GenerateEdgapCity(HoustonConfig());
-  }
-  return InvalidArgumentError("unknown --city '" + city +
-                              "' (expected la|houston)");
-}
-
-Result<PartitionAlgorithm> ParseAlgorithm(const std::string& name) {
-  static const std::map<std::string, PartitionAlgorithm> kByName = {
-      {"median_kd_tree", PartitionAlgorithm::kMedianKdTree},
-      {"fair_kd_tree", PartitionAlgorithm::kFairKdTree},
-      {"iterative_fair_kd_tree", PartitionAlgorithm::kIterativeFairKdTree},
-      {"multi_objective_fair_kd_tree",
-       PartitionAlgorithm::kMultiObjectiveFairKdTree},
-      {"grid_reweighting", PartitionAlgorithm::kUniformGridReweight},
-      {"zip_codes", PartitionAlgorithm::kZipCodes},
-      {"fair_quadtree", PartitionAlgorithm::kFairQuadtree},
-      {"str_slabs", PartitionAlgorithm::kStrSlabs},
-  };
-  auto it = kByName.find(name);
-  if (it == kByName.end()) {
-    return InvalidArgumentError("unknown --algorithm '" + name + "'");
-  }
-  return it->second;
-}
-
-Result<ClassifierKind> ParseClassifier(const std::string& name) {
-  if (name == "lr" || name == "logistic_regression") {
-    return ClassifierKind::kLogisticRegression;
-  }
-  if (name == "tree" || name == "decision_tree") {
-    return ClassifierKind::kDecisionTree;
-  }
-  if (name == "nb" || name == "naive_bayes") {
-    return ClassifierKind::kNaiveBayes;
-  }
-  return InvalidArgumentError("unknown --classifier '" + name +
-                              "' (expected lr|tree|nb)");
+  // Same resolution rules as scenario files (one city-name map to
+  // maintain).
+  ScenarioConfig source;
+  source.csv = flags.Get("csv", "");
+  source.city = flags.Get("city", "la");
+  return LoadScenarioDataset(source);
 }
 
 int Fail(const Status& status) {
@@ -153,12 +129,49 @@ int CmdGenerate(const Flags& flags) {
   return 0;
 }
 
+// `run <scenario.cfg>`: the declarative sweep path.
+int CmdRunScenario(const std::string& path) {
+  auto config = LoadScenarioFile(path);
+  if (!config.ok()) return Fail(config.status());
+  auto dataset = LoadScenarioDataset(*config);
+  if (!dataset.ok()) return Fail(dataset.status());
+  std::fprintf(stderr,
+               "scenario %s: %zu runs (%zu algorithms x %zu heights x %zu "
+               "seeds) on %zu records, classifier %s\n",
+               config->name.c_str(),
+               config->algorithms.size() * config->heights.size() *
+                   config->seeds.size(),
+               config->algorithms.size(), config->heights.size(),
+               config->seeds.size(), dataset->num_records(),
+               ClassifierKindName(config->classifier));
+  auto report = RunScenario(*config, *dataset);
+  if (!report.ok()) return Fail(report.status());
+
+  TablePrinter table({"height", "algorithm", "seed", "regions",
+                      "train_ence", "test_ence", "test_acc", "build_s",
+                      "fits"});
+  for (const ScenarioRow& row : report->rows) {
+    table.AddRow({std::to_string(row.run.height),
+                  PartitionAlgorithmName(row.run.algorithm),
+                  std::to_string(row.run.seed),
+                  std::to_string(row.regions),
+                  TablePrinter::FormatDouble(row.train_ence, 5),
+                  TablePrinter::FormatDouble(row.test_ence, 5),
+                  TablePrinter::FormatDouble(row.test_accuracy, 4),
+                  TablePrinter::FormatDouble(row.partition_seconds, 3),
+                  std::to_string(row.model_fits)});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
 int CmdRun(const Flags& flags) {
   auto dataset = LoadFlaggedDataset(flags);
   if (!dataset.ok()) return Fail(dataset.status());
-  auto algorithm = ParseAlgorithm(flags.Get("algorithm", "fair_kd_tree"));
+  auto algorithm =
+      ParsePartitionAlgorithm(flags.Get("algorithm", "fair_kd_tree"));
   if (!algorithm.ok()) return Fail(algorithm.status());
-  auto classifier_kind = ParseClassifier(flags.Get("classifier", "lr"));
+  auto classifier_kind = ParseClassifierKind(flags.Get("classifier", "lr"));
   if (!classifier_kind.ok()) return Fail(classifier_kind.status());
 
   PipelineOptions options;
@@ -190,13 +203,13 @@ int CmdRun(const Flags& flags) {
 int CmdSweep(const Flags& flags) {
   auto dataset = LoadFlaggedDataset(flags);
   if (!dataset.ok()) return Fail(dataset.status());
-  auto classifier_kind = ParseClassifier(flags.Get("classifier", "lr"));
+  auto classifier_kind = ParseClassifierKind(flags.Get("classifier", "lr"));
   if (!classifier_kind.ok()) return Fail(classifier_kind.status());
   const auto prototype = MakeClassifier(*classifier_kind);
 
   std::vector<PartitionAlgorithm> algorithms;
   if (flags.Has("algorithm")) {
-    auto algorithm = ParseAlgorithm(flags.Get("algorithm"));
+    auto algorithm = ParsePartitionAlgorithm(flags.Get("algorithm"));
     if (!algorithm.ok()) return Fail(algorithm.status());
     algorithms.push_back(*algorithm);
   } else {
@@ -263,7 +276,8 @@ int CmdDisparity(const Flags& flags) {
 int CmdExport(const Flags& flags) {
   auto dataset = LoadFlaggedDataset(flags);
   if (!dataset.ok()) return Fail(dataset.status());
-  auto algorithm = ParseAlgorithm(flags.Get("algorithm", "fair_kd_tree"));
+  auto algorithm =
+      ParsePartitionAlgorithm(flags.Get("algorithm", "fair_kd_tree"));
   if (!algorithm.ok()) return Fail(algorithm.status());
   PipelineOptions options;
   options.algorithm = *algorithm;
@@ -332,13 +346,34 @@ int CmdStream(const Flags& flags) {
   const std::vector<int> warm_labels(labels.begin(), labels.begin() + warmup);
   const std::vector<double> warm_scores(scores.begin(),
                                         scores.begin() + warmup);
-  FairKdTreeOptions tree_options;
+  const bool refine = flags.Has("refine-bound");
+  const double refine_bound = flags.GetDouble("refine-bound", 0.02);
+
+  auto warm_aggregates = GridAggregates::Build(dataset->grid(), warm_cells,
+                                               warm_labels, warm_scores);
+  if (!warm_aggregates.ok()) return Fail(warm_aggregates.status());
+
+  // The maintained tree (refine mode) or the fixed warmup tree. Both are
+  // the same Fair KD build; the maintainer additionally records the split
+  // tree so drifted subtrees can be re-split in place later.
+  KdTreeOptions tree_options;
   tree_options.height = height;
   tree_options.num_threads = flags.GetInt("threads", 1);
-  auto tree = BuildFairKdTree(dataset->grid(), warm_cells, warm_labels,
-                              warm_scores, tree_options);
-  if (!tree.ok()) return Fail(tree.status());
-  const std::vector<CellRect>& regions = tree->result.regions;
+  std::vector<CellRect> regions;
+  std::optional<KdTreeMaintainer> maintainer;
+  if (refine) {
+    auto built = KdTreeMaintainer::Build(dataset->grid(), *warm_aggregates,
+                                         tree_options);
+    if (!built.ok()) return Fail(built.status());
+    maintainer.emplace(std::move(*built));
+    regions = maintainer->tree().result.regions;
+  } else {
+    auto tree =
+        BuildKdTreePartition(dataset->grid(), *warm_aggregates,
+                             tree_options);
+    if (!tree.ok()) return Fail(tree.status());
+    regions = tree->result.regions;
+  }
 
   DeltaGridAggregatesOptions delta_options;
   delta_options.rebuild_threshold_cells = flags.GetInt("threshold", 0);
@@ -348,17 +383,20 @@ int CmdStream(const Flags& flags) {
   if (!delta.ok()) return Fail(delta.status());
 
   std::printf("streaming %zu records into a height-%d partition "
-              "(%zu regions, %zu warmup records, batch %d)\n",
-              n - warmup, height, regions.size(), warmup, batch);
+              "(%zu regions, %zu warmup records, batch %d%s)\n",
+              n - warmup, height, regions.size(), warmup, batch,
+              refine ? ", incremental refine on" : "");
   TablePrinter table({"batch", "records", "dirty_cells", "rebuilds",
-                      "region_ence"});
+                      "regions", "resplits", "region_ence"});
   const RegionEnceResult warm_ence = RegionEnce(delta->QueryMany(regions));
   table.AddRow({"warmup", std::to_string(delta->num_records()),
                 std::to_string(delta->dirty_cells()),
                 std::to_string(delta->rebuild_count()),
+                std::to_string(regions.size()), "0",
                 TablePrinter::FormatDouble(warm_ence.ence, 5)});
 
   int batch_index = 0;
+  long long total_resplits = 0;
   for (size_t next = warmup; next < n;) {
     const size_t end = std::min(n, next + static_cast<size_t>(batch));
     for (; next < end; ++next) {
@@ -368,11 +406,36 @@ int CmdStream(const Flags& flags) {
         return Fail(status);
       }
     }
-    const RegionEnceResult ence = RegionEnce(delta->QueryMany(regions));
+    std::vector<RegionAggregate> region_aggregates =
+        delta->QueryMany(regions);
+    int resplits = 0;
+    KdRefineOptions refine_options;
+    refine_options.drift_bound = refine_bound;
+    if (refine &&
+        maintainer->WouldRefine(region_aggregates, refine_options)) {
+      // Maintenance will actually re-split something: fold the overlay
+      // once and refine against the folded prefix. (WouldRefine runs the
+      // exact drift evaluation on the aggregates the ENCE report already
+      // computed, so drifted-but-unsplittable regions never trigger an
+      // endless fold + no-op cycle. Refine then re-evaluates drift on
+      // the folded prefix deliberately: overlay values may differ by FP
+      // dust, and the re-splits must key off the exact aggregates they
+      // rebuild from.)
+      if (auto status = delta->Rebuild(); !status.ok()) return Fail(status);
+      auto stats = maintainer->Refine(delta->base(), refine_options);
+      if (!stats.ok()) return Fail(stats.status());
+      resplits = stats->subtrees_rebuilt;
+      total_resplits += resplits;
+      regions = maintainer->tree().result.regions;
+      region_aggregates = delta->QueryMany(regions);
+    }
+    const RegionEnceResult ence = RegionEnce(region_aggregates);
     table.AddRow({std::to_string(++batch_index),
                   std::to_string(delta->num_records()),
                   std::to_string(delta->dirty_cells()),
                   std::to_string(delta->rebuild_count()),
+                  std::to_string(regions.size()),
+                  std::to_string(resplits),
                   TablePrinter::FormatDouble(ence.ence, 5)});
   }
   table.Print(std::cout);
@@ -380,9 +443,11 @@ int CmdStream(const Flags& flags) {
   // Fold the tail and show the exact final state.
   if (auto status = delta->Rebuild(); !status.ok()) return Fail(status);
   const RegionEnceResult final_ence = RegionEnce(delta->QueryMany(regions));
-  std::printf("final: %lld records, %lld rebuilds, region ENCE %.5f\n",
-              delta->num_records(), delta->rebuild_count(),
-              final_ence.ence);
+  std::printf(
+      "final: %lld records, %lld rebuilds, %lld subtree re-splits, "
+      "region ENCE %.5f\n",
+      delta->num_records(), delta->rebuild_count(), total_resplits,
+      final_ence.ence);
   return 0;
 }
 
@@ -391,11 +456,14 @@ int Usage() {
       stderr,
       "usage: fairidx_cli <generate|run|sweep|disparity|export|stream> "
       "[flags]\n"
+      "       fairidx_cli run <scenario.cfg>   (declarative sweep; see\n"
+      "                core/scenario.h and examples/scenarios/)\n"
       "  common flags: --city la|houston | --csv file.csv\n"
       "  run/export:   --algorithm <name> --height N --classifier lr|tree|nb\n"
       "                --threads N (parallel partition build)\n"
       "  stream:       --height N --batch N --warmup-pct P --threshold N\n"
-      "                (streaming-insert demo over DeltaGridAggregates)\n"
+      "                (0 = adaptive cost-triggered folds) --refine-bound B\n"
+      "                (incremental subtree re-splits on region drift > B)\n"
       "  see the file header for the full reference\n");
   return 2;
 }
@@ -403,6 +471,17 @@ int Usage() {
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  // `run <scenario.cfg>`: a positional (non-flag) argument selects the
+  // declarative path.
+  if (command == "run" && argc > 2 &&
+      std::strncmp(argv[2], "--", 2) != 0) {
+    if (argc > 3) {
+      std::fprintf(stderr,
+                   "run <scenario.cfg> takes no further arguments\n");
+      return Usage();
+    }
+    return CmdRunScenario(argv[2]);
+  }
   const Flags flags(argc, argv, 2);
   if (!flags.ok()) return Usage();
   if (command == "generate") return CmdGenerate(flags);
