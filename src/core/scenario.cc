@@ -1,14 +1,19 @@
 #include "core/scenario.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <utility>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "data/csv_dataset.h"
 #include "data/edgap_synthetic.h"
+#include "fairness/region_metrics.h"
+#include "service/fair_index_service.h"
 
 namespace fairidx {
 namespace {
@@ -194,6 +199,35 @@ Status ParseInto(const std::string& text, const std::string& include_dir,
       auto population = ParseDouble(value);
       if (population.ok()) config->min_region_population = *population;
       status = population.ok() ? Status::Ok() : population.status();
+    } else if (key == "workload") {
+      if (value == "pipeline") {
+        config->workload = ScenarioWorkload::kPipeline;
+      } else if (value == "stream") {
+        config->workload = ScenarioWorkload::kStream;
+      } else {
+        status = InvalidArgumentError("unknown workload '" + value +
+                                      "' (expected pipeline|stream)");
+      }
+    } else if (key == "stream_batch") {
+      auto batch = ParseInt(value);
+      if (batch.ok()) config->stream_batch = *batch;
+      status = batch.ok() ? Status::Ok() : batch.status();
+    } else if (key == "stream_shards") {
+      auto shards = ParseInt(value);
+      if (shards.ok()) config->stream_shards = *shards;
+      status = shards.ok() ? Status::Ok() : shards.status();
+    } else if (key == "stream_refine_bound") {
+      auto bound = ParseDouble(value);
+      if (bound.ok()) config->stream_refine_bound = *bound;
+      status = bound.ok() ? Status::Ok() : bound.status();
+    } else if (key == "stream_warmup_pct") {
+      auto pct = ParseInt(value);
+      if (pct.ok()) config->stream_warmup_pct = *pct;
+      status = pct.ok() ? Status::Ok() : pct.status();
+    } else if (key == "stream_seal_records") {
+      auto seal = ParseInt(value);
+      if (seal.ok()) config->stream_seal_records = *seal;
+      status = seal.ok() ? Status::Ok() : seal.status();
     } else {
       status = InvalidArgumentError("unknown scenario key '" + key + "'");
     }
@@ -225,6 +259,28 @@ Status ValidateScenario(const ScenarioConfig& config) {
   if (config.test_fraction <= 0.0 || config.test_fraction >= 1.0) {
     return InvalidArgumentError(
         "scenario: test_fraction must be in (0, 1)");
+  }
+  if (config.stream_batch < 1) {
+    return InvalidArgumentError("scenario: stream_batch must be >= 1");
+  }
+  if (config.stream_shards < 1) {
+    return InvalidArgumentError("scenario: stream_shards must be >= 1");
+  }
+  if (config.stream_warmup_pct < 1 || config.stream_warmup_pct > 99) {
+    return InvalidArgumentError(
+        "scenario: stream_warmup_pct must be in [1, 99]");
+  }
+  if (config.stream_seal_records < 0) {
+    return InvalidArgumentError(
+        "scenario: stream_seal_records must be >= 0");
+  }
+  if (config.workload == ScenarioWorkload::kStream &&
+      config.min_region_population > 0.0) {
+    // The stream workload has no region-merging post-process; silently
+    // dropping the key would violate the engine's typo-proof stance.
+    return InvalidArgumentError(
+        "scenario: min_region_population is not supported with "
+        "workload = stream");
   }
   return Status::Ok();
 }
@@ -275,34 +331,158 @@ Result<Dataset> LoadScenarioDataset(const ScenarioConfig& config) {
                               "' (expected la|houston)");
 }
 
+namespace {
+
+Result<ScenarioRow> RunOnePipelinePoint(const ScenarioConfig& config,
+                                        const Dataset& dataset,
+                                        const Classifier& prototype,
+                                        const ScenarioRun& run) {
+  PipelineOptions options;
+  options.algorithm = run.algorithm;
+  options.height = run.height;
+  options.task = config.task;
+  options.num_threads = config.threads;
+  options.test_fraction = config.test_fraction;
+  options.split_seed = run.seed;
+  options.min_region_population = config.min_region_population;
+  FAIRIDX_ASSIGN_OR_RETURN(PipelineRunResult result,
+                           RunPipeline(dataset, prototype, options));
+  ScenarioRow row;
+  row.run = run;
+  row.regions = result.final_model.eval.num_neighborhoods;
+  row.train_ence = result.final_model.eval.train_ence;
+  row.test_ence = result.final_model.eval.test_ence;
+  row.train_accuracy = result.final_model.eval.train_accuracy;
+  row.test_accuracy = result.final_model.eval.test_accuracy;
+  row.test_miscalibration = result.final_model.eval.test_miscalibration;
+  row.partition_seconds = result.partition_seconds;
+  row.model_fits = result.partition_stage_fits;
+  return row;
+}
+
+// One serving-layer sweep point: one model fit scores every record, a
+// warmup prefix builds the maintained partition, and the tail streams
+// through a FairIndexService (ingest batches, epoch seals, drift-bounded
+// refines) — the scenario-file form of `fairidx_cli stream`.
+Result<ScenarioStreamRow> RunOneStreamPoint(const ScenarioConfig& config,
+                                            const Dataset& dataset,
+                                            const Classifier& prototype,
+                                            const ScenarioRun& run) {
+  if (config.task < 0 || config.task >= dataset.num_tasks()) {
+    return InvalidArgumentError("scenario: task out of range for dataset");
+  }
+  Rng rng(run.seed);
+  FAIRIDX_ASSIGN_OR_RETURN(
+      TrainTestSplit split,
+      MakeStratifiedSplit(dataset.labels(config.task),
+                          config.test_fraction, rng));
+  FAIRIDX_ASSIGN_OR_RETURN(
+      TrainedEvaluation trained,
+      TrainOnBaseGrid(dataset, split, prototype, EvalOptions{}));
+
+  AggregateBatch all;
+  all.cell_ids = dataset.base_cells();
+  all.labels = dataset.labels(config.task);
+  all.scores = trained.scores;
+  const size_t n = dataset.num_records();
+  const size_t warmup = std::max<size_t>(
+      1, n * static_cast<size_t>(config.stream_warmup_pct) / 100);
+  const AggregateBatch warm = all.Slice(0, warmup);
+
+  FairIndexServiceOptions service_options;
+  service_options.algorithm = PartitionAlgorithmName(run.algorithm);
+  service_options.build.height = run.height;
+  service_options.build.task = config.task;
+  service_options.build.num_threads = config.threads;
+  service_options.store.num_shards = config.stream_shards;
+  service_options.store.num_threads = config.threads;
+  service_options.refine.drift_bound = config.stream_refine_bound;
+  const bool refine = config.stream_refine_bound >= 0.0;
+
+  const auto start = std::chrono::steady_clock::now();
+  FAIRIDX_ASSIGN_OR_RETURN(
+      std::unique_ptr<FairIndexService> service,
+      FairIndexService::Create(dataset.grid(), warm, service_options));
+
+  for (size_t next = warmup; next < n;) {
+    const size_t end =
+        std::min(n, next + static_cast<size_t>(config.stream_batch));
+    FAIRIDX_RETURN_IF_ERROR(
+        service->Ingest(all.Slice(next, end)).status());
+    next = end;
+    if (service->store().pending_records() >= config.stream_seal_records) {
+      if (refine) {
+        FAIRIDX_RETURN_IF_ERROR(service->MaybeRefine().status());
+      } else {
+        FAIRIDX_RETURN_IF_ERROR(service->Seal().status());
+      }
+    }
+  }
+  FAIRIDX_RETURN_IF_ERROR(service->Seal().status());
+  const std::vector<RegionAggregate> final_regions =
+      service->QueryRegions();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  ScenarioStreamRow row;
+  row.run = run;
+  row.regions = static_cast<int>(final_regions.size());
+  row.records = service->store().num_records();
+  row.epochs = service->store().epoch();
+  row.resplits = service->total_resplits();
+  row.final_ence = RegionEnce(final_regions).ence;
+  row.stream_seconds =
+      std::chrono::duration<double>(elapsed).count();
+  return row;
+}
+
+// Executes `fn` over every sweep point on the shared ThreadPool (at most
+// config.threads at once), preserving sweep order. Each point is
+// independent and internally deterministic, so the row vector is
+// bit-identical at any thread count; on failures the error of the
+// EARLIEST failing point (in sweep order) is returned, also regardless
+// of thread count.
+template <typename Row, typename Fn>
+Result<std::vector<Row>> RunSweepPoints(const ScenarioConfig& config,
+                                        const std::vector<ScenarioRun>& runs,
+                                        Fn fn) {
+  std::vector<Result<Row>> results(
+      runs.size(), Result<Row>(InternalError("sweep point not executed")));
+  ThreadPool::Shared().ParallelFor(
+      runs.size(), config.threads,
+      [&](size_t i) { results[i] = fn(runs[i]); });
+  std::vector<Row> rows;
+  rows.reserve(runs.size());
+  for (Result<Row>& result : results) {
+    if (!result.ok()) return result.status();
+    rows.push_back(std::move(result).value());
+  }
+  return rows;
+}
+
+}  // namespace
+
 Result<ScenarioReport> RunScenario(const ScenarioConfig& config,
                                    const Dataset& dataset) {
   FAIRIDX_RETURN_IF_ERROR(ValidateScenario(config));
   const std::unique_ptr<Classifier> prototype =
       MakeClassifier(config.classifier);
+  const std::vector<ScenarioRun> runs = ExpandScenario(config);
   ScenarioReport report;
-  for (const ScenarioRun& run : ExpandScenario(config)) {
-    PipelineOptions options;
-    options.algorithm = run.algorithm;
-    options.height = run.height;
-    options.task = config.task;
-    options.num_threads = config.threads;
-    options.test_fraction = config.test_fraction;
-    options.split_seed = run.seed;
-    options.min_region_population = config.min_region_population;
-    FAIRIDX_ASSIGN_OR_RETURN(PipelineRunResult result,
-                             RunPipeline(dataset, *prototype, options));
-    ScenarioRow row;
-    row.run = run;
-    row.regions = result.final_model.eval.num_neighborhoods;
-    row.train_ence = result.final_model.eval.train_ence;
-    row.test_ence = result.final_model.eval.test_ence;
-    row.train_accuracy = result.final_model.eval.train_accuracy;
-    row.test_accuracy = result.final_model.eval.test_accuracy;
-    row.test_miscalibration = result.final_model.eval.test_miscalibration;
-    row.partition_seconds = result.partition_seconds;
-    row.model_fits = result.partition_stage_fits;
-    report.rows.push_back(row);
+  report.workload = config.workload;
+  if (config.workload == ScenarioWorkload::kStream) {
+    FAIRIDX_ASSIGN_OR_RETURN(
+        report.stream_rows,
+        (RunSweepPoints<ScenarioStreamRow>(
+            config, runs, [&](const ScenarioRun& run) {
+              return RunOneStreamPoint(config, dataset, *prototype, run);
+            })));
+  } else {
+    FAIRIDX_ASSIGN_OR_RETURN(
+        report.rows,
+        (RunSweepPoints<ScenarioRow>(
+            config, runs, [&](const ScenarioRun& run) {
+              return RunOnePipelinePoint(config, dataset, *prototype, run);
+            })));
   }
   return report;
 }

@@ -20,13 +20,26 @@
 //   heights = 4, 6, 8    or    heights = 4..10    (sweep list / range)
 //   seeds = 1, 2, 3                 split seeds (one run per seed)
 //   task = 0
-//   threads = 2                     partition-stage parallelism
+//   threads = 2                     sweep + partition parallelism
 //   test_fraction = 0.25
 //   min_region_population = 0       region-merging post-process
+//   workload = pipeline | stream    what each sweep point executes
+//   stream_batch = 500              stream: records per ingest batch
+//   stream_shards = 4               stream: ShardedDeltaStore shards
+//   stream_refine_bound = 0.02      stream: drift bound (< 0: no refine)
+//   stream_warmup_pct = 50          stream: warmup prefix percentage
+//   stream_seal_records = 0         stream: seal when this many records
+//                                   are pending (0: seal every batch)
 //
-// Unknown keys are errors (typos should not silently no-op). Every run in
-// the expansion is one RunPipeline call; rows come back in
-// height-major, algorithm-minor, seed-innermost order.
+// Unknown keys are errors (typos should not silently no-op). With the
+// default `workload = pipeline`, every run in the expansion is one
+// RunPipeline call; `workload = stream` instead drives each sweep point
+// through the concurrent serving layer (service/fair_index_service.h):
+// warmup build, batched ingest, epoch seals and drift-bounded refines.
+// Independent sweep points execute on the shared ThreadPool (up to
+// `threads` at once); rows always come back in height-major,
+// algorithm-minor, seed-innermost order, bit-identical at any thread
+// count.
 
 #ifndef FAIRIDX_CORE_SCENARIO_H_
 #define FAIRIDX_CORE_SCENARIO_H_
@@ -41,6 +54,15 @@
 #include "data/dataset.h"
 
 namespace fairidx {
+
+/// What one sweep point executes.
+enum class ScenarioWorkload {
+  /// The batch pipeline: one RunPipeline per sweep point.
+  kPipeline,
+  /// The serving layer: warmup build + batched ingest through a
+  /// FairIndexService per sweep point.
+  kStream,
+};
 
 /// One parsed scenario file (after include resolution).
 struct ScenarioConfig {
@@ -57,6 +79,17 @@ struct ScenarioConfig {
   int threads = 1;
   double test_fraction = 0.25;
   double min_region_population = 0.0;
+  ScenarioWorkload workload = ScenarioWorkload::kPipeline;
+  /// Streaming keys (used only when workload == kStream).
+  int stream_batch = 500;
+  int stream_shards = 1;
+  /// Drift bound for incremental maintenance; < 0 streams without
+  /// refining (the warmup partition stays fixed).
+  double stream_refine_bound = 0.02;
+  int stream_warmup_pct = 50;
+  /// Seal (and maybe refine) once this many records are pending; 0 seals
+  /// after every batch.
+  long long stream_seal_records = 0;
 };
 
 /// One point of the expanded sweep.
@@ -93,15 +126,38 @@ struct ScenarioRow {
   int model_fits = 0;
 };
 
-/// A finished scenario execution.
-struct ScenarioReport {
-  std::vector<ScenarioRow> rows;
+/// One streaming sweep point's results (workload = stream).
+struct ScenarioStreamRow {
+  ScenarioRun run;
+  /// Final published partition size.
+  int regions = 0;
+  /// Records streamed (warmup + ingested).
+  long long records = 0;
+  /// Sealed epochs over the stream.
+  long long epochs = 0;
+  /// Subtree re-splits published by maintenance.
+  long long resplits = 0;
+  /// Region ENCE of the final partition on the final sealed epoch.
+  double final_ence = 0.0;
+  /// Wall-clock seconds for the whole stream (excl. the one model fit).
+  double stream_seconds = 0.0;
 };
 
-/// Executes every expanded run against `dataset`. Runs that fail on a
-/// per-algorithm precondition the config could not know about (e.g.
-/// multi-objective on a 1-task CSV) fail the whole scenario — list only
-/// applicable algorithms.
+/// A finished scenario execution. `rows` is filled for the pipeline
+/// workload, `stream_rows` for the stream workload; both in sweep order.
+struct ScenarioReport {
+  ScenarioWorkload workload = ScenarioWorkload::kPipeline;
+  std::vector<ScenarioRow> rows;
+  std::vector<ScenarioStreamRow> stream_rows;
+};
+
+/// Executes every expanded run against `dataset`, dispatching on
+/// config.workload. Runs that fail on a per-algorithm precondition the
+/// config could not know about (e.g. multi-objective on a 1-task CSV, a
+/// non-refinable structure under workload = stream) fail the whole
+/// scenario — list only applicable algorithms. Independent sweep points
+/// run on the shared ThreadPool, at most config.threads at once; the
+/// report is bit-identical at any thread count.
 Result<ScenarioReport> RunScenario(const ScenarioConfig& config,
                                    const Dataset& dataset);
 

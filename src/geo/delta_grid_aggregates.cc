@@ -76,10 +76,7 @@ Status DeltaGridAggregates::Insert(int cell_id, int label, double score,
     dirty_base_.push_back(slot);
     dirty_flag_[static_cast<size_t>(cell_id)] = 1;
   }
-  slot.count += 1.0;
-  slot.labels += label;
-  slot.scores += score;
-  slot.residuals += residual;
+  GridAggregates::AccumulateRecord(&slot, label, score, residual);
   ++num_records_;
   if (ShouldRebuild()) {
     return Rebuild();

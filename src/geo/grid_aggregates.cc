@@ -40,11 +40,9 @@ Status GridAggregates::AccumulateInto(const Grid& grid,
     PrefixEntry& slot =
         slots[static_cast<size_t>(grid.RowOfCell(cell) + offset) * stride +
               (grid.ColOfCell(cell) + offset)];
-    slot.count += 1.0;
-    slot.labels += labels[i];
-    slot.scores += scores[i];
-    slot.residuals += residuals.empty() ? (scores[i] - labels[i])
-                                        : residuals[i];
+    AccumulateRecord(&slot, labels[i], scores[i],
+                     residuals.empty() ? (scores[i] - labels[i])
+                                       : residuals[i]);
   }
   return Status::Ok();
 }

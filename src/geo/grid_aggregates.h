@@ -125,6 +125,19 @@ class GridAggregates {
       const std::vector<int>& labels, const std::vector<double>& scores,
       const std::vector<double>& residuals = {});
 
+  /// The single definition of one record's contribution to a per-cell sum:
+  /// Build, the streaming overlay's Insert and the sharded serving store's
+  /// seal folds all add through this, so their per-slot floating-point
+  /// operation sequences can never drift apart. `residual` is the caller's
+  /// explicit value (callers wanting the default pass score - label).
+  static void AccumulateRecord(PrefixEntry* slot, int label, double score,
+                               double residual) {
+    slot->count += 1.0;
+    slot->labels += label;
+    slot->scores += score;
+    slot->residuals += residual;
+  }
+
   /// The per-record acceptance rule Build and the streaming overlay's
   /// Insert both enforce: in-grid cell id and a 0/1 label.
   static Status ValidateRecord(int num_cells, int cell_id, int label) {

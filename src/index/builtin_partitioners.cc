@@ -52,6 +52,20 @@ class KdTreeAdapterBase : public Partitioner {
     return out;
   }
 
+  // The serving layer's entry point: the same recorded maintainer build
+  // as the enable_refine path, minus the dataset/model context (the
+  // caller's aggregate stream already carries whatever scores the
+  // objective reads).
+  Result<const PartitionResult*> BuildFromAggregates(
+      const Grid& grid, const GridAggregates& aggregates,
+      const PartitionerBuildOptions& options) override {
+    FAIRIDX_ASSIGN_OR_RETURN(
+        KdTreeMaintainer maintainer,
+        KdTreeMaintainer::Build(grid, aggregates, TreeOptions(options)));
+    maintainer_.emplace(std::move(maintainer));
+    return &maintainer_->tree().result;
+  }
+
   Result<KdRefineStats> Refine(const GridAggregates& aggregates,
                                const KdRefineOptions& options) override {
     if (!maintainer_.has_value()) {

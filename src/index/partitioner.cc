@@ -88,6 +88,18 @@ Result<const GridAggregates*> PartitionerContext::CountAggregates() {
   return &*count_aggregates_;
 }
 
+Result<const PartitionResult*> Partitioner::BuildFromAggregates(
+    const Grid& grid, const GridAggregates& aggregates,
+    const PartitionerBuildOptions& options) {
+  (void)grid;
+  (void)aggregates;
+  (void)options;
+  return FailedPreconditionError(
+      std::string(name()) +
+      ": BuildFromAggregates unsupported (streaming service builds need a "
+      "supports_refine partitioner)");
+}
+
 Result<KdRefineStats> Partitioner::Refine(const GridAggregates& aggregates,
                                           const KdRefineOptions& options) {
   (void)aggregates;

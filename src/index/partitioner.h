@@ -167,10 +167,24 @@ class Partitioner {
   /// errors).
   virtual Result<PartitionerOutput> Build(PartitionerContext& context) = 0;
 
+  /// Streaming build: constructs the maintained partition straight from
+  /// sealed grid aggregates — no dataset, split or model context — and
+  /// retains the maintenance state for Refine, returning the maintained
+  /// partition (owned by the partitioner, updated by every Refine). This
+  /// is the entry point the serving layer (service/fair_index_service.h)
+  /// uses: its aggregate stream already carries scores, so structures
+  /// that ignore scores (median KD) simply read counts only. Implemented
+  /// by the supports_refine structures; the base fails with
+  /// FailedPrecondition.
+  virtual Result<const PartitionResult*> BuildFromAggregates(
+      const Grid& grid, const GridAggregates& aggregates,
+      const PartitionerBuildOptions& options);
+
   /// Incremental maintenance: re-splits the subtrees whose region
   /// calibration gap drifted past options.drift_bound against `aggregates`
-  /// (typically a folded streaming overlay). Only meaningful after a Build
-  /// with enable_refine on a supports_refine partitioner; the base
+  /// (typically a folded streaming overlay or a sealed serving-store
+  /// epoch). Only meaningful after a Build with enable_refine (or a
+  /// BuildFromAggregates) on a supports_refine partitioner; the base
   /// implementation fails with FailedPrecondition.
   virtual Result<KdRefineStats> Refine(const GridAggregates& aggregates,
                                        const KdRefineOptions& options);

@@ -1,0 +1,101 @@
+#include "service/fair_index_service.h"
+
+#include <utility>
+
+namespace fairidx {
+
+FairIndexService::FairIndexService(
+    FairIndexServiceOptions options,
+    std::unique_ptr<ShardedDeltaStore> store,
+    std::unique_ptr<Partitioner> partitioner)
+    : options_(std::move(options)),
+      store_(std::move(store)),
+      partitioner_(std::move(partitioner)) {}
+
+Result<std::unique_ptr<FairIndexService>> FairIndexService::Create(
+    const Grid& grid, const AggregateBatch& warmup,
+    const FairIndexServiceOptions& options) {
+  FAIRIDX_ASSIGN_OR_RETURN(
+      std::unique_ptr<Partitioner> partitioner,
+      PartitionerRegistry::Global().Create(options.algorithm));
+  if (!partitioner->capabilities().supports_refine) {
+    return FailedPreconditionError(
+        "FairIndexService: partitioner '" + options.algorithm +
+        "' does not support incremental maintenance (supports_refine)");
+  }
+  FAIRIDX_ASSIGN_OR_RETURN(
+      std::unique_ptr<ShardedDeltaStore> store,
+      ShardedDeltaStore::Build(grid, warmup, options.store));
+  // The initial partition keys off sealed epoch 0, exactly like every
+  // later refine keys off the epoch it seals.
+  std::shared_ptr<const GridAggregates> epoch0 = store->snapshot();
+  FAIRIDX_ASSIGN_OR_RETURN(
+      const PartitionResult* built,
+      partitioner->BuildFromAggregates(grid, *epoch0, options.build));
+  std::unique_ptr<FairIndexService> service(new FairIndexService(
+      options, std::move(store), std::move(partitioner)));
+  service->PublishRegions(built->regions);
+  return service;
+}
+
+Result<long long> FairIndexService::Ingest(AggregateBatch batch) {
+  return store_->Ingest(std::move(batch));
+}
+
+Result<long long> FairIndexService::Seal() {
+  FAIRIDX_ASSIGN_OR_RETURN(SealedEpoch sealed, store_->Seal());
+  return sealed.epoch;
+}
+
+std::shared_ptr<const std::vector<CellRect>> FairIndexService::regions()
+    const {
+  std::lock_guard<std::mutex> lock(regions_mutex_);
+  return regions_;
+}
+
+std::vector<RegionAggregate> FairIndexService::QueryRegions() const {
+  // Grab both publication points once: the partition snapshot and the
+  // sealed aggregate snapshot each stay valid however many refines or
+  // seals land while the query runs.
+  const std::shared_ptr<const std::vector<CellRect>> rects = regions();
+  return store_->snapshot()->QueryMany(*rects);
+}
+
+std::vector<RegionAggregate> FairIndexService::Query(
+    Span<CellRect> rects) const {
+  return store_->QueryMany(rects);
+}
+
+Result<ServiceRefineResult> FairIndexService::MaybeRefine(
+    const KdRefineOptions& options) {
+  std::lock_guard<std::mutex> lock(maintain_mutex_);
+  // The sealed (epoch, snapshot) pair is captured atomically: later
+  // concurrent seals publish new snapshots, but this maintenance pass
+  // keys every drift evaluation and re-split off the one it sealed.
+  FAIRIDX_ASSIGN_OR_RETURN(const SealedEpoch sealed, store_->Seal());
+  ServiceRefineResult out;
+  out.epoch = sealed.epoch;
+  // Refine evaluates drift itself (one batched leaf query + bottom-up
+  // sums) and is an exact no-op when nothing moved past the bound, so no
+  // separate WouldRefine round-trip is needed here.
+  FAIRIDX_ASSIGN_OR_RETURN(out.stats,
+                           partitioner_->Refine(*sealed.snapshot, options));
+  if (out.stats.changed) {
+    total_resplits_ += out.stats.subtrees_rebuilt;
+    PublishRegions(partitioner_->maintained()->regions);
+  }
+  return out;
+}
+
+long long FairIndexService::total_resplits() const {
+  std::lock_guard<std::mutex> lock(maintain_mutex_);
+  return total_resplits_;
+}
+
+void FairIndexService::PublishRegions(const std::vector<CellRect>& fresh) {
+  auto published = std::make_shared<const std::vector<CellRect>>(fresh);
+  std::lock_guard<std::mutex> lock(regions_mutex_);
+  regions_ = std::move(published);
+}
+
+}  // namespace fairidx

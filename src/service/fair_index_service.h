@@ -1,0 +1,141 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// FairIndexService: the concurrent serving front-end for a fair spatial
+// index over streaming data. It owns three pieces:
+//
+//   * a ShardedDeltaStore — the epoch-based sharded aggregate store
+//     (writers append per-shard, readers query sealed snapshots);
+//   * a registry-built Partitioner (any supports_refine structure: the
+//     Fair KD-tree, the median KD-tree, ...) holding the maintained
+//     partition and its recorded split tree;
+//   * the published region list readers serve from.
+//
+// The three operations compose into the serving loop:
+//
+//   Ingest(batch)   any number of writer threads, concurrently
+//   Query*(...)     any number of reader threads, against the last sealed
+//                   epoch and the currently published partition
+//   MaybeRefine()   a maintenance thread: seals an epoch, re-splits the
+//                   subtrees whose calibration gap drifted past the bound
+//                   AGAINST THAT SEALED EPOCH, and atomically publishes
+//                   the new region list. Readers keep serving the previous
+//                   partition (and writers keep ingesting) for the whole
+//                   re-split; only the final publish swaps a pointer.
+//
+// Determinism: sealed epochs are bit-identical to a serial single-writer
+// replay (see sharded_delta_store.h), and every maintenance decision keys
+// off a sealed epoch, so a service driven by one thread reproduces the
+// hand-wired DeltaGridAggregates + KdTreeMaintainer loop exactly — the
+// single-writer overlay is the 1-shard specialization, not a fork.
+
+#ifndef FAIRIDX_SERVICE_FAIR_INDEX_SERVICE_H_
+#define FAIRIDX_SERVICE_FAIR_INDEX_SERVICE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/span.h"
+#include "geo/grid.h"
+#include "index/partitioner.h"
+#include "service/sharded_delta_store.h"
+
+namespace fairidx {
+
+/// Configuration for a serving instance.
+struct FairIndexServiceOptions {
+  /// PartitionerRegistry name; must be a supports_refine structure
+  /// ("fair_kd_tree", "median_kd_tree").
+  std::string algorithm = "fair_kd_tree";
+  /// Build options for the partitioner (height, objective, threads, ...).
+  PartitionerBuildOptions build;
+  /// Sharding / fold-parallelism for the aggregate store.
+  ShardedDeltaStoreOptions store;
+  /// Default drift bound for MaybeRefine().
+  KdRefineOptions refine;
+};
+
+/// What one MaybeRefine pass did.
+struct ServiceRefineResult {
+  /// The epoch the maintenance pass sealed and keyed off.
+  long long epoch = 0;
+  /// The underlying tree-maintenance stats (subtrees_rebuilt > 0 and
+  /// changed when a new partition was published).
+  KdRefineStats stats;
+};
+
+/// Concurrent serving façade (see file header). Create once per stream;
+/// all public methods are thread-safe.
+class FairIndexService {
+ public:
+  /// Builds the store (epoch 0 = the warmup records) and the initial
+  /// partition from that sealed epoch.
+  static Result<std::unique_ptr<FairIndexService>> Create(
+      const Grid& grid, const AggregateBatch& warmup,
+      const FairIndexServiceOptions& options);
+
+  FairIndexService(const FairIndexService&) = delete;
+  FairIndexService& operator=(const FairIndexService&) = delete;
+
+  /// Appends one batch to the store's pending set (visible to queries
+  /// after the next seal). Returns the batch's sequence number. By
+  /// value: temporaries move all the way into the store.
+  Result<long long> Ingest(AggregateBatch batch);
+
+  /// Seals the current epoch (folds pending batches into a fresh
+  /// snapshot). Returns the epoch number.
+  Result<long long> Seal();
+
+  /// The currently published partition's region rects. The returned
+  /// vector is immutable and stays valid across later refines.
+  std::shared_ptr<const std::vector<CellRect>> regions() const;
+
+  /// Aggregates of the published partition's regions against the last
+  /// sealed epoch — the region-fleet monitoring query (one QueryMany).
+  std::vector<RegionAggregate> QueryRegions() const;
+
+  /// Aggregates of caller rects against the last sealed epoch.
+  std::vector<RegionAggregate> Query(Span<CellRect> rects) const;
+
+  /// Seals an epoch and evaluates drift at every node of the maintained
+  /// tree against it; drifted subtrees are re-split off that sealed
+  /// snapshot and the new region list is published atomically at the end.
+  /// No drift past the bound -> an exact no-op (stats.changed == false).
+  /// Serialized with itself; Ingest and Query* continue concurrently.
+  Result<ServiceRefineResult> MaybeRefine(const KdRefineOptions& options);
+  Result<ServiceRefineResult> MaybeRefine() {
+    return MaybeRefine(options_.refine);
+  }
+
+  /// The aggregate store (epoch / record counters, direct snapshots).
+  const ShardedDeltaStore& store() const { return *store_; }
+
+  /// Subtree re-splits published over the service's lifetime.
+  long long total_resplits() const;
+
+ private:
+  FairIndexService(FairIndexServiceOptions options,
+                   std::unique_ptr<ShardedDeltaStore> store,
+                   std::unique_ptr<Partitioner> partitioner);
+
+  void PublishRegions(const std::vector<CellRect>& fresh);
+
+  FairIndexServiceOptions options_;
+  std::unique_ptr<ShardedDeltaStore> store_;
+
+  /// Serializes maintenance (the partitioner's mutable tree state).
+  mutable std::mutex maintain_mutex_;
+  std::unique_ptr<Partitioner> partitioner_;
+  long long total_resplits_ = 0;  // Guarded by maintain_mutex_.
+
+  /// Publication point readers load; swapped only at the end of a refine.
+  mutable std::mutex regions_mutex_;
+  std::shared_ptr<const std::vector<CellRect>> regions_;
+};
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_SERVICE_FAIR_INDEX_SERVICE_H_

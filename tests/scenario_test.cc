@@ -181,5 +181,135 @@ TEST(ScenarioEngineTest, InvalidConfigRejected) {
   EXPECT_FALSE(RunScenario(config, dataset).ok());
 }
 
+TEST(ScenarioParseTest, ParsesStreamWorkloadKeys) {
+  const auto config = ParseScenarioText(
+      "workload = stream\n"
+      "stream_batch = 250\n"
+      "stream_shards = 4\n"
+      "stream_refine_bound = 0.05\n"
+      "stream_warmup_pct = 40\n"
+      "stream_seal_records = 500\n",
+      "");
+  ASSERT_TRUE(config.ok()) << config.status();
+  EXPECT_EQ(config->workload, ScenarioWorkload::kStream);
+  EXPECT_EQ(config->stream_batch, 250);
+  EXPECT_EQ(config->stream_shards, 4);
+  EXPECT_DOUBLE_EQ(config->stream_refine_bound, 0.05);
+  EXPECT_EQ(config->stream_warmup_pct, 40);
+  EXPECT_EQ(config->stream_seal_records, 500);
+}
+
+TEST(ScenarioParseTest, RejectsBadStreamKeys) {
+  EXPECT_FALSE(ParseScenarioText("workload = batch\n", "").ok());
+  EXPECT_FALSE(ParseScenarioText("stream_batch = 0\n", "").ok());
+  EXPECT_FALSE(ParseScenarioText("stream_shards = 0\n", "").ok());
+  EXPECT_FALSE(ParseScenarioText("stream_warmup_pct = 100\n", "").ok());
+  EXPECT_FALSE(ParseScenarioText("stream_seal_records = -1\n", "").ok());
+  // No region-merging post-process exists on the stream path; the combo
+  // must fail loudly rather than silently dropping the key.
+  EXPECT_FALSE(ParseScenarioText(
+                   "workload = stream\nmin_region_population = 5\n", "")
+                   .ok());
+}
+
+// Satellite pin for scenario-level parallelism: sweep points run on the
+// shared pool, and the report must be bit-identical at any thread count
+// (deterministic result ordering AND values).
+TEST(ScenarioEngineTest, ParallelSweepMatchesSequentialBitForBit) {
+  ScenarioConfig config;
+  config.algorithms = {PartitionAlgorithm::kMedianKdTree,
+                       PartitionAlgorithm::kFairKdTree};
+  config.heights = {3, 4};
+  config.seeds = {11, 12};
+  CityConfig city;
+  city.num_records = 260;
+  const Dataset dataset = GenerateEdgapCity(city).value();
+
+  config.threads = 1;
+  const auto sequential = RunScenario(config, dataset);
+  ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+  config.threads = 4;
+  const auto parallel = RunScenario(config, dataset);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  ASSERT_EQ(sequential->rows.size(), parallel->rows.size());
+  for (size_t i = 0; i < sequential->rows.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(sequential->rows[i].run.height, parallel->rows[i].run.height);
+    EXPECT_EQ(sequential->rows[i].run.algorithm,
+              parallel->rows[i].run.algorithm);
+    EXPECT_EQ(sequential->rows[i].run.seed, parallel->rows[i].run.seed);
+    EXPECT_EQ(sequential->rows[i].regions, parallel->rows[i].regions);
+    EXPECT_EQ(sequential->rows[i].train_ence, parallel->rows[i].train_ence);
+    EXPECT_EQ(sequential->rows[i].test_ence, parallel->rows[i].test_ence);
+    EXPECT_EQ(sequential->rows[i].test_accuracy,
+              parallel->rows[i].test_accuracy);
+  }
+}
+
+// The stream workload end to end: rows in sweep order, deterministic
+// reruns, and shard-count invariance (sealed epochs are bit-identical at
+// any shard count, so the whole run — refine decisions included — must
+// reproduce).
+TEST(ScenarioEngineTest, StreamWorkloadRunsAndIsShardInvariant) {
+  ScenarioConfig config;
+  config.workload = ScenarioWorkload::kStream;
+  config.algorithms = {PartitionAlgorithm::kFairKdTree};
+  config.heights = {4};
+  config.seeds = {11, 12};
+  config.stream_batch = 60;
+  config.stream_refine_bound = 0.02;
+  config.stream_warmup_pct = 50;
+  CityConfig city;
+  city.num_records = 400;
+  const Dataset dataset = GenerateEdgapCity(city).value();
+
+  config.stream_shards = 1;
+  const auto one_shard = RunScenario(config, dataset);
+  ASSERT_TRUE(one_shard.ok()) << one_shard.status().ToString();
+  EXPECT_EQ(one_shard->workload, ScenarioWorkload::kStream);
+  EXPECT_TRUE(one_shard->rows.empty());
+  ASSERT_EQ(one_shard->stream_rows.size(), 2u);
+  for (const ScenarioStreamRow& row : one_shard->stream_rows) {
+    EXPECT_GT(row.regions, 1);
+    EXPECT_EQ(row.records, 400);
+    EXPECT_GT(row.epochs, 0);
+    EXPECT_GE(row.final_ence, 0.0);
+  }
+  EXPECT_EQ(one_shard->stream_rows[0].run.seed, 11u);
+  EXPECT_EQ(one_shard->stream_rows[1].run.seed, 12u);
+
+  config.stream_shards = 3;
+  config.threads = 2;  // Also exercise the parallel sweep path.
+  const auto sharded = RunScenario(config, dataset);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  ASSERT_EQ(sharded->stream_rows.size(), one_shard->stream_rows.size());
+  for (size_t i = 0; i < sharded->stream_rows.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(sharded->stream_rows[i].regions,
+              one_shard->stream_rows[i].regions);
+    EXPECT_EQ(sharded->stream_rows[i].epochs,
+              one_shard->stream_rows[i].epochs);
+    EXPECT_EQ(sharded->stream_rows[i].resplits,
+              one_shard->stream_rows[i].resplits);
+    EXPECT_EQ(sharded->stream_rows[i].final_ence,
+              one_shard->stream_rows[i].final_ence);
+  }
+}
+
+// A non-refinable structure under workload = stream fails the scenario
+// with a clear precondition error instead of silently running the
+// pipeline.
+TEST(ScenarioEngineTest, StreamWorkloadRejectsNonRefinableAlgorithm) {
+  ScenarioConfig config;
+  config.workload = ScenarioWorkload::kStream;
+  config.algorithms = {PartitionAlgorithm::kUniformGridReweight};
+  config.heights = {3};
+  CityConfig city;
+  city.num_records = 120;
+  const Dataset dataset = GenerateEdgapCity(city).value();
+  EXPECT_FALSE(RunScenario(config, dataset).ok());
+}
+
 }  // namespace
 }  // namespace fairidx

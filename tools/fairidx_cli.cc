@@ -10,22 +10,31 @@
 //   fairidx_cli export    --city la --algorithm fair_kd_tree --height 6
 //                         --out partition.csv [--wkt partition.wkt]
 //   fairidx_cli stream    --city la [--height 6] [--batch 200]
-//                         [--warmup-pct 50] [--threshold N]
-//                         [--refine-bound B]
+//                         [--warmup-pct 50] [--shards N] [--seal-records N]
+//                         [--refine-bound B] [--algorithm fair_kd_tree]
 //
 // `run scenario.cfg` executes a declarative scenario file — a
 // multi-algorithm x multi-height x multi-seed sweep from one config (see
 // core/scenario.h for the format and examples/scenarios/ for samples).
+// Scenario files with `workload = stream` drive the serving layer below
+// instead of the batch pipeline.
 //
-// `stream` is the online re-districting demo: it builds a Fair KD-tree
-// partition from a warmup prefix of the records, then streams the rest
-// into a DeltaGridAggregates overlay batch by batch, reporting the
-// partition's region ENCE after every batch (batched QueryMany over the
-// overlay) together with the overlay's dirty-cell and rebuild counters —
-// no O(UV) prefix rebuild per record. With --refine-bound B the partition
-// is maintained incrementally: whenever some region's calibration gap
-// drifts past B, only the drifted subtrees are re-split
+// `stream` is the online re-districting demo on the concurrent serving
+// layer (service/fair_index_service.h): it builds a partition from a
+// warmup prefix of the records, then streams the rest through a
+// FairIndexService batch by batch — per-shard ingest appends, epoch
+// seals folding the pending batches into an immutable snapshot on the
+// shared pool, and the partition's region ENCE off each sealed epoch.
+// With --refine-bound B the partition is maintained incrementally:
+// whenever some region's calibration gap drifts past B on a sealed
+// epoch, only the drifted subtrees are re-split
 // (index/kd_tree_maintainer.h) instead of rebuilding the whole tree.
+// --seal-records N defers seals until N records are pending (0 = seal
+// every batch). A seal costs one O(UV) prefix integration — the default
+// per-batch cadence keeps every table row fresh on the demo-sized grids
+// here, but on production-scale grids raise --seal-records so the fold
+// amortizes over many batches (rows between seals then repeat the last
+// sealed epoch's ENCE).
 //
 // `--csv` loads an EdGap-style extract (see data/csv_dataset.h for the
 // schema); otherwise the named synthetic city is generated.
@@ -48,10 +57,8 @@
 #include "data/split.h"
 #include "fairness/disparity_report.h"
 #include "fairness/region_metrics.h"
-#include "geo/delta_grid_aggregates.h"
-#include "index/kd_tree.h"
-#include "index/kd_tree_maintainer.h"
 #include "index/partition_io.h"
+#include "service/fair_index_service.h"
 
 namespace fairidx {
 namespace cli {
@@ -146,6 +153,25 @@ int CmdRunScenario(const std::string& path) {
                ClassifierKindName(config->classifier));
   auto report = RunScenario(*config, *dataset);
   if (!report.ok()) return Fail(report.status());
+
+  if (report->workload == ScenarioWorkload::kStream) {
+    TablePrinter table({"height", "algorithm", "seed", "regions",
+                        "records", "epochs", "resplits", "final_ence",
+                        "stream_s"});
+    for (const ScenarioStreamRow& row : report->stream_rows) {
+      table.AddRow({std::to_string(row.run.height),
+                    PartitionAlgorithmName(row.run.algorithm),
+                    std::to_string(row.run.seed),
+                    std::to_string(row.regions),
+                    std::to_string(row.records),
+                    std::to_string(row.epochs),
+                    std::to_string(row.resplits),
+                    TablePrinter::FormatDouble(row.final_ence, 5),
+                    TablePrinter::FormatDouble(row.stream_seconds, 3)});
+    }
+    table.Print(std::cout);
+    return 0;
+  }
 
   TablePrinter table({"height", "algorithm", "seed", "regions",
                       "train_ence", "test_ence", "test_acc", "build_s",
@@ -319,9 +345,23 @@ int CmdStream(const Flags& flags) {
   const int height = flags.GetInt("height", 6);
   const int batch = flags.GetInt("batch", 200);
   const int warmup_pct = flags.GetInt("warmup-pct", 50);
+  const int shards = flags.GetInt("shards", 1);
+  const long long seal_records = flags.GetInt("seal-records", 0);
   if (batch < 1) return Fail(InvalidArgumentError("--batch must be >= 1"));
   if (warmup_pct < 1 || warmup_pct > 99) {
     return Fail(InvalidArgumentError("--warmup-pct must be in [1, 99]"));
+  }
+  if (shards < 1) return Fail(InvalidArgumentError("--shards must be >= 1"));
+  if (seal_records < 0) {
+    return Fail(InvalidArgumentError("--seal-records must be >= 0"));
+  }
+  if (flags.Has("threshold")) {
+    // The overlay's dirty-cell fold threshold has no serving-layer
+    // equivalent; silently ignoring it would change fold behavior under
+    // the user's feet.
+    return Fail(InvalidArgumentError(
+        "--threshold was removed: stream now serves sealed epochs "
+        "(use --seal-records N to defer seals)"));
   }
 
   // One model fit scores every record; the stream then replays records in
@@ -334,119 +374,86 @@ int CmdStream(const Flags& flags) {
   auto trained = TrainOnBaseGrid(*dataset, *split, *prototype, EvalOptions{});
   if (!trained.ok()) return Fail(trained.status());
 
-  const std::vector<int>& cells = dataset->base_cells();
-  const std::vector<int>& labels = dataset->labels(0);
-  const std::vector<double>& scores = trained->scores;
+  AggregateBatch all;
+  all.cell_ids = dataset->base_cells();
+  all.labels = dataset->labels(0);
+  all.scores = trained->scores;
   const size_t n = dataset->num_records();
   const size_t warmup =
       std::max<size_t>(1, n * static_cast<size_t>(warmup_pct) / 100);
-
-  // Warmup prefix: build the partition and seed the streaming overlay.
-  const std::vector<int> warm_cells(cells.begin(), cells.begin() + warmup);
-  const std::vector<int> warm_labels(labels.begin(), labels.begin() + warmup);
-  const std::vector<double> warm_scores(scores.begin(),
-                                        scores.begin() + warmup);
   const bool refine = flags.Has("refine-bound");
-  const double refine_bound = flags.GetDouble("refine-bound", 0.02);
 
-  auto warm_aggregates = GridAggregates::Build(dataset->grid(), warm_cells,
-                                               warm_labels, warm_scores);
-  if (!warm_aggregates.ok()) return Fail(warm_aggregates.status());
+  // Warmup prefix: sealed epoch 0 + the initial maintained partition.
+  const AggregateBatch warm = all.Slice(0, warmup);
 
-  // The maintained tree (refine mode) or the fixed warmup tree. Both are
-  // the same Fair KD build; the maintainer additionally records the split
-  // tree so drifted subtrees can be re-split in place later.
-  KdTreeOptions tree_options;
-  tree_options.height = height;
-  tree_options.num_threads = flags.GetInt("threads", 1);
-  std::vector<CellRect> regions;
-  std::optional<KdTreeMaintainer> maintainer;
-  if (refine) {
-    auto built = KdTreeMaintainer::Build(dataset->grid(), *warm_aggregates,
-                                         tree_options);
-    if (!built.ok()) return Fail(built.status());
-    maintainer.emplace(std::move(*built));
-    regions = maintainer->tree().result.regions;
-  } else {
-    auto tree =
-        BuildKdTreePartition(dataset->grid(), *warm_aggregates,
-                             tree_options);
-    if (!tree.ok()) return Fail(tree.status());
-    regions = tree->result.regions;
-  }
+  FairIndexServiceOptions options;
+  options.algorithm = flags.Get("algorithm", "fair_kd_tree");
+  options.build.height = height;
+  options.build.num_threads = flags.GetInt("threads", 1);
+  options.store.num_shards = shards;
+  options.store.num_threads = flags.GetInt("threads", 1);
+  options.refine.drift_bound = flags.GetDouble("refine-bound", 0.02);
+  auto service = FairIndexService::Create(dataset->grid(), warm, options);
+  if (!service.ok()) return Fail(service.status());
 
-  DeltaGridAggregatesOptions delta_options;
-  delta_options.rebuild_threshold_cells = flags.GetInt("threshold", 0);
-  auto delta =
-      DeltaGridAggregates::Build(dataset->grid(), warm_cells, warm_labels,
-                                 warm_scores, {}, delta_options);
-  if (!delta.ok()) return Fail(delta.status());
-
-  std::printf("streaming %zu records into a height-%d partition "
-              "(%zu regions, %zu warmup records, batch %d%s)\n",
-              n - warmup, height, regions.size(), warmup, batch,
+  std::printf("streaming %zu records into a height-%d %s partition "
+              "(%zu regions, %zu warmup records, batch %d, %d shard%s%s)\n",
+              n - warmup, height, options.algorithm.c_str(),
+              (*service)->regions()->size(), warmup, batch, shards,
+              shards == 1 ? "" : "s",
               refine ? ", incremental refine on" : "");
-  TablePrinter table({"batch", "records", "dirty_cells", "rebuilds",
-                      "regions", "resplits", "region_ence"});
-  const RegionEnceResult warm_ence = RegionEnce(delta->QueryMany(regions));
-  table.AddRow({"warmup", std::to_string(delta->num_records()),
-                std::to_string(delta->dirty_cells()),
-                std::to_string(delta->rebuild_count()),
-                std::to_string(regions.size()), "0",
+  TablePrinter table({"batch", "records", "pending", "epoch", "regions",
+                      "resplits", "region_ence"});
+  const ShardedDeltaStore& store = (*service)->store();
+  const RegionEnceResult warm_ence = RegionEnce((*service)->QueryRegions());
+  table.AddRow({"warmup", std::to_string(store.num_records()),
+                std::to_string(store.pending_records()),
+                std::to_string(store.epoch()),
+                std::to_string((*service)->regions()->size()), "0",
                 TablePrinter::FormatDouble(warm_ence.ence, 5)});
 
   int batch_index = 0;
-  long long total_resplits = 0;
   for (size_t next = warmup; next < n;) {
     const size_t end = std::min(n, next + static_cast<size_t>(batch));
-    for (; next < end; ++next) {
-      if (auto status = delta->Insert(cells[next], labels[next],
-                                      scores[next]);
-          !status.ok()) {
-        return Fail(status);
+    if (auto seq = (*service)->Ingest(all.Slice(next, end)); !seq.ok()) {
+      return Fail(seq.status());
+    }
+    next = end;
+    // Seal policy: fold once enough records are pending (0 = every
+    // batch). MaybeRefine seals itself, then re-splits any subtree that
+    // drifted past the bound on that sealed epoch.
+    int resplits = 0;
+    if (store.pending_records() >= seal_records) {
+      if (refine) {
+        auto refined = (*service)->MaybeRefine();
+        if (!refined.ok()) return Fail(refined.status());
+        resplits = refined->stats.subtrees_rebuilt;
+      } else {
+        if (auto sealed = (*service)->Seal(); !sealed.ok()) {
+          return Fail(sealed.status());
+        }
       }
     }
-    std::vector<RegionAggregate> region_aggregates =
-        delta->QueryMany(regions);
-    int resplits = 0;
-    KdRefineOptions refine_options;
-    refine_options.drift_bound = refine_bound;
-    if (refine &&
-        maintainer->WouldRefine(region_aggregates, refine_options)) {
-      // Maintenance will actually re-split something: fold the overlay
-      // once and refine against the folded prefix. (WouldRefine runs the
-      // exact drift evaluation on the aggregates the ENCE report already
-      // computed, so drifted-but-unsplittable regions never trigger an
-      // endless fold + no-op cycle. Refine then re-evaluates drift on
-      // the folded prefix deliberately: overlay values may differ by FP
-      // dust, and the re-splits must key off the exact aggregates they
-      // rebuild from.)
-      if (auto status = delta->Rebuild(); !status.ok()) return Fail(status);
-      auto stats = maintainer->Refine(delta->base(), refine_options);
-      if (!stats.ok()) return Fail(stats.status());
-      resplits = stats->subtrees_rebuilt;
-      total_resplits += resplits;
-      regions = maintainer->tree().result.regions;
-      region_aggregates = delta->QueryMany(regions);
-    }
-    const RegionEnceResult ence = RegionEnce(region_aggregates);
+    const RegionEnceResult ence = RegionEnce((*service)->QueryRegions());
     table.AddRow({std::to_string(++batch_index),
-                  std::to_string(delta->num_records()),
-                  std::to_string(delta->dirty_cells()),
-                  std::to_string(delta->rebuild_count()),
-                  std::to_string(regions.size()),
+                  std::to_string(store.num_records()),
+                  std::to_string(store.pending_records()),
+                  std::to_string(store.epoch()),
+                  std::to_string((*service)->regions()->size()),
                   std::to_string(resplits),
                   TablePrinter::FormatDouble(ence.ence, 5)});
   }
   table.Print(std::cout);
 
-  // Fold the tail and show the exact final state.
-  if (auto status = delta->Rebuild(); !status.ok()) return Fail(status);
-  const RegionEnceResult final_ence = RegionEnce(delta->QueryMany(regions));
+  // Seal the tail and show the exact final state.
+  if (auto sealed = (*service)->Seal(); !sealed.ok()) {
+    return Fail(sealed.status());
+  }
+  const RegionEnceResult final_ence = RegionEnce((*service)->QueryRegions());
   std::printf(
-      "final: %lld records, %lld rebuilds, %lld subtree re-splits, "
+      "final: %lld records, %lld sealed epochs, %lld subtree re-splits, "
       "region ENCE %.5f\n",
-      delta->num_records(), delta->rebuild_count(), total_resplits,
+      store.num_records(), store.epoch(), (*service)->total_resplits(),
       final_ence.ence);
   return 0;
 }
@@ -461,9 +468,10 @@ int Usage() {
       "  common flags: --city la|houston | --csv file.csv\n"
       "  run/export:   --algorithm <name> --height N --classifier lr|tree|nb\n"
       "                --threads N (parallel partition build)\n"
-      "  stream:       --height N --batch N --warmup-pct P --threshold N\n"
-      "                (0 = adaptive cost-triggered folds) --refine-bound B\n"
-      "                (incremental subtree re-splits on region drift > B)\n"
+      "  stream:       --height N --batch N --warmup-pct P --shards N\n"
+      "                --seal-records N (0 = seal every batch)\n"
+      "                --refine-bound B (incremental subtree re-splits on\n"
+      "                region drift > B) --algorithm fair_kd_tree|median_kd_tree\n"
       "  see the file header for the full reference\n");
   return 2;
 }
