@@ -21,6 +21,7 @@
 #include "geo/grid_aggregates.h"
 #include "index/fair_kd_tree.h"
 #include "index/kd_tree_maintainer.h"
+#include "index/quadtree_maintainer.h"
 #include "service/sharded_delta_store.h"
 
 namespace fairidx {
@@ -666,6 +667,65 @@ void BM_FairKdTreeEq9RebuildAfterLocalDrift(benchmark::State& state) {
   state.counters["ence"] = ence;
 }
 BENCHMARK(BM_FairKdTreeEq9RebuildAfterLocalDrift);
+
+// --- Quadtree maintenance: drift-bounded Refine vs full regrow. ---
+// Same drifted-corner workload as the KD pair, on the greedy fair
+// quadtree: Refine re-runs the priority-queue frontier only inside the
+// drifted subtrees (in-place leaf patches at equal counts); the baseline
+// regrows the whole 2048-region tree AND pays the O(UV) FromRects
+// partition rebuild. Both report their final region count as a counter.
+struct QuadRefineFixture {
+  FairQuadtreeOptions options;
+  QuadTreeMaintainer maintainer;
+};
+
+const QuadRefineFixture& BenchQuadRefine() {
+  static const QuadRefineFixture* fixture = [] {
+    const RefineFixture& base = BenchRefine();
+    FairQuadtreeOptions options;
+    options.target_regions = 2048;
+    QuadTreeMaintainer maintainer =
+        OrDie(QuadTreeMaintainer::Build(base.grid, base.before, options),
+              "QuadTreeMaintainer::Build");
+    return new QuadRefineFixture{options, std::move(maintainer)};
+  }();
+  return *fixture;
+}
+
+void BM_QuadTreeRefineAfterLocalDrift(benchmark::State& state) {
+  const RefineFixture& base = BenchRefine();
+  const QuadRefineFixture& f = BenchQuadRefine();
+  KdRefineOptions refine_options;
+  refine_options.drift_bound = 0.05;
+  size_t leaves = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    QuadTreeMaintainer maintainer = f.maintainer;  // Fresh pre-drift tree.
+    state.ResumeTiming();
+    const KdRefineStats stats =
+        OrDie(maintainer.Refine(base.after, refine_options),
+              "QuadTreeMaintainer::Refine");
+    benchmark::DoNotOptimize(stats);
+    leaves = maintainer.partition().regions.size();
+  }
+  state.counters["leaves"] = static_cast<double>(leaves);
+}
+BENCHMARK(BM_QuadTreeRefineAfterLocalDrift);
+
+void BM_QuadTreeRebuildAfterLocalDrift(benchmark::State& state) {
+  const RefineFixture& base = BenchRefine();
+  const QuadRefineFixture& f = BenchQuadRefine();
+  size_t leaves = 0;
+  for (auto _ : state) {
+    const PartitionResult rebuilt =
+        OrDie(BuildFairQuadtree(base.grid, base.after, f.options),
+              "BuildFairQuadtree");
+    benchmark::DoNotOptimize(rebuilt.partition.cell_to_region().data());
+    leaves = rebuilt.regions.size();
+  }
+  state.counters["leaves"] = static_cast<double>(leaves);
+}
+BENCHMARK(BM_QuadTreeRebuildAfterLocalDrift);
 
 // --- Pool-aware multi-objective: per-task fits on the shared pool. ---
 void BM_MultiObjectiveResidualsThreads(benchmark::State& state) {

@@ -228,6 +228,26 @@ Status ParseInto(const std::string& text, const std::string& include_dir,
       auto seal = ParseInt(value);
       if (seal.ok()) config->stream_seal_records = *seal;
       status = seal.ok() ? Status::Ok() : seal.status();
+    } else if (key == "maintain_policy") {
+      if (value == "caller") {
+        config->maintain_policy = ScenarioMaintainPolicy::kCaller;
+      } else if (value == "auto") {
+        config->maintain_policy = ScenarioMaintainPolicy::kAuto;
+      } else {
+        status = InvalidArgumentError("unknown maintain_policy '" + value +
+                                      "' (expected caller|auto)");
+      }
+    } else if (key == "seal_interval") {
+      auto interval = ParseDouble(value);
+      if (interval.ok()) config->seal_interval = *interval;
+      status = interval.ok() ? Status::Ok() : interval.status();
+    } else if (key == "drift_bound") {
+      // The maintenance-policy spelling of stream_refine_bound: one field,
+      // two names, so the caller loop and the background scheduler can
+      // never disagree on the bound.
+      auto bound = ParseDouble(value);
+      if (bound.ok()) config->stream_refine_bound = *bound;
+      status = bound.ok() ? Status::Ok() : bound.status();
     } else {
       status = InvalidArgumentError("unknown scenario key '" + key + "'");
     }
@@ -281,6 +301,22 @@ Status ValidateScenario(const ScenarioConfig& config) {
     return InvalidArgumentError(
         "scenario: min_region_population is not supported with "
         "workload = stream");
+  }
+  if (config.seal_interval < 0.0) {
+    return InvalidArgumentError("scenario: seal_interval must be >= 0");
+  }
+  if (config.maintain_policy == ScenarioMaintainPolicy::kAuto &&
+      config.workload != ScenarioWorkload::kStream) {
+    // Background maintenance only exists on the serving path; silently
+    // ignoring the key on a pipeline sweep would hide the typo.
+    return InvalidArgumentError(
+        "scenario: maintain_policy = auto requires workload = stream");
+  }
+  if (config.seal_interval > 0.0 &&
+      config.maintain_policy != ScenarioMaintainPolicy::kAuto) {
+    return InvalidArgumentError(
+        "scenario: seal_interval requires maintain_policy = auto (the "
+        "caller loop seals by stream_seal_records)");
   }
   return Status::Ok();
 }
@@ -363,7 +399,9 @@ Result<ScenarioRow> RunOnePipelinePoint(const ScenarioConfig& config,
 // One serving-layer sweep point: one model fit scores every record, a
 // warmup prefix builds the maintained partition, and the tail streams
 // through a FairIndexService (ingest batches, epoch seals, drift-bounded
-// refines) — the scenario-file form of `fairidx_cli stream`.
+// refines) — the scenario-file form of `fairidx_cli stream`. With
+// maintain_policy = auto the service's background scheduler owns the
+// seal/refine cadence and the loop below only ingests.
 Result<ScenarioStreamRow> RunOneStreamPoint(const ScenarioConfig& config,
                                             const Dataset& dataset,
                                             const Classifier& prototype,
@@ -398,6 +436,24 @@ Result<ScenarioStreamRow> RunOneStreamPoint(const ScenarioConfig& config,
   service_options.store.num_threads = config.threads;
   service_options.refine.drift_bound = config.stream_refine_bound;
   const bool refine = config.stream_refine_bound >= 0.0;
+  const bool auto_maintain =
+      config.maintain_policy == ScenarioMaintainPolicy::kAuto;
+  if (auto_maintain) {
+    service_options.auto_maintain = true;
+    // stream_seal_records = 0 means "every batch" in caller mode; for
+    // the scheduler that is a 1-record cadence — unless seal_interval
+    // was given, in which case 0 disables the record cadence so the
+    // wall clock alone governs (interval-only policies stay
+    // expressible).
+    service_options.maintain.seal_records =
+        config.stream_seal_records > 0
+            ? config.stream_seal_records
+            : (config.seal_interval > 0.0 ? 0 : 1);
+    service_options.maintain.seal_interval_seconds = config.seal_interval;
+    service_options.maintain.drift_bound =
+        refine ? config.stream_refine_bound : -1.0;
+    service_options.maintain.poll_interval_seconds = 0.002;
+  }
 
   const auto start = std::chrono::steady_clock::now();
   FAIRIDX_ASSIGN_OR_RETURN(
@@ -410,6 +466,7 @@ Result<ScenarioStreamRow> RunOneStreamPoint(const ScenarioConfig& config,
     FAIRIDX_RETURN_IF_ERROR(
         service->Ingest(all.Slice(next, end)).status());
     next = end;
+    if (auto_maintain) continue;  // The background scheduler maintains.
     if (service->store().pending_records() >= config.stream_seal_records) {
       if (refine) {
         FAIRIDX_RETURN_IF_ERROR(service->MaybeRefine().status());
@@ -418,6 +475,9 @@ Result<ScenarioStreamRow> RunOneStreamPoint(const ScenarioConfig& config,
       }
     }
   }
+  // Quiesce before the final audit: stop the scheduler (joins any
+  // in-flight pass), then seal the tail.
+  if (auto_maintain) service->StopMaintenance();
   FAIRIDX_RETURN_IF_ERROR(service->Seal().status());
   const std::vector<RegionAggregate> final_regions =
       service->QueryRegions();

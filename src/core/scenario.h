@@ -30,6 +30,20 @@
 //   stream_warmup_pct = 50          stream: warmup prefix percentage
 //   stream_seal_records = 0         stream: seal when this many records
 //                                   are pending (0: seal every batch)
+//   maintain_policy = caller        stream: who runs maintenance.
+//                    | auto         caller (default) seals/refines from
+//                                   the ingest loop; auto starts the
+//                                   service-owned background scheduler
+//                                   (service/maintenance_scheduler.h) and
+//                                   the loop only ingests
+//   seal_interval = 0.05            stream+auto: background wall-clock
+//                                   seal cadence in seconds (0: record
+//                                   cadence only; with it set and
+//                                   stream_seal_records = 0, the wall
+//                                   clock alone governs)
+//   drift_bound = 0.02              the maintenance-policy spelling of
+//                                   stream_refine_bound (same field;
+//                                   later key wins, < 0: never refine)
 //
 // Unknown keys are errors (typos should not silently no-op). With the
 // default `workload = pipeline`, every run in the expansion is one
@@ -39,7 +53,10 @@
 // Independent sweep points execute on the shared ThreadPool (up to
 // `threads` at once); rows always come back in height-major,
 // algorithm-minor, seed-innermost order, bit-identical at any thread
-// count.
+// count — EXCEPT under `maintain_policy = auto`, where epoch/resplit
+// counts (and hence final_ence) depend on background-thread timing by
+// design: the scenario then exercises the hands-off serving story, not a
+// reproducible measurement.
 
 #ifndef FAIRIDX_CORE_SCENARIO_H_
 #define FAIRIDX_CORE_SCENARIO_H_
@@ -62,6 +79,15 @@ enum class ScenarioWorkload {
   /// The serving layer: warmup build + batched ingest through a
   /// FairIndexService per sweep point.
   kStream,
+};
+
+/// Who runs stream-workload maintenance.
+enum class ScenarioMaintainPolicy {
+  /// The ingest loop seals/refines (the pre-scheduler behavior).
+  kCaller,
+  /// The service-owned background scheduler seals/refines; the loop only
+  /// ingests.
+  kAuto,
 };
 
 /// One parsed scenario file (after include resolution).
@@ -90,6 +116,11 @@ struct ScenarioConfig {
   /// Seal (and maybe refine) once this many records are pending; 0 seals
   /// after every batch.
   long long stream_seal_records = 0;
+  /// Caller-driven vs background maintenance (stream workload only).
+  ScenarioMaintainPolicy maintain_policy = ScenarioMaintainPolicy::kCaller;
+  /// Background wall-clock seal cadence in seconds (maintain_policy =
+  /// auto only; 0 leaves only the record-count cadence).
+  double seal_interval = 0.0;
 };
 
 /// One point of the expanded sweep.

@@ -10,6 +10,7 @@
 // The model-training algorithms (iterative, multi-objective) register from
 // core/core_partitioners.cc.
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -18,6 +19,7 @@
 #include "index/median_kd_tree.h"
 #include "index/partitioner.h"
 #include "index/quadtree.h"
+#include "index/quadtree_maintainer.h"
 #include "index/str_partition.h"
 #include "index/uniform_grid.h"
 
@@ -189,6 +191,7 @@ class FairQuadtreePartitioner : public Partitioner {
   PartitionerCapabilities capabilities() const override {
     PartitionerCapabilities caps;
     caps.needs_initial_scores = true;
+    caps.supports_refine = true;
     return caps;
   }
   Result<PartitionerOutput> Build(PartitionerContext& context) override {
@@ -197,12 +200,57 @@ class FairQuadtreePartitioner : public Partitioner {
     FairQuadtreeOptions quad_options;
     quad_options.target_regions = context.target_regions();
     PartitionerOutput out;
-    FAIRIDX_ASSIGN_OR_RETURN(
-        out.partition, BuildFairQuadtree(context.dataset().grid(),
-                                         *aggregates, quad_options));
+    if (context.options().enable_refine) {
+      FAIRIDX_ASSIGN_OR_RETURN(
+          QuadTreeMaintainer maintainer,
+          QuadTreeMaintainer::Build(context.dataset().grid(), *aggregates,
+                                    quad_options));
+      out.partition = maintainer.partition();
+      maintainer_.emplace(std::move(maintainer));
+    } else {
+      FAIRIDX_ASSIGN_OR_RETURN(
+          out.partition, BuildFairQuadtree(context.dataset().grid(),
+                                           *aggregates, quad_options));
+    }
     out.model_fits = context.initial_fits();
     return out;
   }
+
+  // The serving layer's entry point: same recorded maintainer growth as
+  // the enable_refine path, minus the dataset/model context. Mirrors the
+  // KD adapters' height -> target map (2^height regions).
+  Result<const PartitionResult*> BuildFromAggregates(
+      const Grid& grid, const GridAggregates& aggregates,
+      const PartitionerBuildOptions& options) override {
+    if (options.height < 0) {
+      // A negative shift count is UB; the KD path rejects this in its
+      // tree build, so match that contract here.
+      return InvalidArgumentError(
+          "fair_quadtree: height must be >= 0");
+    }
+    FairQuadtreeOptions quad_options;
+    quad_options.target_regions = 1 << std::min(options.height, 30);
+    FAIRIDX_ASSIGN_OR_RETURN(
+        QuadTreeMaintainer maintainer,
+        QuadTreeMaintainer::Build(grid, aggregates, quad_options));
+    maintainer_.emplace(std::move(maintainer));
+    return &maintainer_->partition();
+  }
+
+  Result<KdRefineStats> Refine(const GridAggregates& aggregates,
+                               const KdRefineOptions& options) override {
+    if (!maintainer_.has_value()) {
+      return Partitioner::Refine(aggregates, options);
+    }
+    return maintainer_->Refine(aggregates, options);
+  }
+
+  const PartitionResult* maintained() const override {
+    return maintainer_.has_value() ? &maintainer_->partition() : nullptr;
+  }
+
+ private:
+  std::optional<QuadTreeMaintainer> maintainer_;
 };
 
 class StrSlabsPartitioner : public Partitioner {

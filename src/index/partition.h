@@ -47,10 +47,11 @@ class Partition {
   bool IsRefinedBy(const Partition& finer) const;
 
  private:
-  // The KD maintainer patches same-size subtree re-splits in place
-  // (O(drifted area) instead of a full FromRects); it guarantees the
-  // partition invariants across its patches.
+  // The tree maintainers patch same-size subtree re-splits in place
+  // (O(drifted area) instead of a full FromRects); they guarantee the
+  // partition invariants across their patches.
   friend class KdTreeMaintainer;
+  friend class QuadTreeMaintainer;
 
   Partition(std::vector<int> cell_to_region, int num_regions)
       : cell_to_region_(std::move(cell_to_region)),

@@ -8,14 +8,14 @@ namespace {
 struct QueueEntry {
   double priority = 0.0;
   double count = 0.0;  // Region population, captured at push time.
-  long long sequence = 0;  // Tie-break: earlier-created regions first.
+  int node = 0;        // Creation order; doubles as the tie-break sequence.
   CellRect rect;
 };
 
 struct EntryOrder {
   bool operator()(const QueueEntry& a, const QueueEntry& b) const {
     if (a.priority != b.priority) return a.priority < b.priority;
-    return a.sequence > b.sequence;
+    return a.node > b.node;  // Earlier-created regions first.
   }
 };
 
@@ -43,35 +43,46 @@ std::vector<CellRect> Quarter(const CellRect& rect) {
 
 }  // namespace
 
-Result<PartitionResult> BuildFairQuadtree(const Grid& grid,
-                                          const GridAggregates& aggregates,
-                                          const FairQuadtreeOptions& options) {
+Result<QuadtreeRecording> GrowFairQuadtree(
+    const GridAggregates& aggregates, const CellRect& root,
+    const FairQuadtreeOptions& options) {
   if (options.target_regions < 1) {
     return InvalidArgumentError("quadtree: target_regions must be >= 1");
   }
-  if (aggregates.rows() != grid.rows() || aggregates.cols() != grid.cols()) {
-    return InvalidArgumentError("quadtree: aggregates/grid shape mismatch");
+  if (root.num_rows() < 1 || root.num_cols() < 1 || root.row_begin < 0 ||
+      root.col_begin < 0 || root.row_end > aggregates.rows() ||
+      root.col_end > aggregates.cols()) {
+    return InvalidArgumentError("quadtree: root rect outside aggregates");
   }
 
+  QuadtreeRecording recording;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, EntryOrder> queue;
-  long long sequence = 0;
   // All pieces of one refinement enter together: a single batched query
-  // resolves their prefix corners instead of one Query call per piece.
-  auto push_all = [&](Span<CellRect> rects) {
+  // resolves their prefix corners instead of one Query call per piece, and
+  // the pieces become the parent's contiguous child range.
+  auto push_all = [&](Span<CellRect> rects, int parent) {
     const std::vector<RegionAggregate> aggs = aggregates.QueryMany(rects);
+    if (parent >= 0) {
+      recording.nodes[parent].first_child =
+          static_cast<int>(recording.nodes.size());
+      recording.nodes[parent].num_children = static_cast<int>(rects.size());
+    }
     for (size_t i = 0; i < rects.size(); ++i) {
       QueueEntry entry;
       entry.rect = rects[i];
       entry.priority = aggs[i].WeightedMiscalibration();
       entry.count = aggs[i].count;
-      entry.sequence = sequence++;
+      entry.node = static_cast<int>(recording.nodes.size());
+      recording.nodes.push_back(QuadTreeNode{rects[i], -1, 0});
       queue.push(entry);
     }
   };
-  const CellRect root = grid.FullRect();
-  push_all(Span<CellRect>(&root, 1));
+  auto finish = [&](const QueueEntry& entry) {
+    recording.leaf_nodes.push_back(entry.node);
+    recording.leaves.push_back(entry.rect);
+  };
+  push_all(Span<CellRect>(&root, 1), /*parent=*/-1);
 
-  std::vector<CellRect> finished;
   int active = 1;
   while (active < options.target_regions && !queue.empty()) {
     const QueueEntry top = queue.top();
@@ -79,27 +90,39 @@ Result<PartitionResult> BuildFairQuadtree(const Grid& grid,
     const bool refinable = top.rect.num_cells() > 1 &&
                            top.count >= options.min_region_count;
     if (!refinable) {
-      finished.push_back(top.rect);
+      finish(top);
       continue;
     }
     const std::vector<CellRect> pieces = Quarter(top.rect);
     if (pieces.size() <= 1) {
-      finished.push_back(top.rect);
+      finish(top);
       continue;
     }
     active += static_cast<int>(pieces.size()) - 1;
-    push_all(pieces);
+    ++recording.num_splits;
+    push_all(pieces, top.node);
   }
   while (!queue.empty()) {
-    finished.push_back(queue.top().rect);
+    finish(queue.top());
     queue.pop();
   }
+  return recording;
+}
 
+Result<PartitionResult> BuildFairQuadtree(const Grid& grid,
+                                          const GridAggregates& aggregates,
+                                          const FairQuadtreeOptions& options) {
+  if (aggregates.rows() != grid.rows() || aggregates.cols() != grid.cols()) {
+    return InvalidArgumentError("quadtree: aggregates/grid shape mismatch");
+  }
+  FAIRIDX_ASSIGN_OR_RETURN(
+      QuadtreeRecording recording,
+      GrowFairQuadtree(aggregates, grid.FullRect(), options));
   FAIRIDX_ASSIGN_OR_RETURN(Partition partition,
-                           Partition::FromRects(grid, finished));
+                           Partition::FromRects(grid, recording.leaves));
   PartitionResult out;
   out.partition = std::move(partition);
-  out.regions = std::move(finished);
+  out.regions = std::move(recording.leaves);
   return out;
 }
 

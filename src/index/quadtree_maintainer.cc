@@ -1,0 +1,312 @@
+#include "index/quadtree_maintainer.h"
+
+#include <cmath>
+#include <functional>
+#include <utility>
+
+namespace fairidx {
+
+namespace {
+
+// Same drift metric as the KD maintainer: how far the region's calibration
+// gap moved since the snapshot (the region's ENCE stake, up to the global
+// normalisation).
+double DriftOf(const RegionAggregate& now, const RegionAggregate& then) {
+  return std::abs(now.Miscalibration() - then.Miscalibration());
+}
+
+}  // namespace
+
+std::vector<int> QuadTreeMaintainer::AppendRecording(
+    const QuadtreeRecording& recording, const GridAggregates& aggregates,
+    std::vector<Node>* nodes) {
+  const int base = static_cast<int>(nodes->size());
+  for (const QuadTreeNode& rec_node : recording.nodes) {
+    Node entry;
+    entry.rect = rec_node.rect;
+    entry.num_children = rec_node.num_children;
+    for (int c = 0; c < rec_node.num_children; ++c) {
+      entry.children[static_cast<size_t>(c)] =
+          base + rec_node.first_child + c;
+    }
+    nodes->push_back(entry);
+  }
+  // One batched leaf query; internal snapshots are then the bottom-up
+  // child-order sums (RegionAggregate is additive over disjoint cell
+  // sets). Refine recomputes fresh aggregates with the IDENTICAL scheme,
+  // so on unchanged aggregates every node's drift is exactly 0.
+  const std::vector<RegionAggregate> leaf_aggregates =
+      aggregates.QueryMany(recording.leaves);
+  std::vector<int> leaf_ids;
+  leaf_ids.reserve(recording.leaf_nodes.size());
+  for (size_t i = 0; i < recording.leaf_nodes.size(); ++i) {
+    const int id = base + recording.leaf_nodes[i];
+    (*nodes)[static_cast<size_t>(id)].snapshot = leaf_aggregates[i];
+    leaf_ids.push_back(id);
+  }
+  // Children carry larger ids than their parent, so a reverse walk
+  // aggregates children before parents.
+  for (size_t i = nodes->size(); i-- > static_cast<size_t>(base);) {
+    Node& entry = (*nodes)[i];
+    if (entry.is_leaf()) continue;
+    entry.snapshot = (*nodes)[entry.children[0]].snapshot;
+    for (int c = 1; c < entry.num_children; ++c) {
+      entry.snapshot +=
+          (*nodes)[entry.children[static_cast<size_t>(c)]].snapshot;
+    }
+  }
+  return leaf_ids;
+}
+
+Result<QuadTreeMaintainer> QuadTreeMaintainer::Build(
+    const Grid& grid, const GridAggregates& aggregates,
+    const FairQuadtreeOptions& options) {
+  if (aggregates.rows() != grid.rows() || aggregates.cols() != grid.cols()) {
+    return InvalidArgumentError(
+        "QuadTreeMaintainer: aggregates/grid shape mismatch");
+  }
+  FAIRIDX_ASSIGN_OR_RETURN(
+      QuadtreeRecording recording,
+      GrowFairQuadtree(aggregates, grid.FullRect(), options));
+  QuadTreeMaintainer out(grid, options);
+  out.leaf_nodes_ = AppendRecording(recording, aggregates, &out.nodes_);
+  FAIRIDX_ASSIGN_OR_RETURN(Partition partition,
+                           Partition::FromRects(grid, recording.leaves));
+  out.partition_.partition = std::move(partition);
+  out.partition_.regions = std::move(recording.leaves);
+  return out;
+}
+
+Result<KdRefineStats> QuadTreeMaintainer::Refine(
+    const GridAggregates& aggregates, const KdRefineOptions& options) {
+  if (aggregates.rows() != grid_.rows() ||
+      aggregates.cols() != grid_.cols()) {
+    return InvalidArgumentError(
+        "QuadTreeMaintainer: aggregates/grid shape mismatch");
+  }
+  if (options.drift_bound < 0.0) {
+    return InvalidArgumentError(
+        "QuadTreeMaintainer: drift bound must be >= 0");
+  }
+
+  // Pre-pass: fresh per-node aggregates via the same batched-leaf +
+  // bottom-up child-order-sum scheme the snapshots were built with, folded
+  // together with the drift flags and dirty-subtree marks.
+  const size_t num_nodes = nodes_.size();
+  std::vector<RegionAggregate> fresh(num_nodes);
+  std::vector<unsigned char> drifted(num_nodes, 0);
+  std::vector<unsigned char> subtree_dirty(num_nodes, 0);
+  const std::vector<RegionAggregate> leaf_aggregates =
+      aggregates.QueryMany(partition_.regions);
+  for (size_t i = 0; i < leaf_nodes_.size(); ++i) {
+    fresh[static_cast<size_t>(leaf_nodes_[i])] = leaf_aggregates[i];
+  }
+  for (size_t i = num_nodes; i-- > 0;) {
+    const Node& node = nodes_[i];
+    bool dirty_below = false;
+    if (!node.is_leaf()) {
+      fresh[i] = fresh[static_cast<size_t>(node.children[0])];
+      for (int c = 1; c < node.num_children; ++c) {
+        const size_t child = static_cast<size_t>(node.children[c]);
+        fresh[i] += fresh[child];
+      }
+      for (int c = 0; c < node.num_children; ++c) {
+        dirty_below = dirty_below ||
+                      subtree_dirty[static_cast<size_t>(node.children[c])];
+      }
+    }
+    const bool can_resplit = node.rect.num_cells() > 1;
+    const bool node_drifted =
+        can_resplit && DriftOf(fresh[i], node.snapshot) > options.drift_bound;
+    drifted[i] = node_drifted ? 1 : 0;
+    subtree_dirty[i] = (node_drifted || dirty_below) ? 1 : 0;
+  }
+
+  KdRefineStats stats;
+  stats.nodes_checked = static_cast<int>(num_nodes);
+  if (num_nodes == 0 || !subtree_dirty[0]) {
+    return stats;  // Nothing drifted anywhere: full no-op.
+  }
+
+  // Topmost drifted subtree roots (disjoint: the descent stops at the
+  // first drifted node on each path), in DFS order.
+  std::vector<int> roots;
+  {
+    std::vector<int> stack;
+    stack.push_back(0);
+    while (!stack.empty()) {
+      const int i = stack.back();
+      stack.pop_back();
+      if (!subtree_dirty[static_cast<size_t>(i)]) continue;
+      if (drifted[static_cast<size_t>(i)]) {
+        roots.push_back(i);
+        continue;
+      }
+      const Node& node = nodes_[static_cast<size_t>(i)];
+      for (int c = node.num_children; c-- > 0;) {
+        stack.push_back(node.children[static_cast<size_t>(c)]);
+      }
+    }
+  }
+
+  // Member leaves of each scheduled subtree: patch_of marks the subtree's
+  // nodes, then one leaf-list scan collects the (ascending) positions.
+  std::vector<int> patch_of(num_nodes, -1);
+  std::vector<Patch> patches(roots.size());
+  for (size_t p = 0; p < roots.size(); ++p) {
+    patches[p].root = roots[p];
+    std::vector<int> stack = {roots[p]};
+    while (!stack.empty()) {
+      const int i = stack.back();
+      stack.pop_back();
+      patch_of[static_cast<size_t>(i)] = static_cast<int>(p);
+      const Node& node = nodes_[static_cast<size_t>(i)];
+      for (int c = 0; c < node.num_children; ++c) {
+        stack.push_back(node.children[static_cast<size_t>(c)]);
+      }
+    }
+  }
+  for (size_t pos = 0; pos < leaf_nodes_.size(); ++pos) {
+    const int p = patch_of[static_cast<size_t>(leaf_nodes_[pos])];
+    if (p >= 0) patches[static_cast<size_t>(p)].positions.push_back(
+        static_cast<int>(pos));
+  }
+
+  // Regrow each drifted subtree on the fresh aggregates via the greedy
+  // frontier, targeting the leaf count it currently holds so the region
+  // budget stays where the build put it.
+  bool in_place = true;
+  for (Patch& patch : patches) {
+    FairQuadtreeOptions sub_options = options_;
+    sub_options.target_regions = static_cast<int>(patch.positions.size());
+    FAIRIDX_ASSIGN_OR_RETURN(
+        patch.recording,
+        GrowFairQuadtree(aggregates,
+                         nodes_[static_cast<size_t>(patch.root)].rect,
+                         sub_options));
+    ++stats.subtrees_rebuilt;
+    stats.num_split_scans += patch.recording.num_splits;
+    in_place = in_place &&
+               patch.recording.leaves.size() == patch.positions.size();
+  }
+
+  // Rebuild the node array: clean subtrees are copied verbatim (keeping
+  // their reference snapshots), scheduled roots are replaced by their
+  // regrown recording (snapshots refreshed against the fresh aggregates).
+  std::vector<int> patch_root(num_nodes, -1);
+  for (size_t p = 0; p < patches.size(); ++p) {
+    patch_root[static_cast<size_t>(patches[p].root)] =
+        static_cast<int>(p);
+  }
+  std::vector<Node> new_nodes;
+  new_nodes.reserve(num_nodes);
+  std::vector<int> old_to_new(num_nodes, -1);
+  std::vector<std::vector<int>> patch_leaf_ids(patches.size());
+  const std::function<int(int)> copy = [&](int old_id) -> int {
+    const int p = patch_root[static_cast<size_t>(old_id)];
+    if (p >= 0) {
+      const int base = static_cast<int>(new_nodes.size());
+      patch_leaf_ids[static_cast<size_t>(p)] = AppendRecording(
+          patches[static_cast<size_t>(p)].recording, aggregates, &new_nodes);
+      return base;
+    }
+    const int new_id = static_cast<int>(new_nodes.size());
+    new_nodes.push_back(nodes_[static_cast<size_t>(old_id)]);
+    old_to_new[static_cast<size_t>(old_id)] = new_id;
+    const int num_children = nodes_[static_cast<size_t>(old_id)].num_children;
+    for (int c = 0; c < num_children; ++c) {
+      const int child = nodes_[static_cast<size_t>(old_id)]
+                            .children[static_cast<size_t>(c)];
+      new_nodes[static_cast<size_t>(new_id)].children[static_cast<size_t>(c)] =
+          copy(child);
+    }
+    return new_id;
+  };
+  copy(0);
+
+  if (in_place) {
+    // Every regrown subtree kept its leaf count: region id == leaf
+    // position is preserved, so only the moved leaves' cells are
+    // rewritten — O(drifted area), no O(UV) partition rebuild. (New
+    // leaves of one patch are disjoint and tile exactly the cells the
+    // patch's old leaves covered, and patches are rect-disjoint, so
+    // skipping a position whose rect is unchanged is safe.)
+    std::vector<int> new_leaf_nodes(leaf_nodes_.size(), -1);
+    for (size_t pos = 0; pos < leaf_nodes_.size(); ++pos) {
+      const int old_leaf = leaf_nodes_[pos];
+      if (patch_of[static_cast<size_t>(old_leaf)] < 0) {
+        new_leaf_nodes[pos] = old_to_new[static_cast<size_t>(old_leaf)];
+      }
+    }
+    for (size_t p = 0; p < patches.size(); ++p) {
+      const Patch& patch = patches[p];
+      for (size_t j = 0; j < patch.positions.size(); ++j) {
+        const size_t pos = static_cast<size_t>(patch.positions[j]);
+        new_leaf_nodes[pos] = patch_leaf_ids[p][j];
+        const CellRect& fresh_rect = patch.recording.leaves[j];
+        if (!(partition_.regions[pos] == fresh_rect)) {
+          stats.changed = true;
+          partition_.regions[pos] = fresh_rect;
+          partition_.partition.AssignRect(grid_.cols(), fresh_rect,
+                                          static_cast<int>(pos));
+        }
+      }
+    }
+    nodes_ = std::move(new_nodes);
+    leaf_nodes_ = std::move(new_leaf_nodes);
+    stats.patched_in_place = true;
+    return stats;
+  }
+
+  // Some subtree changed its leaf count (degenerate-axis growth or
+  // min_region_count stops landed differently): size-preserving patches
+  // still replace in position; the others drop their old positions and
+  // append their fresh leaves at the end, then the partition is rebuilt.
+  std::vector<int> new_leaf_nodes;
+  std::vector<CellRect> new_regions;
+  new_leaf_nodes.reserve(leaf_nodes_.size());
+  new_regions.reserve(partition_.regions.size());
+  std::vector<int> index_in_patch(leaf_nodes_.size(), -1);
+  for (const Patch& patch : patches) {
+    for (size_t j = 0; j < patch.positions.size(); ++j) {
+      index_in_patch[static_cast<size_t>(patch.positions[j])] =
+          static_cast<int>(j);
+    }
+  }
+  for (size_t pos = 0; pos < leaf_nodes_.size(); ++pos) {
+    const int old_leaf = leaf_nodes_[pos];
+    const int p = patch_of[static_cast<size_t>(old_leaf)];
+    if (p < 0) {
+      new_leaf_nodes.push_back(old_to_new[static_cast<size_t>(old_leaf)]);
+      new_regions.push_back(partition_.regions[pos]);
+      continue;
+    }
+    const Patch& patch = patches[static_cast<size_t>(p)];
+    if (patch.recording.leaves.size() != patch.positions.size()) {
+      continue;  // Appended below instead.
+    }
+    const size_t j = static_cast<size_t>(index_in_patch[pos]);
+    new_leaf_nodes.push_back(patch_leaf_ids[static_cast<size_t>(p)][j]);
+    new_regions.push_back(patch.recording.leaves[j]);
+  }
+  for (size_t p = 0; p < patches.size(); ++p) {
+    const Patch& patch = patches[p];
+    if (patch.recording.leaves.size() == patch.positions.size()) continue;
+    for (size_t j = 0; j < patch.recording.leaves.size(); ++j) {
+      new_leaf_nodes.push_back(patch_leaf_ids[p][j]);
+      new_regions.push_back(patch.recording.leaves[j]);
+    }
+  }
+  stats.changed = new_regions != partition_.regions;
+  if (stats.changed) {
+    FAIRIDX_ASSIGN_OR_RETURN(Partition partition,
+                             Partition::FromRects(grid_, new_regions));
+    partition_.partition = std::move(partition);
+    partition_.regions = std::move(new_regions);
+  }
+  nodes_ = std::move(new_nodes);
+  leaf_nodes_ = std::move(new_leaf_nodes);
+  return stats;
+}
+
+}  // namespace fairidx

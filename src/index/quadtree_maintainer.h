@@ -1,0 +1,116 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Incremental maintenance for greedy fair-quadtree partitions — the
+// quadtree counterpart of index/kd_tree_maintainer.h, so the serving layer
+// covers every tree structure. The maintainer keeps the recorded
+// refinement tree plus a per-node aggregate snapshot from the last
+// (re)build, and on Refine re-runs the greedy priority-queue frontier ONLY
+// inside the subtrees whose region calibration gap |o(N) - e(N)| drifted
+// past a bound, with each drifted subtree's region budget fixed to the
+// leaf count it already holds. When every re-split subtree keeps its leaf
+// count (the common case for localized drift), the leaf list and the
+// partition's cell map are patched in place, so a refine costs O(drifted
+// area + tree), not a full O(UV) regrow.
+//
+// Exactness: snapshots and refine-time fresh values use the identical
+// batched-leaf QueryMany + bottom-up child-order-sum scheme, so Refine on
+// aggregates identical to the build input computes a drift of exactly 0 at
+// every node and returns without touching the tree — the maintained
+// partition stays bit-identical to a from-scratch BuildFairQuadtree.
+// Re-split subtrees go through GrowFairQuadtree on the fresh aggregates:
+// the same greedy decisions a from-scratch growth of that rect would take.
+
+#ifndef FAIRIDX_INDEX_QUADTREE_MAINTAINER_H_
+#define FAIRIDX_INDEX_QUADTREE_MAINTAINER_H_
+
+#include <array>
+#include <vector>
+
+#include "common/result.h"
+#include "geo/grid.h"
+#include "geo/grid_aggregates.h"
+#include "index/kd_tree_maintainer.h"
+#include "index/partition.h"
+#include "index/quadtree.h"
+
+namespace fairidx {
+
+/// A fair-quadtree partition plus the recorded refinement tree and
+/// per-node snapshots, supporting drift-bounded incremental re-splits.
+/// Shares KdRefineOptions/KdRefineStats with the KD maintainer so both
+/// plug into the same Partitioner::Refine seam. Copyable: a copy
+/// maintains its own tree independently (benchmarks refine copies).
+class QuadTreeMaintainer {
+ public:
+  /// Grows the tree on `aggregates` (identical leaves to BuildFairQuadtree
+  /// with the same options) and snapshots every node's aggregate for later
+  /// drift checks.
+  static Result<QuadTreeMaintainer> Build(const Grid& grid,
+                                          const GridAggregates& aggregates,
+                                          const FairQuadtreeOptions& options);
+
+  /// The current partition (regions in finished order). Valid after Build
+  /// and updated by every Refine.
+  const PartitionResult& partition() const { return partition_; }
+
+  int num_leaves() const {
+    return static_cast<int>(partition_.regions.size());
+  }
+
+  /// Evaluates drift at every node against `aggregates`: each TOPMOST
+  /// drifted node's subtree is regrown from scratch on the fresh
+  /// aggregates via the greedy frontier, targeting the subtree's current
+  /// leaf count (snapshot refreshed); clean nodes keep their structure and
+  /// their reference snapshot, so drift accumulates against the last
+  /// rebuild, not the last check.
+  Result<KdRefineStats> Refine(const GridAggregates& aggregates,
+                               const KdRefineOptions& options);
+
+ private:
+  /// Maintainer-side node: explicit child ids (a quadtree node has up to 4
+  /// children) so drifted subtrees splice without re-indexing siblings.
+  /// Children always carry larger ids than their parent, so a reverse id
+  /// walk aggregates children before parents.
+  struct Node {
+    CellRect rect;
+    int num_children = 0;
+    std::array<int, 4> children = {{-1, -1, -1, -1}};
+    RegionAggregate snapshot;
+
+    bool is_leaf() const { return num_children == 0; }
+  };
+
+  /// One drifted subtree scheduled for regrowth: its root (old id), the
+  /// leaf-list positions its current leaves occupy (ascending), and the
+  /// replacement recording.
+  struct Patch {
+    int root = 0;
+    std::vector<int> positions;
+    QuadtreeRecording recording;
+  };
+
+  QuadTreeMaintainer(const Grid& grid, FairQuadtreeOptions options)
+      : grid_(grid), options_(options) {}
+
+  /// Converts `recording` into maintainer nodes appended to `nodes`, with
+  /// snapshots taken against `aggregates` (batched leaf query + bottom-up
+  /// child-order sums). Returns the new ids of the recording's leaves, in
+  /// the recording's finished order.
+  static std::vector<int> AppendRecording(const QuadtreeRecording& recording,
+                                          const GridAggregates& aggregates,
+                                          std::vector<Node>* nodes);
+
+  Grid grid_;
+  FairQuadtreeOptions options_;
+  /// Refinement tree with per-node reference snapshots (node 0 = root).
+  std::vector<Node> nodes_;
+  /// Node ids of the leaves, in finished order — parallel to
+  /// partition_.regions (region id == leaf position).
+  std::vector<int> leaf_nodes_;
+  PartitionResult partition_;
+};
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_INDEX_QUADTREE_MAINTAINER_H_

@@ -12,6 +12,8 @@ FairIndexService::FairIndexService(
       store_(std::move(store)),
       partitioner_(std::move(partitioner)) {}
 
+FairIndexService::~FairIndexService() { StopMaintenance(); }
+
 Result<std::unique_ptr<FairIndexService>> FairIndexService::Create(
     const Grid& grid, const AggregateBatch& warmup,
     const FairIndexServiceOptions& options) {
@@ -35,11 +37,22 @@ Result<std::unique_ptr<FairIndexService>> FairIndexService::Create(
   std::unique_ptr<FairIndexService> service(new FairIndexService(
       options, std::move(store), std::move(partitioner)));
   service->PublishRegions(built->regions);
+  if (options.auto_maintain) {
+    FAIRIDX_RETURN_IF_ERROR(service->StartMaintenance(options.maintain));
+  }
   return service;
 }
 
 Result<long long> FairIndexService::Ingest(AggregateBatch batch) {
-  return store_->Ingest(std::move(batch));
+  FAIRIDX_ASSIGN_OR_RETURN(const long long seq,
+                           store_->Ingest(std::move(batch)));
+  // Wake the background scheduler (if any) so record-count cadences react
+  // to this batch now instead of at the next poll.
+  {
+    std::lock_guard<std::mutex> lock(scheduler_mutex_);
+    if (scheduler_) scheduler_->NotifyIngest();
+  }
+  return seq;
 }
 
 Result<long long> FairIndexService::Seal() {
@@ -90,6 +103,41 @@ Result<ServiceRefineResult> FairIndexService::MaybeRefine(
 long long FairIndexService::total_resplits() const {
   std::lock_guard<std::mutex> lock(maintain_mutex_);
   return total_resplits_;
+}
+
+Status FairIndexService::StartMaintenance(const MaintenancePolicy& policy) {
+  if (policy.seal_records <= 0 && policy.seal_interval_seconds <= 0.0) {
+    return InvalidArgumentError(
+        "FairIndexService: maintenance policy would never act (enable "
+        "seal_records or seal_interval_seconds)");
+  }
+  if (!(policy.poll_interval_seconds > 0.0)) {
+    return InvalidArgumentError(
+        "FairIndexService: poll_interval_seconds must be > 0");
+  }
+  std::lock_guard<std::mutex> lock(scheduler_mutex_);
+  if (scheduler_ != nullptr && scheduler_->running()) {
+    return FailedPreconditionError(
+        "FairIndexService: maintenance is already running");
+  }
+  scheduler_ = std::make_unique<MaintenanceScheduler>(this, policy);
+  scheduler_->Start();
+  return Status::Ok();
+}
+
+void FairIndexService::StopMaintenance() {
+  std::lock_guard<std::mutex> lock(scheduler_mutex_);
+  if (scheduler_ != nullptr) scheduler_->Stop();
+}
+
+bool FairIndexService::maintenance_running() const {
+  std::lock_guard<std::mutex> lock(scheduler_mutex_);
+  return scheduler_ != nullptr && scheduler_->running();
+}
+
+MaintenanceStats FairIndexService::maintenance_stats() const {
+  std::lock_guard<std::mutex> lock(scheduler_mutex_);
+  return scheduler_ != nullptr ? scheduler_->stats() : MaintenanceStats{};
 }
 
 void FairIndexService::PublishRegions(const std::vector<CellRect>& fresh) {

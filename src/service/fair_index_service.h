@@ -7,8 +7,8 @@
 //   * a ShardedDeltaStore — the epoch-based sharded aggregate store
 //     (writers append per-shard, readers query sealed snapshots);
 //   * a registry-built Partitioner (any supports_refine structure: the
-//     Fair KD-tree, the median KD-tree, ...) holding the maintained
-//     partition and its recorded split tree;
+//     Fair KD-tree, the median KD-tree, the greedy fair quadtree, ...)
+//     holding the maintained partition and its recorded split tree;
 //   * the published region list readers serve from.
 //
 // The three operations compose into the serving loop:
@@ -22,6 +22,14 @@
 //                   the new region list. Readers keep serving the previous
 //                   partition (and writers keep ingesting) for the whole
 //                   re-split; only the final publish swaps a pointer.
+//
+// MaybeRefine can be caller-driven, or owned by the service itself: a
+// MaintenancePolicy (service/maintenance_scheduler.h) seals by pending
+// record count or wall clock and refines on measured calibration drift
+// from a background thread, started via options.auto_maintain or
+// StartMaintenance(). The scheduler only calls the public thread-safe
+// surface, so hands-off operation is behaviorally identical to a caller
+// running the same cadence.
 //
 // Determinism: sealed epochs are bit-identical to a serial single-writer
 // replay (see sharded_delta_store.h), and every maintenance decision keys
@@ -41,6 +49,7 @@
 #include "common/span.h"
 #include "geo/grid.h"
 #include "index/partitioner.h"
+#include "service/maintenance_scheduler.h"
 #include "service/sharded_delta_store.h"
 
 namespace fairidx {
@@ -48,7 +57,7 @@ namespace fairidx {
 /// Configuration for a serving instance.
 struct FairIndexServiceOptions {
   /// PartitionerRegistry name; must be a supports_refine structure
-  /// ("fair_kd_tree", "median_kd_tree").
+  /// ("fair_kd_tree", "median_kd_tree", "fair_quadtree").
   std::string algorithm = "fair_kd_tree";
   /// Build options for the partitioner (height, objective, threads, ...).
   PartitionerBuildOptions build;
@@ -56,6 +65,13 @@ struct FairIndexServiceOptions {
   ShardedDeltaStoreOptions store;
   /// Default drift bound for MaybeRefine().
   KdRefineOptions refine;
+  /// Start the background maintenance thread on Create (hands-off
+  /// serving: the service seals and refines per `maintain`, no caller
+  /// MaybeRefine needed).
+  bool auto_maintain = false;
+  /// Policy for the background thread (used only with auto_maintain or
+  /// an explicit StartMaintenance call).
+  MaintenancePolicy maintain;
 };
 
 /// What one MaybeRefine pass did.
@@ -79,6 +95,9 @@ class FairIndexService {
 
   FairIndexService(const FairIndexService&) = delete;
   FairIndexService& operator=(const FairIndexService&) = delete;
+
+  /// Stops background maintenance (if running) before teardown.
+  ~FairIndexService();
 
   /// Appends one batch to the store's pending set (visible to queries
   /// after the next seal). Returns the batch's sequence number. By
@@ -116,6 +135,20 @@ class FairIndexService {
   /// Subtree re-splits published over the service's lifetime.
   long long total_resplits() const;
 
+  /// Starts service-owned background maintenance under `policy`
+  /// (validated: at least one cadence enabled, positive poll interval).
+  /// Fails when a scheduler is already running.
+  Status StartMaintenance(const MaintenancePolicy& policy);
+
+  /// Stops and joins the background maintenance thread. Idempotent.
+  void StopMaintenance();
+
+  bool maintenance_running() const;
+
+  /// Counters of the current (or last stopped) scheduler; zeros when
+  /// maintenance never started.
+  MaintenanceStats maintenance_stats() const;
+
  private:
   FairIndexService(FairIndexServiceOptions options,
                    std::unique_ptr<ShardedDeltaStore> store,
@@ -134,6 +167,11 @@ class FairIndexService {
   /// Publication point readers load; swapped only at the end of a refine.
   mutable std::mutex regions_mutex_;
   std::shared_ptr<const std::vector<CellRect>> regions_;
+
+  /// Background maintenance (service-owned; optional). The scheduler only
+  /// calls public methods, so it layers strictly above the other state.
+  mutable std::mutex scheduler_mutex_;
+  std::unique_ptr<MaintenanceScheduler> scheduler_;
 };
 
 }  // namespace fairidx

@@ -1,0 +1,121 @@
+#include "service/maintenance_scheduler.h"
+
+#include <utility>
+
+#include "service/fair_index_service.h"
+
+namespace fairidx {
+
+namespace {
+
+std::chrono::duration<double> Seconds(double seconds) {
+  return std::chrono::duration<double>(seconds);
+}
+
+}  // namespace
+
+MaintenanceScheduler::MaintenanceScheduler(FairIndexService* service,
+                                           MaintenancePolicy policy)
+    : service_(service),
+      policy_(policy),
+      last_pass_(std::chrono::steady_clock::now()) {}
+
+MaintenanceScheduler::~MaintenanceScheduler() { Stop(); }
+
+void MaintenanceScheduler::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  stop_ = false;
+  notified_ = false;
+  running_ = true;
+  thread_ = std::thread(&MaintenanceScheduler::Run, this);
+}
+
+void MaintenanceScheduler::Stop() {
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    running_ = false;
+    worker = std::move(thread_);
+    wakeup_.notify_all();
+  }
+  if (worker.joinable()) worker.join();
+}
+
+bool MaintenanceScheduler::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+void MaintenanceScheduler::NotifyIngest() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  notified_ = true;
+  wakeup_.notify_all();
+}
+
+bool MaintenanceScheduler::Due(
+    std::chrono::steady_clock::time_point now) const {
+  const long long pending = service_->store().pending_records();
+  if (pending <= 0) return false;  // Nothing to seal: never act.
+  if (policy_.seal_records > 0 && pending >= policy_.seal_records) {
+    return true;
+  }
+  return policy_.seal_interval_seconds > 0.0 &&
+         now - last_pass_ >= Seconds(policy_.seal_interval_seconds);
+}
+
+bool MaintenanceScheduler::TickNow() {
+  const auto now = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++stats_.ticks;
+    if (!Due(now)) return false;
+    // Claim the pass before acting so a concurrent ticker does not
+    // double-fire the clock cadence for the same interval.
+    last_pass_ = now;
+  }
+  // Act outside the state lock: the service serializes maintenance
+  // itself, and stats() readers should not block on an O(UV) fold.
+  if (policy_.drift_bound >= 0.0) {
+    KdRefineOptions refine_options;
+    refine_options.drift_bound = policy_.drift_bound;
+    const Result<ServiceRefineResult> refined =
+        service_->MaybeRefine(refine_options);
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++stats_.passes;
+    ++stats_.refines;
+    if (!refined.ok()) {
+      ++stats_.errors;
+    } else if (refined->stats.changed) {
+      ++stats_.published;
+      stats_.resplits += refined->stats.subtrees_rebuilt;
+    }
+  } else {
+    const Result<long long> sealed = service_->Seal();
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++stats_.passes;
+    if (!sealed.ok()) ++stats_.errors;
+  }
+  return true;
+}
+
+MaintenanceStats MaintenanceScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return stats_;
+}
+
+void MaintenanceScheduler::Run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    lock.unlock();
+    TickNow();
+    lock.lock();
+    if (stop_) break;
+    wakeup_.wait_for(lock, Seconds(policy_.poll_interval_seconds),
+                     [this] { return stop_ || notified_; });
+    notified_ = false;
+  }
+}
+
+}  // namespace fairidx

@@ -1,0 +1,308 @@
+// QuadTreeMaintainer conformance, alongside the KD maintainer suite: the
+// recorded greedy growth must be bit-identical to BuildFairQuadtree,
+// Refine on unchanged aggregates must be an exact no-op (so the
+// maintained partition stays bit-identical to a from-scratch rebuild at
+// zero drift), drifted refines must keep the partition invariants, and
+// the registry adapter + FairIndexService must serve the quadtree through
+// the same supports_refine seam as the KD trees.
+
+#include "index/quadtree_maintainer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/delta_grid_aggregates.h"
+#include "index/partitioner.h"
+#include "service/fair_index_service.h"
+
+namespace fairidx {
+namespace {
+
+Grid MakeGrid(int rows, int cols) {
+  return Grid::Create(rows, cols,
+                      BoundingBox{0, 0, static_cast<double>(cols),
+                                  static_cast<double>(rows)})
+      .value();
+}
+
+struct Records {
+  std::vector<int> cells;
+  std::vector<int> labels;
+  std::vector<double> scores;
+};
+
+Records RandomRecords(Rng& rng, const Grid& grid, int n) {
+  Records records;
+  for (int i = 0; i < n; ++i) {
+    records.cells.push_back(
+        static_cast<int>(rng.NextBounded(grid.num_cells())));
+    records.labels.push_back(rng.Bernoulli(0.5) ? 1 : 0);
+    records.scores.push_back(rng.NextDouble());
+  }
+  return records;
+}
+
+// Label-biased records confined to the top-left `block` x `block` cells:
+// only the subtrees over that corner should drift.
+void AddCornerDrift(Rng& rng, const Grid& grid, int block, int n,
+                    Records* records) {
+  for (int i = 0; i < n; ++i) {
+    records->cells.push_back(
+        grid.CellId(static_cast<int>(rng.NextBounded(block)),
+                    static_cast<int>(rng.NextBounded(block))));
+    records->labels.push_back(rng.Bernoulli(0.95) ? 1 : 0);
+    records->scores.push_back(rng.NextDouble());
+  }
+}
+
+GridAggregates BuildAggregates(const Grid& grid, const Records& records) {
+  return GridAggregates::Build(grid, records.cells, records.labels,
+                               records.scores)
+      .value();
+}
+
+TEST(QuadTreeMaintainerTest, BuildMatchesDirectBuildBitForBit) {
+  const Grid grid = MakeGrid(32, 32);
+  Rng rng(7);
+  const GridAggregates aggregates =
+      BuildAggregates(grid, RandomRecords(rng, grid, 3000));
+  FairQuadtreeOptions options;
+  for (int target : {1, 13, 64, 200}) {
+    options.target_regions = target;
+    const PartitionResult direct =
+        BuildFairQuadtree(grid, aggregates, options).value();
+    const QuadTreeMaintainer maintainer =
+        QuadTreeMaintainer::Build(grid, aggregates, options).value();
+    EXPECT_EQ(direct.regions, maintainer.partition().regions) << target;
+    EXPECT_EQ(direct.partition.cell_to_region(),
+              maintainer.partition().partition.cell_to_region())
+        << target;
+  }
+}
+
+TEST(QuadTreeMaintainerTest, RefineOnUnchangedAggregatesIsExactNoOp) {
+  const Grid grid = MakeGrid(24, 24);
+  Rng rng(11);
+  const GridAggregates aggregates =
+      BuildAggregates(grid, RandomRecords(rng, grid, 2500));
+  FairQuadtreeOptions options;
+  options.target_regions = 48;
+  QuadTreeMaintainer maintainer =
+      QuadTreeMaintainer::Build(grid, aggregates, options).value();
+  const std::vector<CellRect> before = maintainer.partition().regions;
+
+  KdRefineOptions refine_options;
+  refine_options.drift_bound = 0.0;  // Strictest bound: any drift at all.
+  const KdRefineStats stats =
+      maintainer.Refine(aggregates, refine_options).value();
+  EXPECT_FALSE(stats.changed);
+  EXPECT_EQ(stats.subtrees_rebuilt, 0);
+  EXPECT_EQ(stats.num_split_scans, 0);
+  EXPECT_GT(stats.nodes_checked, 0);
+  EXPECT_EQ(maintainer.partition().regions, before);
+
+  // At zero drift the maintained partition is bit-identical to a
+  // from-scratch rebuild on the same aggregates.
+  const PartitionResult rebuild =
+      BuildFairQuadtree(grid, aggregates, options).value();
+  EXPECT_EQ(maintainer.partition().regions, rebuild.regions);
+  EXPECT_EQ(maintainer.partition().partition.cell_to_region(),
+            rebuild.partition.cell_to_region());
+}
+
+TEST(QuadTreeMaintainerTest, RefineAfterLocalDriftKeepsPartitionInvariants) {
+  const Grid grid = MakeGrid(32, 32);
+  Rng rng(21);
+  Records records = RandomRecords(rng, grid, 4000);
+  const GridAggregates before = BuildAggregates(grid, records);
+  // Small enough that the ROOT's gap stays under the bound (otherwise the
+  // topmost-drifted rule correctly regrows the whole tree), large enough
+  // that the corner regions drift far past it.
+  AddCornerDrift(rng, grid, /*block=*/8, /*n=*/300, &records);
+  const GridAggregates after = BuildAggregates(grid, records);
+
+  FairQuadtreeOptions options;
+  options.target_regions = 64;
+  QuadTreeMaintainer maintainer =
+      QuadTreeMaintainer::Build(grid, before, options).value();
+  const std::vector<CellRect> pre_refine = maintainer.partition().regions;
+
+  KdRefineOptions refine_options;
+  refine_options.drift_bound = 0.05;
+  const KdRefineStats stats =
+      maintainer.Refine(after, refine_options).value();
+  EXPECT_GT(stats.subtrees_rebuilt, 0);
+  EXPECT_TRUE(stats.changed);
+
+  // The maintained cell map must be exactly what FromRects would derive
+  // from the maintained region list (region id == position) — this pins
+  // the in-place AssignRect patching.
+  const std::vector<CellRect>& regions = maintainer.partition().regions;
+  const Partition from_rects = Partition::FromRects(grid, regions).value();
+  EXPECT_EQ(maintainer.partition().partition.cell_to_region(),
+            from_rects.cell_to_region());
+
+  // Localized drift: most leaves survive untouched.
+  if (regions.size() == pre_refine.size()) {
+    size_t moved = 0;
+    for (size_t i = 0; i < regions.size(); ++i) {
+      if (!(regions[i] == pre_refine[i])) ++moved;
+    }
+    EXPECT_GT(moved, 0u);
+    EXPECT_LT(moved, regions.size() / 2);
+  }
+
+  // A second refine on the same aggregates is a no-op: re-split subtrees
+  // refreshed their snapshots, clean subtrees kept theirs.
+  const KdRefineStats again =
+      maintainer.Refine(after, refine_options).value();
+  EXPECT_FALSE(again.changed);
+  EXPECT_EQ(again.subtrees_rebuilt, 0);
+}
+
+TEST(QuadTreeMaintainerTest, RefineRejectsBadArguments) {
+  const Grid grid = MakeGrid(8, 8);
+  Rng rng(3);
+  const GridAggregates aggregates =
+      BuildAggregates(grid, RandomRecords(rng, grid, 200));
+  FairQuadtreeOptions options;
+  options.target_regions = 8;
+  QuadTreeMaintainer maintainer =
+      QuadTreeMaintainer::Build(grid, aggregates, options).value();
+
+  KdRefineOptions negative;
+  negative.drift_bound = -0.5;
+  EXPECT_FALSE(maintainer.Refine(aggregates, negative).ok());
+
+  const Grid other = MakeGrid(4, 4);
+  const GridAggregates mismatched =
+      BuildAggregates(other, RandomRecords(rng, other, 20));
+  EXPECT_FALSE(maintainer.Refine(mismatched, KdRefineOptions{}).ok());
+
+  // A negative height through the registry adapter must be rejected (a
+  // negative shift count is UB), matching the KD path's contract.
+  auto partitioner =
+      PartitionerRegistry::Global().Create("fair_quadtree").value();
+  PartitionerBuildOptions negative_height;
+  negative_height.height = -3;
+  EXPECT_FALSE(
+      partitioner->BuildFromAggregates(grid, aggregates, negative_height)
+          .ok());
+}
+
+// The registry adapter exposes the quadtree maintainer through the same
+// supports_refine seam as the KD trees: BuildFromAggregates keeps the
+// maintained partition, Refine is an exact no-op on unchanged aggregates
+// and re-splits on drift.
+TEST(QuadTreeMaintainerTest, RegistryAdapterServesRefine) {
+  auto partitioner =
+      PartitionerRegistry::Global().Create("fair_quadtree").value();
+  EXPECT_TRUE(partitioner->capabilities().supports_refine);
+
+  const Grid grid = MakeGrid(24, 24);
+  Rng rng(5);
+  Records records = RandomRecords(rng, grid, 2000);
+  const GridAggregates before = BuildAggregates(grid, records);
+  PartitionerBuildOptions build_options;
+  build_options.height = 5;  // 32 target regions.
+  const PartitionResult* built =
+      partitioner->BuildFromAggregates(grid, before, build_options).value();
+  ASSERT_NE(built, nullptr);
+  const PartitionResult direct =
+      BuildFairQuadtree(grid, before, FairQuadtreeOptions{32, 1.0}).value();
+  EXPECT_EQ(built->regions, direct.regions);
+  ASSERT_NE(partitioner->maintained(), nullptr);
+
+  KdRefineOptions refine_options;
+  refine_options.drift_bound = 0.0;
+  const KdRefineStats no_op =
+      partitioner->Refine(before, refine_options).value();
+  EXPECT_FALSE(no_op.changed);
+
+  AddCornerDrift(rng, grid, 6, 600, &records);
+  const GridAggregates after = BuildAggregates(grid, records);
+  refine_options.drift_bound = 0.02;
+  const KdRefineStats drifted =
+      partitioner->Refine(after, refine_options).value();
+  EXPECT_GT(drifted.subtrees_rebuilt, 0);
+  EXPECT_TRUE(
+      Partition::FromRects(grid, partitioner->maintained()->regions).ok());
+}
+
+// The serving-layer pin, mirroring the KD no-fork test: a FairIndexService
+// on "fair_quadtree" driven serially must match the hand-wired
+// DeltaGridAggregates + QuadTreeMaintainer loop region for region, at any
+// shard count.
+TEST(QuadTreeMaintainerTest, ServiceMatchesHandWiredQuadtreeLoop) {
+  const Grid grid = MakeGrid(32, 32);
+  Rng rng(2026);
+  AggregateBatch warmup;
+  for (int i = 0; i < 800; ++i) {
+    warmup.Append(static_cast<int>(rng.NextBounded(grid.num_cells())),
+                  rng.Bernoulli(0.5) ? 1 : 0, rng.NextDouble());
+  }
+  std::vector<AggregateBatch> batches;
+  for (int b = 0; b < 10; ++b) {
+    AggregateBatch batch;
+    for (int i = 0; i < 80; ++i) {
+      batch.Append(grid.CellId(static_cast<int>(rng.NextBounded(10)),
+                               static_cast<int>(rng.NextBounded(10))),
+                   rng.Bernoulli(0.9) ? 1 : 0, rng.NextDouble());
+    }
+    batches.push_back(std::move(batch));
+  }
+  const int height = 6;
+  KdRefineOptions refine_options;
+  refine_options.drift_bound = 0.05;
+
+  DeltaGridAggregates overlay =
+      DeltaGridAggregates::Build(grid, warmup.cell_ids, warmup.labels,
+                                 warmup.scores)
+          .value();
+  ASSERT_TRUE(overlay.Rebuild().ok());
+  FairQuadtreeOptions quad_options;
+  quad_options.target_regions = 1 << height;
+  const QuadTreeMaintainer warm_tree =
+      QuadTreeMaintainer::Build(grid, overlay.base(), quad_options).value();
+
+  for (int shards : {1, 3}) {
+    SCOPED_TRACE(shards);
+    FairIndexServiceOptions service_options;
+    service_options.algorithm = "fair_quadtree";
+    service_options.build.height = height;
+    service_options.store.num_shards = shards;
+    service_options.store.num_threads = 2;
+    auto service =
+        FairIndexService::Create(grid, warmup, service_options);
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    EXPECT_EQ(*(*service)->regions(), warm_tree.partition().regions);
+
+    QuadTreeMaintainer oracle = warm_tree;  // Copy: fresh warmup tree.
+    DeltaGridAggregates oracle_overlay = overlay;
+    for (const AggregateBatch& batch : batches) {
+      ASSERT_TRUE((*service)->Ingest(batch).ok());
+      auto refined = (*service)->MaybeRefine(refine_options);
+      ASSERT_TRUE(refined.ok()) << refined.status().ToString();
+
+      for (size_t i = 0; i < batch.size(); ++i) {
+        ASSERT_TRUE(oracle_overlay
+                        .Insert(batch.cell_ids[i], batch.labels[i],
+                                batch.scores[i])
+                        .ok());
+      }
+      ASSERT_TRUE(oracle_overlay.Rebuild().ok());
+      auto stats = oracle.Refine(oracle_overlay.base(), refine_options);
+      ASSERT_TRUE(stats.ok());
+      EXPECT_EQ(refined->stats.subtrees_rebuilt, stats->subtrees_rebuilt);
+      EXPECT_EQ(refined->stats.changed, stats->changed);
+      ASSERT_EQ(*(*service)->regions(), oracle.partition().regions);
+    }
+    EXPECT_GT((*service)->total_resplits(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace fairidx

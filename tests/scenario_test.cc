@@ -212,6 +212,57 @@ TEST(ScenarioParseTest, RejectsBadStreamKeys) {
                    .ok());
 }
 
+TEST(ScenarioParseTest, ParsesMaintenanceKeys) {
+  const auto config = ParseScenarioText(
+      "workload = stream\n"
+      "maintain_policy = auto\n"
+      "seal_interval = 0.25\n"
+      "drift_bound = 0.07\n"
+      "stream_seal_records = 300\n",
+      "");
+  ASSERT_TRUE(config.ok()) << config.status();
+  EXPECT_EQ(config->maintain_policy, ScenarioMaintainPolicy::kAuto);
+  EXPECT_DOUBLE_EQ(config->seal_interval, 0.25);
+  // drift_bound is the maintenance spelling of stream_refine_bound: one
+  // field, so the caller loop and the scheduler share the bound.
+  EXPECT_DOUBLE_EQ(config->stream_refine_bound, 0.07);
+
+  const auto caller = ParseScenarioText(
+      "workload = stream\nmaintain_policy = caller\n", "");
+  ASSERT_TRUE(caller.ok()) << caller.status();
+  EXPECT_EQ(caller->maintain_policy, ScenarioMaintainPolicy::kCaller);
+}
+
+TEST(ScenarioParseTest, RejectsBadMaintenanceKeys) {
+  // Typos in the policy name must not silently fall back to a default.
+  EXPECT_FALSE(ParseScenarioText(
+                   "workload = stream\nmaintain_policy = background\n", "")
+                   .ok());
+  EXPECT_FALSE(ParseScenarioText(
+                   "workload = stream\nmaintain_policy = Auto\n", "")
+                   .ok());
+  // Out-of-range / unparsable values.
+  EXPECT_FALSE(ParseScenarioText(
+                   "workload = stream\nmaintain_policy = auto\n"
+                   "seal_interval = -0.5\n",
+                   "")
+                   .ok());
+  EXPECT_FALSE(ParseScenarioText(
+                   "workload = stream\ndrift_bound = fast\n", "")
+                   .ok());
+  EXPECT_FALSE(ParseScenarioText(
+                   "workload = stream\nmaintain_policy = auto\n"
+                   "seal_interval = abc\n",
+                   "")
+                   .ok());
+  // Background-only knobs on a caller-driven (or pipeline) run must fail
+  // loudly rather than silently never acting.
+  EXPECT_FALSE(ParseScenarioText(
+                   "workload = stream\nseal_interval = 0.5\n", "")
+                   .ok());
+  EXPECT_FALSE(ParseScenarioText("maintain_policy = auto\n", "").ok());
+}
+
 // Satellite pin for scenario-level parallelism: sweep points run on the
 // shared pool, and the report must be bit-identical at any thread count
 // (deterministic result ordering AND values).
@@ -294,6 +345,40 @@ TEST(ScenarioEngineTest, StreamWorkloadRunsAndIsShardInvariant) {
               one_shard->stream_rows[i].resplits);
     EXPECT_EQ(sharded->stream_rows[i].final_ence,
               one_shard->stream_rows[i].final_ence);
+  }
+}
+
+// Background maintenance end to end: a maintain_policy = auto stream
+// point must account for every record with NO caller-driven seal or
+// refine (epoch/resplit counts are background-timing-dependent by
+// design, so only invariants are asserted), across tree structures.
+TEST(ScenarioEngineTest, StreamWorkloadAutoMaintainRunsHandsOff) {
+  ScenarioConfig config;
+  config.workload = ScenarioWorkload::kStream;
+  config.algorithms = {PartitionAlgorithm::kFairKdTree,
+                       PartitionAlgorithm::kFairQuadtree};
+  config.heights = {4};
+  config.seeds = {11};
+  config.stream_batch = 50;
+  config.stream_refine_bound = 0.02;
+  config.stream_warmup_pct = 50;
+  config.stream_seal_records = 100;
+  config.maintain_policy = ScenarioMaintainPolicy::kAuto;
+  config.seal_interval = 0.01;
+  CityConfig city;
+  city.num_records = 400;
+  const Dataset dataset = GenerateEdgapCity(city).value();
+
+  const auto report = RunScenario(config, dataset);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->stream_rows.size(), 2u);
+  for (const ScenarioStreamRow& row : report->stream_rows) {
+    EXPECT_GT(row.regions, 1);
+    EXPECT_EQ(row.records, 400);
+    // The final quiescing seal always lands, so at least one epoch sealed
+    // even if the scheduler never fired in time.
+    EXPECT_GT(row.epochs, 0);
+    EXPECT_GE(row.final_ence, 0.0);
   }
 }
 

@@ -7,6 +7,10 @@ Usage:
       [--strict] [--min-real-time-ns 1e5]
       [--require-faster FAST:SLOW[:slack]] ...
 
+A missing, empty, malformed or benchmark-less input exits with a one-line
+diagnostic naming the file and (for the baseline) how to refresh it —
+never a stack trace, so CI failures stay actionable.
+
 Benchmarks are matched by exact name; benchmarks present on only one side
 are reported but never fail the gate (new benchmarks land with their first
 baseline refresh). A benchmark fails when
@@ -36,28 +40,56 @@ import json
 import sys
 
 
-def load(path):
+BASELINE_HINT = (
+    "refresh the baseline with tools/bench_to_json.sh (or the "
+    "bench-baseline-refresh workflow) and commit BENCH_timing.json"
+)
+
+
+def fail_file(path, role, problem):
+    """Exit with a clear, actionable message instead of a stack trace."""
+    hint = f" — {BASELINE_HINT}" if role == "baseline" else ""
+    sys.exit(f"bench_compare: {role} {path} {problem}{hint}")
+
+
+def load(path, role):
+    """Parse one google-benchmark JSON file, diagnosing the common ways a
+    baseline goes bad (missing, empty, malformed, wrong shape) by name."""
     try:
         with open(path) as f:
-            return json.load(f)
-    except (OSError, json.JSONDecodeError) as error:
-        sys.exit(f"bench_compare: cannot load {path}: {error}")
+            text = f.read()
+    except OSError as error:
+        fail_file(path, role, f"cannot be read: {error}")
+    if not text.strip():
+        fail_file(path, role, "is empty")
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as error:
+        fail_file(path, role, f"is not valid JSON: {error}")
+    if not isinstance(doc, dict) or not isinstance(doc.get("benchmarks"),
+                                                   list):
+        fail_file(path, role,
+                  "is not a google-benchmark result (no 'benchmarks' list)")
+    return doc
 
 
-def timings(doc, path):
+def timings(doc, path, role):
     """Name -> real_time (ns) for plain iteration entries (no aggregates)."""
     out = {}
-    for bench in doc.get("benchmarks", []):
+    for bench in doc["benchmarks"]:
+        if not isinstance(bench, dict):
+            fail_file(path, role, "has a non-object benchmark entry")
         if bench.get("run_type", "iteration") != "iteration":
             continue
         name = bench.get("name")
         real_time = bench.get("real_time")
-        if name is None or real_time is None:
-            sys.exit(f"bench_compare: malformed benchmark entry in {path}")
+        if name is None or not isinstance(real_time, (int, float)):
+            fail_file(path, role,
+                      "has a benchmark entry without name/real_time")
         # Repetitions: keep the fastest (least noisy on shared runners).
         out[name] = min(real_time, out.get(name, float("inf")))
     if not out:
-        sys.exit(f"bench_compare: no benchmarks in {path}")
+        fail_file(path, role, "contains no benchmark timings")
     return out
 
 
@@ -77,10 +109,10 @@ def main():
                              "(1 + slack); machine-independent")
     args = parser.parse_args()
 
-    baseline_doc = load(args.baseline)
-    fresh_doc = load(args.fresh)
-    baseline = timings(baseline_doc, args.baseline)
-    fresh = timings(fresh_doc, args.fresh)
+    baseline_doc = load(args.baseline, "baseline")
+    fresh_doc = load(args.fresh, "fresh run")
+    baseline = timings(baseline_doc, args.baseline, "baseline")
+    fresh = timings(fresh_doc, args.fresh, "fresh run")
 
     baseline_cpus = baseline_doc.get("context", {}).get("num_cpus")
     fresh_cpus = fresh_doc.get("context", {}).get("num_cpus")

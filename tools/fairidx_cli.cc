@@ -12,6 +12,7 @@
 //   fairidx_cli stream    --city la [--height 6] [--batch 200]
 //                         [--warmup-pct 50] [--shards N] [--seal-records N]
 //                         [--refine-bound B] [--algorithm fair_kd_tree]
+//                         [--auto-maintain] [--seal-interval S]
 //
 // `run scenario.cfg` executes a declarative scenario file — a
 // multi-algorithm x multi-height x multi-seed sweep from one config (see
@@ -35,6 +36,13 @@
 // here, but on production-scale grids raise --seal-records so the fold
 // amortizes over many batches (rows between seals then repeat the last
 // sealed epoch's ENCE).
+//
+// With --auto-maintain the ingest loop never seals or refines itself:
+// the service's background MaintenancePolicy thread does (seal cadence
+// from --seal-records and/or --seal-interval S seconds, refine per
+// --refine-bound when given) — the hands-off serving mode. Epoch and
+// re-split columns then reflect background timing rather than a
+// deterministic per-batch schedule.
 //
 // `--csv` loads an EdGap-style extract (see data/csv_dataset.h for the
 // schema); otherwise the named synthetic city is generated.
@@ -347,6 +355,8 @@ int CmdStream(const Flags& flags) {
   const int warmup_pct = flags.GetInt("warmup-pct", 50);
   const int shards = flags.GetInt("shards", 1);
   const long long seal_records = flags.GetInt("seal-records", 0);
+  const bool auto_maintain = flags.Has("auto-maintain");
+  const double seal_interval = flags.GetDouble("seal-interval", 0.0);
   if (batch < 1) return Fail(InvalidArgumentError("--batch must be >= 1"));
   if (warmup_pct < 1 || warmup_pct > 99) {
     return Fail(InvalidArgumentError("--warmup-pct must be in [1, 99]"));
@@ -354,6 +364,14 @@ int CmdStream(const Flags& flags) {
   if (shards < 1) return Fail(InvalidArgumentError("--shards must be >= 1"));
   if (seal_records < 0) {
     return Fail(InvalidArgumentError("--seal-records must be >= 0"));
+  }
+  if (seal_interval < 0.0) {
+    return Fail(InvalidArgumentError("--seal-interval must be >= 0"));
+  }
+  if (seal_interval > 0.0 && !auto_maintain) {
+    return Fail(InvalidArgumentError(
+        "--seal-interval needs --auto-maintain (the caller loop seals by "
+        "--seal-records)"));
   }
   if (flags.Has("threshold")) {
     // The overlay's dirty-cell fold threshold has no serving-layer
@@ -393,15 +411,28 @@ int CmdStream(const Flags& flags) {
   options.store.num_shards = shards;
   options.store.num_threads = flags.GetInt("threads", 1);
   options.refine.drift_bound = flags.GetDouble("refine-bound", 0.02);
+  if (auto_maintain) {
+    options.auto_maintain = true;
+    // --seal-records 0 means "every batch" in caller mode; for the
+    // scheduler that is a 1-record cadence — UNLESS an interval was
+    // given, in which case 0 disables the record cadence so the wall
+    // clock alone governs (an interval-only policy stays expressible).
+    options.maintain.seal_records =
+        seal_records > 0 ? seal_records : (seal_interval > 0.0 ? 0 : 1);
+    options.maintain.seal_interval_seconds = seal_interval;
+    options.maintain.drift_bound =
+        refine ? flags.GetDouble("refine-bound", 0.02) : -1.0;
+  }
   auto service = FairIndexService::Create(dataset->grid(), warm, options);
   if (!service.ok()) return Fail(service.status());
 
   std::printf("streaming %zu records into a height-%d %s partition "
-              "(%zu regions, %zu warmup records, batch %d, %d shard%s%s)\n",
+              "(%zu regions, %zu warmup records, batch %d, %d shard%s%s%s)\n",
               n - warmup, height, options.algorithm.c_str(),
               (*service)->regions()->size(), warmup, batch, shards,
               shards == 1 ? "" : "s",
-              refine ? ", incremental refine on" : "");
+              refine ? ", incremental refine on" : "",
+              auto_maintain ? ", background maintenance on" : "");
   TablePrinter table({"batch", "records", "pending", "epoch", "regions",
                       "resplits", "region_ence"});
   const ShardedDeltaStore& store = (*service)->store();
@@ -421,9 +452,13 @@ int CmdStream(const Flags& flags) {
     next = end;
     // Seal policy: fold once enough records are pending (0 = every
     // batch). MaybeRefine seals itself, then re-splits any subtree that
-    // drifted past the bound on that sealed epoch.
+    // drifted past the bound on that sealed epoch. Under --auto-maintain
+    // the background scheduler does all of this; the resplits column then
+    // reports the cumulative count it has published so far.
     int resplits = 0;
-    if (store.pending_records() >= seal_records) {
+    if (auto_maintain) {
+      resplits = static_cast<int>((*service)->total_resplits());
+    } else if (store.pending_records() >= seal_records) {
       if (refine) {
         auto refined = (*service)->MaybeRefine();
         if (!refined.ok()) return Fail(refined.status());
@@ -445,7 +480,9 @@ int CmdStream(const Flags& flags) {
   }
   table.Print(std::cout);
 
-  // Seal the tail and show the exact final state.
+  // Quiesce background maintenance (joins any in-flight pass), then seal
+  // the tail and show the exact final state.
+  if (auto_maintain) (*service)->StopMaintenance();
   if (auto sealed = (*service)->Seal(); !sealed.ok()) {
     return Fail(sealed.status());
   }
@@ -471,7 +508,10 @@ int Usage() {
       "  stream:       --height N --batch N --warmup-pct P --shards N\n"
       "                --seal-records N (0 = seal every batch)\n"
       "                --refine-bound B (incremental subtree re-splits on\n"
-      "                region drift > B) --algorithm fair_kd_tree|median_kd_tree\n"
+      "                region drift > B) --algorithm\n"
+      "                fair_kd_tree|median_kd_tree|fair_quadtree\n"
+      "                --auto-maintain (background seal/refine thread)\n"
+      "                --seal-interval S (auto: wall-clock seal cadence)\n"
       "  see the file header for the full reference\n");
   return 2;
 }
