@@ -23,6 +23,10 @@
 #include "index/kd_tree_maintainer.h"
 #include "index/quadtree_maintainer.h"
 #include "service/sharded_delta_store.h"
+#include "service/wal.h"
+
+#include <filesystem>
+#include <string>
 
 namespace fairidx {
 namespace bench {
@@ -505,6 +509,68 @@ void BM_ShardedIngestThroughput(benchmark::State& state) {
   state.SetItemsProcessed(records);
 }
 BENCHMARK(BM_ShardedIngestThroughput)->Arg(1)->Arg(4);
+
+// The durability tax: the same 4-writer sharded ingest with every batch
+// written through the WAL first. Arg encodes the fsync mode (0 = none,
+// 1 = batch, 2 = always); compare against BM_ShardedIngestThroughput/4
+// for the overhead of each mode. Two pairs are CI-gated: fsync=none must
+// stay within 2x of bare ingest wall-clock (it measures ~1.5x on a
+// 1-core ext4 runner — the log serializes, checksums and writes ~1.5 MB
+// per iteration that bare ingest never touches; CPU-side overhead is a
+// few percent), and fsync=none must stay at least 2x faster than
+// fsync=batch, which pins the group-commit buffering benefit itself.
+// batch and always price the durability window instead of CPU and are
+// storage-hardware-bound.
+void BM_IngestWithWal(benchmark::State& state) {
+  const IngestFixture& f = BenchIngest();
+  constexpr int kShards = 4;
+  constexpr int kWriters = 4;
+  const WalFsync fsync = static_cast<WalFsync>(state.range(0));
+  const std::string dir =
+      std::filesystem::temp_directory_path().string() +
+      "/fairidx_bench_wal";
+  int64_t records = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove_all(dir);
+    WalOptions wal_options;
+    wal_options.fsync = fsync;
+    std::unique_ptr<WalWriter> wal =
+        OrDie(WalWriter::Open(dir, 1, 1, wal_options), "WalWriter::Open");
+    ShardedDeltaStoreOptions options;
+    options.num_shards = kShards;
+    options.num_threads = kShards;
+    options.wal = wal.get();
+    std::unique_ptr<ShardedDeltaStore> store =
+        OrDie(ShardedDeltaStore::Build(f.grid, f.warmup, options),
+              "ShardedDeltaStore::Build");
+    state.ResumeTiming();
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+      writers.emplace_back([&, w] {
+        for (size_t b = static_cast<size_t>(w); b < f.batches.size();
+             b += kWriters) {
+          if (!store->Ingest(f.batches[b]).ok()) std::abort();
+        }
+      });
+    }
+    for (std::thread& writer : writers) writer.join();
+    if (!store->Seal().ok()) std::abort();
+    benchmark::DoNotOptimize(store->snapshot());
+    records += store->num_records() -
+               static_cast<int64_t>(f.warmup.size());
+    state.PauseTiming();
+    store.reset();  // Store first: it holds a raw pointer into the WAL.
+    wal.reset();
+    state.ResumeTiming();
+  }
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(records);
+}
+BENCHMARK(BM_IngestWithWal)
+    ->Arg(static_cast<int>(WalFsync::kNone))
+    ->Arg(static_cast<int>(WalFsync::kBatch))
+    ->Arg(static_cast<int>(WalFsync::kAlways));
 
 // --- Incremental maintenance: drift-bounded Refine vs full rebuild. ---
 // The stream workload's maintenance step: a batch of miscalibrated

@@ -1,0 +1,220 @@
+#include "common/binary_io.h"
+
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <nmmintrin.h>
+#define FAIRIDX_HAS_SSE42_CRC 1
+#endif
+
+namespace fairidx {
+namespace {
+
+// Slicing-by-8 CRC-32 tables for a reflected polynomial: table[0] is the
+// classic bytewise table, table[k][i] extends it by k more zero bytes, so
+// eight bytes fold in one step — ~6x the throughput of the bytewise loop
+// with byte-identical checksums. Shared by the IEEE polynomial (Crc32)
+// and the Castagnoli software fallback (Crc32c).
+struct Crc32Tables {
+  uint32_t entries[8][256];
+  explicit Crc32Tables(uint32_t poly) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? poly : 0u);
+      }
+      entries[0][i] = crc;
+    }
+    for (int k = 1; k < 8; ++k) {
+      for (uint32_t i = 0; i < 256; ++i) {
+        const uint32_t prev = entries[k - 1][i];
+        entries[k][i] = (prev >> 8) ^ entries[0][prev & 0xFFu];
+      }
+    }
+  }
+};
+
+uint32_t SlicedCrc(const Crc32Tables& t, const void* data, size_t size,
+                   uint32_t seed) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  while (size >= 8) {
+    // Assemble the two words explicitly (little-endian byte order) so the
+    // fold is endianness-portable without unaligned loads.
+    const uint32_t lo = crc ^ (static_cast<uint32_t>(bytes[0]) |
+                               static_cast<uint32_t>(bytes[1]) << 8 |
+                               static_cast<uint32_t>(bytes[2]) << 16 |
+                               static_cast<uint32_t>(bytes[3]) << 24);
+    const uint32_t hi = static_cast<uint32_t>(bytes[4]) |
+                        static_cast<uint32_t>(bytes[5]) << 8 |
+                        static_cast<uint32_t>(bytes[6]) << 16 |
+                        static_cast<uint32_t>(bytes[7]) << 24;
+    crc = t.entries[7][lo & 0xFFu] ^ t.entries[6][(lo >> 8) & 0xFFu] ^
+          t.entries[5][(lo >> 16) & 0xFFu] ^ t.entries[4][lo >> 24] ^
+          t.entries[3][hi & 0xFFu] ^ t.entries[2][(hi >> 8) & 0xFFu] ^
+          t.entries[1][(hi >> 16) & 0xFFu] ^ t.entries[0][hi >> 24];
+    bytes += 8;
+    size -= 8;
+  }
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ t.entries[0][(crc ^ bytes[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+#if defined(FAIRIDX_HAS_SSE42_CRC) && defined(__x86_64__)
+// Compiled for sse4.2 regardless of the global flags; only called after a
+// runtime cpuid check confirms the instruction exists.
+__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(
+    const uint8_t* bytes, size_t size, uint32_t crc) {
+  uint64_t wide = crc;
+  while (size >= 8) {
+    uint64_t word;
+    std::memcpy(&word, bytes, sizeof(word));
+    wide = _mm_crc32_u64(wide, word);
+    bytes += 8;
+    size -= 8;
+  }
+  crc = static_cast<uint32_t>(wide);
+  while (size > 0) {
+    crc = _mm_crc32_u8(crc, *bytes);
+    ++bytes;
+    --size;
+  }
+  return crc;
+}
+#endif
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  static const Crc32Tables t(0xEDB88320u);
+  return SlicedCrc(t, data, size, seed);
+}
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
+#if defined(FAIRIDX_HAS_SSE42_CRC) && defined(__x86_64__)
+  static const bool has_sse42 = __builtin_cpu_supports("sse4.2");
+  if (has_sse42) {
+    return ~Crc32cHardware(static_cast<const uint8_t*>(data), size, ~seed);
+  }
+#endif
+  static const Crc32Tables t(0x82F63B78u);
+  return SlicedCrc(t, data, size, seed);
+}
+
+void BinaryWriter::PutU32(uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    buffer_.push_back(static_cast<char>((value >> shift) & 0xFFu));
+  }
+}
+
+void BinaryWriter::PutU64(uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    buffer_.push_back(static_cast<char>((value >> shift) & 0xFFu));
+  }
+}
+
+void BinaryWriter::PutDouble(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value), "double must be 64-bit");
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutU64(bits);
+}
+
+void BinaryWriter::PutBytes(const void* data, size_t size) {
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+namespace {
+
+// The wire format is little-endian by definition; on a little-endian host
+// the in-memory representation of int32/double arrays already IS the wire
+// encoding, so bulk writers can append them in one shot. Big-endian hosts
+// take the per-element path — identical bytes either way.
+bool LittleEndianHost() {
+  const uint32_t probe = 1;
+  return *reinterpret_cast<const unsigned char*>(&probe) == 1;
+}
+
+}  // namespace
+
+void BinaryWriter::PutI32Array(const int* values, size_t count) {
+  static_assert(sizeof(int) == 4, "wire format assumes 32-bit int");
+  if (LittleEndianHost()) {
+    buffer_.append(reinterpret_cast<const char*>(values), count * 4);
+    return;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    PutI32(static_cast<int32_t>(values[i]));
+  }
+}
+
+void BinaryWriter::PutDoubleArray(const double* values, size_t count) {
+  if (LittleEndianHost()) {
+    buffer_.append(reinterpret_cast<const char*>(values), count * 8);
+    return;
+  }
+  for (size_t i = 0; i < count; ++i) PutDouble(values[i]);
+}
+
+void BinaryWriter::PatchU32(size_t offset, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_[offset + i] = static_cast<char>((value >> (8 * i)) & 0xFFu);
+  }
+}
+
+void BinaryWriter::PutString(const std::string& value) {
+  PutU64(static_cast<uint64_t>(value.size()));
+  buffer_.append(value);
+}
+
+Status BinaryReader::Need(size_t bytes) const {
+  if (size_ - pos_ < bytes) {
+    return DataLossError("binary input truncated");
+  }
+  return Status::Ok();
+}
+
+Result<uint8_t> BinaryReader::ReadU8() {
+  FAIRIDX_RETURN_IF_ERROR(Need(1));
+  return data_[pos_++];
+}
+
+Result<uint32_t> BinaryReader::ReadU32() {
+  FAIRIDX_RETURN_IF_ERROR(Need(4));
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return value;
+}
+
+Result<uint64_t> BinaryReader::ReadU64() {
+  FAIRIDX_RETURN_IF_ERROR(Need(8));
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return value;
+}
+
+Result<double> BinaryReader::ReadDouble() {
+  FAIRIDX_ASSIGN_OR_RETURN(const uint64_t bits, ReadU64());
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  FAIRIDX_ASSIGN_OR_RETURN(const uint64_t size, ReadU64());
+  FAIRIDX_RETURN_IF_ERROR(Need(static_cast<size_t>(size)));
+  std::string out(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<size_t>(size));
+  pos_ += static_cast<size_t>(size);
+  return out;
+}
+
+}  // namespace fairidx

@@ -248,6 +248,18 @@ Status ParseInto(const std::string& text, const std::string& include_dir,
       auto bound = ParseDouble(value);
       if (bound.ok()) config->stream_refine_bound = *bound;
       status = bound.ok() ? Status::Ok() : bound.status();
+    } else if (key == "wal_dir") {
+      config->wal_dir = value;
+    } else if (key == "checkpoint_interval") {
+      auto interval = ParseInt(value);
+      if (interval.ok()) config->checkpoint_interval = *interval;
+      status = interval.ok() ? Status::Ok() : interval.status();
+    } else if (key == "fsync") {
+      config->fsync = value;
+    } else if (key == "retain_epochs") {
+      auto retain = ParseInt(value);
+      if (retain.ok()) config->retain_epochs = *retain;
+      status = retain.ok() ? Status::Ok() : retain.status();
     } else {
       status = InvalidArgumentError("unknown scenario key '" + key + "'");
     }
@@ -317,6 +329,20 @@ Status ValidateScenario(const ScenarioConfig& config) {
     return InvalidArgumentError(
         "scenario: seal_interval requires maintain_policy = auto (the "
         "caller loop seals by stream_seal_records)");
+  }
+  if (!config.wal_dir.empty() &&
+      config.workload != ScenarioWorkload::kStream) {
+    // Durability only exists on the serving path; dropping the key on a
+    // pipeline sweep would hide the typo.
+    return InvalidArgumentError(
+        "scenario: wal_dir requires workload = stream");
+  }
+  if (!ParseWalFsync(config.fsync).ok()) {
+    return InvalidArgumentError("scenario: unknown fsync '" + config.fsync +
+                                "' (expected none|batch|always)");
+  }
+  if (config.retain_epochs < 0) {
+    return InvalidArgumentError("scenario: retain_epochs must be >= 0");
   }
   return Status::Ok();
 }
@@ -435,6 +461,18 @@ Result<ScenarioStreamRow> RunOneStreamPoint(const ScenarioConfig& config,
   service_options.store.num_shards = config.stream_shards;
   service_options.store.num_threads = config.threads;
   service_options.refine.drift_bound = config.stream_refine_bound;
+  if (!config.wal_dir.empty()) {
+    // One subdirectory per sweep point: concurrent points must never
+    // interleave their logs.
+    service_options.durability.wal_dir =
+        config.wal_dir + "/" + PartitionAlgorithmName(run.algorithm) +
+        "-h" + std::to_string(run.height) + "-s" +
+        std::to_string(run.seed);
+    service_options.durability.checkpoint_interval =
+        config.checkpoint_interval;
+    FAIRIDX_ASSIGN_OR_RETURN(service_options.durability.fsync,
+                             ParseWalFsync(config.fsync));
+  }
   const bool refine = config.stream_refine_bound >= 0.0;
   const bool auto_maintain =
       config.maintain_policy == ScenarioMaintainPolicy::kAuto;
@@ -453,6 +491,7 @@ Result<ScenarioStreamRow> RunOneStreamPoint(const ScenarioConfig& config,
     service_options.maintain.drift_bound =
         refine ? config.stream_refine_bound : -1.0;
     service_options.maintain.poll_interval_seconds = 0.002;
+    service_options.maintain.retain_epochs = config.retain_epochs;
   }
 
   const auto start = std::chrono::steady_clock::now();
@@ -472,6 +511,9 @@ Result<ScenarioStreamRow> RunOneStreamPoint(const ScenarioConfig& config,
         FAIRIDX_RETURN_IF_ERROR(service->MaybeRefine().status());
       } else {
         FAIRIDX_RETURN_IF_ERROR(service->Seal().status());
+      }
+      if (config.retain_epochs > 0) {
+        service->ApplyRetention(config.retain_epochs);
       }
     }
   }

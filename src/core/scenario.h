@@ -44,6 +44,21 @@
 //   drift_bound = 0.02              the maintenance-policy spelling of
 //                                   stream_refine_bound (same field;
 //                                   later key wins, < 0: never refine)
+//   wal_dir = /tmp/fairidx-wal      stream: write-ahead log + checkpoint
+//                                   directory (empty: durability off).
+//                                   Each sweep point logs under its own
+//                                   <algorithm>-h<height>-s<seed>/
+//                                   subdirectory so points never share a
+//                                   log
+//   checkpoint_interval = 8         stream+wal: checkpoint every N sealed
+//                                   epochs (<= 0: only the initial one)
+//   fsync = batch                   stream+wal: none | batch | always
+//                                   (see service/wal.h for the window
+//                                   each mode leaves open)
+//   retain_epochs = 0               stream: after each maintenance pass
+//                                   keep only the newest N sealed
+//                                   snapshots (+ reader-pinned ones);
+//                                   0 keeps the full history
 //
 // Unknown keys are errors (typos should not silently no-op). With the
 // default `workload = pipeline`, every run in the expansion is one
@@ -121,6 +136,16 @@ struct ScenarioConfig {
   /// Background wall-clock seal cadence in seconds (maintain_policy =
   /// auto only; 0 leaves only the record-count cadence).
   double seal_interval = 0.0;
+  /// Durability root directory (stream workload only; empty disables the
+  /// WAL and checkpoints). Each sweep point uses its own subdirectory.
+  std::string wal_dir;
+  /// Checkpoint every this many sealed epochs (<= 0: only at create).
+  long long checkpoint_interval = 8;
+  /// WAL fsync mode: "none" | "batch" | "always".
+  std::string fsync = "batch";
+  /// Sealed-snapshot history bound applied after each maintenance pass
+  /// (0 disables retention).
+  int retain_epochs = 0;
 };
 
 /// One point of the expanded sweep.

@@ -80,6 +80,23 @@ class KdTreeAdapterBase : public Partitioner {
     return maintainer_.has_value() ? &maintainer_->tree().result : nullptr;
   }
 
+  Result<std::string> SaveMaintained() const override {
+    if (!maintainer_.has_value()) {
+      return Partitioner::SaveMaintained();
+    }
+    return maintainer_->Save();
+  }
+
+  Status RestoreMaintained(const Grid& grid,
+                           const PartitionerBuildOptions& options,
+                           const std::string& blob) override {
+    FAIRIDX_ASSIGN_OR_RETURN(
+        KdTreeMaintainer maintainer,
+        KdTreeMaintainer::Restore(grid, TreeOptions(options), blob));
+    maintainer_.emplace(std::move(maintainer));
+    return Status::Ok();
+  }
+
  protected:
   /// The aggregates this tree splits on.
   virtual Result<const GridAggregates*> Aggregates(
@@ -247,6 +264,28 @@ class FairQuadtreePartitioner : public Partitioner {
 
   const PartitionResult* maintained() const override {
     return maintainer_.has_value() ? &maintainer_->partition() : nullptr;
+  }
+
+  Result<std::string> SaveMaintained() const override {
+    if (!maintainer_.has_value()) {
+      return Partitioner::SaveMaintained();
+    }
+    return maintainer_->Save();
+  }
+
+  Status RestoreMaintained(const Grid& grid,
+                           const PartitionerBuildOptions& options,
+                           const std::string& blob) override {
+    if (options.height < 0) {
+      return InvalidArgumentError("fair_quadtree: height must be >= 0");
+    }
+    FairQuadtreeOptions quad_options;
+    quad_options.target_regions = 1 << std::min(options.height, 30);
+    FAIRIDX_ASSIGN_OR_RETURN(
+        QuadTreeMaintainer maintainer,
+        QuadTreeMaintainer::Restore(grid, quad_options, blob));
+    maintainer_.emplace(std::move(maintainer));
+    return Status::Ok();
   }
 
  private:

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <utility>
 
+#include "common/binary_io.h"
+#include "index/partition_io.h"
+
 namespace fairidx {
 
 namespace {
@@ -338,6 +341,126 @@ Result<KdRefineStats> KdTreeMaintainer::Refine(
   }
   FAIRIDX_RETURN_IF_ERROR(SpliceWithPatches(patches, aggregates, &stats));
   return stats;
+}
+
+namespace {
+
+constexpr uint32_t kKdMaintainerMagic = 0x46584B4Du;  // "FXKM"
+constexpr uint32_t kKdMaintainerVersion = 1;
+
+void PutRect(BinaryWriter* out, const CellRect& rect) {
+  out->PutI32(rect.row_begin);
+  out->PutI32(rect.row_end);
+  out->PutI32(rect.col_begin);
+  out->PutI32(rect.col_end);
+}
+
+Result<CellRect> ReadRect(BinaryReader* in) {
+  CellRect rect;
+  FAIRIDX_ASSIGN_OR_RETURN(rect.row_begin, in->ReadI32());
+  FAIRIDX_ASSIGN_OR_RETURN(rect.row_end, in->ReadI32());
+  FAIRIDX_ASSIGN_OR_RETURN(rect.col_begin, in->ReadI32());
+  FAIRIDX_ASSIGN_OR_RETURN(rect.col_end, in->ReadI32());
+  return rect;
+}
+
+void PutAggregate(BinaryWriter* out, const RegionAggregate& agg) {
+  out->PutDouble(agg.count);
+  out->PutDouble(agg.sum_labels);
+  out->PutDouble(agg.sum_scores);
+  out->PutDouble(agg.sum_residuals);
+  out->PutDouble(agg.sum_cell_abs_miscalibration);
+}
+
+Result<RegionAggregate> ReadAggregate(BinaryReader* in) {
+  RegionAggregate agg;
+  FAIRIDX_ASSIGN_OR_RETURN(agg.count, in->ReadDouble());
+  FAIRIDX_ASSIGN_OR_RETURN(agg.sum_labels, in->ReadDouble());
+  FAIRIDX_ASSIGN_OR_RETURN(agg.sum_scores, in->ReadDouble());
+  FAIRIDX_ASSIGN_OR_RETURN(agg.sum_residuals, in->ReadDouble());
+  FAIRIDX_ASSIGN_OR_RETURN(agg.sum_cell_abs_miscalibration,
+                           in->ReadDouble());
+  return agg;
+}
+
+}  // namespace
+
+std::string KdTreeMaintainer::Save() const {
+  BinaryWriter out;
+  out.PutU32(kKdMaintainerMagic);
+  out.PutU32(kKdMaintainerVersion);
+  out.PutI64(tree_.num_split_scans);
+  out.PutU64(nodes_.size());
+  for (const Node& node : nodes_) {
+    PutRect(&out, node.node.rect);
+    out.PutI32(node.node.left);
+    out.PutI32(node.node.right);
+    out.PutI32(node.node.remaining_height);
+    PutAggregate(&out, node.snapshot);
+  }
+  out.PutU64(leaf_nodes_.size());
+  for (int leaf : leaf_nodes_) out.PutI32(leaf);
+  out.PutU64(tree_.result.regions.size());
+  for (const CellRect& rect : tree_.result.regions) PutRect(&out, rect);
+  const std::string partition =
+      SerializePartitionBinary(tree_.result.partition);
+  out.PutString(partition);
+  return out.Release();
+}
+
+Result<KdTreeMaintainer> KdTreeMaintainer::Restore(
+    const Grid& grid, const KdTreeOptions& options,
+    const std::string& blob) {
+  BinaryReader in(blob);
+  FAIRIDX_ASSIGN_OR_RETURN(const uint32_t magic, in.ReadU32());
+  FAIRIDX_ASSIGN_OR_RETURN(const uint32_t version, in.ReadU32());
+  if (magic != kKdMaintainerMagic || version != kKdMaintainerVersion) {
+    return DataLossError("KdTreeMaintainer: bad magic or version");
+  }
+  KdTreeMaintainer maintainer(grid, options);
+  FAIRIDX_ASSIGN_OR_RETURN(maintainer.tree_.num_split_scans, in.ReadI64());
+  FAIRIDX_ASSIGN_OR_RETURN(const uint64_t num_nodes, in.ReadU64());
+  maintainer.nodes_.reserve(static_cast<size_t>(num_nodes));
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    Node node;
+    FAIRIDX_ASSIGN_OR_RETURN(node.node.rect, ReadRect(&in));
+    FAIRIDX_ASSIGN_OR_RETURN(node.node.left, in.ReadI32());
+    FAIRIDX_ASSIGN_OR_RETURN(node.node.right, in.ReadI32());
+    FAIRIDX_ASSIGN_OR_RETURN(node.node.remaining_height, in.ReadI32());
+    FAIRIDX_ASSIGN_OR_RETURN(node.snapshot, ReadAggregate(&in));
+    const int n = static_cast<int>(num_nodes);
+    if (node.node.left >= n || node.node.right >= n) {
+      return DataLossError("KdTreeMaintainer: child index out of range");
+    }
+    maintainer.nodes_.push_back(node);
+  }
+  FAIRIDX_ASSIGN_OR_RETURN(const uint64_t num_leaves, in.ReadU64());
+  maintainer.leaf_nodes_.reserve(static_cast<size_t>(num_leaves));
+  for (uint64_t i = 0; i < num_leaves; ++i) {
+    FAIRIDX_ASSIGN_OR_RETURN(const int32_t leaf, in.ReadI32());
+    if (leaf < 0 || static_cast<uint64_t>(leaf) >= num_nodes) {
+      return DataLossError("KdTreeMaintainer: leaf index out of range");
+    }
+    maintainer.leaf_nodes_.push_back(leaf);
+  }
+  FAIRIDX_ASSIGN_OR_RETURN(const uint64_t num_regions, in.ReadU64());
+  if (num_regions != num_leaves) {
+    return DataLossError(
+        "KdTreeMaintainer: leaf and region counts disagree");
+  }
+  maintainer.tree_.result.regions.reserve(static_cast<size_t>(num_regions));
+  for (uint64_t i = 0; i < num_regions; ++i) {
+    FAIRIDX_ASSIGN_OR_RETURN(const CellRect rect, ReadRect(&in));
+    maintainer.tree_.result.regions.push_back(rect);
+  }
+  FAIRIDX_ASSIGN_OR_RETURN(const std::string partition_bytes,
+                           in.ReadString());
+  FAIRIDX_ASSIGN_OR_RETURN(maintainer.tree_.result.partition,
+                           ParsePartitionBinary(grid, partition_bytes));
+  if (in.remaining() != 0) {
+    return DataLossError("KdTreeMaintainer: trailing bytes in blob");
+  }
+  return maintainer;
 }
 
 }  // namespace fairidx

@@ -103,6 +103,22 @@ class KdTreeMaintainer {
   Result<KdRefineStats> Refine(const GridAggregates& aggregates,
                                const KdRefineOptions& options);
 
+  /// Serializes the full maintenance state — split tree, per-node
+  /// reference snapshots, leaf order, partition — to an opaque blob.
+  /// Restore(grid, options, Save()) yields a maintainer whose tree,
+  /// snapshots and partition are bit-identical to this one, so later
+  /// Refine calls take the identical decisions (the durability layer's
+  /// checkpoint path).
+  std::string Save() const;
+
+  /// Rebuilds a maintainer from Save() output. `grid` and `options` must
+  /// match the saved maintainer's (the blob carries only derived state);
+  /// the blob is validated structurally (counts, ranges, partition
+  /// coverage) and rejected with DataLoss/InvalidArgument diagnostics.
+  static Result<KdTreeMaintainer> Restore(const Grid& grid,
+                                          const KdTreeOptions& options,
+                                          const std::string& blob);
+
  private:
   struct Node {
     KdTreeNode node;

@@ -1,9 +1,40 @@
 #include "index/partition_io.h"
 
+#include "common/binary_io.h"
 #include "common/csv.h"
 #include "common/string_util.h"
 
 namespace fairidx {
+
+std::string SerializePartitionBinary(const Partition& partition) {
+  BinaryWriter out;
+  out.PutU64(static_cast<uint64_t>(partition.num_cells()));
+  out.PutI32(partition.num_regions());
+  for (int region : partition.cell_to_region()) out.PutI32(region);
+  return out.Release();
+}
+
+Result<Partition> ParsePartitionBinary(const Grid& grid,
+                                       const std::string& bytes) {
+  BinaryReader in(bytes);
+  FAIRIDX_ASSIGN_OR_RETURN(const uint64_t num_cells, in.ReadU64());
+  if (num_cells != static_cast<uint64_t>(grid.num_cells())) {
+    return InvalidArgumentError(
+        "binary partition has " + std::to_string(num_cells) +
+        " cells, grid expects " + std::to_string(grid.num_cells()));
+  }
+  FAIRIDX_ASSIGN_OR_RETURN(const int32_t num_regions, in.ReadI32());
+  std::vector<int> cell_to_region;
+  cell_to_region.reserve(static_cast<size_t>(num_cells));
+  for (uint64_t i = 0; i < num_cells; ++i) {
+    FAIRIDX_ASSIGN_OR_RETURN(const int32_t region, in.ReadI32());
+    cell_to_region.push_back(region);
+  }
+  if (in.remaining() != 0) {
+    return InvalidArgumentError("binary partition: trailing bytes");
+  }
+  return Partition::FromCellMapExact(std::move(cell_to_region), num_regions);
+}
 
 std::string SerializePartitionCsv(const Grid& grid,
                                   const Partition& partition) {
@@ -25,6 +56,8 @@ Result<Partition> ParsePartitionCsv(const Grid& grid,
                                     const std::string& csv_text) {
   FAIRIDX_ASSIGN_OR_RETURN(CsvTable table, ParseCsv(csv_text));
   FAIRIDX_ASSIGN_OR_RETURN(size_t cell_col, table.ColumnIndex("cell_id"));
+  FAIRIDX_ASSIGN_OR_RETURN(size_t row_col, table.ColumnIndex("row"));
+  FAIRIDX_ASSIGN_OR_RETURN(size_t col_col, table.ColumnIndex("col"));
   FAIRIDX_ASSIGN_OR_RETURN(size_t region_col, table.ColumnIndex("region"));
   if (table.rows.size() != static_cast<size_t>(grid.num_cells())) {
     return InvalidArgumentError(
@@ -34,9 +67,22 @@ Result<Partition> ParsePartitionCsv(const Grid& grid,
   std::vector<int> cell_to_region(static_cast<size_t>(grid.num_cells()), -1);
   for (const auto& row : table.rows) {
     FAIRIDX_ASSIGN_OR_RETURN(int cell, ParseInt(row[cell_col]));
+    FAIRIDX_ASSIGN_OR_RETURN(int cell_row, ParseInt(row[row_col]));
+    FAIRIDX_ASSIGN_OR_RETURN(int cell_column, ParseInt(row[col_col]));
     FAIRIDX_ASSIGN_OR_RETURN(int region, ParseInt(row[region_col]));
     if (cell < 0 || cell >= grid.num_cells()) {
-      return OutOfRangeError("partition CSV: cell id out of range");
+      return OutOfRangeError("partition CSV: cell id " +
+                             std::to_string(cell) + " outside [0, " +
+                             std::to_string(grid.num_cells()) + ")");
+    }
+    if (cell_row != grid.RowOfCell(cell) ||
+        cell_column != grid.ColOfCell(cell)) {
+      return InvalidArgumentError(
+          "partition CSV: cell " + std::to_string(cell) + " claims (row " +
+          std::to_string(cell_row) + ", col " + std::to_string(cell_column) +
+          "), grid places it at (row " +
+          std::to_string(grid.RowOfCell(cell)) + ", col " +
+          std::to_string(grid.ColOfCell(cell)) + ")");
     }
     if (cell_to_region[static_cast<size_t>(cell)] != -1) {
       return InvalidArgumentError("partition CSV: duplicate cell " +

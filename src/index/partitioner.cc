@@ -110,6 +110,25 @@ Result<KdRefineStats> Partitioner::Refine(const GridAggregates& aggregates,
       "supports_refine partitioner)");
 }
 
+Result<std::string> Partitioner::SaveMaintained() const {
+  return FailedPreconditionError(
+      std::string(name()) +
+      ": SaveMaintained unsupported (checkpoints need a supports_refine "
+      "partitioner with maintenance state)");
+}
+
+Status Partitioner::RestoreMaintained(const Grid& grid,
+                                      const PartitionerBuildOptions& options,
+                                      const std::string& blob) {
+  (void)grid;
+  (void)options;
+  (void)blob;
+  return FailedPreconditionError(
+      std::string(name()) +
+      ": RestoreMaintained unsupported (checkpoints need a supports_refine "
+      "partitioner)");
+}
+
 PartitionerRegistry& PartitionerRegistry::Global() {
   // Never destroyed: registrations may arrive from static initializers in
   // any TU order, and lookups can outlive main's statics.

@@ -192,6 +192,25 @@ class Partitioner {
   /// The maintained partition after Build/Refine on a refine-enabled
   /// instance; null otherwise.
   virtual const PartitionResult* maintained() const { return nullptr; }
+
+  /// Serializes the complete maintenance state (tree nodes, per-node
+  /// drift snapshots, leaf order, partition) to an opaque blob the same
+  /// partitioner type can restore bit-identically — the checkpoint path
+  /// of the durability layer (service/checkpoint.h). Only meaningful
+  /// after BuildFromAggregates/Refine on a supports_refine structure; the
+  /// base fails with FailedPrecondition.
+  virtual Result<std::string> SaveMaintained() const;
+
+  /// Restores maintenance state saved by SaveMaintained on the same
+  /// partitioner type, leaving the instance exactly as if it had run the
+  /// original BuildFromAggregates + Refine history: maintained() returns
+  /// the saved partition and later Refine calls proceed from the saved
+  /// tree. `options` must equal the build options of the saved run (the
+  /// blob holds derived tree parameters; callers pass the same options
+  /// they would pass BuildFromAggregates). Base: FailedPrecondition.
+  virtual Status RestoreMaintained(const Grid& grid,
+                                   const PartitionerBuildOptions& options,
+                                   const std::string& blob);
 };
 
 /// Global name -> factory registry. Thread-safe. Built-in algorithms are

@@ -4,6 +4,9 @@
 #include <functional>
 #include <utility>
 
+#include "common/binary_io.h"
+#include "index/partition_io.h"
+
 namespace fairidx {
 
 namespace {
@@ -307,6 +310,124 @@ Result<KdRefineStats> QuadTreeMaintainer::Refine(
   nodes_ = std::move(new_nodes);
   leaf_nodes_ = std::move(new_leaf_nodes);
   return stats;
+}
+
+namespace {
+
+constexpr uint32_t kQuadMaintainerMagic = 0x4658514Du;  // "FXQM"
+constexpr uint32_t kQuadMaintainerVersion = 1;
+
+void PutRect(BinaryWriter* out, const CellRect& rect) {
+  out->PutI32(rect.row_begin);
+  out->PutI32(rect.row_end);
+  out->PutI32(rect.col_begin);
+  out->PutI32(rect.col_end);
+}
+
+Result<CellRect> ReadRect(BinaryReader* in) {
+  CellRect rect;
+  FAIRIDX_ASSIGN_OR_RETURN(rect.row_begin, in->ReadI32());
+  FAIRIDX_ASSIGN_OR_RETURN(rect.row_end, in->ReadI32());
+  FAIRIDX_ASSIGN_OR_RETURN(rect.col_begin, in->ReadI32());
+  FAIRIDX_ASSIGN_OR_RETURN(rect.col_end, in->ReadI32());
+  return rect;
+}
+
+void PutAggregate(BinaryWriter* out, const RegionAggregate& agg) {
+  out->PutDouble(agg.count);
+  out->PutDouble(agg.sum_labels);
+  out->PutDouble(agg.sum_scores);
+  out->PutDouble(agg.sum_residuals);
+  out->PutDouble(agg.sum_cell_abs_miscalibration);
+}
+
+Result<RegionAggregate> ReadAggregate(BinaryReader* in) {
+  RegionAggregate agg;
+  FAIRIDX_ASSIGN_OR_RETURN(agg.count, in->ReadDouble());
+  FAIRIDX_ASSIGN_OR_RETURN(agg.sum_labels, in->ReadDouble());
+  FAIRIDX_ASSIGN_OR_RETURN(agg.sum_scores, in->ReadDouble());
+  FAIRIDX_ASSIGN_OR_RETURN(agg.sum_residuals, in->ReadDouble());
+  FAIRIDX_ASSIGN_OR_RETURN(agg.sum_cell_abs_miscalibration,
+                           in->ReadDouble());
+  return agg;
+}
+
+}  // namespace
+
+std::string QuadTreeMaintainer::Save() const {
+  BinaryWriter out;
+  out.PutU32(kQuadMaintainerMagic);
+  out.PutU32(kQuadMaintainerVersion);
+  out.PutU64(nodes_.size());
+  for (const Node& node : nodes_) {
+    PutRect(&out, node.rect);
+    out.PutI32(node.num_children);
+    for (int child : node.children) out.PutI32(child);
+    PutAggregate(&out, node.snapshot);
+  }
+  out.PutU64(leaf_nodes_.size());
+  for (int leaf : leaf_nodes_) out.PutI32(leaf);
+  out.PutU64(partition_.regions.size());
+  for (const CellRect& rect : partition_.regions) PutRect(&out, rect);
+  out.PutString(SerializePartitionBinary(partition_.partition));
+  return out.Release();
+}
+
+Result<QuadTreeMaintainer> QuadTreeMaintainer::Restore(
+    const Grid& grid, const FairQuadtreeOptions& options,
+    const std::string& blob) {
+  BinaryReader in(blob);
+  FAIRIDX_ASSIGN_OR_RETURN(const uint32_t magic, in.ReadU32());
+  FAIRIDX_ASSIGN_OR_RETURN(const uint32_t version, in.ReadU32());
+  if (magic != kQuadMaintainerMagic || version != kQuadMaintainerVersion) {
+    return DataLossError("QuadTreeMaintainer: bad magic or version");
+  }
+  QuadTreeMaintainer maintainer(grid, options);
+  FAIRIDX_ASSIGN_OR_RETURN(const uint64_t num_nodes, in.ReadU64());
+  maintainer.nodes_.reserve(static_cast<size_t>(num_nodes));
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    Node node;
+    FAIRIDX_ASSIGN_OR_RETURN(node.rect, ReadRect(&in));
+    FAIRIDX_ASSIGN_OR_RETURN(node.num_children, in.ReadI32());
+    if (node.num_children < 0 || node.num_children > 4) {
+      return DataLossError("QuadTreeMaintainer: bad child count");
+    }
+    for (int& child : node.children) {
+      FAIRIDX_ASSIGN_OR_RETURN(child, in.ReadI32());
+      if (child >= static_cast<int>(num_nodes)) {
+        return DataLossError("QuadTreeMaintainer: child index out of range");
+      }
+    }
+    FAIRIDX_ASSIGN_OR_RETURN(node.snapshot, ReadAggregate(&in));
+    maintainer.nodes_.push_back(node);
+  }
+  FAIRIDX_ASSIGN_OR_RETURN(const uint64_t num_leaves, in.ReadU64());
+  maintainer.leaf_nodes_.reserve(static_cast<size_t>(num_leaves));
+  for (uint64_t i = 0; i < num_leaves; ++i) {
+    FAIRIDX_ASSIGN_OR_RETURN(const int32_t leaf, in.ReadI32());
+    if (leaf < 0 || static_cast<uint64_t>(leaf) >= num_nodes) {
+      return DataLossError("QuadTreeMaintainer: leaf index out of range");
+    }
+    maintainer.leaf_nodes_.push_back(leaf);
+  }
+  FAIRIDX_ASSIGN_OR_RETURN(const uint64_t num_regions, in.ReadU64());
+  if (num_regions != num_leaves) {
+    return DataLossError(
+        "QuadTreeMaintainer: leaf and region counts disagree");
+  }
+  maintainer.partition_.regions.reserve(static_cast<size_t>(num_regions));
+  for (uint64_t i = 0; i < num_regions; ++i) {
+    FAIRIDX_ASSIGN_OR_RETURN(const CellRect rect, ReadRect(&in));
+    maintainer.partition_.regions.push_back(rect);
+  }
+  FAIRIDX_ASSIGN_OR_RETURN(const std::string partition_bytes,
+                           in.ReadString());
+  FAIRIDX_ASSIGN_OR_RETURN(maintainer.partition_.partition,
+                           ParsePartitionBinary(grid, partition_bytes));
+  if (in.remaining() != 0) {
+    return DataLossError("QuadTreeMaintainer: trailing bytes in blob");
+  }
+  return maintainer;
 }
 
 }  // namespace fairidx

@@ -67,6 +67,20 @@ class QuadTreeMaintainer {
   Result<KdRefineStats> Refine(const GridAggregates& aggregates,
                                const KdRefineOptions& options);
 
+  /// Serializes the full maintenance state — refinement tree, per-node
+  /// reference snapshots, leaf finished-order, partition — to an opaque
+  /// blob; Restore(grid, options, Save()) is bit-identical (the
+  /// durability layer's checkpoint path). The leaf finished-order is
+  /// priority-queue dependent and NOT derivable from the node array, so
+  /// it is serialized explicitly.
+  std::string Save() const;
+
+  /// Rebuilds a maintainer from Save() output. `grid` and `options` must
+  /// match the saved maintainer's; the blob is validated structurally.
+  static Result<QuadTreeMaintainer> Restore(
+      const Grid& grid, const FairQuadtreeOptions& options,
+      const std::string& blob);
+
  private:
   /// Maintainer-side node: explicit child ids (a quadtree node has up to 4
   /// children) so drifted subtrees splice without re-indexing siblings.

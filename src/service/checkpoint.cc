@@ -1,0 +1,276 @@
+#include "service/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/binary_io.h"
+#include "index/partition_io.h"
+
+namespace fairidx {
+namespace {
+
+constexpr uint32_t kCheckpointMagic = 0x4658434Bu;  // "FXCK"
+constexpr uint32_t kCheckpointVersion = 1;
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  return dir.back() == '/' ? dir + name : dir + "/" + name;
+}
+
+// Best-effort directory fsync so the rename itself survives power loss.
+// Failure is ignored: some filesystems reject directory fsync, and the
+// checkpoint contents are already synced.
+void SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+std::string SerializeBody(const CheckpointData& data) {
+  BinaryWriter out;
+  out.PutI32(data.rows);
+  out.PutI32(data.cols);
+  out.PutI64(data.epoch);
+  out.PutI64(data.sealed_records);
+  out.PutI64(data.wal_generation);
+  out.PutI64(data.total_resplits);
+  out.PutString(data.algorithm);
+  out.PutU64(data.cell_sums.size());
+  for (const GridAggregates::PrefixEntry& entry : data.cell_sums) {
+    out.PutDouble(entry.count);
+    out.PutDouble(entry.labels);
+    out.PutDouble(entry.scores);
+    out.PutDouble(entry.residuals);
+    out.PutDouble(entry.cell_abs);
+  }
+  out.PutString(SerializePartitionBinary(data.partition));
+  out.PutU64(data.regions.size());
+  for (const CellRect& rect : data.regions) {
+    out.PutI32(rect.row_begin);
+    out.PutI32(rect.row_end);
+    out.PutI32(rect.col_begin);
+    out.PutI32(rect.col_end);
+  }
+  out.PutString(data.maintained_blob);
+  return out.Release();
+}
+
+Result<CheckpointData> ParseBody(const std::string& body,
+                                 const std::string& path) {
+  BinaryReader in(body);
+  CheckpointData data;
+  FAIRIDX_ASSIGN_OR_RETURN(data.rows, in.ReadI32());
+  FAIRIDX_ASSIGN_OR_RETURN(data.cols, in.ReadI32());
+  FAIRIDX_ASSIGN_OR_RETURN(data.epoch, in.ReadI64());
+  FAIRIDX_ASSIGN_OR_RETURN(data.sealed_records, in.ReadI64());
+  FAIRIDX_ASSIGN_OR_RETURN(data.wal_generation, in.ReadI64());
+  FAIRIDX_ASSIGN_OR_RETURN(data.total_resplits, in.ReadI64());
+  FAIRIDX_ASSIGN_OR_RETURN(data.algorithm, in.ReadString());
+  if (data.rows < 1 || data.cols < 1 || data.epoch < 0 ||
+      data.sealed_records < 0 || data.wal_generation < 1) {
+    return DataLossError("checkpoint " + path + ": invalid header fields");
+  }
+  FAIRIDX_ASSIGN_OR_RETURN(const uint64_t num_cells, in.ReadU64());
+  if (num_cells != static_cast<uint64_t>(data.rows) *
+                       static_cast<uint64_t>(data.cols)) {
+    return DataLossError("checkpoint " + path +
+                         ": cell-sum count disagrees with grid shape");
+  }
+  data.cell_sums.reserve(static_cast<size_t>(num_cells));
+  for (uint64_t i = 0; i < num_cells; ++i) {
+    GridAggregates::PrefixEntry entry;
+    FAIRIDX_ASSIGN_OR_RETURN(entry.count, in.ReadDouble());
+    FAIRIDX_ASSIGN_OR_RETURN(entry.labels, in.ReadDouble());
+    FAIRIDX_ASSIGN_OR_RETURN(entry.scores, in.ReadDouble());
+    FAIRIDX_ASSIGN_OR_RETURN(entry.residuals, in.ReadDouble());
+    FAIRIDX_ASSIGN_OR_RETURN(entry.cell_abs, in.ReadDouble());
+    data.cell_sums.push_back(entry);
+  }
+  // The partition cell map, region ids verbatim (same wire format as
+  // SerializePartitionBinary, parsed here against rows*cols instead of a
+  // full Grid object).
+  FAIRIDX_ASSIGN_OR_RETURN(const std::string partition_bytes,
+                           in.ReadString());
+  BinaryReader partition_in(partition_bytes);
+  FAIRIDX_ASSIGN_OR_RETURN(const uint64_t map_cells, partition_in.ReadU64());
+  if (map_cells != num_cells) {
+    return DataLossError("checkpoint " + path +
+                         ": partition cell count disagrees with grid");
+  }
+  FAIRIDX_ASSIGN_OR_RETURN(const int32_t num_regions, partition_in.ReadI32());
+  std::vector<int> cell_to_region;
+  cell_to_region.reserve(static_cast<size_t>(map_cells));
+  for (uint64_t i = 0; i < map_cells; ++i) {
+    FAIRIDX_ASSIGN_OR_RETURN(const int32_t region, partition_in.ReadI32());
+    cell_to_region.push_back(region);
+  }
+  Result<Partition> partition =
+      Partition::FromCellMapExact(std::move(cell_to_region), num_regions);
+  if (!partition.ok()) {
+    return DataLossError("checkpoint " + path + ": " +
+                         partition.status().message());
+  }
+  data.partition = std::move(*partition);
+  FAIRIDX_ASSIGN_OR_RETURN(const uint64_t num_rects, in.ReadU64());
+  data.regions.reserve(static_cast<size_t>(num_rects));
+  for (uint64_t i = 0; i < num_rects; ++i) {
+    CellRect rect;
+    FAIRIDX_ASSIGN_OR_RETURN(rect.row_begin, in.ReadI32());
+    FAIRIDX_ASSIGN_OR_RETURN(rect.row_end, in.ReadI32());
+    FAIRIDX_ASSIGN_OR_RETURN(rect.col_begin, in.ReadI32());
+    FAIRIDX_ASSIGN_OR_RETURN(rect.col_end, in.ReadI32());
+    data.regions.push_back(rect);
+  }
+  FAIRIDX_ASSIGN_OR_RETURN(data.maintained_blob, in.ReadString());
+  if (in.remaining() != 0) {
+    return DataLossError("checkpoint " + path + ": trailing bytes");
+  }
+  return data;
+}
+
+}  // namespace
+
+std::string CheckpointFileName(long long epoch, long long generation) {
+  return "checkpoint-" + std::to_string(epoch) + "-" +
+         std::to_string(generation) + ".ckpt";
+}
+
+Result<std::vector<CheckpointInfo>> ListCheckpoints(const std::string& dir) {
+  std::error_code ec;
+  std::vector<CheckpointInfo> checkpoints;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return NotFoundError("cannot list checkpoint dir '" + dir +
+                         "': " + ec.message());
+  }
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    long long epoch = 0;
+    long long generation = 0;
+    int consumed = 0;
+    if (std::sscanf(name.c_str(), "checkpoint-%lld-%lld.ckpt%n", &epoch,
+                    &generation, &consumed) == 2 &&
+        consumed == static_cast<int>(name.size())) {
+      checkpoints.push_back(
+          CheckpointInfo{epoch, generation, entry.path().string()});
+    }
+  }
+  std::sort(checkpoints.begin(), checkpoints.end(),
+            [](const CheckpointInfo& a, const CheckpointInfo& b) {
+              return a.epoch != b.epoch ? a.epoch < b.epoch
+                                        : a.generation < b.generation;
+            });
+  return checkpoints;
+}
+
+Status WriteCheckpoint(const std::string& dir, const CheckpointData& data,
+                       const WritableFileFactory& file_factory) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return InternalError("cannot create checkpoint dir '" + dir +
+                         "': " + ec.message());
+  }
+  const std::string body = SerializeBody(data);
+  BinaryWriter framed;
+  framed.PutU32(kCheckpointMagic);
+  framed.PutU32(kCheckpointVersion);
+  framed.PutU32(static_cast<uint32_t>(body.size()));
+  framed.PutU32(Crc32(body.data(), body.size()));
+  framed.PutBytes(body.data(), body.size());
+
+  const std::string final_path =
+      JoinPath(dir, CheckpointFileName(data.epoch, data.wal_generation));
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    Result<std::unique_ptr<WritableFile>> file =
+        file_factory ? file_factory(tmp_path) : OpenWritableFile(tmp_path);
+    FAIRIDX_RETURN_IF_ERROR(file.status());
+    FAIRIDX_RETURN_IF_ERROR(
+        (*file)->Append(framed.buffer().data(), framed.buffer().size()));
+    FAIRIDX_RETURN_IF_ERROR((*file)->Sync());
+    FAIRIDX_RETURN_IF_ERROR((*file)->Close());
+  }
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    return InternalError("cannot install checkpoint '" + final_path +
+                         "': " + ec.message());
+  }
+  SyncDir(dir);
+  return Status::Ok();
+}
+
+Result<CheckpointData> ReadCheckpoint(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return NotFoundError("cannot open checkpoint '" + path + "'");
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string bytes = buffer.str();
+  BinaryReader frame(bytes);
+  FAIRIDX_ASSIGN_OR_RETURN(const uint32_t magic, frame.ReadU32());
+  FAIRIDX_ASSIGN_OR_RETURN(const uint32_t version, frame.ReadU32());
+  if (magic != kCheckpointMagic || version != kCheckpointVersion) {
+    return DataLossError("checkpoint " + path + ": bad magic or version");
+  }
+  FAIRIDX_ASSIGN_OR_RETURN(const uint32_t body_len, frame.ReadU32());
+  FAIRIDX_ASSIGN_OR_RETURN(const uint32_t expected_crc, frame.ReadU32());
+  if (frame.remaining() != body_len) {
+    return DataLossError("checkpoint " + path + ": truncated body (" +
+                         std::to_string(frame.remaining()) + " of " +
+                         std::to_string(body_len) + " bytes)");
+  }
+  const std::string body = bytes.substr(bytes.size() - body_len);
+  if (Crc32(body.data(), body.size()) != expected_crc) {
+    return DataLossError("checkpoint " + path + ": CRC mismatch");
+  }
+  return ParseBody(body, path);
+}
+
+Result<CheckpointData> LoadLatestCheckpoint(const std::string& dir) {
+  FAIRIDX_ASSIGN_OR_RETURN(std::vector<CheckpointInfo> checkpoints,
+                           ListCheckpoints(dir));
+  for (auto it = checkpoints.rbegin(); it != checkpoints.rend(); ++it) {
+    Result<CheckpointData> data = ReadCheckpoint(it->path);
+    if (data.ok()) return data;
+  }
+  return NotFoundError("no valid checkpoint under '" + dir + "'");
+}
+
+Status PruneCheckpoints(const std::string& dir, int keep_last) {
+  if (keep_last < 1) {
+    return InvalidArgumentError("PruneCheckpoints: keep_last must be >= 1");
+  }
+  FAIRIDX_ASSIGN_OR_RETURN(std::vector<CheckpointInfo> checkpoints,
+                           ListCheckpoints(dir));
+  if (checkpoints.size() <= static_cast<size_t>(keep_last)) {
+    return Status::Ok();
+  }
+  std::error_code ec;
+  for (size_t i = 0; i + static_cast<size_t>(keep_last) < checkpoints.size();
+       ++i) {
+    std::filesystem::remove(checkpoints[i].path, ec);
+  }
+  return Status::Ok();
+}
+
+Status PruneWalSegments(const std::string& dir, long long through_epoch) {
+  FAIRIDX_ASSIGN_OR_RETURN(std::vector<WalSegmentInfo> segments,
+                           ListWalSegments(dir));
+  std::error_code ec;
+  for (const WalSegmentInfo& segment : segments) {
+    if (segment.epoch <= through_epoch) {
+      std::filesystem::remove(segment.path, ec);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace fairidx

@@ -1,0 +1,92 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Sealed-snapshot checkpoints for the serving layer: a checkpoint file
+// captures everything FairIndexService needs to resume from a sealed
+// epoch without replaying the whole WAL — the store's cumulative per-cell
+// sums (the canonical FromCellSums input, so the rebuilt snapshot is
+// bit-identical), the published partition and region rects, the
+// partitioner's full maintenance state (Partitioner::SaveMaintained), the
+// epoch / record counters, and the WAL generation that positions the file
+// against the log. Recovery loads the newest valid checkpoint and replays
+// only WAL segments with epoch > checkpoint epoch.
+//
+// Files are named `checkpoint-<epoch>-<generation>.ckpt` and written
+// atomically: serialize to `<name>.tmp`, fsync, rename. The body is one
+// CRC32-framed block, so a torn or corrupt checkpoint is detected on read
+// and LoadLatestCheckpoint falls back to the previous one.
+
+#ifndef FAIRIDX_SERVICE_CHECKPOINT_H_
+#define FAIRIDX_SERVICE_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "geo/grid_aggregates.h"
+#include "geo/rect.h"
+#include "index/partition.h"
+#include "service/wal.h"
+
+namespace fairidx {
+
+/// One recoverable serving state (see file header).
+struct CheckpointData {
+  int rows = 0;
+  int cols = 0;
+  long long epoch = 0;
+  long long sealed_records = 0;
+  /// WAL generation current when the checkpoint was written; recovery
+  /// replays segments with epoch > `epoch` and opens generation
+  /// max(this, on-disk) + 1.
+  long long wal_generation = 1;
+  /// Service lifetime re-split counter, restored for observability.
+  long long total_resplits = 0;
+  /// Registry name of the partitioner (sanity-checked on recover).
+  std::string algorithm;
+  /// The store's cumulative per-cell sums over every sealed record.
+  std::vector<GridAggregates::PrefixEntry> cell_sums;
+  /// The published partition and its region rects, region ids verbatim.
+  Partition partition = Partition::Single(1);
+  std::vector<CellRect> regions;
+  /// Partitioner::SaveMaintained blob (empty when unavailable).
+  std::string maintained_blob;
+};
+
+/// One on-disk checkpoint file, parsed from its name.
+struct CheckpointInfo {
+  long long epoch = 0;
+  long long generation = 0;
+  std::string path;
+};
+
+std::string CheckpointFileName(long long epoch, long long generation);
+
+/// The checkpoint files under `dir`, sorted ascending by
+/// (epoch, generation). Non-checkpoint files are ignored.
+Result<std::vector<CheckpointInfo>> ListCheckpoints(const std::string& dir);
+
+/// Serializes `data` and atomically installs it as
+/// dir/checkpoint-<epoch>-<generation>.ckpt (tmp + fsync + rename).
+/// `file_factory` is the fault-injection seam; null uses OpenWritableFile.
+Status WriteCheckpoint(const std::string& dir, const CheckpointData& data,
+                       const WritableFileFactory& file_factory = nullptr);
+
+/// Reads and validates one checkpoint file (magic, version, CRC,
+/// structural checks). Torn or corrupt files fail with DataLoss.
+Result<CheckpointData> ReadCheckpoint(const std::string& path);
+
+/// Loads the newest checkpoint under `dir` that validates, skipping
+/// corrupt/torn ones; NotFound when none does (or none exists).
+Result<CheckpointData> LoadLatestCheckpoint(const std::string& dir);
+
+/// Deletes all but the newest `keep_last` checkpoint files.
+Status PruneCheckpoints(const std::string& dir, int keep_last);
+
+/// Deletes WAL segments whose records are fully covered by a checkpoint
+/// at `through_epoch` (segment epoch <= through_epoch, any generation).
+Status PruneWalSegments(const std::string& dir, long long through_epoch);
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_SERVICE_CHECKPOINT_H_

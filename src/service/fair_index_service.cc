@@ -1,14 +1,20 @@
 #include "service/fair_index_service.h"
 
+#include <algorithm>
+#include <filesystem>
 #include <utility>
+
+#include "service/checkpoint.h"
 
 namespace fairidx {
 
 FairIndexService::FairIndexService(
     FairIndexServiceOptions options,
+    std::unique_ptr<WalWriter> wal,
     std::unique_ptr<ShardedDeltaStore> store,
     std::unique_ptr<Partitioner> partitioner)
     : options_(std::move(options)),
+      wal_(std::move(wal)),
       store_(std::move(store)),
       partitioner_(std::move(partitioner)) {}
 
@@ -25,22 +31,199 @@ Result<std::unique_ptr<FairIndexService>> FairIndexService::Create(
         "FairIndexService: partitioner '" + options.algorithm +
         "' does not support incremental maintenance (supports_refine)");
   }
+  const DurabilityOptions& durability = options.durability;
+  std::unique_ptr<WalWriter> wal;
+  if (!durability.wal_dir.empty()) {
+    if (durability.keep_checkpoints < 1) {
+      return InvalidArgumentError(
+          "FairIndexService: keep_checkpoints must be >= 1");
+    }
+    // A directory that already holds recoverable state must go through
+    // Recover — silently truncating someone's log here would BE the data
+    // loss the WAL exists to prevent.
+    Result<std::vector<WalSegmentInfo>> segments =
+        ListWalSegments(durability.wal_dir);
+    Result<std::vector<CheckpointInfo>> checkpoints =
+        ListCheckpoints(durability.wal_dir);
+    if ((segments.ok() && !segments->empty()) ||
+        (checkpoints.ok() && !checkpoints->empty())) {
+      return FailedPreconditionError(
+          "FairIndexService: '" + durability.wal_dir +
+          "' already holds WAL/checkpoint state; use Recover, or point "
+          "wal_dir at an empty directory");
+    }
+    WalOptions wal_options;
+    wal_options.fsync = durability.fsync;
+    wal_options.file_factory = durability.file_factory;
+    FAIRIDX_ASSIGN_OR_RETURN(
+        wal, WalWriter::Open(durability.wal_dir, /*generation=*/1,
+                             /*next_epoch=*/1, wal_options));
+  }
+  ShardedDeltaStoreOptions store_options = options.store;
+  store_options.wal = wal.get();
   FAIRIDX_ASSIGN_OR_RETURN(
       std::unique_ptr<ShardedDeltaStore> store,
-      ShardedDeltaStore::Build(grid, warmup, options.store));
+      ShardedDeltaStore::Build(grid, warmup, store_options));
   // The initial partition keys off sealed epoch 0, exactly like every
   // later refine keys off the epoch it seals.
   std::shared_ptr<const GridAggregates> epoch0 = store->snapshot();
   FAIRIDX_ASSIGN_OR_RETURN(
       const PartitionResult* built,
       partitioner->BuildFromAggregates(grid, *epoch0, options.build));
-  std::unique_ptr<FairIndexService> service(new FairIndexService(
-      options, std::move(store), std::move(partitioner)));
+  std::unique_ptr<FairIndexService> service(
+      new FairIndexService(options, std::move(wal), std::move(store),
+                           std::move(partitioner)));
   service->PublishRegions(built->regions);
+  if (service->wal_ != nullptr) {
+    // The epoch-0 checkpoint carries the warmup state, so recovery never
+    // needs the warmup records themselves.
+    FAIRIDX_RETURN_IF_ERROR(service->WriteCheckpointNow());
+  }
   if (options.auto_maintain) {
     FAIRIDX_RETURN_IF_ERROR(service->StartMaintenance(options.maintain));
   }
   return service;
+}
+
+Result<std::unique_ptr<FairIndexService>> FairIndexService::Recover(
+    const Grid& grid, const FairIndexServiceOptions& options) {
+  const DurabilityOptions& durability = options.durability;
+  if (durability.wal_dir.empty()) {
+    return InvalidArgumentError(
+        "FairIndexService: Recover needs durability.wal_dir");
+  }
+  if (durability.keep_checkpoints < 1) {
+    return InvalidArgumentError(
+        "FairIndexService: keep_checkpoints must be >= 1");
+  }
+  FAIRIDX_ASSIGN_OR_RETURN(CheckpointData checkpoint,
+                           LoadLatestCheckpoint(durability.wal_dir));
+  if (checkpoint.rows != grid.rows() || checkpoint.cols != grid.cols()) {
+    return FailedPreconditionError(
+        "FairIndexService: checkpoint grid is " +
+        std::to_string(checkpoint.rows) + "x" +
+        std::to_string(checkpoint.cols) + ", caller grid is " +
+        std::to_string(grid.rows()) + "x" + std::to_string(grid.cols()));
+  }
+  if (checkpoint.algorithm != options.algorithm) {
+    return FailedPreconditionError(
+        "FairIndexService: checkpoint was written by '" +
+        checkpoint.algorithm + "', options name '" + options.algorithm +
+        "'");
+  }
+  FAIRIDX_ASSIGN_OR_RETURN(
+      std::unique_ptr<Partitioner> partitioner,
+      PartitionerRegistry::Global().Create(options.algorithm));
+  if (!partitioner->capabilities().supports_refine) {
+    return FailedPreconditionError(
+        "FairIndexService: partitioner '" + options.algorithm +
+        "' does not support incremental maintenance (supports_refine)");
+  }
+  FAIRIDX_RETURN_IF_ERROR(partitioner->RestoreMaintained(
+      grid, options.build, checkpoint.maintained_blob));
+
+  // A fresh WAL generation: the replay below re-logs the old tail through
+  // the public ingest path, so segment names can never collide with the
+  // files being replayed, and a crash mid-recovery leaves both the old
+  // checkpoint and the old segments intact.
+  FAIRIDX_ASSIGN_OR_RETURN(std::vector<WalSegmentInfo> segments,
+                           ListWalSegments(durability.wal_dir));
+  long long max_generation = checkpoint.wal_generation;
+  for (const WalSegmentInfo& segment : segments) {
+    max_generation = std::max(max_generation, segment.generation);
+  }
+  const long long new_generation = max_generation + 1;
+  WalOptions wal_options;
+  wal_options.fsync = durability.fsync;
+  wal_options.file_factory = durability.file_factory;
+  FAIRIDX_ASSIGN_OR_RETURN(
+      std::unique_ptr<WalWriter> wal,
+      WalWriter::Open(durability.wal_dir, new_generation,
+                      checkpoint.epoch + 1, wal_options));
+  ShardedDeltaStoreOptions store_options = options.store;
+  store_options.wal = wal.get();
+  FAIRIDX_ASSIGN_OR_RETURN(
+      std::unique_ptr<ShardedDeltaStore> store,
+      ShardedDeltaStore::Restore(grid, std::move(checkpoint.cell_sums),
+                                 checkpoint.epoch,
+                                 checkpoint.sealed_records, store_options));
+  std::unique_ptr<FairIndexService> service(
+      new FairIndexService(options, std::move(wal), std::move(store),
+                           std::move(partitioner)));
+  service->total_resplits_ = checkpoint.total_resplits;
+  service->last_checkpoint_epoch_ = checkpoint.epoch;
+  service->PublishRegions(checkpoint.regions);
+  FAIRIDX_RETURN_IF_ERROR(
+      service->ReplayWalTail(segments, checkpoint.epoch));
+  // A fresh durable cut: everything replayed now lives in this checkpoint
+  // plus the new generation's segments, so the old generation's files can
+  // finally go.
+  FAIRIDX_RETURN_IF_ERROR(service->WriteCheckpointNow());
+  {
+    FAIRIDX_ASSIGN_OR_RETURN(std::vector<WalSegmentInfo> leftover,
+                             ListWalSegments(durability.wal_dir));
+    std::error_code ec;
+    for (const WalSegmentInfo& segment : leftover) {
+      if (segment.generation < new_generation) {
+        std::filesystem::remove(segment.path, ec);
+      }
+    }
+  }
+  if (options.auto_maintain) {
+    FAIRIDX_RETURN_IF_ERROR(service->StartMaintenance(options.maintain));
+  }
+  return service;
+}
+
+Status FairIndexService::ReplayWalTail(
+    const std::vector<WalSegmentInfo>& segments, long long through_epoch) {
+  std::vector<const WalSegmentInfo*> tail;
+  for (const WalSegmentInfo& segment : segments) {
+    if (segment.epoch > through_epoch) tail.push_back(&segment);
+  }
+  std::vector<WalRecord> batches;
+  // Re-ingest one epoch's batches in their original sequence order: the
+  // uninterrupted run's fold sorts its capture by seq, so replaying in
+  // seq order (fresh seqs assigned in that same order) reproduces the
+  // identical fold order — and bit-identical sealed sums — even when
+  // concurrent writers appended to the log out of seq order.
+  const auto flush_batches = [&]() -> Status {
+    std::stable_sort(batches.begin(), batches.end(),
+                     [](const WalRecord& a, const WalRecord& b) {
+                       return a.seq < b.seq;
+                     });
+    for (WalRecord& record : batches) {
+      FAIRIDX_RETURN_IF_ERROR(
+          store_->Ingest(std::move(record.batch)).status());
+    }
+    batches.clear();
+    return Status::Ok();
+  };
+  for (size_t i = 0; i < tail.size(); ++i) {
+    // Only the final segment may legitimately end mid-record (the crash
+    // point); damage anywhere else is real corruption.
+    const bool last_segment = i + 1 == tail.size();
+    FAIRIDX_ASSIGN_OR_RETURN(
+        std::vector<WalRecord> records,
+        ReadWalSegment(tail[i]->path, last_segment));
+    for (WalRecord& record : records) {
+      if (record.type == WalRecord::Type::kBatch) {
+        batches.push_back(std::move(record));
+        continue;
+      }
+      FAIRIDX_RETURN_IF_ERROR(flush_batches());
+      if (record.refine) {
+        KdRefineOptions refine_options;
+        refine_options.drift_bound = record.drift_bound;
+        FAIRIDX_RETURN_IF_ERROR(MaybeRefine(refine_options).status());
+      } else {
+        FAIRIDX_RETURN_IF_ERROR(Seal().status());
+      }
+    }
+  }
+  // Batches after the last seal record return to the pending set, exactly
+  // where the uninterrupted run held them.
+  return flush_batches();
 }
 
 Result<long long> FairIndexService::Ingest(AggregateBatch batch) {
@@ -57,6 +240,7 @@ Result<long long> FairIndexService::Ingest(AggregateBatch batch) {
 
 Result<long long> FairIndexService::Seal() {
   FAIRIDX_ASSIGN_OR_RETURN(SealedEpoch sealed, store_->Seal());
+  FAIRIDX_RETURN_IF_ERROR(MaybeCheckpoint());
   return sealed.epoch;
 }
 
@@ -81,22 +265,32 @@ std::vector<RegionAggregate> FairIndexService::Query(
 
 Result<ServiceRefineResult> FairIndexService::MaybeRefine(
     const KdRefineOptions& options) {
-  std::lock_guard<std::mutex> lock(maintain_mutex_);
-  // The sealed (epoch, snapshot) pair is captured atomically: later
-  // concurrent seals publish new snapshots, but this maintenance pass
-  // keys every drift evaluation and re-split off the one it sealed.
-  FAIRIDX_ASSIGN_OR_RETURN(const SealedEpoch sealed, store_->Seal());
   ServiceRefineResult out;
-  out.epoch = sealed.epoch;
-  // Refine evaluates drift itself (one batched leaf query + bottom-up
-  // sums) and is an exact no-op when nothing moved past the bound, so no
-  // separate WouldRefine round-trip is needed here.
-  FAIRIDX_ASSIGN_OR_RETURN(out.stats,
-                           partitioner_->Refine(*sealed.snapshot, options));
-  if (out.stats.changed) {
-    total_resplits_ += out.stats.subtrees_rebuilt;
-    PublishRegions(partitioner_->maintained()->regions);
+  {
+    std::lock_guard<std::mutex> lock(maintain_mutex_);
+    // The sealed (epoch, snapshot) pair is captured atomically: later
+    // concurrent seals publish new snapshots, but this maintenance pass
+    // keys every drift evaluation and re-split off the one it sealed.
+    // The seal record carries the refine tag and drift bound so replay
+    // re-runs this exact pass at this exact cut.
+    SealAnnotation annotation;
+    annotation.refine = true;
+    annotation.drift_bound = options.drift_bound;
+    FAIRIDX_ASSIGN_OR_RETURN(const SealedEpoch sealed,
+                             store_->Seal(annotation));
+    out.epoch = sealed.epoch;
+    // Refine evaluates drift itself (one batched leaf query + bottom-up
+    // sums) and is an exact no-op when nothing moved past the bound, so no
+    // separate WouldRefine round-trip is needed here.
+    FAIRIDX_ASSIGN_OR_RETURN(out.stats,
+                             partitioner_->Refine(*sealed.snapshot, options));
+    if (out.stats.changed) {
+      total_resplits_ += out.stats.subtrees_rebuilt;
+      PublishRegions(partitioner_->maintained()->regions);
+    }
   }
+  // Outside maintain_mutex_: checkpointing takes durability -> maintain.
+  FAIRIDX_RETURN_IF_ERROR(MaybeCheckpoint());
   return out;
 }
 
@@ -144,6 +338,74 @@ void FairIndexService::PublishRegions(const std::vector<CellRect>& fresh) {
   auto published = std::make_shared<const std::vector<CellRect>>(fresh);
   std::lock_guard<std::mutex> lock(regions_mutex_);
   regions_ = std::move(published);
+}
+
+Status FairIndexService::Checkpoint() {
+  if (wal_ == nullptr) {
+    return FailedPreconditionError(
+        "FairIndexService: durability is disabled (no wal_dir)");
+  }
+  return WriteCheckpointNow();
+}
+
+int FairIndexService::ApplyRetention(int keep_last) {
+  return store_->RetainEpochs(keep_last);
+}
+
+long long FairIndexService::last_checkpoint_epoch() const {
+  std::lock_guard<std::mutex> lock(durability_mutex_);
+  return last_checkpoint_epoch_;
+}
+
+Status FairIndexService::MaybeCheckpoint() {
+  if (wal_ == nullptr || options_.durability.checkpoint_interval <= 0) {
+    return Status::Ok();
+  }
+  {
+    std::lock_guard<std::mutex> lock(durability_mutex_);
+    if (store_->epoch() - last_checkpoint_epoch_ <
+        options_.durability.checkpoint_interval) {
+      return Status::Ok();
+    }
+  }
+  // Two threads may both decide to checkpoint here; WriteCheckpointNow
+  // serializes them and the loser just captures slightly newer state.
+  return WriteCheckpointNow();
+}
+
+Status FairIndexService::WriteCheckpointNow() {
+  std::lock_guard<std::mutex> durability_lock(durability_mutex_);
+  CheckpointData data;
+  data.rows = store_->rows();
+  data.cols = store_->cols();
+  data.algorithm = options_.algorithm;
+  data.wal_generation = wal_->generation();
+  {
+    // maintain_mutex_ pins the (sealed state, maintained partition) pair:
+    // CaptureSealedState is atomic against folds, and no refine can slide
+    // the partition to a newer epoch between the two captures.
+    std::lock_guard<std::mutex> maintain_lock(maintain_mutex_);
+    ShardedDeltaStore::SealedState sealed = store_->CaptureSealedState();
+    data.epoch = sealed.epoch;
+    data.sealed_records = sealed.sealed_records;
+    data.cell_sums = std::move(sealed.cell_sums);
+    data.total_resplits = total_resplits_;
+    FAIRIDX_ASSIGN_OR_RETURN(data.maintained_blob,
+                             partitioner_->SaveMaintained());
+    const PartitionResult* maintained = partitioner_->maintained();
+    data.partition = maintained->partition;
+    data.regions = maintained->regions;
+  }
+  FAIRIDX_RETURN_IF_ERROR(WriteCheckpoint(options_.durability.wal_dir, data,
+                                          options_.durability.file_factory));
+  FAIRIDX_RETURN_IF_ERROR(PruneCheckpoints(
+      options_.durability.wal_dir, options_.durability.keep_checkpoints));
+  // Every record in a segment whose name epoch <= the checkpointed epoch
+  // is folded into data.cell_sums, so those segments are dead weight.
+  FAIRIDX_RETURN_IF_ERROR(
+      PruneWalSegments(options_.durability.wal_dir, data.epoch));
+  last_checkpoint_epoch_ = data.epoch;
+  return Status::Ok();
 }
 
 }  // namespace fairidx

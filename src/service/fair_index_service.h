@@ -51,8 +51,33 @@
 #include "index/partitioner.h"
 #include "service/maintenance_scheduler.h"
 #include "service/sharded_delta_store.h"
+#include "service/wal.h"
 
 namespace fairidx {
+
+/// Durability for a serving instance (see service/wal.h and
+/// service/checkpoint.h): every accepted batch is write-ahead logged,
+/// sealed state is periodically checkpointed, and Recover() rebuilds a
+/// service bit-identical to the uninterrupted run from the newest valid
+/// checkpoint plus a WAL tail replay.
+struct DurabilityOptions {
+  /// Directory for WAL segments and checkpoint files. Empty disables
+  /// durability entirely.
+  std::string wal_dir;
+  /// When WAL appends reach stable storage (none | batch | always). Every
+  /// mode write()s through on Append, so a process kill loses nothing;
+  /// the modes differ only in the OS/power-failure window.
+  WalFsync fsync = WalFsync::kBatch;
+  /// Write a checkpoint every this many sealed epochs (<= 0: checkpoint
+  /// only at Create/Recover). Each checkpoint prunes fully-covered WAL
+  /// segments, bounding log disk usage.
+  long long checkpoint_interval = 8;
+  /// Checkpoint files kept on disk (older ones are pruned; >= 1).
+  int keep_checkpoints = 2;
+  /// Fault-injection seam for WAL and checkpoint file I/O; null uses
+  /// OpenWritableFile.
+  WritableFileFactory file_factory;
+};
 
 /// Configuration for a serving instance.
 struct FairIndexServiceOptions {
@@ -72,6 +97,8 @@ struct FairIndexServiceOptions {
   /// Policy for the background thread (used only with auto_maintain or
   /// an explicit StartMaintenance call).
   MaintenancePolicy maintain;
+  /// Write-ahead logging + checkpoints (disabled while wal_dir is empty).
+  DurabilityOptions durability;
 };
 
 /// What one MaybeRefine pass did.
@@ -92,6 +119,19 @@ class FairIndexService {
   static Result<std::unique_ptr<FairIndexService>> Create(
       const Grid& grid, const AggregateBatch& warmup,
       const FairIndexServiceOptions& options);
+
+  /// Rebuilds a service from options.durability.wal_dir: loads the newest
+  /// valid checkpoint, replays the WAL tail (batches per epoch in their
+  /// original sequence order, seal/refine records re-applied through the
+  /// public path) and resumes logging under a fresh WAL generation. The
+  /// recovered service is bit-identical to the uninterrupted run at every
+  /// sealed epoch: snapshot cell sums, published partition, epoch and
+  /// record counters (unsealed trailing batches return to the pending
+  /// set). A torn trailing WAL record (crash mid-append) is detected by
+  /// CRC and dropped; corruption anywhere earlier is a hard DataLoss
+  /// error. `grid` and `options` must match the original Create call.
+  static Result<std::unique_ptr<FairIndexService>> Recover(
+      const Grid& grid, const FairIndexServiceOptions& options);
 
   FairIndexService(const FairIndexService&) = delete;
   FairIndexService& operator=(const FairIndexService&) = delete;
@@ -149,15 +189,53 @@ class FairIndexService {
   /// maintenance never started.
   MaintenanceStats maintenance_stats() const;
 
+  /// Writes a checkpoint of the current sealed state now (durability must
+  /// be enabled), pruning old checkpoints and fully-covered WAL segments.
+  Status Checkpoint();
+
+  /// Applies epoch retention to the store (keep the newest `keep_last`
+  /// sealed snapshots plus reader-pinned ones); returns entries dropped.
+  /// The background scheduler calls this when its policy sets
+  /// retain_epochs.
+  int ApplyRetention(int keep_last);
+
+  /// Durability observability (null / 0 when durability is disabled).
+  const WalWriter* wal() const { return wal_.get(); }
+  long long last_checkpoint_epoch() const;
+
  private:
   FairIndexService(FairIndexServiceOptions options,
+                   std::unique_ptr<WalWriter> wal,
                    std::unique_ptr<ShardedDeltaStore> store,
                    std::unique_ptr<Partitioner> partitioner);
 
   void PublishRegions(const std::vector<CellRect>& fresh);
 
+  /// Checkpoint when the sealed epoch has advanced past the configured
+  /// interval since the last one (no-op otherwise / without durability).
+  Status MaybeCheckpoint();
+  /// Unconditional checkpoint. Lock order: durability_mutex_ ->
+  /// maintain_mutex_ -> (store seal lock), the same nesting MaybeRefine's
+  /// maintain -> seal path uses.
+  Status WriteCheckpointNow();
+
+  /// Replays every WAL segment with epoch > `through_epoch` through the
+  /// public Ingest/Seal/MaybeRefine path (re-logging into the new
+  /// generation). Within each epoch, batches are re-ingested in their
+  /// original sequence order, so the fold order — and the sealed sums —
+  /// are bit-identical to the uninterrupted run.
+  Status ReplayWalTail(const std::vector<WalSegmentInfo>& segments,
+                       long long through_epoch);
+
   FairIndexServiceOptions options_;
+  /// Write-ahead log (null when durability is disabled). Declared before
+  /// store_: the store holds a raw pointer and must be torn down first.
+  std::unique_ptr<WalWriter> wal_;
   std::unique_ptr<ShardedDeltaStore> store_;
+
+  /// Serializes checkpoint writes and guards last_checkpoint_epoch_.
+  mutable std::mutex durability_mutex_;
+  long long last_checkpoint_epoch_ = 0;
 
   /// Serializes maintenance (the partitioner's mutable tree state).
   mutable std::mutex maintain_mutex_;

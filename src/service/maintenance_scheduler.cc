@@ -97,6 +97,16 @@ bool MaintenanceScheduler::TickNow() {
     ++stats_.passes;
     if (!sealed.ok()) ++stats_.errors;
   }
+  if (policy_.retain_epochs > 0) {
+    // Retention rides the maintenance cadence: each pass seals at most one
+    // epoch, so trimming here bounds the history at retain_epochs plus
+    // whatever readers still pin.
+    const int dropped = service_->ApplyRetention(policy_.retain_epochs);
+    if (dropped > 0) {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      stats_.epochs_retired += dropped;
+    }
+  }
   return true;
 }
 

@@ -47,6 +47,12 @@ struct MaintenancePolicy {
   /// Scheduler wakeup cadence — the resolution of the clock cadence and
   /// the fallback poll when no ingest notification arrives.
   double poll_interval_seconds = 0.005;
+  /// After each maintenance pass, drop sealed-snapshot history beyond the
+  /// newest this many epochs (reader-pinned snapshots are always kept;
+  /// see ShardedDeltaStore::RetainEpochs). <= 0 disables retention — the
+  /// history then grows by one entry per capturing seal for the life of
+  /// the stream.
+  int retain_epochs = 0;
 };
 
 /// Counters of everything a scheduler did (all monotone; readable while
@@ -63,6 +69,9 @@ struct MaintenanceStats {
   long long published = 0;
   /// Subtree re-splits across all published passes.
   long long resplits = 0;
+  /// Sealed-snapshot history entries dropped by retention (policy
+  /// retain_epochs > 0).
+  long long epochs_retired = 0;
   /// Passes that failed (the service call returned an error).
   long long errors = 0;
 };

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "service/wal.h"
 
 namespace fairidx {
 namespace {
@@ -38,6 +39,7 @@ ShardedDeltaStore::ShardedDeltaStore(const Grid& grid,
       num_shards_(std::max(1, options.num_shards)),
       fold_threads_(std::max(1, options.num_threads)),
       force_sharded_fold_(options.force_sharded_fold),
+      wal_(options.wal),
       cell_sums_(static_cast<size_t>(grid.num_cells())) {}
 
 Result<std::unique_ptr<ShardedDeltaStore>> ShardedDeltaStore::Build(
@@ -62,6 +64,35 @@ Result<std::unique_ptr<ShardedDeltaStore>> ShardedDeltaStore::Build(
   const long long n = static_cast<long long>(warmup.size());
   store->num_records_.store(n, std::memory_order_release);
   store->sealed_records_.store(n, std::memory_order_release);
+  store->history_.push_back(SealedEpoch{0, store->snapshot_});
+  return store;
+}
+
+Result<std::unique_ptr<ShardedDeltaStore>> ShardedDeltaStore::Restore(
+    const Grid& grid, std::vector<PrefixEntry> cell_sums, long long epoch,
+    long long sealed_records, const ShardedDeltaStoreOptions& options) {
+  if (epoch < 0 || sealed_records < 0) {
+    return InvalidArgumentError(
+        "ShardedDeltaStore: negative epoch or record count");
+  }
+  if (cell_sums.size() != static_cast<size_t>(grid.num_cells())) {
+    return InvalidArgumentError(
+        "ShardedDeltaStore: cell sums cover " +
+        std::to_string(cell_sums.size()) + " cells, grid has " +
+        std::to_string(grid.num_cells()));
+  }
+  FAIRIDX_ASSIGN_OR_RETURN(
+      GridAggregates sealed,
+      GridAggregates::FromCellSums(grid.rows(), grid.cols(), cell_sums));
+  std::unique_ptr<ShardedDeltaStore> store(
+      new ShardedDeltaStore(grid, options));
+  store->cell_sums_ = std::move(cell_sums);
+  store->snapshot_ =
+      std::make_shared<const GridAggregates>(std::move(sealed));
+  store->epoch_.store(epoch, std::memory_order_release);
+  store->num_records_.store(sealed_records, std::memory_order_release);
+  store->sealed_records_.store(sealed_records, std::memory_order_release);
+  store->history_.push_back(SealedEpoch{epoch, store->snapshot_});
   return store;
 }
 
@@ -81,6 +112,13 @@ Result<long long> ShardedDeltaStore::Ingest(AggregateBatch batch) {
   const long long seq =
       next_seq_.fetch_add(1, std::memory_order_relaxed);
   pending.seq = seq;
+  // Log-before-pending, still under the shared gate: an accepted batch is
+  // in the WAL before any seal can capture it, and a failed append
+  // rejects the batch outright, so the log and the pending set can never
+  // disagree about which batches exist.
+  if (wal_ != nullptr) {
+    FAIRIDX_RETURN_IF_ERROR(wal_->AppendBatch(seq, pending.batch));
+  }
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);
     pending_.push_back(std::move(pending));
@@ -90,7 +128,8 @@ Result<long long> ShardedDeltaStore::Ingest(AggregateBatch batch) {
   return seq;
 }
 
-Result<SealedEpoch> ShardedDeltaStore::Seal() {
+Result<SealedEpoch> ShardedDeltaStore::Seal(
+    const SealAnnotation& annotation) {
   std::lock_guard<std::mutex> seal_lock(seal_mutex_);
 
   // The cut: swap the pending list out under the exclusive side of the
@@ -101,6 +140,20 @@ Result<SealedEpoch> ShardedDeltaStore::Seal() {
   long long captured_records = 0;
   {
     std::unique_lock<std::shared_mutex> gate(ingest_gate_);
+    if (wal_ != nullptr) {
+      // The seal record goes into the log BEFORE the swap, still inside
+      // the exclusive window: pending_records_ is stable here (writers
+      // are gated), so the record's captured flag matches the cut, file
+      // order equals cut order, and a failed append aborts the seal with
+      // the pending set untouched.
+      const bool will_capture =
+          pending_records_.load(std::memory_order_acquire) > 0;
+      const long long sealed_epoch =
+          epoch_.load(std::memory_order_acquire) + (will_capture ? 1 : 0);
+      FAIRIDX_RETURN_IF_ERROR(
+          wal_->AppendSeal(sealed_epoch, will_capture, annotation.refine,
+                           annotation.drift_bound));
+    }
     {
       std::lock_guard<std::mutex> lock(pending_mutex_);
       captured.swap(pending_);
@@ -184,7 +237,52 @@ Result<SealedEpoch> ShardedDeltaStore::Seal() {
   }
   sealed_records_.fetch_add(captured_records, std::memory_order_acq_rel);
   out.epoch = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  {
+    std::lock_guard<std::mutex> lock(history_mutex_);
+    history_.push_back(out);
+  }
   return out;
+}
+
+ShardedDeltaStore::SealedState ShardedDeltaStore::CaptureSealedState()
+    const {
+  // seal_mutex_ serializes against folds, and epoch_ / sealed_records_ /
+  // cell_sums_ all mutate only with it held, so the triple is a
+  // consistent sealed state.
+  std::lock_guard<std::mutex> seal_lock(seal_mutex_);
+  SealedState state;
+  state.epoch = epoch_.load(std::memory_order_acquire);
+  state.sealed_records = sealed_records_.load(std::memory_order_acquire);
+  state.cell_sums = cell_sums_;
+  return state;
+}
+
+int ShardedDeltaStore::RetainEpochs(int keep_last) {
+  const size_t keep = static_cast<size_t>(std::max(1, keep_last));
+  std::lock_guard<std::mutex> lock(history_mutex_);
+  if (history_.size() <= keep) return 0;
+  // Drop from the front, sparing entries whose snapshot a reader still
+  // pins (use_count above the history's own reference; snapshot() copies
+  // taken by readers keep the aggregates alive regardless — retention
+  // only bounds what the STORE keeps alive).
+  std::vector<SealedEpoch> kept;
+  kept.reserve(history_.size());
+  int dropped = 0;
+  const size_t boundary = history_.size() - keep;
+  for (size_t i = 0; i < history_.size(); ++i) {
+    if (i < boundary && history_[i].snapshot.use_count() <= 1) {
+      ++dropped;
+      continue;
+    }
+    kept.push_back(std::move(history_[i]));
+  }
+  history_ = std::move(kept);
+  return dropped;
+}
+
+int ShardedDeltaStore::history_size() const {
+  std::lock_guard<std::mutex> lock(history_mutex_);
+  return static_cast<int>(history_.size());
 }
 
 std::shared_ptr<const GridAggregates> ShardedDeltaStore::snapshot() const {

@@ -55,6 +55,8 @@
 
 namespace fairidx {
 
+class WalWriter;  // service/wal.h (which includes this header).
+
 /// One ingest batch: parallel record vectors under the GridAggregates
 /// Build contract (labels 0/1, in-grid cells; `residuals` empty defaults
 /// each record's residual to score - label).
@@ -112,6 +114,21 @@ struct ShardedDeltaStoreOptions {
   /// Testing seam: take the sharded range-fold path even on a workerless
   /// pool, so its determinism is pinned on any host.
   bool force_sharded_fold = false;
+  /// Optional write-ahead log (service/wal.h), not owned; must outlive
+  /// the store. When set, Ingest appends every accepted batch to the log
+  /// BEFORE it joins the pending set (a failed append rejects the batch),
+  /// and Seal writes its cut record inside the exclusive ingest-gate
+  /// window, so WAL file order equals cut order.
+  WalWriter* wal = nullptr;
+};
+
+/// Maintenance context for a cut, recorded in the WAL so recovery replays
+/// the exact seal/refine schedule: `refine` marks a cut taken by
+/// MaybeRefine (replay re-runs the refine at `drift_bound` at the same
+/// point in the record sequence).
+struct SealAnnotation {
+  bool refine = false;
+  double drift_bound = 0.0;
 };
 
 /// Epoch-based sharded aggregate store (see file header).
@@ -121,6 +138,17 @@ class ShardedDeltaStore {
   /// an empty batch for an empty epoch-0 snapshot).
   static Result<std::unique_ptr<ShardedDeltaStore>> Build(
       const Grid& grid, const AggregateBatch& warmup,
+      const ShardedDeltaStoreOptions& options = {});
+
+  /// Recreates a store from checkpointed sealed state (see
+  /// service/checkpoint.h): `cell_sums` are the cumulative per-cell sums
+  /// a previous store's CaptureSealedState returned at `epoch` /
+  /// `sealed_records`. The rebuilt snapshot goes through FromCellSums —
+  /// the same integration every Seal takes — so it is bit-identical to
+  /// the snapshot the captured store was serving.
+  static Result<std::unique_ptr<ShardedDeltaStore>> Restore(
+      const Grid& grid, std::vector<GridAggregates::PrefixEntry> cell_sums,
+      long long epoch, long long sealed_records,
       const ShardedDeltaStoreOptions& options = {});
 
   ShardedDeltaStore(const ShardedDeltaStore&) = delete;
@@ -140,7 +168,36 @@ class ShardedDeltaStore {
   /// PAIRED with its snapshot — maintenance that must key off exactly
   /// the epoch it sealed uses the pair, not a separate snapshot() call a
   /// concurrent seal could race past.
-  Result<SealedEpoch> Seal();
+  Result<SealedEpoch> Seal() { return Seal(SealAnnotation{}); }
+
+  /// Seal with a maintenance annotation: when a WAL is attached, the cut
+  /// record carries `annotation` so recovery re-runs the same refine at
+  /// the same point in the record sequence. An empty plain cut (nothing
+  /// pending, no refine) logs nothing; an empty refine-tagged cut logs a
+  /// mid-segment record; a capturing cut rotates the WAL segment.
+  Result<SealedEpoch> Seal(const SealAnnotation& annotation);
+
+  /// Consistent snapshot of the sealed state for checkpointing: the
+  /// epoch, the records it covers, and the cumulative per-cell sums that
+  /// regenerate its GridAggregates bit-identically via Restore. Taken
+  /// under the seal lock, so it can never interleave with a fold.
+  struct SealedState {
+    long long epoch = 0;
+    long long sealed_records = 0;
+    std::vector<GridAggregates::PrefixEntry> cell_sums;
+  };
+  SealedState CaptureSealedState() const;
+
+  /// Epoch-retention: drops the oldest retained SealedEpoch entries,
+  /// keeping the newest `keep_last` plus any older entry whose snapshot
+  /// is still externally pinned (a reader holds the shared_ptr). Returns
+  /// the number of entries dropped. keep_last < 1 keeps the newest entry
+  /// only.
+  int RetainEpochs(int keep_last);
+
+  /// Retained sealed epochs (monotone history kept for readers; bounded
+  /// by RetainEpochs).
+  int history_size() const;
 
   /// The last sealed snapshot. Never null; stays valid (immutable) for as
   /// long as the caller holds the pointer, however many epochs advance.
@@ -186,6 +243,8 @@ class ShardedDeltaStore {
   int num_shards_;
   int fold_threads_;
   bool force_sharded_fold_;
+  /// Durability hook (may be null); see ShardedDeltaStoreOptions::wal.
+  WalWriter* wal_;
 
   /// Writers hold this shared while assigning a sequence number and
   /// appending their batch; Seal holds it exclusive while taking its cut,
@@ -202,8 +261,9 @@ class ShardedDeltaStore {
   std::mutex pending_mutex_;
   std::vector<PendingBatch> pending_;
 
-  /// Serializes Seal calls; also the only writer of cell_sums_.
-  std::mutex seal_mutex_;
+  /// Serializes Seal calls; also the only writer of cell_sums_ (and the
+  /// guard CaptureSealedState reads it under).
+  mutable std::mutex seal_mutex_;
   /// Cumulative row-major per-cell raw sums over every SEALED record, in
   /// serial-replay order per cell. Mutated only inside Seal (per-shard
   /// pool tasks write disjoint cells).
@@ -217,6 +277,12 @@ class ShardedDeltaStore {
   std::atomic<long long> num_records_{0};
   std::atomic<long long> sealed_records_{0};
   std::atomic<long long> pending_records_{0};
+
+  /// Retained sealed epochs, oldest first (epoch strictly increasing;
+  /// seeded with epoch 0 by Build/Restore). Seal appends, RetainEpochs
+  /// trims.
+  mutable std::mutex history_mutex_;
+  std::vector<SealedEpoch> history_;
 };
 
 }  // namespace fairidx

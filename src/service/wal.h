@@ -1,0 +1,229 @@
+// Copyright 2026 The fairidx Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Write-ahead log for the serving layer: every batch accepted by
+// ShardedDeltaStore::Ingest is appended as one length-prefixed,
+// CRC32C-checksummed binary record BEFORE it joins the pending set, and
+// every epoch cut appends a seal record, so a crashed process can replay
+// the exact accepted-batch sequence (and the exact seal/refine schedule)
+// through the normal ingest path and land bit-identical to the
+// uninterrupted run.
+//
+// Segments: one file per epoch, named `wal-<generation>-<epoch>.log`,
+// where <epoch> is the epoch the segment's trailing seal record produces.
+// Seal() writes its record inside the store's exclusive ingest-gate
+// window, so file order equals cut order: every record of epoch e
+// precedes e's seal record, which precedes every record of epoch e+1.
+// A non-empty seal rotates to the next segment; an empty refine-tagged
+// seal logs a mid-segment record (replay re-runs the refine) and an empty
+// plain seal logs nothing (it is a no-op on both sides). <generation>
+// increments on every Recover: recovery replays the old generation's tail
+// through the public ingest path, which re-logs it into the new
+// generation, then retires the old files — segment names can never
+// collide across recoveries.
+//
+// Fsync policy — a strict durability ladder:
+//   `none`   group-commit buffering: records accumulate in a user-space
+//            buffer flushed as one write() at the buffer cap, at every
+//            seal, and on Close/destruction; never fsyncs. A process
+//            kill (SIGKILL) can lose up to the buffered window of
+//            newest records — recovery then lands on an earlier clean
+//            prefix and the stream source re-sends the tail.
+//   `batch`  write-through: every record reaches the OS before Append
+//            returns (a kill loses nothing), fsync at every seal — the
+//            power-failure window is the current epoch.
+//   `always` write-through plus fsync per append (group commit:
+//            concurrent writers that appended before another writer's
+//            sync complete without their own). Nothing is ever lost.
+//
+// Torn tails: a record that is truncated at end-of-file, or whose CRC
+// fails with nothing behind it, is a torn tail — dropped when the caller
+// allows it (the last segment of a recovery). A CRC failure with more
+// bytes behind it is mid-log corruption: a hard DataLoss error.
+
+#ifndef FAIRIDX_SERVICE_WAL_H_
+#define FAIRIDX_SERVICE_WAL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "service/sharded_delta_store.h"
+
+namespace fairidx {
+
+/// When WAL appends reach stable storage (see file header).
+enum class WalFsync {
+  kNone,
+  kBatch,
+  kAlways,
+};
+
+/// Parses "none" | "batch" | "always".
+Result<WalFsync> ParseWalFsync(const std::string& name);
+const char* WalFsyncName(WalFsync fsync);
+
+/// Append-only file abstraction — the fault-injection seam. Append must
+/// write through to the OS (no long-lived user-space buffer), Sync makes
+/// previously appended bytes power-failure durable.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(const char* data, size_t size) = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// Opens `path` for appending (created or truncated) via POSIX I/O.
+Result<std::unique_ptr<WritableFile>> OpenWritableFile(
+    const std::string& path);
+
+/// Factory seam: tests wrap OpenWritableFile with fault injectors.
+using WritableFileFactory =
+    std::function<Result<std::unique_ptr<WritableFile>>(
+        const std::string& path)>;
+
+struct WalOptions {
+  WalFsync fsync = WalFsync::kBatch;
+  /// fsync = none only: the group-commit buffer cap — records flush to
+  /// the OS as one write() when this many bytes accumulate (and at every
+  /// seal / Close). Bounds the SIGKILL loss window.
+  size_t buffer_bytes = 256 * 1024;
+  /// Null uses OpenWritableFile.
+  WritableFileFactory file_factory;
+};
+
+/// One on-disk WAL segment, parsed from its filename.
+struct WalSegmentInfo {
+  long long generation = 0;
+  /// The epoch the segment's trailing seal produces.
+  long long epoch = 0;
+  std::string path;
+};
+
+/// The WAL segments under `dir`, sorted by (generation, epoch). Files that
+/// do not match the segment naming scheme are ignored.
+Result<std::vector<WalSegmentInfo>> ListWalSegments(const std::string& dir);
+
+/// One replayed WAL record.
+struct WalRecord {
+  enum class Type { kBatch, kSeal };
+  Type type = Type::kBatch;
+  /// kBatch: the accepted batch and its original sequence number.
+  long long seq = 0;
+  AggregateBatch batch;
+  /// kSeal: the epoch the seal produced (unchanged for an empty cut),
+  /// whether the cut captured records (rotated the segment), and the
+  /// refine annotation to re-run on replay.
+  long long epoch = 0;
+  bool captured = false;
+  bool refine = false;
+  double drift_bound = 0.0;
+};
+
+/// Reads every record of one segment. With `allow_torn_tail`, a truncated
+/// or CRC-corrupt FINAL record is dropped (its byte count reported via
+/// `torn_bytes_dropped` when non-null); without it, any damage is a hard
+/// DataLoss error. Mid-log corruption is always a hard error.
+Result<std::vector<WalRecord>> ReadWalSegment(
+    const std::string& path, bool allow_torn_tail,
+    long long* torn_bytes_dropped = nullptr);
+
+/// Appender (see file header). Thread-safe: concurrent AppendBatch calls
+/// group-commit — each writer frames and checksums its record in
+/// parallel, then one leader writes the whole group with a single
+/// write(). AppendSeal is called from inside the store's exclusive cut
+/// window, never concurrent with AppendBatch.
+class WalWriter {
+ public:
+  /// Creates `dir` if missing and opens the segment for `next_epoch` (the
+  /// epoch the next non-empty seal will produce).
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& dir,
+                                                 long long generation,
+                                                 long long next_epoch,
+                                                 const WalOptions& options);
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  ~WalWriter();
+
+  /// Appends one accepted batch. Durability per the fsync mode.
+  Status AppendBatch(long long seq, const AggregateBatch& batch);
+
+  /// Appends the epoch-cut record and, when the cut captured records,
+  /// rotates to the segment for `sealed_epoch + 1`. An empty plain cut
+  /// appends nothing. fsync modes `batch` and `always` sync here.
+  Status AppendSeal(long long sealed_epoch, bool captured, bool refine,
+                    double drift_bound);
+
+  /// Syncs (fsync mode permitting) and closes the current segment. Later
+  /// appends fail with FailedPrecondition. Idempotent.
+  Status Close();
+
+  const std::string& dir() const { return dir_; }
+  long long generation() const { return generation_; }
+  /// Total bytes appended across all segments (observability/tests).
+  long long bytes_appended() const {
+    return bytes_appended_.load(std::memory_order_acquire);
+  }
+
+ private:
+  WalWriter(std::string dir, long long generation, WalOptions options);
+
+  Status OpenSegmentLocked(long long epoch);
+  /// Writes one pre-framed record ([len][crc][payload]) directly under
+  /// append_mutex_ — the cold path (seals; the hot path is AppendFramed).
+  Status AppendRecordLocked(const std::string& framed);
+  /// Group commit for concurrent AppendBatch callers in the write-through
+  /// modes (batch/always): enqueues the framed record; the queue-front
+  /// writer becomes leader, drains the whole queue, and issues ONE
+  /// write() covering every queued record with append_mutex_ released —
+  /// writers arriving meanwhile enqueue behind it and ride the next
+  /// group instead of convoying on the mutex.
+  Status AppendFramed(const std::string& framed);
+  /// fsync = none: appends into write_buffer_, flushing at the cap.
+  Status AppendBuffered(const std::string& framed);
+  /// Writes out (and empties) write_buffer_ with append_mutex_ released
+  /// during the write(). No-op when the buffer is empty.
+  Status FlushBufferLocked(std::unique_lock<std::mutex>& lock);
+  /// Blocks until no group write() is in flight and no writer is queued.
+  /// Caller holds `lock` on append_mutex_.
+  void WaitForAppendsLocked(std::unique_lock<std::mutex>& lock);
+
+  const std::string dir_;
+  const long long generation_;
+  const WalOptions options_;
+
+  /// Serializes file appends and rotation. The group leader releases it
+  /// during its write() (append_in_flight_ marks that window; rotation
+  /// and seals wait it out via WaitForAppendsLocked).
+  std::mutex append_mutex_;
+  std::condition_variable append_cv_;
+  struct PendingAppend;
+  std::deque<PendingAppend*> append_queue_;  // Guarded by append_mutex_.
+  bool append_in_flight_ = false;            // Guarded by append_mutex_.
+  std::unique_ptr<WritableFile> file_;  // Null after Close().
+  /// fsync = none: accepted records awaiting their group write()
+  /// (guarded by append_mutex_; always empty in the other modes).
+  std::string write_buffer_;
+  long long current_epoch_ = 0;
+  bool closed_ = false;
+
+  /// Group commit for fsync = always: a writer whose bytes another
+  /// writer's sync already covered skips its own.
+  std::mutex sync_mutex_;
+  std::atomic<long long> bytes_appended_{0};
+  long long bytes_synced_ = 0;  // Guarded by sync_mutex_.
+
+  Status GroupSync(long long appended_through);
+};
+
+}  // namespace fairidx
+
+#endif  // FAIRIDX_SERVICE_WAL_H_

@@ -1,0 +1,125 @@
+// Fault-injection harness for the durability tests: a WritableFile
+// wrapper that fails, short-writes, or silently drops I/O at the Nth
+// operation across every file opened through one FaultPlan. Plugged into
+// WalOptions::file_factory / DurabilityOptions::file_factory, it turns
+// "what if the disk dies mid-append" and "what if the process is killed
+// mid-checkpoint" into deterministic unit tests: the write that the plan
+// kills is exactly the write a real crash would have cut.
+
+#ifndef FAIRIDX_TESTS_FAULT_INJECTION_H_
+#define FAIRIDX_TESTS_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "service/wal.h"
+
+namespace fairidx {
+namespace testing_fault {
+
+/// How the injected fault manifests at the chosen operation.
+enum class FaultMode {
+  /// The operation returns an IO error; nothing is written.
+  kFailOp,
+  /// Append writes only the first half of its bytes, then returns an IO
+  /// error — the torn-record case a power cut produces.
+  kShortWrite,
+  /// The operation (and every later one on every file) silently succeeds
+  /// without touching the disk — the crashed-before-it-landed case.
+  kDropWrites,
+};
+
+/// One shared countdown across all files a plan opens: operation numbers
+/// count Append/Sync/Close calls in order, so "fail at op N" is a precise
+/// crash point even when the code under test rotates through several
+/// files.
+struct FaultPlan {
+  std::atomic<long long> ops_until_fault{-1};  // < 0: never fault.
+  FaultMode mode = FaultMode::kFailOp;
+  std::atomic<long long> ops_seen{0};
+  std::atomic<long long> faults_fired{0};
+
+  /// True when this operation is at or past the fault point.
+  bool Due() {
+    ops_seen.fetch_add(1, std::memory_order_relaxed);
+    const long long remaining =
+        ops_until_fault.load(std::memory_order_relaxed);
+    if (remaining < 0) return false;
+    if (ops_until_fault.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+      // Keep the counter pinned below zero-minus-one so once tripped,
+      // kDropWrites stays tripped for every later op.
+      ops_until_fault.store(0, std::memory_order_relaxed);
+      faults_fired.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+};
+
+class FaultInjectingFile : public WritableFile {
+ public:
+  FaultInjectingFile(std::unique_ptr<WritableFile> base, FaultPlan* plan)
+      : base_(std::move(base)), plan_(plan) {}
+
+  Status Append(const char* data, size_t size) override {
+    if (plan_->Due()) {
+      switch (plan_->mode) {
+        case FaultMode::kFailOp:
+          return InternalError("injected append failure");
+        case FaultMode::kShortWrite: {
+          const size_t half = size / 2;
+          if (half > 0) (void)base_->Append(data, half);
+          return InternalError("injected short write (" +
+                               std::to_string(half) + " of " +
+                               std::to_string(size) + " bytes)");
+        }
+        case FaultMode::kDropWrites:
+          return Status::Ok();
+      }
+    }
+    return base_->Append(data, size);
+  }
+
+  Status Sync() override {
+    if (plan_->Due()) {
+      if (plan_->mode == FaultMode::kDropWrites) return Status::Ok();
+      return InternalError("injected sync failure");
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override {
+    // Close always reaches the base file: leaking descriptors would make
+    // later trials in a loop flaky for the wrong reason.
+    const bool due = plan_->Due();
+    const Status base = base_->Close();
+    if (due && plan_->mode != FaultMode::kDropWrites) {
+      return InternalError("injected close failure");
+    }
+    return base;
+  }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultPlan* plan_;
+};
+
+/// A WritableFileFactory wiring every opened file through `plan`. The
+/// plan must outlive every file the factory opens.
+inline WritableFileFactory MakeFaultyFactory(FaultPlan* plan) {
+  return [plan](const std::string& path)
+             -> Result<std::unique_ptr<WritableFile>> {
+    FAIRIDX_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                             OpenWritableFile(path));
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<FaultInjectingFile>(std::move(base), plan));
+  };
+}
+
+}  // namespace testing_fault
+}  // namespace fairidx
+
+#endif  // FAIRIDX_TESTS_FAULT_INJECTION_H_

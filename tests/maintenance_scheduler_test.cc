@@ -300,5 +300,36 @@ TEST(MaintenanceSchedulerTest, MultiWriterStressUnderBackgroundScheduler) {
   EXPECT_GE((*service)->maintenance_stats().passes, 1);
 }
 
+// Long-stream retention: with retain_epochs set, the scheduler must keep
+// the snapshot history bounded no matter how many epochs a stream seals —
+// the leak the retention knob exists to close.
+TEST(MaintenanceSchedulerTest, LongStreamKeepsSnapshotHistoryBounded) {
+  const Grid grid = MakeGrid(16, 16);
+  Rng rng(8);
+  const AggregateBatch warmup = RandomBatch(rng, grid, 200);
+  MaintenancePolicy policy;
+  policy.seal_records = 1;    // Every tick with pending records seals.
+  policy.drift_bound = -1.0;  // Seal-only: epochs advance fast.
+  policy.poll_interval_seconds = 0.001;
+  policy.retain_epochs = 3;
+  FairIndexServiceOptions options = AutoOptions(4, 2, policy);
+  options.auto_maintain = false;  // Drive ticks deterministically.
+  auto service = FairIndexService::Create(grid, warmup, options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  MaintenanceScheduler scheduler(service->get(), policy);
+  for (int b = 0; b < 20; ++b) {
+    ASSERT_TRUE((*service)->Ingest(RandomBatch(rng, grid, 15)).ok());
+    ASSERT_TRUE(scheduler.TickNow());
+    // The bound holds THROUGHOUT the stream, not just at the end.
+    EXPECT_LE((*service)->store().history_size(), 3)
+        << "after batch " << b;
+  }
+  EXPECT_EQ((*service)->store().epoch(), 20);
+  EXPECT_EQ((*service)->store().history_size(), 3);
+  EXPECT_EQ(scheduler.stats().epochs_retired,
+            (*service)->store().epoch() + 1 - 3);
+}
+
 }  // namespace
 }  // namespace fairidx

@@ -62,6 +62,72 @@ TEST(PartitionIoTest, ParseRejectsMissingColumns) {
   EXPECT_FALSE(ParsePartitionCsv(grid, "a,b\n1,2\n").ok());
 }
 
+TEST(PartitionIoTest, ParseRejectsRowColMismatch) {
+  // Cell 1 of a 1x2 grid lives at (row 0, col 1); a CSV claiming it sits
+  // at (1, 0) was written against a different grid shape and must not be
+  // silently reinterpreted.
+  const Grid small = Grid::Create(1, 2, BoundingBox{0, 0, 2, 1}).value();
+  const std::string csv =
+      "cell_id,row,col,region\n0,0,0,0\n1,1,0,1\n";
+  const Status status = ParsePartitionCsv(small, csv).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("claims"), std::string::npos) << status;
+}
+
+TEST(PartitionIoTest, ParseRejectsNonIntegerFields) {
+  const Grid small = Grid::Create(1, 2, BoundingBox{0, 0, 2, 1}).value();
+  EXPECT_FALSE(ParsePartitionCsv(
+                   small, "cell_id,row,col,region\n0,0,0,0\nx,0,1,1\n")
+                   .ok());
+  EXPECT_FALSE(ParsePartitionCsv(
+                   small, "cell_id,row,col,region\n0,0,0,0\n1,0,1,1.5\n")
+                   .ok());
+}
+
+TEST(PartitionIoTest, BinaryRoundTripPreservesRegionIdsVerbatim) {
+  const Grid grid = MakeGrid();
+  // Region ids deliberately NOT in first-appearance order: unlike the CSV
+  // path (which compacts), the binary path must hand back the exact map —
+  // maintainer state indexes regions by id.
+  std::vector<int> map(static_cast<size_t>(grid.num_cells()), 0);
+  for (int cell = 0; cell < grid.num_cells(); ++cell) {
+    map[static_cast<size_t>(cell)] = (cell % 3 == 0) ? 2 : cell % 2;
+  }
+  const Partition built =
+      Partition::FromCellMapExact(std::move(map), 3).value();
+  const std::string bytes = SerializePartitionBinary(built);
+  const Partition loaded = ParsePartitionBinary(grid, bytes).value();
+  EXPECT_EQ(loaded.cell_to_region(), built.cell_to_region());
+  EXPECT_EQ(loaded.num_regions(), built.num_regions());
+}
+
+TEST(PartitionIoTest, BinaryParseRejectsBadInput) {
+  const Grid grid = MakeGrid();
+  const PartitionResult built =
+      BuildUniformGridPartition(grid, 2).value();
+  const std::string bytes = SerializePartitionBinary(built.partition);
+  // Wrong grid shape.
+  const Grid other = Grid::Create(2, 2, BoundingBox{0, 0, 2, 2}).value();
+  EXPECT_FALSE(ParsePartitionBinary(other, bytes).ok());
+  // Truncated and trailing bytes.
+  EXPECT_FALSE(
+      ParsePartitionBinary(grid, bytes.substr(0, bytes.size() - 2)).ok());
+  EXPECT_FALSE(ParsePartitionBinary(grid, bytes + "x").ok());
+  EXPECT_FALSE(ParsePartitionBinary(grid, "").ok());
+}
+
+TEST(PartitionIoTest, FromCellMapExactValidatesTheMap) {
+  EXPECT_TRUE(Partition::FromCellMapExact({1, 0, 1, 0}, 2).ok());
+  // Region id outside [0, num_regions).
+  EXPECT_FALSE(Partition::FromCellMapExact({0, 2}, 2).ok());
+  EXPECT_FALSE(Partition::FromCellMapExact({0, -1}, 2).ok());
+  // Region 1 has no cells.
+  EXPECT_FALSE(Partition::FromCellMapExact({0, 0}, 2).ok());
+  // Degenerate shapes.
+  EXPECT_FALSE(Partition::FromCellMapExact({}, 1).ok());
+  EXPECT_FALSE(Partition::FromCellMapExact({0}, 0).ok());
+}
+
 TEST(PartitionIoTest, WktHasOnePolygonPerRegion) {
   const Grid grid = MakeGrid();
   const PartitionResult built =

@@ -1,0 +1,400 @@
+// Crash-recovery differential suite for the durable serving layer:
+// FairIndexService::Recover must rebuild a service BIT-identical to the
+// uninterrupted run — sealed snapshot cell sums, published partition,
+// epoch and record counters — from the newest checkpoint plus a WAL tail
+// replay, across shard counts, concurrent writers, every cut point, and
+// a torn trailing WAL record. A randomized kill-and-recover sweep then
+// truncates the log at arbitrary byte offsets (>= 20 crash points) and
+// pins the no-data-loss invariant: resuming from the recovered record
+// count always reaches the full stream total.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "service/checkpoint.h"
+#include "service/fair_index_service.h"
+
+namespace fairidx {
+namespace {
+
+Grid MakeGrid(int rows, int cols) {
+  return Grid::Create(rows, cols,
+                      BoundingBox{0, 0, static_cast<double>(cols),
+                                  static_cast<double>(rows)})
+      .value();
+}
+
+AggregateBatch RandomRecords(Rng& rng, const Grid& grid, int n) {
+  AggregateBatch batch;
+  for (int i = 0; i < n; ++i) {
+    batch.Append(static_cast<int>(rng.NextBounded(grid.num_cells())),
+                 rng.Bernoulli(0.5) ? 1 : 0, rng.NextDouble());
+  }
+  return batch;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir =
+      ::testing::TempDir() + "/fairidx_recovery_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+FairIndexServiceOptions DurableOptions(const std::string& dir, int shards,
+                                       long long checkpoint_interval) {
+  FairIndexServiceOptions options;
+  options.algorithm = "fair_kd_tree";
+  options.build.height = 3;
+  options.store.num_shards = shards;
+  options.durability.wal_dir = dir;
+  options.durability.checkpoint_interval = checkpoint_interval;
+  options.durability.fsync = WalFsync::kNone;  // SIGKILL-safe regardless.
+  return options;
+}
+
+// Every prefix rectangle pins the prefix structure bit for bit.
+void ExpectSnapshotBitEq(const GridAggregates& a, const GridAggregates& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (int r = 0; r <= a.rows(); ++r) {
+    for (int c = 0; c <= a.cols(); ++c) {
+      const RegionAggregate x = a.Query(CellRect{0, r, 0, c});
+      const RegionAggregate y = b.Query(CellRect{0, r, 0, c});
+      ASSERT_EQ(x.count, y.count) << "(" << r << "," << c << ")";
+      ASSERT_EQ(x.sum_labels, y.sum_labels);
+      ASSERT_EQ(x.sum_scores, y.sum_scores);
+      ASSERT_EQ(x.sum_residuals, y.sum_residuals);
+      ASSERT_EQ(x.sum_cell_abs_miscalibration,
+                y.sum_cell_abs_miscalibration);
+    }
+  }
+}
+
+struct ServiceState {
+  long long epoch = 0;
+  long long num_records = 0;
+  long long pending = 0;
+  long long total_resplits = 0;
+  std::vector<CellRect> regions;
+  std::shared_ptr<const GridAggregates> snapshot;
+};
+
+ServiceState CaptureState(const FairIndexService& service) {
+  ServiceState state;
+  state.epoch = service.store().epoch();
+  state.num_records = service.store().num_records();
+  state.pending = service.store().pending_records();
+  state.total_resplits = service.total_resplits();
+  state.regions = *service.regions();
+  state.snapshot = service.store().snapshot();
+  return state;
+}
+
+void ExpectStateBitEq(const ServiceState& a, const ServiceState& b) {
+  EXPECT_EQ(a.epoch, b.epoch);
+  EXPECT_EQ(a.num_records, b.num_records);
+  EXPECT_EQ(a.pending, b.pending);
+  EXPECT_EQ(a.total_resplits, b.total_resplits);
+  ASSERT_EQ(a.regions.size(), b.regions.size());
+  for (size_t i = 0; i < a.regions.size(); ++i) {
+    EXPECT_EQ(a.regions[i].row_begin, b.regions[i].row_begin) << i;
+    EXPECT_EQ(a.regions[i].row_end, b.regions[i].row_end) << i;
+    EXPECT_EQ(a.regions[i].col_begin, b.regions[i].col_begin) << i;
+    EXPECT_EQ(a.regions[i].col_end, b.regions[i].col_end) << i;
+  }
+  ExpectSnapshotBitEq(*a.snapshot, *b.snapshot);
+}
+
+// The deterministic op sequence both the reference run and every
+// crashed+recovered run execute: ingest batch i, then MaybeRefine after
+// every third batch. `from`..`to` selects the resumed suffix.
+Status RunOps(FairIndexService* service,
+              const std::vector<AggregateBatch>& batches, size_t from,
+              size_t to) {
+  for (size_t i = from; i < to; ++i) {
+    FAIRIDX_RETURN_IF_ERROR(service->Ingest(batches[i]).status());
+    if ((i + 1) % 3 == 0) {
+      FAIRIDX_RETURN_IF_ERROR(service->MaybeRefine().status());
+    }
+  }
+  return Status::Ok();
+}
+
+void TruncateNewestSegment(const std::string& dir, long long cut_bytes) {
+  auto segments = ListWalSegments(dir);
+  ASSERT_TRUE(segments.ok()) << segments.status();
+  ASSERT_FALSE(segments->empty());
+  const std::string path = segments->back().path;
+  const auto size = std::filesystem::file_size(path);
+  ASSERT_GT(static_cast<long long>(size), cut_bytes);
+  std::filesystem::resize_file(path,
+                               size - static_cast<uintmax_t>(cut_bytes));
+}
+
+// The core differential matrix: shards x cut points x {clean crash, torn
+// trailing record}. A "clean crash" destroys the service (the WAL holds
+// every accepted record); the torn variant then cuts 3 bytes off the
+// newest segment, exactly what a power cut mid-append leaves.
+TEST(RecoveryDifferentialTest, BitIdenticalAcrossShardsCutPointsAndTornTails) {
+  const Grid grid = MakeGrid(6, 6);
+  constexpr size_t kBatches = 12;
+  constexpr int kBatchRecords = 15;
+  Rng rng(20240807);
+  const AggregateBatch warmup = RandomRecords(rng, grid, 120);
+  std::vector<AggregateBatch> batches;
+  for (size_t i = 0; i < kBatches; ++i) {
+    batches.push_back(RandomRecords(rng, grid, kBatchRecords));
+  }
+
+  for (int shards : {1, 3}) {
+    // Uninterrupted reference for this shard count.
+    const std::string ref_dir =
+        FreshDir("ref_s" + std::to_string(shards));
+    auto reference = FairIndexService::Create(
+        grid, warmup, DurableOptions(ref_dir, shards, 2));
+    ASSERT_TRUE(reference.ok()) << reference.status();
+    ASSERT_TRUE(RunOps(reference->get(), batches, 0, kBatches).ok());
+    ASSERT_TRUE((*reference)->Seal().ok());
+    const ServiceState want = CaptureState(**reference);
+    reference->reset();
+
+    for (size_t cut = 1; cut < kBatches; ++cut) {
+      for (const bool torn : {false, true}) {
+        // A torn tail must cut a BATCH record to keep the op sequence
+        // replayable at the same global positions; after a refine the
+        // newest record is its seal, so skip those cuts.
+        if (torn && cut % 3 == 0) continue;
+        const std::string dir =
+            FreshDir("cut_s" + std::to_string(shards) + "_" +
+                     std::to_string(cut) + (torn ? "_torn" : ""));
+        FairIndexServiceOptions options = DurableOptions(dir, shards, 2);
+        auto crashed = FairIndexService::Create(grid, warmup, options);
+        ASSERT_TRUE(crashed.ok()) << crashed.status();
+        ASSERT_TRUE(RunOps(crashed->get(), batches, 0, cut).ok());
+        crashed->reset();  // The crash: no final checkpoint, WAL only.
+        if (torn) TruncateNewestSegment(dir, 3);
+
+        auto recovered = FairIndexService::Recover(grid, options);
+        ASSERT_TRUE(recovered.ok())
+            << "shards=" << shards << " cut=" << cut << " torn=" << torn
+            << ": " << recovered.status();
+        // Resume at the first batch the recovered store never accepted
+        // (the torn variant re-ingests the cut batch here) and finish
+        // the identical op sequence.
+        const long long accepted = (*recovered)->store().num_records();
+        const size_t resume = static_cast<size_t>(
+            (accepted - static_cast<long long>(warmup.size())) /
+            kBatchRecords);
+        EXPECT_EQ(resume, torn ? cut - 1 : cut);
+        ASSERT_TRUE(
+            RunOps(recovered->get(), batches, resume, kBatches).ok());
+        ASSERT_TRUE((*recovered)->Seal().ok());
+        ExpectStateBitEq(CaptureState(**recovered), want);
+      }
+    }
+  }
+}
+
+// Concurrent writers race their WAL appends, so the log's file order is
+// NOT sequence order. Recovery must still land bit-identically on the
+// exact state the crashed process had sealed (replay sorts each epoch's
+// batches by their original sequence numbers before re-folding).
+TEST(RecoveryDifferentialTest, MultiWriterReplayMatchesCrashedState) {
+  const Grid grid = MakeGrid(5, 7);
+  constexpr int kWriters = 4;
+  constexpr int kBatchesPerWriter = 6;
+  Rng rng(77);
+  const AggregateBatch warmup = RandomRecords(rng, grid, 100);
+  std::vector<std::vector<AggregateBatch>> per_writer(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    for (int b = 0; b < kBatchesPerWriter; ++b) {
+      per_writer[w].push_back(RandomRecords(rng, grid, 9));
+    }
+  }
+
+  const std::string dir = FreshDir("multiwriter");
+  FairIndexServiceOptions options = DurableOptions(dir, 4, 3);
+  auto service = FairIndexService::Create(grid, warmup, options);
+  ASSERT_TRUE(service.ok()) << service.status();
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (const AggregateBatch& batch : per_writer[w]) {
+        EXPECT_TRUE((*service)->Ingest(batch).ok());
+      }
+    });
+  }
+  for (std::thread& thread : writers) thread.join();
+  // Two seals while quiesced plus a refine give the log several epochs
+  // whose batch records are interleaved across writers.
+  ASSERT_TRUE((*service)->MaybeRefine().ok());
+  ASSERT_TRUE((*service)->Seal().ok());
+  const ServiceState want = CaptureState(**service);
+  service->reset();
+
+  auto recovered = FairIndexService::Recover(grid, options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  ExpectStateBitEq(CaptureState(**recovered), want);
+}
+
+// Randomized kill-and-recover: truncate the newest WAL segment at >= 24
+// arbitrary byte offsets. Whatever the cut, recovery must succeed and
+// resuming from the recovered record count must reach the full stream —
+// the only loss window is the torn tail itself, and those records are
+// still in the caller's hands to re-send.
+TEST(RecoveryKillTest, RandomizedCrashPointsLoseNothingOnResume) {
+  const Grid grid = MakeGrid(4, 5);
+  Rng rng(31337);
+  const int kTotal = 400;
+  const AggregateBatch all = RandomRecords(rng, grid, kTotal);
+  const AggregateBatch warmup = all.Slice(0, 80);
+  double want_labels = 0.0;
+  for (int label : all.labels) want_labels += label;
+
+  // One finished durable run to template the on-disk state from.
+  const std::string master = FreshDir("kill_master");
+  {
+    FairIndexServiceOptions options = DurableOptions(master, 2, 4);
+    auto service = FairIndexService::Create(grid, warmup, options);
+    ASSERT_TRUE(service.ok()) << service.status();
+    for (size_t next = 80; next < static_cast<size_t>(kTotal);) {
+      const size_t end = std::min<size_t>(kTotal, next + 32);
+      ASSERT_TRUE((*service)->Ingest(all.Slice(next, end)).ok());
+      // No seal on the final batch: the newest segment must end with
+      // real batch records so the truncation sweep has bytes to cut.
+      if ((end / 32) % 2 == 0 && end < static_cast<size_t>(kTotal)) {
+        ASSERT_TRUE((*service)->Seal().ok());
+      }
+      next = end;
+    }
+    service->reset();  // Crash before any final seal/checkpoint.
+  }
+
+  auto segments = ListWalSegments(master);
+  ASSERT_TRUE(segments.ok());
+  ASSERT_FALSE(segments->empty());
+  const std::string newest = segments->back().path;
+  const long long newest_size =
+      static_cast<long long>(std::filesystem::file_size(newest));
+
+  Rng cuts(4242);
+  for (int trial = 0; trial < 24; ++trial) {
+    const std::string dir = FreshDir("kill_" + std::to_string(trial));
+    std::filesystem::copy(master, dir);
+    const long long cut =
+        static_cast<long long>(cuts.NextBounded(
+            static_cast<int>(std::min<long long>(newest_size, 1 << 30))));
+    std::filesystem::resize_file(
+        dir + "/" + std::filesystem::path(newest).filename().string(),
+        static_cast<uintmax_t>(newest_size - cut));
+
+    FairIndexServiceOptions options = DurableOptions(dir, 2, 4);
+    auto recovered = FairIndexService::Recover(grid, options);
+    ASSERT_TRUE(recovered.ok())
+        << "trial " << trial << " cut " << cut << ": "
+        << recovered.status();
+    const long long accepted = (*recovered)->store().num_records();
+    ASSERT_GE(accepted, 80);
+    ASSERT_LE(accepted, kTotal);
+    // Resume: re-send everything past the recovered record count.
+    if (accepted < kTotal) {
+      ASSERT_TRUE((*recovered)
+                      ->Ingest(all.Slice(static_cast<size_t>(accepted),
+                                         kTotal))
+                      .ok());
+    }
+    ASSERT_TRUE((*recovered)->Seal().ok());
+    const RegionAggregate total =
+        (*recovered)->store().snapshot()->Total();
+    EXPECT_EQ(total.count, static_cast<double>(kTotal))
+        << "trial " << trial << " cut " << cut;
+    EXPECT_EQ(total.sum_labels, want_labels);
+  }
+}
+
+// Recover must refuse mismatched callers loudly instead of replaying a
+// log into the wrong shape, and Create must refuse to clobber state.
+TEST(RecoveryTest, MismatchesAndClobbersAreRejected) {
+  const Grid grid = MakeGrid(4, 4);
+  Rng rng(5);
+  const AggregateBatch warmup = RandomRecords(rng, grid, 60);
+  const std::string dir = FreshDir("mismatch");
+  FairIndexServiceOptions options = DurableOptions(dir, 1, 2);
+  {
+    auto service = FairIndexService::Create(grid, warmup, options);
+    ASSERT_TRUE(service.ok()) << service.status();
+  }
+  // Same directory, second Create: refused (use Recover).
+  EXPECT_EQ(FairIndexService::Create(grid, warmup, options).status().code(),
+            StatusCode::kFailedPrecondition);
+  // Wrong grid shape.
+  EXPECT_EQ(
+      FairIndexService::Recover(MakeGrid(5, 4), options).status().code(),
+      StatusCode::kFailedPrecondition);
+  // Wrong algorithm.
+  FairIndexServiceOptions wrong = options;
+  wrong.algorithm = "median_kd_tree";
+  EXPECT_EQ(FairIndexService::Recover(grid, wrong).status().code(),
+            StatusCode::kFailedPrecondition);
+  // No durability dir at all.
+  FairIndexServiceOptions none = options;
+  none.durability.wal_dir.clear();
+  EXPECT_EQ(FairIndexService::Recover(grid, none).status().code(),
+            StatusCode::kInvalidArgument);
+  // The matching caller still recovers fine.
+  auto recovered = FairIndexService::Recover(grid, options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ((*recovered)->store().num_records(),
+            static_cast<long long>(warmup.size()));
+}
+
+// Mid-log corruption (bytes behind the damage) must fail recovery with
+// the one-line diagnostic, never silently drop records.
+TEST(RecoveryTest, MidLogCorruptionFailsLoudly) {
+  const Grid grid = MakeGrid(4, 4);
+  Rng rng(6);
+  const AggregateBatch warmup = RandomRecords(rng, grid, 60);
+  const std::string dir = FreshDir("midlog");
+  FairIndexServiceOptions options = DurableOptions(dir, 1, 100);
+  {
+    auto service = FairIndexService::Create(grid, warmup, options);
+    ASSERT_TRUE(service.ok()) << service.status();
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(
+          (*service)->Ingest(RandomRecords(rng, grid, 10)).ok());
+    }
+  }
+  auto segments = ListWalSegments(dir);
+  ASSERT_TRUE(segments.ok());
+  const std::string path = segments->back().path;
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    bytes = buffer.str();
+  }
+  bytes[bytes.size() / 2] ^= 0x3c;  // Damage with bytes behind it.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  const Status status = FairIndexService::Recover(grid, options).status();
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("CRC mismatch mid-log"),
+            std::string::npos)
+      << status;
+}
+
+}  // namespace
+}  // namespace fairidx

@@ -6,10 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 #include <string>
 
 #include "data/edgap_synthetic.h"
+#include "service/checkpoint.h"
 
 namespace fairidx {
 namespace {
@@ -263,6 +265,52 @@ TEST(ScenarioParseTest, RejectsBadMaintenanceKeys) {
   EXPECT_FALSE(ParseScenarioText("maintain_policy = auto\n", "").ok());
 }
 
+TEST(ScenarioParseTest, ParsesDurabilityKeys) {
+  const auto config = ParseScenarioText(
+      "workload = stream\n"
+      "wal_dir = /tmp/fairidx_wal\n"
+      "checkpoint_interval = 4\n"
+      "fsync = always\n"
+      "retain_epochs = 6\n",
+      "");
+  ASSERT_TRUE(config.ok()) << config.status();
+  EXPECT_EQ(config->wal_dir, "/tmp/fairidx_wal");
+  EXPECT_EQ(config->checkpoint_interval, 4);
+  EXPECT_EQ(config->fsync, "always");
+  EXPECT_EQ(config->retain_epochs, 6);
+
+  // Defaults: durability off, batch fsync, interval 8, no retention.
+  const auto defaults = ParseScenarioText("workload = stream\n", "");
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_TRUE(defaults->wal_dir.empty());
+  EXPECT_EQ(defaults->checkpoint_interval, 8);
+  EXPECT_EQ(defaults->fsync, "batch");
+  EXPECT_EQ(defaults->retain_epochs, 0);
+}
+
+TEST(ScenarioParseTest, RejectsBadDurabilityKeys) {
+  // A WAL only makes sense for the stream workload.
+  EXPECT_FALSE(ParseScenarioText("wal_dir = /tmp/x\n", "").ok());
+  // Unknown fsync mode must not silently fall back to a default.
+  EXPECT_FALSE(ParseScenarioText(
+                   "workload = stream\nwal_dir = /tmp/x\nfsync = often\n",
+                   "")
+                   .ok());
+  EXPECT_FALSE(ParseScenarioText(
+                   "workload = stream\nwal_dir = /tmp/x\nfsync = Batch\n",
+                   "")
+                   .ok());
+  // Out-of-range values.
+  EXPECT_FALSE(ParseScenarioText(
+                   "workload = stream\nretain_epochs = -1\n", "")
+                   .ok());
+  EXPECT_FALSE(ParseScenarioText(
+                   "workload = stream\nwal_dir = /tmp/x\n"
+                   "checkpoint_interval = x\n",
+                   "")
+                   .ok());
+}
+
 // Satellite pin for scenario-level parallelism: sweep points run on the
 // shared pool, and the report must be bit-identical at any thread count
 // (deterministic result ordering AND values).
@@ -379,6 +427,45 @@ TEST(ScenarioEngineTest, StreamWorkloadAutoMaintainRunsHandsOff) {
     // even if the scheduler never fired in time.
     EXPECT_GT(row.epochs, 0);
     EXPECT_GE(row.final_ence, 0.0);
+  }
+}
+
+// Durable stream end to end through the engine: a wal_dir point must run
+// like any other stream point AND leave a loadable checkpoint plus WAL
+// state in its own per-sweep-point subdirectory (two seeds must not
+// interleave their logs).
+TEST(ScenarioEngineTest, StreamWorkloadWithWalLeavesRecoverableState) {
+  const std::string wal_root =
+      ::testing::TempDir() + "/fairidx_scenario_wal";
+  std::filesystem::remove_all(wal_root);
+  ScenarioConfig config;
+  config.workload = ScenarioWorkload::kStream;
+  config.algorithms = {PartitionAlgorithm::kFairKdTree};
+  config.heights = {4};
+  config.seeds = {11, 12};
+  config.stream_batch = 60;
+  config.stream_refine_bound = 0.02;
+  config.stream_warmup_pct = 50;
+  config.wal_dir = wal_root;
+  config.checkpoint_interval = 1;
+  config.fsync = "none";
+  config.retain_epochs = 2;
+  CityConfig city;
+  city.num_records = 400;
+  const Dataset dataset = GenerateEdgapCity(city).value();
+
+  const auto report = RunScenario(config, dataset);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->stream_rows.size(), 2u);
+
+  for (uint64_t seed : {11, 12}) {
+    const std::string point_dir =
+        wal_root + "/fair_kd_tree-h4-s" + std::to_string(seed);
+    SCOPED_TRACE(point_dir);
+    auto checkpoint = LoadLatestCheckpoint(point_dir);
+    ASSERT_TRUE(checkpoint.ok()) << checkpoint.status();
+    EXPECT_EQ(checkpoint->sealed_records, 400);
+    EXPECT_EQ(checkpoint->algorithm, "fair_kd_tree");
   }
 }
 

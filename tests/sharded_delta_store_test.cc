@@ -12,12 +12,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
+#include <memory>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "geo/delta_grid_aggregates.h"
+#include "service/wal.h"
 
 namespace fairidx {
 namespace {
@@ -310,6 +314,93 @@ TEST(ShardedDeltaStoreTest, ConcurrentIngestSealQueryMatchesSerialReplay) {
     EXPECT_OK(replay.Rebuild());
     ExpectSnapshotBitEq(*(*store)->snapshot(), replay.base());
   }
+}
+
+TEST(ShardedDeltaStoreTest, EmptyBatchIsAcceptedAndDiscardedAtSeal) {
+  const Grid grid = MakeGrid(4, 4);
+  Rng rng(11);
+  auto store = ShardedDeltaStore::Build(grid, RandomBatch(rng, grid, 20),
+                                        ShardedDeltaStoreOptions{2, 1});
+  ASSERT_TRUE(store.ok());
+
+  // An empty batch is a valid no-op: it consumes a sequence number but
+  // adds no records, so the next seal has nothing to capture.
+  auto seq = (*store)->Ingest(AggregateBatch{});
+  ASSERT_TRUE(seq.ok()) << seq.status();
+  EXPECT_EQ((*store)->num_records(), 20);
+  EXPECT_EQ((*store)->pending_records(), 0);
+  auto sealed = (*store)->Seal();
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_EQ(sealed->epoch, 0);
+  // The sequence counter still advanced: a later real batch continues
+  // strictly after the empty one.
+  auto next = (*store)->Ingest(RandomBatch(rng, grid, 3));
+  ASSERT_TRUE(next.ok());
+  EXPECT_GT(*next, *seq);
+}
+
+TEST(ShardedDeltaStoreTest, IngestAfterWalCloseIsRejectedAtomically) {
+  const Grid grid = MakeGrid(4, 4);
+  Rng rng(12);
+  const std::string dir =
+      ::testing::TempDir() + "/fairidx_store_walclose";
+  std::filesystem::remove_all(dir);
+  auto wal = WalWriter::Open(dir, 1, 1, WalOptions{});
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  ShardedDeltaStoreOptions options;
+  options.num_shards = 2;
+  options.wal = wal->get();
+  auto store =
+      ShardedDeltaStore::Build(grid, RandomBatch(rng, grid, 20), options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Ingest(RandomBatch(rng, grid, 5)).ok());
+  const long long before_records = (*store)->num_records();
+  const long long before_pending = (*store)->pending_records();
+
+  // Once the log can no longer accept the record, the batch must be
+  // rejected whole — log-before-apply means the store and the log never
+  // disagree about what was accepted.
+  ASSERT_TRUE((*wal)->Close().ok());
+  EXPECT_FALSE((*store)->Ingest(RandomBatch(rng, grid, 5)).ok());
+  EXPECT_EQ((*store)->num_records(), before_records);
+  EXPECT_EQ((*store)->pending_records(), before_pending);
+  // Sealing is equally off the table (the seal record cannot be logged),
+  // so the pending records stay pending rather than vanish.
+  EXPECT_FALSE((*store)->Seal().ok());
+  EXPECT_EQ((*store)->pending_records(), before_pending);
+}
+
+TEST(ShardedDeltaStoreTest, RetainEpochsKeepsNewestAndReaderPinned) {
+  const Grid grid = MakeGrid(4, 4);
+  Rng rng(13);
+  auto store = ShardedDeltaStore::Build(grid, RandomBatch(rng, grid, 10),
+                                        ShardedDeltaStoreOptions{2, 1});
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->history_size(), 1);  // Epoch 0 seeds the history.
+
+  // A reader pins epoch 2's snapshot; epochs keep sealing past it.
+  std::shared_ptr<const GridAggregates> pinned;
+  for (int epoch = 1; epoch <= 5; ++epoch) {
+    ASSERT_TRUE((*store)->Ingest(RandomBatch(rng, grid, 4)).ok());
+    ASSERT_TRUE((*store)->Seal().ok());
+    if (epoch == 2) pinned = (*store)->snapshot();
+  }
+  EXPECT_EQ((*store)->history_size(), 6);
+
+  // keep_last = 2 keeps epochs 4 and 5 plus the reader-pinned epoch 2.
+  EXPECT_EQ((*store)->RetainEpochs(2), 3);
+  EXPECT_EQ((*store)->history_size(), 3);
+  // The pinned snapshot stays fully usable regardless of retention.
+  EXPECT_GT(pinned->Total().count, 0.0);
+  // Releasing the pin lets the next retention pass drop it.
+  pinned.reset();
+  EXPECT_EQ((*store)->RetainEpochs(2), 1);
+  EXPECT_EQ((*store)->history_size(), 2);
+  // keep_last < 1 clamps to "newest only": the serving snapshot can
+  // never be retired out from under readers.
+  EXPECT_EQ((*store)->RetainEpochs(0), 1);
+  EXPECT_EQ((*store)->history_size(), 1);
+  EXPECT_GT((*store)->snapshot()->Total().count, 0.0);
 }
 
 }  // namespace

@@ -13,6 +13,9 @@
 //                         [--warmup-pct 50] [--shards N] [--seal-records N]
 //                         [--refine-bound B] [--algorithm fair_kd_tree]
 //                         [--auto-maintain] [--seal-interval S]
+//                         [--wal DIR] [--checkpoint-interval N]
+//                         [--fsync none|batch|always] [--retain-epochs K]
+//                         [--regions-out FILE]
 //
 // `run scenario.cfg` executes a declarative scenario file — a
 // multi-algorithm x multi-height x multi-seed sweep from one config (see
@@ -44,10 +47,25 @@
 // re-split columns then reflect background timing rather than a
 // deterministic per-batch schedule.
 //
+// With --wal DIR the stream is durable: every batch is write-ahead
+// logged and sealed state checkpointed into DIR (see service/wal.h and
+// service/checkpoint.h). When DIR already holds a checkpoint the command
+// RECOVERS instead of starting over — it replays the WAL tail and
+// resumes streaming at the first record the killed run never accepted,
+// which is what the crash-recovery CI lane exercises
+// (--crash-after-batches N raises SIGKILL mid-stream deterministically;
+// rerun, then diff the final region aggregates against an uninterrupted
+// reference). --fsync picks the stable-storage window
+// (none|batch|always), --checkpoint-interval N checkpoints every N
+// sealed epochs, --retain-epochs K bounds the sealed-snapshot history,
+// and --regions-out FILE writes the final per-region aggregates with
+// full double precision for exact diffing.
+//
 // `--csv` loads an EdGap-style extract (see data/csv_dataset.h for the
 // schema); otherwise the named synthetic city is generated.
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -66,6 +84,7 @@
 #include "fairness/disparity_report.h"
 #include "fairness/region_metrics.h"
 #include "index/partition_io.h"
+#include "service/checkpoint.h"
 #include "service/fair_index_service.h"
 
 namespace fairidx {
@@ -357,7 +376,21 @@ int CmdStream(const Flags& flags) {
   const long long seal_records = flags.GetInt("seal-records", 0);
   const bool auto_maintain = flags.Has("auto-maintain");
   const double seal_interval = flags.GetDouble("seal-interval", 0.0);
+  const std::string wal_dir = flags.Get("wal", "");
+  const int retain_epochs = flags.GetInt("retain-epochs", 0);
+  const int crash_after = flags.GetInt("crash-after-batches", 0);
   if (batch < 1) return Fail(InvalidArgumentError("--batch must be >= 1"));
+  if (crash_after < 0) {
+    return Fail(InvalidArgumentError("--crash-after-batches must be >= 0"));
+  }
+  if (crash_after > 0 && wal_dir.empty()) {
+    return Fail(InvalidArgumentError(
+        "--crash-after-batches needs --wal (a crash without a log is just "
+        "data loss)"));
+  }
+  if (retain_epochs < 0) {
+    return Fail(InvalidArgumentError("--retain-epochs must be >= 0"));
+  }
   if (warmup_pct < 1 || warmup_pct > 99) {
     return Fail(InvalidArgumentError("--warmup-pct must be in [1, 99]"));
   }
@@ -422,17 +455,54 @@ int CmdStream(const Flags& flags) {
     options.maintain.seal_interval_seconds = seal_interval;
     options.maintain.drift_bound =
         refine ? flags.GetDouble("refine-bound", 0.02) : -1.0;
+    options.maintain.retain_epochs = retain_epochs;
   }
-  auto service = FairIndexService::Create(dataset->grid(), warm, options);
-  if (!service.ok()) return Fail(service.status());
+  if (!wal_dir.empty()) {
+    options.durability.wal_dir = wal_dir;
+    options.durability.checkpoint_interval =
+        flags.GetInt("checkpoint-interval", 8);
+    auto fsync = ParseWalFsync(flags.Get("fsync", "batch"));
+    if (!fsync.ok()) return Fail(fsync.status());
+    options.durability.fsync = *fsync;
+  }
+
+  // Recover-or-create: a WAL directory that already holds a checkpoint
+  // means a previous run (possibly killed mid-stream) owns this state —
+  // rebuild that run's exact service and resume at the first record it
+  // never accepted.
+  Result<std::unique_ptr<FairIndexService>> service =
+      InternalError("unset");
+  size_t resume = warmup;
+  bool recovered = false;
+  if (!wal_dir.empty()) {
+    auto checkpoints = ListCheckpoints(wal_dir);
+    recovered = checkpoints.ok() && !checkpoints->empty();
+  }
+  if (recovered) {
+    service = FairIndexService::Recover(dataset->grid(), options);
+    if (!service.ok()) return Fail(service.status());
+    // Records stream in dataset order and every accepted record is
+    // logged exactly once, so the store's record count IS the resume
+    // position.
+    const long long accepted = (*service)->store().num_records();
+    resume = std::min(n, static_cast<size_t>(std::max(0LL, accepted)));
+    std::printf("recovered from %s: %lld records, epoch %lld, %zu regions "
+                "(resuming at record %zu)\n",
+                wal_dir.c_str(), accepted, (*service)->store().epoch(),
+                (*service)->regions()->size(), resume);
+  } else {
+    service = FairIndexService::Create(dataset->grid(), warm, options);
+    if (!service.ok()) return Fail(service.status());
+  }
 
   std::printf("streaming %zu records into a height-%d %s partition "
-              "(%zu regions, %zu warmup records, batch %d, %d shard%s%s%s)\n",
-              n - warmup, height, options.algorithm.c_str(),
+              "(%zu regions, %zu warmup records, batch %d, %d shard%s%s%s%s)\n",
+              n - resume, height, options.algorithm.c_str(),
               (*service)->regions()->size(), warmup, batch, shards,
               shards == 1 ? "" : "s",
               refine ? ", incremental refine on" : "",
-              auto_maintain ? ", background maintenance on" : "");
+              auto_maintain ? ", background maintenance on" : "",
+              wal_dir.empty() ? "" : ", durable");
   TablePrinter table({"batch", "records", "pending", "epoch", "regions",
                       "resplits", "region_ence"});
   const ShardedDeltaStore& store = (*service)->store();
@@ -444,12 +514,22 @@ int CmdStream(const Flags& flags) {
                 TablePrinter::FormatDouble(warm_ence.ence, 5)});
 
   int batch_index = 0;
-  for (size_t next = warmup; next < n;) {
+  for (size_t next = resume; next < n;) {
     const size_t end = std::min(n, next + static_cast<size_t>(batch));
     if (auto seq = (*service)->Ingest(all.Slice(next, end)); !seq.ok()) {
       return Fail(seq.status());
     }
     next = end;
+    if (crash_after > 0 && batch_index + 1 >= crash_after) {
+      // Crash-recovery testing: die the way a real crash does — SIGKILL
+      // runs no destructors, flushes no WAL buffer, writes no checkpoint.
+      // Placed after Ingest and before the seal so the newest batch is in
+      // the fsync=none group-commit buffer, the loss window recovery must
+      // tolerate (the rerun resumes from the clean prefix and re-sends).
+      std::fprintf(stderr, "crash-after-batches: SIGKILL after batch %d\n",
+                   batch_index + 1);
+      std::raise(SIGKILL);
+    }
     // Seal policy: fold once enough records are pending (0 = every
     // batch). MaybeRefine seals itself, then re-splits any subtree that
     // drifted past the bound on that sealed epoch. Under --auto-maintain
@@ -468,6 +548,7 @@ int CmdStream(const Flags& flags) {
           return Fail(sealed.status());
         }
       }
+      if (retain_epochs > 0) (*service)->ApplyRetention(retain_epochs);
     }
     const RegionEnceResult ence = RegionEnce((*service)->QueryRegions());
     table.AddRow({std::to_string(++batch_index),
@@ -486,12 +567,36 @@ int CmdStream(const Flags& flags) {
   if (auto sealed = (*service)->Seal(); !sealed.ok()) {
     return Fail(sealed.status());
   }
-  const RegionEnceResult final_ence = RegionEnce((*service)->QueryRegions());
+  const std::vector<RegionAggregate> final_regions =
+      (*service)->QueryRegions();
+  const RegionEnceResult final_ence = RegionEnce(final_regions);
   std::printf(
       "final: %lld records, %lld sealed epochs, %lld subtree re-splits, "
       "region ENCE %.5f\n",
       store.num_records(), store.epoch(), (*service)->total_resplits(),
       final_ence.ence);
+  if (flags.Has("regions-out")) {
+    // Full double precision (%.17g round-trips IEEE-754 exactly): the
+    // crash-recovery CI lane byte-diffs this file between a killed+
+    // recovered run and an uninterrupted reference.
+    const std::string out = flags.Get("regions-out");
+    std::ofstream file(out);
+    if (!file) return Fail(InternalError("cannot open " + out));
+    file << "region,count,sum_labels,sum_scores,sum_residuals,"
+            "sum_cell_abs_miscalibration\n";
+    char line[256];
+    for (size_t i = 0; i < final_regions.size(); ++i) {
+      const RegionAggregate& region = final_regions[i];
+      std::snprintf(line, sizeof(line),
+                    "%zu,%.17g,%.17g,%.17g,%.17g,%.17g\n", i, region.count,
+                    region.sum_labels, region.sum_scores,
+                    region.sum_residuals,
+                    region.sum_cell_abs_miscalibration);
+      file << line;
+    }
+    std::fprintf(stderr, "wrote %zu region aggregates to %s\n",
+                 final_regions.size(), out.c_str());
+  }
   return 0;
 }
 
@@ -512,6 +617,15 @@ int Usage() {
       "                fair_kd_tree|median_kd_tree|fair_quadtree\n"
       "                --auto-maintain (background seal/refine thread)\n"
       "                --seal-interval S (auto: wall-clock seal cadence)\n"
+      "                --wal DIR (durable: WAL + checkpoints; recovers\n"
+      "                and resumes when DIR already holds a checkpoint)\n"
+      "                --checkpoint-interval N --fsync none|batch|always\n"
+      "                --retain-epochs K (bound sealed-snapshot history)\n"
+      "                --regions-out FILE (final region aggregates,\n"
+      "                full precision, for exact diffing)\n"
+      "                --crash-after-batches N (testing: SIGKILL mid-\n"
+      "                stream after batch N; rerun with the same --wal\n"
+      "                to recover)\n"
       "  see the file header for the full reference\n");
   return 2;
 }
