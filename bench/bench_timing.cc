@@ -22,6 +22,8 @@
 #include "index/fair_kd_tree.h"
 #include "index/kd_tree_maintainer.h"
 #include "index/quadtree_maintainer.h"
+#include "service/fair_index_service.h"
+#include "service/point_lookup.h"
 #include "service/sharded_delta_store.h"
 #include "service/wal.h"
 
@@ -509,6 +511,78 @@ void BM_ShardedIngestThroughput(benchmark::State& state) {
   state.SetItemsProcessed(records);
 }
 BENCHMARK(BM_ShardedIngestThroughput)->Arg(1)->Arg(4);
+
+// --- Point-lookup read path: the serving front-end's latency claim. ---
+// One immutable PointLookupIndex snapshot answers "which region is this
+// point in, and what is its aggregate right now" in O(1) per point;
+// LookupMany amortizes the snapshot pin (one mutex-guarded shared_ptr
+// load) over a whole batch and keeps the flat cell-map loads back to
+// back. Both benches process the SAME 4096 points per iteration, so the
+// CI require-faster pair — one batched LookupMany call must beat 4096
+// single Lookup calls — compares equal work. The fixture reuses the
+// 256x256 ingest grid with every bench batch sealed in, served by a
+// height-8 Fair KD-tree FairIndexService.
+struct LookupFixture {
+  std::unique_ptr<FairIndexService> service;
+  std::vector<Point> points;
+};
+
+const LookupFixture& BenchLookup() {
+  static const LookupFixture* fixture = [] {
+    const IngestFixture& ingest = BenchIngest();
+    auto* f = new LookupFixture();
+    FairIndexServiceOptions options;
+    options.algorithm = "fair_kd_tree";
+    options.build.height = 8;
+    f->service = OrDie(
+        FairIndexService::Create(ingest.grid, ingest.warmup, options),
+        "FairIndexService::Create");
+    for (const AggregateBatch& batch : ingest.batches) {
+      if (!f->service->Ingest(batch).ok()) std::abort();
+    }
+    if (!f->service->Seal().ok()) std::abort();
+    const BoundingBox lo = ingest.grid.CellBounds(0, 0);
+    const BoundingBox hi = ingest.grid.CellBounds(ingest.grid.rows() - 1,
+                                                  ingest.grid.cols() - 1);
+    Rng rng(77);
+    constexpr int kPoints = 4096;
+    f->points.reserve(kPoints);
+    for (int i = 0; i < kPoints; ++i) {
+      f->points.push_back(Point{rng.Uniform(lo.min_x, hi.max_x),
+                                rng.Uniform(lo.min_y, hi.max_y)});
+    }
+    return f;
+  }();
+  return *fixture;
+}
+
+void BM_PointLookup(benchmark::State& state) {
+  const LookupFixture& f = BenchLookup();
+  int64_t points = 0;
+  for (auto _ : state) {
+    double count = 0.0;
+    for (const Point& p : f.points) {
+      count += f.service->Lookup(p).aggregate.count;
+    }
+    benchmark::DoNotOptimize(count);
+    points += static_cast<int64_t>(f.points.size());
+  }
+  state.SetItemsProcessed(points);
+}
+BENCHMARK(BM_PointLookup);
+
+void BM_LookupManyThroughput(benchmark::State& state) {
+  const LookupFixture& f = BenchLookup();
+  std::vector<PointLookupResult> out(f.points.size());
+  int64_t points = 0;
+  for (auto _ : state) {
+    f.service->LookupMany(f.points, out.data());
+    benchmark::DoNotOptimize(out.data());
+    points += static_cast<int64_t>(f.points.size());
+  }
+  state.SetItemsProcessed(points);
+}
+BENCHMARK(BM_LookupManyThroughput);
 
 // The durability tax: the same 4-writer sharded ingest with every batch
 // written through the WAL first. Arg encodes the fsync mode (0 = none,

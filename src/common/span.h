@@ -10,6 +10,7 @@
 #define FAIRIDX_COMMON_SPAN_H_
 
 #include <cstddef>
+#include <type_traits>
 #include <vector>
 
 namespace fairidx {
@@ -21,7 +22,9 @@ class Span {
  public:
   constexpr Span() : data_(nullptr), size_(0) {}
   constexpr Span(const T* data, size_t size) : data_(data), size_(size) {}
-  Span(const std::vector<T>& v)  // NOLINT(google-explicit-constructor)
+  // remove_cv_t: Span<const T> views a std::vector<T> (std::vector cannot
+  // hold const elements, but a const view over one is fine).
+  Span(const std::vector<std::remove_cv_t<T>>& v)  // NOLINT
       : data_(v.data()), size_(v.size()) {}
   template <size_t N>
   constexpr Span(const T (&array)[N])  // NOLINT(google-explicit-constructor)

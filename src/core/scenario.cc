@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <numeric>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "common/string_util.h"
@@ -115,6 +118,33 @@ Result<std::vector<PartitionAlgorithm>> ParseAlgorithms(
   return algorithms;
 }
 
+// Every key the if-chain in ParseInto accepts, including aliases, in the
+// chain's own order. Kept adjacent to the chain so an edit to one is an
+// edit to both; tests/serve_scenario_test.cc cross-checks this list
+// against the parser's actual behavior AND against the key table in
+// docs/scenario_reference.md, so neither the list nor the doc can rot.
+constexpr const char* kScenarioKeys[] = {
+    "include",         "name",
+    "city",            "csv",
+    "classifier",      "algorithms",
+    "algorithm",       "heights",
+    "height",          "seeds",
+    "seed",            "task",
+    "threads",         "test_fraction",
+    "min_region_population",
+    "workload",        "stream_batch",
+    "stream_shards",   "stream_refine_bound",
+    "stream_warmup_pct",
+    "stream_seal_records",
+    "maintain_policy", "seal_interval",
+    "drift_bound",     "wal_dir",
+    "checkpoint_interval",
+    "fsync",           "retain_epochs",
+    "serve_readers",   "serve_lookups",
+    "serve_batch",     "serve_read_pct",
+    "serve_zipf",
+};
+
 Status ParseInto(const std::string& text, const std::string& include_dir,
                  int depth, ScenarioConfig* config);
 
@@ -204,9 +234,11 @@ Status ParseInto(const std::string& text, const std::string& include_dir,
         config->workload = ScenarioWorkload::kPipeline;
       } else if (value == "stream") {
         config->workload = ScenarioWorkload::kStream;
+      } else if (value == "serve") {
+        config->workload = ScenarioWorkload::kServe;
       } else {
         status = InvalidArgumentError("unknown workload '" + value +
-                                      "' (expected pipeline|stream)");
+                                      "' (expected pipeline|stream|serve)");
       }
     } else if (key == "stream_batch") {
       auto batch = ParseInt(value);
@@ -260,6 +292,26 @@ Status ParseInto(const std::string& text, const std::string& include_dir,
       auto retain = ParseInt(value);
       if (retain.ok()) config->retain_epochs = *retain;
       status = retain.ok() ? Status::Ok() : retain.status();
+    } else if (key == "serve_readers") {
+      auto readers = ParseInt(value);
+      if (readers.ok()) config->serve_readers = *readers;
+      status = readers.ok() ? Status::Ok() : readers.status();
+    } else if (key == "serve_lookups") {
+      auto lookups = ParseInt(value);
+      if (lookups.ok()) config->serve_lookups = *lookups;
+      status = lookups.ok() ? Status::Ok() : lookups.status();
+    } else if (key == "serve_batch") {
+      auto batch = ParseInt(value);
+      if (batch.ok()) config->serve_batch = *batch;
+      status = batch.ok() ? Status::Ok() : batch.status();
+    } else if (key == "serve_read_pct") {
+      auto pct = ParseInt(value);
+      if (pct.ok()) config->serve_read_pct = *pct;
+      status = pct.ok() ? Status::Ok() : pct.status();
+    } else if (key == "serve_zipf") {
+      auto zipf = ParseDouble(value);
+      if (zipf.ok()) config->serve_zipf = *zipf;
+      status = zipf.ok() ? Status::Ok() : zipf.status();
     } else {
       status = InvalidArgumentError("unknown scenario key '" + key + "'");
     }
@@ -306,23 +358,28 @@ Status ValidateScenario(const ScenarioConfig& config) {
     return InvalidArgumentError(
         "scenario: stream_seal_records must be >= 0");
   }
-  if (config.workload == ScenarioWorkload::kStream &&
-      config.min_region_population > 0.0) {
-    // The stream workload has no region-merging post-process; silently
+  // The stream and serve workloads both drive the serving layer; the
+  // keys below are meaningful for either and typos for pipeline.
+  const bool serving_workload =
+      config.workload == ScenarioWorkload::kStream ||
+      config.workload == ScenarioWorkload::kServe;
+  if (serving_workload && config.min_region_population > 0.0) {
+    // The serving layer has no region-merging post-process; silently
     // dropping the key would violate the engine's typo-proof stance.
     return InvalidArgumentError(
         "scenario: min_region_population is not supported with "
-        "workload = stream");
+        "workload = stream or serve");
   }
   if (config.seal_interval < 0.0) {
     return InvalidArgumentError("scenario: seal_interval must be >= 0");
   }
   if (config.maintain_policy == ScenarioMaintainPolicy::kAuto &&
-      config.workload != ScenarioWorkload::kStream) {
+      !serving_workload) {
     // Background maintenance only exists on the serving path; silently
     // ignoring the key on a pipeline sweep would hide the typo.
     return InvalidArgumentError(
-        "scenario: maintain_policy = auto requires workload = stream");
+        "scenario: maintain_policy = auto requires workload = stream "
+        "or serve");
   }
   if (config.seal_interval > 0.0 &&
       config.maintain_policy != ScenarioMaintainPolicy::kAuto) {
@@ -330,12 +387,11 @@ Status ValidateScenario(const ScenarioConfig& config) {
         "scenario: seal_interval requires maintain_policy = auto (the "
         "caller loop seals by stream_seal_records)");
   }
-  if (!config.wal_dir.empty() &&
-      config.workload != ScenarioWorkload::kStream) {
+  if (!config.wal_dir.empty() && !serving_workload) {
     // Durability only exists on the serving path; dropping the key on a
     // pipeline sweep would hide the typo.
     return InvalidArgumentError(
-        "scenario: wal_dir requires workload = stream");
+        "scenario: wal_dir requires workload = stream or serve");
   }
   if (!ParseWalFsync(config.fsync).ok()) {
     return InvalidArgumentError("scenario: unknown fsync '" + config.fsync +
@@ -344,10 +400,40 @@ Status ValidateScenario(const ScenarioConfig& config) {
   if (config.retain_epochs < 0) {
     return InvalidArgumentError("scenario: retain_epochs must be >= 0");
   }
+  if (config.workload == ScenarioWorkload::kServe &&
+      config.maintain_policy != ScenarioMaintainPolicy::kAuto) {
+    // Serve workers never seal or refine — without the background
+    // scheduler nothing would, and lookups would serve epoch 0 forever.
+    return InvalidArgumentError(
+        "scenario: workload = serve requires maintain_policy = auto "
+        "(the background scheduler owns maintenance; workers only "
+        "look up and ingest)");
+  }
+  if (config.serve_readers < 1) {
+    return InvalidArgumentError("scenario: serve_readers must be >= 1");
+  }
+  if (config.serve_lookups < 1) {
+    return InvalidArgumentError("scenario: serve_lookups must be >= 1");
+  }
+  if (config.serve_batch < 1) {
+    return InvalidArgumentError("scenario: serve_batch must be >= 1");
+  }
+  if (config.serve_read_pct < 1 || config.serve_read_pct > 100) {
+    return InvalidArgumentError(
+        "scenario: serve_read_pct must be in [1, 100]");
+  }
+  if (config.serve_zipf < 0.0) {
+    return InvalidArgumentError("scenario: serve_zipf must be >= 0");
+  }
   return Status::Ok();
 }
 
 }  // namespace
+
+std::vector<std::string> ScenarioKeyNames() {
+  return std::vector<std::string>(std::begin(kScenarioKeys),
+                                  std::end(kScenarioKeys));
+}
 
 Result<ScenarioConfig> ParseScenarioText(const std::string& text,
                                          const std::string& include_dir) {
@@ -422,16 +508,21 @@ Result<ScenarioRow> RunOnePipelinePoint(const ScenarioConfig& config,
   return row;
 }
 
-// One serving-layer sweep point: one model fit scores every record, a
-// warmup prefix builds the maintained partition, and the tail streams
-// through a FairIndexService (ingest batches, epoch seals, drift-bounded
-// refines) — the scenario-file form of `fairidx_cli stream`. With
-// maintain_policy = auto the service's background scheduler owns the
-// seal/refine cadence and the loop below only ingests.
-Result<ScenarioStreamRow> RunOneStreamPoint(const ScenarioConfig& config,
-                                            const Dataset& dataset,
-                                            const Classifier& prototype,
-                                            const ScenarioRun& run) {
+// The shared stream/serve preamble: one model fit scores every record,
+// and the record stream splits into a warmup prefix (builds the initial
+// partition) and the ingest tail.
+struct StreamFeed {
+  AggregateBatch all;
+  /// Records in the warmup prefix ([0, warmup) of `all`).
+  size_t warmup = 0;
+  /// Total records (== all.cell_ids.size()).
+  size_t total = 0;
+};
+
+Result<StreamFeed> MakeStreamFeed(const ScenarioConfig& config,
+                                  const Dataset& dataset,
+                                  const Classifier& prototype,
+                                  const ScenarioRun& run) {
   if (config.task < 0 || config.task >= dataset.num_tasks()) {
     return InvalidArgumentError("scenario: task out of range for dataset");
   }
@@ -443,67 +534,91 @@ Result<ScenarioStreamRow> RunOneStreamPoint(const ScenarioConfig& config,
   FAIRIDX_ASSIGN_OR_RETURN(
       TrainedEvaluation trained,
       TrainOnBaseGrid(dataset, split, prototype, EvalOptions{}));
+  StreamFeed feed;
+  feed.all.cell_ids = dataset.base_cells();
+  feed.all.labels = dataset.labels(config.task);
+  feed.all.scores = trained.scores;
+  feed.total = dataset.num_records();
+  feed.warmup = std::max<size_t>(
+      1, feed.total * static_cast<size_t>(config.stream_warmup_pct) / 100);
+  return feed;
+}
 
-  AggregateBatch all;
-  all.cell_ids = dataset.base_cells();
-  all.labels = dataset.labels(config.task);
-  all.scores = trained.scores;
-  const size_t n = dataset.num_records();
-  const size_t warmup = std::max<size_t>(
-      1, n * static_cast<size_t>(config.stream_warmup_pct) / 100);
-  const AggregateBatch warm = all.Slice(0, warmup);
-
-  FairIndexServiceOptions service_options;
-  service_options.algorithm = PartitionAlgorithmName(run.algorithm);
-  service_options.build.height = run.height;
-  service_options.build.task = config.task;
-  service_options.build.num_threads = config.threads;
-  service_options.store.num_shards = config.stream_shards;
-  service_options.store.num_threads = config.threads;
-  service_options.refine.drift_bound = config.stream_refine_bound;
+// The FairIndexService configuration both serving workloads share: the
+// sweep point's build/store/refine knobs, the per-point WAL
+// subdirectory, and the maintain_policy = auto scheduler mapping.
+Result<FairIndexServiceOptions> MakeServiceOptions(
+    const ScenarioConfig& config, const ScenarioRun& run) {
+  FairIndexServiceOptions options;
+  options.algorithm = PartitionAlgorithmName(run.algorithm);
+  options.build.height = run.height;
+  options.build.task = config.task;
+  options.build.num_threads = config.threads;
+  options.store.num_shards = config.stream_shards;
+  options.store.num_threads = config.threads;
+  options.refine.drift_bound = config.stream_refine_bound;
   if (!config.wal_dir.empty()) {
     // One subdirectory per sweep point: concurrent points must never
     // interleave their logs.
-    service_options.durability.wal_dir =
+    options.durability.wal_dir =
         config.wal_dir + "/" + PartitionAlgorithmName(run.algorithm) +
         "-h" + std::to_string(run.height) + "-s" +
         std::to_string(run.seed);
-    service_options.durability.checkpoint_interval =
-        config.checkpoint_interval;
-    FAIRIDX_ASSIGN_OR_RETURN(service_options.durability.fsync,
+    options.durability.checkpoint_interval = config.checkpoint_interval;
+    FAIRIDX_ASSIGN_OR_RETURN(options.durability.fsync,
                              ParseWalFsync(config.fsync));
   }
-  const bool refine = config.stream_refine_bound >= 0.0;
-  const bool auto_maintain =
-      config.maintain_policy == ScenarioMaintainPolicy::kAuto;
-  if (auto_maintain) {
-    service_options.auto_maintain = true;
+  if (config.maintain_policy == ScenarioMaintainPolicy::kAuto) {
+    options.auto_maintain = true;
     // stream_seal_records = 0 means "every batch" in caller mode; for
     // the scheduler that is a 1-record cadence — unless seal_interval
     // was given, in which case 0 disables the record cadence so the
     // wall clock alone governs (interval-only policies stay
     // expressible).
-    service_options.maintain.seal_records =
+    options.maintain.seal_records =
         config.stream_seal_records > 0
             ? config.stream_seal_records
             : (config.seal_interval > 0.0 ? 0 : 1);
-    service_options.maintain.seal_interval_seconds = config.seal_interval;
-    service_options.maintain.drift_bound =
-        refine ? config.stream_refine_bound : -1.0;
-    service_options.maintain.poll_interval_seconds = 0.002;
-    service_options.maintain.retain_epochs = config.retain_epochs;
+    options.maintain.seal_interval_seconds = config.seal_interval;
+    options.maintain.drift_bound = config.stream_refine_bound >= 0.0
+                                       ? config.stream_refine_bound
+                                       : -1.0;
+    options.maintain.poll_interval_seconds = 0.002;
+    options.maintain.retain_epochs = config.retain_epochs;
   }
+  return options;
+}
+
+// One serving-layer sweep point: one model fit scores every record, a
+// warmup prefix builds the maintained partition, and the tail streams
+// through a FairIndexService (ingest batches, epoch seals, drift-bounded
+// refines) — the scenario-file form of `fairidx_cli stream`. With
+// maintain_policy = auto the service's background scheduler owns the
+// seal/refine cadence and the loop below only ingests.
+Result<ScenarioStreamRow> RunOneStreamPoint(const ScenarioConfig& config,
+                                            const Dataset& dataset,
+                                            const Classifier& prototype,
+                                            const ScenarioRun& run) {
+  FAIRIDX_ASSIGN_OR_RETURN(StreamFeed feed,
+                           MakeStreamFeed(config, dataset, prototype, run));
+  FAIRIDX_ASSIGN_OR_RETURN(FairIndexServiceOptions service_options,
+                           MakeServiceOptions(config, run));
+  const bool refine = config.stream_refine_bound >= 0.0;
+  const bool auto_maintain =
+      config.maintain_policy == ScenarioMaintainPolicy::kAuto;
 
   const auto start = std::chrono::steady_clock::now();
   FAIRIDX_ASSIGN_OR_RETURN(
       std::unique_ptr<FairIndexService> service,
-      FairIndexService::Create(dataset.grid(), warm, service_options));
+      FairIndexService::Create(dataset.grid(),
+                               feed.all.Slice(0, feed.warmup),
+                               service_options));
 
-  for (size_t next = warmup; next < n;) {
-    const size_t end =
-        std::min(n, next + static_cast<size_t>(config.stream_batch));
+  for (size_t next = feed.warmup; next < feed.total;) {
+    const size_t end = std::min(
+        feed.total, next + static_cast<size_t>(config.stream_batch));
     FAIRIDX_RETURN_IF_ERROR(
-        service->Ingest(all.Slice(next, end)).status());
+        service->Ingest(feed.all.Slice(next, end)).status());
     next = end;
     if (auto_maintain) continue;  // The background scheduler maintains.
     if (service->store().pending_records() >= config.stream_seal_records) {
@@ -534,6 +649,202 @@ Result<ScenarioStreamRow> RunOneStreamPoint(const ScenarioConfig& config,
   row.final_ence = RegionEnce(final_regions).ence;
   row.stream_seconds =
       std::chrono::duration<double>(elapsed).count();
+  return row;
+}
+
+// Percentile of an ASCENDING sample vector with linear interpolation
+// between the two nearest ranks (the methodology docs/benchmarking.md
+// describes; empty input yields 0).
+double PercentileUs(const std::vector<double>& sorted, double pct) {
+  if (sorted.empty()) return 0.0;
+  const double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(sorted.size() - 1, lo + 1);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * (rank - lo);
+}
+
+// Pre-generates `count` lookup points with Zipf-skewed cell popularity:
+// hotness ranks are a seed-deterministic shuffle of the cells, rank r is
+// drawn with probability proportional to 1/(r+1)^s through an
+// inverse-CDF table, and each point lands uniformly inside its cell.
+// s = 0 degenerates to uniform cells. Points are generated BEFORE the
+// timed loop so the measurement covers the lookup, not the generator.
+std::vector<Point> MakeZipfPoints(const Grid& grid, double s,
+                                  long long count, Rng& rng) {
+  const int cells = grid.num_cells();
+  std::vector<double> cdf(static_cast<size_t>(cells));
+  double total = 0.0;
+  for (int r = 0; r < cells; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf[static_cast<size_t>(r)] = total;
+  }
+  std::vector<int> rank_to_cell(static_cast<size_t>(cells));
+  std::iota(rank_to_cell.begin(), rank_to_cell.end(), 0);
+  rng.Shuffle(rank_to_cell);
+  std::vector<Point> points;
+  points.reserve(static_cast<size_t>(count));
+  for (long long i = 0; i < count; ++i) {
+    const double u = rng.NextDouble() * total;
+    const size_t rank = std::min(
+        static_cast<size_t>(cells - 1),
+        static_cast<size_t>(std::lower_bound(cdf.begin(), cdf.end(), u) -
+                            cdf.begin()));
+    const int cell = rank_to_cell[rank];
+    const BoundingBox box =
+        grid.CellBounds(grid.RowOfCell(cell), grid.ColOfCell(cell));
+    points.push_back(Point{rng.Uniform(box.min_x, box.max_x),
+                           rng.Uniform(box.min_y, box.max_y)});
+  }
+  return points;
+}
+
+// One serve worker's pre-built traffic and its measurements.
+struct ServeWorker {
+  /// Pre-generated lookup points (serve_lookups of them).
+  std::vector<Point> points;
+  /// This worker's round-robin share of the ingest tail.
+  std::vector<AggregateBatch> write_batches;
+  /// Steady-state LookupMany call latencies (first 10% of calls are
+  /// cache/JIT warmup and excluded).
+  std::vector<double> latencies_us;
+  long long lookups = 0;
+  Status status = Status::Ok();
+};
+
+// One serve sweep point: the stream preamble builds the service
+// (maintain_policy = auto, so the background scheduler owns seals and
+// refines), then serve_readers threads run a closed-loop mix of batched
+// point lookups and tail ingest against it. Closed loop: each worker
+// keeps exactly one operation in flight, so a slow lookup delays only
+// that worker's next send — the latency histogram measures service
+// time without the coordinated-omission distortion an open-loop
+// generator would need correcting for (see docs/benchmarking.md).
+Result<ScenarioServeRow> RunOneServePoint(const ScenarioConfig& config,
+                                          const Dataset& dataset,
+                                          const Classifier& prototype,
+                                          const ScenarioRun& run) {
+  FAIRIDX_ASSIGN_OR_RETURN(StreamFeed feed,
+                           MakeStreamFeed(config, dataset, prototype, run));
+  FAIRIDX_ASSIGN_OR_RETURN(FairIndexServiceOptions service_options,
+                           MakeServiceOptions(config, run));
+  FAIRIDX_ASSIGN_OR_RETURN(
+      std::unique_ptr<FairIndexService> service,
+      FairIndexService::Create(dataset.grid(),
+                               feed.all.Slice(0, feed.warmup),
+                               service_options));
+
+  // Everything random or allocation-heavy happens BEFORE the clock.
+  const int workers = config.serve_readers;
+  std::vector<ServeWorker> state(static_cast<size_t>(workers));
+  std::vector<Rng> coins;
+  coins.reserve(static_cast<size_t>(workers));
+  Rng base(run.seed);
+  for (int w = 0; w < workers; ++w) {
+    Rng point_rng = base.Fork(static_cast<uint64_t>(2 * w + 1));
+    state[static_cast<size_t>(w)].points = MakeZipfPoints(
+        dataset.grid(), config.serve_zipf, config.serve_lookups, point_rng);
+    coins.push_back(base.Fork(static_cast<uint64_t>(2 * w + 2)));
+  }
+  {
+    // Round-robin the ingest tail across workers: every record is owned
+    // by exactly one thread and drained even if its coin never says
+    // "write", so the final record count is deterministic.
+    size_t next = feed.warmup;
+    int w = 0;
+    while (next < feed.total) {
+      const size_t end = std::min(
+          feed.total, next + static_cast<size_t>(config.stream_batch));
+      state[static_cast<size_t>(w % workers)].write_batches.push_back(
+          feed.all.Slice(next, end));
+      next = end;
+      ++w;
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w]() {
+      ServeWorker& me = state[static_cast<size_t>(w)];
+      Rng& coin = coins[static_cast<size_t>(w)];
+      const size_t batch = static_cast<size_t>(config.serve_batch);
+      const size_t calls = (me.points.size() + batch - 1) / batch;
+      const size_t warmup_calls = calls / 10;
+      std::vector<PointLookupResult> out(batch);
+      size_t write_next = 0;
+      size_t call = 0;
+      for (size_t off = 0; off < me.points.size();) {
+        const bool write =
+            write_next < me.write_batches.size() &&
+            static_cast<int>(coin.NextBounded(100)) >= config.serve_read_pct;
+        if (write) {
+          Result<long long> seq =
+              service->Ingest(std::move(me.write_batches[write_next]));
+          if (!seq.ok()) {
+            me.status = seq.status();
+            return;
+          }
+          ++write_next;
+          continue;
+        }
+        const size_t len = std::min(batch, me.points.size() - off);
+        const auto t0 = std::chrono::steady_clock::now();
+        service->LookupMany(Span<Point>(me.points.data() + off, len),
+                            out.data());
+        const auto t1 = std::chrono::steady_clock::now();
+        if (call >= warmup_calls) {
+          me.latencies_us.push_back(
+              std::chrono::duration<double, std::micro>(t1 - t0).count());
+        }
+        ++call;
+        me.lookups += static_cast<long long>(len);
+        off += len;
+      }
+      // Drain the leftover tail share.
+      for (; write_next < me.write_batches.size(); ++write_next) {
+        Result<long long> seq =
+            service->Ingest(std::move(me.write_batches[write_next]));
+        if (!seq.ok()) {
+          me.status = seq.status();
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  // Quiesce (join any in-flight maintenance pass), seal the tail, then
+  // audit the final published state.
+  service->StopMaintenance();
+  FAIRIDX_RETURN_IF_ERROR(service->Seal().status());
+  std::vector<double> latencies;
+  long long lookups = 0;
+  for (ServeWorker& worker : state) {
+    FAIRIDX_RETURN_IF_ERROR(worker.status);
+    lookups += worker.lookups;
+    latencies.insert(latencies.end(), worker.latencies_us.begin(),
+                     worker.latencies_us.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const std::vector<RegionAggregate> final_regions = service->QueryRegions();
+
+  ScenarioServeRow row;
+  row.run = run;
+  row.regions = static_cast<int>(final_regions.size());
+  row.records = service->store().num_records();
+  row.epochs = service->store().epoch();
+  row.resplits = service->total_resplits();
+  row.lookups = lookups;
+  row.serve_seconds = std::chrono::duration<double>(elapsed).count();
+  row.read_qps = row.serve_seconds > 0.0
+                     ? static_cast<double>(lookups) / row.serve_seconds
+                     : 0.0;
+  row.p50_us = PercentileUs(latencies, 50.0);
+  row.p95_us = PercentileUs(latencies, 95.0);
+  row.p99_us = PercentileUs(latencies, 99.0);
+  row.final_ence = RegionEnce(final_regions).ence;
   return row;
 }
 
@@ -571,7 +882,14 @@ Result<ScenarioReport> RunScenario(const ScenarioConfig& config,
   const std::vector<ScenarioRun> runs = ExpandScenario(config);
   ScenarioReport report;
   report.workload = config.workload;
-  if (config.workload == ScenarioWorkload::kStream) {
+  if (config.workload == ScenarioWorkload::kServe) {
+    FAIRIDX_ASSIGN_OR_RETURN(
+        report.serve_rows,
+        (RunSweepPoints<ScenarioServeRow>(
+            config, runs, [&](const ScenarioRun& run) {
+              return RunOneServePoint(config, dataset, *prototype, run);
+            })));
+  } else if (config.workload == ScenarioWorkload::kStream) {
     FAIRIDX_ASSIGN_OR_RETURN(
         report.stream_rows,
         (RunSweepPoints<ScenarioStreamRow>(

@@ -24,6 +24,7 @@
 //   test_fraction = 0.25
 //   min_region_population = 0       region-merging post-process
 //   workload = pipeline | stream    what each sweep point executes
+//            | serve
 //   stream_batch = 500              stream: records per ingest batch
 //   stream_shards = 4               stream: ShardedDeltaStore shards
 //   stream_refine_bound = 0.02      stream: drift bound (< 0: no refine)
@@ -59,19 +60,42 @@
 //                                   keep only the newest N sealed
 //                                   snapshots (+ reader-pinned ones);
 //                                   0 keeps the full history
+//   serve_readers = 2               serve: concurrent worker threads
+//                                   issuing mixed lookup/ingest traffic
+//                                   against the live service
+//   serve_lookups = 50000           serve: lookup points per worker
+//   serve_batch = 64                serve: points per LookupMany call
+//                                   (one latency sample per call)
+//   serve_read_pct = 90             serve: percent of worker operations
+//                                   that are lookup batches; the rest
+//                                   ingest the stream tail (always fully
+//                                   drained, whatever the coin flips)
+//   serve_zipf = 0.99               serve: Zipf exponent for hot-cell
+//                                   skew in the lookup points (0 draws
+//                                   cells uniformly)
 //
 // Unknown keys are errors (typos should not silently no-op). With the
 // default `workload = pipeline`, every run in the expansion is one
 // RunPipeline call; `workload = stream` instead drives each sweep point
 // through the concurrent serving layer (service/fair_index_service.h):
 // warmup build, batched ingest, epoch seals and drift-bounded refines.
+// `workload = serve` layers the read path on top of stream: after the
+// warmup build, serve_readers worker threads run a closed-loop mix of
+// batched point lookups (FairIndexService::LookupMany against the
+// published PointLookupIndex snapshot) and tail ingest while the
+// service's background scheduler seals and refines — it requires
+// maintain_policy = auto — and the row reports p50/p95/p99 LookupMany
+// latency plus aggregate lookup QPS (the first 10% of each worker's
+// lookup calls are treated as warmup and excluded from the percentiles).
 // Independent sweep points execute on the shared ThreadPool (up to
 // `threads` at once); rows always come back in height-major,
 // algorithm-minor, seed-innermost order, bit-identical at any thread
-// count — EXCEPT under `maintain_policy = auto`, where epoch/resplit
-// counts (and hence final_ence) depend on background-thread timing by
-// design: the scenario then exercises the hands-off serving story, not a
-// reproducible measurement.
+// count — EXCEPT under `maintain_policy = auto` (and therefore under
+// every serve run), where epoch/resplit counts (and hence final_ence,
+// and all serve latency/QPS numbers) depend on background-thread timing
+// by design: the scenario then exercises the hands-off serving story,
+// not a reproducible measurement. Serve record and lookup counts stay
+// deterministic.
 
 #ifndef FAIRIDX_CORE_SCENARIO_H_
 #define FAIRIDX_CORE_SCENARIO_H_
@@ -94,6 +118,11 @@ enum class ScenarioWorkload {
   /// The serving layer: warmup build + batched ingest through a
   /// FairIndexService per sweep point.
   kStream,
+  /// The read path: warmup build, then concurrent worker threads mixing
+  /// batched point lookups with tail ingest against the live service
+  /// while the background scheduler maintains (requires maintain_policy
+  /// = auto). Reports lookup latency percentiles and QPS.
+  kServe,
 };
 
 /// Who runs stream-workload maintenance.
@@ -146,7 +175,26 @@ struct ScenarioConfig {
   /// Sealed-snapshot history bound applied after each maintenance pass
   /// (0 disables retention).
   int retain_epochs = 0;
+  /// Serving keys (used only when workload == kServe, which also uses
+  /// the stream_* ingest keys and requires maintain_policy = auto).
+  /// Concurrent worker threads issuing mixed lookup/ingest traffic.
+  int serve_readers = 2;
+  /// Lookup points per worker thread.
+  long long serve_lookups = 50000;
+  /// Points per LookupMany call (one latency sample per call).
+  int serve_batch = 64;
+  /// Percent of worker operations that are lookup batches (the rest
+  /// ingest the stream tail; leftovers drain after the lookups finish).
+  int serve_read_pct = 90;
+  /// Zipf exponent for hot-cell skew in lookup points (0 = uniform).
+  double serve_zipf = 0.99;
 };
+
+/// Every config key the scenario parser accepts, including aliases, in
+/// the parser's own order. docs/scenario_reference.md documents exactly
+/// this list; tests/serve_scenario_test.cc enforces that both the doc
+/// table and the parser's accepted set match it, so neither can rot.
+std::vector<std::string> ScenarioKeyNames();
 
 /// One point of the expanded sweep.
 struct ScenarioRun {
@@ -199,12 +247,43 @@ struct ScenarioStreamRow {
   double stream_seconds = 0.0;
 };
 
+/// One serving sweep point's results (workload = serve). Latency and
+/// QPS numbers are timing-dependent by design (see the header comment);
+/// `records` and `lookups` are deterministic.
+struct ScenarioServeRow {
+  ScenarioRun run;
+  /// Final published partition size.
+  int regions = 0;
+  /// Records streamed (warmup + everything the workers ingested).
+  long long records = 0;
+  /// Sealed epochs over the run.
+  long long epochs = 0;
+  /// Subtree re-splits published by background maintenance.
+  long long resplits = 0;
+  /// Lookup points answered across all workers (warmup calls included).
+  long long lookups = 0;
+  /// lookups / serve_seconds.
+  double read_qps = 0.0;
+  /// LookupMany call latency percentiles in microseconds, over the
+  /// steady-state window (first 10% of each worker's calls excluded).
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  /// Wall-clock seconds of the mixed-traffic phase (excludes the model
+  /// fit, warmup build and workload pre-generation).
+  double serve_seconds = 0.0;
+  /// Region ENCE of the final partition on the final sealed epoch.
+  double final_ence = 0.0;
+};
+
 /// A finished scenario execution. `rows` is filled for the pipeline
-/// workload, `stream_rows` for the stream workload; both in sweep order.
+/// workload, `stream_rows` for the stream workload, `serve_rows` for the
+/// serve workload; all in sweep order.
 struct ScenarioReport {
   ScenarioWorkload workload = ScenarioWorkload::kPipeline;
   std::vector<ScenarioRow> rows;
   std::vector<ScenarioStreamRow> stream_rows;
+  std::vector<ScenarioServeRow> serve_rows;
 };
 
 /// Executes every expanded run against `dataset`, dispatching on

@@ -144,6 +144,18 @@ std::vector<int> Partition::RegionSizes() const {
   return sizes;
 }
 
+Span<const uint32_t> Partition::CellRegionIds() const {
+  // int and uint32_t are layout-compatible same-width integer types here
+  // (every platform fairidx targets); accessing an int object through an
+  // unsigned-variant lvalue is defined, and ids are non-negative, so the
+  // values read back unchanged.
+  static_assert(sizeof(int) == sizeof(uint32_t),
+                "Partition: cell map reinterpretation needs 32-bit int");
+  return Span<const uint32_t>(
+      reinterpret_cast<const uint32_t*>(cell_to_region_.data()),
+      cell_to_region_.size());
+}
+
 bool Partition::IsRefinedBy(const Partition& finer) const {
   if (finer.num_cells() != num_cells()) return false;
   // Each finer region must map into exactly one coarse region.

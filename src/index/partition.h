@@ -8,9 +8,11 @@
 #ifndef FAIRIDX_INDEX_PARTITION_H_
 #define FAIRIDX_INDEX_PARTITION_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/result.h"
+#include "common/span.h"
 #include "geo/grid.h"
 #include "geo/rect.h"
 
@@ -44,6 +46,15 @@ class Partition {
   int num_cells() const { return static_cast<int>(cell_to_region_.size()); }
   int RegionOfCell(int cell) const { return cell_to_region_[cell]; }
   const std::vector<int>& cell_to_region() const { return cell_to_region_; }
+
+  /// The cell map as row-major unsigned 32-bit region ids, viewing the SAME
+  /// storage as cell_to_region() — no copy, no re-derivation. Region ids
+  /// are always in [0, num_regions), so the signed/unsigned reinterpretation
+  /// is value-preserving; the serving layer's PointLookupIndex serves point
+  /// lookups straight off this view instead of re-running the FromRects
+  /// cell-assignment loop (tests/point_lookup_test.cc pins the pointer
+  /// identity).
+  Span<const uint32_t> CellRegionIds() const;
 
   /// Cells of each region, in cell-id order.
   std::vector<std::vector<int>> RegionCells() const;

@@ -9,11 +9,12 @@
 namespace fairidx {
 
 FairIndexService::FairIndexService(
-    FairIndexServiceOptions options,
+    const Grid& grid, FairIndexServiceOptions options,
     std::unique_ptr<WalWriter> wal,
     std::unique_ptr<ShardedDeltaStore> store,
     std::unique_ptr<Partitioner> partitioner)
-    : options_(std::move(options)),
+    : grid_(grid),
+      options_(std::move(options)),
       wal_(std::move(wal)),
       store_(std::move(store)),
       partitioner_(std::move(partitioner)) {}
@@ -67,13 +68,19 @@ Result<std::unique_ptr<FairIndexService>> FairIndexService::Create(
   // The initial partition keys off sealed epoch 0, exactly like every
   // later refine keys off the epoch it seals.
   std::shared_ptr<const GridAggregates> epoch0 = store->snapshot();
-  FAIRIDX_ASSIGN_OR_RETURN(
-      const PartitionResult* built,
-      partitioner->BuildFromAggregates(grid, *epoch0, options.build));
+  FAIRIDX_RETURN_IF_ERROR(
+      partitioner->BuildFromAggregates(grid, *epoch0, options.build)
+          .status());
   std::unique_ptr<FairIndexService> service(
-      new FairIndexService(options, std::move(wal), std::move(store),
+      new FairIndexService(grid, options, std::move(wal), std::move(store),
                            std::move(partitioner)));
-  service->PublishRegions(built->regions);
+  {
+    // First publication: the epoch-0 partition paired with the epoch-0
+    // snapshot it was built from. lookup() is never null afterwards.
+    std::lock_guard<std::mutex> lock(service->maintain_mutex_);
+    FAIRIDX_RETURN_IF_ERROR(service->PublishMaintainedLocked(
+        *epoch0, service->store_->epoch(), /*partition_changed=*/true));
+  }
   if (service->wal_ != nullptr) {
     // The epoch-0 checkpoint carries the warmup state, so recovery never
     // needs the warmup records themselves.
@@ -148,11 +155,19 @@ Result<std::unique_ptr<FairIndexService>> FairIndexService::Recover(
                                  checkpoint.epoch,
                                  checkpoint.sealed_records, store_options));
   std::unique_ptr<FairIndexService> service(
-      new FairIndexService(options, std::move(wal), std::move(store),
+      new FairIndexService(grid, options, std::move(wal), std::move(store),
                            std::move(partitioner)));
   service->total_resplits_ = checkpoint.total_resplits;
   service->last_checkpoint_epoch_ = checkpoint.epoch;
-  service->PublishRegions(checkpoint.regions);
+  {
+    // Publish the checkpointed partition (now the restored maintained
+    // partition) paired with the restored sealed snapshot — the same
+    // (partition, epoch) pair the uninterrupted run was serving.
+    std::lock_guard<std::mutex> lock(service->maintain_mutex_);
+    FAIRIDX_RETURN_IF_ERROR(service->PublishMaintainedLocked(
+        *service->store_->snapshot(), checkpoint.epoch,
+        /*partition_changed=*/true));
+  }
   FAIRIDX_RETURN_IF_ERROR(
       service->ReplayWalTail(segments, checkpoint.epoch));
   // A fresh durable cut: everything replayed now lives in this checkpoint
@@ -240,6 +255,17 @@ Result<long long> FairIndexService::Ingest(AggregateBatch batch) {
 
 Result<long long> FairIndexService::Seal() {
   FAIRIDX_ASSIGN_OR_RETURN(SealedEpoch sealed, store_->Seal());
+  {
+    // Refresh the lookup snapshot's aggregates to the epoch this seal
+    // published (partition unchanged). Taken AFTER the store's seal lock
+    // is released, so the durability/maintain nesting is preserved; the
+    // maintain lock orders this against refines, and the epoch guard in
+    // PublishMaintainedLocked drops the refresh if a racing refine
+    // already published a newer epoch.
+    std::lock_guard<std::mutex> lock(maintain_mutex_);
+    FAIRIDX_RETURN_IF_ERROR(PublishMaintainedLocked(
+        *sealed.snapshot, sealed.epoch, /*partition_changed=*/false));
+  }
   FAIRIDX_RETURN_IF_ERROR(MaybeCheckpoint());
   return sealed.epoch;
 }
@@ -261,6 +287,27 @@ std::vector<RegionAggregate> FairIndexService::QueryRegions() const {
 std::vector<RegionAggregate> FairIndexService::Query(
     Span<CellRect> rects) const {
   return store_->QueryMany(rects);
+}
+
+std::shared_ptr<const PointLookupIndex> FairIndexService::lookup() const {
+  std::lock_guard<std::mutex> lock(regions_mutex_);
+  return lookup_;
+}
+
+PointLookupResult FairIndexService::Lookup(const Point& p) const {
+  return lookup()->Lookup(p);
+}
+
+void FairIndexService::LookupMany(Span<Point> points,
+                                  PointLookupResult* out) const {
+  // One snapshot pin for the whole batch: every answer comes from the
+  // same partition and sealed epoch, whatever publishes meanwhile.
+  lookup()->LookupMany(points, out);
+}
+
+std::vector<PointLookupResult> FairIndexService::LookupMany(
+    Span<Point> points) const {
+  return lookup()->LookupMany(points);
 }
 
 Result<ServiceRefineResult> FairIndexService::MaybeRefine(
@@ -286,8 +333,14 @@ Result<ServiceRefineResult> FairIndexService::MaybeRefine(
                              partitioner_->Refine(*sealed.snapshot, options));
     if (out.stats.changed) {
       total_resplits_ += out.stats.subtrees_rebuilt;
-      PublishRegions(partitioner_->maintained()->regions);
     }
+    // Publish either way: a changed pass swaps regions_ and the lookup
+    // snapshot together (same rects object); an unchanged pass refreshes
+    // the lookup aggregates to the epoch it just sealed WITHOUT touching
+    // regions_ (zero-drift passes must not republish the region list —
+    // pinned by the scheduler's pointer-identity test).
+    FAIRIDX_RETURN_IF_ERROR(PublishMaintainedLocked(
+        *sealed.snapshot, sealed.epoch, out.stats.changed));
   }
   // Outside maintain_mutex_: checkpointing takes durability -> maintain.
   FAIRIDX_RETURN_IF_ERROR(MaybeCheckpoint());
@@ -334,10 +387,48 @@ MaintenanceStats FairIndexService::maintenance_stats() const {
   return scheduler_ != nullptr ? scheduler_->stats() : MaintenanceStats{};
 }
 
-void FairIndexService::PublishRegions(const std::vector<CellRect>& fresh) {
-  auto published = std::make_shared<const std::vector<CellRect>>(fresh);
+Status FairIndexService::PublishMaintainedLocked(
+    const GridAggregates& sealed_snapshot, long long epoch,
+    bool partition_changed) {
+  // Reuse the published partition/rects objects when the partition did
+  // not change: readers' pointer-identity expectations stay exact and
+  // the only fresh allocation is the aggregate table.
+  std::shared_ptr<const Partition> partition;
+  std::shared_ptr<const std::vector<CellRect>> rects;
+  if (!partition_changed) {
+    std::lock_guard<std::mutex> lock(regions_mutex_);
+    if (lookup_ != nullptr) {
+      partition = lookup_->partition();
+      rects = lookup_->regions();
+    }
+  }
+  if (partition == nullptr) {
+    // One flat copy of the maintained cell map: the tree maintainers
+    // patch their partition in place on later refines, so the published
+    // snapshot must own frozen storage.
+    const PartitionResult* maintained = partitioner_->maintained();
+    partition = std::make_shared<const Partition>(maintained->partition);
+    rects =
+        std::make_shared<const std::vector<CellRect>>(maintained->regions);
+  }
+  std::vector<RegionAggregate> aggregates = sealed_snapshot.QueryMany(*rects);
+  FAIRIDX_ASSIGN_OR_RETURN(
+      PointLookupIndex fresh,
+      PointLookupIndex::Build(grid_, std::move(partition), rects,
+                              std::move(aggregates), epoch));
+  auto published = std::make_shared<const PointLookupIndex>(std::move(fresh));
   std::lock_guard<std::mutex> lock(regions_mutex_);
-  regions_ = std::move(published);
+  if (partition_changed) regions_ = rects;
+  // Epoch-monotonic guard: a caller Seal whose refresh lost the race to
+  // a refine's newer publication must not resurrect older aggregates —
+  // or, worse, pair them with a partition readers already moved past.
+  // (A partition-changing publish can never be rejected: every competing
+  // publication seals its epoch under maintain_mutex_, so any previously
+  // published epoch is strictly older.)
+  if (lookup_ == nullptr || epoch >= lookup_->epoch()) {
+    lookup_ = std::move(published);
+  }
+  return Status::Ok();
 }
 
 Status FairIndexService::Checkpoint() {

@@ -2,20 +2,26 @@
 // Licensed under the Apache License, Version 2.0.
 //
 // FairIndexService: the concurrent serving front-end for a fair spatial
-// index over streaming data. It owns three pieces:
+// index over streaming data. It owns four pieces:
 //
 //   * a ShardedDeltaStore — the epoch-based sharded aggregate store
 //     (writers append per-shard, readers query sealed snapshots);
 //   * a registry-built Partitioner (any supports_refine structure: the
 //     Fair KD-tree, the median KD-tree, the greedy fair quadtree, ...)
 //     holding the maintained partition and its recorded split tree;
-//   * the published region list readers serve from.
+//   * the published region list readers serve from;
+//   * the published PointLookupIndex snapshot — the point-lookup read
+//     path (O(1) "which region is this point in, with what aggregate"),
+//     an immutable partition/aggregate pair from one sealed epoch.
 //
-// The three operations compose into the serving loop:
+// The operations compose into the serving loop:
 //
 //   Ingest(batch)   any number of writer threads, concurrently
 //   Query*(...)     any number of reader threads, against the last sealed
 //                   epoch and the currently published partition
+//   Lookup*(...)    any number of reader threads, wait-free against the
+//                   published lookup snapshot (one shared_ptr load; the
+//                   snapshot can never be a torn partition/aggregate pair)
 //   MaybeRefine()   a maintenance thread: seals an epoch, re-splits the
 //                   subtrees whose calibration gap drifted past the bound
 //                   AGAINST THAT SEALED EPOCH, and atomically publishes
@@ -48,8 +54,10 @@
 #include "common/result.h"
 #include "common/span.h"
 #include "geo/grid.h"
+#include "geo/point.h"
 #include "index/partitioner.h"
 #include "service/maintenance_scheduler.h"
+#include "service/point_lookup.h"
 #include "service/sharded_delta_store.h"
 #include "service/wal.h"
 
@@ -159,6 +167,30 @@ class FairIndexService {
   /// Aggregates of caller rects against the last sealed epoch.
   std::vector<RegionAggregate> Query(Span<CellRect> rects) const;
 
+  /// The current point-lookup snapshot (see service/point_lookup.h):
+  /// the published partition's flat cell -> region map paired with that
+  /// partition's per-region aggregates off ONE sealed epoch. Pin it once
+  /// and answer any number of lookups from it — the snapshot stays
+  /// immutable and internally consistent however many seals or refines
+  /// land meanwhile. Never null after Create/Recover.
+  std::shared_ptr<const PointLookupIndex> lookup() const;
+
+  /// O(1) point lookup against the current snapshot: the region id of
+  /// the point's cell plus that region's aggregate from the snapshot's
+  /// sealed epoch — by construction never a torn partition/aggregate
+  /// pair. Points outside the grid clamp to the border cells.
+  PointLookupResult Lookup(const Point& p) const;
+  PointLookupResult Lookup(double x, double y) const {
+    return Lookup(Point{x, y});
+  }
+
+  /// Batched point lookups, all answered from ONE snapshot pin: every
+  /// result in the batch comes from the same partition and sealed epoch,
+  /// and the single pointer load is amortized over the whole batch.
+  /// `out` must have room for points.size() entries.
+  void LookupMany(Span<Point> points, PointLookupResult* out) const;
+  std::vector<PointLookupResult> LookupMany(Span<Point> points) const;
+
   /// Seals an epoch and evaluates drift at every node of the maintained
   /// tree against it; drifted subtrees are re-split off that sealed
   /// snapshot and the new region list is published atomically at the end.
@@ -204,12 +236,22 @@ class FairIndexService {
   long long last_checkpoint_epoch() const;
 
  private:
-  FairIndexService(FairIndexServiceOptions options,
+  FairIndexService(const Grid& grid, FairIndexServiceOptions options,
                    std::unique_ptr<WalWriter> wal,
                    std::unique_ptr<ShardedDeltaStore> store,
                    std::unique_ptr<Partitioner> partitioner);
 
-  void PublishRegions(const std::vector<CellRect>& fresh);
+  /// Builds and publishes a fresh lookup snapshot pairing the current
+  /// partition with `sealed_snapshot`'s aggregates at `epoch`; when
+  /// `partition_changed` it freezes a copy of the maintained partition
+  /// and atomically swaps regions_ to the same rects object, otherwise
+  /// it reuses the published partition/rects (aggregates-only refresh —
+  /// regions() pointer identity is preserved, which the zero-drift
+  /// no-republish test pins). Requires maintain_mutex_ held: it pins
+  /// the maintained partition and orders competing publications so the
+  /// epoch-monotonic guard inside can never roll the lookup backwards.
+  Status PublishMaintainedLocked(const GridAggregates& sealed_snapshot,
+                                 long long epoch, bool partition_changed);
 
   /// Checkpoint when the sealed epoch has advanced past the configured
   /// interval since the last one (no-op otherwise / without durability).
@@ -227,6 +269,9 @@ class FairIndexService {
   Status ReplayWalTail(const std::vector<WalSegmentInfo>& segments,
                        long long through_epoch);
 
+  /// The base grid (copied in; Grid is a small value type). Lookup
+  /// snapshots carry their own copy, so readers never touch this one.
+  Grid grid_;
   FairIndexServiceOptions options_;
   /// Write-ahead log (null when durability is disabled). Declared before
   /// store_: the store holds a raw pointer and must be torn down first.
@@ -245,6 +290,11 @@ class FairIndexService {
   /// Publication point readers load; swapped only at the end of a refine.
   mutable std::mutex regions_mutex_;
   std::shared_ptr<const std::vector<CellRect>> regions_;
+  /// The point-lookup snapshot (also guarded by regions_mutex_; swapped
+  /// together with regions_ on partition changes so lookup()->regions()
+  /// and regions() are the SAME object, and refreshed aggregates-only on
+  /// plain seals). Epoch-monotonic: only PublishMaintainedLocked swaps it.
+  std::shared_ptr<const PointLookupIndex> lookup_;
 
   /// Background maintenance (service-owned; optional). The scheduler only
   /// calls public methods, so it layers strictly above the other state.

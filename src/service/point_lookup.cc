@@ -1,0 +1,62 @@
+#include "service/point_lookup.h"
+
+#include <string>
+#include <utility>
+
+namespace fairidx {
+
+Result<PointLookupIndex> PointLookupIndex::Build(
+    const Grid& grid, std::shared_ptr<const Partition> partition,
+    std::shared_ptr<const std::vector<CellRect>> regions,
+    std::vector<RegionAggregate> aggregates, long long epoch) {
+  if (partition == nullptr) {
+    return InvalidArgumentError("PointLookupIndex: null partition");
+  }
+  if (regions == nullptr) {
+    return InvalidArgumentError("PointLookupIndex: null regions");
+  }
+  if (partition->num_cells() != grid.num_cells()) {
+    return InvalidArgumentError(
+        "PointLookupIndex: partition covers " +
+        std::to_string(partition->num_cells()) + " cells, grid has " +
+        std::to_string(grid.num_cells()));
+  }
+  if (static_cast<int>(aggregates.size()) != partition->num_regions()) {
+    return InvalidArgumentError(
+        "PointLookupIndex: " + std::to_string(aggregates.size()) +
+        " aggregates for " + std::to_string(partition->num_regions()) +
+        " regions");
+  }
+  if (!regions->empty() &&
+      static_cast<int>(regions->size()) != partition->num_regions()) {
+    return InvalidArgumentError(
+        "PointLookupIndex: " + std::to_string(regions->size()) +
+        " region rects for " + std::to_string(partition->num_regions()) +
+        " regions");
+  }
+  return PointLookupIndex(grid, std::move(partition), std::move(regions),
+                          std::move(aggregates), epoch);
+}
+
+void PointLookupIndex::LookupMany(Span<Point> points,
+                                  PointLookupResult* out) const {
+  // Two passes: resolving the whole block of region ids first keeps the
+  // flat cell-map loads back to back (the same scattered-load overlap
+  // that pays for GridAggregates::QueryMany), then the aggregate copies
+  // stream through the region table.
+  for (size_t i = 0; i < points.size(); ++i) {
+    out[i].region = RegionOfPoint(points[i]);
+  }
+  for (size_t i = 0; i < points.size(); ++i) {
+    out[i].aggregate = aggregates_[out[i].region];
+  }
+}
+
+std::vector<PointLookupResult> PointLookupIndex::LookupMany(
+    Span<Point> points) const {
+  std::vector<PointLookupResult> out(points.size());
+  LookupMany(points, out.data());
+  return out;
+}
+
+}  // namespace fairidx

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Checks markdown links in README.md and docs/ (stdlib only).
+
+For every inline link or image ``[text](target)`` outside fenced code
+blocks and inline code spans:
+
+* ``http(s)://`` / ``mailto:`` targets are skipped (no network in CI);
+* relative targets must exist on disk, resolved against the linking
+  file's directory;
+* ``target#anchor`` (and bare ``#anchor``) must name a heading in the
+  target markdown file, using GitHub's heading-slug convention
+  (lowercase, punctuation stripped, spaces to hyphens, ``-N`` suffixes
+  for duplicates).
+
+Usage: check_markdown_links.py [file-or-dir ...]
+Defaults to README.md and docs/ relative to the repo root (the script's
+parent directory). Exits 1 listing every broken link.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")  # http:, mailto:, ...
+
+
+def strip_fences(text):
+    """Drops fenced code-block lines so example snippets are not parsed."""
+    out = []
+    in_fence = False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        out.append("" if in_fence else line)
+    return out
+
+
+def github_slug(heading, seen):
+    """GitHub's anchor for a heading line, disambiguated against `seen`."""
+    text = heading.replace("`", "")
+    # Inline links in headings anchor on their text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    slug = text.replace(" ", "-")
+    if slug in seen:
+        n = seen[slug] = seen[slug] + 1
+        return "%s-%d" % (slug, n)
+    seen[slug] = 0
+    return slug
+
+
+def heading_anchors(path):
+    with open(path, encoding="utf-8") as f:
+        lines = strip_fences(f.read())
+    seen = {}
+    anchors = set()
+    for line in lines:
+        m = HEADING_RE.match(line)
+        if m:
+            anchors.add(github_slug(m.group(2), seen))
+    return anchors
+
+
+def collect_markdown_files(args, repo_root):
+    if not args:
+        args = [os.path.join(repo_root, "README.md"),
+                os.path.join(repo_root, "docs")]
+    files = []
+    for arg in args:
+        if os.path.isdir(arg):
+            for name in sorted(os.listdir(arg)):
+                if name.endswith(".md"):
+                    files.append(os.path.join(arg, name))
+        else:
+            files.append(arg)
+    return files
+
+
+def check_file(path, anchor_cache):
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        lines = strip_fences(f.read())
+    base = os.path.dirname(os.path.abspath(path))
+    for lineno, line in enumerate(lines, start=1):
+        for target in LINK_RE.findall(CODE_SPAN_RE.sub("", line)):
+            if EXTERNAL_RE.match(target):
+                continue
+            file_part, _, anchor = target.partition("#")
+            if file_part:
+                dest = os.path.normpath(os.path.join(base, file_part))
+                if not os.path.exists(dest):
+                    errors.append("%s:%d: broken link '%s' (no such file)" %
+                                  (path, lineno, target))
+                    continue
+            else:
+                dest = os.path.abspath(path)
+            if anchor:
+                if not dest.endswith(".md") or os.path.isdir(dest):
+                    continue  # Anchors only verifiable in markdown.
+                if dest not in anchor_cache:
+                    anchor_cache[dest] = heading_anchors(dest)
+                if anchor not in anchor_cache[dest]:
+                    errors.append(
+                        "%s:%d: broken anchor '%s' (no heading '#%s' in %s)" %
+                        (path, lineno, target, anchor,
+                         os.path.relpath(dest)))
+    return errors
+
+
+def main(argv):
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    files = collect_markdown_files(argv[1:], repo_root)
+    missing = [f for f in files if not os.path.exists(f)]
+    if missing:
+        for f in missing:
+            print("check_markdown_links: no such file: %s" % f,
+                  file=sys.stderr)
+        return 1
+    anchor_cache = {}
+    errors = []
+    for f in files:
+        errors.extend(check_file(f, anchor_cache))
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print("check_markdown_links: %d broken link(s) in %d file(s)" %
+              (len(errors), len(files)), file=sys.stderr)
+        return 1
+    print("check_markdown_links: %d file(s) OK" % len(files))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -181,6 +181,29 @@ int CmdRunScenario(const std::string& path) {
   auto report = RunScenario(*config, *dataset);
   if (!report.ok()) return Fail(report.status());
 
+  if (report->workload == ScenarioWorkload::kServe) {
+    TablePrinter table({"height", "algorithm", "seed", "regions",
+                        "records", "lookups", "qps", "p50_us", "p95_us",
+                        "p99_us", "epochs", "resplits", "serve_s"});
+    for (const ScenarioServeRow& row : report->serve_rows) {
+      table.AddRow({std::to_string(row.run.height),
+                    PartitionAlgorithmName(row.run.algorithm),
+                    std::to_string(row.run.seed),
+                    std::to_string(row.regions),
+                    std::to_string(row.records),
+                    std::to_string(row.lookups),
+                    TablePrinter::FormatDouble(row.read_qps, 0),
+                    TablePrinter::FormatDouble(row.p50_us, 1),
+                    TablePrinter::FormatDouble(row.p95_us, 1),
+                    TablePrinter::FormatDouble(row.p99_us, 1),
+                    std::to_string(row.epochs),
+                    std::to_string(row.resplits),
+                    TablePrinter::FormatDouble(row.serve_seconds, 3)});
+    }
+    table.Print(std::cout);
+    return 0;
+  }
+
   if (report->workload == ScenarioWorkload::kStream) {
     TablePrinter table({"height", "algorithm", "seed", "regions",
                         "records", "epochs", "resplits", "final_ence",
@@ -606,7 +629,9 @@ int Usage() {
       "usage: fairidx_cli <generate|run|sweep|disparity|export|stream> "
       "[flags]\n"
       "       fairidx_cli run <scenario.cfg>   (declarative sweep; see\n"
-      "                core/scenario.h and examples/scenarios/)\n"
+      "                core/scenario.h, docs/scenario_reference.md and\n"
+      "                examples/scenarios/; workload = pipeline|stream|\n"
+      "                serve — serve reports lookup p50/p95/p99 + QPS)\n"
       "  common flags: --city la|houston | --csv file.csv\n"
       "  run/export:   --algorithm <name> --height N --classifier lr|tree|nb\n"
       "                --threads N (parallel partition build)\n"
