@@ -17,6 +17,7 @@
 #include "fairness/region_metrics.h"
 #include <thread>
 
+#include "geo/aggregate_kernels.h"
 #include "geo/delta_grid_aggregates.h"
 #include "geo/grid_aggregates.h"
 #include "index/fair_kd_tree.h"
@@ -28,6 +29,7 @@
 #include "service/wal.h"
 
 #include <filesystem>
+#include <map>
 #include <string>
 
 namespace fairidx {
@@ -314,6 +316,106 @@ void BM_QueryLoopRegionFleet(benchmark::State& state) {
                           static_cast<int64_t>(f.fleet.size()));
 }
 BENCHMARK(BM_QueryLoopRegionFleet);
+
+// --- SIMD aggregate kernels: dispatched vs forced-scalar baselines. ---
+// The dispatched variants are CI-gated to beat their scalar twins in the
+// same run (tools/bench_compare.py --require-faster), so a kernel change
+// that silently loses to the scalar loop fails the bench gate. The scalar
+// twins flip the process-wide dispatch hook around the timed loop — the
+// same mechanism the differential tests use — because the env pin is read
+// once per process.
+
+// Algorithm 2's full sweep over a 512-wide parent, all five fields, both
+// axes: the Children corner math is the entire inner loop.
+void SplitSweepChildrenLoop(benchmark::State& state) {
+  const FleetFixture& f = BenchFleet();
+  const CellRect parent{0, f.grid.rows(), 0, f.grid.cols()};
+  RegionAggregate left, right;
+  for (auto _ : state) {
+    for (int axis = 0; axis < 2; ++axis) {
+      GridAggregates::SplitSweep sweep(f.aggregates, parent, axis);
+      for (int offset = 1; offset < sweep.extent(); ++offset) {
+        sweep.Children(offset, kAggregateFieldsAll, &left, &right);
+        benchmark::DoNotOptimize(left);
+        benchmark::DoNotOptimize(right);
+      }
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) * 2 *
+      static_cast<int64_t>(f.grid.rows() - 1));
+}
+
+void BM_SplitSweepChildren(benchmark::State& state) {
+  SplitSweepChildrenLoop(state);
+}
+BENCHMARK(BM_SplitSweepChildren);
+
+void BM_SplitSweepChildrenScalar(benchmark::State& state) {
+  internal::ForceScalarAggregateKernelsForTest(true);
+  SplitSweepChildrenLoop(state);
+  internal::ForceScalarAggregateKernelsForTest(false);
+}
+BENCHMARK(BM_SplitSweepChildrenScalar);
+
+// The O(UV) prefix integration every build, fold and seal pays, including
+// the copy into padded slots (what DeltaGridAggregates::Rebuild and the
+// serving store's Seal actually execute). Args are {side, num_threads}:
+// num_threads 1 is the serial kernel, > 1 the wavefront pipeline, 0 auto.
+// Thread-scaling points are recorded for the trajectory but not CI-gated
+// (runner core counts vary); the SIMD-vs-scalar pairs at num_threads 1
+// are.
+const std::vector<GridAggregates::PrefixEntry>& BenchCellSums(int side) {
+  static auto* cache =
+      new std::map<int, std::vector<GridAggregates::PrefixEntry>>();
+  auto it = cache->find(side);
+  if (it != cache->end()) return it->second;
+  Rng rng(777);
+  std::vector<GridAggregates::PrefixEntry> sums(
+      static_cast<size_t>(side) * side);
+  for (auto& e : sums) {
+    e.count = static_cast<double>(rng.NextBounded(30));
+    e.labels = static_cast<double>(rng.NextBounded(10));
+    e.scores = rng.NextDouble() * e.count;
+    e.residuals = rng.NextDouble() * 2.0 - 1.0;
+  }
+  return (*cache)[side] = std::move(sums);
+}
+
+void FromCellSumsIntegrateLoop(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const auto& sums = BenchCellSums(side);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        OrDie(GridAggregates::FromCellSums(side, side, sums, threads),
+              "FromCellSums"));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * side *
+                          side);
+}
+
+void BM_FromCellSumsIntegrate(benchmark::State& state) {
+  FromCellSumsIntegrateLoop(state);
+}
+BENCHMARK(BM_FromCellSumsIntegrate)
+    ->Args({512, 1})
+    ->Args({512, 0})
+    ->Args({2048, 1})
+    ->Args({2048, 2})
+    ->Args({2048, 4})
+    ->Args({2048, 0})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FromCellSumsIntegrateScalar(benchmark::State& state) {
+  internal::ForceScalarAggregateKernelsForTest(true);
+  FromCellSumsIntegrateLoop(state);
+  internal::ForceScalarAggregateKernelsForTest(false);
+}
+BENCHMARK(BM_FromCellSumsIntegrateScalar)
+    ->Args({512, 1})
+    ->Args({2048, 1})
+    ->Unit(benchmark::kMillisecond);
 
 // --- Streaming inserts: delta overlay vs full prefix rebuild. ---
 // Streams the second half of the records in batches of 100, evaluating a

@@ -18,6 +18,7 @@
 #include <benchmark/benchmark.h>
 #endif
 
+#include "common/cpu_features.h"
 #include "common/result.h"
 #include "core/experiment_config.h"
 #include "core/pipeline.h"
@@ -92,6 +93,13 @@ inline int RunGoogleBenchmark(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
     return 1;
   }
+  // Record which kernel tier the numbers were measured under, so baseline
+  // comparisons can flag runs taken with different dispatch (e.g. a
+  // FAIRIDX_FORCE_SCALAR baseline against an AVX2 fresh run).
+  benchmark::AddCustomContext("fairidx_simd_tier",
+                              SimdTierName(DetectedSimdTier()));
+  benchmark::AddCustomContext(
+      "fairidx_crc32c", CrcHardwareAvailable() ? "hardware" : "software");
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

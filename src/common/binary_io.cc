@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/cpu_features.h"
+
 #if defined(__x86_64__) || defined(__i386__)
 #include <nmmintrin.h>
 #define FAIRIDX_HAS_SSE42_CRC 1
@@ -94,7 +96,10 @@ uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
 
 uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
 #if defined(FAIRIDX_HAS_SSE42_CRC) && defined(__x86_64__)
-  static const bool has_sse42 = __builtin_cpu_supports("sse4.2");
+  // Shared runtime detection (common/cpu_features.h): one probe feeds
+  // this dispatch and the aggregate SIMD kernels, and FAIRIDX_FORCE_SCALAR
+  // pins the software table here too (identical checksums either way).
+  static const bool has_sse42 = CrcHardwareAvailable();
   if (has_sse42) {
     return ~Crc32cHardware(static_cast<const uint8_t*>(data), size, ~seed);
   }

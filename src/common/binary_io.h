@@ -26,7 +26,9 @@ uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
 /// the WAL frames every record with. Uses the SSE4.2 crc32 instruction
 /// when the CPU has it (several times faster than any table method, and
 /// record checksums sit on the ingest hot path); the software fallback
-/// produces identical values. Seed-chainable like Crc32.
+/// produces identical values. Detection goes through
+/// common/cpu_features.h, so FAIRIDX_FORCE_SCALAR pins the software
+/// table. Seed-chainable like Crc32.
 uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
 
 /// Appends fixed-width little-endian values to a growing byte string.

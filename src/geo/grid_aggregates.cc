@@ -1,8 +1,58 @@
 #include "geo/grid_aggregates.h"
 
 #include <algorithm>
+#include <atomic>
+
+#include "common/thread_pool.h"
+#include "geo/aggregate_kernels.h"
 
 namespace fairidx {
+namespace {
+
+using PrefixEntry = GridAggregates::PrefixEntry;
+
+// The scalar twin of AggregateKernels::integrate_cells: one in-place pass
+// over `n` consecutive entries of a prefix row. `entries[-1]` is the
+// already-integrated west neighbour (the padded zero border column for the
+// first cell of a row); `north` points at the already-integrated previous
+// row at the same offsets. Per entry the operation sequence is fixed —
+// cell_abs from the RAW label/score sums first, then the three-neighbour
+// fold field by field — which is what makes scalar, SIMD, serial and
+// wavefront execution bit-identical.
+void IntegrateCellsScalar(PrefixEntry* entries, const PrefixEntry* north,
+                          size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    PrefixEntry& e = entries[i];
+    const PrefixEntry& west = *(entries + i - 1);
+    const PrefixEntry& nn = north[i];
+    const PrefixEntry& nw = *(north + i - 1);
+    // From the raw per-cell sums, BEFORE the folds below turn the
+    // labels/scores slots into prefix values (absolute values do not
+    // distribute over sums).
+    const double cell_abs = std::abs(e.labels - e.scores);
+    e.count += (west.count + nn.count) - nw.count;
+    e.labels += (west.labels + nn.labels) - nw.labels;
+    e.scores += (west.scores + nn.scores) - nw.scores;
+    e.residuals += (west.residuals + nn.residuals) - nw.residuals;
+    e.cell_abs = cell_abs + ((west.cell_abs + nn.cell_abs) - nw.cell_abs);
+  }
+}
+
+// Integrates one row segment through the dispatched kernel (or the scalar
+// twin when dispatch resolved to scalar). `kernels` is hoisted by the
+// caller so the wavefront tasks never touch the atomic.
+inline void IntegrateSegment(const internal::AggregateKernels* kernels,
+                             PrefixEntry* entries, const PrefixEntry* north,
+                             size_t n) {
+  if (kernels != nullptr) {
+    kernels->integrate_cells(reinterpret_cast<double*>(entries),
+                             reinterpret_cast<const double*>(north), n);
+  } else {
+    IntegrateCellsScalar(entries, north, n);
+  }
+}
+
+}  // namespace
 
 RegionAggregate& RegionAggregate::operator+=(const RegionAggregate& other) {
   count += other.count;
@@ -71,12 +121,13 @@ Result<GridAggregates> GridAggregates::Build(
       AccumulateInto(grid, cell_ids, labels, scores, residuals,
                      agg.prefix_.data(),
                      static_cast<size_t>(grid.cols()) + 1, 1));
-  agg.IntegrateSlots();
+  agg.IntegrateSlots(/*num_threads=*/0);
   return agg;
 }
 
 Result<GridAggregates> GridAggregates::FromCellSums(
-    int rows, int cols, const std::vector<PrefixEntry>& cell_sums) {
+    int rows, int cols, const std::vector<PrefixEntry>& cell_sums,
+    int num_threads) {
   if (rows <= 0 || cols <= 0) {
     return InvalidArgumentError(
         "GridAggregates::FromCellSums: non-positive grid shape");
@@ -93,36 +144,110 @@ Result<GridAggregates> GridAggregates::FromCellSums(
           cell_sums[static_cast<size_t>(r) * cols + c];
     }
   }
-  agg.IntegrateSlots();
+  agg.IntegrateSlots(num_threads);
   return agg;
 }
 
-void GridAggregates::IntegrateSlots() {
+void GridAggregates::IntegrateSlots(int num_threads) {
+  int threads = num_threads;
+  if (threads == 0) {
+    // Auto: engage the shared pool only when it actually has workers (on a
+    // 1-core host Wait() would just run everything inline with scheduling
+    // overhead on top) and the grid is big enough that the integration
+    // dominates the task bookkeeping.
+    ThreadPool& pool = ThreadPool::Shared();
+    const bool big =
+        static_cast<long long>(rows_) * cols_ >= 256LL * 256LL;
+    threads = (pool.num_workers() > 0 && big) ? pool.num_workers() + 1 : 1;
+  }
+  if (threads > 1 && rows_ > 1) {
+    IntegrateWavefront(threads);
+    return;
+  }
   const size_t stride = static_cast<size_t>(cols_) + 1;
-  // Per-cell absolute miscalibration must be computed from the raw
-  // per-cell sums BEFORE integration (afterwards the slots hold prefix
-  // values, and absolute values do not distribute over sums).
+  const internal::AggregateKernels* kernels =
+      internal::ActiveAggregateKernels();
   for (int r = 1; r <= rows_; ++r) {
-    for (int c = 1; c <= cols_; ++c) {
-      PrefixEntry& slot = prefix_[static_cast<size_t>(r) * stride + c];
-      slot.cell_abs = std::abs(slot.labels - slot.scores);
+    PrefixEntry* row = prefix_.data() + static_cast<size_t>(r) * stride;
+    IntegrateSegment(kernels, row + 1, row + 1 - stride,
+                     static_cast<size_t>(cols_));
+  }
+}
+
+void GridAggregates::IntegrateWavefront(int num_threads) {
+  const size_t stride = static_cast<size_t>(cols_) + 1;
+  const internal::AggregateKernels* kernels =
+      internal::ActiveAggregateKernels();
+
+  // Cut every row into the same column chunks. Block (r, j) depends on
+  // (r-1, j) — its north row — and (r, j-1) — its west neighbour, whose
+  // last entry is this chunk's entries[-1]. That is the full dependence
+  // set of the recurrence, so scheduling a block the moment its counter
+  // hits zero is safe under ANY interleaving; the per-cell arithmetic
+  // (and therefore the result, bit for bit) never depends on the order.
+  constexpr int kMinChunkCols = 64;
+  const int max_chunks = (cols_ + kMinChunkCols - 1) / kMinChunkCols;
+  const int num_chunks = std::max(1, std::min(max_chunks, 2 * num_threads));
+  const int chunk_cols = (cols_ + num_chunks - 1) / num_chunks;
+
+  struct Wavefront {
+    GridAggregates* agg;
+    const internal::AggregateKernels* kernels;
+    size_t stride;
+    int num_chunks;
+    int chunk_cols;
+    ThreadPool::TaskGroup* group;
+    // One dependency counter per block, row-major rows x num_chunks.
+    // Interior blocks start at 2, the top row and left column at 1, the
+    // origin at 0 (it is spawned directly).
+    std::vector<std::atomic<int>> deps;
+
+    void Run(int r, int j) {
+      const int col_begin = 1 + j * chunk_cols;
+      const int col_end = std::min(col_begin + chunk_cols,
+                                   agg->cols_ + 1);
+      // Ceil-division chunking can leave the last chunk empty; it still
+      // must flow through the dependency graph to release its successors.
+      if (col_end > col_begin) {
+        PrefixEntry* row =
+            agg->prefix_.data() + static_cast<size_t>(r + 1) * stride;
+        IntegrateSegment(kernels, row + col_begin,
+                         row + col_begin - stride,
+                         static_cast<size_t>(col_end - col_begin));
+      }
+      // Release the south and east successors. acq_rel pairs the counter
+      // handoff with the data writes above (the pool's queue mutex also
+      // orders them, but the counter must not be weaker than the data).
+      if (r + 1 < agg->rows_) Release((r + 1) * num_chunks + j, r + 1, j);
+      if (j + 1 < num_chunks) Release(r * num_chunks + j + 1, r, j + 1);
+    }
+
+    void Release(int block, int r, int j) {
+      if (deps[block].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        group->Spawn([this, r, j] { Run(r, j); });
+      }
+    }
+  };
+
+  Wavefront wave;
+  wave.agg = this;
+  wave.kernels = kernels;
+  wave.stride = stride;
+  wave.num_chunks = num_chunks;
+  wave.chunk_cols = chunk_cols;
+  wave.deps = std::vector<std::atomic<int>>(
+      static_cast<size_t>(rows_) * num_chunks);
+  for (int r = 0; r < rows_; ++r) {
+    for (int j = 0; j < num_chunks; ++j) {
+      wave.deps[static_cast<size_t>(r) * num_chunks + j].store(
+          (r > 0 ? 1 : 0) + (j > 0 ? 1 : 0), std::memory_order_relaxed);
     }
   }
 
-  for (int r = 1; r <= rows_; ++r) {
-    for (int c = 1; c <= cols_; ++c) {
-      const size_t at = static_cast<size_t>(r) * stride + c;
-      PrefixEntry& e = prefix_[at];
-      const PrefixEntry& west = prefix_[at - 1];
-      const PrefixEntry& north = prefix_[at - stride];
-      const PrefixEntry& northwest = prefix_[at - stride - 1];
-      e.count += west.count + north.count - northwest.count;
-      e.labels += west.labels + north.labels - northwest.labels;
-      e.scores += west.scores + north.scores - northwest.scores;
-      e.residuals += west.residuals + north.residuals - northwest.residuals;
-      e.cell_abs += west.cell_abs + north.cell_abs - northwest.cell_abs;
-    }
-  }
+  ThreadPool::TaskGroup group(&ThreadPool::Shared());
+  wave.group = &group;
+  group.Spawn([&wave] { wave.Run(0, 0); });
+  group.Wait();
 }
 
 RegionAggregate GridAggregates::Query(const CellRect& rect) const {
@@ -132,6 +257,16 @@ RegionAggregate GridAggregates::Query(const CellRect& rect) const {
   const PrefixEntry& p01 = EntryAt(rect.row_begin, rect.col_end);
   const PrefixEntry& p10 = EntryAt(rect.row_end, rect.col_begin);
   const PrefixEntry& p00 = EntryAt(rect.row_begin, rect.col_begin);
+  const internal::AggregateKernels* kernels =
+      internal::ActiveAggregateKernels();
+  if (kernels != nullptr) {
+    kernels->corner_combine(reinterpret_cast<const double*>(&p11),
+                            reinterpret_cast<const double*>(&p01),
+                            reinterpret_cast<const double*>(&p10),
+                            reinterpret_cast<const double*>(&p00),
+                            reinterpret_cast<double*>(&out));
+    return out;
+  }
   out.count = p11.count - p01.count - p10.count + p00.count;
   out.sum_labels = p11.labels - p01.labels - p10.labels + p00.labels;
   out.sum_scores = p11.scores - p01.scores - p10.scores + p00.scores;
@@ -149,8 +284,12 @@ void GridAggregates::QueryMany(Span<CellRect> rects,
   // dominate; issuing them together lets the core overlap them), the
   // second combines each rect's corners with arithmetic identical to
   // Query(), so every result matches the one-at-a-time path bit for bit.
+  // The combine pass runs through the dispatched kernel — same corner
+  // expression, four fields per vector op — when one is active.
   constexpr size_t kBlock = 16;
   const PrefixEntry* corners[4 * kBlock];
+  const internal::AggregateKernels* kernels =
+      internal::ActiveAggregateKernels();
   const size_t n = rects.size();
   for (size_t base = 0; base < n; base += kBlock) {
     const size_t block = std::min(kBlock, n - base);
@@ -178,6 +317,17 @@ void GridAggregates::QueryMany(Span<CellRect> rects,
       __builtin_prefetch(corners[4 * i + 2]);
       __builtin_prefetch(corners[4 * i + 3]);
 #endif
+    }
+    if (kernels != nullptr) {
+      for (size_t i = 0; i < block; ++i) {
+        kernels->corner_combine(
+            reinterpret_cast<const double*>(corners[4 * i + 0]),
+            reinterpret_cast<const double*>(corners[4 * i + 1]),
+            reinterpret_cast<const double*>(corners[4 * i + 2]),
+            reinterpret_cast<const double*>(corners[4 * i + 3]),
+            reinterpret_cast<double*>(&out[base + i]));
+      }
+      continue;
     }
     for (size_t i = 0; i < block; ++i) {
       const PrefixEntry& p11 = *corners[4 * i + 0];

@@ -18,10 +18,12 @@
 #define FAIRIDX_GEO_GRID_AGGREGATES_H_
 
 #include <cmath>
+#include <type_traits>
 #include <vector>
 
 #include "common/result.h"
 #include "common/span.h"
+#include "geo/aggregate_kernels.h"
 #include "geo/grid.h"
 #include "geo/rect.h"
 
@@ -111,9 +113,19 @@ class GridAggregates {
   /// ignored and recomputed as |labels - scores| per cell). Produces the
   /// exact structure Build() would for any record stream with the same
   /// per-cell sums — DeltaGridAggregates uses this for its threshold
-  /// rebuilds.
+  /// rebuilds, and the sharded serving store for its seal folds.
+  ///
+  /// `num_threads` controls the prefix-integration pass: 0 picks
+  /// automatically (the shared pool, when it has workers and the grid is
+  /// big enough to pay for scheduling), 1 forces the serial loop, and
+  /// N > 1 runs the wavefront pipeline on the shared pool. The
+  /// integration is bit-identical under every setting — each cell's
+  /// operation sequence is fixed and the wavefront ordering only changes
+  /// WHEN independent cells run, never the per-cell arithmetic — which
+  /// the WavefrontIntegrate differential suite pins.
   static Result<GridAggregates> FromCellSums(
-      int rows, int cols, const std::vector<PrefixEntry>& cell_sums);
+      int rows, int cols, const std::vector<PrefixEntry>& cell_sums,
+      int num_threads = 0);
 
   /// Validates `cell_ids`/`labels`/`scores`/`residuals` (the Build
   /// contract) and accumulates them into dense row-major per-cell sums in
@@ -199,7 +211,16 @@ class GridAggregates {
     size_t step_;                // Entry stride per offset along each line.
     int axis_;
     int extent_;
-    PrefixEntry c00_, c01_, c10_, c11_;  // Hoisted parent corners.
+    // Dispatched all-fields children kernel for this sweep's axis,
+    // resolved once at construction (nullptr = scalar macro path, on
+    // non-x86 hosts, under FAIRIDX_FORCE_SCALAR, or at tiers where the
+    // auto-vectorized macros are already optimal). Caching the resolved
+    // pointer keeps the per-offset dispatch to one register test.
+    void (*children_kernel_)(const double* a, const double* b,
+                             const double* corners, double* left,
+                             double* right);
+    // Hoisted parent corners, contiguous in kernel order c00,c01,c10,c11.
+    PrefixEntry corners_[4];
   };
 
   /// Fused children query: one call computes both child aggregates of the
@@ -232,10 +253,21 @@ class GridAggregates {
                                int offset);
 
   /// Turns raw per-cell sums sitting in the (row+1, col+1) slots into the
-  /// final prefix structure: derives per-cell cell_abs, then integrates in
-  /// place. Shared by Build and FromCellSums so both produce bit-identical
-  /// prefixes from identical per-cell sums.
-  void IntegrateSlots();
+  /// final prefix structure: per cell, derives cell_abs from the raw
+  /// label/score sums and folds in the west/north/northwest prefix
+  /// neighbours, in one pass. Shared by Build and FromCellSums so both
+  /// produce bit-identical prefixes from identical per-cell sums.
+  /// `num_threads` as in FromCellSums (0 auto, 1 serial, N > 1 wavefront);
+  /// every setting yields bit-identical prefixes.
+  void IntegrateSlots(int num_threads);
+
+  /// The wavefront pipeline behind IntegrateSlots: rows are cut into
+  /// column chunks and chunk (r, j) is scheduled the moment (r-1, j) and
+  /// (r, j-1) are done, so rows stream through the pool in a diagonal
+  /// front instead of waiting on a per-row barrier. Runs on the shared
+  /// ThreadPool; correct (and serial) even when the pool has no workers,
+  /// because TaskGroup::Wait executes queued tasks itself.
+  void IntegrateWavefront(int num_threads);
 
   const PrefixEntry& EntryAt(int row, int col) const {
     return prefix_[static_cast<size_t>(row) * (cols_ + 1) + col];
@@ -248,14 +280,33 @@ class GridAggregates {
   std::vector<PrefixEntry> prefix_;
 };
 
+// The SIMD kernels address PrefixEntry / RegionAggregate as 5 contiguous
+// doubles (geo/aggregate_kernels.h); these pins fail the build if either
+// struct ever grows padding, a vtable, or a different field count.
+static_assert(std::is_standard_layout<GridAggregates::PrefixEntry>::value &&
+                  sizeof(GridAggregates::PrefixEntry) ==
+                      internal::kAggregateEntryDoubles * sizeof(double),
+              "PrefixEntry must be 5 contiguous doubles (kernel contract)");
+static_assert(std::is_standard_layout<RegionAggregate>::value &&
+                  sizeof(RegionAggregate) ==
+                      internal::kAggregateEntryDoubles * sizeof(double),
+              "RegionAggregate must be 5 contiguous doubles "
+              "(kernel contract)");
+
 inline GridAggregates::SplitSweep::SplitSweep(
     const GridAggregates& aggregates, const CellRect& parent, int axis)
     : axis_(axis),
       extent_(axis == 0 ? parent.num_rows() : parent.num_cols()),
-      c00_(aggregates.EntryAt(parent.row_begin, parent.col_begin)),
-      c01_(aggregates.EntryAt(parent.row_begin, parent.col_end)),
-      c10_(aggregates.EntryAt(parent.row_end, parent.col_begin)),
-      c11_(aggregates.EntryAt(parent.row_end, parent.col_end)) {
+      corners_{aggregates.EntryAt(parent.row_begin, parent.col_begin),
+               aggregates.EntryAt(parent.row_begin, parent.col_end),
+               aggregates.EntryAt(parent.row_end, parent.col_begin),
+               aggregates.EntryAt(parent.row_end, parent.col_end)} {
+  const internal::AggregateKernels* kernels =
+      internal::ActiveAggregateKernels();
+  children_kernel_ =
+      kernels == nullptr
+          ? nullptr
+          : (axis == 0 ? kernels->children_axis0 : kernels->children_axis1);
   if (axis == 0) {
     // Row cut: the boundary line walks down rows; each step jumps one
     // prefix row.
@@ -278,11 +329,29 @@ inline void GridAggregates::SplitSweep::Children(int offset, unsigned fields,
   const PrefixEntry& b = line_b_[offset * step_];
   // Per field, both children are the same corner expression Query() would
   // evaluate — identical operation order, so results match bit for bit.
+  // Full-fields scans (every split objective reads all five statistics)
+  // take the dispatched per-axis kernel, which evaluates those exact
+  // expressions at full vector width; FAIRIDX_FORCE_SCALAR and the test
+  // hook null the pointer at sweep construction. Partial masks (e.g. a
+  // count-only probe) keep the scalar macros, where the compiler folds
+  // the constant mask and auto-vectorizes the survivors in place.
+  if (children_kernel_ != nullptr && fields == kAggregateFieldsAll) {
+    children_kernel_(reinterpret_cast<const double*>(&a),
+                     reinterpret_cast<const double*>(&b),
+                     reinterpret_cast<const double*>(corners_),
+                     reinterpret_cast<double*>(left),
+                     reinterpret_cast<double*>(right));
+    return;
+  }
+  const PrefixEntry& c00 = corners_[0];
+  const PrefixEntry& c01 = corners_[1];
+  const PrefixEntry& c10 = corners_[2];
+  const PrefixEntry& c11 = corners_[3];
   if (axis_ == 0) {
 #define FAIRIDX_SWEEP_FIELD(flag, pe, ra)                        \
   if (fields & (flag)) {                                         \
-    left->ra = ((a.pe - c01_.pe) - b.pe) + c00_.pe;              \
-    right->ra = ((c11_.pe - a.pe) - c10_.pe) + b.pe;             \
+    left->ra = ((a.pe - c01.pe) - b.pe) + c00.pe;                \
+    right->ra = ((c11.pe - a.pe) - c10.pe) + b.pe;               \
   }
     FAIRIDX_SWEEP_FIELD(kAggregateFieldCount, count, count)
     FAIRIDX_SWEEP_FIELD(kAggregateFieldLabels, labels, sum_labels)
@@ -294,8 +363,8 @@ inline void GridAggregates::SplitSweep::Children(int offset, unsigned fields,
   } else {
 #define FAIRIDX_SWEEP_FIELD(flag, pe, ra)                        \
   if (fields & (flag)) {                                         \
-    left->ra = ((a.pe - b.pe) - c10_.pe) + c00_.pe;              \
-    right->ra = ((c11_.pe - c01_.pe) - a.pe) + b.pe;             \
+    left->ra = ((a.pe - b.pe) - c10.pe) + c00.pe;                \
+    right->ra = ((c11.pe - c01.pe) - a.pe) + b.pe;               \
   }
     FAIRIDX_SWEEP_FIELD(kAggregateFieldCount, count, count)
     FAIRIDX_SWEEP_FIELD(kAggregateFieldLabels, labels, sum_labels)

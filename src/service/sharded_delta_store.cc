@@ -55,7 +55,8 @@ Result<std::unique_ptr<ShardedDeltaStore>> ShardedDeltaStore::Build(
                                          warmup.residuals));
   FAIRIDX_ASSIGN_OR_RETURN(
       GridAggregates sealed,
-      GridAggregates::FromCellSums(grid.rows(), grid.cols(), cell_sums));
+      GridAggregates::FromCellSums(grid.rows(), grid.cols(), cell_sums,
+                                   std::max(1, options.num_threads)));
   std::unique_ptr<ShardedDeltaStore> store(
       new ShardedDeltaStore(grid, options));
   store->cell_sums_ = std::move(cell_sums);
@@ -83,7 +84,8 @@ Result<std::unique_ptr<ShardedDeltaStore>> ShardedDeltaStore::Restore(
   }
   FAIRIDX_ASSIGN_OR_RETURN(
       GridAggregates sealed,
-      GridAggregates::FromCellSums(grid.rows(), grid.cols(), cell_sums));
+      GridAggregates::FromCellSums(grid.rows(), grid.cols(), cell_sums,
+                                   std::max(1, options.num_threads)));
   std::unique_ptr<ShardedDeltaStore> store(
       new ShardedDeltaStore(grid, options));
   store->cell_sums_ = std::move(cell_sums);
@@ -226,9 +228,13 @@ Result<SealedEpoch> ShardedDeltaStore::Seal(
         });
   }
 
+  // The fold's thread budget also drives the prefix integration: the
+  // wavefront pipeline is bit-identical at any thread count, so the
+  // sealed snapshot stays byte-for-byte the serial-replay snapshot.
   FAIRIDX_ASSIGN_OR_RETURN(
       GridAggregates sealed,
-      GridAggregates::FromCellSums(rows_, cols_, cell_sums_));
+      GridAggregates::FromCellSums(rows_, cols_, cell_sums_,
+                                   fold_threads_));
   SealedEpoch out;
   out.snapshot = std::make_shared<const GridAggregates>(std::move(sealed));
   {

@@ -122,6 +122,22 @@ def main():
               f"fresh {fresh_cpus}); regressions are "
               f"{'errors (--strict)' if args.strict else 'warnings only'}")
 
+    # Dispatched-kernel awareness: bench_util.h records which SIMD tier
+    # produced the numbers (context.fairidx_simd_tier). A baseline taken
+    # under a different tier (e.g. an AVX2 refresh compared on an SSE2
+    # runner, or a FAIRIDX_FORCE_SCALAR run) times different code, so
+    # absolute ratios mean little — surface that loudly. The
+    # --require-faster pairs stay meaningful either way: both sides come
+    # from the fresh run, hence the same tier.
+    baseline_tier = baseline_doc.get("context", {}).get("fairidx_simd_tier")
+    fresh_tier = fresh_doc.get("context", {}).get("fairidx_simd_tier")
+    if baseline_tier != fresh_tier:
+        print(f"bench_compare: kernel-tier mismatch (baseline "
+              f"{baseline_tier or 'unrecorded'}, fresh "
+              f"{fresh_tier or 'unrecorded'}); absolute comparisons cover "
+              f"different dispatched kernels — require-faster pairs are "
+              f"unaffected")
+
     shared = sorted(set(baseline) & set(fresh))
     only_baseline = sorted(set(baseline) - set(fresh))
     only_fresh = sorted(set(fresh) - set(baseline))

@@ -75,6 +75,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cpu_features.h"
 #include "common/table_printer.h"
 #include "core/experiment_config.h"
 #include "core/pipeline.h"
@@ -178,6 +179,9 @@ int CmdRunScenario(const std::string& path) {
                config->algorithms.size(), config->heights.size(),
                config->seeds.size(), dataset->num_records(),
                ClassifierKindName(config->classifier));
+  std::fprintf(stderr, "kernels: %s (crc32c %s)\n",
+               SimdTierName(DetectedSimdTier()),
+               CrcHardwareAvailable() ? "hardware" : "software");
   auto report = RunScenario(*config, *dataset);
   if (!report.ok()) return Fail(report.status());
 
@@ -261,6 +265,9 @@ int CmdRun(const Flags& flags) {
 
   const EvaluationResult& eval = run->final_model.eval;
   std::printf("algorithm:        %s\n", PartitionAlgorithmName(*algorithm));
+  std::printf("kernels:          %s (crc32c %s)\n",
+              SimdTierName(DetectedSimdTier()),
+              CrcHardwareAvailable() ? "hardware" : "software");
   std::printf("classifier:       %s\n", ClassifierKindName(*classifier_kind));
   std::printf("height:           %d\n", options.height);
   std::printf("task:             %s\n",
@@ -518,6 +525,8 @@ int CmdStream(const Flags& flags) {
     if (!service.ok()) return Fail(service.status());
   }
 
+  std::printf("kernels: %s (crc32c %s)\n", SimdTierName(DetectedSimdTier()),
+              CrcHardwareAvailable() ? "hardware" : "software");
   std::printf("streaming %zu records into a height-%d %s partition "
               "(%zu regions, %zu warmup records, batch %d, %d shard%s%s%s%s)\n",
               n - resume, height, options.algorithm.c_str(),
