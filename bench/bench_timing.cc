@@ -22,7 +22,9 @@
 #include "geo/grid_aggregates.h"
 #include "index/fair_kd_tree.h"
 #include "index/kd_tree_maintainer.h"
+#include "index/partition.h"
 #include "index/quadtree_maintainer.h"
+#include "service/checkpoint.h"
 #include "service/fair_index_service.h"
 #include "service/point_lookup.h"
 #include "service/sharded_delta_store.h"
@@ -968,6 +970,153 @@ void BM_QuadTreeRebuildAfterLocalDrift(benchmark::State& state) {
   state.counters["leaves"] = static_cast<double>(leaves);
 }
 BENCHMARK(BM_QuadTreeRebuildAfterLocalDrift);
+
+// --- Splice publication: rect-patch vs FromRects fallback. ---
+// A leaf-count-changing splice on a 2048-region partition of the 256x256
+// grid: the 8 rects over the drifted corner rows each split into two
+// halves (tops keep their list positions, bottoms append at the tail —
+// exactly how a maintainer splice shifts ids), so under 1% of the cell
+// map changes. The patch path is what the tree maintainers publish
+// through (a DiffRects plan + ApplyRectPatch, O(changed area)); the
+// fallback is the pre-patch FromRects rebuild, O(grid). One timed patch
+// iteration applies the splice AND its inverse so the partition returns
+// to the old state without an untimed copy — two plan+patch rounds per
+// iteration against one rebuild, which only makes the CI gate
+// conservative.
+struct SpliceFixture {
+  Grid grid;
+  std::vector<CellRect> old_rects;
+  std::vector<CellRect> new_rects;
+};
+
+const SpliceFixture& BenchSplice() {
+  static const SpliceFixture* fixture = [] {
+    const int side = 256;
+    const Grid grid =
+        OrDie(Grid::Create(side, side, BoundingBox{0, 0, side, side}),
+              "Grid::Create");
+    std::vector<CellRect> old_rects;
+    for (int r = 0; r < side; r += 4) {
+      for (int c = 0; c < side; c += 8) {
+        old_rects.push_back(CellRect{r, r + 4, c, c + 8});
+      }
+    }
+    std::vector<CellRect> new_rects = old_rects;
+    for (int i = 0; i < 8; ++i) {
+      const CellRect rect = old_rects[static_cast<size_t>(i)];
+      new_rects[static_cast<size_t>(i)] =
+          CellRect{rect.row_begin, rect.row_begin + 2, rect.col_begin,
+                   rect.col_end};
+      new_rects.push_back(CellRect{rect.row_begin + 2, rect.row_end,
+                                   rect.col_begin, rect.col_end});
+    }
+    return new SpliceFixture{grid, std::move(old_rects),
+                             std::move(new_rects)};
+  }();
+  return *fixture;
+}
+
+void BM_SplicePublishRectPatch(benchmark::State& state) {
+  const SpliceFixture& f = BenchSplice();
+  Partition partition =
+      OrDie(Partition::FromRects(f.grid, f.old_rects),
+            "Partition::FromRects");
+  for (auto _ : state) {
+    partition.ApplyRectPatch(
+        f.grid.cols(), Partition::DiffRects(f.old_rects, f.new_rects),
+        static_cast<int>(f.new_rects.size()));
+    partition.ApplyRectPatch(
+        f.grid.cols(), Partition::DiffRects(f.new_rects, f.old_rects),
+        static_cast<int>(f.old_rects.size()));
+    benchmark::DoNotOptimize(partition.cell_to_region().data());
+  }
+}
+BENCHMARK(BM_SplicePublishRectPatch);
+
+void BM_SplicePublishFromRectsFallback(benchmark::State& state) {
+  const SpliceFixture& f = BenchSplice();
+  for (auto _ : state) {
+    const Partition rebuilt =
+        OrDie(Partition::FromRects(f.grid, f.new_rects),
+              "Partition::FromRects");
+    benchmark::DoNotOptimize(rebuilt.cell_to_region().data());
+  }
+}
+BENCHMARK(BM_SplicePublishFromRectsFallback);
+
+// --- Checkpoint cost: delta vs full snapshot at 5% dirty. ---
+// The durable serving loop's steady state: a 512x512 grid where one
+// sealed epoch dirtied 5% of the cells. The full snapshot serializes all
+// 262144 cell sums (~10 MB) to the real filesystem; the delta writes
+// only the 13108 dirty cells plus the chain header — both through the
+// identical tmp + fsync + rename installation. The ratio is the
+// full_snapshot_interval knob's payoff, CI-gated at >= 3x.
+struct CheckpointWriteFixture {
+  std::string dir;
+  CheckpointData full;
+  CheckpointDelta delta;
+};
+
+const CheckpointWriteFixture& BenchCheckpointWrite() {
+  static const CheckpointWriteFixture* fixture = [] {
+    const int side = 512;
+    auto* f = new CheckpointWriteFixture();
+    f->dir = std::filesystem::temp_directory_path().string() +
+             "/fairidx_bench_ckpt";
+    std::filesystem::remove_all(f->dir);
+    std::filesystem::create_directories(f->dir);
+    f->full.rows = side;
+    f->full.cols = side;
+    f->full.epoch = 7;
+    f->full.sealed_records = 1000000;
+    f->full.wal_generation = 3;
+    f->full.total_resplits = 5;
+    f->full.algorithm = "fair_kd_tree";
+    f->full.cell_sums = BenchCellSums(side);
+    for (int r = 0; r < side; r += 8) {
+      f->full.regions.push_back(CellRect{r, r + 8, 0, side});
+    }
+    f->full.maintained_blob = std::string(4096, 'm');
+    f->delta.rows = side;
+    f->delta.cols = side;
+    f->delta.epoch = 8;
+    f->delta.sealed_records = 1010000;
+    f->delta.wal_generation = 3;
+    f->delta.total_resplits = 5;
+    f->delta.algorithm = f->full.algorithm;
+    f->delta.prev_epoch = 7;
+    f->delta.prev_generation = 1;
+    for (int cell = 0; cell < side * side; cell += 20) {
+      f->delta.cells.push_back(cell);
+      f->delta.sums.push_back(
+          f->full.cell_sums[static_cast<size_t>(cell)]);
+    }
+    f->delta.regions = f->full.regions;
+    f->delta.maintained_blob = f->full.maintained_blob;
+    return f;
+  }();
+  return *fixture;
+}
+
+void BM_DeltaCheckpointWrite(benchmark::State& state) {
+  const CheckpointWriteFixture& f = BenchCheckpointWrite();
+  for (auto _ : state) {
+    if (!WriteDeltaCheckpoint(f.dir, f.delta).ok()) std::abort();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.delta.cells.size()));
+}
+BENCHMARK(BM_DeltaCheckpointWrite)->Unit(benchmark::kMillisecond);
+
+void BM_FullCheckpointWrite(benchmark::State& state) {
+  const CheckpointWriteFixture& f = BenchCheckpointWrite();
+  for (auto _ : state) {
+    if (!WriteCheckpoint(f.dir, f.full).ok()) std::abort();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.full.cell_sums.size()));
+}
+BENCHMARK(BM_FullCheckpointWrite)->Unit(benchmark::kMillisecond);
 
 // --- Pool-aware multi-objective: per-task fits on the shared pool. ---
 void BM_MultiObjectiveResidualsThreads(benchmark::State& state) {

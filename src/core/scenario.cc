@@ -139,6 +139,7 @@ constexpr const char* kScenarioKeys[] = {
     "maintain_policy", "seal_interval",
     "drift_bound",     "wal_dir",
     "checkpoint_interval",
+    "full_snapshot_interval",
     "fsync",           "retain_epochs",
     "serve_readers",   "serve_lookups",
     "serve_batch",     "serve_read_pct",
@@ -286,6 +287,10 @@ Status ParseInto(const std::string& text, const std::string& include_dir,
       auto interval = ParseInt(value);
       if (interval.ok()) config->checkpoint_interval = *interval;
       status = interval.ok() ? Status::Ok() : interval.status();
+    } else if (key == "full_snapshot_interval") {
+      auto interval = ParseInt(value);
+      if (interval.ok()) config->full_snapshot_interval = *interval;
+      status = interval.ok() ? Status::Ok() : interval.status();
     } else if (key == "fsync") {
       config->fsync = value;
     } else if (key == "retain_epochs") {
@@ -392,6 +397,10 @@ Status ValidateScenario(const ScenarioConfig& config) {
     // pipeline sweep would hide the typo.
     return InvalidArgumentError(
         "scenario: wal_dir requires workload = stream or serve");
+  }
+  if (config.full_snapshot_interval < 1) {
+    return InvalidArgumentError(
+        "scenario: full_snapshot_interval must be >= 1");
   }
   if (!ParseWalFsync(config.fsync).ok()) {
     return InvalidArgumentError("scenario: unknown fsync '" + config.fsync +
@@ -565,6 +574,8 @@ Result<FairIndexServiceOptions> MakeServiceOptions(
         "-h" + std::to_string(run.height) + "-s" +
         std::to_string(run.seed);
     options.durability.checkpoint_interval = config.checkpoint_interval;
+    options.durability.full_snapshot_interval =
+        config.full_snapshot_interval;
     FAIRIDX_ASSIGN_OR_RETURN(options.durability.fsync,
                              ParseWalFsync(config.fsync));
   }
@@ -646,6 +657,8 @@ Result<ScenarioStreamRow> RunOneStreamPoint(const ScenarioConfig& config,
   row.records = service->store().num_records();
   row.epochs = service->store().epoch();
   row.resplits = service->total_resplits();
+  row.published_patched = service->publications_patched();
+  row.published_fallback = service->publications_fallback();
   row.final_ence = RegionEnce(final_regions).ence;
   row.stream_seconds =
       std::chrono::duration<double>(elapsed).count();
@@ -844,6 +857,8 @@ Result<ScenarioServeRow> RunOneServePoint(const ScenarioConfig& config,
   row.p50_us = PercentileUs(latencies, 50.0);
   row.p95_us = PercentileUs(latencies, 95.0);
   row.p99_us = PercentileUs(latencies, 99.0);
+  row.publish_stall_us = service->max_publish_stall_us();
+  row.checkpoint_stall_us = service->max_checkpoint_stall_us();
   row.final_ence = RegionEnce(final_regions).ence;
   return row;
 }

@@ -53,6 +53,11 @@
 //                                   log
 //   checkpoint_interval = 8         stream+wal: checkpoint every N sealed
 //                                   epochs (<= 0: only the initial one)
+//   full_snapshot_interval = 1      stream+wal: every Nth checkpoint is a
+//                                   full snapshot; the rest are delta
+//                                   checkpoints carrying only the cells
+//                                   dirtied since the previous one
+//                                   (<= 1: every checkpoint is full)
 //   fsync = batch                   stream+wal: none | batch | always
 //                                   (see service/wal.h for the window
 //                                   each mode leaves open)
@@ -170,6 +175,9 @@ struct ScenarioConfig {
   std::string wal_dir;
   /// Checkpoint every this many sealed epochs (<= 0: only at create).
   long long checkpoint_interval = 8;
+  /// Every Nth checkpoint is a full snapshot, the rest are delta
+  /// checkpoints (<= 1: all full; see DurabilityOptions).
+  long long full_snapshot_interval = 1;
   /// WAL fsync mode: "none" | "batch" | "always".
   std::string fsync = "batch";
   /// Sealed-snapshot history bound applied after each maintenance pass
@@ -241,6 +249,10 @@ struct ScenarioStreamRow {
   long long epochs = 0;
   /// Subtree re-splits published by maintenance.
   long long resplits = 0;
+  /// Partition publications that went out via an O(changed area)
+  /// cell-map patch vs. a full O(grid) rebuild.
+  long long published_patched = 0;
+  long long published_fallback = 0;
   /// Region ENCE of the final partition on the final sealed epoch.
   double final_ence = 0.0;
   /// Wall-clock seconds for the whole stream (excl. the one model fit).
@@ -272,6 +284,11 @@ struct ScenarioServeRow {
   /// Wall-clock seconds of the mixed-traffic phase (excludes the model
   /// fit, warmup build and workload pre-generation).
   double serve_seconds = 0.0;
+  /// Worst single publication swap over the run (max wall-clock micros
+  /// inside PublishMaintainedLocked — the reader-visible publish stall).
+  long long publish_stall_us = 0;
+  /// Worst single checkpoint write over the run (0 without a WAL).
+  long long checkpoint_stall_us = 0;
   /// Region ENCE of the final partition on the final sealed epoch.
   double final_ence = 0.0;
 };

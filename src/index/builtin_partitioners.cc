@@ -216,6 +216,7 @@ class FairQuadtreePartitioner : public Partitioner {
                              context.ScoredAggregates());
     FairQuadtreeOptions quad_options;
     quad_options.target_regions = context.target_regions();
+    quad_options.num_threads = context.options().num_threads;
     PartitionerOutput out;
     if (context.options().enable_refine) {
       FAIRIDX_ASSIGN_OR_RETURN(
@@ -247,6 +248,7 @@ class FairQuadtreePartitioner : public Partitioner {
     }
     FairQuadtreeOptions quad_options;
     quad_options.target_regions = 1 << std::min(options.height, 30);
+    quad_options.num_threads = options.num_threads;
     FAIRIDX_ASSIGN_OR_RETURN(
         QuadTreeMaintainer maintainer,
         QuadTreeMaintainer::Build(grid, aggregates, quad_options));
@@ -281,6 +283,7 @@ class FairQuadtreePartitioner : public Partitioner {
     }
     FairQuadtreeOptions quad_options;
     quad_options.target_regions = 1 << std::min(options.height, 30);
+    quad_options.num_threads = options.num_threads;
     FAIRIDX_ASSIGN_OR_RETURN(
         QuadTreeMaintainer maintainer,
         QuadTreeMaintainer::Restore(grid, quad_options, blob));

@@ -37,8 +37,9 @@ Result<KdTreeMaintainer> KdTreeMaintainer::Build(
                   &out.tree_.result.regions);
   out.tree_.num_split_scans = recording.num_split_scans;
   FAIRIDX_ASSIGN_OR_RETURN(
-      Partition partition, Partition::FromRects(grid,
-                                                out.tree_.result.regions));
+      Partition partition,
+      Partition::FromRects(grid, out.tree_.result.regions,
+                           std::max(1, options.num_threads)));
   out.tree_.result.partition = std::move(partition);
   return out;
 }
@@ -236,10 +237,19 @@ Status KdTreeMaintainer::SpliceWithPatches(const std::vector<Patch>& patches,
 
   stats->changed = new_leaves != tree_.result.regions;
   if (stats->changed) {
-    FAIRIDX_ASSIGN_OR_RETURN(Partition partition,
-                             Partition::FromRects(grid_, new_leaves));
-    tree_.result.partition = std::move(partition);
+    // O(changed area) publication: the current cell map equals
+    // FromRects(old regions) — the maintainer invariant — so only the
+    // positions whose (rect, id) pair changed need their cells rewritten.
+    // New leaves are disjoint and tile the grid (they come from a valid
+    // splice), which is exactly DiffRects' premise; the patched map is
+    // bit-identical to a full FromRects over the new leaf list
+    // (tests/kd_tree_maintainer_test.cc pins this differentially).
+    tree_.result.partition.ApplyRectPatch(
+        grid_.cols(),
+        Partition::DiffRects(tree_.result.regions, new_leaves),
+        static_cast<int>(new_leaves.size()));
     tree_.result.regions = std::move(new_leaves);
+    stats->patched_splice = true;
   }
   nodes_ = std::move(new_nodes);
   leaf_nodes_ = std::move(new_leaf_nodes);
@@ -346,7 +356,11 @@ Result<KdRefineStats> KdTreeMaintainer::Refine(
 namespace {
 
 constexpr uint32_t kKdMaintainerMagic = 0x46584B4Du;  // "FXKM"
-constexpr uint32_t kKdMaintainerVersion = 1;
+// v2 drops the trailing serialized partition: the maintainer invariant is
+// cell map == FromRects(regions), so Restore rebuilds it from the region
+// rects — blobs shrink from O(grid) to O(tree), which is what keeps delta
+// checkpoints O(changed). v1 blobs (embedded partition) still restore.
+constexpr uint32_t kKdMaintainerVersion = 2;
 
 void PutRect(BinaryWriter* out, const CellRect& rect) {
   out->PutI32(rect.row_begin);
@@ -402,9 +416,6 @@ std::string KdTreeMaintainer::Save() const {
   for (int leaf : leaf_nodes_) out.PutI32(leaf);
   out.PutU64(tree_.result.regions.size());
   for (const CellRect& rect : tree_.result.regions) PutRect(&out, rect);
-  const std::string partition =
-      SerializePartitionBinary(tree_.result.partition);
-  out.PutString(partition);
   return out.Release();
 }
 
@@ -414,7 +425,8 @@ Result<KdTreeMaintainer> KdTreeMaintainer::Restore(
   BinaryReader in(blob);
   FAIRIDX_ASSIGN_OR_RETURN(const uint32_t magic, in.ReadU32());
   FAIRIDX_ASSIGN_OR_RETURN(const uint32_t version, in.ReadU32());
-  if (magic != kKdMaintainerMagic || version != kKdMaintainerVersion) {
+  if (magic != kKdMaintainerMagic || version < 1 ||
+      version > kKdMaintainerVersion) {
     return DataLossError("KdTreeMaintainer: bad magic or version");
   }
   KdTreeMaintainer maintainer(grid, options);
@@ -453,10 +465,20 @@ Result<KdTreeMaintainer> KdTreeMaintainer::Restore(
     FAIRIDX_ASSIGN_OR_RETURN(const CellRect rect, ReadRect(&in));
     maintainer.tree_.result.regions.push_back(rect);
   }
-  FAIRIDX_ASSIGN_OR_RETURN(const std::string partition_bytes,
-                           in.ReadString());
-  FAIRIDX_ASSIGN_OR_RETURN(maintainer.tree_.result.partition,
-                           ParsePartitionBinary(grid, partition_bytes));
+  if (version >= 2) {
+    // v2 carries no partition bytes: rebuild the cell map from the leaf
+    // rects, which the maintainer invariant guarantees reproduces the
+    // saved map bit for bit (and validates coverage in the process).
+    FAIRIDX_ASSIGN_OR_RETURN(
+        maintainer.tree_.result.partition,
+        Partition::FromRects(grid, maintainer.tree_.result.regions,
+                             std::max(1, options.num_threads)));
+  } else {
+    FAIRIDX_ASSIGN_OR_RETURN(const std::string partition_bytes,
+                             in.ReadString());
+    FAIRIDX_ASSIGN_OR_RETURN(maintainer.tree_.result.partition,
+                             ParsePartitionBinary(grid, partition_bytes));
+  }
   if (in.remaining() != 0) {
     return DataLossError("KdTreeMaintainer: trailing bytes in blob");
   }

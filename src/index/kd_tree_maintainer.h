@@ -53,8 +53,12 @@ struct KdRefineStats {
   /// True when the leaf list (and hence the partition) changed.
   bool changed = false;
   /// True when the pass patched in place (every re-split subtree kept its
-  /// node and leaf counts); false for the splice fallback or a no-op.
+  /// node and leaf counts); false for a splice or a no-op.
   bool patched_in_place = false;
+  /// True when a leaf-count-changing splice published by patching only the
+  /// changed positions' rects (Partition::DiffRects + ApplyRectPatch)
+  /// instead of a full FromRects rebuild.
+  bool patched_splice = false;
 };
 
 /// A KD partition plus the recorded split tree and per-node snapshots,
@@ -168,8 +172,9 @@ class KdTreeMaintainer {
                          KdRefineStats* stats);
 
   /// Rebuilds the node/leaf vectors by splicing kept segments around the
-  /// patches (sizes changed somewhere); refreshes the partition from the
-  /// new leaf list.
+  /// patches (sizes changed somewhere); patches the partition's cell map
+  /// at the positions whose (rect, id) pair changed — O(changed area),
+  /// bit-identical to a FromRects rebuild over the new leaf list.
   Status SpliceWithPatches(const std::vector<Patch>& patches,
                            const GridAggregates& aggregates,
                            KdRefineStats* stats);

@@ -1,6 +1,10 @@
 #include "index/partition.h"
 
+#include <algorithm>
+#include <atomic>
 #include <map>
+
+#include "common/thread_pool.h"
 
 namespace fairidx {
 
@@ -51,43 +55,87 @@ Result<Partition> Partition::FromCellMapExact(
 }
 
 Result<Partition> Partition::FromRects(const Grid& grid,
-                                       const std::vector<CellRect>& rects) {
+                                       const std::vector<CellRect>& rects,
+                                       int num_threads) {
   if (rects.empty()) return InvalidArgumentError("Partition: no rects");
-  // Hot path: blind row-segment fills plus area accounting. A fill may
-  // silently overwrite an overlap, but then the areas cannot add up to a
-  // gap-free grid: total area = coverage + double-writes, so (area ==
-  // num_cells && no -1 left) implies a true partition. Anything else drops
-  // to the diagnostic re-scan below.
-  std::vector<int> cell_to_region(static_cast<size_t>(grid.num_cells()), -1);
-  long long filled_area = 0;
-  for (size_t i = 0; i < rects.size(); ++i) {
-    const CellRect& rect = rects[i];
+  // Out-of-grid rects fail before any memory is touched, in rect order, so
+  // the diagnostic names the same rect at every thread count.
+  for (const CellRect& rect : rects) {
     if (rect.row_begin < 0 || rect.col_begin < 0 ||
         rect.row_end > grid.rows() || rect.col_end > grid.cols()) {
       return OutOfRangeError("Partition: rect outside grid: " +
                              rect.DebugString());
     }
-    // Empty/inverted rects must not reach std::fill (first > last is UB);
-    // they contribute no area, so the gap diagnostics below still fire.
-    if (rect.empty()) continue;
-    for (int r = rect.row_begin; r < rect.row_end; ++r) {
-      int* row_begin = cell_to_region.data() + grid.CellId(r, rect.col_begin);
-      std::fill(row_begin, row_begin + rect.num_cols(), static_cast<int>(i));
-    }
-    filled_area += rect.num_cells();
   }
-  if (filled_area == grid.num_cells()) {
-    bool has_gap = false;
-    for (int region : cell_to_region) {
-      if (region == -1) {
-        has_gap = true;
-        break;
-      }
-    }
-    if (!has_gap) {
-      return Partition(std::move(cell_to_region),
-                       static_cast<int>(rects.size()));
-    }
+
+  int threads = num_threads;
+  if (threads == 0) {
+    // Auto: same heuristic as GridAggregates::IntegrateSlots — engage the
+    // shared pool only when it has workers and the grid is big enough for
+    // the fill to dominate the task bookkeeping.
+    ThreadPool& pool = ThreadPool::Shared();
+    const bool big =
+        static_cast<long long>(grid.num_cells()) >= 256LL * 256LL;
+    threads = (pool.num_workers() > 0 && big) ? pool.num_workers() + 1 : 1;
+  }
+
+  // Hot path: blind row-segment fills plus area accounting. A fill may
+  // silently overwrite an overlap, but then the areas cannot add up to a
+  // gap-free grid: total area = coverage + double-writes, so (area ==
+  // num_cells && no -1 left) implies a true partition. Anything else drops
+  // to the diagnostic re-scan below.
+  //
+  // The parallel fill cuts the grid into horizontal row bands; every band
+  // task walks the full rect list and fills only its band's intersection.
+  // Writes are band-disjoint by construction (even on invalid overlapping
+  // input, so no data race precedes the cold-path rejection), within a
+  // band the rect order matches the serial loop, and the per-band filled
+  // areas sum to the serial total — so the hot path's accept/reject
+  // decision and the accepted cell map are bit-identical at any thread
+  // count.
+  std::vector<int> cell_to_region(static_cast<size_t>(grid.num_cells()), -1);
+  const int bands =
+      std::max(1, std::min(threads, grid.rows()));
+  std::atomic<long long> filled_area{0};
+  std::atomic<bool> has_gap{false};
+  ThreadPool::Shared().ParallelFor(
+      static_cast<size_t>(bands), bands, [&](size_t b) {
+        const int band_begin =
+            static_cast<int>(static_cast<long long>(grid.rows()) * b / bands);
+        const int band_end = static_cast<int>(
+            static_cast<long long>(grid.rows()) * (b + 1) / bands);
+        long long band_area = 0;
+        for (size_t i = 0; i < rects.size(); ++i) {
+          const CellRect& rect = rects[i];
+          // Empty/inverted rects must not reach std::fill (first > last is
+          // UB); they contribute no area, so the gap diagnostics below
+          // still fire.
+          if (rect.empty()) continue;
+          const int row_lo = std::max(rect.row_begin, band_begin);
+          const int row_hi = std::min(rect.row_end, band_end);
+          for (int r = row_lo; r < row_hi; ++r) {
+            int* row_begin =
+                cell_to_region.data() + grid.CellId(r, rect.col_begin);
+            std::fill(row_begin, row_begin + rect.num_cols(),
+                      static_cast<int>(i));
+          }
+          if (row_hi > row_lo) {
+            band_area +=
+                static_cast<long long>(row_hi - row_lo) * rect.num_cols();
+          }
+        }
+        filled_area.fetch_add(band_area, std::memory_order_relaxed);
+        const int* begin =
+            cell_to_region.data() + grid.CellId(band_begin, 0);
+        const int* end = cell_to_region.data() + grid.CellId(band_end, 0);
+        if (std::find(begin, end, -1) != end) {
+          has_gap.store(true, std::memory_order_relaxed);
+        }
+      });
+  if (filled_area.load(std::memory_order_relaxed) == grid.num_cells() &&
+      !has_gap.load(std::memory_order_relaxed)) {
+    return Partition(std::move(cell_to_region),
+                     static_cast<int>(rects.size()));
   }
 
   // Cold path: re-mark cell by cell to name the first overlap or gap.
@@ -121,6 +169,29 @@ void Partition::AssignRect(int cols, const CellRect& rect, int region) {
                static_cast<size_t>(r) * cols + rect.col_begin;
     std::fill(row, row + rect.num_cols(), region);
   }
+}
+
+void Partition::ApplyRectPatch(
+    int cols, const std::vector<RectAssignment>& assignments,
+    int num_regions) {
+  for (const RectAssignment& assignment : assignments) {
+    AssignRect(cols, assignment.rect, assignment.region);
+  }
+  num_regions_ = num_regions;
+}
+
+std::vector<Partition::RectAssignment> Partition::DiffRects(
+    const std::vector<CellRect>& old_rects,
+    const std::vector<CellRect>& new_rects) {
+  std::vector<RectAssignment> plan;
+  for (size_t p = 0; p < new_rects.size(); ++p) {
+    // Skip positions whose (rect, id) pair is unchanged: their cells
+    // already hold p, and the disjointness of the new rects means no other
+    // assignment in this plan can overwrite them.
+    if (p < old_rects.size() && new_rects[p] == old_rects[p]) continue;
+    plan.push_back(RectAssignment{new_rects[p], static_cast<int>(p)});
+  }
+  return plan;
 }
 
 Partition Partition::Single(int num_cells) {

@@ -35,9 +35,48 @@ class Partition {
                                             int num_regions);
 
   /// Builds from disjoint rectangles that exactly cover `grid`. Region i is
-  /// rects[i]. Fails on overlap or gaps.
+  /// rects[i]. Fails on overlap or gaps, with a one-line diagnostic naming
+  /// the first offending cell (or the out-of-grid rect).
+  ///
+  /// `num_threads` parallelizes the cell-map fill across horizontal row
+  /// bands on the shared ThreadPool (0 = auto: engage the pool when it has
+  /// workers and the grid is >= 256x256 cells; 1 = serial; N = that many
+  /// lanes). Band writes are disjoint by construction — even on invalid
+  /// overlapping input — and the output is bit-identical to the serial
+  /// fill at any thread count.
   static Result<Partition> FromRects(const Grid& grid,
-                                     const std::vector<CellRect>& rects);
+                                     const std::vector<CellRect>& rects,
+                                     int num_threads = 1);
+
+  /// One entry of a cell-map patch: every cell of `rect` becomes `region`.
+  struct RectAssignment {
+    CellRect rect;
+    int region = 0;
+  };
+
+  /// Trusted in-place patch: applies every assignment (row-major over
+  /// `cols` columns) and sets the region count to `num_regions`. No
+  /// completeness or range checking — the caller must guarantee that after
+  /// the patch every cell holds an id in [0, num_regions) and every id
+  /// appears, i.e. that the result equals FromRects over the full new rect
+  /// list. DiffRects builds exactly such a patch; the tree maintainers use
+  /// it to publish splices in O(changed area) instead of O(grid)
+  /// (tests/partition_test.cc pins patched == FromRects bit for bit).
+  void ApplyRectPatch(int cols,
+                      const std::vector<RectAssignment>& assignments,
+                      int num_regions);
+
+  /// The minimal ApplyRectPatch plan that rewrites a cell map currently
+  /// equal to FromRects(old_rects) into FromRects(new_rects), assuming
+  /// both lists are disjoint exact tilings of the same grid: position p
+  /// needs a write unless new_rects[p] == old_rects[p] (same rect at the
+  /// same id — its cells already hold p, and no other new rect's write can
+  /// touch them because new rects are disjoint). Ids may shift and the
+  /// lists may differ in length; the plan's cost is O(area of changed
+  /// positions), which is what makes splice publication O(changed).
+  static std::vector<RectAssignment> DiffRects(
+      const std::vector<CellRect>& old_rects,
+      const std::vector<CellRect>& new_rects);
 
   /// The trivial one-region partition of an n-cell grid.
   static Partition Single(int num_cells);
@@ -67,9 +106,10 @@ class Partition {
   bool IsRefinedBy(const Partition& finer) const;
 
  private:
-  // The tree maintainers patch same-size subtree re-splits in place
-  // (O(drifted area) instead of a full FromRects); they guarantee the
-  // partition invariants across their patches.
+  // The tree maintainers patch subtree re-splits in place — same-size ones
+  // via AssignRect, leaf-count-changing splices via ApplyRectPatch —
+  // keeping publication O(drifted area) instead of a full FromRects; they
+  // guarantee the partition invariants across their patches.
   friend class KdTreeMaintainer;
   friend class QuadTreeMaintainer;
 

@@ -1,5 +1,6 @@
 #include "index/quadtree_maintainer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <utility>
@@ -73,8 +74,10 @@ Result<QuadTreeMaintainer> QuadTreeMaintainer::Build(
       GrowFairQuadtree(aggregates, grid.FullRect(), options));
   QuadTreeMaintainer out(grid, options);
   out.leaf_nodes_ = AppendRecording(recording, aggregates, &out.nodes_);
-  FAIRIDX_ASSIGN_OR_RETURN(Partition partition,
-                           Partition::FromRects(grid, recording.leaves));
+  FAIRIDX_ASSIGN_OR_RETURN(
+      Partition partition,
+      Partition::FromRects(grid, recording.leaves,
+                           std::max(1, options.num_threads)));
   out.partition_.partition = std::move(partition);
   out.partition_.regions = std::move(recording.leaves);
   return out;
@@ -262,13 +265,15 @@ Result<KdRefineStats> QuadTreeMaintainer::Refine(
   }
 
   // Some subtree changed its leaf count (degenerate-axis growth or
-  // min_region_count stops landed differently): size-preserving patches
-  // still replace in position; the others drop their old positions and
-  // append their fresh leaves at the end, then the partition is rebuilt.
-  std::vector<int> new_leaf_nodes;
-  std::vector<CellRect> new_regions;
-  new_leaf_nodes.reserve(leaf_nodes_.size());
-  new_regions.reserve(partition_.regions.size());
+  // min_region_count stops landed differently). Compaction-aware splice:
+  // every surviving leaf (kept or size-preserving replacement) stays at
+  // its OLD position, so an id shift only happens where a slot was
+  // actually freed or the leaf list shrank — the cell-map patch below then
+  // touches O(changed area), not the O(grid) a drop-and-compact relabel
+  // would force. Size-changing patches free their positions; their fresh
+  // leaves, plus any survivor whose old position falls beyond the new
+  // leaf count, take the freed slots and the growth tail in ascending
+  // slot order.
   std::vector<int> index_in_patch(leaf_nodes_.size(), -1);
   for (const Patch& patch : patches) {
     for (size_t j = 0; j < patch.positions.size(); ++j) {
@@ -276,36 +281,96 @@ Result<KdRefineStats> QuadTreeMaintainer::Refine(
           static_cast<int>(j);
     }
   }
-  for (size_t pos = 0; pos < leaf_nodes_.size(); ++pos) {
+  long long delta = 0;
+  for (const Patch& patch : patches) {
+    delta += static_cast<long long>(patch.recording.leaves.size()) -
+             static_cast<long long>(patch.positions.size());
+  }
+  const size_t old_k = leaf_nodes_.size();
+  const size_t new_k =
+      static_cast<size_t>(static_cast<long long>(old_k) + delta);
+  if (new_k == 0) {
+    return InternalError("QuadTreeMaintainer: splice emptied the leaf list");
+  }
+
+  // Open slots below new_k, ascending: positions freed by size-changing
+  // patches (a subtree's leaf positions need not be contiguous, so sort),
+  // then the growth tail [old_k, new_k).
+  std::vector<int> open_slots;
+  for (const Patch& patch : patches) {
+    if (patch.recording.leaves.size() == patch.positions.size()) continue;
+    for (int pos : patch.positions) {
+      if (static_cast<size_t>(pos) < new_k) open_slots.push_back(pos);
+    }
+  }
+  std::sort(open_slots.begin(), open_slots.end());
+  for (size_t pos = old_k; pos < new_k; ++pos) {
+    open_slots.push_back(static_cast<int>(pos));
+  }
+
+  // Survivors home in place; evictees (old position >= new_k) and the
+  // size-changing patches' fresh leaves queue for open slots in a
+  // deterministic order: evictees by ascending old position, then fresh
+  // leaves in patch/recording order.
+  std::vector<int> new_leaf_nodes(new_k, -1);
+  std::vector<CellRect> new_regions(new_k);
+  std::vector<std::pair<int, CellRect>> homeless;
+  for (size_t pos = 0; pos < old_k; ++pos) {
     const int old_leaf = leaf_nodes_[pos];
     const int p = patch_of[static_cast<size_t>(old_leaf)];
+    int node;
+    CellRect rect;
     if (p < 0) {
-      new_leaf_nodes.push_back(old_to_new[static_cast<size_t>(old_leaf)]);
-      new_regions.push_back(partition_.regions[pos]);
-      continue;
+      node = old_to_new[static_cast<size_t>(old_leaf)];
+      rect = partition_.regions[pos];
+    } else {
+      const Patch& patch = patches[static_cast<size_t>(p)];
+      if (patch.recording.leaves.size() != patch.positions.size()) {
+        continue;  // Freed: this patch's fresh leaves queue below.
+      }
+      const size_t j = static_cast<size_t>(index_in_patch[pos]);
+      node = patch_leaf_ids[static_cast<size_t>(p)][j];
+      rect = patch.recording.leaves[j];
     }
-    const Patch& patch = patches[static_cast<size_t>(p)];
-    if (patch.recording.leaves.size() != patch.positions.size()) {
-      continue;  // Appended below instead.
+    if (pos < new_k) {
+      new_leaf_nodes[pos] = node;
+      new_regions[pos] = rect;
+    } else {
+      homeless.emplace_back(node, rect);
     }
-    const size_t j = static_cast<size_t>(index_in_patch[pos]);
-    new_leaf_nodes.push_back(patch_leaf_ids[static_cast<size_t>(p)][j]);
-    new_regions.push_back(patch.recording.leaves[j]);
   }
   for (size_t p = 0; p < patches.size(); ++p) {
     const Patch& patch = patches[p];
     if (patch.recording.leaves.size() == patch.positions.size()) continue;
     for (size_t j = 0; j < patch.recording.leaves.size(); ++j) {
-      new_leaf_nodes.push_back(patch_leaf_ids[p][j]);
-      new_regions.push_back(patch.recording.leaves[j]);
+      homeless.emplace_back(patch_leaf_ids[p][j],
+                            patch.recording.leaves[j]);
     }
   }
+  if (homeless.size() != open_slots.size()) {
+    return InternalError(
+        "QuadTreeMaintainer: splice slot accounting out of balance");
+  }
+  for (size_t i = 0; i < homeless.size(); ++i) {
+    const size_t slot = static_cast<size_t>(open_slots[i]);
+    new_leaf_nodes[slot] = homeless[i].first;
+    new_regions[slot] = homeless[i].second;
+  }
+
   stats.changed = new_regions != partition_.regions;
   if (stats.changed) {
-    FAIRIDX_ASSIGN_OR_RETURN(Partition partition,
-                             Partition::FromRects(grid_, new_regions));
-    partition_.partition = std::move(partition);
+    // O(changed area) publication: the cell map equals FromRects(old
+    // regions) — the maintainer invariant — so only positions whose
+    // (rect, id) pair changed need their cells rewritten. The new rects
+    // are disjoint and tile the grid (survivor rects are untouched and
+    // each patch's fresh leaves tile exactly its root's rect), which is
+    // DiffRects' premise; tests/quadtree_maintainer_test.cc pins the
+    // patched map bitwise equal to a FromRects rebuild.
+    partition_.partition.ApplyRectPatch(
+        grid_.cols(), Partition::DiffRects(partition_.regions, new_regions),
+        static_cast<int>(new_k));
     partition_.regions = std::move(new_regions);
+    stats.patched_splice = true;
   }
   nodes_ = std::move(new_nodes);
   leaf_nodes_ = std::move(new_leaf_nodes);
@@ -315,7 +380,10 @@ Result<KdRefineStats> QuadTreeMaintainer::Refine(
 namespace {
 
 constexpr uint32_t kQuadMaintainerMagic = 0x4658514Du;  // "FXQM"
-constexpr uint32_t kQuadMaintainerVersion = 1;
+// v2 drops the trailing serialized partition (rebuilt from the region
+// rects on Restore — see the KD maintainer for the rationale); v1 blobs
+// still restore.
+constexpr uint32_t kQuadMaintainerVersion = 2;
 
 void PutRect(BinaryWriter* out, const CellRect& rect) {
   out->PutI32(rect.row_begin);
@@ -369,7 +437,6 @@ std::string QuadTreeMaintainer::Save() const {
   for (int leaf : leaf_nodes_) out.PutI32(leaf);
   out.PutU64(partition_.regions.size());
   for (const CellRect& rect : partition_.regions) PutRect(&out, rect);
-  out.PutString(SerializePartitionBinary(partition_.partition));
   return out.Release();
 }
 
@@ -379,7 +446,8 @@ Result<QuadTreeMaintainer> QuadTreeMaintainer::Restore(
   BinaryReader in(blob);
   FAIRIDX_ASSIGN_OR_RETURN(const uint32_t magic, in.ReadU32());
   FAIRIDX_ASSIGN_OR_RETURN(const uint32_t version, in.ReadU32());
-  if (magic != kQuadMaintainerMagic || version != kQuadMaintainerVersion) {
+  if (magic != kQuadMaintainerMagic || version < 1 ||
+      version > kQuadMaintainerVersion) {
     return DataLossError("QuadTreeMaintainer: bad magic or version");
   }
   QuadTreeMaintainer maintainer(grid, options);
@@ -420,10 +488,20 @@ Result<QuadTreeMaintainer> QuadTreeMaintainer::Restore(
     FAIRIDX_ASSIGN_OR_RETURN(const CellRect rect, ReadRect(&in));
     maintainer.partition_.regions.push_back(rect);
   }
-  FAIRIDX_ASSIGN_OR_RETURN(const std::string partition_bytes,
-                           in.ReadString());
-  FAIRIDX_ASSIGN_OR_RETURN(maintainer.partition_.partition,
-                           ParsePartitionBinary(grid, partition_bytes));
+  if (version >= 2) {
+    // v2 carries no partition bytes: the maintainer invariant (cell map ==
+    // FromRects(regions)) lets Restore rebuild it from the region rects,
+    // bit for bit, validating coverage in the process.
+    FAIRIDX_ASSIGN_OR_RETURN(
+        maintainer.partition_.partition,
+        Partition::FromRects(grid, maintainer.partition_.regions,
+                             std::max(1, options.num_threads)));
+  } else {
+    FAIRIDX_ASSIGN_OR_RETURN(const std::string partition_bytes,
+                             in.ReadString());
+    FAIRIDX_ASSIGN_OR_RETURN(maintainer.partition_.partition,
+                             ParsePartitionBinary(grid, partition_bytes));
+  }
   if (in.remaining() != 0) {
     return DataLossError("QuadTreeMaintainer: trailing bytes in blob");
   }

@@ -18,6 +18,8 @@ namespace {
 
 constexpr uint32_t kCheckpointMagic = 0x4658434Bu;  // "FXCK"
 constexpr uint32_t kCheckpointVersion = 1;
+constexpr uint32_t kDeltaCheckpointMagic = 0x46584443u;  // "FXDC"
+constexpr uint32_t kDeltaCheckpointVersion = 1;
 
 std::string JoinPath(const std::string& dir, const std::string& name) {
   if (dir.empty()) return name;
@@ -136,14 +138,103 @@ Result<CheckpointData> ParseBody(const std::string& body,
   return data;
 }
 
-}  // namespace
-
-std::string CheckpointFileName(long long epoch, long long generation) {
-  return "checkpoint-" + std::to_string(epoch) + "-" +
-         std::to_string(generation) + ".ckpt";
+std::string SerializeDeltaBody(const CheckpointDelta& delta) {
+  BinaryWriter out;
+  out.PutI32(delta.rows);
+  out.PutI32(delta.cols);
+  out.PutI64(delta.epoch);
+  out.PutI64(delta.sealed_records);
+  out.PutI64(delta.wal_generation);
+  out.PutI64(delta.total_resplits);
+  out.PutString(delta.algorithm);
+  out.PutI64(delta.prev_epoch);
+  out.PutI64(delta.prev_generation);
+  out.PutU64(delta.cells.size());
+  for (size_t i = 0; i < delta.cells.size(); ++i) {
+    out.PutU32(static_cast<uint32_t>(delta.cells[i]));
+    out.PutDouble(delta.sums[i].count);
+    out.PutDouble(delta.sums[i].labels);
+    out.PutDouble(delta.sums[i].scores);
+    out.PutDouble(delta.sums[i].residuals);
+    out.PutDouble(delta.sums[i].cell_abs);
+  }
+  out.PutU64(delta.regions.size());
+  for (const CellRect& rect : delta.regions) {
+    out.PutI32(rect.row_begin);
+    out.PutI32(rect.row_end);
+    out.PutI32(rect.col_begin);
+    out.PutI32(rect.col_end);
+  }
+  out.PutString(delta.maintained_blob);
+  return out.Release();
 }
 
-Result<std::vector<CheckpointInfo>> ListCheckpoints(const std::string& dir) {
+Result<CheckpointDelta> ParseDeltaBody(const std::string& body,
+                                       const std::string& path) {
+  BinaryReader in(body);
+  CheckpointDelta delta;
+  FAIRIDX_ASSIGN_OR_RETURN(delta.rows, in.ReadI32());
+  FAIRIDX_ASSIGN_OR_RETURN(delta.cols, in.ReadI32());
+  FAIRIDX_ASSIGN_OR_RETURN(delta.epoch, in.ReadI64());
+  FAIRIDX_ASSIGN_OR_RETURN(delta.sealed_records, in.ReadI64());
+  FAIRIDX_ASSIGN_OR_RETURN(delta.wal_generation, in.ReadI64());
+  FAIRIDX_ASSIGN_OR_RETURN(delta.total_resplits, in.ReadI64());
+  FAIRIDX_ASSIGN_OR_RETURN(delta.algorithm, in.ReadString());
+  FAIRIDX_ASSIGN_OR_RETURN(delta.prev_epoch, in.ReadI64());
+  FAIRIDX_ASSIGN_OR_RETURN(delta.prev_generation, in.ReadI64());
+  if (delta.rows < 1 || delta.cols < 1 || delta.epoch < 0 ||
+      delta.sealed_records < 0 || delta.wal_generation < 1 ||
+      delta.prev_epoch < 0 || delta.prev_generation < 1) {
+    return DataLossError("checkpoint " + path + ": invalid header fields");
+  }
+  const uint64_t num_cells = static_cast<uint64_t>(delta.rows) *
+                             static_cast<uint64_t>(delta.cols);
+  FAIRIDX_ASSIGN_OR_RETURN(const uint64_t num_dirty, in.ReadU64());
+  if (num_dirty > num_cells) {
+    return DataLossError("checkpoint " + path +
+                         ": more dirty cells than grid cells");
+  }
+  delta.cells.reserve(static_cast<size_t>(num_dirty));
+  delta.sums.reserve(static_cast<size_t>(num_dirty));
+  for (uint64_t i = 0; i < num_dirty; ++i) {
+    FAIRIDX_ASSIGN_OR_RETURN(const uint32_t cell, in.ReadU32());
+    if (cell >= num_cells ||
+        (!delta.cells.empty() &&
+         static_cast<uint32_t>(delta.cells.back()) >= cell)) {
+      return DataLossError("checkpoint " + path +
+                           ": dirty cells not ascending in-grid ids");
+    }
+    GridAggregates::PrefixEntry entry;
+    FAIRIDX_ASSIGN_OR_RETURN(entry.count, in.ReadDouble());
+    FAIRIDX_ASSIGN_OR_RETURN(entry.labels, in.ReadDouble());
+    FAIRIDX_ASSIGN_OR_RETURN(entry.scores, in.ReadDouble());
+    FAIRIDX_ASSIGN_OR_RETURN(entry.residuals, in.ReadDouble());
+    FAIRIDX_ASSIGN_OR_RETURN(entry.cell_abs, in.ReadDouble());
+    delta.cells.push_back(static_cast<int>(cell));
+    delta.sums.push_back(entry);
+  }
+  FAIRIDX_ASSIGN_OR_RETURN(const uint64_t num_rects, in.ReadU64());
+  delta.regions.reserve(static_cast<size_t>(num_rects));
+  for (uint64_t i = 0; i < num_rects; ++i) {
+    CellRect rect;
+    FAIRIDX_ASSIGN_OR_RETURN(rect.row_begin, in.ReadI32());
+    FAIRIDX_ASSIGN_OR_RETURN(rect.row_end, in.ReadI32());
+    FAIRIDX_ASSIGN_OR_RETURN(rect.col_begin, in.ReadI32());
+    FAIRIDX_ASSIGN_OR_RETURN(rect.col_end, in.ReadI32());
+    delta.regions.push_back(rect);
+  }
+  FAIRIDX_ASSIGN_OR_RETURN(delta.maintained_blob, in.ReadString());
+  if (in.remaining() != 0) {
+    return DataLossError("checkpoint " + path + ": trailing bytes");
+  }
+  return delta;
+}
+
+// Lists dir entries matching `pattern` (a two-%lld sscanf format), sorted
+// ascending by (epoch, generation) — the shared scan behind
+// ListCheckpoints / ListDeltaCheckpoints.
+Result<std::vector<CheckpointInfo>> ListByPattern(const std::string& dir,
+                                                  const char* pattern) {
   std::error_code ec;
   std::vector<CheckpointInfo> checkpoints;
   std::filesystem::directory_iterator it(dir, ec);
@@ -156,8 +247,8 @@ Result<std::vector<CheckpointInfo>> ListCheckpoints(const std::string& dir) {
     long long epoch = 0;
     long long generation = 0;
     int consumed = 0;
-    if (std::sscanf(name.c_str(), "checkpoint-%lld-%lld.ckpt%n", &epoch,
-                    &generation, &consumed) == 2 &&
+    if (std::sscanf(name.c_str(), pattern, &epoch, &generation,
+                    &consumed) == 2 &&
         consumed == static_cast<int>(name.size())) {
       checkpoints.push_back(
           CheckpointInfo{epoch, generation, entry.path().string()});
@@ -171,7 +262,11 @@ Result<std::vector<CheckpointInfo>> ListCheckpoints(const std::string& dir) {
   return checkpoints;
 }
 
-Status WriteCheckpoint(const std::string& dir, const CheckpointData& data,
+// Atomically installs one CRC-framed body as dir/name (tmp + fsync +
+// rename) — the shared tail of WriteCheckpoint / WriteDeltaCheckpoint.
+Status WriteFramedFile(const std::string& dir, const std::string& name,
+                       uint32_t magic, uint32_t version,
+                       const std::string& body,
                        const WritableFileFactory& file_factory) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
@@ -179,16 +274,14 @@ Status WriteCheckpoint(const std::string& dir, const CheckpointData& data,
     return InternalError("cannot create checkpoint dir '" + dir +
                          "': " + ec.message());
   }
-  const std::string body = SerializeBody(data);
   BinaryWriter framed;
-  framed.PutU32(kCheckpointMagic);
-  framed.PutU32(kCheckpointVersion);
+  framed.PutU32(magic);
+  framed.PutU32(version);
   framed.PutU32(static_cast<uint32_t>(body.size()));
   framed.PutU32(Crc32(body.data(), body.size()));
   framed.PutBytes(body.data(), body.size());
 
-  const std::string final_path =
-      JoinPath(dir, CheckpointFileName(data.epoch, data.wal_generation));
+  const std::string final_path = JoinPath(dir, name);
   const std::string tmp_path = final_path + ".tmp";
   {
     Result<std::unique_ptr<WritableFile>> file =
@@ -208,16 +301,19 @@ Status WriteCheckpoint(const std::string& dir, const CheckpointData& data,
   return Status::Ok();
 }
 
-Result<CheckpointData> ReadCheckpoint(const std::string& path) {
+// Reads one CRC-framed file and returns its validated body — the shared
+// head of ReadCheckpoint / ReadDeltaCheckpoint.
+Result<std::string> ReadFramedFile(const std::string& path, uint32_t magic,
+                                   uint32_t version) {
   std::ifstream file(path, std::ios::binary);
   if (!file) return NotFoundError("cannot open checkpoint '" + path + "'");
   std::stringstream buffer;
   buffer << file.rdbuf();
   const std::string bytes = buffer.str();
   BinaryReader frame(bytes);
-  FAIRIDX_ASSIGN_OR_RETURN(const uint32_t magic, frame.ReadU32());
-  FAIRIDX_ASSIGN_OR_RETURN(const uint32_t version, frame.ReadU32());
-  if (magic != kCheckpointMagic || version != kCheckpointVersion) {
+  FAIRIDX_ASSIGN_OR_RETURN(const uint32_t got_magic, frame.ReadU32());
+  FAIRIDX_ASSIGN_OR_RETURN(const uint32_t got_version, frame.ReadU32());
+  if (got_magic != magic || got_version != version) {
     return DataLossError("checkpoint " + path + ": bad magic or version");
   }
   FAIRIDX_ASSIGN_OR_RETURN(const uint32_t body_len, frame.ReadU32());
@@ -231,14 +327,191 @@ Result<CheckpointData> ReadCheckpoint(const std::string& path) {
   if (Crc32(body.data(), body.size()) != expected_crc) {
     return DataLossError("checkpoint " + path + ": CRC mismatch");
   }
+  return body;
+}
+
+// Materializes the partition a delta head's region rects imply (region i
+// owns rect i — the tiling Partition::FromRects validates), reported as
+// DataLoss so a bad head falls back like any other corrupt checkpoint.
+Result<Partition> PartitionFromRegionRects(
+    int rows, int cols, const std::vector<CellRect>& rects,
+    const std::string& path) {
+  std::vector<int> cell_to_region(
+      static_cast<size_t>(rows) * static_cast<size_t>(cols), -1);
+  for (size_t r = 0; r < rects.size(); ++r) {
+    const CellRect& rect = rects[r];
+    if (rect.row_begin < 0 || rect.col_begin < 0 || rect.row_end > rows ||
+        rect.col_end > cols) {
+      return DataLossError("checkpoint " + path +
+                           ": region rect outside grid");
+    }
+    for (int row = rect.row_begin; row < rect.row_end; ++row) {
+      std::fill(cell_to_region.begin() +
+                    static_cast<size_t>(row) * cols + rect.col_begin,
+                cell_to_region.begin() +
+                    static_cast<size_t>(row) * cols + rect.col_end,
+                static_cast<int>(r));
+    }
+  }
+  Result<Partition> partition = Partition::FromCellMapExact(
+      std::move(cell_to_region), static_cast<int>(rects.size()));
+  if (!partition.ok()) {
+    return DataLossError("checkpoint " + path + ": " +
+                         partition.status().message());
+  }
+  return partition;
+}
+
+// Resolves a delta head into full CheckpointData: follows prev links back
+// to a full checkpoint, then overlays the chain's dirty cells oldest
+// first. Any missing/corrupt/cyclic link fails (with DataLoss), and
+// LoadLatestCheckpoint falls back to the next-older head.
+Result<CheckpointData> ResolveDeltaChain(
+    const std::string& dir, const CheckpointInfo& head,
+    const std::vector<CheckpointInfo>& deltas) {
+  std::vector<CheckpointDelta> chain;  // head first, oldest last
+  FAIRIDX_ASSIGN_OR_RETURN(CheckpointDelta head_delta,
+                           ReadDeltaCheckpoint(head.path));
+  chain.push_back(std::move(head_delta));
+  CheckpointData base;
+  for (;;) {
+    const CheckpointDelta& tail = chain.back();
+    // A full checkpoint at the link ends the chain.
+    Result<CheckpointData> full = ReadCheckpoint(JoinPath(
+        dir, CheckpointFileName(tail.prev_epoch, tail.prev_generation)));
+    if (full.ok()) {
+      base = std::move(*full);
+      break;
+    }
+    const CheckpointInfo* prev_info = nullptr;
+    for (const CheckpointInfo& info : deltas) {
+      if (info.epoch == tail.prev_epoch &&
+          info.generation == tail.prev_generation) {
+        prev_info = &info;
+        break;
+      }
+    }
+    if (prev_info == nullptr) {
+      return DataLossError("checkpoint " + head.path +
+                           ": delta chain broken at predecessor (" +
+                           std::to_string(tail.prev_epoch) + ", " +
+                           std::to_string(tail.prev_generation) + ")");
+    }
+    if (chain.size() > deltas.size()) {
+      return DataLossError("checkpoint " + head.path +
+                           ": delta chain cycle");
+    }
+    FAIRIDX_ASSIGN_OR_RETURN(CheckpointDelta prev,
+                             ReadDeltaCheckpoint(prev_info->path));
+    chain.push_back(std::move(prev));
+  }
+  // Overlay oldest -> newest onto the base's cell sums.
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    const CheckpointDelta& delta = *it;
+    if (delta.rows != base.rows || delta.cols != base.cols ||
+        delta.algorithm != base.algorithm) {
+      return DataLossError("checkpoint " + head.path +
+                           ": delta chain disagrees with its base");
+    }
+    for (size_t i = 0; i < delta.cells.size(); ++i) {
+      base.cell_sums[static_cast<size_t>(delta.cells[i])] = delta.sums[i];
+    }
+  }
+  const CheckpointDelta& newest = chain.front();
+  base.epoch = newest.epoch;
+  base.sealed_records = newest.sealed_records;
+  base.wal_generation = newest.wal_generation;
+  base.total_resplits = newest.total_resplits;
+  base.regions = newest.regions;
+  base.maintained_blob = newest.maintained_blob;
+  FAIRIDX_ASSIGN_OR_RETURN(
+      base.partition,
+      PartitionFromRegionRects(base.rows, base.cols, base.regions,
+                               head.path));
+  return base;
+}
+
+}  // namespace
+
+std::string CheckpointFileName(long long epoch, long long generation) {
+  return "checkpoint-" + std::to_string(epoch) + "-" +
+         std::to_string(generation) + ".ckpt";
+}
+
+std::string DeltaCheckpointFileName(long long epoch, long long generation) {
+  return "delta-" + std::to_string(epoch) + "-" +
+         std::to_string(generation) + ".ckpt";
+}
+
+Result<std::vector<CheckpointInfo>> ListCheckpoints(const std::string& dir) {
+  return ListByPattern(dir, "checkpoint-%lld-%lld.ckpt%n");
+}
+
+Result<std::vector<CheckpointInfo>> ListDeltaCheckpoints(
+    const std::string& dir) {
+  return ListByPattern(dir, "delta-%lld-%lld.ckpt%n");
+}
+
+Status WriteCheckpoint(const std::string& dir, const CheckpointData& data,
+                       const WritableFileFactory& file_factory) {
+  return WriteFramedFile(
+      dir, CheckpointFileName(data.epoch, data.wal_generation),
+      kCheckpointMagic, kCheckpointVersion, SerializeBody(data),
+      file_factory);
+}
+
+Status WriteDeltaCheckpoint(const std::string& dir,
+                            const CheckpointDelta& delta,
+                            const WritableFileFactory& file_factory) {
+  if (delta.sums.size() != delta.cells.size()) {
+    return InvalidArgumentError(
+        "WriteDeltaCheckpoint: cells/sums size mismatch");
+  }
+  return WriteFramedFile(
+      dir, DeltaCheckpointFileName(delta.epoch, delta.wal_generation),
+      kDeltaCheckpointMagic, kDeltaCheckpointVersion,
+      SerializeDeltaBody(delta), file_factory);
+}
+
+Result<CheckpointData> ReadCheckpoint(const std::string& path) {
+  FAIRIDX_ASSIGN_OR_RETURN(
+      const std::string body,
+      ReadFramedFile(path, kCheckpointMagic, kCheckpointVersion));
   return ParseBody(body, path);
 }
 
+Result<CheckpointDelta> ReadDeltaCheckpoint(const std::string& path) {
+  FAIRIDX_ASSIGN_OR_RETURN(
+      const std::string body,
+      ReadFramedFile(path, kDeltaCheckpointMagic, kDeltaCheckpointVersion));
+  return ParseDeltaBody(body, path);
+}
+
 Result<CheckpointData> LoadLatestCheckpoint(const std::string& dir) {
-  FAIRIDX_ASSIGN_OR_RETURN(std::vector<CheckpointInfo> checkpoints,
+  FAIRIDX_ASSIGN_OR_RETURN(std::vector<CheckpointInfo> fulls,
                            ListCheckpoints(dir));
-  for (auto it = checkpoints.rbegin(); it != checkpoints.rend(); ++it) {
-    Result<CheckpointData> data = ReadCheckpoint(it->path);
+  FAIRIDX_ASSIGN_OR_RETURN(std::vector<CheckpointInfo> deltas,
+                           ListDeltaCheckpoints(dir));
+  // Heads: every file, newest (epoch, generation) first. A delta head
+  // resolves through its chain; any failure falls back to the next head,
+  // exactly like a corrupt full checkpoint.
+  struct Head {
+    CheckpointInfo info;
+    bool is_delta = false;
+  };
+  std::vector<Head> heads;
+  heads.reserve(fulls.size() + deltas.size());
+  for (const CheckpointInfo& info : fulls) heads.push_back({info, false});
+  for (const CheckpointInfo& info : deltas) heads.push_back({info, true});
+  std::sort(heads.begin(), heads.end(), [](const Head& a, const Head& b) {
+    return a.info.epoch != b.info.epoch
+               ? a.info.epoch < b.info.epoch
+               : a.info.generation < b.info.generation;
+  });
+  for (auto it = heads.rbegin(); it != heads.rend(); ++it) {
+    Result<CheckpointData> data =
+        it->is_delta ? ResolveDeltaChain(dir, it->info, deltas)
+                     : ReadCheckpoint(it->info.path);
     if (data.ok()) return data;
   }
   return NotFoundError("no valid checkpoint under '" + dir + "'");
@@ -248,15 +521,31 @@ Status PruneCheckpoints(const std::string& dir, int keep_last) {
   if (keep_last < 1) {
     return InvalidArgumentError("PruneCheckpoints: keep_last must be >= 1");
   }
-  FAIRIDX_ASSIGN_OR_RETURN(std::vector<CheckpointInfo> checkpoints,
+  FAIRIDX_ASSIGN_OR_RETURN(std::vector<CheckpointInfo> fulls,
                            ListCheckpoints(dir));
-  if (checkpoints.size() <= static_cast<size_t>(keep_last)) {
-    return Status::Ok();
-  }
   std::error_code ec;
-  for (size_t i = 0; i + static_cast<size_t>(keep_last) < checkpoints.size();
-       ++i) {
-    std::filesystem::remove(checkpoints[i].path, ec);
+  if (fulls.size() > static_cast<size_t>(keep_last)) {
+    for (size_t i = 0; i + static_cast<size_t>(keep_last) < fulls.size();
+         ++i) {
+      std::filesystem::remove(fulls[i].path, ec);
+    }
+  }
+  if (fulls.empty()) return Status::Ok();
+  // Deltas older than the oldest KEPT full can only chain to state that
+  // was just pruned (the service never chains a delta across a newer
+  // full), so they are unreachable; newer deltas may be the live head.
+  const size_t first_kept =
+      fulls.size() > static_cast<size_t>(keep_last)
+          ? fulls.size() - static_cast<size_t>(keep_last)
+          : 0;
+  const CheckpointInfo& oldest_kept = fulls[first_kept];
+  FAIRIDX_ASSIGN_OR_RETURN(std::vector<CheckpointInfo> deltas,
+                           ListDeltaCheckpoints(dir));
+  for (const CheckpointInfo& delta : deltas) {
+    const bool older = delta.epoch != oldest_kept.epoch
+                           ? delta.epoch < oldest_kept.epoch
+                           : delta.generation < oldest_kept.generation;
+    if (older) std::filesystem::remove(delta.path, ec);
   }
   return Status::Ok();
 }

@@ -15,6 +15,18 @@
 // atomically: serialize to `<name>.tmp`, fsync, rename. The body is one
 // CRC32-framed block, so a torn or corrupt checkpoint is detected on read
 // and LoadLatestCheckpoint falls back to the previous one.
+//
+// Delta checkpoints (`delta-<epoch>-<generation>.ckpt`) make the steady-
+// state checkpoint cost O(changed) instead of O(grid): a delta carries
+// only the cells DIRTIED since its predecessor checkpoint — with their
+// ABSOLUTE cumulative sums, so applying a chain is pure overwrite — plus
+// the region rects and the (tree-sized) maintenance blob. Each delta
+// names its immediate predecessor (full or delta) by (epoch, generation);
+// LoadLatestCheckpoint resolves the newest head by walking prev links
+// back to a full checkpoint and overlaying the deltas oldest-first, and
+// falls back to the next-older head when any link is missing or corrupt.
+// The resolved state is bit-identical to the full checkpoint a
+// WriteCheckpoint at the head's epoch would have captured.
 
 #ifndef FAIRIDX_SERVICE_CHECKPOINT_H_
 #define FAIRIDX_SERVICE_CHECKPOINT_H_
@@ -53,6 +65,32 @@ struct CheckpointData {
   std::string maintained_blob;
 };
 
+/// One incremental checkpoint: the cells dirtied since the predecessor
+/// checkpoint at (prev_epoch, prev_generation), with their absolute
+/// cumulative sums (overlay semantics), plus the small derived state
+/// that is cheaper to rewrite than to diff (rects, maintenance blob).
+struct CheckpointDelta {
+  int rows = 0;
+  int cols = 0;
+  long long epoch = 0;
+  long long sealed_records = 0;
+  long long wal_generation = 1;
+  long long total_resplits = 0;
+  std::string algorithm;
+  /// The immediate predecessor checkpoint in the chain — a full
+  /// checkpoint or an older delta.
+  long long prev_epoch = 0;
+  long long prev_generation = 0;
+  /// Dirty cell ids (ascending) and their absolute cumulative sums.
+  std::vector<int> cells;
+  std::vector<GridAggregates::PrefixEntry> sums;
+  /// The published region rects at `epoch` (region i owns rect i); the
+  /// resolved partition is rebuilt from these.
+  std::vector<CellRect> regions;
+  /// Partitioner::SaveMaintained blob (empty when unavailable).
+  std::string maintained_blob;
+};
+
 /// One on-disk checkpoint file, parsed from its name.
 struct CheckpointInfo {
   long long epoch = 0;
@@ -61,10 +99,16 @@ struct CheckpointInfo {
 };
 
 std::string CheckpointFileName(long long epoch, long long generation);
+std::string DeltaCheckpointFileName(long long epoch, long long generation);
 
-/// The checkpoint files under `dir`, sorted ascending by
-/// (epoch, generation). Non-checkpoint files are ignored.
+/// The FULL checkpoint files under `dir`, sorted ascending by
+/// (epoch, generation). Delta and non-checkpoint files are ignored.
 Result<std::vector<CheckpointInfo>> ListCheckpoints(const std::string& dir);
+
+/// The DELTA checkpoint files under `dir`, sorted ascending by
+/// (epoch, generation). Full and non-checkpoint files are ignored.
+Result<std::vector<CheckpointInfo>> ListDeltaCheckpoints(
+    const std::string& dir);
 
 /// Serializes `data` and atomically installs it as
 /// dir/checkpoint-<epoch>-<generation>.ckpt (tmp + fsync + rename).
@@ -72,15 +116,32 @@ Result<std::vector<CheckpointInfo>> ListCheckpoints(const std::string& dir);
 Status WriteCheckpoint(const std::string& dir, const CheckpointData& data,
                        const WritableFileFactory& file_factory = nullptr);
 
+/// Serializes `delta` and atomically installs it as
+/// dir/delta-<epoch>-<generation>.ckpt (same tmp + fsync + rename and
+/// CRC framing as WriteCheckpoint).
+Status WriteDeltaCheckpoint(const std::string& dir,
+                            const CheckpointDelta& delta,
+                            const WritableFileFactory& file_factory = nullptr);
+
 /// Reads and validates one checkpoint file (magic, version, CRC,
 /// structural checks). Torn or corrupt files fail with DataLoss.
 Result<CheckpointData> ReadCheckpoint(const std::string& path);
 
-/// Loads the newest checkpoint under `dir` that validates, skipping
-/// corrupt/torn ones; NotFound when none does (or none exists).
+/// Reads and validates one delta checkpoint file (magic, version, CRC,
+/// ascending in-grid cells). Torn or corrupt files fail with DataLoss.
+Result<CheckpointDelta> ReadDeltaCheckpoint(const std::string& path);
+
+/// Loads the newest recoverable state under `dir`, skipping corrupt/torn
+/// heads; NotFound when none resolves (or none exists). A full-checkpoint
+/// head loads directly; a delta head resolves its chain (see file
+/// header), and a chain with a missing, corrupt, or cyclic link is
+/// skipped like a corrupt full checkpoint.
 Result<CheckpointData> LoadLatestCheckpoint(const std::string& dir);
 
-/// Deletes all but the newest `keep_last` checkpoint files.
+/// Deletes all but the newest `keep_last` FULL checkpoint files, plus
+/// every delta older than the oldest kept full (such deltas can only
+/// chain to already-pruned state). Deltas newer than the oldest kept
+/// full are retained — they may be the live chain head.
 Status PruneCheckpoints(const std::string& dir, int keep_last);
 
 /// Deletes WAL segments whose records are fully covered by a checkpoint

@@ -1,12 +1,33 @@
 #include "service/fair_index_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <utility>
 
 #include "service/checkpoint.h"
 
 namespace fairidx {
+namespace {
+
+/// Lifts `value` into `target` when larger (relaxed CAS loop — the stall
+/// maxima are pure observability).
+void FetchMax(std::atomic<long long>* target, long long value) {
+  long long current = target->load(std::memory_order_relaxed);
+  while (value > current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+/// Wall-clock micros since `start`.
+long long MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 FairIndexService::FairIndexService(
     const Grid& grid, FairIndexServiceOptions options,
@@ -83,8 +104,10 @@ Result<std::unique_ptr<FairIndexService>> FairIndexService::Create(
   }
   if (service->wal_ != nullptr) {
     // The epoch-0 checkpoint carries the warmup state, so recovery never
-    // needs the warmup records themselves.
-    FAIRIDX_RETURN_IF_ERROR(service->WriteCheckpointNow());
+    // needs the warmup records themselves. Always a full snapshot: it is
+    // the base every later delta chains back to.
+    FAIRIDX_RETURN_IF_ERROR(
+        service->WriteCheckpointNow(/*allow_delta=*/false));
   }
   if (options.auto_maintain) {
     FAIRIDX_RETURN_IF_ERROR(service->StartMaintenance(options.maintain));
@@ -172,8 +195,10 @@ Result<std::unique_ptr<FairIndexService>> FairIndexService::Recover(
       service->ReplayWalTail(segments, checkpoint.epoch));
   // A fresh durable cut: everything replayed now lives in this checkpoint
   // plus the new generation's segments, so the old generation's files can
-  // finally go.
-  FAIRIDX_RETURN_IF_ERROR(service->WriteCheckpointNow());
+  // finally go. Always full — a delta here would chain into the old
+  // generation this block is about to prune.
+  FAIRIDX_RETURN_IF_ERROR(
+      service->WriteCheckpointNow(/*allow_delta=*/false));
   {
     FAIRIDX_ASSIGN_OR_RETURN(std::vector<WalSegmentInfo> leftover,
                              ListWalSegments(durability.wal_dir));
@@ -333,6 +358,11 @@ Result<ServiceRefineResult> FairIndexService::MaybeRefine(
                              partitioner_->Refine(*sealed.snapshot, options));
     if (out.stats.changed) {
       total_resplits_ += out.stats.subtrees_rebuilt;
+      if (out.stats.patched_in_place || out.stats.patched_splice) {
+        ++publications_patched_;
+      } else {
+        ++publications_fallback_;
+      }
     }
     // Publish either way: a changed pass swaps regions_ and the lookup
     // snapshot together (same rects object); an unchanged pass refreshes
@@ -350,6 +380,16 @@ Result<ServiceRefineResult> FairIndexService::MaybeRefine(
 long long FairIndexService::total_resplits() const {
   std::lock_guard<std::mutex> lock(maintain_mutex_);
   return total_resplits_;
+}
+
+long long FairIndexService::publications_patched() const {
+  std::lock_guard<std::mutex> lock(maintain_mutex_);
+  return publications_patched_;
+}
+
+long long FairIndexService::publications_fallback() const {
+  std::lock_guard<std::mutex> lock(maintain_mutex_);
+  return publications_fallback_;
 }
 
 Status FairIndexService::StartMaintenance(const MaintenancePolicy& policy) {
@@ -390,6 +430,7 @@ MaintenanceStats FairIndexService::maintenance_stats() const {
 Status FairIndexService::PublishMaintainedLocked(
     const GridAggregates& sealed_snapshot, long long epoch,
     bool partition_changed) {
+  const auto publish_start = std::chrono::steady_clock::now();
   // Reuse the published partition/rects objects when the partition did
   // not change: readers' pointer-identity expectations stay exact and
   // the only fresh allocation is the aggregate table.
@@ -428,6 +469,7 @@ Status FairIndexService::PublishMaintainedLocked(
   if (lookup_ == nullptr || epoch >= lookup_->epoch()) {
     lookup_ = std::move(published);
   }
+  FetchMax(&max_publish_stall_us_, MicrosSince(publish_start));
   return Status::Ok();
 }
 
@@ -436,7 +478,7 @@ Status FairIndexService::Checkpoint() {
     return FailedPreconditionError(
         "FairIndexService: durability is disabled (no wal_dir)");
   }
-  return WriteCheckpointNow();
+  return WriteCheckpointNow(/*allow_delta=*/true);
 }
 
 int FairIndexService::ApplyRetention(int keep_last) {
@@ -461,41 +503,96 @@ Status FairIndexService::MaybeCheckpoint() {
   }
   // Two threads may both decide to checkpoint here; WriteCheckpointNow
   // serializes them and the loser just captures slightly newer state.
-  return WriteCheckpointNow();
+  return WriteCheckpointNow(/*allow_delta=*/true);
 }
 
-Status FairIndexService::WriteCheckpointNow() {
+Status FairIndexService::WriteCheckpointNow(bool allow_delta) {
+  const auto checkpoint_start = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> durability_lock(durability_mutex_);
-  CheckpointData data;
-  data.rows = store_->rows();
-  data.cols = store_->cols();
-  data.algorithm = options_.algorithm;
-  data.wal_generation = wal_->generation();
-  {
-    // maintain_mutex_ pins the (sealed state, maintained partition) pair:
-    // CaptureSealedState is atomic against folds, and no refine can slide
-    // the partition to a newer epoch between the two captures.
-    std::lock_guard<std::mutex> maintain_lock(maintain_mutex_);
-    ShardedDeltaStore::SealedState sealed = store_->CaptureSealedState();
-    data.epoch = sealed.epoch;
-    data.sealed_records = sealed.sealed_records;
-    data.cell_sums = std::move(sealed.cell_sums);
-    data.total_resplits = total_resplits_;
-    FAIRIDX_ASSIGN_OR_RETURN(data.maintained_blob,
-                             partitioner_->SaveMaintained());
-    const PartitionResult* maintained = partitioner_->maintained();
-    data.partition = maintained->partition;
-    data.regions = maintained->regions;
+  const long long generation = wal_->generation();
+  // The full_snapshot_interval cadence: every Nth checkpoint (and every
+  // forced one) is a full snapshot; the rest carry only the cells dirtied
+  // since the previous checkpoint file. A delta additionally needs an
+  // epoch strictly past the last checkpoint's — a same-epoch delta would
+  // name itself as its own predecessor — and a full base from this run's
+  // generation (deltas never chain across a recovery).
+  const bool write_delta =
+      allow_delta && options_.durability.full_snapshot_interval > 1 &&
+      has_full_base_ && generation == last_checkpoint_generation_ &&
+      checkpoints_since_full_ + 1 <
+          options_.durability.full_snapshot_interval &&
+      store_->epoch() > last_checkpoint_epoch_;
+
+  long long checkpoint_epoch = 0;
+  if (write_delta) {
+    CheckpointDelta delta;
+    delta.rows = store_->rows();
+    delta.cols = store_->cols();
+    delta.algorithm = options_.algorithm;
+    delta.wal_generation = generation;
+    delta.prev_epoch = last_checkpoint_epoch_;
+    delta.prev_generation = last_checkpoint_generation_;
+    {
+      // Same pinning argument as the full path below; the dirty capture
+      // is one atomic read under the store's seal lock, so its epoch /
+      // record counters / cell values are a consistent sealed state.
+      std::lock_guard<std::mutex> maintain_lock(maintain_mutex_);
+      ShardedDeltaStore::DirtyCells dirty =
+          store_->CaptureDirtySince(last_checkpoint_epoch_);
+      delta.epoch = dirty.epoch;
+      delta.sealed_records = dirty.sealed_records;
+      delta.cells = std::move(dirty.cells);
+      delta.sums = std::move(dirty.sums);
+      delta.total_resplits = total_resplits_;
+      FAIRIDX_ASSIGN_OR_RETURN(delta.maintained_blob,
+                               partitioner_->SaveMaintained());
+      delta.regions = partitioner_->maintained()->regions;
+    }
+    FAIRIDX_RETURN_IF_ERROR(
+        WriteDeltaCheckpoint(options_.durability.wal_dir, delta,
+                             options_.durability.file_factory));
+    checkpoint_epoch = delta.epoch;
+    ++checkpoints_since_full_;
+  } else {
+    CheckpointData data;
+    data.rows = store_->rows();
+    data.cols = store_->cols();
+    data.algorithm = options_.algorithm;
+    data.wal_generation = generation;
+    {
+      // maintain_mutex_ pins the (sealed state, maintained partition)
+      // pair: CaptureSealedState is atomic against folds, and no refine
+      // can slide the partition to a newer epoch between the two
+      // captures.
+      std::lock_guard<std::mutex> maintain_lock(maintain_mutex_);
+      ShardedDeltaStore::SealedState sealed = store_->CaptureSealedState();
+      data.epoch = sealed.epoch;
+      data.sealed_records = sealed.sealed_records;
+      data.cell_sums = std::move(sealed.cell_sums);
+      data.total_resplits = total_resplits_;
+      FAIRIDX_ASSIGN_OR_RETURN(data.maintained_blob,
+                               partitioner_->SaveMaintained());
+      const PartitionResult* maintained = partitioner_->maintained();
+      data.partition = maintained->partition;
+      data.regions = maintained->regions;
+    }
+    FAIRIDX_RETURN_IF_ERROR(
+        WriteCheckpoint(options_.durability.wal_dir, data,
+                        options_.durability.file_factory));
+    checkpoint_epoch = data.epoch;
+    checkpoints_since_full_ = 0;
+    has_full_base_ = true;
   }
-  FAIRIDX_RETURN_IF_ERROR(WriteCheckpoint(options_.durability.wal_dir, data,
-                                          options_.durability.file_factory));
   FAIRIDX_RETURN_IF_ERROR(PruneCheckpoints(
       options_.durability.wal_dir, options_.durability.keep_checkpoints));
   // Every record in a segment whose name epoch <= the checkpointed epoch
-  // is folded into data.cell_sums, so those segments are dead weight.
+  // is folded into the checkpointed cell sums (a delta's chain included),
+  // so those segments are dead weight.
   FAIRIDX_RETURN_IF_ERROR(
-      PruneWalSegments(options_.durability.wal_dir, data.epoch));
-  last_checkpoint_epoch_ = data.epoch;
+      PruneWalSegments(options_.durability.wal_dir, checkpoint_epoch));
+  last_checkpoint_epoch_ = checkpoint_epoch;
+  last_checkpoint_generation_ = generation;
+  FetchMax(&max_checkpoint_stall_us_, MicrosSince(checkpoint_start));
   return Status::Ok();
 }
 

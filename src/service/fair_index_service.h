@@ -46,6 +46,7 @@
 #ifndef FAIRIDX_SERVICE_FAIR_INDEX_SERVICE_H_
 #define FAIRIDX_SERVICE_FAIR_INDEX_SERVICE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -80,6 +81,14 @@ struct DurabilityOptions {
   /// only at Create/Recover). Each checkpoint prunes fully-covered WAL
   /// segments, bounding log disk usage.
   long long checkpoint_interval = 8;
+  /// Every Nth periodic checkpoint is a FULL snapshot; the others are
+  /// delta checkpoints carrying only the cells dirtied since the previous
+  /// checkpoint (see service/checkpoint.h) — O(changed) instead of
+  /// O(grid). <= 1 makes every checkpoint full (the default; identical to
+  /// the pre-delta behavior). Create/Recover always write a full
+  /// snapshot, so every delta chain has an on-disk base. Recovery is
+  /// bit-identical either way.
+  long long full_snapshot_interval = 1;
   /// Checkpoint files kept on disk (older ones are pruned; >= 1).
   int keep_checkpoints = 2;
   /// Fault-injection seam for WAL and checkpoint file I/O; null uses
@@ -235,6 +244,25 @@ class FairIndexService {
   const WalWriter* wal() const { return wal_.get(); }
   long long last_checkpoint_epoch() const;
 
+  /// Worst single publication swap so far: max wall-clock micros spent
+  /// inside PublishMaintainedLocked (snapshot build + pointer swap) over
+  /// the service's lifetime — what a reader-visible publish stall costs.
+  long long max_publish_stall_us() const {
+    return max_publish_stall_us_.load(std::memory_order_relaxed);
+  }
+  /// Worst single checkpoint so far: max wall-clock micros spent writing
+  /// one (full or delta) checkpoint, including pruning.
+  long long max_checkpoint_stall_us() const {
+    return max_checkpoint_stall_us_.load(std::memory_order_relaxed);
+  }
+
+  /// Lifetime partition publications that went out via an O(changed area)
+  /// cell-map patch (in-place or splice) vs. a full O(grid) rebuild —
+  /// the service-level view of the maintainers' patched paths. Counted
+  /// for caller-driven MaybeRefine AND scheduler passes.
+  long long publications_patched() const;
+  long long publications_fallback() const;
+
  private:
   FairIndexService(const Grid& grid, FairIndexServiceOptions options,
                    std::unique_ptr<WalWriter> wal,
@@ -258,8 +286,10 @@ class FairIndexService {
   Status MaybeCheckpoint();
   /// Unconditional checkpoint. Lock order: durability_mutex_ ->
   /// maintain_mutex_ -> (store seal lock), the same nesting MaybeRefine's
-  /// maintain -> seal path uses.
-  Status WriteCheckpointNow();
+  /// maintain -> seal path uses. `allow_delta` lets the
+  /// full_snapshot_interval cadence pick a delta checkpoint; false forces
+  /// a full snapshot (Create/Recover, so chains always have a base).
+  Status WriteCheckpointNow(bool allow_delta);
 
   /// Replays every WAL segment with epoch > `through_epoch` through the
   /// public Ingest/Seal/MaybeRefine path (re-logging into the new
@@ -278,14 +308,33 @@ class FairIndexService {
   std::unique_ptr<WalWriter> wal_;
   std::unique_ptr<ShardedDeltaStore> store_;
 
-  /// Serializes checkpoint writes and guards last_checkpoint_epoch_.
+  /// Serializes checkpoint writes and guards the checkpoint-chain
+  /// bookkeeping below.
   mutable std::mutex durability_mutex_;
   long long last_checkpoint_epoch_ = 0;
+  /// (epoch, generation) of the newest checkpoint file — the prev link
+  /// the next delta names.
+  long long last_checkpoint_generation_ = 0;
+  /// Deltas written since the last full snapshot (drives the
+  /// full_snapshot_interval cadence).
+  long long checkpoints_since_full_ = 0;
+  /// A full snapshot exists from THIS run's WAL generation (deltas may
+  /// only chain within a run; Create/Recover both start with a full).
+  bool has_full_base_ = false;
 
   /// Serializes maintenance (the partitioner's mutable tree state).
   mutable std::mutex maintain_mutex_;
   std::unique_ptr<Partitioner> partitioner_;
   long long total_resplits_ = 0;  // Guarded by maintain_mutex_.
+  /// Partition-changing publications by publish path (see the public
+  /// accessors). Guarded by maintain_mutex_.
+  long long publications_patched_ = 0;
+  long long publications_fallback_ = 0;
+
+  /// Lifetime maxima for the publish / checkpoint stall metrics
+  /// (fetch-max via CAS; relaxed — observability only).
+  std::atomic<long long> max_publish_stall_us_{0};
+  std::atomic<long long> max_checkpoint_stall_us_{0};
 
   /// Publication point readers load; swapped only at the end of a refine.
   mutable std::mutex regions_mutex_;

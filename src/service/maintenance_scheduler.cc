@@ -90,6 +90,11 @@ bool MaintenanceScheduler::TickNow() {
     } else if (refined->stats.changed) {
       ++stats_.published;
       stats_.resplits += refined->stats.subtrees_rebuilt;
+      if (refined->stats.patched_in_place || refined->stats.patched_splice) {
+        ++stats_.published_patched;
+      } else {
+        ++stats_.published_fallback;
+      }
     }
   } else {
     const Result<long long> sealed = service_->Seal();

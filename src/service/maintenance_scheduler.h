@@ -67,6 +67,11 @@ struct MaintenanceStats {
   /// Refine passes that re-split at least one subtree and published a new
   /// partition. Zero-drift passes never publish.
   long long published = 0;
+  /// Published passes whose partition went out via an O(changed area)
+  /// cell-map patch (in-place or splice-path; see KdRefineStats).
+  long long published_patched = 0;
+  /// Published passes that fell back to a full O(grid) cell-map rebuild.
+  long long published_fallback = 0;
   /// Subtree re-splits across all published passes.
   long long resplits = 0;
   /// Sealed-snapshot history entries dropped by retention (policy

@@ -40,7 +40,8 @@ ShardedDeltaStore::ShardedDeltaStore(const Grid& grid,
       fold_threads_(std::max(1, options.num_threads)),
       force_sharded_fold_(options.force_sharded_fold),
       wal_(options.wal),
-      cell_sums_(static_cast<size_t>(grid.num_cells())) {}
+      cell_sums_(static_cast<size_t>(grid.num_cells())),
+      cell_dirty_epoch_(static_cast<size_t>(grid.num_cells()), -1) {}
 
 Result<std::unique_ptr<ShardedDeltaStore>> ShardedDeltaStore::Build(
     const Grid& grid, const AggregateBatch& warmup,
@@ -59,6 +60,9 @@ Result<std::unique_ptr<ShardedDeltaStore>> ShardedDeltaStore::Build(
                                    std::max(1, options.num_threads)));
   std::unique_ptr<ShardedDeltaStore> store(
       new ShardedDeltaStore(grid, options));
+  for (int cell : warmup.cell_ids) {
+    store->cell_dirty_epoch_[static_cast<size_t>(cell)] = 0;
+  }
   store->cell_sums_ = std::move(cell_sums);
   store->snapshot_ =
       std::make_shared<const GridAggregates>(std::move(sealed));
@@ -192,6 +196,12 @@ Result<SealedEpoch> ShardedDeltaStore::Seal(
   const bool sharded_fold =
       max_parallelism > 1 &&
       (ThreadPool::Shared().num_workers() > 0 || force_sharded_fold_);
+  // captured_records > 0 here, so this fold WILL advance the epoch: the
+  // dirty stamps written below carry the post-fold epoch number, and they
+  // follow the same disjoint-cell-range discipline as cell_sums_ (the
+  // sharded tasks each stamp only their own range).
+  const long long sealing_epoch =
+      epoch_.load(std::memory_order_acquire) + 1;
   if (!sharded_fold) {
     for (const PendingBatch& pending : captured) {
       const AggregateBatch& batch = pending.batch;
@@ -201,6 +211,8 @@ Result<SealedEpoch> ShardedDeltaStore::Seal(
             batch.labels[i], batch.scores[i],
             batch.residuals.empty() ? batch.scores[i] - batch.labels[i]
                                     : batch.residuals[i]);
+        cell_dirty_epoch_[static_cast<size_t>(batch.cell_ids[i])] =
+            sealing_epoch;
       }
     }
   } else {
@@ -223,6 +235,7 @@ Result<SealedEpoch> ShardedDeltaStore::Seal(
                   batch.residuals.empty()
                       ? batch.scores[i] - batch.labels[i]
                       : batch.residuals[i]);
+              cell_dirty_epoch_[static_cast<size_t>(cell)] = sealing_epoch;
             }
           }
         });
@@ -261,6 +274,24 @@ ShardedDeltaStore::SealedState ShardedDeltaStore::CaptureSealedState()
   state.sealed_records = sealed_records_.load(std::memory_order_acquire);
   state.cell_sums = cell_sums_;
   return state;
+}
+
+ShardedDeltaStore::DirtyCells ShardedDeltaStore::CaptureDirtySince(
+    long long since_epoch) const {
+  // Same consistency argument as CaptureSealedState: seal_mutex_
+  // serializes against folds, so the epoch / sums / dirty stamps triple
+  // can never interleave with a fold.
+  std::lock_guard<std::mutex> seal_lock(seal_mutex_);
+  DirtyCells out;
+  out.epoch = epoch_.load(std::memory_order_acquire);
+  out.sealed_records = sealed_records_.load(std::memory_order_acquire);
+  for (size_t cell = 0; cell < cell_dirty_epoch_.size(); ++cell) {
+    if (cell_dirty_epoch_[cell] > since_epoch) {
+      out.cells.push_back(static_cast<int>(cell));
+      out.sums.push_back(cell_sums_[cell]);
+    }
+  }
+  return out;
 }
 
 int ShardedDeltaStore::RetainEpochs(int keep_last) {

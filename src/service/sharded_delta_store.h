@@ -188,6 +188,23 @@ class ShardedDeltaStore {
   };
   SealedState CaptureSealedState() const;
 
+  /// Consistent snapshot of the cells DIRTIED by seals after
+  /// `since_epoch`, with their current cumulative sums — the payload of a
+  /// delta checkpoint (service/checkpoint.h). `cells` is ascending and
+  /// `sums` parallel; the values are absolute (overwrite semantics), so
+  /// replaying base sums + every delta's writes in chain order
+  /// regenerates CaptureSealedState().cell_sums bitwise. Cells touched by
+  /// the warmup fold count as dirtied at epoch 0; cells a Restore
+  /// repopulated are NOT tracked (the durability layer always follows a
+  /// restore with a full snapshot). Taken under the seal lock.
+  struct DirtyCells {
+    long long epoch = 0;
+    long long sealed_records = 0;
+    std::vector<int> cells;
+    std::vector<GridAggregates::PrefixEntry> sums;
+  };
+  DirtyCells CaptureDirtySince(long long since_epoch) const;
+
   /// Epoch-retention: drops the oldest retained SealedEpoch entries,
   /// keeping the newest `keep_last` plus any older entry whose snapshot
   /// is still externally pinned (a reader holds the shared_ptr). Returns
@@ -268,6 +285,10 @@ class ShardedDeltaStore {
   /// serial-replay order per cell. Mutated only inside Seal (per-shard
   /// pool tasks write disjoint cells).
   std::vector<GridAggregates::PrefixEntry> cell_sums_;
+  /// Per-cell epoch of the last fold that touched the cell (-1 = never),
+  /// written alongside cell_sums_ under the same disjoint-range
+  /// discipline; CaptureDirtySince filters on it.
+  std::vector<long long> cell_dirty_epoch_;
 
   /// Guards snapshot_ publication.
   mutable std::mutex snapshot_mutex_;

@@ -182,6 +182,54 @@ TEST(KdTreeMaintainerTest, LocalizedDriftTriggersLocalizedResplits) {
   EXPECT_EQ(again.subtrees_rebuilt, 0);
 }
 
+TEST(KdTreeMaintainerTest, LeafCountChangingRefineTakesSplicePatchPath) {
+  const Grid grid = MakeGrid(16, 16);
+  Rng rng(76);
+  // Strongly miscalibrated records everywhere: with the early-stop bound
+  // below every node splits to the full height and the root snapshot
+  // carries a large miscalibration.
+  Records records;
+  for (int i = 0; i < 3000; ++i) {
+    records.cells.push_back(
+        static_cast<int>(rng.NextBounded(grid.num_cells())));
+    records.labels.push_back(rng.Bernoulli(0.95) ? 1 : 0);
+    records.scores.push_back(rng.NextDouble());
+  }
+  const GridAggregates before = BuildAggregates(grid, records);
+  KdTreeOptions options;
+  options.height = 4;
+  options.early_stop_weighted_miscalibration = 0.1;
+  KdTreeMaintainer maintainer =
+      KdTreeMaintainer::Build(grid, before, options).value();
+  const size_t old_regions = maintainer.tree().result.regions.size();
+  ASSERT_GT(old_regions, 1u);
+
+  // After: one perfectly calibrated record. The root drifts past the
+  // bound, and its re-split early-stops at once (cell-abs miscalibration
+  // 0 <= 0.1) — the subtree shrinks to a single leaf, so the in-place
+  // patch is impossible and Refine must take the splice path.
+  const GridAggregates after =
+      GridAggregates::Build(grid, {0}, {1}, {1.0}).value();
+
+  KdRefineOptions refine_options;
+  refine_options.drift_bound = 0.05;
+  const KdRefineStats stats =
+      maintainer.Refine(after, refine_options).value();
+  EXPECT_TRUE(stats.changed);
+  EXPECT_TRUE(stats.patched_splice);
+  EXPECT_FALSE(stats.patched_in_place);
+
+  // Differential pin: the spliced cell map equals a from-scratch
+  // FromRects over the new leaf list, bit for bit.
+  const std::vector<CellRect>& regions = maintainer.tree().result.regions;
+  EXPECT_LT(regions.size(), old_regions);
+  const Partition rebuilt = Partition::FromRects(grid, regions).value();
+  EXPECT_EQ(maintainer.tree().result.partition.cell_to_region(),
+            rebuilt.cell_to_region());
+  EXPECT_EQ(maintainer.tree().result.partition.num_regions(),
+            rebuilt.num_regions());
+}
+
 TEST(KdTreeMaintainerTest, HugeBoundIgnoresDrift) {
   Rng rng(75);
   const Grid grid = MakeGrid(16, 16);

@@ -163,6 +163,52 @@ TEST(QuadTreeMaintainerTest, RefineAfterLocalDriftKeepsPartitionInvariants) {
   EXPECT_EQ(again.subtrees_rebuilt, 0);
 }
 
+TEST(QuadTreeMaintainerTest, LeafCountChangingRefineTakesSplicePatchPath) {
+  const Grid grid = MakeGrid(16, 16);
+  Rng rng(5);
+  // Heavily miscalibrated records everywhere: the build grows to the
+  // target and the root carries a large miscalibration snapshot.
+  Records records;
+  AddCornerDrift(rng, grid, /*block=*/16, /*n=*/3000, &records);
+  const GridAggregates before = BuildAggregates(grid, records);
+  FairQuadtreeOptions options;
+  options.target_regions = 16;
+  options.min_region_count = 2.0;
+  QuadTreeMaintainer maintainer =
+      QuadTreeMaintainer::Build(grid, before, options).value();
+  const size_t old_regions = maintainer.partition().regions.size();
+  ASSERT_GT(old_regions, 1u);
+
+  // After: a single perfectly calibrated record. The root drifts far past
+  // the bound, and the regrow stops immediately (count 1 <
+  // min_region_count), so the leaf count shrinks — the in-place patch is
+  // impossible and the refine must take the compaction-aware splice path.
+  Records after_records;
+  after_records.cells = {0};
+  after_records.labels = {1};
+  after_records.scores = {1.0};
+  const GridAggregates after = BuildAggregates(grid, after_records);
+
+  KdRefineOptions refine_options;
+  refine_options.drift_bound = 0.05;
+  const KdRefineStats stats =
+      maintainer.Refine(after, refine_options).value();
+  EXPECT_TRUE(stats.changed);
+  EXPECT_TRUE(stats.patched_splice);
+  EXPECT_FALSE(stats.patched_in_place);
+
+  // The spliced cell map must be bitwise what a from-scratch FromRects
+  // over the new region list derives — the O(changed area) patch may not
+  // diverge from the O(grid) rebuild it replaces.
+  const std::vector<CellRect>& regions = maintainer.partition().regions;
+  EXPECT_LT(regions.size(), old_regions);
+  const Partition rebuilt = Partition::FromRects(grid, regions).value();
+  EXPECT_EQ(maintainer.partition().partition.cell_to_region(),
+            rebuilt.cell_to_region());
+  EXPECT_EQ(maintainer.partition().partition.num_regions(),
+            rebuilt.num_regions());
+}
+
 TEST(QuadTreeMaintainerTest, RefineRejectsBadArguments) {
   const Grid grid = MakeGrid(8, 8);
   Rng rng(3);

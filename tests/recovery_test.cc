@@ -322,6 +322,81 @@ TEST(RecoveryKillTest, RandomizedCrashPointsLoseNothingOnResume) {
   }
 }
 
+// Delta-chain differential: with full_snapshot_interval > 1 the newest
+// on-disk checkpoint is usually a DELTA whose chain must be resolved back
+// to a full base before the WAL tail replays. Across shard counts and
+// every cut point, recovery off a delta chain must land bit-identical to
+// (a) the state the crashed process held and (b) the final state of the
+// full-snapshot-only reference — and the sweep must actually hit delta
+// heads, not just fulls, or it proves nothing.
+TEST(RecoveryDifferentialTest, DeltaChainRecoveryBitIdenticalToFullSnapshots) {
+  const Grid grid = MakeGrid(6, 6);
+  constexpr size_t kBatches = 12;
+  constexpr int kBatchRecords = 15;
+  Rng rng(20260808);
+  const AggregateBatch warmup = RandomRecords(rng, grid, 120);
+  std::vector<AggregateBatch> batches;
+  for (size_t i = 0; i < kBatches; ++i) {
+    batches.push_back(RandomRecords(rng, grid, kBatchRecords));
+  }
+
+  for (int shards : {1, 3}) {
+    // Full-snapshot-only reference (full_snapshot_interval = 1, the
+    // pre-delta behavior), run uninterrupted.
+    const std::string ref_dir =
+        FreshDir("delta_ref_s" + std::to_string(shards));
+    auto reference = FairIndexService::Create(
+        grid, warmup, DurableOptions(ref_dir, shards, 1));
+    ASSERT_TRUE(reference.ok()) << reference.status();
+    ASSERT_TRUE(RunOps(reference->get(), batches, 0, kBatches).ok());
+    ASSERT_TRUE((*reference)->Seal().ok());
+    const ServiceState want = CaptureState(**reference);
+    reference->reset();
+
+    int delta_head_cuts = 0;
+    for (size_t cut = 1; cut <= kBatches; ++cut) {
+      const std::string dir =
+          FreshDir("delta_cut_s" + std::to_string(shards) + "_" +
+                   std::to_string(cut));
+      FairIndexServiceOptions options = DurableOptions(dir, shards, 1);
+      options.durability.full_snapshot_interval = 3;
+      auto crashed = FairIndexService::Create(grid, warmup, options);
+      ASSERT_TRUE(crashed.ok()) << crashed.status();
+      ASSERT_TRUE(RunOps(crashed->get(), batches, 0, cut).ok());
+      // No seal at the cut: an extra fold would bump the epoch count past
+      // the reference's. Pending records ride the WAL tail back into the
+      // pending set, exactly where the crashed process held them.
+      const ServiceState at_cut = CaptureState(**crashed);
+      crashed->reset();  // The crash: checkpoints + WAL tail only.
+
+      // Is the newest on-disk head a delta? (The cadence makes it one
+      // for most cuts; count them so the sweep provably covers chains.)
+      auto fulls = ListCheckpoints(dir);
+      auto deltas = ListDeltaCheckpoints(dir);
+      ASSERT_TRUE(fulls.ok() && deltas.ok());
+      ASSERT_FALSE(fulls->empty());
+      if (!deltas->empty() &&
+          deltas->back().epoch > fulls->back().epoch) {
+        ++delta_head_cuts;
+      }
+
+      auto recovered = FairIndexService::Recover(grid, options);
+      ASSERT_TRUE(recovered.ok())
+          << "shards=" << shards << " cut=" << cut << ": "
+          << recovered.status();
+      // Bit-identical to the crashed process the moment recovery lands.
+      ExpectStateBitEq(CaptureState(**recovered), at_cut);
+      // Finishing the identical op sequence lands on the full-snapshot
+      // reference's final state, bit for bit.
+      ASSERT_TRUE(RunOps(recovered->get(), batches, cut, kBatches).ok());
+      ASSERT_TRUE((*recovered)->Seal().ok());
+      ExpectStateBitEq(CaptureState(**recovered), want);
+    }
+    EXPECT_GE(delta_head_cuts, 4) << "shards=" << shards
+                                  << ": sweep never exercised delta heads";
+  }
+}
+
 // Recover must refuse mismatched callers loudly instead of replaying a
 // log into the wrong shape, and Create must refuse to clobber state.
 TEST(RecoveryTest, MismatchesAndClobbersAreRejected) {

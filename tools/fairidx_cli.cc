@@ -14,6 +14,7 @@
 //                         [--refine-bound B] [--algorithm fair_kd_tree]
 //                         [--auto-maintain] [--seal-interval S]
 //                         [--wal DIR] [--checkpoint-interval N]
+//                         [--full-snapshot-interval N]
 //                         [--fsync none|batch|always] [--retain-epochs K]
 //                         [--regions-out FILE]
 //
@@ -57,9 +58,12 @@
 // rerun, then diff the final region aggregates against an uninterrupted
 // reference). --fsync picks the stable-storage window
 // (none|batch|always), --checkpoint-interval N checkpoints every N
-// sealed epochs, --retain-epochs K bounds the sealed-snapshot history,
-// and --regions-out FILE writes the final per-region aggregates with
-// full double precision for exact diffing.
+// sealed epochs, --full-snapshot-interval N makes only every Nth
+// checkpoint a full snapshot (the rest are O(changed) delta
+// checkpoints holding just the cells sealed since the previous one),
+// --retain-epochs K bounds the sealed-snapshot history, and
+// --regions-out FILE writes the final per-region aggregates with full
+// double precision for exact diffing.
 //
 // `--csv` loads an EdGap-style extract (see data/csv_dataset.h for the
 // schema); otherwise the named synthetic city is generated.
@@ -188,7 +192,8 @@ int CmdRunScenario(const std::string& path) {
   if (report->workload == ScenarioWorkload::kServe) {
     TablePrinter table({"height", "algorithm", "seed", "regions",
                         "records", "lookups", "qps", "p50_us", "p95_us",
-                        "p99_us", "epochs", "resplits", "serve_s"});
+                        "p99_us", "epochs", "resplits", "pub_stall_us",
+                        "ckpt_stall_us", "serve_s"});
     for (const ScenarioServeRow& row : report->serve_rows) {
       table.AddRow({std::to_string(row.run.height),
                     PartitionAlgorithmName(row.run.algorithm),
@@ -202,6 +207,8 @@ int CmdRunScenario(const std::string& path) {
                     TablePrinter::FormatDouble(row.p99_us, 1),
                     std::to_string(row.epochs),
                     std::to_string(row.resplits),
+                    std::to_string(row.publish_stall_us),
+                    std::to_string(row.checkpoint_stall_us),
                     TablePrinter::FormatDouble(row.serve_seconds, 3)});
     }
     table.Print(std::cout);
@@ -210,8 +217,8 @@ int CmdRunScenario(const std::string& path) {
 
   if (report->workload == ScenarioWorkload::kStream) {
     TablePrinter table({"height", "algorithm", "seed", "regions",
-                        "records", "epochs", "resplits", "final_ence",
-                        "stream_s"});
+                        "records", "epochs", "resplits", "patched",
+                        "fallback", "final_ence", "stream_s"});
     for (const ScenarioStreamRow& row : report->stream_rows) {
       table.AddRow({std::to_string(row.run.height),
                     PartitionAlgorithmName(row.run.algorithm),
@@ -220,6 +227,8 @@ int CmdRunScenario(const std::string& path) {
                     std::to_string(row.records),
                     std::to_string(row.epochs),
                     std::to_string(row.resplits),
+                    std::to_string(row.published_patched),
+                    std::to_string(row.published_fallback),
                     TablePrinter::FormatDouble(row.final_ence, 5),
                     TablePrinter::FormatDouble(row.stream_seconds, 3)});
     }
@@ -408,6 +417,8 @@ int CmdStream(const Flags& flags) {
   const double seal_interval = flags.GetDouble("seal-interval", 0.0);
   const std::string wal_dir = flags.Get("wal", "");
   const int retain_epochs = flags.GetInt("retain-epochs", 0);
+  const int full_snapshot_interval =
+      flags.GetInt("full-snapshot-interval", 1);
   const int crash_after = flags.GetInt("crash-after-batches", 0);
   if (batch < 1) return Fail(InvalidArgumentError("--batch must be >= 1"));
   if (crash_after < 0) {
@@ -420,6 +431,15 @@ int CmdStream(const Flags& flags) {
   }
   if (retain_epochs < 0) {
     return Fail(InvalidArgumentError("--retain-epochs must be >= 0"));
+  }
+  if (full_snapshot_interval < 1) {
+    return Fail(
+        InvalidArgumentError("--full-snapshot-interval must be >= 1"));
+  }
+  if (full_snapshot_interval > 1 && wal_dir.empty()) {
+    return Fail(InvalidArgumentError(
+        "--full-snapshot-interval needs --wal (there are no checkpoints "
+        "to thin without a durability directory)"));
   }
   if (warmup_pct < 1 || warmup_pct > 99) {
     return Fail(InvalidArgumentError("--warmup-pct must be in [1, 99]"));
@@ -491,6 +511,7 @@ int CmdStream(const Flags& flags) {
     options.durability.wal_dir = wal_dir;
     options.durability.checkpoint_interval =
         flags.GetInt("checkpoint-interval", 8);
+    options.durability.full_snapshot_interval = full_snapshot_interval;
     auto fsync = ParseWalFsync(flags.Get("fsync", "batch"));
     if (!fsync.ok()) return Fail(fsync.status());
     options.durability.fsync = *fsync;
@@ -607,6 +628,27 @@ int CmdStream(const Flags& flags) {
       "region ENCE %.5f\n",
       store.num_records(), store.epoch(), (*service)->total_resplits(),
       final_ence.ence);
+  // Maintenance pipeline summary: how many publications took the
+  // O(changed area) cell-map patch path versus the full O(grid) rebuild
+  // fallback, plus the scheduler's pass counters under --auto-maintain
+  // (service-level counters cover caller-driven refines too).
+  std::printf(
+      "maintenance: %lld publications (%lld patched / %lld fallback)",
+      (*service)->publications_patched() +
+          (*service)->publications_fallback(),
+      (*service)->publications_patched(),
+      (*service)->publications_fallback());
+  if (auto_maintain) {
+    const MaintenanceStats mstats = (*service)->maintenance_stats();
+    std::printf(", %lld passes, %lld refines, %lld errors", mstats.passes,
+                mstats.refines, mstats.errors);
+  }
+  if (!wal_dir.empty()) {
+    std::printf(", max publish stall %lld us, max checkpoint stall %lld us",
+                (*service)->max_publish_stall_us(),
+                (*service)->max_checkpoint_stall_us());
+  }
+  std::printf("\n");
   if (flags.Has("regions-out")) {
     // Full double precision (%.17g round-trips IEEE-754 exactly): the
     // crash-recovery CI lane byte-diffs this file between a killed+
@@ -654,6 +696,8 @@ int Usage() {
       "                --wal DIR (durable: WAL + checkpoints; recovers\n"
       "                and resumes when DIR already holds a checkpoint)\n"
       "                --checkpoint-interval N --fsync none|batch|always\n"
+      "                --full-snapshot-interval N (every Nth checkpoint\n"
+      "                full, the rest O(changed) deltas; 1 = all full)\n"
       "                --retain-epochs K (bound sealed-snapshot history)\n"
       "                --regions-out FILE (final region aggregates,\n"
       "                full precision, for exact diffing)\n"
