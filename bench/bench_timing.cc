@@ -28,6 +28,7 @@
 #include "service/fair_index_service.h"
 #include "service/point_lookup.h"
 #include "service/sharded_delta_store.h"
+#include "service/tenant_registry.h"
 #include "service/wal.h"
 
 #include <filesystem>
@@ -687,6 +688,68 @@ void BM_LookupManyThroughput(benchmark::State& state) {
   state.SetItemsProcessed(points);
 }
 BENCHMARK(BM_LookupManyThroughput);
+
+// --- Multi-tenant indirection tax: TenantRegistry::Ingest vs the bare
+// service. Both benches push the SAME 240 batches into one identically
+// configured FairIndexService; the registry side adds its per-call name
+// lookup, the batch hand-off through the registry boundary and the
+// maintenance-condvar notification. The CI require-faster pair bounds
+// that overhead at 30% — a regression to per-call locking of the tenant
+// table or an accidental batch copy on the hot path blows the ceiling.
+FairIndexServiceOptions TenantBenchOptions() {
+  FairIndexServiceOptions options;
+  options.algorithm = "fair_kd_tree";
+  options.build.height = 6;
+  options.store.num_shards = 4;
+  options.store.num_threads = 4;
+  return options;
+}
+
+void BM_TenantDirectIngestThroughput(benchmark::State& state) {
+  const IngestFixture& f = BenchIngest();
+  int64_t records = 0;
+  for (auto _ : state) {
+    state.PauseTiming();  // Service construction is not the ingest path.
+    std::unique_ptr<FairIndexService> service =
+        OrDie(FairIndexService::Create(f.grid, f.warmup,
+                                       TenantBenchOptions()),
+              "FairIndexService::Create");
+    state.ResumeTiming();
+    for (const AggregateBatch& batch : f.batches) {
+      if (!service->Ingest(batch).ok()) std::abort();
+      records += static_cast<int64_t>(batch.size());
+    }
+    if (!service->Seal().ok()) std::abort();
+    benchmark::DoNotOptimize(service->store().snapshot());
+  }
+  state.SetItemsProcessed(records);
+}
+BENCHMARK(BM_TenantDirectIngestThroughput);
+
+void BM_TenantRegistryIngestThroughput(benchmark::State& state) {
+  const IngestFixture& f = BenchIngest();
+  int64_t records = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<TenantSpec> specs;
+    specs.push_back(TenantSpec{"bench", f.grid, f.warmup,
+                               TenantBenchOptions()});
+    std::unique_ptr<TenantRegistry> registry =
+        OrDie(TenantRegistry::Create(std::move(specs), {}),
+              "TenantRegistry::Create");
+    FairIndexService* service =
+        OrDie(registry->tenant("bench"), "TenantRegistry::tenant");
+    state.ResumeTiming();
+    for (const AggregateBatch& batch : f.batches) {
+      if (!registry->Ingest("bench", batch).ok()) std::abort();
+      records += static_cast<int64_t>(batch.size());
+    }
+    if (!service->Seal().ok()) std::abort();
+    benchmark::DoNotOptimize(service->store().snapshot());
+  }
+  state.SetItemsProcessed(records);
+}
+BENCHMARK(BM_TenantRegistryIngestThroughput);
 
 // The durability tax: the same 4-writer sharded ingest with every batch
 // written through the WAL first. Arg encodes the fsync mode (0 = none,

@@ -17,6 +17,7 @@
 #include "data/edgap_synthetic.h"
 #include "fairness/region_metrics.h"
 #include "service/fair_index_service.h"
+#include "service/tenant_registry.h"
 
 namespace fairidx {
 namespace {
@@ -78,23 +79,28 @@ Result<std::vector<int>> ParseHeights(const std::string& value) {
   return heights;
 }
 
+Result<uint64_t> ParseOneSeed(const std::string& item) {
+  // Digits only: strtoull would silently wrap a leading '-' and
+  // saturate on overflow, changing every split in the sweep.
+  if (item.find_first_not_of("0123456789") != std::string::npos) {
+    return InvalidArgumentError("bad seed '" + item + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long seed = std::strtoull(item.c_str(), &end, 10);
+  if (end == item.c_str() || *end != '\0' || errno == ERANGE) {
+    return InvalidArgumentError("bad seed '" + item + "'");
+  }
+  return static_cast<uint64_t>(seed);
+}
+
 Result<std::vector<uint64_t>> ParseSeeds(const std::string& value) {
   std::vector<uint64_t> seeds;
   FAIRIDX_ASSIGN_OR_RETURN(std::vector<std::string> items,
                            SplitList(value));
   for (const std::string& item : items) {
-    // Digits only: strtoull would silently wrap a leading '-' and
-    // saturate on overflow, changing every split in the sweep.
-    if (item.find_first_not_of("0123456789") != std::string::npos) {
-      return InvalidArgumentError("bad seed '" + item + "'");
-    }
-    errno = 0;
-    char* end = nullptr;
-    const unsigned long long seed = std::strtoull(item.c_str(), &end, 10);
-    if (end == item.c_str() || *end != '\0' || errno == ERANGE) {
-      return InvalidArgumentError("bad seed '" + item + "'");
-    }
-    seeds.push_back(static_cast<uint64_t>(seed));
+    FAIRIDX_ASSIGN_OR_RETURN(uint64_t seed, ParseOneSeed(item));
+    seeds.push_back(seed);
   }
   return seeds;
 }
@@ -143,8 +149,127 @@ constexpr const char* kScenarioKeys[] = {
     "fsync",           "retain_epochs",
     "serve_readers",   "serve_lookups",
     "serve_batch",     "serve_read_pct",
-    "serve_zipf",
+    "serve_zipf",      "drift",
+    "drift_hot_pct",   "drift_window_pct",
 };
+
+// Every sub-key ParseTenantKey accepts inside a tenant.<name>.<key>
+// section, in its dispatch order, spelled the way the reference doc
+// lists them. Same anti-rot contract as kScenarioKeys: the doc table is
+// test-enforced against ScenarioKeyNames() + TenantScenarioKeyNames().
+constexpr const char* kTenantKeys[] = {
+    "city",          "algorithm",
+    "height",        "seed",
+    "batch",         "shards",
+    "warmup_pct",    "seal_records",
+    "seal_interval", "drift_bound",
+    "retain_epochs", "lookups",
+    "read_pct",      "zipf",
+    "drift",         "fsync",
+    "checkpoint_interval",
+    "full_snapshot_interval",
+};
+
+// Tenant names double as per-tenant WAL namespace directories, so the
+// accepted alphabet must not allow separators or traversal (the same
+// rule TenantRegistry enforces).
+Status ValidateScenarioTenantName(const std::string& name) {
+  if (name.empty()) {
+    return InvalidArgumentError("empty tenant name");
+  }
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) {
+      return InvalidArgumentError("tenant name '" + name +
+                                  "' must match [A-Za-z0-9_-]+");
+    }
+  }
+  return Status::Ok();
+}
+
+// One `tenant.<name>.<key> = value` line: find-or-create the named
+// section (first-appearance order) and set the override. Values are
+// validated here the way the top-level keys are; range checks live in
+// ValidateScenario next to their top-level twins.
+Status ParseTenantKey(const std::string& key, const std::string& value,
+                      ScenarioConfig* config) {
+  const std::string rest = key.substr(7);  // past "tenant."
+  const size_t dot = rest.find('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 >= rest.size()) {
+    return InvalidArgumentError(
+        "tenant keys are spelled tenant.<name>.<key>, got '" + key + "'");
+  }
+  const std::string name = rest.substr(0, dot);
+  const std::string sub = rest.substr(dot + 1);
+  FAIRIDX_RETURN_IF_ERROR(ValidateScenarioTenantName(name));
+  ScenarioTenantConfig* tenant = nullptr;
+  for (ScenarioTenantConfig& existing : config->tenants) {
+    if (existing.name == name) tenant = &existing;
+  }
+  if (tenant == nullptr) {
+    config->tenants.emplace_back();
+    config->tenants.back().name = name;
+    tenant = &config->tenants.back();
+  }
+  if (sub == "city") {
+    tenant->city = value;
+  } else if (sub == "algorithm") {
+    FAIRIDX_RETURN_IF_ERROR(ParsePartitionAlgorithm(value).status());
+    tenant->algorithm = value;
+  } else if (sub == "height") {
+    FAIRIDX_ASSIGN_OR_RETURN(int height, ParseInt(value));
+    tenant->height = height;
+  } else if (sub == "seed") {
+    FAIRIDX_ASSIGN_OR_RETURN(uint64_t seed, ParseOneSeed(value));
+    tenant->seed = seed;
+  } else if (sub == "batch") {
+    FAIRIDX_ASSIGN_OR_RETURN(int batch, ParseInt(value));
+    tenant->batch = batch;
+  } else if (sub == "shards") {
+    FAIRIDX_ASSIGN_OR_RETURN(int shards, ParseInt(value));
+    tenant->shards = shards;
+  } else if (sub == "warmup_pct") {
+    FAIRIDX_ASSIGN_OR_RETURN(int pct, ParseInt(value));
+    tenant->warmup_pct = pct;
+  } else if (sub == "seal_records") {
+    FAIRIDX_ASSIGN_OR_RETURN(int records, ParseInt(value));
+    tenant->seal_records = records;
+  } else if (sub == "seal_interval") {
+    FAIRIDX_ASSIGN_OR_RETURN(double interval, ParseDouble(value));
+    tenant->seal_interval = interval;
+  } else if (sub == "drift_bound") {
+    FAIRIDX_ASSIGN_OR_RETURN(double bound, ParseDouble(value));
+    tenant->drift_bound = bound;
+  } else if (sub == "retain_epochs") {
+    FAIRIDX_ASSIGN_OR_RETURN(int retain, ParseInt(value));
+    tenant->retain_epochs = retain;
+  } else if (sub == "lookups") {
+    FAIRIDX_ASSIGN_OR_RETURN(int lookups, ParseInt(value));
+    tenant->lookups = lookups;
+  } else if (sub == "read_pct") {
+    FAIRIDX_ASSIGN_OR_RETURN(int pct, ParseInt(value));
+    tenant->read_pct = pct;
+  } else if (sub == "zipf") {
+    FAIRIDX_ASSIGN_OR_RETURN(double zipf, ParseDouble(value));
+    tenant->zipf = zipf;
+  } else if (sub == "drift") {
+    tenant->drift = value;
+  } else if (sub == "fsync") {
+    tenant->fsync = value;
+  } else if (sub == "checkpoint_interval") {
+    FAIRIDX_ASSIGN_OR_RETURN(int interval, ParseInt(value));
+    tenant->checkpoint_interval = interval;
+  } else if (sub == "full_snapshot_interval") {
+    FAIRIDX_ASSIGN_OR_RETURN(int interval, ParseInt(value));
+    tenant->full_snapshot_interval = interval;
+  } else {
+    return InvalidArgumentError("unknown scenario key '" + key +
+                                "' (see TenantScenarioKeyNames for the "
+                                "accepted tenant.<name>.* sub-keys)");
+  }
+  return Status::Ok();
+}
 
 Status ParseInto(const std::string& text, const std::string& include_dir,
                  int depth, ScenarioConfig* config);
@@ -237,9 +362,12 @@ Status ParseInto(const std::string& text, const std::string& include_dir,
         config->workload = ScenarioWorkload::kStream;
       } else if (value == "serve") {
         config->workload = ScenarioWorkload::kServe;
+      } else if (value == "multi_tenant") {
+        config->workload = ScenarioWorkload::kMultiTenant;
       } else {
-        status = InvalidArgumentError("unknown workload '" + value +
-                                      "' (expected pipeline|stream|serve)");
+        status = InvalidArgumentError(
+            "unknown workload '" + value +
+            "' (expected pipeline|stream|serve|multi_tenant)");
       }
     } else if (key == "stream_batch") {
       auto batch = ParseInt(value);
@@ -317,6 +445,18 @@ Status ParseInto(const std::string& text, const std::string& include_dir,
       auto zipf = ParseDouble(value);
       if (zipf.ok()) config->serve_zipf = *zipf;
       status = zipf.ok() ? Status::Ok() : zipf.status();
+    } else if (key == "drift") {
+      config->drift = value;
+    } else if (key == "drift_hot_pct") {
+      auto pct = ParseInt(value);
+      if (pct.ok()) config->drift_hot_pct = *pct;
+      status = pct.ok() ? Status::Ok() : pct.status();
+    } else if (key == "drift_window_pct") {
+      auto pct = ParseInt(value);
+      if (pct.ok()) config->drift_window_pct = *pct;
+      status = pct.ok() ? Status::Ok() : pct.status();
+    } else if (key.rfind("tenant.", 0) == 0) {
+      status = ParseTenantKey(key, value, config);
     } else {
       status = InvalidArgumentError("unknown scenario key '" + key + "'");
     }
@@ -327,6 +467,14 @@ Status ParseInto(const std::string& text, const std::string& include_dir,
     }
   }
   return Status::Ok();
+}
+
+Status ValidateDriftKind(const std::string& key, const std::string& drift) {
+  if (drift == "none" || drift == "hotspot" || drift == "flash_crowd") {
+    return Status::Ok();
+  }
+  return InvalidArgumentError("scenario: unknown " + key + " '" + drift +
+                              "' (expected none|hotspot|flash_crowd)");
 }
 
 Status ValidateScenario(const ScenarioConfig& config) {
@@ -363,11 +511,13 @@ Status ValidateScenario(const ScenarioConfig& config) {
     return InvalidArgumentError(
         "scenario: stream_seal_records must be >= 0");
   }
-  // The stream and serve workloads both drive the serving layer; the
-  // keys below are meaningful for either and typos for pipeline.
+  // The stream, serve and multi_tenant workloads all drive the serving
+  // layer; the keys below are meaningful for any of them and typos for
+  // pipeline.
   const bool serving_workload =
       config.workload == ScenarioWorkload::kStream ||
-      config.workload == ScenarioWorkload::kServe;
+      config.workload == ScenarioWorkload::kServe ||
+      config.workload == ScenarioWorkload::kMultiTenant;
   if (serving_workload && config.min_region_population > 0.0) {
     // The serving layer has no region-merging post-process; silently
     // dropping the key would violate the engine's typo-proof stance.
@@ -434,6 +584,91 @@ Status ValidateScenario(const ScenarioConfig& config) {
   if (config.serve_zipf < 0.0) {
     return InvalidArgumentError("scenario: serve_zipf must be >= 0");
   }
+  FAIRIDX_RETURN_IF_ERROR(ValidateDriftKind("drift", config.drift));
+  if (config.drift != "none" && !serving_workload) {
+    // The drift generator permutes the ingest tail; a pipeline sweep has
+    // no tail, so accepting the key would hide the typo.
+    return InvalidArgumentError(
+        "scenario: drift requires workload = stream, serve or "
+        "multi_tenant");
+  }
+  if (config.drift_hot_pct < 1 || config.drift_hot_pct > 100) {
+    return InvalidArgumentError(
+        "scenario: drift_hot_pct must be in [1, 100]");
+  }
+  if (config.drift_window_pct < 0 || config.drift_window_pct > 100) {
+    return InvalidArgumentError(
+        "scenario: drift_window_pct must be in [0, 100]");
+  }
+  if (config.workload == ScenarioWorkload::kMultiTenant) {
+    if (config.tenants.empty()) {
+      return InvalidArgumentError(
+          "scenario: workload = multi_tenant needs at least one "
+          "tenant.<name>.* section");
+    }
+    if (config.maintain_policy != ScenarioMaintainPolicy::kAuto) {
+      // Tenant workers only look up and ingest; the shared registry
+      // scheduler owns every tenant's seal/refine cadence.
+      return InvalidArgumentError(
+          "scenario: workload = multi_tenant requires maintain_policy = "
+          "auto (the shared registry scheduler owns maintenance)");
+    }
+  } else if (!config.tenants.empty()) {
+    // tenant.* sections are meaningless outside multi_tenant; silently
+    // ignoring them would violate the engine's typo-proof stance.
+    return InvalidArgumentError(
+        "scenario: tenant.<name>.* keys require workload = multi_tenant");
+  }
+  for (const ScenarioTenantConfig& tenant : config.tenants) {
+    const std::string who = "scenario: tenant." + tenant.name + ".";
+    if (tenant.height && *tenant.height < 0) {
+      return InvalidArgumentError(who + "height must be >= 0");
+    }
+    if (tenant.batch && *tenant.batch < 1) {
+      return InvalidArgumentError(who + "batch must be >= 1");
+    }
+    if (tenant.shards && *tenant.shards < 1) {
+      return InvalidArgumentError(who + "shards must be >= 1");
+    }
+    if (tenant.warmup_pct &&
+        (*tenant.warmup_pct < 1 || *tenant.warmup_pct > 99)) {
+      return InvalidArgumentError(who + "warmup_pct must be in [1, 99]");
+    }
+    if (tenant.seal_records && *tenant.seal_records < 0) {
+      return InvalidArgumentError(who + "seal_records must be >= 0");
+    }
+    if (tenant.seal_interval && *tenant.seal_interval < 0.0) {
+      return InvalidArgumentError(who + "seal_interval must be >= 0");
+    }
+    if (tenant.retain_epochs && *tenant.retain_epochs < 0) {
+      return InvalidArgumentError(who + "retain_epochs must be >= 0");
+    }
+    // lookups = 0 is the pure-ingest (noisy neighbor) tenant, so unlike
+    // serve_lookups the per-tenant floor is 0, not 1.
+    if (tenant.lookups && *tenant.lookups < 0) {
+      return InvalidArgumentError(who + "lookups must be >= 0");
+    }
+    if (tenant.read_pct &&
+        (*tenant.read_pct < 1 || *tenant.read_pct > 100)) {
+      return InvalidArgumentError(who + "read_pct must be in [1, 100]");
+    }
+    if (tenant.zipf && *tenant.zipf < 0.0) {
+      return InvalidArgumentError(who + "zipf must be >= 0");
+    }
+    if (tenant.drift) {
+      FAIRIDX_RETURN_IF_ERROR(
+          ValidateDriftKind("tenant." + tenant.name + ".drift",
+                            *tenant.drift));
+    }
+    if (tenant.fsync && !ParseWalFsync(*tenant.fsync).ok()) {
+      return InvalidArgumentError(who + "fsync must be none|batch|always");
+    }
+    if (tenant.full_snapshot_interval &&
+        *tenant.full_snapshot_interval < 1) {
+      return InvalidArgumentError(who +
+                                  "full_snapshot_interval must be >= 1");
+    }
+  }
   return Status::Ok();
 }
 
@@ -442,6 +677,60 @@ Status ValidateScenario(const ScenarioConfig& config) {
 std::vector<std::string> ScenarioKeyNames() {
   return std::vector<std::string>(std::begin(kScenarioKeys),
                                   std::end(kScenarioKeys));
+}
+
+std::vector<std::string> TenantScenarioKeyNames() {
+  std::vector<std::string> keys;
+  for (const char* sub : kTenantKeys) {
+    keys.push_back(std::string("tenant.<name>.") + sub);
+  }
+  return keys;
+}
+
+std::vector<size_t> ScenarioDriftTailOrder(const std::string& drift,
+                                           int hot_pct, int window_pct,
+                                           const Grid& grid,
+                                           const std::vector<int>& cell_ids,
+                                           size_t warmup) {
+  std::vector<size_t> order;
+  if (warmup >= cell_ids.size()) return order;
+  order.reserve(cell_ids.size() - warmup);
+  for (size_t i = warmup; i < cell_ids.size(); ++i) order.push_back(i);
+  const int cols = grid.cols();
+  if (drift == "hotspot") {
+    // The hot zone sweeps west -> east: arrivals are grouped into
+    // column bands (each band drift_hot_pct percent of the sweep) and
+    // emitted band by band. Stable, so within a band the original
+    // arrival order is kept.
+    const int bands = std::max(1, 100 / std::max(1, hot_pct));
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      const int band_a = grid.ColOfCell(cell_ids[a]) * bands / cols;
+      const int band_b = grid.ColOfCell(cell_ids[b]) * bands / cols;
+      return band_a < band_b;
+    });
+  } else if (drift == "flash_crowd") {
+    // The centered hot column band's records arrive as one contiguous
+    // burst landing window_pct percent of the way into the tail;
+    // everything else keeps its arrival order around the burst.
+    const int hot_cols = std::max(1, cols * hot_pct / 100);
+    const int hot_begin = (cols - hot_cols) / 2;
+    std::vector<size_t> hot;
+    std::vector<size_t> cold;
+    for (size_t i : order) {
+      const int col = grid.ColOfCell(cell_ids[i]);
+      (col >= hot_begin && col < hot_begin + hot_cols ? hot : cold)
+          .push_back(i);
+    }
+    const size_t burst_at =
+        cold.size() * static_cast<size_t>(window_pct) / 100;
+    order.clear();
+    order.insert(order.end(), cold.begin(), cold.begin() + burst_at);
+    order.insert(order.end(), hot.begin(), hot.end());
+    order.insert(order.end(), cold.begin() + burst_at, cold.end());
+  }
+  // "none" (and anything else, which validation rejects upstream) keeps
+  // the identity order.
+  return order;
 }
 
 Result<ScenarioConfig> ParseScenarioText(const std::string& text,
@@ -550,6 +839,28 @@ Result<StreamFeed> MakeStreamFeed(const ScenarioConfig& config,
   feed.total = dataset.num_records();
   feed.warmup = std::max<size_t>(
       1, feed.total * static_cast<size_t>(config.stream_warmup_pct) / 100);
+  if (config.drift != "none" && feed.warmup < feed.total) {
+    // Drift generator: permute the ingest tail (the warmup prefix is
+    // untouched). A pure permutation keeps the record multiset — and
+    // therefore every final sealed sum — identical to the undrifted
+    // stream; only the arrival ORDER (and hence intermediate epochs and
+    // refine decisions) changes.
+    const std::vector<size_t> order = ScenarioDriftTailOrder(
+        config.drift, config.drift_hot_pct, config.drift_window_pct,
+        dataset.grid(), feed.all.cell_ids, feed.warmup);
+    AggregateBatch tail;
+    tail.cell_ids.reserve(order.size());
+    for (size_t i : order) {
+      tail.Append(feed.all.cell_ids[i], feed.all.labels[i],
+                  feed.all.scores[i]);
+    }
+    std::copy(tail.cell_ids.begin(), tail.cell_ids.end(),
+              feed.all.cell_ids.begin() + feed.warmup);
+    std::copy(tail.labels.begin(), tail.labels.end(),
+              feed.all.labels.begin() + feed.warmup);
+    std::copy(tail.scores.begin(), tail.scores.end(),
+              feed.all.scores.begin() + feed.warmup);
+  }
   return feed;
 }
 
@@ -863,6 +1174,281 @@ Result<ScenarioServeRow> RunOneServePoint(const ScenarioConfig& config,
   return row;
 }
 
+// The per-tenant effective view: the top-level config with this
+// tenant's overrides applied. Every key a tenant does not name inherits
+// the scenario-wide value, so the fleet defaults are stated once.
+ScenarioConfig TenantEffectiveConfig(const ScenarioConfig& base,
+                                     const ScenarioTenantConfig& tenant) {
+  ScenarioConfig cfg = base;
+  if (tenant.city) {
+    cfg.city = *tenant.city;
+    cfg.csv.clear();
+  }
+  if (tenant.batch) cfg.stream_batch = *tenant.batch;
+  if (tenant.shards) cfg.stream_shards = *tenant.shards;
+  if (tenant.warmup_pct) cfg.stream_warmup_pct = *tenant.warmup_pct;
+  if (tenant.seal_records) cfg.stream_seal_records = *tenant.seal_records;
+  if (tenant.seal_interval) cfg.seal_interval = *tenant.seal_interval;
+  if (tenant.drift_bound) cfg.stream_refine_bound = *tenant.drift_bound;
+  if (tenant.retain_epochs) cfg.retain_epochs = *tenant.retain_epochs;
+  if (tenant.lookups) cfg.serve_lookups = *tenant.lookups;
+  if (tenant.read_pct) cfg.serve_read_pct = *tenant.read_pct;
+  if (tenant.zipf) cfg.serve_zipf = *tenant.zipf;
+  if (tenant.drift) cfg.drift = *tenant.drift;
+  if (tenant.fsync) cfg.fsync = *tenant.fsync;
+  if (tenant.checkpoint_interval) {
+    cfg.checkpoint_interval = *tenant.checkpoint_interval;
+  }
+  if (tenant.full_snapshot_interval) {
+    cfg.full_snapshot_interval = *tenant.full_snapshot_interval;
+  }
+  return cfg;
+}
+
+ScenarioRun TenantEffectiveRun(const ScenarioRun& base,
+                               const ScenarioTenantConfig& tenant) {
+  ScenarioRun run = base;
+  if (tenant.algorithm) {
+    // Validated at parse time; value() cannot fail here.
+    run.algorithm = ParsePartitionAlgorithm(*tenant.algorithm).value();
+  }
+  if (tenant.height) run.height = *tenant.height;
+  if (tenant.seed) run.seed = *tenant.seed;
+  return run;
+}
+
+// One multi-tenant worker's pre-built traffic and measurements (the
+// ServeWorker shape, plus the per-tenant ingest throughput readout).
+struct TenantWorker {
+  std::vector<Point> points;
+  std::vector<AggregateBatch> write_batches;
+  std::vector<double> latencies_us;
+  long long lookups = 0;
+  long long tail_records = 0;
+  double seconds = 0.0;
+  Status status = Status::Ok();
+};
+
+// One multi-tenant sweep point: every tenant.<name>.* section becomes a
+// tenant of ONE TenantRegistry — its own grid/store/partition/WAL
+// namespace and per-tenant MaintenancePolicy, all maintained by the one
+// shared round-robin scheduler thread — and one worker thread per
+// tenant runs the serve-style closed loop against it (a tenant with
+// lookups = 0 just ingests flat out: the noisy neighbor). With a
+// wal_dir the point recovers-or-creates per tenant, resuming each
+// recovered tenant at the first record it never accepted; a tenant
+// whose recovery fails comes back as a "degraded" row while the others
+// keep serving.
+Result<std::vector<ScenarioTenantRow>> RunOneMultiTenantPoint(
+    const ScenarioConfig& config, const Dataset& dataset,
+    const Classifier& prototype, const ScenarioRun& run) {
+  const size_t n = config.tenants.size();
+  std::vector<ScenarioConfig> effs;
+  std::vector<ScenarioRun> eff_runs;
+  std::vector<StreamFeed> feeds;
+  std::vector<TenantSpec> specs;
+  std::vector<Grid> grids;
+  std::vector<Dataset> owned;
+  owned.reserve(n);  // Pointers into `owned` must survive push_back.
+  effs.reserve(n);
+  eff_runs.reserve(n);
+  feeds.reserve(n);
+  specs.reserve(n);
+  grids.reserve(n);
+  for (const ScenarioTenantConfig& tenant : config.tenants) {
+    effs.push_back(TenantEffectiveConfig(config, tenant));
+    eff_runs.push_back(TenantEffectiveRun(run, tenant));
+    const ScenarioConfig& eff = effs.back();
+    const Dataset* data = &dataset;
+    if (tenant.city) {
+      // A city override gives the tenant its own dataset AND grid shape.
+      FAIRIDX_ASSIGN_OR_RETURN(Dataset tenant_dataset,
+                               LoadScenarioDataset(eff));
+      owned.push_back(std::move(tenant_dataset));
+      data = &owned.back();
+    }
+    FAIRIDX_ASSIGN_OR_RETURN(
+        StreamFeed feed,
+        MakeStreamFeed(eff, *data, prototype, eff_runs.back()));
+    // The registry owns the WAL namespace (<point root>/<tenant>), so
+    // MakeServiceOptions must not also carve a per-point subdirectory.
+    ScenarioConfig options_cfg = eff;
+    options_cfg.wal_dir.clear();
+    FAIRIDX_ASSIGN_OR_RETURN(FairIndexServiceOptions options,
+                             MakeServiceOptions(options_cfg, eff_runs.back()));
+    if (!config.wal_dir.empty()) {
+      options.durability.checkpoint_interval = eff.checkpoint_interval;
+      options.durability.full_snapshot_interval = eff.full_snapshot_interval;
+      FAIRIDX_ASSIGN_OR_RETURN(options.durability.fsync,
+                               ParseWalFsync(eff.fsync));
+    }
+    grids.push_back(data->grid());
+    specs.push_back(TenantSpec{tenant.name, data->grid(),
+                               feed.all.Slice(0, feed.warmup),
+                               std::move(options)});
+    feeds.push_back(std::move(feed));
+  }
+
+  // One durability root per sweep point (the registry appends /<tenant>
+  // per tenant), same naming as the single-tenant workloads.
+  TenantRegistryOptions registry_options;
+  if (!config.wal_dir.empty()) {
+    registry_options.wal_dir =
+        config.wal_dir + "/" + PartitionAlgorithmName(run.algorithm) +
+        "-h" + std::to_string(run.height) + "-s" + std::to_string(run.seed);
+  }
+  // Recover-or-create when durable (a rerun over the same root resumes
+  // the previous run's tenants; a corrupt tenant degrades instead of
+  // failing the point), plain create otherwise.
+  FAIRIDX_ASSIGN_OR_RETURN(
+      std::unique_ptr<TenantRegistry> registry,
+      registry_options.wal_dir.empty()
+          ? TenantRegistry::Create(std::move(specs), registry_options)
+          : TenantRegistry::Recover(std::move(specs), registry_options));
+
+  // Pre-build every worker's traffic before any clock starts. A
+  // recovered tenant resumes at the first record it never accepted
+  // (records stream in feed order and every accepted record was logged
+  // exactly once, so its store count IS the resume position).
+  std::vector<TenantWorker> workers(n);
+  std::vector<Rng> coins;
+  coins.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const ScenarioConfig& eff = effs[i];
+    Rng base(eff_runs[i].seed);
+    Rng point_rng = base.Fork(1);
+    coins.push_back(base.Fork(2));
+    const auto service = registry->tenant(config.tenants[i].name);
+    if (!service.ok()) continue;  // Degraded: no traffic, a status row.
+    workers[i].points =
+        MakeZipfPoints(grids[i], eff.serve_zipf, eff.serve_lookups,
+                       point_rng);
+    size_t next = feeds[i].warmup;
+    const long long accepted = (*service)->store().num_records();
+    next = std::min(
+        feeds[i].total,
+        std::max(next, static_cast<size_t>(std::max(0LL, accepted))));
+    while (next < feeds[i].total) {
+      const size_t end = std::min(
+          feeds[i].total, next + static_cast<size_t>(eff.stream_batch));
+      workers[i].write_batches.push_back(feeds[i].all.Slice(next, end));
+      workers[i].tail_records += static_cast<long long>(end - next);
+      next = end;
+    }
+  }
+
+  FAIRIDX_RETURN_IF_ERROR(registry->StartMaintenance());
+
+  // One worker thread per serving tenant: the serve-style closed loop
+  // (batched LookupMany mixed with registry ingest on the read-pct
+  // coin; leftovers always drain), so every tenant's latency histogram
+  // measures ITS service time while the neighbors compete for the
+  // shared scheduler and CPU — the cross-tenant interference readout.
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!registry->tenant(config.tenants[i].name).ok()) continue;
+    threads.emplace_back([&, i]() {
+      TenantWorker& me = workers[i];
+      const ScenarioConfig& eff = effs[i];
+      const std::string& name = config.tenants[i].name;
+      FairIndexService* service =
+          registry->tenant(name).value();  // Checked above.
+      Rng& coin = coins[i];
+      const size_t batch = static_cast<size_t>(config.serve_batch);
+      const size_t calls = (me.points.size() + batch - 1) / batch;
+      const size_t warmup_calls = calls / 10;
+      std::vector<PointLookupResult> out(batch);
+      const auto t_begin = std::chrono::steady_clock::now();
+      size_t write_next = 0;
+      size_t call = 0;
+      for (size_t off = 0; off < me.points.size();) {
+        const bool write =
+            write_next < me.write_batches.size() &&
+            static_cast<int>(coin.NextBounded(100)) >= eff.serve_read_pct;
+        if (write) {
+          Result<long long> seq =
+              registry->Ingest(name, std::move(me.write_batches[write_next]));
+          if (!seq.ok()) {
+            me.status = seq.status();
+            return;
+          }
+          ++write_next;
+          continue;
+        }
+        const size_t len = std::min(batch, me.points.size() - off);
+        const auto t0 = std::chrono::steady_clock::now();
+        service->LookupMany(Span<Point>(me.points.data() + off, len),
+                            out.data());
+        const auto t1 = std::chrono::steady_clock::now();
+        if (call >= warmup_calls) {
+          me.latencies_us.push_back(
+              std::chrono::duration<double, std::micro>(t1 - t0).count());
+        }
+        ++call;
+        me.lookups += static_cast<long long>(len);
+        off += len;
+      }
+      // Drain the leftover tail (and the whole tail, for a pure
+      // ingester with no lookup points).
+      for (; write_next < me.write_batches.size(); ++write_next) {
+        Result<long long> seq =
+            registry->Ingest(name, std::move(me.write_batches[write_next]));
+        if (!seq.ok()) {
+          me.status = seq.status();
+          return;
+        }
+      }
+      me.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t_begin)
+                       .count();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  // Quiesce the shared scheduler (joins any in-flight pass) before the
+  // final audit seals.
+  registry->StopMaintenance();
+
+  const std::vector<TenantStatus> statuses = registry->statuses();
+  std::vector<ScenarioTenantRow> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ScenarioTenantRow row;
+    row.run = eff_runs[i];
+    row.tenant = config.tenants[i].name;
+    if (statuses[i].state == TenantState::kDegraded) {
+      row.state = "degraded";
+      rows.push_back(std::move(row));
+      continue;
+    }
+    FAIRIDX_RETURN_IF_ERROR(workers[i].status);
+    row.state = statuses[i].recovered ? "recovered" : "serving";
+    FairIndexService* service =
+        registry->tenant(config.tenants[i].name).value();
+    FAIRIDX_RETURN_IF_ERROR(service->Seal().status());
+    const std::vector<RegionAggregate> final_regions =
+        service->QueryRegions();
+    row.regions = static_cast<int>(final_regions.size());
+    row.records = service->store().num_records();
+    row.epochs = service->store().epoch();
+    row.resplits = service->total_resplits();
+    row.lookups = workers[i].lookups;
+    std::sort(workers[i].latencies_us.begin(),
+              workers[i].latencies_us.end());
+    row.p50_us = PercentileUs(workers[i].latencies_us, 50.0);
+    row.p99_us = PercentileUs(workers[i].latencies_us, 99.0);
+    if (workers[i].seconds > 0.0) {
+      row.read_qps =
+          static_cast<double>(workers[i].lookups) / workers[i].seconds;
+      row.ingest_rps =
+          static_cast<double>(workers[i].tail_records) / workers[i].seconds;
+    }
+    row.final_ence = RegionEnce(final_regions).ence;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
 // Executes `fn` over every sweep point on the shared ThreadPool (at most
 // config.threads at once), preserving sweep order. Each point is
 // independent and internally deterministic, so the row vector is
@@ -897,7 +1483,22 @@ Result<ScenarioReport> RunScenario(const ScenarioConfig& config,
   const std::vector<ScenarioRun> runs = ExpandScenario(config);
   ScenarioReport report;
   report.workload = config.workload;
-  if (config.workload == ScenarioWorkload::kServe) {
+  if (config.workload == ScenarioWorkload::kMultiTenant) {
+    // Each sweep point yields one row PER TENANT; flatten in sweep
+    // order so tenants stay grouped by point, section-ordered within.
+    FAIRIDX_ASSIGN_OR_RETURN(
+        std::vector<std::vector<ScenarioTenantRow>> groups,
+        (RunSweepPoints<std::vector<ScenarioTenantRow>>(
+            config, runs, [&](const ScenarioRun& run) {
+              return RunOneMultiTenantPoint(config, dataset, *prototype,
+                                            run);
+            })));
+    for (std::vector<ScenarioTenantRow>& group : groups) {
+      for (ScenarioTenantRow& row : group) {
+        report.tenant_rows.push_back(std::move(row));
+      }
+    }
+  } else if (config.workload == ScenarioWorkload::kServe) {
     FAIRIDX_ASSIGN_OR_RETURN(
         report.serve_rows,
         (RunSweepPoints<ScenarioServeRow>(

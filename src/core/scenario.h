@@ -78,6 +78,38 @@
 //   serve_zipf = 0.99               serve: Zipf exponent for hot-cell
 //                                   skew in the lookup points (0 draws
 //                                   cells uniformly)
+//   drift = none | hotspot          serving workloads: deterministic
+//         | flash_crowd             drift generator for the ingest tail.
+//                                   hotspot sweeps arrivals across the
+//                                   grid column by column (a moving hot
+//                                   zone); flash_crowd pulls the hot
+//                                   column band's records into one
+//                                   contiguous burst. Both are pure
+//                                   permutations of the tail — the
+//                                   record multiset is unchanged
+//   drift_hot_pct = 20              hotspot: percent of the stream each
+//                                   sweep band occupies; flash_crowd:
+//                                   percent of grid columns in the hot
+//                                   band
+//   drift_window_pct = 50           flash_crowd: how far into the tail
+//                                   (percent) the burst lands
+//   tenant.<name>.<key> = ...       workload = multi_tenant: per-tenant
+//                                   override sections (see
+//                                   TenantScenarioKeyNames() and the
+//                                   reference doc); every tenant starts
+//                                   from the top-level keys and
+//                                   overrides what it names
+//
+// `workload = multi_tenant` hosts every `tenant.<name>.*` section in ONE
+// TenantRegistry (service/tenant_registry.h): per-tenant grids, stores,
+// partitions and WAL namespaces under <wal_dir>/<point>/<tenant>/, one
+// shared round-robin maintenance thread, one worker thread per tenant
+// driving a serve-style closed loop (a tenant with lookups = 0 ingests
+// flat out — the noisy neighbor). Rows report per-tenant p50/p99 lookup
+// latency and ingest throughput, so cross-tenant interference is read
+// straight off the table. With wal_dir set the point recovers-or-creates
+// per tenant: a corrupt tenant comes back degraded (its row says so)
+// while the others recover bit-identically.
 //
 // Unknown keys are errors (typos should not silently no-op). With the
 // default `workload = pipeline`, every run in the expansion is one
@@ -106,6 +138,7 @@
 #define FAIRIDX_CORE_SCENARIO_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -128,6 +161,13 @@ enum class ScenarioWorkload {
   /// while the background scheduler maintains (requires maintain_policy
   /// = auto). Reports lookup latency percentiles and QPS.
   kServe,
+  /// Multi-tenant serving: every tenant.<name>.* section becomes one
+  /// tenant of a shared TenantRegistry (per-tenant grid, store,
+  /// partition, WAL namespace and maintenance policy; one shared
+  /// round-robin scheduler thread). One worker per tenant runs a
+  /// serve-style closed loop; lookups = 0 makes that tenant a pure
+  /// ingester (the noisy neighbor). Requires maintain_policy = auto.
+  kMultiTenant,
 };
 
 /// Who runs stream-workload maintenance.
@@ -137,6 +177,52 @@ enum class ScenarioMaintainPolicy {
   /// The service-owned background scheduler seals/refines; the loop only
   /// ingests.
   kAuto,
+};
+
+/// One tenant's override section (workload = multi_tenant): every field
+/// left unset inherits the top-level key of the same meaning, so a
+/// scenario states the fleet-wide defaults once and each tenant only
+/// what makes it different. Parsed from `tenant.<name>.<key> = value`
+/// lines; sections are kept in first-appearance order.
+struct ScenarioTenantConfig {
+  /// Unique tenant name ([A-Za-z0-9_-]+; it names the tenant's WAL
+  /// namespace directory).
+  std::string name;
+  /// Overrides `city` (the tenant then generates its own dataset and
+  /// grid shape instead of sharing the scenario's).
+  std::optional<std::string> city;
+  /// Overrides the sweep point's algorithm for this tenant.
+  std::optional<std::string> algorithm;
+  /// Overrides the sweep point's tree height.
+  std::optional<int> height;
+  /// Overrides the sweep point's split seed.
+  std::optional<uint64_t> seed;
+  /// Overrides stream_batch / stream_shards / stream_warmup_pct /
+  /// stream_seal_records for this tenant.
+  std::optional<int> batch;
+  std::optional<int> shards;
+  std::optional<int> warmup_pct;
+  std::optional<long long> seal_records;
+  /// Overrides seal_interval (per-tenant wall-clock seal cadence).
+  std::optional<double> seal_interval;
+  /// Overrides drift_bound / stream_refine_bound (< 0: never refine).
+  std::optional<double> drift_bound;
+  /// Overrides retain_epochs (per-tenant snapshot retention).
+  std::optional<int> retain_epochs;
+  /// Overrides serve_lookups; 0 is allowed HERE and makes the tenant a
+  /// pure ingester (the noisy neighbor — no lookups, full-rate writes).
+  std::optional<long long> lookups;
+  /// Overrides serve_read_pct for this tenant's worker.
+  std::optional<int> read_pct;
+  /// Overrides serve_zipf.
+  std::optional<double> zipf;
+  /// Overrides drift (none | hotspot | flash_crowd).
+  std::optional<std::string> drift;
+  /// Overrides fsync / checkpoint_interval / full_snapshot_interval
+  /// (per-tenant durability, inside the tenant's own namespace).
+  std::optional<std::string> fsync;
+  std::optional<long long> checkpoint_interval;
+  std::optional<long long> full_snapshot_interval;
 };
 
 /// One parsed scenario file (after include resolution).
@@ -196,6 +282,20 @@ struct ScenarioConfig {
   int serve_read_pct = 90;
   /// Zipf exponent for hot-cell skew in lookup points (0 = uniform).
   double serve_zipf = 0.99;
+  /// Drift generator for the serving-workload ingest tail: "none" keeps
+  /// arrival order, "hotspot" sweeps arrivals across the grid column by
+  /// column, "flash_crowd" pulls the hot column band into one
+  /// contiguous burst. Pure permutations of the tail (the record
+  /// multiset is unchanged); see ScenarioDriftTailOrder.
+  std::string drift = "none";
+  /// hotspot: percent of the stream each sweep band occupies;
+  /// flash_crowd: percent of grid columns in the hot band.
+  int drift_hot_pct = 20;
+  /// flash_crowd: how far into the tail (percent) the burst lands.
+  int drift_window_pct = 50;
+  /// Tenant sections (workload = multi_tenant), in first-appearance
+  /// order.
+  std::vector<ScenarioTenantConfig> tenants;
 };
 
 /// Every config key the scenario parser accepts, including aliases, in
@@ -203,6 +303,25 @@ struct ScenarioConfig {
 /// this list; tests/serve_scenario_test.cc enforces that both the doc
 /// table and the parser's accepted set match it, so neither can rot.
 std::vector<std::string> ScenarioKeyNames();
+
+/// The per-tenant sub-keys the parser accepts inside a
+/// `tenant.<name>.<key>` section, spelled the way the reference doc
+/// lists them (`tenant.<name>.city`, ...), in the parser's own order.
+/// The doc table is test-enforced against ScenarioKeyNames() +
+/// TenantScenarioKeyNames() concatenated.
+std::vector<std::string> TenantScenarioKeyNames();
+
+/// The deterministic tail permutation a drift generator applies:
+/// absolute indices into `cell_ids` covering exactly [warmup, size), in
+/// emission order. `drift` must be "hotspot" or "flash_crowd"
+/// (validated at parse time); both are stable, so records within one
+/// band keep their arrival order and the returned order is a pure
+/// function of (drift, hot_pct, window_pct, grid shape, cell ids).
+std::vector<size_t> ScenarioDriftTailOrder(const std::string& drift,
+                                           int hot_pct, int window_pct,
+                                           const Grid& grid,
+                                           const std::vector<int>& cell_ids,
+                                           size_t warmup);
 
 /// One point of the expanded sweep.
 struct ScenarioRun {
@@ -293,14 +412,50 @@ struct ScenarioServeRow {
   double final_ence = 0.0;
 };
 
+/// One tenant's results within one multi-tenant sweep point (workload =
+/// multi_tenant). Latency/throughput numbers are timing-dependent by
+/// design; `records` and `lookups` are deterministic. A degraded tenant
+/// (failed recovery) reports its name and state with zeroed counters.
+struct ScenarioTenantRow {
+  ScenarioRun run;
+  std::string tenant;
+  /// "serving" (created fresh), "recovered" (rebuilt from its WAL/
+  /// checkpoint namespace), or "degraded" (recovery failed; the other
+  /// tenants keep serving).
+  std::string state;
+  /// Final published partition size.
+  int regions = 0;
+  /// Records in the tenant's store (warmup + ingested).
+  long long records = 0;
+  /// Sealed epochs / published subtree re-splits for this tenant.
+  long long epochs = 0;
+  long long resplits = 0;
+  /// Lookup points answered by this tenant's worker (0 for a pure
+  /// ingester).
+  long long lookups = 0;
+  /// lookups / the worker's wall-clock seconds.
+  double read_qps = 0.0;
+  /// LookupMany latency percentiles (steady-state window, first 10% of
+  /// calls excluded) — the cross-tenant interference readout.
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  /// Tail records ingested / the worker's wall-clock seconds.
+  double ingest_rps = 0.0;
+  /// Region ENCE of the final partition on the final sealed epoch.
+  double final_ence = 0.0;
+};
+
 /// A finished scenario execution. `rows` is filled for the pipeline
 /// workload, `stream_rows` for the stream workload, `serve_rows` for the
-/// serve workload; all in sweep order.
+/// serve workload, `tenant_rows` for multi_tenant (grouped by sweep
+/// point, tenants in section order within each point); all in sweep
+/// order.
 struct ScenarioReport {
   ScenarioWorkload workload = ScenarioWorkload::kPipeline;
   std::vector<ScenarioRow> rows;
   std::vector<ScenarioStreamRow> stream_rows;
   std::vector<ScenarioServeRow> serve_rows;
+  std::vector<ScenarioTenantRow> tenant_rows;
 };
 
 /// Executes every expanded run against `dataset`, dispatching on

@@ -106,9 +106,10 @@ TEST(ServeScenarioKeysTest, KeyListMatchesParserAcceptedSet) {
 }
 
 // The reference doc's key tables (rows of the form "| `key` | ...") must
-// list exactly ScenarioKeyNames(), in the same order — a new parser key
-// without a doc row, a doc row for a removed key, or a reordering all
-// fail here.
+// list exactly ScenarioKeyNames() followed by TenantScenarioKeyNames()
+// (the tenant.<name>.* table sits last in the doc), in the same order —
+// a new parser key without a doc row, a doc row for a removed key, or a
+// reordering all fail here.
 TEST(ServeScenarioKeysTest, DocKeyTableMatchesScenarioKeyNames) {
   namespace fs = std::filesystem;
   const fs::path doc = fs::path(__FILE__).parent_path().parent_path() /
@@ -124,7 +125,11 @@ TEST(ServeScenarioKeysTest, DocKeyTableMatchesScenarioKeyNames) {
     ASSERT_NE(end, std::string::npos) << line;
     doc_keys.push_back(line.substr(prefix.size(), end - prefix.size()));
   }
-  EXPECT_EQ(doc_keys, ScenarioKeyNames());
+  std::vector<std::string> want = ScenarioKeyNames();
+  for (const std::string& key : TenantScenarioKeyNames()) {
+    want.push_back(key);
+  }
+  EXPECT_EQ(doc_keys, want);
 }
 
 // One real serve point end to end: deterministic record and lookup

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Runs every fenced ``cfg`` snippet in the docs through the scenario
+parser (stdlib only).
+
+Scenario examples in README.md and docs/ rot silently: a renamed key or
+a tightened validation rule leaves the prose showing a config the binary
+rejects. This script extracts every fenced code block tagged ``cfg``,
+materializes each into a scratch directory next to copies of
+examples/scenarios/*.cfg (so ``include = base_la.cfg`` lines resolve the
+way they do for a user running from that directory), and runs
+``fairidx_cli check`` on it — parse + validate only, no dataset or index
+work, so the whole sweep is milliseconds.
+
+Usage: check_doc_snippets.py [--cli PATH] [file-or-dir ...]
+Defaults to README.md and docs/ relative to the repo root (the script's
+parent directory) and ``build/fairidx_cli`` (override with --cli or the
+FAIRIDX_CLI environment variable). Exits 1 listing every snippet the
+parser rejects.
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+FENCE_OPEN_RE = re.compile(r"^(```|~~~)\s*(\S*)\s*$")
+
+
+def collect_markdown_files(args, repo_root):
+    if not args:
+        args = [os.path.join(repo_root, "README.md"),
+                os.path.join(repo_root, "docs")]
+    files = []
+    for arg in args:
+        if os.path.isdir(arg):
+            for name in sorted(os.listdir(arg)):
+                if name.endswith(".md"):
+                    files.append(os.path.join(arg, name))
+        else:
+            files.append(arg)
+    return files
+
+
+def extract_cfg_snippets(path):
+    """Yields (first_line_number, snippet_text) per fenced cfg block."""
+    snippets = []
+    fence = None  # (marker, is_cfg, start_line) while inside a block.
+    body = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            stripped = line.rstrip("\n")
+            m = FENCE_OPEN_RE.match(stripped.strip())
+            if fence is None:
+                if m:
+                    fence = (m.group(1), m.group(2) == "cfg", lineno + 1)
+                    body = []
+                continue
+            if m and m.group(1) == fence[0] and not m.group(2):
+                if fence[1]:
+                    snippets.append((fence[2], "\n".join(body) + "\n"))
+                fence = None
+                continue
+            body.append(stripped)
+    return snippets
+
+
+def main(argv):
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser = argparse.ArgumentParser(
+        description="Run fenced cfg doc snippets through fairidx_cli check")
+    parser.add_argument("--cli",
+                        default=os.environ.get(
+                            "FAIRIDX_CLI",
+                            os.path.join(repo_root, "build", "fairidx_cli")),
+                        help="fairidx_cli binary (default: build/fairidx_cli"
+                             " or $FAIRIDX_CLI)")
+    parser.add_argument("paths", nargs="*",
+                        help="markdown files or directories"
+                             " (default: README.md and docs/)")
+    args = parser.parse_args(argv[1:])
+
+    if not os.path.exists(args.cli):
+        print("check_doc_snippets: no such binary: %s (build fairidx_cli "
+              "first, or pass --cli)" % args.cli, file=sys.stderr)
+        return 1
+
+    files = collect_markdown_files(args.paths, repo_root)
+    missing = [f for f in files if not os.path.exists(f)]
+    if missing:
+        for f in missing:
+            print("check_doc_snippets: no such file: %s" % f,
+                  file=sys.stderr)
+        return 1
+
+    errors = []
+    checked = 0
+    with tempfile.TemporaryDirectory(prefix="fairidx-doc-snippets-") as tmp:
+        # Snippets may `include = base_la.cfg` the way the shipped
+        # examples do; includes resolve against the snippet's own
+        # directory, so stage the example configs next to it.
+        examples = os.path.join(repo_root, "examples", "scenarios")
+        if os.path.isdir(examples):
+            for name in sorted(os.listdir(examples)):
+                if name.endswith(".cfg"):
+                    shutil.copy(os.path.join(examples, name),
+                                os.path.join(tmp, name))
+        for path in files:
+            for lineno, snippet in extract_cfg_snippets(path):
+                checked += 1
+                snippet_path = os.path.join(tmp,
+                                            "snippet-%d.cfg" % checked)
+                with open(snippet_path, "w", encoding="utf-8") as out:
+                    out.write(snippet)
+                proc = subprocess.run([args.cli, "check", snippet_path],
+                                      capture_output=True, text=True)
+                if proc.returncode != 0:
+                    detail = (proc.stderr.strip() or
+                              proc.stdout.strip() or
+                              "exit %d" % proc.returncode)
+                    errors.append("%s:%d: snippet rejected: %s" %
+                                  (os.path.relpath(path, repo_root), lineno,
+                                   detail))
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print("check_doc_snippets: %d bad snippet(s) of %d in %d file(s)" %
+              (len(errors), checked, len(files)), file=sys.stderr)
+        return 1
+    print("check_doc_snippets: %d snippet(s) OK in %d file(s)" %
+          (checked, len(files)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

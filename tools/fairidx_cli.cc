@@ -13,10 +13,17 @@
 //                         [--warmup-pct 50] [--shards N] [--seal-records N]
 //                         [--refine-bound B] [--algorithm fair_kd_tree]
 //                         [--auto-maintain] [--seal-interval S]
-//                         [--wal DIR] [--checkpoint-interval N]
+//                         [--wal DIR] [--tenant NAME]
+//                         [--checkpoint-interval N]
 //                         [--full-snapshot-interval N]
 //                         [--fsync none|batch|always] [--retain-epochs K]
 //                         [--regions-out FILE]
+//   fairidx_cli check     scenario.cfg   (parse + validate only)
+//   fairidx_cli --help                   (spec-generated flag reference)
+//
+// The accepted flag set lives in tools/cli_spec.h — one table generates
+// `--help`, validates parsed flags (unknown flags are errors), and is
+// pinned against the README flag table by tests/cli_spec_test.cc.
 //
 // `run scenario.cfg` executes a declarative scenario file — a
 // multi-algorithm x multi-height x multi-seed sweep from one config (see
@@ -91,6 +98,7 @@
 #include "index/partition_io.h"
 #include "service/checkpoint.h"
 #include "service/fair_index_service.h"
+#include "cli_spec.h"
 
 namespace fairidx {
 namespace cli {
@@ -100,7 +108,7 @@ namespace {
 
 class Flags {
  public:
-  Flags(int argc, char** argv, int first) {
+  Flags(int argc, char** argv, int first, const std::string& command) {
     for (int i = first; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg.rfind("--", 0) != 0) {
@@ -109,6 +117,17 @@ class Flags {
         return;
       }
       arg = arg.substr(2);
+      // Every accepted flag lives in the cli_spec.h table (which also
+      // generates --help), so an unknown flag is an error instead of a
+      // silently-ignored no-op. `--threshold` passes through so
+      // CmdStream can explain what replaced it.
+      if (!CliCommandHasFlag(command, arg) &&
+          !(command == "stream" && arg == "threshold")) {
+        std::fprintf(stderr, "unknown flag --%s for '%s' (try --help)\n",
+                     arg.c_str(), command.c_str());
+        ok_ = false;
+        return;
+      }
       if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
         values_[arg] = argv[++i];
       } else {
@@ -210,6 +229,33 @@ int CmdRunScenario(const std::string& path) {
                     std::to_string(row.publish_stall_us),
                     std::to_string(row.checkpoint_stall_us),
                     TablePrinter::FormatDouble(row.serve_seconds, 3)});
+    }
+    table.Print(std::cout);
+    return 0;
+  }
+
+  if (report->workload == ScenarioWorkload::kMultiTenant) {
+    // One row per (sweep point, tenant). A degraded tenant keeps its
+    // row — zeros everywhere, state says why — so fleet health is
+    // visible in the same table as the latency readout.
+    TablePrinter table({"height", "algorithm", "seed", "tenant", "state",
+                        "regions", "records", "lookups", "qps", "p50_us",
+                        "p99_us", "ingest_rps", "epochs", "resplits",
+                        "final_ence"});
+    for (const ScenarioTenantRow& row : report->tenant_rows) {
+      table.AddRow({std::to_string(row.run.height),
+                    PartitionAlgorithmName(row.run.algorithm),
+                    std::to_string(row.run.seed), row.tenant, row.state,
+                    std::to_string(row.regions),
+                    std::to_string(row.records),
+                    std::to_string(row.lookups),
+                    TablePrinter::FormatDouble(row.read_qps, 0),
+                    TablePrinter::FormatDouble(row.p50_us, 1),
+                    TablePrinter::FormatDouble(row.p99_us, 1),
+                    TablePrinter::FormatDouble(row.ingest_rps, 0),
+                    std::to_string(row.epochs),
+                    std::to_string(row.resplits),
+                    TablePrinter::FormatDouble(row.final_ence, 5)});
     }
     table.Print(std::cout);
     return 0;
@@ -415,7 +461,26 @@ int CmdStream(const Flags& flags) {
   const long long seal_records = flags.GetInt("seal-records", 0);
   const bool auto_maintain = flags.Has("auto-maintain");
   const double seal_interval = flags.GetDouble("seal-interval", 0.0);
-  const std::string wal_dir = flags.Get("wal", "");
+  std::string wal_dir = flags.Get("wal", "");
+  const std::string tenant = flags.Get("tenant", "");
+  if (!tenant.empty()) {
+    // Mirror the TenantRegistry namespace layout (<wal>/<tenant>) so a
+    // stream driven per tenant from the CLI and a registry hosting the
+    // same tenants produce interchangeable on-disk state.
+    if (wal_dir.empty()) {
+      return Fail(InvalidArgumentError(
+          "--tenant needs --wal (it names a durability namespace)"));
+    }
+    for (char c : tenant) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '-';
+      if (!ok) {
+        return Fail(InvalidArgumentError(
+            "--tenant must match [A-Za-z0-9_-]+ (it names a directory)"));
+      }
+    }
+    wal_dir += "/" + tenant;
+  }
   const int retain_epochs = flags.GetInt("retain-epochs", 0);
   const int full_snapshot_interval =
       flags.GetInt("full-snapshot-interval", 1);
@@ -674,55 +739,64 @@ int CmdStream(const Flags& flags) {
   return 0;
 }
 
+// `check <scenario.cfg>`: parse + validate only, no dataset load and no
+// run. The doc-snippet CI lane (tools/check_doc_snippets.py) feeds every
+// fenced cfg block from docs/ through this, so documented examples can
+// never rot out of the parser's accepted grammar.
+int CmdCheck(const std::string& path) {
+  auto config = LoadScenarioFile(path);
+  if (!config.ok()) return Fail(config.status());
+  const char* workload = "pipeline";
+  if (config->workload == ScenarioWorkload::kStream) workload = "stream";
+  if (config->workload == ScenarioWorkload::kServe) workload = "serve";
+  if (config->workload == ScenarioWorkload::kMultiTenant) {
+    workload = "multi_tenant";
+  }
+  std::printf("ok: %s (workload %s, %zu runs, %zu tenants)\n",
+              config->name.c_str(), workload,
+              config->algorithms.size() * config->heights.size() *
+                  config->seeds.size(),
+              config->tenants.size());
+  return 0;
+}
+
+// `--help` goes to stdout and exits 0; a usage ERROR goes to stderr and
+// exits 2. Both print the same spec-generated text, so the accepted
+// flag set and the help can never disagree (tests/cli_spec_test.cc).
+int Help() {
+  std::fputs(CliHelpText().c_str(), stdout);
+  return 0;
+}
+
 int Usage() {
-  std::fprintf(
-      stderr,
-      "usage: fairidx_cli <generate|run|sweep|disparity|export|stream> "
-      "[flags]\n"
-      "       fairidx_cli run <scenario.cfg>   (declarative sweep; see\n"
-      "                core/scenario.h, docs/scenario_reference.md and\n"
-      "                examples/scenarios/; workload = pipeline|stream|\n"
-      "                serve — serve reports lookup p50/p95/p99 + QPS)\n"
-      "  common flags: --city la|houston | --csv file.csv\n"
-      "  run/export:   --algorithm <name> --height N --classifier lr|tree|nb\n"
-      "                --threads N (parallel partition build)\n"
-      "  stream:       --height N --batch N --warmup-pct P --shards N\n"
-      "                --seal-records N (0 = seal every batch)\n"
-      "                --refine-bound B (incremental subtree re-splits on\n"
-      "                region drift > B) --algorithm\n"
-      "                fair_kd_tree|median_kd_tree|fair_quadtree\n"
-      "                --auto-maintain (background seal/refine thread)\n"
-      "                --seal-interval S (auto: wall-clock seal cadence)\n"
-      "                --wal DIR (durable: WAL + checkpoints; recovers\n"
-      "                and resumes when DIR already holds a checkpoint)\n"
-      "                --checkpoint-interval N --fsync none|batch|always\n"
-      "                --full-snapshot-interval N (every Nth checkpoint\n"
-      "                full, the rest O(changed) deltas; 1 = all full)\n"
-      "                --retain-epochs K (bound sealed-snapshot history)\n"
-      "                --regions-out FILE (final region aggregates,\n"
-      "                full precision, for exact diffing)\n"
-      "                --crash-after-batches N (testing: SIGKILL mid-\n"
-      "                stream after batch N; rerun with the same --wal\n"
-      "                to recover)\n"
-      "  see the file header for the full reference\n");
+  std::fputs(CliHelpText().c_str(), stderr);
   return 2;
 }
 
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  if (command == "--help" || command == "help") return Help();
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) return Help();
+  }
   // `run <scenario.cfg>`: a positional (non-flag) argument selects the
-  // declarative path.
-  if (command == "run" && argc > 2 &&
-      std::strncmp(argv[2], "--", 2) != 0) {
-    if (argc > 3) {
-      std::fprintf(stderr,
-                   "run <scenario.cfg> takes no further arguments\n");
+  // declarative path. `check <scenario.cfg>` only parses + validates.
+  const bool positional =
+      argc > 2 && std::strncmp(argv[2], "--", 2) != 0;
+  if ((command == "run" && positional) || command == "check") {
+    if (command == "check" && !positional) {
+      std::fprintf(stderr, "check takes exactly one scenario file\n");
       return Usage();
     }
-    return CmdRunScenario(argv[2]);
+    if (argc > 3) {
+      std::fprintf(stderr, "%s <scenario.cfg> takes no further arguments\n",
+                   command.c_str());
+      return Usage();
+    }
+    return command == "check" ? CmdCheck(argv[2]) : CmdRunScenario(argv[2]);
   }
-  const Flags flags(argc, argv, 2);
+  const Flags flags(argc, argv, 2, command);
   if (!flags.ok()) return Usage();
   if (command == "generate") return CmdGenerate(flags);
   if (command == "run") return CmdRun(flags);
